@@ -1,0 +1,224 @@
+//! Deeper behaviour of the baseline engines: cascades through nested
+//! sends, runaway protection, recompile failure modes, and counter
+//! accounting.
+
+use sentinel_baselines::{
+    ActiveEngine, AdamEngine, AdamRuleSpec, OdeConstraintKind, OdeEngine,
+};
+use sentinel_events::EventModifier;
+use sentinel_object::{ClassDecl, ObjectError, TypeTag, Value, World};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Ode
+// ---------------------------------------------------------------------
+
+#[test]
+fn ode_fixup_cascade_is_depth_limited() {
+    // A soft constraint whose fixup re-sends the violating method: the
+    // engine must stop at its depth limit instead of hanging.
+    let mut ode = OdeEngine::new();
+    ode.define_class(
+        ClassDecl::new("G")
+            .attr("v", TypeTag::Float)
+            .method("Set", &[("x", TypeTag::Float)]),
+    )
+    .unwrap();
+    ode.register_setter("G", "Set", "v").unwrap();
+    ode.declare_constraint(
+        "G",
+        "never-happy",
+        OdeConstraintKind::Soft,
+        |_w, _o| Ok(false), // always violated
+        Some(Arc::new(|w, o| {
+            // Fixup re-enters dispatch, re-triggering the check.
+            w.send(o, "Set", &[Value::Float(1.0)])?;
+            Ok(())
+        })),
+    )
+    .unwrap();
+    let g = ode.create("G").unwrap();
+    let err = ode.send(g, "Set", &[Value::Float(5.0)]).err().unwrap();
+    assert!(
+        matches!(err, ObjectError::CascadeDepthExceeded { .. })
+            || err.is_abort(),
+        "{err}"
+    );
+    // The transaction rolled back: nothing stuck.
+    assert_eq!(ode.get_attr(g, "v").unwrap(), Value::Float(0.0));
+}
+
+#[test]
+fn ode_recompile_aborts_on_already_violated_extent() {
+    let mut ode = OdeEngine::new();
+    ode.define_class(
+        ClassDecl::new("P")
+            .attr("v", TypeTag::Float)
+            .method("Set", &[("x", TypeTag::Float)]),
+    )
+    .unwrap();
+    ode.register_setter("P", "Set", "v").unwrap();
+    let p = ode.create("P").unwrap();
+    ode.set_attr(p, "v", Value::Float(-1.0)).unwrap();
+    // The new constraint is violated by the stored instance: the
+    // revalidation sweep reports it (as the real system's schema
+    // migration would).
+    let err = ode
+        .recompile_with_constraint(
+            "P",
+            "non-negative",
+            OdeConstraintKind::Hard,
+            |w, o| Ok(w.get_attr(o, "v")?.as_float()? >= 0.0),
+            None,
+        )
+        .err()
+        .unwrap();
+    assert!(err.is_abort(), "{err}");
+}
+
+#[test]
+fn ode_counters_account_for_hierarchy_sweeps() {
+    let mut ode = OdeEngine::new();
+    ode.define_class(
+        ClassDecl::new("Base")
+            .attr("v", TypeTag::Float)
+            .method("Set", &[("x", TypeTag::Float)]),
+    )
+    .unwrap();
+    ode.define_class(ClassDecl::new("Derived").parent("Base")).unwrap();
+    ode.register_setter("Base", "Set", "v").unwrap();
+    ode.declare_constraint("Base", "c1", OdeConstraintKind::Hard, |_, _| Ok(true), None)
+        .unwrap();
+    ode.declare_constraint("Derived", "c2", OdeConstraintKind::Hard, |_, _| Ok(true), None)
+        .unwrap();
+    let b = ode.create("Base").unwrap();
+    let d = ode.create("Derived").unwrap();
+    ode.reset_counters();
+    ode.send(b, "Set", &[Value::Float(1.0)]).unwrap();
+    // Base instance: only Base's constraint.
+    assert_eq!(ode.counters().rule_checks, 1);
+    ode.reset_counters();
+    ode.send(d, "Set", &[Value::Float(1.0)]).unwrap();
+    // Derived instance: inherited + own.
+    assert_eq!(ode.counters().rule_checks, 2);
+}
+
+// ---------------------------------------------------------------------
+// ADAM
+// ---------------------------------------------------------------------
+
+#[test]
+fn adam_rule_action_cascades_through_sends() {
+    // An action that sends a message which triggers another rule.
+    let mut adam = AdamEngine::new();
+    adam.define_class(
+        ClassDecl::new("A")
+            .attr("log", TypeTag::Int)
+            .method("First", &[])
+            .method("Second", &[]),
+    )
+    .unwrap();
+    adam.register_method("A", "First", |_, _, _| Ok(Value::Null)).unwrap();
+    adam.register_method("A", "Second", |w, this, _| {
+        let n = w.get_attr(this, "log")?.as_int()?;
+        w.set_attr(this, "log", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    let e1 = adam.define_event("First", EventModifier::End);
+    let e2 = adam.define_event("Second", EventModifier::End);
+    adam.add_rule(AdamRuleSpec {
+        name: "chain".into(),
+        event: e1,
+        active_class: "A".into(),
+        condition: Arc::new(|_, _, _| Ok(true)),
+        action: Arc::new(|w, this, _| {
+            w.send(this, "Second", &[])?;
+            Ok(())
+        }),
+    })
+    .unwrap();
+    let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let h2 = hits.clone();
+    adam.add_rule(AdamRuleSpec {
+        name: "observe".into(),
+        event: e2,
+        active_class: "A".into(),
+        condition: Arc::new(|_, _, _| Ok(true)),
+        action: Arc::new(move |_, _, _| {
+            h2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
+        }),
+    })
+    .unwrap();
+    let a = adam.create("A").unwrap();
+    adam.send(a, "First", &[]).unwrap();
+    assert_eq!(adam.get_attr(a, "log").unwrap(), Value::Int(1));
+    assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+}
+
+#[test]
+fn adam_self_triggering_rule_hits_depth_limit_and_rolls_back() {
+    let mut adam = AdamEngine::new();
+    adam.define_class(
+        ClassDecl::new("A")
+            .attr("n", TypeTag::Int)
+            .method("Poke", &[]),
+    )
+    .unwrap();
+    adam.register_method("A", "Poke", |w, this, _| {
+        let n = w.get_attr(this, "n")?.as_int()?;
+        w.set_attr(this, "n", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    let ev = adam.define_event("Poke", EventModifier::End);
+    adam.add_rule(AdamRuleSpec {
+        name: "loop".into(),
+        event: ev,
+        active_class: "A".into(),
+        condition: Arc::new(|_, _, _| Ok(true)),
+        action: Arc::new(|w, this, _| {
+            w.send(this, "Poke", &[])?;
+            Ok(())
+        }),
+    })
+    .unwrap();
+    let a = adam.create("A").unwrap();
+    let err = adam.send(a, "Poke", &[]).err().unwrap();
+    assert!(matches!(err, ObjectError::CascadeDepthExceeded { .. }));
+    assert_eq!(adam.get_attr(a, "n").unwrap(), Value::Int(0), "rolled back");
+}
+
+#[test]
+fn adam_condition_eval_counts_only_matching_events() {
+    let mut adam = AdamEngine::new();
+    adam.define_class(
+        ClassDecl::new("A")
+            .attr("v", TypeTag::Float)
+            .method("M1", &[])
+            .method("M2", &[]),
+    )
+    .unwrap();
+    adam.register_method("A", "M1", |_, _, _| Ok(Value::Null)).unwrap();
+    adam.register_method("A", "M2", |_, _, _| Ok(Value::Null)).unwrap();
+    let e1 = adam.define_event("M1", EventModifier::End);
+    adam.add_rule(AdamRuleSpec {
+        name: "only-m1".into(),
+        event: e1,
+        active_class: "A".into(),
+        condition: Arc::new(|_, _, _| Ok(false)),
+        action: Arc::new(|_, _, _| Ok(())),
+    })
+    .unwrap();
+    let a = adam.create("A").unwrap();
+    adam.reset_counters();
+    adam.send(a, "M1", &[]).unwrap();
+    adam.send(a, "M2", &[]).unwrap();
+    let c = adam.counters();
+    // Scanned on every sweep (2 sends × begin+end = 4 checks), but the
+    // condition ran only for the matching (M1, end) combination.
+    assert_eq!(c.rule_checks, 4);
+    assert_eq!(c.condition_evals, 1);
+    assert_eq!(c.actions_run, 0);
+}

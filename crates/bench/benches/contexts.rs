@@ -1,0 +1,65 @@
+//! E12 — parameter-context ablation: per-event cost of a skewed
+//! conjunction under each occurrence-buffering policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_db::prelude::*;
+use sentinel_db::{event, Database};
+use std::hint::black_box;
+
+fn skewed_conjunction(ctx: ParamContext) -> (Database, Oid) {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::reactive("S")
+            .event_method("l", &[], EventSpec::End)
+            .event_method("r", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("S", "l", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_method("S", "r", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_action("nothing", |_, _| Ok(()));
+    db.add_rule(
+        RuleDef::new(
+            "skew",
+            event("end S::l()").unwrap().and(event("end S::r()").unwrap()),
+            "nothing",
+        )
+        .context(ctx),
+    )
+    .unwrap();
+    let o = db.create("S").unwrap();
+    db.subscribe(o, "skew").unwrap();
+    (db, o)
+}
+
+fn contexts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_parameter_contexts");
+    for ctx in ParamContext::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(ctx.name()), &ctx, |b, &ctx| {
+            let (mut db, o) = skewed_conjunction(ctx);
+            let mut i = 0usize;
+            b.iter(|| {
+                let m = if i % 16 == 15 { "r" } else { "l" };
+                i += 1;
+                black_box(db.send(o, m, &[]).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = contexts
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — message-dispatch overhead per object classification (paper
+//! §3.2: "No overhead is incurred in the definition and use of
+//! [passive] objects") and per subscriber count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_bench::scenarios::{dispatch_scenario, DispatchKind};
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+fn dispatch_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_dispatch_overhead");
+    let cases: &[(&str, DispatchKind)] = &[
+        ("passive", DispatchKind::Passive),
+        ("reactive_undeclared", DispatchKind::ReactiveUndeclared),
+        ("declared_subs0", DispatchKind::ReactiveDeclared { subscribers: 0 }),
+        ("declared_subs1", DispatchKind::ReactiveDeclared { subscribers: 1 }),
+        ("declared_subs8", DispatchKind::ReactiveDeclared { subscribers: 8 }),
+        ("declared_subs64", DispatchKind::ReactiveDeclared { subscribers: 64 }),
+        ("all_methods_subs8", DispatchKind::AllMethodsEvents { subscribers: 8 }),
+    ];
+    for (name, kind) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), kind, |b, &kind| {
+            let (mut db, obj) = dispatch_scenario(kind);
+            let mut i = 0f64;
+            b.iter(|| {
+                i += 1.0;
+                black_box(db.send(obj, "Set", &[Value::Float(i)]).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = dispatch_overhead
+}
+criterion_main!(benches);

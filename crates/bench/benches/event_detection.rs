@@ -1,0 +1,68 @@
+//! E2 — event management cost (paper §1, performance issue 3):
+//! primitive detection vs number of declared generators, and composite
+//! detection vs operator kind and expression depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_bench::scenarios::{chain_scenario, generator_scenario, OpKind};
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+fn primitive_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2a_primitive_detection");
+    for methods in [1usize, 4, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("declared_generators", methods),
+            &methods,
+            |b, &methods| {
+                let (mut db, obj, names) = generator_scenario(methods);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let n = &names[i % names.len()];
+                    i += 1;
+                    black_box(db.send(obj, n, &[]).unwrap());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn composite_detection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2b_composite_detection");
+    for op in [OpKind::Or, OpKind::And, OpKind::Seq] {
+        for depth in [1usize, 2, 4, 6] {
+            g.bench_with_input(
+                BenchmarkId::new(op.name(), depth),
+                &depth,
+                |b, &depth| {
+                    let (mut db, obj, names) =
+                        chain_scenario(op, depth, ParamContext::Chronicle);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let n = &names[i % names.len()];
+                        i += 1;
+                        black_box(db.send(obj, n, &[]).unwrap());
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = primitive_detection, composite_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 — the §2.1 Purchase rule: conjunction events spanning objects of
+//! two different classes, driven by a synthetic market stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_bench::scenarios::market_scenario;
+use sentinel_bench::workload::{market_stream, MarketEvent};
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+fn inter_object(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_inter_object_conjunction");
+    for stocks in [1usize, 8, 64] {
+        let stream = market_stream(42, stocks, 4096, 0.2);
+        g.bench_with_input(BenchmarkId::new("stocks", stocks), &stocks, |b, &stocks| {
+            let (mut db, stock_oids, index) = market_scenario(stocks);
+            let mut i = 0usize;
+            b.iter(|| {
+                let ev = &stream[i % stream.len()];
+                i += 1;
+                match *ev {
+                    MarketEvent::Price(s, p) => {
+                        black_box(db.send(stock_oids[s], "SetPrice", &[Value::Float(p)]).unwrap());
+                    }
+                    MarketEvent::IndexChange(ch) => {
+                        black_box(db.send(index, "SetValue", &[Value::Float(ch)]).unwrap());
+                    }
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = inter_object
+}
+criterion_main!(benches);

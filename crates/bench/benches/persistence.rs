@@ -1,0 +1,149 @@
+//! E13 — persistence costs: WAL-logged sends, checkpoints, and recovery,
+//! as Criterion benchmarks (complementing the experiments binary's
+//! wall-clock table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_db::prelude::*;
+use sentinel_db::{event, Database};
+use std::hint::black_box;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sentinel-bench-persist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn schema(db: &mut Database) {
+    db.define_class(
+        ClassDecl::reactive("X")
+            .attr("v", TypeTag::Float)
+            .event_method("Set", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("X", "Set", "v").unwrap();
+}
+
+/// Per-send cost with and without a WAL (OnCommit sync).
+fn durable_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13a_durable_send");
+    g.bench_function("in_memory", |b| {
+        let mut db = Database::new();
+        schema(&mut db);
+        let o = db.create("X").unwrap();
+        let mut i = 0f64;
+        b.iter(|| {
+            i += 1.0;
+            black_box(db.send(o, "Set", &[Value::Float(i)]).unwrap());
+        });
+    });
+    g.bench_function("wal_on_commit", |b| {
+        let dir = tmpdir("send");
+        let mut db = Database::with_config(DbConfig::durable(&dir)).unwrap();
+        schema(&mut db);
+        let o = db.create("X").unwrap();
+        let mut i = 0f64;
+        b.iter(|| {
+            i += 1.0;
+            black_box(db.send(o, "Set", &[Value::Float(i)]).unwrap());
+        });
+    });
+    g.bench_function("wal_never_sync", |b| {
+        let dir = tmpdir("send-ns");
+        let mut db =
+            Database::with_config(DbConfig::durable(&dir).sync(SyncPolicy::Never)).unwrap();
+        schema(&mut db);
+        let o = db.create("X").unwrap();
+        let mut i = 0f64;
+        b.iter(|| {
+            i += 1.0;
+            black_box(db.send(o, "Set", &[Value::Float(i)]).unwrap());
+        });
+    });
+    g.finish();
+}
+
+/// Recovery cost vs catalog size.
+fn recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13b_recovery");
+    g.sample_size(10);
+    for n in [10usize, 100] {
+        let dir = tmpdir(&format!("rec-{n}"));
+        {
+            let mut db = Database::with_config(DbConfig::durable(&dir)).unwrap();
+            schema(&mut db);
+            db.register_action("nothing", |_, _| Ok(()));
+            let obj = db.create("X").unwrap();
+            for i in 0..n {
+                db.add_rule(RuleDef::new(
+                    format!("r{i}"),
+                    event("end X::Set(float x)").unwrap(),
+                    "nothing",
+                ))
+                .unwrap();
+                db.subscribe(obj, &format!("r{i}")).unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("rules", n), &dir, |b, dir| {
+            b.iter(|| {
+                black_box(Database::recover(DbConfig::durable(dir)).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Runtime rule addition (E7's Sentinel/ADAM side, statistically firm).
+fn rule_admin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_rule_admin");
+    g.bench_function("add_remove_rule", |b| {
+        let mut db = Database::new();
+        schema(&mut db);
+        db.register_action("nothing", |_, _| Ok(()));
+        for _ in 0..1000 {
+            db.create("X").unwrap();
+        }
+        b.iter(|| {
+            db.add_class_rule(
+                "X",
+                RuleDef::new("tmp", event("end X::Set(float x)").unwrap(), "nothing"),
+            )
+            .unwrap();
+            db.remove_rule("tmp").unwrap();
+        });
+    });
+    g.bench_function("subscribe_unsubscribe", |b| {
+        let mut db = Database::new();
+        schema(&mut db);
+        db.register_action("nothing", |_, _| Ok(()));
+        let o = db.create("X").unwrap();
+        db.add_rule(RuleDef::new(
+            "r",
+            event("end X::Set(float x)").unwrap(),
+            "nothing",
+        ))
+        .unwrap();
+        b.iter(|| {
+            db.subscribe(o, "r").unwrap();
+            db.unsubscribe(o, "r").unwrap();
+        });
+    });
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = durable_send, recovery, rule_admin
+}
+criterion_main!(benches);

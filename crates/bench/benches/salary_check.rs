@@ -1,0 +1,74 @@
+//! E5 — the paper's Example One (salary check) on all three engines,
+//! same synthetic update stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sentinel_bench::scenarios::{adam_salary, ode_salary, sentinel_salary};
+use sentinel_bench::workload::salary_stream;
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+const EMPLOYEES: usize = 8;
+
+fn salary_check(c: &mut Criterion) {
+    let stream = salary_stream(1993, EMPLOYEES, 4096, 0.1);
+    let mut g = c.benchmark_group("e5_salary_check");
+
+    g.bench_function("sentinel", |b| {
+        let mut s = sentinel_salary(EMPLOYEES);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &stream[i % stream.len()];
+            i += 1;
+            black_box(
+                s.db.send(s.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
+                    .ok(),
+            );
+        });
+    });
+
+    g.bench_function("ode", |b| {
+        let mut o = ode_salary(EMPLOYEES);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &stream[i % stream.len()];
+            i += 1;
+            black_box(
+                o.ode
+                    .send(o.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
+                    .ok(),
+            );
+        });
+    });
+
+    g.bench_function("adam", |b| {
+        let mut a = adam_salary(EMPLOYEES);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &stream[i % stream.len()];
+            i += 1;
+            black_box(
+                a.adam
+                    .send(a.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
+                    .ok(),
+            );
+        });
+    });
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = salary_check
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E3 — subscription vs centralized rule checking (paper §3.5,
+//! advantage 1): per-update cost on a hot object as the number of rules
+//! in the system grows, Sentinel vs the ADAM-style central dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_bench::scenarios::{adam_hot_object, sentinel_hot_object};
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+fn subscription_vs_centralized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_rule_checking");
+    for total in [16usize, 256, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("sentinel_subscribed", total),
+            &total,
+            |b, &total| {
+                let (mut db, hot) = sentinel_hot_object(total, 4);
+                let mut i = 0f64;
+                b.iter(|| {
+                    i += 1.0;
+                    black_box(db.send(hot, "Set", &[Value::Float(i)]).unwrap());
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("adam_centralized", total),
+            &total,
+            |b, &total| {
+                let (mut adam, hot) = adam_hot_object(total);
+                let mut i = 0f64;
+                b.iter(|| {
+                    i += 1.0;
+                    black_box(adam.send(hot, "Set", &[Value::Float(i)]).unwrap());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+
+/// Short, CI-friendly measurement settings: the harness runs dozens of
+/// benchmark points; statistical depth matters less than coverage here.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = subscription_vs_centralized
+}
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # sentinel-bench — the experiment harness
+//!
+//! Reusable scenario builders and measurement helpers shared by the
+//! Criterion benches (`benches/`) and the table-printing experiments
+//! binary (`src/bin/experiments.rs`). Each experiment E1..E14 is indexed
+//! in DESIGN.md §6 and its measured output recorded in EXPERIMENTS.md.
+
+pub mod measure;
+pub mod scenarios;
+pub mod workload;

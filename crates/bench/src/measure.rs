@@ -1,0 +1,144 @@
+//! Tiny measurement helpers for the experiments binary.
+//!
+//! Criterion handles the statistically careful microbenchmarks; the
+//! experiments binary favours breadth (one table per paper claim) and
+//! uses median-of-runs wall time, which is plenty to establish the
+//! *shapes* the paper predicts (who wins, how things scale).
+
+use std::time::{Duration, Instant};
+
+/// Wall-time of one run of `f`.
+pub fn time_once<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// Median wall-time of `runs` runs of `f` (each run re-prepared by
+/// `setup`).
+pub fn median_time<S, T, F>(runs: usize, mut setup: S, mut f: F) -> Duration
+where
+    S: FnMut() -> T,
+    F: FnMut(T),
+{
+    assert!(runs > 0);
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let input = setup();
+            let t0 = Instant::now();
+            f(input);
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Nanoseconds per item, formatted for a table cell.
+pub fn per_item(d: Duration, items: usize) -> String {
+    if items == 0 {
+        return "-".into();
+    }
+    let ns = d.as_nanos() as f64 / items as f64;
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Items per second, formatted for a table cell.
+pub fn throughput(d: Duration, items: usize) -> String {
+    let s = d.as_secs_f64();
+    if s == 0.0 {
+        return "∞".into();
+    }
+    let per_sec = items as f64 / s;
+    if per_sec >= 1_000_000.0 {
+        format!("{:.2} M/s", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("{:.1} k/s", per_sec / 1_000.0)
+    } else {
+        format!("{per_sec:.0} /s")
+    }
+}
+
+/// A fixed-width markdown-ish table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table arity");
+        self.rows.push(cells);
+    }
+
+    /// Render as a markdown table (used verbatim in EXPERIMENTS.md).
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let body = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            format!("| {body} |")
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-|-");
+        println!("|-{sep}-|");
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_item_formats() {
+        assert_eq!(per_item(Duration::from_nanos(500), 1), "500 ns");
+        assert_eq!(per_item(Duration::from_micros(1500), 1), "1.50 ms");
+        assert_eq!(per_item(Duration::from_nanos(2500), 1), "2.50 µs");
+        assert_eq!(per_item(Duration::from_secs(1), 0), "-");
+    }
+
+    #[test]
+    fn median_is_stable_under_outliers() {
+        let mut calls = 0;
+        let d = median_time(
+            5,
+            || (),
+            |_| {
+                calls += 1;
+                if calls == 1 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            },
+        );
+        assert!(d < Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,164 @@
+//! The event/rule catalog and its persistence forms.
+//!
+//! Events and rules are first-class objects; this module defines how
+//! their *definitions* are captured in snapshots and in WAL `Meta`
+//! records so that recovery can rebuild the rule engine. Bodies
+//! (conditions, actions, method implementations) are code and are
+//! re-registered by the application after recovery, keyed by name — the
+//! same contract a recompiled C++ application had with Zeitgeist.
+
+use sentinel_events::EventExpr;
+use sentinel_object::Oid;
+use sentinel_rules::RuleDef;
+use serde::{Deserialize, Serialize};
+
+/// A named first-class event object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Application-chosen event name.
+    pub name: String,
+    /// The event object's identity in the store.
+    pub oid: Oid,
+    /// The expression the event object denotes.
+    pub expr: EventExpr,
+}
+
+/// A first-class rule object (definition + runtime flags).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleRecord {
+    /// The rule object's identity in the store.
+    pub oid: Oid,
+    /// The serializable rule definition (Figure 7's attributes).
+    pub def: RuleDef,
+    /// Whether the rule was enabled when recorded.
+    pub enabled: bool,
+}
+
+/// Catalog mutations, logged as WAL `Meta` records (tag `"catalog"`) so
+/// recovery can replay rule/event/subscription changes made after the
+/// last snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names are self-describing records
+pub enum MetaOp {
+    /// A first-class event object was defined.
+    DefineEvent(EventRecord),
+    /// A rule object was created.
+    AddRule(RuleRecord),
+    /// A rule object was deleted.
+    RemoveRule { name: String },
+    /// A rule was enabled or disabled.
+    SetEnabled { name: String, enabled: bool },
+    /// `object.Subscribe(rule)`.
+    SubscribeObject { object: Oid, rule: String },
+    /// `object.Unsubscribe(rule)`.
+    UnsubscribeObject { object: Oid, rule: String },
+    /// A class-level subscription was added.
+    SubscribeClass { class: String, rule: String },
+    /// A class-level subscription was removed.
+    UnsubscribeClass { class: String, rule: String },
+}
+
+/// Full catalog state embedded in a snapshot's `extra` payload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CatalogSnapshot {
+    /// Every named first-class event object.
+    pub events: Vec<EventRecord>,
+    /// Every rule object with its runtime flags.
+    pub rules: Vec<RuleRecord>,
+    /// (reactive object, rule name) instance subscriptions.
+    pub object_subs: Vec<(Oid, String)>,
+    /// (class name, rule name) class subscriptions.
+    pub class_subs: Vec<(String, String)>,
+}
+
+/// In-memory inverse of a catalog mutation, replayed (in reverse) when
+/// the surrounding transaction aborts. This is what makes rule and event
+/// objects "subject to the same transaction semantics" (§2) in memory,
+/// matching what the WAL's committed-only replay gives on disk.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // field names are self-describing records
+pub enum CatalogUndo {
+    /// Undo a `define_event`: forget the name.
+    EventDefined { name: String },
+    /// Undo an `add_rule`: remove the rule from the engine.
+    RuleAdded { name: String },
+    /// Undo a `remove_rule`: re-create the rule and its subscriptions.
+    RuleRemoved {
+        record: Box<RuleRecord>,
+        object_subs: Vec<Oid>,
+        class_subs: Vec<String>,
+    },
+    /// Undo an enable/disable: restore the previous flag.
+    EnabledChanged { name: String, was: bool },
+    /// Undo a subscribe: unsubscribe again.
+    ObjectSubscribed { object: Oid, rule: String },
+    /// Undo an unsubscribe: re-subscribe.
+    ObjectUnsubscribed { object: Oid, rule: String },
+    /// Undo a class subscribe.
+    ClassSubscribed { class: String, rule: String },
+    /// Undo a class unsubscribe.
+    ClassUnsubscribed { class: String, rule: String },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_events::PrimitiveEventSpec;
+
+    #[test]
+    fn meta_op_serde_round_trip() {
+        let ops = vec![
+            MetaOp::DefineEvent(EventRecord {
+                name: "e".into(),
+                oid: Oid(3),
+                expr: EventExpr::primitive(PrimitiveEventSpec::end("C", "m")),
+            }),
+            MetaOp::AddRule(RuleRecord {
+                oid: Oid(4),
+                def: RuleDef::new(
+                    "r",
+                    EventExpr::primitive(PrimitiveEventSpec::begin("C", "m")),
+                    "noop",
+                ),
+                enabled: true,
+            }),
+            MetaOp::RemoveRule { name: "r".into() },
+            MetaOp::SetEnabled {
+                name: "r".into(),
+                enabled: false,
+            },
+            MetaOp::SubscribeObject {
+                object: Oid(1),
+                rule: "r".into(),
+            },
+            MetaOp::SubscribeClass {
+                class: "C".into(),
+                rule: "r".into(),
+            },
+        ];
+        for op in ops {
+            let s = serde_json::to_string(&op).unwrap();
+            assert_eq!(serde_json::from_str::<MetaOp>(&s).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn catalog_snapshot_serde() {
+        let snap = CatalogSnapshot {
+            events: vec![],
+            rules: vec![RuleRecord {
+                oid: Oid(9),
+                def: RuleDef::new(
+                    "r",
+                    EventExpr::primitive(PrimitiveEventSpec::end("C", "m")),
+                    "noop",
+                ),
+                enabled: false,
+            }],
+            object_subs: vec![(Oid(1), "r".into())],
+            class_subs: vec![("C".into(), "r".into())],
+        };
+        let s = serde_json::to_string(&snap).unwrap();
+        assert_eq!(serde_json::from_str::<CatalogSnapshot>(&s).unwrap(), snap);
+    }
+}

@@ -1,0 +1,102 @@
+//! Database configuration.
+
+use sentinel_events::{DetectorCaps, ParamContext};
+use sentinel_storage::SyncPolicy;
+use std::path::PathBuf;
+
+/// Tunables of a [`Database`](crate::Database).
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Directory for the WAL and snapshots; `None` = in-memory only.
+    pub data_dir: Option<PathBuf>,
+    /// WAL durability (ignored without a `data_dir`).
+    pub sync: SyncPolicy,
+    /// Limit on rule-cascade depth: a rule action sends a message, whose
+    /// events trigger rules, whose actions send messages, ... The paper
+    /// does not bound this; an unbounded implementation hangs on the
+    /// first accidentally self-triggering rule.
+    pub max_cascade_depth: usize,
+    /// Default parameter context for rules that do not specify one.
+    pub default_context: ParamContext,
+    /// Occurrence-buffer caps applied to every rule detector.
+    pub detector_caps: DetectorCaps,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            data_dir: None,
+            sync: SyncPolicy::OnCommit,
+            max_cascade_depth: 64,
+            default_context: ParamContext::default(),
+            detector_caps: DetectorCaps::default(),
+        }
+    }
+}
+
+impl DbConfig {
+    /// In-memory configuration (tests, benchmarks).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// Durable configuration rooted at `dir`.
+    pub fn durable(dir: impl Into<PathBuf>) -> Self {
+        DbConfig {
+            data_dir: Some(dir.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Override the WAL sync policy.
+    pub fn sync(mut self, policy: SyncPolicy) -> Self {
+        self.sync = policy;
+        self
+    }
+
+    /// Override the cascade-depth limit.
+    pub fn max_cascade_depth(mut self, depth: usize) -> Self {
+        self.max_cascade_depth = depth;
+        self
+    }
+
+    /// Override the default parameter context.
+    pub fn default_context(mut self, ctx: ParamContext) -> Self {
+        self.default_context = ctx;
+        self
+    }
+
+    /// Path of the write-ahead log, if durable.
+    pub fn wal_path(&self) -> Option<PathBuf> {
+        self.data_dir.as_ref().map(|d| d.join("wal.log"))
+    }
+
+    /// Path of the snapshot file, if durable.
+    pub fn snapshot_path(&self) -> Option<PathBuf> {
+        self.data_dir.as_ref().map(|d| d.join("snapshot.json"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_in_memory() {
+        let c = DbConfig::default();
+        assert!(c.data_dir.is_none());
+        assert!(c.wal_path().is_none());
+        assert_eq!(c.max_cascade_depth, 64);
+    }
+
+    #[test]
+    fn durable_paths() {
+        let c = DbConfig::durable("/tmp/x").max_cascade_depth(5);
+        assert_eq!(c.wal_path().unwrap(), PathBuf::from("/tmp/x/wal.log"));
+        assert_eq!(
+            c.snapshot_path().unwrap(),
+            PathBuf::from("/tmp/x/snapshot.json")
+        );
+        assert_eq!(c.max_cascade_depth, 5);
+    }
+}

@@ -1,0 +1,1485 @@
+//! The [`Database`]: Sentinel's public face.
+
+use crate::catalog::{CatalogSnapshot, CatalogUndo, EventRecord, MetaOp, RuleRecord};
+use crate::config::DbConfig;
+use crate::index::{AttrIndex, IndexId};
+use crate::stats::DbStats;
+use sentinel_events::{
+    EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence,
+};
+use sentinel_object::{
+    ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
+    Reactivity, Result, TypeTag, Value, World,
+};
+use sentinel_rules::{
+    ConflictResolver, CouplingMode, EngineStats, Firing, ReadyFiring, RuleDef, RuleEngine, RuleId,
+    RuleStats,
+};
+use sentinel_storage::{LogRecord, Snapshot, TxnManager, UndoOp, Wal};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Names of the bootstrap meta-classes (paper Figure 3).
+pub mod meta {
+    /// Zeitgeist's persistence root.
+    pub const ZG_POS: &str = "zg-pos";
+    /// Consumers of events.
+    pub const NOTIFIABLE: &str = "Notifiable";
+    /// Producers of events.
+    pub const REACTIVE: &str = "Reactive";
+    /// First-class event objects.
+    pub const EVENT: &str = "Event";
+    /// Primitive-event subclass (Figure 5).
+    pub const EVENT_PRIMITIVE: &str = "Primitive";
+    /// Conjunction subclass (Figure 6).
+    pub const EVENT_CONJUNCTION: &str = "Conjunction";
+    /// Disjunction subclass.
+    pub const EVENT_DISJUNCTION: &str = "Disjunction";
+    /// Sequence subclass.
+    pub const EVENT_SEQUENCE: &str = "Sequence";
+    /// First-class rule objects.
+    pub const RULE: &str = "Rule";
+}
+
+/// The Sentinel database: schema + objects + events + rules +
+/// transactions, behind one handle.
+pub struct Database {
+    registry: ClassRegistry,
+    store: ObjectStore,
+    methods: MethodTable,
+    clock: LogicalClock,
+    engine: RuleEngine,
+    txn: TxnManager,
+    wal: Option<Wal>,
+    config: DbConfig,
+    stats: DbStats,
+    depth: usize,
+    /// Logical-clock value when the active transaction began; abort
+    /// prunes detector state newer than this.
+    txn_start_clock: u64,
+    /// Run detached firings inline at commit (default); `false` defers
+    /// them to an external executor.
+    inline_detached: bool,
+    indexes: Vec<AttrIndex>,
+    /// Objects mutated by the active transaction, re-indexed on abort.
+    txn_touched: Vec<Oid>,
+    events: HashMap<String, EventRecord>,
+    catalog_undo: Vec<CatalogUndo>,
+    rule_class: ClassId,
+    event_class: ClassId,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("classes", &self.registry.len())
+            .field("objects", &self.store.len())
+            .field("rules", &self.engine.rule_count())
+            .field("events", &self.events.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// A fresh in-memory database with the meta-classes bootstrapped.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::in_memory()).expect("in-memory open cannot fail")
+    }
+
+    /// Open a database with the given configuration. With a `data_dir`,
+    /// any existing snapshot + WAL are recovered first.
+    pub fn with_config(config: DbConfig) -> Result<Self> {
+        if let Some(dir) = &config.data_dir {
+            std::fs::create_dir_all(dir).map_err(|e| ObjectError::Storage(e.to_string()))?;
+            let snap_p = config.snapshot_path().expect("durable");
+            let wal_p = config.wal_path().expect("durable");
+            if snap_p.exists() || wal_p.exists() {
+                return Self::recover(config);
+            }
+        }
+        let mut db = Self::assemble(ClassRegistry::new(), ObjectStore::new(), config)?;
+        db.bootstrap_meta_classes()?;
+        Ok(db)
+    }
+
+    fn assemble(registry: ClassRegistry, store: ObjectStore, config: DbConfig) -> Result<Self> {
+        let wal = match config.wal_path() {
+            Some(p) => Some(Wal::open(p, config.sync)?),
+            None => None,
+        };
+        let mut engine = RuleEngine::new();
+        engine.set_detector_caps(config.detector_caps);
+        Ok(Database {
+            registry,
+            store,
+            methods: MethodTable::new(),
+            clock: LogicalClock::new(),
+            engine,
+            txn: TxnManager::new(),
+            wal,
+            config,
+            stats: DbStats::default(),
+            depth: 0,
+            txn_start_clock: 0,
+            inline_detached: true,
+            indexes: Vec::new(),
+            txn_touched: Vec::new(),
+            events: HashMap::new(),
+            catalog_undo: Vec::new(),
+            rule_class: ClassId(0),
+            event_class: ClassId(0),
+        })
+    }
+
+    /// Define the Figure 3 class hierarchy and the `Rule` meta-class's
+    /// reactive `Enable`/`Disable` interface. Goes through
+    /// [`define_class`](Self::define_class) so durable configurations
+    /// log the meta-schema like any other DDL.
+    fn bootstrap_meta_classes(&mut self) -> Result<()> {
+        self.define_class(ClassDecl::new(meta::ZG_POS))?;
+        self.define_class(ClassDecl::new(meta::NOTIFIABLE).parent(meta::ZG_POS))?;
+        self.define_class(ClassDecl::reactive(meta::REACTIVE).parent(meta::ZG_POS))?;
+        self.event_class = self.define_class(
+            ClassDecl::new(meta::EVENT)
+                .parent(meta::NOTIFIABLE)
+                .attr("name", TypeTag::Str)
+                .attr("expr", TypeTag::Str),
+        )?;
+        for sub in [
+            meta::EVENT_PRIMITIVE,
+            meta::EVENT_CONJUNCTION,
+            meta::EVENT_DISJUNCTION,
+            meta::EVENT_SEQUENCE,
+        ] {
+            self.define_class(ClassDecl::new(sub).parent(meta::EVENT))?;
+        }
+        // Rule is notifiable (it consumes events) *and* reactive: its
+        // Enable/Disable operations are themselves event generators, so
+        // rules can be monitored by other rules.
+        self.rule_class = self.define_class(
+            ClassDecl::reactive(meta::RULE)
+                .parent(meta::NOTIFIABLE)
+                .attr("name", TypeTag::Str)
+                .attr_with_default("enabled", TypeTag::Bool, Value::Bool(true))
+                .attr("coupling", TypeTag::Str)
+                .attr("priority", TypeTag::Int)
+                .event_method("Enable", &[], EventSpec::End)
+                .event_method("Disable", &[], EventSpec::End),
+        )?;
+        // Bodies are intercepted in dispatch (they must reach the rule
+        // engine); the registered closures document the contract.
+        self.methods.register(self.rule_class, "Enable", |_, _, _| {
+            Err(ObjectError::App(
+                "Rule::Enable is handled by the engine".into(),
+            ))
+        });
+        self.methods.register(self.rule_class, "Disable", |_, _, _| {
+            Err(ObjectError::App(
+                "Rule::Disable is handled by the engine".into(),
+            ))
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Schema & code registration
+    // ------------------------------------------------------------------
+
+    /// Define an application class. With a durable configuration the
+    /// declaration is logged so recovery can rebuild the schema even
+    /// without a checkpoint. Schema definition is DDL: it is durable
+    /// once logged and is not undone by a surrounding abort.
+    pub fn define_class(&mut self, decl: ClassDecl) -> Result<ClassId> {
+        let id = self.registry.define(decl.clone())?;
+        if self.wal.is_some() {
+            self.with_auto_txn(|db| {
+                let payload = serde_json::to_string(&decl)
+                    .map_err(|e| ObjectError::Storage(format!("serialize class decl: {e}")))?;
+                let txn = db.txn.current().ok_or(ObjectError::NoActiveTransaction)?;
+                db.log(LogRecord::Meta {
+                    txn,
+                    tag: sentinel_storage::META_CLASS_TAG.into(),
+                    payload,
+                })
+            })?;
+        }
+        Ok(id)
+    }
+
+    /// Register the body of `class::method`.
+    pub fn register_method<F>(&mut self, class: &str, method: &str, body: F) -> Result<()>
+    where
+        F: Fn(&mut dyn World, Oid, &[Value]) -> Result<Value> + Send + Sync + 'static,
+    {
+        let id = self.registry.id_of(class)?;
+        self.methods.register(id, method, body);
+        Ok(())
+    }
+
+    /// Register `method(x)` as a store of `x` into `attr`.
+    pub fn register_setter(&mut self, class: &str, method: &str, attr: &str) -> Result<()> {
+        let id = self.registry.id_of(class)?;
+        self.methods.register_setter(id, method, attr);
+        Ok(())
+    }
+
+    /// Register `method()` as a read of `attr`.
+    pub fn register_getter(&mut self, class: &str, method: &str, attr: &str) -> Result<()> {
+        let id = self.registry.id_of(class)?;
+        self.methods.register_getter(id, method, attr);
+        Ok(())
+    }
+
+    /// Register a named rule-condition body.
+    pub fn register_condition<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut dyn World, &Firing) -> Result<bool> + Send + Sync + 'static,
+    {
+        self.engine.bodies.register_condition(name, f);
+    }
+
+    /// Register a named rule-action body.
+    pub fn register_action<F>(&mut self, name: &str, f: F)
+    where
+        F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
+    {
+        self.engine.bodies.register_action(name, f);
+    }
+
+    /// Install a different conflict-resolution strategy.
+    pub fn set_conflict_resolver(&mut self, r: Box<dyn ConflictResolver>) {
+        self.engine.set_resolver(r);
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin an explicit transaction.
+    pub fn begin(&mut self) -> Result<()> {
+        let id = self.txn.begin()?;
+        self.txn_start_clock = self.clock.now();
+        self.engine.begin_capture();
+        self.log(LogRecord::Begin { txn: id })
+    }
+
+    /// Is a transaction active?
+    pub fn in_txn(&self) -> bool {
+        self.txn.in_txn()
+    }
+
+    /// Commit the active transaction: run deferred rules (inside it),
+    /// make it durable, then run detached firings in follow-on
+    /// transactions (unless inline detached execution is off — see
+    /// [`set_inline_detached`](Self::set_inline_detached)).
+    pub fn commit(&mut self) -> Result<()> {
+        self.commit_internal()?;
+        if self.inline_detached {
+            self.run_detached()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// When `false`, commits leave detached firings queued for an
+    /// external executor ([`run_pending_detached`](Self::run_pending_detached));
+    /// `SharedDatabase` uses this to run them on a background thread.
+    pub fn set_inline_detached(&mut self, inline: bool) {
+        self.inline_detached = inline;
+    }
+
+    /// Detached firings awaiting execution.
+    pub fn pending_detached(&self) -> usize {
+        self.engine.pending().1
+    }
+
+    /// Execute queued detached firings now (each in its own
+    /// transaction); returns how many ran.
+    pub fn run_pending_detached(&mut self) -> Result<u64> {
+        let before = self.stats.detached_runs;
+        self.run_detached()?;
+        Ok(self.stats.detached_runs - before)
+    }
+
+    /// Abort the active transaction: undo object mutations and catalog
+    /// mutations, discard pending rule work.
+    pub fn abort(&mut self) -> Result<()> {
+        if !self.txn.in_txn() {
+            return Err(ObjectError::NoActiveTransaction);
+        }
+        self.rollback();
+        Ok(())
+    }
+
+    fn commit_internal(&mut self) -> Result<()> {
+        if !self.txn.in_txn() {
+            return Err(ObjectError::NoActiveTransaction);
+        }
+        // Deferred rules run at end-of-transaction, inside it. Their
+        // actions may queue more deferred work; drain to a fixpoint,
+        // bounded by the cascade limit.
+        let mut rounds = 0usize;
+        loop {
+            let batch = self.engine.take_deferred();
+            if batch.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds > self.config.max_cascade_depth {
+                let e = ObjectError::CascadeDepthExceeded {
+                    limit: self.config.max_cascade_depth,
+                };
+                self.rollback();
+                return Err(e);
+            }
+            for f in &batch {
+                if let Err(e) = self.execute_firing(f) {
+                    self.rollback();
+                    return Err(e);
+                }
+            }
+        }
+        let id = self.txn.commit()?;
+        self.engine.commit_capture();
+        self.log(LogRecord::ClockAdvance {
+            at: self.clock.now(),
+        })?;
+        self.log(LogRecord::Commit { txn: id })?;
+        self.catalog_undo.clear();
+        self.txn_touched.clear();
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    /// Execute queued detached firings, each in its own transaction. An
+    /// abort in one detached firing does not affect the others.
+    fn run_detached(&mut self) -> Result<()> {
+        let mut rounds = 0usize;
+        loop {
+            let batch = self.engine.take_detached();
+            if batch.is_empty() {
+                return Ok(());
+            }
+            rounds += 1;
+            if rounds > self.config.max_cascade_depth {
+                return Err(ObjectError::CascadeDepthExceeded {
+                    limit: self.config.max_cascade_depth,
+                });
+            }
+            for f in batch {
+                self.stats.detached_runs += 1;
+                let tid = self.txn.begin()?;
+                self.log(LogRecord::Begin { txn: tid })?;
+                match self.execute_firing(&f) {
+                    Ok(()) => self.commit_internal()?,
+                    Err(_) => self.rollback(),
+                }
+            }
+        }
+    }
+
+    /// Undo everything the active transaction did (store + catalog),
+    /// discard pending firings, and log the abort.
+    fn rollback(&mut self) {
+        for u in std::mem::take(&mut self.catalog_undo).into_iter().rev() {
+            self.apply_catalog_undo(u);
+        }
+        if let Ok(id) = self.txn.abort(&mut self.store) {
+            let _ = self.log(LogRecord::Abort { txn: id });
+        }
+        self.engine.discard_pending();
+        // Restore the pre-transaction detection state of every rule the
+        // transaction touched: events generated by the rolled-back
+        // transaction must not later complete a composite event, and
+        // occurrences consumed by a rolled-back detection must be
+        // re-armed. As a belt-and-braces measure, prune anything newer
+        // than the transaction start that a restore could have missed
+        // (e.g. a rule created during the transaction).
+        self.engine.abort_capture();
+        // The store-level undo bypassed index maintenance; refresh every
+        // object the transaction touched from its restored state.
+        for oid in std::mem::take(&mut self.txn_touched) {
+            let _ = self.index_refresh(oid);
+        }
+        let ts = self.txn_start_clock;
+        let ids: Vec<RuleId> = self.engine.iter_rules().map(|r| r.id).collect();
+        for id in ids {
+            if let Ok(r) = self.engine.rule_mut(id) {
+                r.detector.prune_newer_than(ts);
+            }
+        }
+        self.stats.aborts += 1;
+    }
+
+    fn apply_catalog_undo(&mut self, u: CatalogUndo) {
+        match u {
+            CatalogUndo::EventDefined { name } => {
+                self.events.remove(&name);
+            }
+            CatalogUndo::RuleAdded { name } => {
+                if let Ok(id) = self.engine.id_of(&name) {
+                    let _ = self.engine.remove_rule(id);
+                }
+            }
+            CatalogUndo::RuleRemoved {
+                record,
+                object_subs,
+                class_subs,
+            } => {
+                if let Ok(id) =
+                    self.engine
+                        .add_rule_unchecked(record.def.clone(), record.oid, &self.registry)
+                {
+                    if !record.enabled {
+                        let _ = self.engine.disable(id);
+                    }
+                    for o in object_subs {
+                        self.engine.subscriptions.subscribe_object(o, id);
+                    }
+                    for c in class_subs {
+                        if let Ok(cid) = self.registry.id_of(&c) {
+                            self.engine.subscriptions.subscribe_class(cid, id);
+                        }
+                    }
+                }
+            }
+            CatalogUndo::EnabledChanged { name, was } => {
+                if let Ok(id) = self.engine.id_of(&name) {
+                    let _ = if was {
+                        self.engine.enable(id)
+                    } else {
+                        self.engine.disable(id)
+                    };
+                }
+            }
+            CatalogUndo::ObjectSubscribed { object, rule } => {
+                if let Ok(id) = self.engine.id_of(&rule) {
+                    self.engine.subscriptions.unsubscribe_object(object, id);
+                }
+            }
+            CatalogUndo::ObjectUnsubscribed { object, rule } => {
+                if let Ok(id) = self.engine.id_of(&rule) {
+                    self.engine.subscriptions.subscribe_object(object, id);
+                }
+            }
+            CatalogUndo::ClassSubscribed { class, rule } => {
+                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class))
+                {
+                    self.engine.subscriptions.unsubscribe_class(cid, id);
+                }
+            }
+            CatalogUndo::ClassUnsubscribed { class, rule } => {
+                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class))
+                {
+                    self.engine.subscriptions.subscribe_class(cid, id);
+                }
+            }
+        }
+    }
+
+    /// Run `f` inside the active transaction, or inside a fresh
+    /// auto-committed one when none is active (mirroring the paper's
+    /// implicit per-message transactions).
+    fn with_auto_txn<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.txn.in_txn() {
+            let r = f(self);
+            if let Err(e) = &r {
+                if e.is_abort() {
+                    self.rollback();
+                }
+            }
+            r
+        } else {
+            self.begin()?;
+            match f(self) {
+                Ok(v) => {
+                    self.commit()?;
+                    Ok(v)
+                }
+                Err(e) => {
+                    if self.txn.in_txn() {
+                        self.rollback();
+                    }
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Create an instance of the named class (default-initialised).
+    pub fn create(&mut self, class: &str) -> Result<Oid> {
+        let id = self.registry.id_of(class)?;
+        self.with_auto_txn(|db| db.create_internal(id))
+    }
+
+    /// Create an instance and initialise some attributes.
+    pub fn create_with(&mut self, class: &str, attrs: &[(&str, Value)]) -> Result<Oid> {
+        let id = self.registry.id_of(class)?;
+        self.with_auto_txn(|db| {
+            let oid = db.create_internal(id)?;
+            for (attr, value) in attrs {
+                db.set_attr_internal(oid, attr, value.clone())?;
+            }
+            Ok(oid)
+        })
+    }
+
+    /// Delete an object, dropping its consumer list.
+    pub fn delete(&mut self, oid: Oid) -> Result<()> {
+        self.with_auto_txn(|db| db.delete_internal(oid))
+    }
+
+    /// Read an attribute (no transaction required).
+    pub fn get_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        self.store.get_attr(&self.registry, oid, attr)
+    }
+
+    /// Write an attribute directly. Note: direct writes bypass methods
+    /// and therefore generate **no events** — the paper's model is that
+    /// monitored state changes happen through event-generating methods.
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
+        self.with_auto_txn(|db| db.set_attr_internal(oid, attr, value))
+    }
+
+    /// Dynamic class of an object.
+    pub fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        self.store.class_of(oid)
+    }
+
+    /// All instances of a class (subclass instances included).
+    pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
+        let id = self.registry.id_of(class)?;
+        Ok(self.store.extent(&self.registry, id).collect())
+    }
+
+    /// Send a message: the externally initiated dispatch entry point.
+    /// Wraps the call in an auto-committed transaction when none is
+    /// active; an abort raised by a triggered rule rolls everything back.
+    pub fn send(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        self.with_auto_txn(|db| db.dispatch(receiver, method, args))
+    }
+
+    fn create_internal(&mut self, class: ClassId) -> Result<Oid> {
+        let oid = self.store.create(&self.registry, class);
+        self.txn.record(UndoOp::Create { oid })?;
+        let slots = self.store.state(oid)?.slots.clone();
+        let class_name = self.registry.get(class).name.clone();
+        let txn = self.txn.current().expect("in txn");
+        self.log(LogRecord::Create {
+            txn,
+            oid,
+            class: class_name,
+            slots,
+        })?;
+        self.index_refresh(oid)?;
+        self.txn_touched.push(oid);
+        Ok(oid)
+    }
+
+    fn set_attr_internal(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
+        let class = self.store.class_of(oid)?;
+        let slot = self
+            .registry
+            .get(class)
+            .slot_of(attr)
+            .ok_or_else(|| ObjectError::UnknownAttribute {
+                class: self.registry.get(class).name.clone(),
+                attribute: attr.to_string(),
+            })?;
+        let old = self
+            .store
+            .set_attr(&self.registry, oid, attr, value.clone())?;
+        self.txn.record(UndoOp::SetSlot {
+            oid,
+            slot,
+            old: old.clone(),
+        })?;
+        let txn = self.txn.current().expect("in txn");
+        self.log(LogRecord::SetAttr {
+            txn,
+            oid,
+            attr: attr.to_string(),
+            old,
+            new: value,
+        })?;
+        if !self.indexes.is_empty() {
+            self.index_refresh_attr(oid, class, attr)?;
+            self.txn_touched.push(oid);
+        }
+        Ok(())
+    }
+
+    fn delete_internal(&mut self, oid: Oid) -> Result<()> {
+        let state = self.store.delete(oid)?;
+        let class_name = self.registry.get(state.class).name.clone();
+        let slots = state.slots.clone();
+        self.txn.record(UndoOp::Delete { oid, state })?;
+        self.engine.subscriptions.remove_object(oid);
+        let txn = self.txn.current().expect("in txn");
+        self.log(LogRecord::Delete {
+            txn,
+            oid,
+            class: class_name,
+            slots,
+        })?;
+        for idx in &mut self.indexes {
+            idx.remove(oid);
+        }
+        self.txn_touched.push(oid);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch: the reactive message send
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        if self.depth >= self.config.max_cascade_depth {
+            return Err(ObjectError::CascadeDepthExceeded {
+                limit: self.config.max_cascade_depth,
+            });
+        }
+        self.depth += 1;
+        let out = self.dispatch_inner(receiver, method, args);
+        self.depth -= 1;
+        out
+    }
+
+    fn dispatch_inner(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        self.stats.sends += 1;
+        let class = self.store.class_of(receiver)?;
+        let (owner, def, body) = self.methods.resolve(&self.registry, class, method, args)?;
+        // Visibility (paper §1, difference #2): externally initiated
+        // sends (depth 1 — `dispatch` already incremented) may only
+        // reach public methods. Nested sends from method/rule bodies
+        // stand in for intra-class calls and may reach anything — a
+        // simplification of C++ access control, but it preserves the
+        // property the paper relies on: private event generators
+        // (Figure 8's `event begin Change-Salary`) still raise events
+        // while staying uncallable from outside.
+        if self.depth <= 1 && def.visibility != sentinel_object::Visibility::Public {
+            return Err(ObjectError::VisibilityViolation {
+                class: self.registry.get(owner).name.clone(),
+                method: method.to_string(),
+            });
+        }
+        let espec = if self.registry.get(class).reactivity == Reactivity::Passive {
+            EventSpec::None
+        } else {
+            def.events
+        };
+        let params: Arc<[Value]> = if espec == EventSpec::None {
+            Arc::from(Vec::new())
+        } else {
+            Arc::from(args.to_vec())
+        };
+        let method_name: Arc<str> = Arc::from(method);
+
+        if espec.begin() {
+            self.raise(
+                receiver,
+                class,
+                owner,
+                method_name.clone(),
+                EventModifier::Begin,
+                params.clone(),
+            )?;
+        }
+
+        // Rule meta-operations are intercepted: they must reach the rule
+        // engine, which generic native bodies cannot see.
+        let result = if self.registry.is_subclass(class, self.rule_class)
+            && (method == "Enable" || method == "Disable")
+        {
+            self.toggle_rule_by_oid(receiver, method == "Enable")?;
+            Value::Null
+        } else {
+            body(self, receiver, args)?
+        };
+
+        if espec.end() {
+            self.raise(receiver, class, owner, method_name, EventModifier::End, params)?;
+        }
+        Ok(result)
+    }
+
+    /// Generate a primitive event and run the immediate rules it
+    /// triggers, in conflict-resolution order.
+    fn raise(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        owner: ClassId,
+        method: Arc<str>,
+        modifier: EventModifier,
+        params: Arc<[Value]>,
+    ) -> Result<()> {
+        self.stats.events_generated += 1;
+        let occ = PrimitiveOccurrence {
+            at: self.clock.tick(),
+            oid,
+            class,
+            owner,
+            method,
+            modifier,
+            params,
+        };
+        let immediate = self.engine.on_occurrence(&self.registry, &occ)?;
+        for f in &immediate {
+            self.execute_firing(f)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate a triggered rule's condition and, if it holds, run its
+    /// action. Bodies receive the database itself as their `World`.
+    fn execute_firing(&mut self, f: &ReadyFiring) -> Result<()> {
+        self.stats.condition_evals += 1;
+        if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
+            r.stats.condition_evals += 1;
+        }
+        let held = (f.condition)(self, &f.firing)?;
+        if !held {
+            return Ok(());
+        }
+        self.stats.condition_true += 1;
+        if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
+            r.stats.condition_true += 1;
+            r.stats.actions_run += 1;
+        }
+        self.stats.actions_run += 1;
+        if self.depth >= self.config.max_cascade_depth {
+            return Err(ObjectError::CascadeDepthExceeded {
+                limit: self.config.max_cascade_depth,
+            });
+        }
+        self.depth += 1;
+        let out = (f.action)(self, &f.firing);
+        self.depth -= 1;
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // First-class events
+    // ------------------------------------------------------------------
+
+    /// Create a named first-class event object from an expression. The
+    /// object is an instance of the matching `Event` subclass
+    /// (Figure 5) and is persisted like any other object.
+    pub fn define_event(&mut self, name: &str, expr: EventExpr) -> Result<Oid> {
+        if self.events.contains_key(name) {
+            return Err(ObjectError::App(format!("event `{name}` already defined")));
+        }
+        // Validate the expression against the schema now.
+        sentinel_events::DetectorInstance::compile_default(&expr, &self.registry)?;
+        let subclass = match &expr {
+            EventExpr::Primitive(_) => meta::EVENT_PRIMITIVE,
+            EventExpr::And(..) => meta::EVENT_CONJUNCTION,
+            EventExpr::Or(..) => meta::EVENT_DISJUNCTION,
+            EventExpr::Seq(..) => meta::EVENT_SEQUENCE,
+            _ => meta::EVENT,
+        };
+        let class = self.registry.id_of(subclass)?;
+        let expr_json = serde_json::to_string(&expr)
+            .map_err(|e| ObjectError::Storage(format!("serialize event expr: {e}")))?;
+        let name_owned = name.to_string();
+        self.with_auto_txn(move |db| {
+            let oid = db.create_internal(class)?;
+            db.set_attr_internal(oid, "name", Value::Str(name_owned.clone()))?;
+            db.set_attr_internal(oid, "expr", Value::Str(expr_json))?;
+            let record = EventRecord {
+                name: name_owned.clone(),
+                oid,
+                expr,
+            };
+            db.events.insert(name_owned.clone(), record.clone());
+            db.catalog_undo
+                .push(CatalogUndo::EventDefined { name: name_owned });
+            db.log_meta(MetaOp::DefineEvent(record))?;
+            Ok(oid)
+        })
+    }
+
+    /// The expression of a named event object.
+    pub fn event_expr(&self, name: &str) -> Result<EventExpr> {
+        self.events
+            .get(name)
+            .map(|r| r.expr.clone())
+            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
+    }
+
+    /// The store oid of a named event object.
+    pub fn event_oid(&self, name: &str) -> Result<Oid> {
+        self.events
+            .get(name)
+            .map(|r| r.oid)
+            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // First-class rules
+    // ------------------------------------------------------------------
+
+    /// Create a rule object. Its condition/action bodies must already be
+    /// registered. Returns the rule object's oid.
+    pub fn add_rule(&mut self, mut def: RuleDef) -> Result<Oid> {
+        if def.context == ParamContext::default() {
+            def.context = self.config.default_context;
+        }
+        let rule_class = self.rule_class;
+        self.with_auto_txn(move |db| {
+            let oid = db.create_internal(rule_class)?;
+            db.set_attr_internal(oid, "name", Value::Str(def.name.clone()))?;
+            db.set_attr_internal(oid, "coupling", Value::Str(def.coupling.name().into()))?;
+            db.set_attr_internal(oid, "priority", Value::Int(def.priority as i64))?;
+            db.engine.add_rule(def.clone(), oid, &db.registry)?;
+            db.catalog_undo.push(CatalogUndo::RuleAdded {
+                name: def.name.clone(),
+            });
+            db.log_meta(MetaOp::AddRule(RuleRecord {
+                oid,
+                def,
+                enabled: true,
+            }))?;
+            Ok(oid)
+        })
+    }
+
+    /// Declare a class-level rule (paper Figure 9): the rule is created
+    /// and subscribed to the whole class, so it applies to every present
+    /// and future instance (and instances of subclasses).
+    pub fn add_class_rule(&mut self, class: &str, def: RuleDef) -> Result<Oid> {
+        let name = def.name.clone();
+        let oid = self.add_rule(def)?;
+        self.subscribe_class(class, &name)?;
+        Ok(oid)
+    }
+
+    /// Delete a rule and its rule object.
+    pub fn remove_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let rule = self.engine.rule(id)?;
+        let oid = rule.oid;
+        let enabled = rule.enabled;
+        let object_subs = self.engine.subscriptions.objects_of(id);
+        let class_ids = self.engine.subscriptions.classes_of(id);
+        let class_subs: Vec<String> = class_ids
+            .iter()
+            .map(|&c| self.registry.get(c).name.clone())
+            .collect();
+        let name_owned = name.to_string();
+        self.with_auto_txn(move |db| {
+            let def = db.engine.remove_rule(id)?;
+            db.delete_internal(oid)?;
+            db.catalog_undo.push(CatalogUndo::RuleRemoved {
+                record: Box::new(RuleRecord { oid, def, enabled }),
+                object_subs,
+                class_subs,
+            });
+            db.log_meta(MetaOp::RemoveRule { name: name_owned })?;
+            Ok(())
+        })
+    }
+
+    /// Enable a rule by name. Equivalent to sending `Enable` to the rule
+    /// object (which additionally generates the rule's own events).
+    pub fn enable_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let oid = self.engine.rule(id)?.oid;
+        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, true))
+    }
+
+    /// Disable a rule by name: it stops receiving events and its partial
+    /// detector state is discarded.
+    pub fn disable_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let oid = self.engine.rule(id)?.oid;
+        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, false))
+    }
+
+    fn toggle_rule_by_oid(&mut self, oid: Oid, enable: bool) -> Result<()> {
+        let id = self
+            .engine
+            .id_of_oid(oid)
+            .ok_or_else(|| ObjectError::UnknownRule(format!("no rule object at {oid}")))?;
+        let was = self.engine.rule(id)?.enabled;
+        if was == enable {
+            return Ok(());
+        }
+        let name = self.engine.rule(id)?.def.name.clone();
+        if enable {
+            self.engine.enable(id)?;
+        } else {
+            self.engine.disable(id)?;
+        }
+        self.set_attr_internal(oid, "enabled", Value::Bool(enable))?;
+        self.catalog_undo
+            .push(CatalogUndo::EnabledChanged {
+                name: name.clone(),
+                was,
+            });
+        self.log_meta(MetaOp::SetEnabled { name, enabled: enable })
+    }
+
+    /// The rule object's oid (so other rules can subscribe to it).
+    pub fn rule_oid(&self, name: &str) -> Result<Oid> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.oid)
+    }
+
+    /// Is the rule currently enabled?
+    pub fn rule_enabled(&self, name: &str) -> Result<bool> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.enabled)
+    }
+
+    /// Per-rule counters.
+    pub fn rule_stats(&self, name: &str) -> Result<RuleStats> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.stats)
+    }
+
+    /// Occurrences buffered by a rule's detector (experiment E12).
+    pub fn rule_detector_buffered(&self, name: &str) -> Result<usize> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.detector.buffered())
+    }
+
+    /// Names of all rules.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.engine
+            .iter_rules()
+            .map(|r| r.def.name.clone())
+            .collect()
+    }
+
+    /// Convenience: install an *observer* — a notifiable consumer that
+    /// runs a callback on every detection of `expr`, with no condition
+    /// and no effect on the database unless the callback makes one. An
+    /// observer is exactly a rule whose action is the callback (the
+    /// paper's point that rules are just one kind of notifiable object);
+    /// connect it with [`subscribe`](Self::subscribe) /
+    /// [`subscribe_class`](Self::subscribe_class) like any rule.
+    pub fn observe<F>(&mut self, name: &str, expr: EventExpr, callback: F) -> Result<Oid>
+    where
+        F: Fn(&Firing) + Send + Sync + 'static,
+    {
+        let action_name = format!("__observer::{name}");
+        self.register_action(&action_name, move |_w, firing| {
+            callback(firing);
+            Ok(())
+        });
+        self.add_rule(RuleDef::new(name, expr, action_name))
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriptions
+    // ------------------------------------------------------------------
+
+    /// `object.Subscribe(rule)` — the rule starts consuming the events
+    /// generated by this (reactive) object.
+    pub fn subscribe(&mut self, object: Oid, rule: &str) -> Result<()> {
+        let id = self.engine.id_of(rule)?;
+        let class = self.store.class_of(object)?;
+        if self.registry.get(class).reactivity != Reactivity::Reactive {
+            return Err(ObjectError::App(format!(
+                "object {object} is of passive class `{}` and generates no events",
+                self.registry.get(class).name
+            )));
+        }
+        let rule_name = rule.to_string();
+        self.with_auto_txn(move |db| {
+            db.engine.subscriptions.subscribe_object(object, id);
+            db.catalog_undo.push(CatalogUndo::ObjectSubscribed {
+                object,
+                rule: rule_name.clone(),
+            });
+            db.log_meta(MetaOp::SubscribeObject {
+                object,
+                rule: rule_name,
+            })
+        })
+    }
+
+    /// Reverse of [`subscribe`](Self::subscribe).
+    pub fn unsubscribe(&mut self, object: Oid, rule: &str) -> Result<()> {
+        let id = self.engine.id_of(rule)?;
+        let rule_name = rule.to_string();
+        self.with_auto_txn(move |db| {
+            db.engine.subscriptions.unsubscribe_object(object, id);
+            db.catalog_undo.push(CatalogUndo::ObjectUnsubscribed {
+                object,
+                rule: rule_name.clone(),
+            });
+            db.log_meta(MetaOp::UnsubscribeObject {
+                object,
+                rule: rule_name,
+            })
+        })
+    }
+
+    /// Subscribe a rule to all instances of a class, present and future
+    /// (class-level rule association).
+    pub fn subscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+        let id = self.engine.id_of(rule)?;
+        let cid = self.registry.id_of(class)?;
+        if self.registry.get(cid).reactivity != Reactivity::Reactive {
+            return Err(ObjectError::App(format!(
+                "class `{class}` is passive and generates no events"
+            )));
+        }
+        let (class_name, rule_name) = (class.to_string(), rule.to_string());
+        self.with_auto_txn(move |db| {
+            db.engine.subscriptions.subscribe_class(cid, id);
+            db.catalog_undo.push(CatalogUndo::ClassSubscribed {
+                class: class_name.clone(),
+                rule: rule_name.clone(),
+            });
+            db.log_meta(MetaOp::SubscribeClass {
+                class: class_name,
+                rule: rule_name,
+            })
+        })
+    }
+
+    /// Reverse of [`subscribe_class`](Self::subscribe_class).
+    pub fn unsubscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+        let id = self.engine.id_of(rule)?;
+        let cid = self.registry.id_of(class)?;
+        let (class_name, rule_name) = (class.to_string(), rule.to_string());
+        self.with_auto_txn(move |db| {
+            db.engine.subscriptions.unsubscribe_class(cid, id);
+            db.catalog_undo.push(CatalogUndo::ClassUnsubscribed {
+                class: class_name.clone(),
+                rule: rule_name.clone(),
+            });
+            db.log_meta(MetaOp::UnsubscribeClass {
+                class: class_name,
+                rule: rule_name,
+            })
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Attribute indexes
+    // ------------------------------------------------------------------
+
+    /// Create an ordered index over `class.attr` (subclass instances
+    /// included), built from the current extent. Indexes are in-memory
+    /// access paths and are rebuilt by the application after recovery.
+    pub fn create_index(&mut self, class: &str, attr: &str) -> Result<IndexId> {
+        let cid = self.registry.id_of(class)?;
+        if self.registry.get(cid).slot_of(attr).is_none() {
+            return Err(ObjectError::UnknownAttribute {
+                class: class.to_string(),
+                attribute: attr.to_string(),
+            });
+        }
+        if self
+            .indexes
+            .iter()
+            .any(|i| i.class == cid && i.attr == attr)
+        {
+            return Err(ObjectError::App(format!(
+                "index on `{class}.{attr}` already exists"
+            )));
+        }
+        let mut idx = AttrIndex::new(cid, attr);
+        let oids: Vec<Oid> = self.store.extent(&self.registry, cid).collect();
+        for oid in oids {
+            let v = self.store.get_attr(&self.registry, oid, attr)?;
+            idx.upsert(oid, v)?;
+        }
+        self.indexes.push(idx);
+        Ok(IndexId(self.indexes.len() - 1))
+    }
+
+    /// Drop an index.
+    pub fn drop_index(&mut self, class: &str, attr: &str) -> Result<()> {
+        let cid = self.registry.id_of(class)?;
+        let before = self.indexes.len();
+        self.indexes.retain(|i| !(i.class == cid && i.attr == attr));
+        if self.indexes.len() == before {
+            return Err(ObjectError::App(format!(
+                "no index on `{class}.{attr}`"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Indexed range lookup: oids of `class` instances whose `attr` lies
+    /// in `[lo, hi]` (inclusive, either bound optional), in key order.
+    /// Errors if no matching index exists.
+    pub fn index_range(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    ) -> Result<Vec<Oid>> {
+        let cid = self.registry.id_of(class)?;
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
+        Ok(idx.range(lo.as_ref(), hi.as_ref()))
+    }
+
+    /// Indexed exact lookup.
+    pub fn index_get(&self, class: &str, attr: &str, key: &Value) -> Result<Vec<Oid>> {
+        let cid = self.registry.id_of(class)?;
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
+        Ok(idx.get(key))
+    }
+
+    /// If an index exactly covers `class.attr`, return its candidates in
+    /// `[lo, hi]`; used by the query layer.
+    pub(crate) fn index_candidates(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        let cid = self.registry.id_of(class).ok()?;
+        self.indexes
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .map(|i| i.range(lo, hi))
+    }
+
+    /// Re-index one attribute of one object after a write.
+    fn index_refresh_attr(&mut self, oid: Oid, class: ClassId, attr: &str) -> Result<()> {
+        for i in 0..self.indexes.len() {
+            if self.indexes[i].attr == attr
+                && self.registry.is_subclass(class, self.indexes[i].class)
+            {
+                let v = self.store.get_attr(&self.registry, oid, attr)?;
+                self.indexes[i].upsert(oid, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-index every applicable attribute of one object from its
+    /// current state (or remove it everywhere if it no longer exists).
+    fn index_refresh(&mut self, oid: Oid) -> Result<()> {
+        if self.indexes.is_empty() {
+            return Ok(());
+        }
+        let Ok(class) = self.store.class_of(oid) else {
+            for idx in &mut self.indexes {
+                idx.remove(oid);
+            }
+            return Ok(());
+        };
+        for i in 0..self.indexes.len() {
+            let applicable = self.registry.is_subclass(class, self.indexes[i].class)
+                && self.registry.get(class).slot_of(&self.indexes[i].attr).is_some();
+            if applicable {
+                let v = self
+                    .store
+                    .get_attr(&self.registry, oid, &self.indexes[i].attr)?;
+                self.indexes[i].upsert(oid, v)?;
+            } else {
+                self.indexes[i].remove(oid);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    fn log(&mut self, record: LogRecord) -> Result<()> {
+        match &mut self.wal {
+            Some(w) => w.append(&record),
+            None => Ok(()),
+        }
+    }
+
+    fn log_meta(&mut self, op: MetaOp) -> Result<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let txn = self.txn.current().ok_or(ObjectError::NoActiveTransaction)?;
+        let payload = serde_json::to_string(&op)
+            .map_err(|e| ObjectError::Storage(format!("serialize meta op: {e}")))?;
+        self.log(LogRecord::Meta {
+            txn,
+            tag: "catalog".into(),
+            payload,
+        })
+    }
+
+    fn catalog_snapshot(&self) -> CatalogSnapshot {
+        let mut events: Vec<EventRecord> = self.events.values().cloned().collect();
+        events.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut rules: Vec<RuleRecord> = Vec::new();
+        let mut object_subs = Vec::new();
+        let mut class_subs = Vec::new();
+        for r in self.engine.iter_rules() {
+            rules.push(RuleRecord {
+                oid: r.oid,
+                def: r.def.clone(),
+                enabled: r.enabled,
+            });
+            for o in self.engine.subscriptions.objects_of(r.id) {
+                object_subs.push((o, r.def.name.clone()));
+            }
+            for c in self.engine.subscriptions.classes_of(r.id) {
+                class_subs.push((self.registry.get(c).name.clone(), r.def.name.clone()));
+            }
+        }
+        rules.sort_by(|a, b| a.def.name.cmp(&b.def.name));
+        object_subs.sort();
+        class_subs.sort();
+        CatalogSnapshot {
+            events,
+            rules,
+            object_subs,
+            class_subs,
+        }
+    }
+
+    /// Write a snapshot and truncate the WAL. No transaction may be
+    /// active.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.txn.in_txn() {
+            return Err(ObjectError::TransactionAlreadyActive);
+        }
+        let Some(path) = self.config.snapshot_path() else {
+            return Err(ObjectError::Storage(
+                "checkpoint requires a durable configuration (data_dir)".into(),
+            ));
+        };
+        let extra = serde_json::to_string(&self.catalog_snapshot())
+            .map_err(|e| ObjectError::Storage(format!("serialize catalog: {e}")))?;
+        Snapshot::capture(&self.registry, &self.store, self.clock.now(), extra).write(path)?;
+        if let Some(w) = &mut self.wal {
+            w.truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Recover a database from its data directory. Method bodies and
+    /// rule condition/action bodies are code and must be re-registered
+    /// by the application afterwards (by name); a rule whose bodies are
+    /// missing fails cleanly when it fires.
+    pub fn recover(config: DbConfig) -> Result<Self> {
+        let snap_p = config
+            .snapshot_path()
+            .ok_or_else(|| ObjectError::Storage("recover requires data_dir".into()))?;
+        let wal_p = config.wal_path().expect("durable");
+        let rec = sentinel_storage::recover(&snap_p, &wal_p)?;
+        let fresh = rec.registry.is_empty();
+        let mut db = Self::assemble(rec.registry, rec.store, config)?;
+        db.txn.set_floor(rec.max_txn);
+        db.clock.advance_to(rec.clock);
+        if fresh {
+            db.bootstrap_meta_classes()?;
+        } else {
+            db.rule_class = db.registry.id_of(meta::RULE)?;
+            db.event_class = db.registry.id_of(meta::EVENT)?;
+            // Re-register the intercepted Rule methods.
+            db.methods.register(db.rule_class, "Enable", |_, _, _| {
+                Err(ObjectError::App("handled by the engine".into()))
+            });
+            db.methods.register(db.rule_class, "Disable", |_, _, _| {
+                Err(ObjectError::App("handled by the engine".into()))
+            });
+        }
+        // Catalog: snapshot first, then committed meta records in order.
+        if !rec.extra.is_empty() {
+            let snap: CatalogSnapshot = serde_json::from_str(&rec.extra)
+                .map_err(|e| ObjectError::Storage(format!("parse catalog snapshot: {e}")))?;
+            db.apply_catalog_snapshot(snap)?;
+        }
+        for (_txn, tag, payload) in &rec.meta {
+            if tag != "catalog" {
+                continue;
+            }
+            let op: MetaOp = serde_json::from_str(payload)
+                .map_err(|e| ObjectError::Storage(format!("parse meta op: {e}")))?;
+            db.apply_meta_op(op)?;
+        }
+        Ok(db)
+    }
+
+    fn apply_catalog_snapshot(&mut self, snap: CatalogSnapshot) -> Result<()> {
+        for e in snap.events {
+            self.events.insert(e.name.clone(), e);
+        }
+        for r in snap.rules {
+            let id = self
+                .engine
+                .add_rule_unchecked(r.def, r.oid, &self.registry)?;
+            if !r.enabled {
+                self.engine.disable(id)?;
+            }
+        }
+        for (object, rule) in snap.object_subs {
+            let id = self.engine.id_of(&rule)?;
+            self.engine.subscriptions.subscribe_object(object, id);
+        }
+        for (class, rule) in snap.class_subs {
+            let id = self.engine.id_of(&rule)?;
+            let cid = self.registry.id_of(&class)?;
+            self.engine.subscriptions.subscribe_class(cid, id);
+        }
+        Ok(())
+    }
+
+    fn apply_meta_op(&mut self, op: MetaOp) -> Result<()> {
+        match op {
+            MetaOp::DefineEvent(e) => {
+                self.events.insert(e.name.clone(), e);
+            }
+            MetaOp::AddRule(r) => {
+                let id = self
+                    .engine
+                    .add_rule_unchecked(r.def, r.oid, &self.registry)?;
+                if !r.enabled {
+                    self.engine.disable(id)?;
+                }
+            }
+            MetaOp::RemoveRule { name } => {
+                if let Ok(id) = self.engine.id_of(&name) {
+                    self.engine.remove_rule(id)?;
+                }
+            }
+            MetaOp::SetEnabled { name, enabled } => {
+                if let Ok(id) = self.engine.id_of(&name) {
+                    if enabled {
+                        self.engine.enable(id)?;
+                    } else {
+                        self.engine.disable(id)?;
+                    }
+                }
+            }
+            MetaOp::SubscribeObject { object, rule } => {
+                let id = self.engine.id_of(&rule)?;
+                self.engine.subscriptions.subscribe_object(object, id);
+            }
+            MetaOp::UnsubscribeObject { object, rule } => {
+                let id = self.engine.id_of(&rule)?;
+                self.engine.subscriptions.unsubscribe_object(object, id);
+            }
+            MetaOp::SubscribeClass { class, rule } => {
+                let id = self.engine.id_of(&rule)?;
+                let cid = self.registry.id_of(&class)?;
+                self.engine.subscriptions.subscribe_class(cid, id);
+            }
+            MetaOp::UnsubscribeClass { class, rule } => {
+                let id = self.engine.id_of(&rule)?;
+                let cid = self.registry.id_of(&class)?;
+                self.engine.subscriptions.unsubscribe_class(cid, id);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The schema.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// Facade counters.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Engine counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Zero all counters (benchmark warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = DbStats::default();
+        self.engine.reset_stats();
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.engine.rule_count()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+}
+
+/// Rule bodies and method bodies see the database through [`World`]:
+/// nested sends re-enter the reactive dispatch (and may cascade), all
+/// mutations are transactional.
+impl World for Database {
+    fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    fn create(&mut self, class: &str) -> Result<Oid> {
+        let id = self.registry.id_of(class)?;
+        self.create_internal(id)
+    }
+
+    fn delete(&mut self, oid: Oid) -> Result<()> {
+        self.delete_internal(oid)
+    }
+
+    fn get_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        self.store.get_attr(&self.registry, oid, attr)
+    }
+
+    fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
+        self.set_attr_internal(oid, attr, value)
+    }
+
+    fn send(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        self.dispatch(receiver, method, args)
+    }
+
+    fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        self.store.class_of(oid)
+    }
+
+    fn extent(&self, class: &str) -> Result<Vec<Oid>> {
+        let id = self.registry.id_of(class)?;
+        Ok(self.store.extent(&self.registry, id).collect())
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.now()
+    }
+}
+
+// Keep an explicit reference to CouplingMode so the doc link in add_rule
+// renders; also used by tests below.
+const _: fn() -> CouplingMode = CouplingMode::default;

@@ -1,0 +1,33 @@
+//! Small helpers for writing event expressions the way the paper does.
+
+use sentinel_events::{parse_signature, EventExpr};
+use sentinel_object::Result;
+
+/// Build a primitive event expression from a paper-style signature
+/// string — the `new Primitive("end Employee::Set-Salary(float x)")` of
+/// §4.6:
+///
+/// ```
+/// use sentinel_db::event;
+/// let deposit = event("end Account::Deposit(float x)").unwrap();
+/// let withdraw = event("before Account::Withdraw(float x)").unwrap();
+/// let dep_wit = deposit.then(withdraw); // new Sequence(deposit, withdraw)
+/// ```
+pub fn event(signature: &str) -> Result<EventExpr> {
+    Ok(EventExpr::primitive(parse_signature(signature)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_events::PrimitiveEventSpec;
+
+    #[test]
+    fn event_parses_signatures() {
+        assert_eq!(
+            event("end Stock::SetPrice(float p)").unwrap(),
+            EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice"))
+        );
+        assert!(event("gibberish").is_err());
+    }
+}

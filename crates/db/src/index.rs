@@ -1,0 +1,247 @@
+//! Attribute indexes.
+//!
+//! An OODBMS of Zeitgeist's generation maintained associative access
+//! paths next to its extents; rule conditions that quantify over extents
+//! (Figure 11's "all employees under this manager") and the query layer
+//! both benefit. An [`AttrIndex`] is an ordered secondary index over one
+//! attribute of one class (subclass instances included), kept consistent
+//! through creates, updates, deletes, *and transaction aborts* (the
+//! facade refreshes the entries of every object the rolled-back
+//! transaction touched).
+//!
+//! ```
+//! use sentinel_db::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.define_class(ClassDecl::new("Emp").attr("salary", TypeTag::Float)).unwrap();
+//! db.create_index("Emp", "salary").unwrap();
+//! for s in [90.0, 120.0, 60.0] {
+//!     db.create_with("Emp", &[("salary", Value::Float(s))]).unwrap();
+//! }
+//! let mid = db.index_range("Emp", "salary",
+//!     Some(Value::Float(80.0)), Some(Value::Float(130.0))).unwrap();
+//! assert_eq!(mid.len(), 2);
+//! ```
+
+use sentinel_object::{ClassId, ObjectError, Oid, Result, Value};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A totally ordered wrapper over scalar [`Value`]s, used as index keys.
+///
+/// Ordering: by [`Value::compare`] where defined; across incomparable
+/// types, by a fixed type rank (`Null < Bool < numeric < Str < Oid`).
+/// `Int` and `Float` share the numeric rank and compare numerically, so
+/// `Int(1)` and `Float(1.0)` collide as keys — consistent with the query
+/// layer's comparisons. NaN is rejected at insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrdValue(pub Value);
+
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 3,
+        Value::Oid(_) => 4,
+        Value::List(_) | Value::Map(_) => 5,
+    }
+}
+
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.0.compare(&other.0) {
+            Some(o) => o,
+            None => {
+                let (ra, rb) = (rank(&self.0), rank(&other.0));
+                if ra != rb {
+                    ra.cmp(&rb)
+                } else {
+                    // Same rank but incomparable: only possible for
+                    // Bool-vs-Bool etc. handled by compare; for the
+                    // container rank (rejected as keys) fall back to
+                    // the debug representation for determinism.
+                    format!("{:?}", self.0).cmp(&format!("{:?}", other.0))
+                }
+            }
+        }
+    }
+}
+
+/// Guard: is this value usable as an index key?
+pub fn indexable(v: &Value) -> Result<()> {
+    match v {
+        Value::List(_) | Value::Map(_) => Err(ObjectError::App(
+            "list/map values cannot be index keys".into(),
+        )),
+        Value::Float(f) if f.is_nan() => {
+            Err(ObjectError::App("NaN cannot be an index key".into()))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Identity of an index within a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexId(pub usize);
+
+/// An ordered secondary index over one attribute of one class.
+#[derive(Debug)]
+pub struct AttrIndex {
+    /// The indexed class (subclass instances are included).
+    pub class: ClassId,
+    /// The indexed attribute.
+    pub attr: String,
+    by_key: BTreeMap<OrdValue, BTreeSet<Oid>>,
+    key_of: HashMap<Oid, OrdValue>,
+}
+
+impl AttrIndex {
+    /// An empty index for `class.attr`.
+    pub fn new(class: ClassId, attr: impl Into<String>) -> Self {
+        AttrIndex {
+            class,
+            attr: attr.into(),
+            by_key: BTreeMap::new(),
+            key_of: HashMap::new(),
+        }
+    }
+
+    /// Set (or replace) the entry for `oid`.
+    pub fn upsert(&mut self, oid: Oid, value: Value) -> Result<()> {
+        indexable(&value)?;
+        self.remove(oid);
+        let key = OrdValue(value);
+        self.by_key.entry(key.clone()).or_default().insert(oid);
+        self.key_of.insert(oid, key);
+        Ok(())
+    }
+
+    /// Drop the entry for `oid`, if any.
+    pub fn remove(&mut self, oid: Oid) {
+        if let Some(old) = self.key_of.remove(&oid) {
+            if let Some(set) = self.by_key.get_mut(&old) {
+                set.remove(&oid);
+                if set.is_empty() {
+                    self.by_key.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Oids whose key lies in `[lo, hi]` (either bound optional), in key
+    /// order then oid order.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<Oid> {
+        use std::ops::Bound::*;
+        let lo_b = lo.map(|v| Included(OrdValue(v.clone()))).unwrap_or(Unbounded);
+        let hi_b = hi.map(|v| Included(OrdValue(v.clone()))).unwrap_or(Unbounded);
+        self.by_key
+            .range((lo_b, hi_b))
+            .flat_map(|(_, oids)| oids.iter().copied())
+            .collect()
+    }
+
+    /// Oids with exactly this key.
+    pub fn get(&self, key: &Value) -> Vec<Oid> {
+        self.by_key
+            .get(&OrdValue(key.clone()))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.key_of.len()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.key_of.is_empty()
+    }
+
+    /// Internal consistency check (used by property tests): the forward
+    /// and reverse maps agree.
+    pub fn check_consistent(&self) -> bool {
+        let forward: usize = self.by_key.values().map(BTreeSet::len).sum();
+        forward == self.key_of.len()
+            && self.key_of.iter().all(|(oid, key)| {
+                self.by_key
+                    .get(key)
+                    .map(|s| s.contains(oid))
+                    .unwrap_or(false)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_replaces_and_range_scans() {
+        let mut idx = AttrIndex::new(ClassId(0), "salary");
+        idx.upsert(Oid(1), Value::Float(50.0)).unwrap();
+        idx.upsert(Oid(2), Value::Float(100.0)).unwrap();
+        idx.upsert(Oid(3), Value::Float(75.0)).unwrap();
+        assert_eq!(
+            idx.range(Some(&Value::Float(60.0)), Some(&Value::Float(110.0))),
+            vec![Oid(3), Oid(2)]
+        );
+        // Re-keying 1 into the window.
+        idx.upsert(Oid(1), Value::Float(80.0)).unwrap();
+        assert_eq!(
+            idx.range(Some(&Value::Float(60.0)), Some(&Value::Float(110.0))),
+            vec![Oid(3), Oid(1), Oid(2)]
+        );
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn int_and_float_keys_unify() {
+        let mut idx = AttrIndex::new(ClassId(0), "n");
+        idx.upsert(Oid(1), Value::Int(5)).unwrap();
+        idx.upsert(Oid(2), Value::Float(5.0)).unwrap();
+        assert_eq!(idx.get(&Value::Int(5)).len(), 2);
+        assert_eq!(idx.get(&Value::Float(5.0)).len(), 2);
+    }
+
+    #[test]
+    fn remove_and_emptiness() {
+        let mut idx = AttrIndex::new(ClassId(0), "x");
+        idx.upsert(Oid(1), Value::Int(1)).unwrap();
+        idx.remove(Oid(1));
+        idx.remove(Oid(1)); // idempotent
+        assert!(idx.is_empty());
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn rejects_unindexable_keys() {
+        let mut idx = AttrIndex::new(ClassId(0), "x");
+        assert!(idx.upsert(Oid(1), Value::List(vec![])).is_err());
+        assert!(idx.upsert(Oid(1), Value::Float(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total_and_stable() {
+        let mut keys = [OrdValue(Value::Str("a".into())),
+            OrdValue(Value::Int(3)),
+            OrdValue(Value::Null),
+            OrdValue(Value::Bool(true)),
+            OrdValue(Value::Oid(Oid(1))),
+            OrdValue(Value::Float(-2.0))];
+        keys.sort();
+        let ranks: Vec<u8> = keys.iter().map(|k| super::rank(&k.0)).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted, "type rank ordering holds");
+    }
+}

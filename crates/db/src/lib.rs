@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! # sentinel-db — the Sentinel active object-oriented database
+//!
+//! This crate is the paper's primary contribution assembled over the
+//! substrates: a database where
+//!
+//! * classes declare an **event interface** (which methods generate
+//!   begin/end-of-method events — §3.1, Figure 8);
+//! * a message send ([`Database::send`]) dispatches the method *and*
+//!   raises the declared primitive events, which propagate to subscribed
+//!   consumers (Figure 2);
+//! * **events and rules are first-class objects**: creating one creates
+//!   an instance of the bootstrap `Event`/`Rule` meta-classes (Figure 3),
+//!   with an oid, persistence, and transactional semantics;
+//! * rules connect to the objects they monitor through the runtime
+//!   **subscription** mechanism, at instance or class granularity
+//!   (Figures 9–10), supporting the *external monitoring viewpoint* —
+//!   rules over objects of different classes, defined after the fact;
+//! * rule execution honours **coupling modes** (immediate / deferred /
+//!   detached) and can **abort** the triggering transaction;
+//! * because the `Rule` meta-class is itself reactive (its `Enable` /
+//!   `Disable` methods are event generators), **rules can monitor
+//!   rules**.
+//!
+//! See the crate-level example in the workspace README and the runnable
+//! programs under `examples/`.
+
+pub mod catalog;
+pub mod config;
+pub mod database;
+pub mod dsl;
+pub mod index;
+pub mod query;
+pub mod shared;
+pub mod stats;
+pub mod typed;
+
+pub use catalog::{CatalogSnapshot, EventRecord, MetaOp, RuleRecord};
+pub use config::DbConfig;
+pub use database::Database;
+pub use dsl::event;
+pub use index::{AttrIndex, IndexId};
+pub use query::{attr, ObjectView, Predicate, Query};
+pub use shared::SharedDatabase;
+pub use stats::DbStats;
+pub use typed::{FieldValue, NativeClass};
+
+/// Everything an application typically needs, re-exported flat.
+pub mod prelude {
+    pub use crate::config::DbConfig;
+    pub use crate::database::Database;
+    pub use crate::dsl::event;
+    pub use crate::query::{attr, ObjectView, Predicate, Query};
+    pub use crate::shared::SharedDatabase;
+    pub use crate::stats::DbStats;
+    pub use crate::typed::{FieldValue, NativeClass};
+    pub use sentinel_events::{
+        CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
+        PrimitiveEventSpec, PrimitiveOccurrence,
+    };
+    pub use sentinel_object::{
+        ClassDecl, ClassId, ClassRegistry, EventSpec, ObjectError, Oid, Reactivity, Result,
+        TypeTag, Value, Visibility, World,
+    };
+    pub use sentinel_rules::{
+        CouplingMode, Firing, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
+    };
+    pub use sentinel_storage::SyncPolicy;
+}

@@ -1,0 +1,635 @@
+//! A small query layer over class extents.
+//!
+//! Zeitgeist (like every OODBMS of the era) paired its object model with
+//! an associative query capability; rule conditions and actions in the
+//! paper's examples quantify over extents ("all the employees' salaries",
+//! Figure 11's `sal_greater_than_all_employees`). This module provides
+//! that capability as a composable, side-effect-free API usable both
+//! from application code and from inside rule bodies (via any
+//! [`World`]).
+//!
+//! ```
+//! use sentinel_db::prelude::*;
+//! use sentinel_db::query::{attr, Query};
+//!
+//! let mut db = Database::new();
+//! db.define_class(ClassDecl::new("Employee")
+//!     .attr("salary", TypeTag::Float)
+//!     .attr("name", TypeTag::Str)).unwrap();
+//! for (n, s) in [("ann", 120.0), ("bob", 80.0), ("cat", 95.0)] {
+//!     db.create_with("Employee", &[("name", n.into()), ("salary", Value::Float(s))]).unwrap();
+//! }
+//! let rich: Vec<String> = Query::over("Employee")
+//!     .filter(attr("salary").gt(Value::Float(90.0)))
+//!     .sort_by_attr("name")
+//!     .select_attr("name")
+//!     .run(&db)
+//!     .unwrap()
+//!     .into_iter()
+//!     .map(|v| v.as_str().unwrap().to_string())
+//!     .collect();
+//! assert_eq!(rich, ["ann", "cat"]);
+//! ```
+
+use crate::database::Database;
+use sentinel_object::{ObjectError, Oid, Result, Value, World};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// The closure type backing a [`Predicate`].
+pub type PredicateFn = dyn Fn(&dyn ObjectView, Oid) -> Result<bool> + Send + Sync;
+
+/// A predicate over one object, evaluated against a read-only view.
+#[derive(Clone)]
+pub struct Predicate(Arc<PredicateFn>);
+
+/// The read-only surface a query needs. Implemented by [`Database`] and
+/// by every [`World`].
+pub trait ObjectView {
+    /// Read an attribute of an object.
+    fn view_attr(&self, oid: Oid, attr: &str) -> Result<Value>;
+    /// All instances of the named class (subclasses included).
+    fn view_extent(&self, class: &str) -> Result<Vec<Oid>>;
+    /// If an index covers `class.attr`, the candidate oids in `[lo, hi]`;
+    /// `None` means "no index — scan". The default has no indexes.
+    fn view_range_candidates(
+        &self,
+        _class: &str,
+        _attr: &str,
+        _lo: Option<&Value>,
+        _hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        None
+    }
+}
+
+impl ObjectView for Database {
+    fn view_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        self.get_attr(oid, attr)
+    }
+    fn view_extent(&self, class: &str) -> Result<Vec<Oid>> {
+        self.extent(class)
+    }
+    fn view_range_candidates(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        self.index_candidates(class, attr, lo, hi)
+    }
+}
+
+impl ObjectView for dyn World + '_ {
+    fn view_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        self.get_attr(oid, attr)
+    }
+    fn view_extent(&self, class: &str) -> Result<Vec<Oid>> {
+        self.extent(class)
+    }
+}
+
+/// Adapter turning any `&V where V: ObjectView + ?Sized` into a sized
+/// `dyn ObjectView`, so the query internals stay object-safe.
+struct ViewRef<'a, V: ObjectView + ?Sized>(&'a V);
+
+impl<V: ObjectView + ?Sized> ObjectView for ViewRef<'_, V> {
+    fn view_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        self.0.view_attr(oid, attr)
+    }
+    fn view_extent(&self, class: &str) -> Result<Vec<Oid>> {
+        self.0.view_extent(class)
+    }
+    fn view_range_candidates(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        self.0.view_range_candidates(class, attr, lo, hi)
+    }
+}
+
+impl Predicate {
+    /// Build a predicate from a closure.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(&dyn ObjectView, Oid) -> Result<bool> + Send + Sync + 'static,
+    {
+        Predicate(Arc::new(f))
+    }
+
+    /// Evaluate the predicate for one object.
+    pub fn eval(&self, view: &dyn ObjectView, oid: Oid) -> Result<bool> {
+        (self.0)(view, oid)
+    }
+
+    /// Logical conjunction.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::new(move |v, o| Ok(self.eval(v, o)? && other.eval(v, o)?))
+    }
+
+    /// Logical disjunction.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::new(move |v, o| Ok(self.eval(v, o)? || other.eval(v, o)?))
+    }
+
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)] // DSL-style combinator
+    pub fn not(self) -> Predicate {
+        Predicate::new(move |v, o| Ok(!self.eval(v, o)?))
+    }
+}
+
+/// An attribute term — entry point for comparison predicates.
+#[derive(Clone)]
+pub struct AttrTerm {
+    name: String,
+}
+
+/// Start a predicate on an attribute: `attr("salary").gt(...)`.
+pub fn attr(name: impl Into<String>) -> AttrTerm {
+    AttrTerm { name: name.into() }
+}
+
+impl AttrTerm {
+    fn cmp_pred(
+        self,
+        rhs: Value,
+        accept: impl Fn(Ordering) -> bool + Send + Sync + 'static,
+    ) -> Predicate {
+        Predicate::new(move |view, oid| {
+            let lhs = view.view_attr(oid, &self.name)?;
+            Ok(lhs.compare(&rhs).map(&accept).unwrap_or(false))
+        })
+    }
+
+    /// `attr == value` (uses structural equality, any type).
+    pub fn eq(self, rhs: Value) -> Predicate {
+        Predicate::new(move |view, oid| Ok(view.view_attr(oid, &self.name)? == rhs))
+    }
+
+    /// `attr != value`.
+    pub fn ne(self, rhs: Value) -> Predicate {
+        self.eq(rhs).not()
+    }
+
+    /// `attr < value` (numeric/string ordering; incomparable = false).
+    pub fn lt(self, rhs: Value) -> Predicate {
+        self.cmp_pred(rhs, |o| o == Ordering::Less)
+    }
+
+    /// `attr <= value`.
+    pub fn le(self, rhs: Value) -> Predicate {
+        self.cmp_pred(rhs, |o| o != Ordering::Greater)
+    }
+
+    /// `attr > value`.
+    pub fn gt(self, rhs: Value) -> Predicate {
+        self.cmp_pred(rhs, |o| o == Ordering::Greater)
+    }
+
+    /// `attr >= value`.
+    pub fn ge(self, rhs: Value) -> Predicate {
+        self.cmp_pred(rhs, |o| o != Ordering::Less)
+    }
+
+    /// `attr BETWEEN lo AND hi` (inclusive).
+    pub fn between(self, lo: Value, hi: Value) -> Predicate {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    /// String containment on `Str` attributes.
+    pub fn contains(self, needle: impl Into<String>) -> Predicate {
+        let needle = needle.into();
+        Predicate::new(move |view, oid| {
+            Ok(view
+                .view_attr(oid, &self.name)?
+                .as_str()
+                .map(|s| s.contains(&needle))
+                .unwrap_or(false))
+        })
+    }
+
+    /// Truthiness of the attribute (non-zero / non-empty / non-null).
+    pub fn truthy(self) -> Predicate {
+        Predicate::new(move |view, oid| Ok(view.view_attr(oid, &self.name)?.is_truthy()))
+    }
+}
+
+/// What a query produces per matching object.
+#[derive(Clone)]
+enum Projection {
+    Oid,
+    Attr(String),
+}
+
+/// A declarative query over one class extent.
+#[derive(Clone)]
+pub struct Query {
+    class: String,
+    filters: Vec<Predicate>,
+    /// Declarative range restriction, index-accelerated when possible.
+    range: Option<(String, Option<Value>, Option<Value>)>,
+    sort: Option<String>,
+    descending: bool,
+    limit: Option<usize>,
+    projection: Projection,
+}
+
+impl Query {
+    /// Query all instances (including subclass instances) of `class`.
+    pub fn over(class: impl Into<String>) -> Self {
+        Query {
+            class: class.into(),
+            filters: Vec::new(),
+            range: None,
+            sort: None,
+            descending: false,
+            limit: None,
+            projection: Projection::Oid,
+        }
+    }
+
+    /// Restrict to objects whose `attr` lies in `[lo, hi]` (inclusive,
+    /// either bound optional). Declarative — unlike
+    /// [`filter`](Self::filter) closures — so it uses an attribute index
+    /// when the view has one, and falls back to a scan otherwise.
+    pub fn range(
+        mut self,
+        attr: impl Into<String>,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    ) -> Self {
+        self.range = Some((attr.into(), lo, hi));
+        self
+    }
+
+    /// Keep only objects satisfying `p` (conjunctive with prior filters).
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.filters.push(p);
+        self
+    }
+
+    /// Ascending sort by an attribute (stable; incomparable values sort
+    /// first).
+    pub fn sort_by_attr(mut self, attr: impl Into<String>) -> Self {
+        self.sort = Some(attr.into());
+        self.descending = false;
+        self
+    }
+
+    /// Descending sort by an attribute.
+    pub fn sort_by_attr_desc(mut self, attr: impl Into<String>) -> Self {
+        self.sort = Some(attr.into());
+        self.descending = true;
+        self
+    }
+
+    /// Keep at most `n` results (applied after sorting).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Project each match to one attribute value instead of its oid.
+    pub fn select_attr(mut self, attr: impl Into<String>) -> Self {
+        self.projection = Projection::Attr(attr.into());
+        self
+    }
+
+    /// Matching oids, in query order (ignores `select_attr`).
+    pub fn run_oids<V: ObjectView + ?Sized>(&self, view: &V) -> Result<Vec<Oid>> {
+        self.run_oids_dyn(&ViewRef(view))
+    }
+
+    fn run_oids_dyn(&self, view: &dyn ObjectView) -> Result<Vec<Oid>> {
+        // Candidate set: index-accelerated when a range is declared and
+        // the view has a covering index, otherwise the full extent.
+        let candidates = match &self.range {
+            Some((attr, lo, hi)) => {
+                match view.view_range_candidates(&self.class, attr, lo.as_ref(), hi.as_ref()) {
+                    Some(oids) => oids,
+                    None => {
+                        // Fallback scan: apply the range as a predicate.
+                        let mut out = Vec::new();
+                        for oid in view.view_extent(&self.class)? {
+                            let v = view.view_attr(oid, attr)?;
+                            let ge = lo
+                                .as_ref()
+                                .map(|l| v.compare(l) != Some(Ordering::Less) && v.compare(l).is_some())
+                                .unwrap_or(true);
+                            let le = hi
+                                .as_ref()
+                                .map(|h| v.compare(h) != Some(Ordering::Greater) && v.compare(h).is_some())
+                                .unwrap_or(true);
+                            if ge && le {
+                                out.push(oid);
+                            }
+                        }
+                        out
+                    }
+                }
+            }
+            None => view.view_extent(&self.class)?,
+        };
+        let mut oids = Vec::new();
+        for oid in candidates {
+            let mut keep = true;
+            for f in &self.filters {
+                if !f.eval(view, oid)? {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                oids.push(oid);
+            }
+        }
+        // Extents come from hash maps: normalise to oid order first so
+        // results are deterministic.
+        oids.sort_unstable();
+        if let Some(key) = &self.sort {
+            let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(oids.len());
+            for oid in oids {
+                keyed.push((view.view_attr(oid, key)?, oid));
+            }
+            keyed.sort_by(|a, b| {
+                let ord = a.0.compare(&b.0).unwrap_or(Ordering::Equal);
+                if self.descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            oids = keyed.into_iter().map(|(_, o)| o).collect();
+        }
+        if let Some(n) = self.limit {
+            oids.truncate(n);
+        }
+        Ok(oids)
+    }
+
+    /// Run the query, applying the projection.
+    pub fn run<V: ObjectView + ?Sized>(&self, view: &V) -> Result<Vec<Value>> {
+        let view = ViewRef(view);
+        let oids = self.run_oids_dyn(&view)?;
+        match &self.projection {
+            Projection::Oid => Ok(oids.into_iter().map(Value::Oid).collect()),
+            Projection::Attr(a) => oids
+                .into_iter()
+                .map(|o| view.view_attr(o, a))
+                .collect::<Result<Vec<_>>>(),
+        }
+    }
+
+    /// Number of matching objects.
+    pub fn count<V: ObjectView + ?Sized>(&self, view: &V) -> Result<usize> {
+        Ok(self.run_oids(view)?.len())
+    }
+
+    /// Sum of a float attribute over matches (ints widen).
+    pub fn sum_attr<V: ObjectView + ?Sized>(&self, view: &V, attr: &str) -> Result<f64> {
+        let mut total = 0.0;
+        for oid in self.run_oids(view)? {
+            total += view.view_attr(oid, attr)?.as_float()?;
+        }
+        Ok(total)
+    }
+
+    /// Minimum of an attribute over matches (by [`Value::compare`]).
+    pub fn min_attr<V: ObjectView + ?Sized>(&self, view: &V, attr: &str) -> Result<Option<Value>> {
+        self.fold_extreme(&ViewRef(view), attr, Ordering::Less)
+    }
+
+    /// Maximum of an attribute over matches.
+    pub fn max_attr<V: ObjectView + ?Sized>(&self, view: &V, attr: &str) -> Result<Option<Value>> {
+        self.fold_extreme(&ViewRef(view), attr, Ordering::Greater)
+    }
+
+    fn fold_extreme(
+        &self,
+        view: &dyn ObjectView,
+        attr: &str,
+        want: Ordering,
+    ) -> Result<Option<Value>> {
+        let mut best: Option<Value> = None;
+        for oid in self.run_oids_dyn(view)? {
+            let v = view.view_attr(oid, attr)?;
+            best = Some(match best {
+                None => v,
+                Some(b) => {
+                    if v.compare(&b) == Some(want) {
+                        v
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        Ok(best)
+    }
+
+    /// Average of a float attribute over matches; `None` when empty.
+    pub fn avg_attr<V: ObjectView + ?Sized>(&self, view: &V, attr: &str) -> Result<Option<f64>> {
+        let oids = self.run_oids(view)?;
+        if oids.is_empty() {
+            return Ok(None);
+        }
+        let mut total = 0.0;
+        let n = oids.len();
+        for oid in oids {
+            total += view.view_attr(oid, attr)?.as_float()?;
+        }
+        Ok(Some(total / n as f64))
+    }
+
+    /// The single match, erroring on zero or multiple matches.
+    pub fn one<V: ObjectView + ?Sized>(&self, view: &V) -> Result<Oid> {
+        let oids = self.run_oids(view)?;
+        match oids.as_slice() {
+            [o] => Ok(*o),
+            [] => Err(ObjectError::App(format!(
+                "query over `{}`: no match",
+                self.class
+            ))),
+            more => Err(ObjectError::App(format!(
+                "query over `{}`: {} matches where one was expected",
+                self.class,
+                more.len()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::{ClassDecl, TypeTag};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDecl::new("Employee")
+                .attr("salary", TypeTag::Float)
+                .attr("name", TypeTag::Str)
+                .attr("active", TypeTag::Bool),
+        )
+        .unwrap();
+        db.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
+        for (n, s, a) in [
+            ("ann", 120.0, true),
+            ("bob", 80.0, true),
+            ("cat", 95.0, false),
+        ] {
+            db.create_with(
+                "Employee",
+                &[("name", n.into()), ("salary", Value::Float(s)), ("active", a.into())],
+            )
+            .unwrap();
+        }
+        db.create_with(
+            "Manager",
+            &[("name", "mia".into()), ("salary", Value::Float(200.0)), ("active", true.into())],
+        )
+        .unwrap();
+        db
+    }
+
+    fn names(db: &Database, q: Query) -> Vec<String> {
+        q.select_attr("name")
+            .run(db)
+            .unwrap()
+            .into_iter()
+            .map(|v| v.as_str().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn filter_sort_project() {
+        let db = db();
+        let got = names(
+            &db,
+            Query::over("Employee")
+                .filter(attr("salary").ge(Value::Float(95.0)))
+                .sort_by_attr_desc("salary"),
+        );
+        assert_eq!(got, ["mia", "ann", "cat"]);
+    }
+
+    #[test]
+    fn extent_includes_subclasses_and_limit() {
+        let db = db();
+        assert_eq!(Query::over("Employee").count(&db).unwrap(), 4);
+        assert_eq!(Query::over("Manager").count(&db).unwrap(), 1);
+        let first_two = Query::over("Employee")
+            .sort_by_attr("salary")
+            .limit(2)
+            .run_oids(&db)
+            .unwrap();
+        assert_eq!(first_two.len(), 2);
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let db = db();
+        let got = names(
+            &db,
+            Query::over("Employee")
+                .filter(
+                    attr("active")
+                        .truthy()
+                        .and(attr("salary").between(Value::Float(90.0), Value::Float(150.0)))
+                        .or(attr("name").contains("cat")),
+                )
+                .sort_by_attr("name"),
+        );
+        assert_eq!(got, ["ann", "cat"]);
+        let none = Query::over("Employee")
+            .filter(attr("salary").lt(Value::Float(0.0)))
+            .count(&db)
+            .unwrap();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = db();
+        let q = Query::over("Employee");
+        assert_eq!(q.sum_attr(&db, "salary").unwrap(), 495.0);
+        assert_eq!(q.min_attr(&db, "salary").unwrap(), Some(Value::Float(80.0)));
+        assert_eq!(q.max_attr(&db, "salary").unwrap(), Some(Value::Float(200.0)));
+        assert_eq!(q.avg_attr(&db, "salary").unwrap(), Some(123.75));
+        let empty = Query::over("Employee").filter(attr("name").eq("zed".into()));
+        assert_eq!(empty.avg_attr(&db, "salary").unwrap(), None);
+        assert_eq!(empty.min_attr(&db, "salary").unwrap(), None);
+    }
+
+    #[test]
+    fn one_semantics() {
+        let db = db();
+        let mia = Query::over("Manager").one(&db).unwrap();
+        assert_eq!(db.get_attr(mia, "name").unwrap(), Value::Str("mia".into()));
+        assert!(Query::over("Employee").one(&db).is_err());
+        assert!(Query::over("Employee")
+            .filter(attr("name").eq("zed".into()))
+            .one(&db)
+            .is_err());
+    }
+
+    #[test]
+    fn incomparable_values_do_not_match_comparisons() {
+        let db = db();
+        // Comparing a string attribute numerically never matches.
+        let n = Query::over("Employee")
+            .filter(attr("name").gt(Value::Float(1.0)))
+            .count(&db)
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn usable_inside_rule_bodies_via_world() {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDecl::reactive("Acct")
+                .attr("balance", TypeTag::Float)
+                .attr("frozen", TypeTag::Bool)
+                .event_method("Audit", &[], EventSpecLocal::End),
+        )
+        .unwrap();
+        db.register_method("Acct", "Audit", |_, _, _| Ok(Value::Null)).unwrap();
+        // The action freezes every overdrawn account, found by query.
+        db.register_action("freeze-overdrawn", |w, _f| {
+            let hits = Query::over("Acct")
+                .filter(attr("balance").lt(Value::Float(0.0)))
+                .run_oids(w)?;
+            for o in hits {
+                w.set_attr(o, "frozen", Value::Bool(true))?;
+            }
+            Ok(())
+        });
+        db.add_class_rule(
+            "Acct",
+            sentinel_rules::RuleDef::new(
+                "FreezeSweep",
+                crate::dsl::event("end Acct::Audit()").unwrap(),
+                "freeze-overdrawn",
+            ),
+        )
+        .unwrap();
+        let a = db
+            .create_with("Acct", &[("balance", Value::Float(-5.0))])
+            .unwrap();
+        let b = db
+            .create_with("Acct", &[("balance", Value::Float(10.0))])
+            .unwrap();
+        db.send(a, "Audit", &[]).unwrap();
+        assert_eq!(db.get_attr(a, "frozen").unwrap(), Value::Bool(true));
+        assert_eq!(db.get_attr(b, "frozen").unwrap(), Value::Bool(false));
+    }
+
+    use sentinel_object::EventSpec as EventSpecLocal;
+}

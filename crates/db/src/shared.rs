@@ -1,0 +1,272 @@
+//! Shared, thread-safe database handle with an asynchronous detached
+//! executor.
+//!
+//! The paper's Figure 1 draws the event interface as *asynchronous*:
+//! consumers react to propagated events off the producer's call path.
+//! The single-threaded [`Database`] realises detached coupling
+//! synchronously (detached firings run right after commit, in their own
+//! transactions). [`SharedDatabase`] restores the asynchronous reading:
+//! a background worker drains detached firings while producer threads
+//! carry on — commit latency no longer includes detached work
+//! (quantified against inline execution in the E9 commentary).
+//!
+//! Concurrency model: one big lock. The paper's Zeitgeist setting is a
+//! single-user database; the lock gives `Send + Sync` sharing without
+//! perturbing the engine's single-writer semantics. The interesting
+//! property is *placement* (detached work off the caller's thread), not
+//! parallel scaling.
+
+use crate::database::Database;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sentinel_object::Result;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Signal {
+    Drain,
+    Shutdown,
+}
+
+/// A cloneable, thread-safe handle to a database whose detached rules
+/// execute on a background worker.
+pub struct SharedDatabase {
+    inner: Arc<Mutex<Database>>,
+    tx: Sender<Signal>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl SharedDatabase {
+    /// Wrap a database. Detached firings stop running inline; the
+    /// spawned worker picks them up after each commit.
+    pub fn new(mut db: Database) -> Self {
+        db.set_inline_detached(false);
+        let inner = Arc::new(Mutex::new(db));
+        let (tx, rx): (Sender<Signal>, Receiver<Signal>) = unbounded();
+        let worker_db = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("sentinel-detached".into())
+            .spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    let mut shutdown = matches!(first, Signal::Shutdown);
+                    // Coalesce bursts of queued signals into one drain
+                    // pass — but never lose a Shutdown seen on the way.
+                    while let Ok(sig) = rx.try_recv() {
+                        if matches!(sig, Signal::Shutdown) {
+                            shutdown = true;
+                        }
+                    }
+                    {
+                        let mut db = worker_db.lock();
+                        // Errors inside detached firings abort only their
+                        // own transaction (already handled); a failure to
+                        // even schedule is engine-level and surfaced via
+                        // stats.
+                        let _ = db.run_pending_detached();
+                    }
+                    if shutdown {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn detached worker");
+        SharedDatabase {
+            inner,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Run `f` under the lock. If the call left detached work queued,
+    /// the background worker is signalled afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut db = self.inner.lock();
+        let out = f(&mut db);
+        let pending = db.pending_detached() > 0;
+        drop(db);
+        if pending {
+            let _ = self.tx.send(Signal::Drain);
+        }
+        out
+    }
+
+    /// Convenience: a fallible operation under the lock.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
+        self.with(f)
+    }
+
+    /// Block until no detached work is pending (best-effort: new commits
+    /// can queue more).
+    pub fn drain(&self) {
+        loop {
+            {
+                let mut db = self.inner.lock();
+                let _ = db.run_pending_detached();
+                if db.pending_detached() == 0 {
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Stop the worker, running any remaining detached work first.
+    pub fn shutdown(mut self) -> Database {
+        self.drain();
+        let _ = self.tx.send(Signal::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        let inner = Arc::clone(&self.inner);
+        drop(self); // Drop impl is a no-op now: worker already joined
+        match Arc::try_unwrap(inner) {
+            Ok(m) => m.into_inner(),
+            Err(_) => panic!("SharedDatabase::shutdown with outstanding clones"),
+        }
+    }
+}
+
+impl Drop for SharedDatabase {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Signal::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::event;
+    use sentinel_object::{ClassDecl, EventSpec, TypeTag, Value};
+    use sentinel_rules::{CouplingMode, RuleDef};
+    use std::time::{Duration, Instant};
+
+    fn build() -> Database {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDecl::reactive("X")
+                .attr("v", TypeTag::Float)
+                .attr("audits", TypeTag::Int)
+                .event_method("Set", &[("x", TypeTag::Float)], EventSpec::End),
+        )
+        .unwrap();
+        db.register_setter("X", "Set", "v").unwrap();
+        db.register_action("audit", |w, f| {
+            let o = f.occurrence.constituents[0].oid;
+            let n = w.get_attr(o, "audits")?.as_int()?;
+            w.set_attr(o, "audits", Value::Int(n + 1))
+        });
+        db.add_class_rule(
+            "X",
+            RuleDef::new("Audit", event("end X::Set(float x)").unwrap(), "audit")
+                .coupling(CouplingMode::Detached),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn detached_work_runs_on_the_worker() {
+        let shared = SharedDatabase::new(build());
+        let o = shared.try_with(|db| db.create("X")).unwrap();
+        shared
+            .try_with(|db| db.send(o, "Set", &[Value::Float(1.0)]))
+            .unwrap();
+        // The audit happens asynchronously; wait for it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let n = shared
+                .try_with(|db| db.get_attr(o, "audits"))
+                .unwrap()
+                .as_int()
+                .unwrap();
+            if n == 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "audit never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let db = shared.shutdown();
+        assert_eq!(db.stats().detached_runs, 1);
+    }
+
+    #[test]
+    fn commit_latency_excludes_detached_work() {
+        // With a deliberately slow detached action, the producer's send
+        // returns quickly and the work lands later.
+        let mut db = build();
+        db.register_action("slow-audit", |w, f| {
+            std::thread::sleep(Duration::from_millis(30));
+            let o = f.occurrence.constituents[0].oid;
+            let n = w.get_attr(o, "audits")?.as_int()?;
+            w.set_attr(o, "audits", Value::Int(n + 1))
+        });
+        db.remove_rule("Audit").unwrap();
+        db.add_class_rule(
+            "X",
+            RuleDef::new("Audit", event("end X::Set(float x)").unwrap(), "slow-audit")
+                .coupling(CouplingMode::Detached),
+        )
+        .unwrap();
+        let shared = SharedDatabase::new(db);
+        let o = shared.try_with(|db| db.create("X")).unwrap();
+        let t0 = Instant::now();
+        shared
+            .try_with(|db| db.send(o, "Set", &[Value::Float(1.0)]))
+            .unwrap();
+        let send_latency = t0.elapsed();
+        assert!(
+            send_latency < Duration::from_millis(25),
+            "send blocked on detached work: {send_latency:?}"
+        );
+        shared.drain();
+        let n = shared
+            .try_with(|db| db.get_attr(o, "audits"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(n, 1);
+        drop(shared);
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_work() {
+        let shared = SharedDatabase::new(build());
+        let o = shared.try_with(|db| db.create("X")).unwrap();
+        for i in 0..10 {
+            shared
+                .try_with(|db| db.send(o, "Set", &[Value::Float(i as f64)]))
+                .unwrap();
+        }
+        let db = shared.shutdown();
+        assert_eq!(db.get_attr(o, "audits").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn multiple_producer_threads() {
+        let shared = Arc::new(SharedDatabase::new(build()));
+        let o = shared.try_with(|db| db.create("X")).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    s.try_with(|db| db.send(o, "Set", &[Value::Float((t * 100 + i) as f64)]))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        shared.drain();
+        let n = shared
+            .try_with(|db| db.get_attr(o, "audits"))
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(n, 100);
+    }
+}

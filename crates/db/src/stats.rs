@@ -1,0 +1,45 @@
+//! Database-level counters used by the experiments.
+
+use sentinel_rules::EngineStats;
+
+/// Counters aggregated by the facade on top of the engine's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Messages dispatched (externally initiated and nested).
+    pub sends: u64,
+    /// Primitive events generated (bom + eom).
+    pub events_generated: u64,
+    /// Rule condition evaluations executed by the facade.
+    pub condition_evals: u64,
+    /// Conditions that held.
+    pub condition_true: u64,
+    /// Rule actions executed.
+    pub actions_run: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (by rules or explicitly).
+    pub aborts: u64,
+    /// Detached firings executed (each in its own transaction).
+    pub detached_runs: u64,
+}
+
+/// The facade's counters plus the engine's, printed together.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullStats {
+    /// Facade-level counters.
+    pub db: DbStats,
+    /// Engine-level counters.
+    pub engine: EngineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = DbStats::default();
+        assert_eq!(s.sends, 0);
+        assert_eq!(s.events_generated, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Statically-typed access to dynamic objects.
+//!
+//! The core object model is deliberately dynamic (Rust has no
+//! reflection, and the paper's design *requires* runtime rule creation
+//! over pre-existing classes — DESIGN.md §3). This module restores
+//! C++-like ergonomics on top: a plain Rust struct implements
+//! [`NativeClass`] (usually via the [`native_class!`] macro), and the
+//! database can then load/store whole instances of it with field-level
+//! type safety.
+//!
+//! ```
+//! use sentinel_db::prelude::*;
+//! use sentinel_db::native_class;
+//!
+//! native_class! {
+//!     /// A stock position.
+//!     pub struct Position: "Position" {
+//!         symbol: String,
+//!         shares: i64,
+//!         avg_price: f64,
+//!     }
+//! }
+//!
+//! let mut db = Database::new();
+//! db.define_native::<Position>().unwrap();
+//! let oid = db.create_typed(&Position {
+//!     symbol: "IBM".into(),
+//!     shares: 100,
+//!     avg_price: 78.5,
+//! }).unwrap();
+//! let p: Position = db.load_typed(oid).unwrap();
+//! assert_eq!(p.shares, 100);
+//! ```
+
+use crate::database::Database;
+use crate::query::ObjectView;
+use sentinel_object::{ClassDecl, ClassId, Oid, Result, TypeTag, Value, World};
+
+/// Rust field types that map onto [`Value`] slots.
+pub trait FieldValue: Sized {
+    /// The schema type of the field.
+    const TAG: TypeTag;
+    /// Convert into a stored value.
+    fn into_value(self) -> Value;
+    /// Extract from a stored value.
+    fn from_value(v: Value) -> Result<Self>;
+}
+
+impl FieldValue for f64 {
+    const TAG: TypeTag = TypeTag::Float;
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        v.as_float()
+    }
+}
+
+impl FieldValue for i64 {
+    const TAG: TypeTag = TypeTag::Int;
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        v.as_int()
+    }
+}
+
+impl FieldValue for bool {
+    const TAG: TypeTag = TypeTag::Bool;
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        v.as_bool()
+    }
+}
+
+impl FieldValue for String {
+    const TAG: TypeTag = TypeTag::Str;
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        Ok(v.as_str()?.to_string())
+    }
+}
+
+impl FieldValue for Oid {
+    const TAG: TypeTag = TypeTag::Oid;
+    fn into_value(self) -> Value {
+        Value::Oid(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        v.as_oid()
+    }
+}
+
+impl FieldValue for Vec<Value> {
+    const TAG: TypeTag = TypeTag::List;
+    fn into_value(self) -> Value {
+        Value::List(self)
+    }
+    fn from_value(v: Value) -> Result<Self> {
+        Ok(v.as_list()?.to_vec())
+    }
+}
+
+/// A Rust struct mirroring one database class.
+pub trait NativeClass: Sized {
+    /// The database class name.
+    const CLASS: &'static str;
+
+    /// The class declaration (attributes inferred from the fields; the
+    /// event interface and methods can be added by overriding this).
+    fn decl() -> ClassDecl;
+
+    /// Load every field from the object's attributes.
+    fn load<V: ObjectView + ?Sized>(view: &V, oid: Oid) -> Result<Self>;
+
+    /// Store every field into the object's attributes.
+    fn store(&self, world: &mut dyn World, oid: Oid) -> Result<()>;
+}
+
+impl Database {
+    /// Define the class mirrored by `T` (no-op schema registration;
+    /// method bodies and the event interface come from `T::decl()`).
+    pub fn define_native<T: NativeClass>(&mut self) -> Result<ClassId> {
+        self.define_class(T::decl())
+    }
+
+    /// Create an instance initialised from `t`.
+    pub fn create_typed<T: NativeClass + Clone>(&mut self, t: &T) -> Result<Oid> {
+        let oid = self.create(T::CLASS)?;
+        self.update_typed(oid, t)?;
+        Ok(oid)
+    }
+
+    /// Load an instance into a `T`.
+    pub fn load_typed<T: NativeClass>(&self, oid: Oid) -> Result<T> {
+        T::load(self, oid)
+    }
+
+    /// Write all of `t`'s fields to an existing instance. Note: direct
+    /// writes bypass methods and generate no events (use `send` for
+    /// monitored changes).
+    pub fn update_typed<T: NativeClass + Clone>(&mut self, oid: Oid, t: &T) -> Result<()> {
+        self.begin_or_join(|db| t.clone().store_boxed(db, oid))
+    }
+
+    fn begin_or_join(&mut self, f: impl FnOnce(&mut Database) -> Result<()>) -> Result<()> {
+        if self.in_txn() {
+            f(self)
+        } else {
+            self.begin()?;
+            match f(self) {
+                Ok(()) => self.commit(),
+                Err(e) => {
+                    let _ = self.abort();
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Object-safe bridge so `update_typed` can call `store` through the
+/// `World` implementation of `Database`.
+trait StoreBoxed {
+    fn store_boxed(self, db: &mut Database, oid: Oid) -> Result<()>;
+}
+
+impl<T: NativeClass> StoreBoxed for T {
+    fn store_boxed(self, db: &mut Database, oid: Oid) -> Result<()> {
+        self.store(db, oid)
+    }
+}
+
+/// Define a Rust struct mirroring a database class.
+///
+/// ```ignore
+/// native_class! {
+///     /// Doc comment (optional).
+///     pub struct Employee: "Employee" (reactive) {
+///         name: String,
+///         salary: f64,
+///     }
+/// }
+/// ```
+///
+/// Field names double as attribute names. Add `(reactive)` after the
+/// class name to declare a reactive class; the event interface is then
+/// attached by customising `decl()` at the call site or by declaring
+/// event methods separately on the schema builder.
+#[macro_export]
+macro_rules! native_class {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident : $class:literal $( ( $reactive:ident ) )? {
+            $( $field:ident : $fty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq)]
+        $vis struct $name {
+            $( pub $field: $fty, )+
+        }
+
+        impl $crate::typed::NativeClass for $name {
+            const CLASS: &'static str = $class;
+
+            fn decl() -> sentinel_object::ClassDecl {
+                #[allow(unused_mut)]
+                let mut decl = $crate::native_class!(@base $class $( $reactive )?);
+                $(
+                    decl = decl.attr(
+                        stringify!($field),
+                        <$fty as $crate::typed::FieldValue>::TAG,
+                    );
+                )+
+                decl
+            }
+
+            fn load<V: $crate::query::ObjectView + ?Sized>(
+                view: &V,
+                oid: sentinel_object::Oid,
+            ) -> sentinel_object::Result<Self> {
+                Ok(Self {
+                    $(
+                        $field: <$fty as $crate::typed::FieldValue>::from_value(
+                            view.view_attr(oid, stringify!($field))?,
+                        )?,
+                    )+
+                })
+            }
+
+            fn store(
+                &self,
+                world: &mut dyn sentinel_object::World,
+                oid: sentinel_object::Oid,
+            ) -> sentinel_object::Result<()> {
+                $(
+                    world.set_attr(
+                        oid,
+                        stringify!($field),
+                        $crate::typed::FieldValue::into_value(self.$field.clone()),
+                    )?;
+                )+
+                Ok(())
+            }
+        }
+    };
+    (@base $class:literal reactive) => {
+        sentinel_object::ClassDecl::reactive($class)
+    };
+    (@base $class:literal) => {
+        sentinel_object::ClassDecl::new($class)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::Reactivity;
+
+    native_class! {
+        /// An employee record.
+        pub struct Employee: "Employee" (reactive) {
+            name: String,
+            salary: f64,
+            active: bool,
+            mgr: Oid,
+        }
+    }
+
+    native_class! {
+        pub struct Plain: "Plain" {
+            n: i64,
+        }
+    }
+
+    #[test]
+    fn round_trip_typed_instance() {
+        let mut db = Database::new();
+        db.define_native::<Employee>().unwrap();
+        let fred = Employee {
+            name: "Fred".into(),
+            salary: 90.0,
+            active: true,
+            mgr: Oid::NIL,
+        };
+        let oid = db.create_typed(&fred).unwrap();
+        let back: Employee = db.load_typed(oid).unwrap();
+        assert_eq!(back, fred);
+        // Dynamic and typed views agree.
+        assert_eq!(db.get_attr(oid, "salary").unwrap(), Value::Float(90.0));
+        // Updating through the typed layer.
+        let mut fred2 = back;
+        fred2.salary = 120.0;
+        db.update_typed(oid, &fred2).unwrap();
+        assert_eq!(db.get_attr(oid, "salary").unwrap(), Value::Float(120.0));
+    }
+
+    #[test]
+    fn reactive_flag_honoured_and_plain_is_passive() {
+        let mut db = Database::new();
+        let emp = db.define_native::<Employee>().unwrap();
+        let plain = db.define_native::<Plain>().unwrap();
+        assert_eq!(db.registry().get(emp).reactivity, Reactivity::Reactive);
+        assert_eq!(db.registry().get(plain).reactivity, Reactivity::Passive);
+    }
+
+    #[test]
+    fn load_reports_missing_attributes_cleanly() {
+        let mut db = Database::new();
+        // A schema that lacks the `salary` field.
+        db.define_class(ClassDecl::new("Employee").attr("name", TypeTag::Str))
+            .unwrap();
+        let oid = db.create("Employee").unwrap();
+        let err = db.load_typed::<Employee>(oid).err().unwrap();
+        assert!(err.to_string().contains("salary"), "{err}");
+    }
+
+    #[test]
+    fn typed_layer_composes_with_rules() {
+        use sentinel_rules::RuleDef;
+        let mut db = Database::new();
+        // Extend the generated declaration with an event method before
+        // defining: the typed struct stays a pure field view.
+        let decl = Employee::decl().event_method(
+            "Promote",
+            &[("pct", TypeTag::Float)],
+            sentinel_object::EventSpec::End,
+        );
+        db.define_class(decl).unwrap();
+        db.register_method("Employee", "Promote", |w, this, args| {
+            let mut e = Employee::load(&*w, this)?;
+            e.salary *= 1.0 + args[0].as_float()?;
+            e.store(w, this)?;
+            Ok(Value::Null)
+        })
+        .unwrap();
+        // The rule condition also uses the typed view (through World).
+        db.register_condition("overpaid", |w, f| {
+            let this = f.occurrence.constituents[0].oid;
+            let e = Employee::load(&*w, this)?;
+            Ok(e.salary > 1000.0)
+        });
+        db.add_class_rule(
+            "Employee",
+            RuleDef::new(
+                "CapSalary",
+                crate::dsl::event("end Employee::Promote(float pct)").unwrap(),
+                sentinel_rules::ACTION_ABORT,
+            )
+            .condition("overpaid"),
+        )
+        .unwrap();
+        let fred = db
+            .create_typed(&Employee {
+                name: "Fred".into(),
+                salary: 800.0,
+                active: true,
+                mgr: Oid::NIL,
+            })
+            .unwrap();
+        db.send(fred, "Promote", &[Value::Float(0.25)]).unwrap();
+        assert_eq!(db.load_typed::<Employee>(fred).unwrap().salary, 1000.0);
+        // A promotion that crosses the cap aborts; the typed view shows
+        // the rolled-back value.
+        assert!(db.send(fred, "Promote", &[Value::Float(0.5)]).is_err());
+        assert_eq!(db.load_typed::<Employee>(fred).unwrap().salary, 1000.0);
+    }
+}

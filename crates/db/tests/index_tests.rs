@@ -1,0 +1,207 @@
+//! Attribute indexes: correctness across updates, deletes, subclassing,
+//! transaction aborts, and equivalence with unindexed scans.
+
+use proptest::prelude::*;
+use sentinel_db::prelude::*;
+use sentinel_db::{event, Database, Query};
+
+fn db_with_emps() -> Database {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::reactive("Employee")
+            .attr("salary", TypeTag::Float)
+            .attr("name", TypeTag::Str)
+            .event_method("Set-Salary", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.define_class(ClassDecl::reactive("Manager").parent("Employee"))
+        .unwrap();
+    db.register_setter("Employee", "Set-Salary", "salary").unwrap();
+    db
+}
+
+#[test]
+fn index_tracks_updates_and_deletes() {
+    let mut db = db_with_emps();
+    db.create_index("Employee", "salary").unwrap();
+    let a = db
+        .create_with("Employee", &[("salary", Value::Float(50.0))])
+        .unwrap();
+    let b = db
+        .create_with("Manager", &[("salary", Value::Float(150.0))])
+        .unwrap();
+    // Subclass instances are indexed under the superclass index.
+    assert_eq!(
+        db.index_range("Employee", "salary", Some(Value::Float(100.0)), None)
+            .unwrap(),
+        vec![b]
+    );
+    // Updates re-key.
+    db.send(a, "Set-Salary", &[Value::Float(200.0)]).unwrap();
+    assert_eq!(
+        db.index_range("Employee", "salary", Some(Value::Float(100.0)), None)
+            .unwrap(),
+        vec![b, a]
+    );
+    // Deletes remove.
+    db.delete(b).unwrap();
+    assert_eq!(
+        db.index_range("Employee", "salary", None, None).unwrap(),
+        vec![a]
+    );
+}
+
+#[test]
+fn index_built_over_existing_extent() {
+    let mut db = db_with_emps();
+    for s in [10.0, 20.0, 30.0] {
+        db.create_with("Employee", &[("salary", Value::Float(s))])
+            .unwrap();
+    }
+    db.create_index("Employee", "salary").unwrap();
+    assert_eq!(
+        db.index_range("Employee", "salary", Some(Value::Float(15.0)), None)
+            .unwrap()
+            .len(),
+        2
+    );
+    // Duplicate index creation is rejected; dropping works.
+    assert!(db.create_index("Employee", "salary").is_err());
+    db.drop_index("Employee", "salary").unwrap();
+    assert!(db.index_range("Employee", "salary", None, None).is_err());
+}
+
+#[test]
+fn aborted_transactions_leave_indexes_consistent() {
+    let mut db = db_with_emps();
+    db.create_index("Employee", "salary").unwrap();
+    let a = db
+        .create_with("Employee", &[("salary", Value::Float(50.0))])
+        .unwrap();
+
+    db.begin().unwrap();
+    db.send(a, "Set-Salary", &[Value::Float(500.0)]).unwrap();
+    let ghost = db
+        .create_with("Employee", &[("salary", Value::Float(999.0))])
+        .unwrap();
+    db.delete(a).unwrap();
+    db.abort().unwrap();
+
+    // a is back at 50, ghost is gone — and the index agrees.
+    assert_eq!(
+        db.index_range("Employee", "salary", None, None).unwrap(),
+        vec![a]
+    );
+    assert!(db
+        .index_range("Employee", "salary", Some(Value::Float(100.0)), None)
+        .unwrap()
+        .is_empty());
+    let _ = ghost;
+}
+
+#[test]
+fn rule_abort_keeps_index_consistent() {
+    // The index must also survive aborts initiated by rules.
+    let mut db = db_with_emps();
+    db.create_index("Employee", "salary").unwrap();
+    db.register_condition("too-high", |_w, f| {
+        Ok(f.param_of("Set-Salary", 0).unwrap().as_float()? > 100.0)
+    });
+    db.add_class_rule(
+        "Employee",
+        RuleDef::new(
+            "Cap",
+            event("end Employee::Set-Salary(float x)").unwrap(),
+            ACTION_ABORT,
+        )
+        .condition("too-high"),
+    )
+    .unwrap();
+    let a = db
+        .create_with("Employee", &[("salary", Value::Float(50.0))])
+        .unwrap();
+    assert!(db.send(a, "Set-Salary", &[Value::Float(500.0)]).is_err());
+    assert_eq!(
+        db.index_get("Employee", "salary", &Value::Float(50.0)).unwrap(),
+        vec![a]
+    );
+    assert!(db
+        .index_get("Employee", "salary", &Value::Float(500.0))
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn query_range_uses_index_and_matches_scan() {
+    let mut db = db_with_emps();
+    for i in 0..100 {
+        db.create_with("Employee", &[("salary", Value::Float(i as f64))])
+            .unwrap();
+    }
+    let q = Query::over("Employee").range(
+        "salary",
+        Some(Value::Float(25.0)),
+        Some(Value::Float(74.0)),
+    );
+    let scanned = q.run_oids(&db).unwrap();
+    db.create_index("Employee", "salary").unwrap();
+    let indexed = q.run_oids(&db).unwrap();
+    assert_eq!(scanned.len(), 50);
+    assert_eq!(scanned, indexed, "index and scan agree");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random interleavings of creates/updates/deletes/aborted batches
+    /// leave the index exactly matching a from-scratch rebuild.
+    #[test]
+    fn index_matches_rebuild_after_random_ops(
+        ops in prop::collection::vec((0u8..4, 0usize..8, -100i64..100), 1..60)
+    ) {
+        let mut db = db_with_emps();
+        db.create_index("Employee", "salary").unwrap();
+        let mut oids: Vec<Oid> = Vec::new();
+        for (kind, pick, v) in ops {
+            match kind {
+                0 => {
+                    let o = db
+                        .create_with("Employee", &[("salary", Value::Float(v as f64))])
+                        .unwrap();
+                    oids.push(o);
+                }
+                1 if !oids.is_empty() => {
+                    let o = oids[pick % oids.len()];
+                    let _ = db.set_attr(o, "salary", Value::Float(v as f64));
+                }
+                2 if !oids.is_empty() => {
+                    let o = oids.remove(pick % oids.len());
+                    let _ = db.delete(o);
+                }
+                _ => {
+                    // An aborted batch: mutations that must not stick.
+                    db.begin().unwrap();
+                    let ghost = db
+                        .create_with("Employee", &[("salary", Value::Float(v as f64))])
+                        .unwrap();
+                    if let Some(&o) = oids.first() {
+                        let _ = db.set_attr(o, "salary", Value::Float((v + 1) as f64));
+                    }
+                    let _ = ghost;
+                    db.abort().unwrap();
+                }
+            }
+        }
+        // Compare the live index against a scan.
+        let indexed = db.index_range("Employee", "salary", None, None).unwrap();
+        let mut expected: Vec<(f64, Oid)> = db
+            .extent("Employee")
+            .unwrap()
+            .into_iter()
+            .map(|o| (db.get_attr(o, "salary").unwrap().as_float().unwrap(), o))
+            .collect();
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let expected: Vec<Oid> = expected.into_iter().map(|(_, o)| o).collect();
+        prop_assert_eq!(indexed, expected);
+    }
+}

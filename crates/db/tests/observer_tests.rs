@@ -1,0 +1,81 @@
+//! Observers: notifiable consumers that are not full ECA rules.
+
+use sentinel_db::prelude::*;
+use sentinel_db::{event, Database};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::reactive("Sensor")
+            .attr("v", TypeTag::Float)
+            .event_method("Read", &[("v", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Sensor", "Read", "v").unwrap();
+    db
+}
+
+#[test]
+fn observer_sees_every_detection_with_parameters() {
+    let mut db = db();
+    let seen = Arc::new(AtomicU64::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+    let (seen2, sum2) = (seen.clone(), sum.clone());
+    db.observe(
+        "watch-reads",
+        event("end Sensor::Read(float v)").unwrap(),
+        move |firing| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+            let v = firing.param_of("Read", 0).unwrap().as_float().unwrap();
+            sum2.fetch_add(v as u64, Ordering::Relaxed);
+        },
+    )
+    .unwrap();
+    db.subscribe_class("Sensor", "watch-reads").unwrap();
+
+    let s = db.create("Sensor").unwrap();
+    for v in [10.0, 20.0, 30.0] {
+        db.send(s, "Read", &[Value::Float(v)]).unwrap();
+    }
+    assert_eq!(seen.load(Ordering::Relaxed), 3);
+    assert_eq!(sum.load(Ordering::Relaxed), 60);
+}
+
+#[test]
+fn observer_is_a_first_class_rule_object() {
+    let mut db = db();
+    let oid = db
+        .observe("obs", event("end Sensor::Read(float v)").unwrap(), |_| {})
+        .unwrap();
+    // Shares the whole rule lifecycle: oid, enable/disable, removal.
+    assert_eq!(db.get_attr(oid, "name").unwrap(), Value::Str("obs".into()));
+    db.disable_rule("obs").unwrap();
+    assert!(!db.rule_enabled("obs").unwrap());
+    db.remove_rule("obs").unwrap();
+    assert!(db.rule_stats("obs").is_err());
+}
+
+#[test]
+fn observer_on_composite_event() {
+    let mut db = db();
+    let pairs = Arc::new(AtomicU64::new(0));
+    let p2 = pairs.clone();
+    let expr = event("end Sensor::Read(float v)")
+        .unwrap()
+        .then(event("end Sensor::Read(float v)").unwrap());
+    db.observe("pairs", expr, move |f| {
+        assert_eq!(f.occurrence.constituents.len(), 2);
+        p2.fetch_add(1, Ordering::Relaxed);
+    })
+    .unwrap();
+    db.subscribe_class("Sensor", "pairs").unwrap();
+    let s = db.create("Sensor").unwrap();
+    for v in 0..5 {
+        db.send(s, "Read", &[Value::Float(v as f64)]).unwrap();
+    }
+    // Chronicle would give 2; the default unrestricted context pairs
+    // every earlier read with every later one: C(5,2) = 10.
+    assert_eq!(pairs.load(Ordering::Relaxed), 10);
+}

@@ -1,0 +1,92 @@
+//! Visibility: the paper's Figure 8 declares `Change-Salary` in the
+//! *private* section yet makes it an event generator — private methods
+//! must raise events for subscribed rules while staying uncallable from
+//! outside the object.
+
+use sentinel_db::prelude::*;
+use sentinel_db::{event, Database};
+
+fn db() -> (Database, Oid) {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::reactive("Employee")
+            .attr("salary", TypeTag::Float)
+            // Figure 8: event begin Change-Salary(float x); (private)
+            .event_method("Change-Salary", &[("x", TypeTag::Float)], EventSpec::Begin)
+            .last_method_visibility(Visibility::Private)
+            .method("Raise", &[("pct", TypeTag::Float)]),
+    )
+    .unwrap();
+    db.register_setter("Employee", "Change-Salary", "salary").unwrap();
+    db.register_method("Employee", "Raise", |w, this, args| {
+        let cur = w.get_attr(this, "salary")?.as_float()?;
+        // Intra-class call: allowed to reach the private method.
+        w.send(
+            this,
+            "Change-Salary",
+            &[Value::Float(cur * (1.0 + args[0].as_float()?))],
+        )
+    })
+    .unwrap();
+    let fred = db
+        .create_with("Employee", &[("salary", Value::Float(100.0))])
+        .unwrap();
+    (db, fred)
+}
+
+#[test]
+fn private_methods_rejected_externally_but_callable_internally() {
+    let (mut db, fred) = db();
+    let err = db
+        .send(fred, "Change-Salary", &[Value::Float(1.0)])
+        .err()
+        .unwrap();
+    assert!(
+        matches!(err, ObjectError::VisibilityViolation { .. }),
+        "{err}"
+    );
+    // The public method reaches it.
+    db.send(fred, "Raise", &[Value::Float(0.5)]).unwrap();
+    assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(150.0));
+}
+
+#[test]
+fn private_event_generators_still_raise_events() {
+    let (mut db, fred) = db();
+    db.register_action("nothing", |_, _| Ok(()));
+    db.add_class_rule(
+        "Employee",
+        RuleDef::new(
+            "WatchPrivate",
+            event("begin Employee::Change-Salary(float x)").unwrap(),
+            "nothing",
+        ),
+    )
+    .unwrap();
+    db.send(fred, "Raise", &[Value::Float(0.1)]).unwrap();
+    assert_eq!(db.rule_stats("WatchPrivate").unwrap().triggered, 1);
+}
+
+#[test]
+fn rule_actions_may_reach_private_methods() {
+    // Rule bodies run inside the engine (nested depth), standing in for
+    // the paper's system-generated code.
+    let (mut db, fred) = db();
+    db.define_class(
+        ClassDecl::reactive("Trigger").event_method("Fire", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Trigger", "Fire", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_action("reset-salary", move |w, _| {
+        w.send(fred, "Change-Salary", &[Value::Float(0.0)])?;
+        Ok(())
+    });
+    db.add_class_rule(
+        "Trigger",
+        RuleDef::new("Reset", event("end Trigger::Fire()").unwrap(), "reset-salary"),
+    )
+    .unwrap();
+    let t = db.create("Trigger").unwrap();
+    db.send(t, "Fire", &[]).unwrap();
+    assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(0.0));
+}

@@ -1,0 +1,272 @@
+//! The composite-event algebra (paper Figure 5 plus extensions).
+//!
+//! The paper supports three operators:
+//!
+//! * **conjunction** `E1 && E2` — signalled when both have occurred, in
+//!   any order;
+//! * **disjunction** `E1 || E2` — signalled when either occurs;
+//! * **sequence** `E1 ; E2` — signalled when `E2` occurs after `E1`.
+//!
+//! The crate also implements three operators from the Snoop lineage that
+//! the paper's group published subsequently; they are flagged as
+//! *extensions* and exercised only by the ablation experiments:
+//!
+//! * `any(m, [E...])` — m distinct members of the list have occurred;
+//! * `not(W) in (S, E)` — `E` occurs after `S` with no `W` in between;
+//! * `aperiodic(S, M, E)` — every `M` between an `S` and the next `E`.
+
+use crate::spec::PrimitiveEventSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A composite event expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields are positional and described per variant
+pub enum EventExpr {
+    /// A primitive event (leaf).
+    Primitive(PrimitiveEventSpec),
+    /// Conjunction: both sides occur, any order.
+    And(Box<EventExpr>, Box<EventExpr>),
+    /// Disjunction: either side occurs.
+    Or(Box<EventExpr>, Box<EventExpr>),
+    /// Sequence: right side occurs strictly after the left side.
+    Seq(Box<EventExpr>, Box<EventExpr>),
+    /// Extension — `m` distinct members of `exprs` have occurred.
+    Any { m: usize, exprs: Vec<EventExpr> },
+    /// Extension — `end` occurs after `start` with no `watch` between.
+    Not {
+        watch: Box<EventExpr>,
+        start: Box<EventExpr>,
+        end: Box<EventExpr>,
+    },
+    /// Extension — every `each` between a `start` and the next `end`.
+    Aperiodic {
+        start: Box<EventExpr>,
+        each: Box<EventExpr>,
+        end: Box<EventExpr>,
+    },
+    /// Extension — every `n`-th occurrence of the operand (counting
+    /// semantics; occurrences are consumed in arrival order).
+    Times { n: usize, expr: Box<EventExpr> },
+    /// Extension — `delta` logical-time units after an occurrence of
+    /// the operand. Detection is lazy: it is signalled by the first
+    /// subsequently delivered occurrence whose timestamp reaches the
+    /// deadline (an event-driven stand-in for Snoop's timer events).
+    Plus { expr: Box<EventExpr>, delta: u64 },
+}
+
+impl EventExpr {
+    /// Leaf constructor from a spec.
+    pub fn primitive(spec: PrimitiveEventSpec) -> Self {
+        EventExpr::Primitive(spec)
+    }
+
+    /// `self && other` (paper's conjunction).
+    pub fn and(self, other: EventExpr) -> Self {
+        EventExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other` (paper's disjunction).
+    pub fn or(self, other: EventExpr) -> Self {
+        EventExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self ; other` (paper's sequence).
+    pub fn then(self, other: EventExpr) -> Self {
+        EventExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Extension constructor: `m` of the given events.
+    pub fn any(m: usize, exprs: Vec<EventExpr>) -> Self {
+        EventExpr::Any { m, exprs }
+    }
+
+    /// Extension constructor: non-occurrence of `watch` between `start`
+    /// and `end`.
+    pub fn not_between(watch: EventExpr, start: EventExpr, end: EventExpr) -> Self {
+        EventExpr::Not {
+            watch: Box::new(watch),
+            start: Box::new(start),
+            end: Box::new(end),
+        }
+    }
+
+    /// Extension constructor: every `each` inside a `(start, end)` window.
+    pub fn aperiodic(start: EventExpr, each: EventExpr, end: EventExpr) -> Self {
+        EventExpr::Aperiodic {
+            start: Box::new(start),
+            each: Box::new(each),
+            end: Box::new(end),
+        }
+    }
+
+    /// Extension constructor: every `n`-th occurrence of `self`.
+    pub fn times(self, n: usize) -> Self {
+        EventExpr::Times {
+            n,
+            expr: Box::new(self),
+        }
+    }
+
+    /// Extension constructor: `delta` logical ticks after `self`.
+    pub fn plus(self, delta: u64) -> Self {
+        EventExpr::Plus {
+            expr: Box::new(self),
+            delta,
+        }
+    }
+
+    /// All primitive specs referenced by this expression, in leaf order.
+    pub fn primitives(&self) -> Vec<&PrimitiveEventSpec> {
+        let mut out = Vec::new();
+        self.collect_primitives(&mut out);
+        out
+    }
+
+    fn collect_primitives<'a>(&'a self, out: &mut Vec<&'a PrimitiveEventSpec>) {
+        match self {
+            EventExpr::Primitive(s) => out.push(s),
+            EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
+                a.collect_primitives(out);
+                b.collect_primitives(out);
+            }
+            EventExpr::Any { exprs, .. } => {
+                for e in exprs {
+                    e.collect_primitives(out);
+                }
+            }
+            EventExpr::Not { watch, start, end } => {
+                watch.collect_primitives(out);
+                start.collect_primitives(out);
+                end.collect_primitives(out);
+            }
+            EventExpr::Aperiodic { start, each, end } => {
+                start.collect_primitives(out);
+                each.collect_primitives(out);
+                end.collect_primitives(out);
+            }
+            EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => {
+                expr.collect_primitives(out);
+            }
+        }
+    }
+
+    /// Depth of the operator tree (a primitive has depth 1). Used by the
+    /// event-management-cost experiment (E2) to sweep expression depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            EventExpr::Primitive(_) => 1,
+            EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+            EventExpr::Any { exprs, .. } => {
+                1 + exprs.iter().map(EventExpr::depth).max().unwrap_or(0)
+            }
+            EventExpr::Not { watch, start, end } => {
+                1 + watch.depth().max(start.depth()).max(end.depth())
+            }
+            EventExpr::Aperiodic { start, each, end } => {
+                1 + start.depth().max(each.depth()).max(end.depth())
+            }
+            EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => 1 + expr.depth(),
+        }
+    }
+
+    /// Number of operator nodes (primitives excluded).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            EventExpr::Primitive(_) => 0,
+            EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
+                1 + a.operator_count() + b.operator_count()
+            }
+            EventExpr::Any { exprs, .. } => {
+                1 + exprs.iter().map(EventExpr::operator_count).sum::<usize>()
+            }
+            EventExpr::Not { watch, start, end } => {
+                1 + watch.operator_count() + start.operator_count() + end.operator_count()
+            }
+            EventExpr::Aperiodic { start, each, end } => {
+                1 + start.operator_count() + each.operator_count() + end.operator_count()
+            }
+            EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => {
+                1 + expr.operator_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for EventExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventExpr::Primitive(s) => write!(f, "{s}"),
+            EventExpr::And(a, b) => write!(f, "({a} && {b})"),
+            EventExpr::Or(a, b) => write!(f, "({a} || {b})"),
+            EventExpr::Seq(a, b) => write!(f, "({a} ; {b})"),
+            EventExpr::Any { m, exprs } => {
+                write!(f, "any({m}, [")?;
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("])")
+            }
+            EventExpr::Not { watch, start, end } => {
+                write!(f, "not({watch}) in ({start}, {end})")
+            }
+            EventExpr::Aperiodic { start, each, end } => {
+                write!(f, "aperiodic({start}, {each}, {end})")
+            }
+            EventExpr::Times { n, expr } => write!(f, "times({n}, {expr})"),
+            EventExpr::Plus { expr, delta } => write!(f, "({expr} + {delta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PrimitiveEventSpec as P;
+
+    fn leaf(m: &str) -> EventExpr {
+        EventExpr::primitive(P::end("C", m))
+    }
+
+    #[test]
+    fn builders_and_display() {
+        let e = leaf("a").and(leaf("b").or(leaf("c"))).then(leaf("d"));
+        assert_eq!(
+            e.to_string(),
+            "((end C::a && (end C::b || end C::c)) ; end C::d)"
+        );
+        assert_eq!(e.depth(), 4);
+        assert_eq!(e.operator_count(), 3);
+    }
+
+    #[test]
+    fn primitives_in_leaf_order() {
+        let e = leaf("a").and(leaf("b")).or(leaf("c"));
+        let names: Vec<_> = e.primitives().iter().map(|s| s.method.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn extension_constructors() {
+        let any = EventExpr::any(2, vec![leaf("a"), leaf("b"), leaf("c")]);
+        assert_eq!(any.depth(), 2);
+        assert_eq!(any.primitives().len(), 3);
+        let not = EventExpr::not_between(leaf("w"), leaf("s"), leaf("e"));
+        assert_eq!(not.to_string(), "not(end C::w) in (end C::s, end C::e)");
+        let ap = EventExpr::aperiodic(leaf("s"), leaf("m"), leaf("e"));
+        assert_eq!(ap.operator_count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = leaf("a").then(leaf("b")).and(leaf("c"));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: EventExpr = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,1767 @@
+//! Incremental composite-event detection.
+//!
+//! Each rule in the paper owns a "local event detector" (Figure 2) that
+//! receives the primitive events propagated to the rule and signals the
+//! rule when its (possibly composite) event occurs. A
+//! [`DetectorInstance`] is that detector: an [`EventExpr`] compiled into
+//! a tree of operator nodes, each holding the partial-detection state the
+//! paper describes for the `Conjunction` subclass (Figure 6: the two
+//! constituent event references plus a `Raised` flag — generalised here
+//! to occurrence buffers so that constituent *parameters* survive until
+//! the composite completes).
+//!
+//! Detection is driven one primitive occurrence at a time through
+//! [`DetectorInstance::process`]; occurrences must arrive in timestamp
+//! order (the database's logical clock guarantees this).
+//!
+//! ## Operator semantics (with `Unrestricted`, the paper's context)
+//!
+//! * `And(a, b)` — every occurrence of `a` pairs with every occurrence of
+//!   `b`, regardless of order.
+//! * `Or(a, b)` — every occurrence of either side is an occurrence of the
+//!   whole.
+//! * `Seq(a, b)` — every occurrence of `b` pairs with every *earlier*
+//!   occurrence of `a` (strictly: `a.end < b.start`).
+//!
+//! The restricted contexts ([`ParamContext`]) change which buffered
+//! occurrences participate and whether they are consumed; see the module
+//! docs in [`crate::context`].
+//!
+//! ## Transactional detection state
+//!
+//! Rules are "subject to the same transaction semantics" as other
+//! objects (paper §2) — which must include their *detection state*: an
+//! occurrence generated inside a rolled-back transaction must not later
+//! complete a composite event, and an occurrence *consumed* by a
+//! detection that was rolled back must be re-armed. The detector
+//! therefore supports an undo journal: between
+//! [`begin_txn`](DetectorInstance::begin_txn) and
+//! [`commit_txn`](DetectorInstance::commit_txn) /
+//! [`abort_txn`](DetectorInstance::abort_txn) every state mutation
+//! records its inverse. The journal costs O(1) per mutation (a marker
+//! for appends; a clone only for destructive pops/clears), so a
+//! transaction over a detector with a large buffer does **not** pay for
+//! the buffer size — the reason this design replaced an earlier
+//! clone-the-detector checkpoint (see DESIGN.md §9).
+
+use crate::algebra::EventExpr;
+use crate::context::ParamContext;
+use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
+use crate::spec::EventModifier;
+use sentinel_object::{ClassId, ClassRegistry, Result};
+use std::collections::VecDeque;
+
+/// Resource limits protecting against unbounded detector state (the
+/// unrestricted context never discards occurrences on its own).
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorCaps {
+    /// Maximum occurrences buffered per operator-node side; the oldest
+    /// occurrence is dropped (and counted) when the cap is exceeded.
+    pub max_buffered_per_node: usize,
+}
+
+impl Default for DetectorCaps {
+    fn default() -> Self {
+        DetectorCaps {
+            max_buffered_per_node: 65_536,
+        }
+    }
+}
+
+/// Counters exposed for the event-management-cost experiments (E2, E12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Occurrences offered to the detector.
+    pub offered: u64,
+    /// Occurrences that matched at least one primitive leaf.
+    pub matched: u64,
+    /// Composite occurrences emitted at the root.
+    pub emitted: u64,
+    /// Occurrences dropped because a node buffer hit its cap.
+    pub dropped: u64,
+}
+
+/// Inverse of one state mutation, tagged with the stateful node it
+/// applies to. Entries are applied in reverse journal order on abort.
+#[derive(Debug, Clone)]
+enum NodeUndo {
+    /// Undo an append to a buffer side.
+    PopBack { side: u8 },
+    /// Undo a consumption (or cap-drop) from the front of a buffer side.
+    PushFront { side: u8, occ: CompositeOccurrence },
+    /// Undo a clear/retain of a whole buffer side.
+    RestoreSide {
+        side: u8,
+        items: VecDeque<CompositeOccurrence>,
+    },
+    /// Undo a write to an `Any` node's latest-per-child slot.
+    SetLatest {
+        i: usize,
+        prev: Option<CompositeOccurrence>,
+    },
+    /// Undo a write to a window node's `open` slot.
+    SetOpen { prev: Option<CompositeOccurrence> },
+    /// Undo a write to a `Not` node's violation flag.
+    SetViolated { prev: bool },
+}
+
+#[derive(Debug, Clone)]
+enum JournalEntry {
+    Node { node: u32, undo: NodeUndo },
+    /// A full pre-state snapshot (recorded by `reset` when a journal is
+    /// active — rare, so the clone is acceptable there).
+    Full(Box<Node>),
+}
+
+/// A compiled, stateful detector for one event expression.
+///
+/// `Clone` duplicates the full partial-detection state (used by tests to
+/// cross-check the journal against brute-force snapshots).
+#[derive(Clone)]
+pub struct DetectorInstance {
+    root: Node,
+    context: ParamContext,
+    caps: DetectorCaps,
+    stats: DetectorStats,
+    journal: Option<Vec<JournalEntry>>,
+}
+
+impl std::fmt::Debug for DetectorInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectorInstance")
+            .field("context", &self.context)
+            .field("stats", &self.stats)
+            .field("buffered", &self.buffered())
+            .field("in_txn", &self.journal.is_some())
+            .finish()
+    }
+}
+
+impl DetectorInstance {
+    /// Compile an expression against the schema. Class names in primitive
+    /// specs are resolved here; unknown classes are reported immediately
+    /// rather than silently never matching.
+    pub fn compile(
+        expr: &EventExpr,
+        registry: &ClassRegistry,
+        context: ParamContext,
+        caps: DetectorCaps,
+    ) -> Result<Self> {
+        let mut next_id = 0u32;
+        Ok(DetectorInstance {
+            root: Node::compile(expr, registry, &mut next_id)?,
+            context,
+            caps,
+            stats: DetectorStats::default(),
+            journal: None,
+        })
+    }
+
+    /// Compile with default context and caps.
+    pub fn compile_default(expr: &EventExpr, registry: &ClassRegistry) -> Result<Self> {
+        Self::compile(expr, registry, ParamContext::default(), DetectorCaps::default())
+    }
+
+    /// Feed one primitive occurrence; returns the composite occurrences
+    /// of the whole expression completed by it (possibly several under
+    /// the unrestricted context, at most one under the restricted ones
+    /// for binary operators).
+    pub fn process(
+        &mut self,
+        registry: &ClassRegistry,
+        occ: &PrimitiveOccurrence,
+    ) -> Vec<CompositeOccurrence> {
+        self.stats.offered += 1;
+        let mut env = Env {
+            registry,
+            context: self.context,
+            caps: self.caps,
+            matched: false,
+            dropped: 0,
+            journal: self.journal.as_mut(),
+        };
+        let out = self.root.process(occ, &mut env);
+        if env.matched {
+            self.stats.matched += 1;
+        }
+        self.stats.dropped += env.dropped;
+        self.stats.emitted += out.len() as u64;
+        out
+    }
+
+    /// Start journaling state mutations for the enclosing transaction.
+    pub fn begin_txn(&mut self) {
+        debug_assert!(self.journal.is_none(), "nested detector transactions");
+        self.journal = Some(Vec::new());
+    }
+
+    /// The transaction committed: discard the journal.
+    pub fn commit_txn(&mut self) {
+        self.journal = None;
+    }
+
+    /// The transaction aborted: replay the journal in reverse, restoring
+    /// exactly the pre-transaction detection state.
+    pub fn abort_txn(&mut self) {
+        let Some(journal) = self.journal.take() else {
+            return;
+        };
+        for entry in journal.into_iter().rev() {
+            match entry {
+                JournalEntry::Full(node) => {
+                    self.root = *node;
+                }
+                JournalEntry::Node { node, undo } => {
+                    self.root.apply_undo(node, undo);
+                }
+            }
+        }
+    }
+
+    /// Is a journal currently active?
+    pub fn in_txn(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Total occurrences currently buffered across all operator nodes —
+    /// the detector-state metric of experiment E12.
+    pub fn buffered(&self) -> usize {
+        self.root.buffered()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+
+    /// Discard all partial state (e.g. when a rule is disabled; the paper
+    /// says a disabled rule no longer records propagated events). When a
+    /// journal is active the pre-reset state is recorded so an abort can
+    /// restore it.
+    pub fn reset(&mut self) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(JournalEntry::Full(Box::new(self.root.clone())));
+        }
+        self.root.reset();
+    }
+
+    /// Discard partial state involving occurrences newer than `ts` —
+    /// a backstop for abort paths that could not be journaled (e.g. a
+    /// rule created inside the aborted transaction). Not journaled.
+    pub fn prune_newer_than(&mut self, ts: u64) {
+        self.root.prune_newer_than(ts);
+    }
+
+    /// The parameter context the detector was compiled with.
+    pub fn context(&self) -> ParamContext {
+        self.context
+    }
+}
+
+/// Per-call environment threaded through the node recursion.
+struct Env<'a> {
+    registry: &'a ClassRegistry,
+    context: ParamContext,
+    caps: DetectorCaps,
+    matched: bool,
+    dropped: u64,
+    journal: Option<&'a mut Vec<JournalEntry>>,
+}
+
+impl Env<'_> {
+    #[inline]
+    fn record(&mut self, node: u32, undo: NodeUndo) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.push(JournalEntry::Node { node, undo });
+        }
+    }
+
+    #[inline]
+    fn journaling(&self) -> bool {
+        self.journal.is_some()
+    }
+}
+
+/// A bounded occurrence buffer (one side of a binary operator).
+#[derive(Debug, Default, Clone)]
+struct Buffer {
+    items: VecDeque<CompositeOccurrence>,
+}
+
+impl Buffer {
+    /// Append, honouring the cap; journals the append (and any cap-drop).
+    fn push(&mut self, node: u32, side: u8, occ: CompositeOccurrence, env: &mut Env<'_>) {
+        if self.items.len() >= env.caps.max_buffered_per_node {
+            if let Some(dropped) = self.items.pop_front() {
+                env.record(node, NodeUndo::PushFront { side, occ: dropped });
+                env.dropped += 1;
+            }
+        }
+        self.items.push_back(occ);
+        env.record(node, NodeUndo::PopBack { side });
+    }
+
+    /// Consume from the front; journals the consumption.
+    fn pop_front(&mut self, node: u32, side: u8, env: &mut Env<'_>) -> Option<CompositeOccurrence> {
+        let occ = self.items.pop_front()?;
+        if env.journaling() {
+            env.record(node, NodeUndo::PushFront { side, occ: occ.clone() });
+        }
+        Some(occ)
+    }
+
+    /// Drop everything; journals the old contents.
+    fn clear(&mut self, node: u32, side: u8, env: &mut Env<'_>) {
+        if self.items.is_empty() {
+            return;
+        }
+        let old = std::mem::take(&mut self.items);
+        if env.journaling() {
+            env.record(node, NodeUndo::RestoreSide { side, items: old });
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Primitive {
+        class: ClassId,
+        method: String,
+        modifier: EventModifier,
+    },
+    And {
+        id: u32,
+        left: Box<Node>,
+        right: Box<Node>,
+        lbuf: Buffer,
+        rbuf: Buffer,
+    },
+    Or {
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Seq {
+        id: u32,
+        left: Box<Node>,
+        right: Box<Node>,
+        lbuf: Buffer,
+    },
+    Any {
+        id: u32,
+        m: usize,
+        children: Vec<Node>,
+        latest: Vec<Option<CompositeOccurrence>>,
+    },
+    Not {
+        id: u32,
+        watch: Box<Node>,
+        start: Box<Node>,
+        end: Box<Node>,
+        open: Option<CompositeOccurrence>,
+        violated: bool,
+    },
+    Aperiodic {
+        id: u32,
+        start: Box<Node>,
+        each: Box<Node>,
+        end: Box<Node>,
+        open: Option<CompositeOccurrence>,
+    },
+    Times {
+        id: u32,
+        n: usize,
+        child: Box<Node>,
+        buf: Buffer,
+    },
+    Plus {
+        id: u32,
+        child: Box<Node>,
+        delta: u64,
+        pending: Buffer,
+    },
+}
+
+impl Node {
+    fn compile(expr: &EventExpr, registry: &ClassRegistry, next_id: &mut u32) -> Result<Node> {
+        let mut fresh = || {
+            let id = *next_id;
+            *next_id += 1;
+            id
+        };
+        Ok(match expr {
+            EventExpr::Primitive(spec) => Node::Primitive {
+                class: registry.id_of(&spec.class)?,
+                method: spec.method.clone(),
+                modifier: spec.modifier,
+            },
+            EventExpr::And(a, b) => Node::And {
+                id: fresh(),
+                left: Box::new(Node::compile(a, registry, next_id)?),
+                right: Box::new(Node::compile(b, registry, next_id)?),
+                lbuf: Buffer::default(),
+                rbuf: Buffer::default(),
+            },
+            EventExpr::Or(a, b) => Node::Or {
+                left: Box::new(Node::compile(a, registry, next_id)?),
+                right: Box::new(Node::compile(b, registry, next_id)?),
+            },
+            EventExpr::Seq(a, b) => Node::Seq {
+                id: fresh(),
+                left: Box::new(Node::compile(a, registry, next_id)?),
+                right: Box::new(Node::compile(b, registry, next_id)?),
+                lbuf: Buffer::default(),
+            },
+            EventExpr::Any { m, exprs } => Node::Any {
+                id: fresh(),
+                m: *m,
+                latest: exprs.iter().map(|_| None).collect(),
+                children: exprs
+                    .iter()
+                    .map(|e| Node::compile(e, registry, next_id))
+                    .collect::<Result<_>>()?,
+            },
+            EventExpr::Not { watch, start, end } => Node::Not {
+                id: fresh(),
+                watch: Box::new(Node::compile(watch, registry, next_id)?),
+                start: Box::new(Node::compile(start, registry, next_id)?),
+                end: Box::new(Node::compile(end, registry, next_id)?),
+                open: None,
+                violated: false,
+            },
+            EventExpr::Aperiodic { start, each, end } => Node::Aperiodic {
+                id: fresh(),
+                start: Box::new(Node::compile(start, registry, next_id)?),
+                each: Box::new(Node::compile(each, registry, next_id)?),
+                end: Box::new(Node::compile(end, registry, next_id)?),
+                open: None,
+            },
+            EventExpr::Times { n, expr } => Node::Times {
+                id: fresh(),
+                n: (*n).max(1),
+                child: Box::new(Node::compile(expr, registry, next_id)?),
+                buf: Buffer::default(),
+            },
+            EventExpr::Plus { expr, delta } => Node::Plus {
+                id: fresh(),
+                child: Box::new(Node::compile(expr, registry, next_id)?),
+                delta: *delta,
+                pending: Buffer::default(),
+            },
+        })
+    }
+
+    fn process(&mut self, occ: &PrimitiveOccurrence, env: &mut Env<'_>) -> Vec<CompositeOccurrence> {
+        match self {
+            Node::Primitive {
+                class,
+                method,
+                modifier,
+            } => {
+                let matches = *modifier == occ.modifier
+                    && method.as_str() == &*occ.method
+                    && env.registry.is_subclass(occ.class, *class);
+                if matches {
+                    env.matched = true;
+                    vec![CompositeOccurrence::from_primitive(occ.clone())]
+                } else {
+                    Vec::new()
+                }
+            }
+
+            Node::Or { left, right } => {
+                let mut out = left.process(occ, env);
+                out.extend(right.process(occ, env));
+                out
+            }
+
+            Node::And {
+                id,
+                left,
+                right,
+                lbuf,
+                rbuf,
+            } => {
+                let le = left.process(occ, env);
+                let re = right.process(occ, env);
+                pair_and(*id, le, re, lbuf, rbuf, env)
+            }
+
+            Node::Seq {
+                id,
+                left,
+                right,
+                lbuf,
+            } => {
+                let le = left.process(occ, env);
+                let re = right.process(occ, env);
+                pair_seq(*id, le, re, lbuf, env)
+            }
+
+            Node::Any {
+                id,
+                m,
+                children,
+                latest,
+            } => {
+                let id = *id;
+                let mut completed = Vec::new();
+                for (i, child) in children.iter_mut().enumerate() {
+                    let es = child.process(occ, env);
+                    if let Some(e) = es.into_iter().next_back() {
+                        let prev = latest[i].replace(e);
+                        let was_present = prev.is_some();
+                        env.record(id, NodeUndo::SetLatest { i, prev });
+                        if !was_present {
+                            let present = latest.iter().filter(|l| l.is_some()).count();
+                            if present >= *m {
+                                let merged =
+                                    CompositeOccurrence::merge_all(latest.iter().flatten());
+                                for (j, l) in latest.iter_mut().enumerate() {
+                                    let prev = l.take();
+                                    if prev.is_some() {
+                                        env.record(id, NodeUndo::SetLatest { i: j, prev });
+                                    }
+                                }
+                                completed.push(merged);
+                            }
+                        }
+                    }
+                }
+                completed
+            }
+
+            Node::Not {
+                id,
+                watch,
+                start,
+                end,
+                open,
+                violated,
+            } => {
+                let id = *id;
+                // Deterministic intra-occurrence ordering: close windows
+                // first, then record violations, then open new windows.
+                let ee = end.process(occ, env);
+                let mut out = Vec::new();
+                if let Some(e) = ee.into_iter().next() {
+                    let prev_open = open.take();
+                    if let Some(s) = prev_open.clone() {
+                        if !*violated {
+                            out.push(CompositeOccurrence::merge(&s, &e));
+                        }
+                    }
+                    env.record(id, NodeUndo::SetOpen { prev: prev_open });
+                    if *violated {
+                        env.record(id, NodeUndo::SetViolated { prev: true });
+                        *violated = false;
+                    }
+                }
+                if open.is_some() && !watch.process(occ, env).is_empty() && !*violated {
+                    env.record(id, NodeUndo::SetViolated { prev: false });
+                    *violated = true;
+                }
+                if let Some(s) = start.process(occ, env).into_iter().next_back() {
+                    let prev = open.replace(s);
+                    env.record(id, NodeUndo::SetOpen { prev });
+                    if *violated {
+                        env.record(id, NodeUndo::SetViolated { prev: true });
+                        *violated = false;
+                    }
+                }
+                out
+            }
+
+            Node::Aperiodic {
+                id,
+                start,
+                each,
+                end,
+                open,
+            } => {
+                let id = *id;
+                if !end.process(occ, env).is_empty() && open.is_some() {
+                    let prev = open.take();
+                    env.record(id, NodeUndo::SetOpen { prev });
+                }
+                let mut out = Vec::new();
+                if let Some(s) = open.as_ref() {
+                    for e in each.process(occ, env) {
+                        out.push(CompositeOccurrence::merge(s, &e));
+                    }
+                } else {
+                    // Still drive the child so its own state stays fresh.
+                    let _ = each.process(occ, env);
+                }
+                if let Some(s) = start.process(occ, env).into_iter().next_back() {
+                    let prev = open.replace(s);
+                    env.record(id, NodeUndo::SetOpen { prev });
+                }
+                out
+            }
+
+            Node::Times { id, n, child, buf } => {
+                let id = *id;
+                let mut out = Vec::new();
+                for e in child.process(occ, env) {
+                    buf.push(id, 0, e, env);
+                    if buf.len() >= *n {
+                        let merged = CompositeOccurrence::merge_all(buf.items.iter());
+                        buf.clear(id, 0, env);
+                        out.push(merged);
+                    }
+                }
+                out
+            }
+
+            Node::Plus {
+                id,
+                child,
+                delta,
+                pending,
+            } => {
+                let id = *id;
+                // Deadlines are checked against the *current* occurrence's
+                // timestamp first (lazy timer), then new bases enqueue.
+                let mut out = Vec::new();
+                while pending
+                    .items
+                    .front()
+                    .map(|b| b.end + *delta <= occ.at)
+                    .unwrap_or(false)
+                {
+                    let base = pending.pop_front(id, 0, env).expect("checked non-empty");
+                    out.push(CompositeOccurrence {
+                        constituents: base.constituents.clone(),
+                        start: base.start,
+                        end: occ.at,
+                    });
+                }
+                for e in child.process(occ, env) {
+                    pending.push(id, 0, e, env);
+                }
+                out
+            }
+        }
+    }
+
+    /// Locate the stateful node `target` and apply one undo entry.
+    /// Returns true when applied (search stops).
+    fn apply_undo(&mut self, target: u32, undo: NodeUndo) -> bool {
+        match self {
+            Node::Primitive { .. } => false,
+            Node::Or { left, right } => {
+                // `undo` moves into whichever branch matches; try left
+                // first, then right.
+                match left.apply_undo(target, undo.clone()) {
+                    true => true,
+                    false => right.apply_undo(target, undo),
+                }
+            }
+            Node::And {
+                id,
+                left,
+                right,
+                lbuf,
+                rbuf,
+            } => {
+                if *id == target {
+                    apply_buffer_undo(undo, lbuf, Some(rbuf));
+                    true
+                } else {
+                    match left.apply_undo(target, undo.clone()) {
+                        true => true,
+                        false => right.apply_undo(target, undo),
+                    }
+                }
+            }
+            Node::Seq {
+                id,
+                left,
+                right,
+                lbuf,
+            } => {
+                if *id == target {
+                    apply_buffer_undo(undo, lbuf, None);
+                    true
+                } else {
+                    match left.apply_undo(target, undo.clone()) {
+                        true => true,
+                        false => right.apply_undo(target, undo),
+                    }
+                }
+            }
+            Node::Any {
+                id,
+                children,
+                latest,
+                ..
+            } => {
+                if *id == target {
+                    if let NodeUndo::SetLatest { i, prev } = undo {
+                        latest[i] = prev;
+                    }
+                    true
+                } else {
+                    children
+                        .iter_mut()
+                        .any(|c| c.apply_undo(target, undo.clone()))
+                }
+            }
+            Node::Not {
+                id,
+                watch,
+                start,
+                end,
+                open,
+                violated,
+            } => {
+                if *id == target {
+                    match undo {
+                        NodeUndo::SetOpen { prev } => *open = prev,
+                        NodeUndo::SetViolated { prev } => *violated = prev,
+                        _ => {}
+                    }
+                    true
+                } else {
+                    watch.apply_undo(target, undo.clone())
+                        || start.apply_undo(target, undo.clone())
+                        || end.apply_undo(target, undo)
+                }
+            }
+            Node::Aperiodic {
+                id,
+                start,
+                each,
+                end,
+                open,
+            } => {
+                if *id == target {
+                    if let NodeUndo::SetOpen { prev } = undo {
+                        *open = prev;
+                    }
+                    true
+                } else {
+                    start.apply_undo(target, undo.clone())
+                        || each.apply_undo(target, undo.clone())
+                        || end.apply_undo(target, undo)
+                }
+            }
+            Node::Times { id, child, buf, .. } => {
+                if *id == target {
+                    apply_buffer_undo(undo, buf, None);
+                    true
+                } else {
+                    child.apply_undo(target, undo)
+                }
+            }
+            Node::Plus {
+                id, child, pending, ..
+            } => {
+                if *id == target {
+                    apply_buffer_undo(undo, pending, None);
+                    true
+                } else {
+                    child.apply_undo(target, undo)
+                }
+            }
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        match self {
+            Node::Primitive { .. } => 0,
+            Node::Or { left, right } => left.buffered() + right.buffered(),
+            Node::And {
+                left,
+                right,
+                lbuf,
+                rbuf,
+                ..
+            } => left.buffered() + right.buffered() + lbuf.len() + rbuf.len(),
+            Node::Seq {
+                left, right, lbuf, ..
+            } => left.buffered() + right.buffered() + lbuf.len(),
+            Node::Any {
+                children, latest, ..
+            } => {
+                children.iter().map(Node::buffered).sum::<usize>()
+                    + latest.iter().filter(|l| l.is_some()).count()
+            }
+            Node::Not {
+                watch,
+                start,
+                end,
+                open,
+                ..
+            } => {
+                watch.buffered() + start.buffered() + end.buffered() + usize::from(open.is_some())
+            }
+            Node::Aperiodic {
+                start,
+                each,
+                end,
+                open,
+                ..
+            } => start.buffered() + each.buffered() + end.buffered() + usize::from(open.is_some()),
+            Node::Times { child, buf, .. } => child.buffered() + buf.len(),
+            Node::Plus { child, pending, .. } => child.buffered() + pending.len(),
+        }
+    }
+
+    fn prune_newer_than(&mut self, ts: u64) {
+        match self {
+            Node::Primitive { .. } => {}
+            Node::Or { left, right } => {
+                left.prune_newer_than(ts);
+                right.prune_newer_than(ts);
+            }
+            Node::And {
+                left,
+                right,
+                lbuf,
+                rbuf,
+                ..
+            } => {
+                left.prune_newer_than(ts);
+                right.prune_newer_than(ts);
+                lbuf.items.retain(|o| o.end <= ts);
+                rbuf.items.retain(|o| o.end <= ts);
+            }
+            Node::Seq {
+                left, right, lbuf, ..
+            } => {
+                left.prune_newer_than(ts);
+                right.prune_newer_than(ts);
+                lbuf.items.retain(|o| o.end <= ts);
+            }
+            Node::Any {
+                children, latest, ..
+            } => {
+                for c in children {
+                    c.prune_newer_than(ts);
+                }
+                for l in latest {
+                    if l.as_ref().map(|o| o.end > ts).unwrap_or(false) {
+                        *l = None;
+                    }
+                }
+            }
+            Node::Not {
+                watch,
+                start,
+                end,
+                open,
+                violated,
+                ..
+            } => {
+                watch.prune_newer_than(ts);
+                start.prune_newer_than(ts);
+                end.prune_newer_than(ts);
+                if open.as_ref().map(|o| o.end > ts).unwrap_or(false) {
+                    *open = None;
+                    *violated = false;
+                }
+            }
+            Node::Aperiodic {
+                start,
+                each,
+                end,
+                open,
+                ..
+            } => {
+                start.prune_newer_than(ts);
+                each.prune_newer_than(ts);
+                end.prune_newer_than(ts);
+                if open.as_ref().map(|o| o.end > ts).unwrap_or(false) {
+                    *open = None;
+                }
+            }
+            Node::Times { child, buf, .. } => {
+                child.prune_newer_than(ts);
+                buf.items.retain(|o| o.end <= ts);
+            }
+            Node::Plus { child, pending, .. } => {
+                child.prune_newer_than(ts);
+                pending.items.retain(|o| o.end <= ts);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Node::Primitive { .. } => {}
+            Node::Or { left, right } => {
+                left.reset();
+                right.reset();
+            }
+            Node::And {
+                left,
+                right,
+                lbuf,
+                rbuf,
+                ..
+            } => {
+                left.reset();
+                right.reset();
+                lbuf.items.clear();
+                rbuf.items.clear();
+            }
+            Node::Seq {
+                left, right, lbuf, ..
+            } => {
+                left.reset();
+                right.reset();
+                lbuf.items.clear();
+            }
+            Node::Any {
+                children, latest, ..
+            } => {
+                for c in children {
+                    c.reset();
+                }
+                for l in latest {
+                    *l = None;
+                }
+            }
+            Node::Not {
+                watch,
+                start,
+                end,
+                open,
+                violated,
+                ..
+            } => {
+                watch.reset();
+                start.reset();
+                end.reset();
+                *open = None;
+                *violated = false;
+            }
+            Node::Aperiodic {
+                start,
+                each,
+                end,
+                open,
+                ..
+            } => {
+                start.reset();
+                each.reset();
+                end.reset();
+                *open = None;
+            }
+            Node::Times { child, buf, .. } => {
+                child.reset();
+                buf.items.clear();
+            }
+            Node::Plus { child, pending, .. } => {
+                child.reset();
+                pending.items.clear();
+            }
+        }
+    }
+}
+
+/// Apply a buffer-shaped undo to an And node (both sides) or a Seq node
+/// (left side only; `rbuf` is `None`).
+fn apply_buffer_undo(undo: NodeUndo, lbuf: &mut Buffer, rbuf: Option<&mut Buffer>) {
+    let side_of = |undo: &NodeUndo| match undo {
+        NodeUndo::PopBack { side }
+        | NodeUndo::PushFront { side, .. }
+        | NodeUndo::RestoreSide { side, .. } => Some(*side),
+        _ => None,
+    };
+    let buf = match side_of(&undo) {
+        Some(0) => lbuf,
+        Some(1) => match rbuf {
+            Some(r) => r,
+            None => return,
+        },
+        _ => return,
+    };
+    match undo {
+        NodeUndo::PopBack { .. } => {
+            buf.items.pop_back();
+        }
+        NodeUndo::PushFront { occ, .. } => {
+            buf.items.push_front(occ);
+        }
+        NodeUndo::RestoreSide { items, .. } => {
+            buf.items = items;
+        }
+        _ => {}
+    }
+}
+
+/// Conjunction pairing under each parameter context.
+fn pair_and(
+    id: u32,
+    le: Vec<CompositeOccurrence>,
+    re: Vec<CompositeOccurrence>,
+    lbuf: &mut Buffer,
+    rbuf: &mut Buffer,
+    env: &mut Env<'_>,
+) -> Vec<CompositeOccurrence> {
+    let mut out = Vec::new();
+    match env.context {
+        ParamContext::Unrestricted => {
+            for l in &le {
+                for r in rbuf.items.iter() {
+                    out.push(CompositeOccurrence::merge(l, r));
+                }
+            }
+            for r in &re {
+                for l in lbuf.items.iter() {
+                    out.push(CompositeOccurrence::merge(l, r));
+                }
+            }
+            for l in &le {
+                for r in &re {
+                    out.push(CompositeOccurrence::merge(l, r));
+                }
+            }
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+            for r in re {
+                rbuf.push(id, 1, r, env);
+            }
+        }
+        ParamContext::Recent => {
+            // Each side retains at most its most recent occurrence. A new
+            // arrival pairs with the retained occurrence of the opposite
+            // side (which is kept — the initiator survives detections);
+            // an arrival that finds no partner becomes the retained one.
+            for l in le {
+                if let Some(r) = rbuf.items.back() {
+                    out.push(CompositeOccurrence::merge(&l, r));
+                } else {
+                    lbuf.clear(id, 0, env);
+                    lbuf.push(id, 0, l, env);
+                }
+            }
+            for r in re {
+                if let Some(l) = lbuf.items.back() {
+                    out.push(CompositeOccurrence::merge(l, &r));
+                } else {
+                    rbuf.clear(id, 1, env);
+                    rbuf.push(id, 1, r, env);
+                }
+            }
+        }
+        ParamContext::Chronicle => {
+            for l in le {
+                match rbuf.pop_front(id, 1, env) {
+                    Some(r) => out.push(CompositeOccurrence::merge(&l, &r)),
+                    None => lbuf.push(id, 0, l, env),
+                }
+            }
+            for r in re {
+                match lbuf.pop_front(id, 0, env) {
+                    Some(l) => out.push(CompositeOccurrence::merge(&l, &r)),
+                    None => rbuf.push(id, 1, r, env),
+                }
+            }
+        }
+        ParamContext::Cumulative => {
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+            for r in re {
+                rbuf.push(id, 1, r, env);
+            }
+            if lbuf.len() > 0 && rbuf.len() > 0 {
+                out.push(CompositeOccurrence::merge_all(
+                    lbuf.items.iter().chain(rbuf.items.iter()),
+                ));
+                lbuf.clear(id, 0, env);
+                rbuf.clear(id, 1, env);
+            }
+        }
+    }
+    out
+}
+
+/// Sequence pairing under each parameter context. Only left-side
+/// occurrences are buffered; a right occurrence that finds no earlier
+/// left can never participate later and is discarded.
+fn pair_seq(
+    id: u32,
+    le: Vec<CompositeOccurrence>,
+    re: Vec<CompositeOccurrence>,
+    lbuf: &mut Buffer,
+    env: &mut Env<'_>,
+) -> Vec<CompositeOccurrence> {
+    let mut out = Vec::new();
+    match env.context {
+        ParamContext::Unrestricted => {
+            for r in &re {
+                for l in lbuf.items.iter().filter(|l| l.end < r.start) {
+                    out.push(CompositeOccurrence::merge(l, r));
+                }
+            }
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+        }
+        ParamContext::Recent => {
+            for r in &re {
+                if let Some(l) = lbuf.items.back().filter(|l| l.end < r.start) {
+                    out.push(CompositeOccurrence::merge(l, r));
+                }
+            }
+            for l in le {
+                lbuf.clear(id, 0, env);
+                lbuf.push(id, 0, l, env);
+            }
+        }
+        ParamContext::Chronicle => {
+            for r in &re {
+                if lbuf
+                    .items
+                    .front()
+                    .map(|l| l.end < r.start)
+                    .unwrap_or(false)
+                {
+                    let l = lbuf.pop_front(id, 0, env).expect("checked non-empty");
+                    out.push(CompositeOccurrence::merge(&l, r));
+                }
+            }
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+        }
+        ParamContext::Cumulative => {
+            for r in &re {
+                let eligible: Vec<_> = lbuf
+                    .items
+                    .iter()
+                    .filter(|l| l.end < r.start)
+                    .cloned()
+                    .collect();
+                if !eligible.is_empty() {
+                    let mut merged = CompositeOccurrence::merge_all(eligible.iter());
+                    merged = CompositeOccurrence::merge(&merged, r);
+                    out.push(merged);
+                    // Journal the pre-retain contents, then consume the
+                    // eligible prefix.
+                    if env.journaling() {
+                        env.record(
+                            id,
+                            NodeUndo::RestoreSide {
+                                side: 0,
+                                items: lbuf.items.clone(),
+                            },
+                        );
+                    }
+                    lbuf.items.retain(|l| l.end >= r.start);
+                }
+            }
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PrimitiveEventSpec as P;
+    use sentinel_object::{ClassDecl, Oid, Value};
+    use std::sync::Arc;
+
+    /// Schema with two reactive classes used throughout.
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("Stock").method("SetPrice", &[]))
+            .unwrap();
+        reg.define(ClassDecl::reactive("FinancialInfo").method("SetValue", &[]))
+            .unwrap();
+        reg.define(ClassDecl::reactive("Growth").parent("Stock"))
+            .unwrap();
+        reg
+    }
+
+    fn occ(reg: &ClassRegistry, at: u64, class: &str, method: &str) -> PrimitiveOccurrence {
+        let cid = reg.id_of(class).unwrap();
+        PrimitiveOccurrence {
+            at,
+            oid: Oid(at),
+            class: cid,
+            owner: cid,
+            method: method.into(),
+            modifier: EventModifier::End,
+            params: Arc::from(vec![Value::Int(at as i64)]),
+        }
+    }
+
+    fn stock(m: &str) -> EventExpr {
+        EventExpr::primitive(P::end("Stock", m))
+    }
+    fn fininfo(m: &str) -> EventExpr {
+        EventExpr::primitive(P::end("FinancialInfo", m))
+    }
+
+    #[test]
+    fn primitive_matches_class_method_modifier() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&stock("SetPrice"), &reg).unwrap();
+        assert_eq!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).len(), 1);
+        // Wrong method.
+        assert!(d.process(&reg, &occ(&reg, 2, "Stock", "Other")).is_empty());
+        // Wrong class.
+        assert!(d
+            .process(&reg, &occ(&reg, 3, "FinancialInfo", "SetPrice"))
+            .is_empty());
+        // Wrong modifier.
+        let mut begin_occ = occ(&reg, 4, "Stock", "SetPrice");
+        begin_occ.modifier = EventModifier::Begin;
+        assert!(d.process(&reg, &begin_occ).is_empty());
+        let s = d.stats();
+        assert_eq!(s.offered, 4);
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.emitted, 1);
+    }
+
+    #[test]
+    fn primitive_matches_subclass_instances() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&stock("SetPrice"), &reg).unwrap();
+        // Growth is a subclass of Stock: its invocations match.
+        assert_eq!(d.process(&reg, &occ(&reg, 1, "Growth", "SetPrice")).len(), 1);
+    }
+
+    #[test]
+    fn compile_rejects_unknown_class() {
+        let reg = registry();
+        let err = DetectorInstance::compile_default(&EventExpr::primitive(P::end("Nope", "m")), &reg)
+            .err()
+            .unwrap();
+        assert!(matches!(err, sentinel_object::ObjectError::UnknownClass(_)));
+    }
+
+    #[test]
+    fn conjunction_detects_in_any_order() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).is_empty());
+        let got = d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start, 1);
+        assert_eq!(got[0].end, 2);
+        // Reverse order also detects.
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d
+            .process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"))
+            .is_empty());
+        assert_eq!(d.process(&reg, &occ(&reg, 4, "Stock", "SetPrice")).len(), 1);
+    }
+
+    #[test]
+    fn conjunction_unrestricted_all_combinations() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice"));
+        // Two buffered lefts: one right pairs with both.
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 2);
+        // Nothing is consumed: another right pairs with both lefts again.
+        let got = d.process(&reg, &occ(&reg, 4, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 2);
+        assert_eq!(d.buffered(), 4);
+    }
+
+    #[test]
+    fn disjunction_forwards_both_sides() {
+        let reg = registry();
+        let expr = stock("SetPrice").or(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert_eq!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).len(), 1);
+        assert_eq!(
+            d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue")).len(),
+            1
+        );
+        assert!(d.process(&reg, &occ(&reg, 3, "Stock", "Nothing")).is_empty());
+        assert_eq!(d.buffered(), 0, "disjunction is stateless");
+    }
+
+    #[test]
+    fn sequence_requires_order() {
+        let reg = registry();
+        let expr = stock("SetPrice").then(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        // Right before left: no detection, right is discarded.
+        assert!(d
+            .process(&reg, &occ(&reg, 1, "FinancialInfo", "SetValue"))
+            .is_empty());
+        assert!(d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice")).is_empty());
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].start, got[0].end), (2, 3));
+    }
+
+    #[test]
+    fn nested_composites_propagate() {
+        // (a ; b) && c — paper: "E1 and E2 may potentially be composite".
+        let reg = registry();
+        let expr = stock("a").then(stock("b")).and(fininfo("c"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "a"));
+        d.process(&reg, &occ(&reg, 2, "FinancialInfo", "c"));
+        // Seq completes now, pairing with buffered c.
+        let got = d.process(&reg, &occ(&reg, 3, "Stock", "b"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].constituents.len(), 3);
+        assert_eq!((got[0].start, got[0].end), (1, 3));
+    }
+
+    #[test]
+    fn same_primitive_on_both_sides_of_and() {
+        // And(e, e): one occurrence matches both children and pairs with
+        // itself exactly once.
+        let reg = registry();
+        let expr = stock("SetPrice").and(stock("SetPrice"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        let got = d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].constituents.len(), 2);
+    }
+
+    #[test]
+    fn same_primitive_on_both_sides_of_seq_never_self_pairs() {
+        // Seq(e, e): an occurrence is not strictly after itself.
+        let reg = registry();
+        let expr = stock("SetPrice").then(stock("SetPrice"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).is_empty());
+        // Second occurrence pairs with the first.
+        assert_eq!(d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice")).len(), 1);
+    }
+
+    #[test]
+    fn recent_context_keeps_latest_initiator() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d =
+            DetectorInstance::compile(&expr, &reg, ParamContext::Recent, DetectorCaps::default())
+                .unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice")); // replaces t=1
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start, 2, "most recent left wins");
+        // Initiator retained: another terminator pairs again.
+        let got = d.process(&reg, &occ(&reg, 4, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert!(d.buffered() <= 1, "recent context state is bounded");
+    }
+
+    #[test]
+    fn chronicle_context_pairs_fifo_and_consumes() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice"));
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start, 1, "oldest left pairs first");
+        let got = d.process(&reg, &occ(&reg, 4, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].start, 2);
+        // Both lefts consumed.
+        let got = d.process(&reg, &occ(&reg, 5, "FinancialInfo", "SetValue"));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn cumulative_context_flushes_everything_once() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Cumulative,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice"));
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].constituents.len(), 3, "all occurrences flushed");
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn any_two_of_three() {
+        let reg = registry();
+        let expr = EventExpr::any(2, vec![stock("a"), stock("b"), stock("c")]);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "a")).is_empty());
+        // Repeats of the same child do not complete.
+        assert!(d.process(&reg, &occ(&reg, 2, "Stock", "a")).is_empty());
+        let got = d.process(&reg, &occ(&reg, 3, "Stock", "c"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].constituents.len(), 2);
+        // State cleared after detection.
+        assert!(d.process(&reg, &occ(&reg, 4, "Stock", "b")).is_empty());
+    }
+
+    #[test]
+    fn not_between_window() {
+        let reg = registry();
+        let expr = EventExpr::not_between(stock("w"), stock("s"), stock("e"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        // s .. e with no w: detect.
+        d.process(&reg, &occ(&reg, 1, "Stock", "s"));
+        assert_eq!(d.process(&reg, &occ(&reg, 2, "Stock", "e")).len(), 1);
+        // s .. w .. e: suppressed.
+        d.process(&reg, &occ(&reg, 3, "Stock", "s"));
+        d.process(&reg, &occ(&reg, 4, "Stock", "w"));
+        assert!(d.process(&reg, &occ(&reg, 5, "Stock", "e")).is_empty());
+        // e without open window: nothing.
+        assert!(d.process(&reg, &occ(&reg, 6, "Stock", "e")).is_empty());
+    }
+
+    #[test]
+    fn aperiodic_emits_each_inside_window() {
+        let reg = registry();
+        let expr = EventExpr::aperiodic(stock("s"), stock("m"), stock("e"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "m")).is_empty());
+        d.process(&reg, &occ(&reg, 2, "Stock", "s"));
+        assert_eq!(d.process(&reg, &occ(&reg, 3, "Stock", "m")).len(), 1);
+        assert_eq!(d.process(&reg, &occ(&reg, 4, "Stock", "m")).len(), 1);
+        d.process(&reg, &occ(&reg, 5, "Stock", "e"));
+        assert!(d.process(&reg, &occ(&reg, 6, "Stock", "m")).is_empty());
+    }
+
+    #[test]
+    fn caps_drop_oldest_and_count() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Unrestricted,
+            DetectorCaps {
+                max_buffered_per_node: 2,
+            },
+        )
+        .unwrap();
+        for t in 1..=5 {
+            d.process(&reg, &occ(&reg, t, "Stock", "SetPrice"));
+        }
+        assert_eq!(d.buffered(), 2);
+        assert_eq!(d.stats().dropped, 3);
+        // Only the two newest survive to pair.
+        let got = d.process(&reg, &occ(&reg, 6, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.iter().map(|g| g.start).min(), Some(4));
+    }
+
+    #[test]
+    fn reset_clears_partial_state() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        assert_eq!(d.buffered(), 1);
+        d.reset();
+        assert_eq!(d.buffered(), 0);
+        assert!(d
+            .process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"))
+            .is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // Journal (transactional detection state) tests
+    // -----------------------------------------------------------------
+
+    /// Drive the same stream through a journaled detector (which then
+    /// aborts) and assert its state equals the pre-transaction clone.
+    fn assert_abort_restores(
+        expr: &EventExpr,
+        ctx: ParamContext,
+        pre: &[PrimitiveOccurrence],
+        during: &[PrimitiveOccurrence],
+        reg: &ClassRegistry,
+    ) {
+        let mut d =
+            DetectorInstance::compile(expr, reg, ctx, DetectorCaps::default()).unwrap();
+        for o in pre {
+            d.process(reg, o);
+        }
+        let snapshot = d.clone();
+        d.begin_txn();
+        for o in during {
+            d.process(reg, o);
+        }
+        d.abort_txn();
+        // Equality via behaviour: same buffered count and identical
+        // emissions for a common probe suffix.
+        assert_eq!(d.buffered(), snapshot.buffered(), "buffered after abort");
+        let mut d2 = snapshot;
+        let probe: Vec<PrimitiveOccurrence> = (1000..1010)
+            .map(|t| occ(reg, t, "Stock", "SetPrice"))
+            .chain((1010..1020).map(|t| occ(reg, t, "FinancialInfo", "SetValue")))
+            .collect();
+        for o in &probe {
+            assert_eq!(
+                d.process(reg, o),
+                d2.process(reg, o),
+                "behavioural divergence after abort"
+            );
+        }
+    }
+
+    #[test]
+    fn abort_restores_state_across_contexts() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let pre: Vec<_> = (1..6).map(|t| occ(&reg, t, "Stock", "SetPrice")).collect();
+        let during: Vec<_> = vec![
+            occ(&reg, 10, "FinancialInfo", "SetValue"), // consumes under chronicle
+            occ(&reg, 11, "Stock", "SetPrice"),
+            occ(&reg, 12, "FinancialInfo", "SetValue"),
+        ];
+        for ctx in ParamContext::ALL {
+            assert_abort_restores(&expr, ctx, &pre, &during, &reg);
+        }
+    }
+
+    #[test]
+    fn abort_restores_seq_and_extensions() {
+        let reg = registry();
+        let pre: Vec<_> = (1..4).map(|t| occ(&reg, t, "Stock", "SetPrice")).collect();
+        let during: Vec<_> = vec![
+            occ(&reg, 10, "FinancialInfo", "SetValue"),
+            occ(&reg, 11, "Stock", "SetPrice"),
+        ];
+        let seq = stock("SetPrice").then(fininfo("SetValue"));
+        for ctx in ParamContext::ALL {
+            assert_abort_restores(&seq, ctx, &pre, &during, &reg);
+        }
+        // Any / Not / Aperiodic use window state.
+        let any = EventExpr::any(2, vec![stock("SetPrice"), fininfo("SetValue"), stock("x")]);
+        assert_abort_restores(&any, ParamContext::Unrestricted, &pre, &during, &reg);
+        let not = EventExpr::not_between(
+            stock("w"),
+            stock("SetPrice"),
+            fininfo("SetValue"),
+        );
+        assert_abort_restores(&not, ParamContext::Unrestricted, &pre, &during, &reg);
+        let ap = EventExpr::aperiodic(stock("SetPrice"), fininfo("SetValue"), stock("e"));
+        assert_abort_restores(&ap, ParamContext::Unrestricted, &pre, &during, &reg);
+    }
+
+    #[test]
+    fn abort_restores_consumed_occurrences() {
+        // The banking regression shape, at detector level: a chronicle
+        // sequence whose left constituent is consumed inside the aborted
+        // transaction must be re-armed.
+        let reg = registry();
+        let expr = stock("SetPrice").then(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.begin_txn();
+        let got = d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1, "detection inside the transaction");
+        d.abort_txn();
+        // The left is armed again: a new terminator pairs.
+        let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1, "consumed occurrence restored by abort");
+    }
+
+    #[test]
+    fn commit_keeps_transaction_state() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.begin_txn();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.commit_txn();
+        assert_eq!(d.buffered(), 1);
+        let got = d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn reset_inside_txn_is_undone_by_abort() {
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice"));
+        d.begin_txn();
+        d.reset();
+        assert_eq!(d.buffered(), 0);
+        d.abort_txn();
+        assert_eq!(d.buffered(), 1, "reset rolled back");
+    }
+
+    #[test]
+    fn journal_overhead_is_constant_per_event() {
+        // The journal must not clone buffers on append-only workloads:
+        // with N buffered occurrences, a journaled append stays O(1).
+        // (Guarded indirectly: entries recorded equal events processed.)
+        let reg = registry();
+        let expr = stock("SetPrice").and(fininfo("SetValue"));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        for t in 1..=1000 {
+            d.process(&reg, &occ(&reg, t, "Stock", "SetPrice"));
+        }
+        d.begin_txn();
+        d.process(&reg, &occ(&reg, 2000, "Stock", "SetPrice"));
+        assert_eq!(
+            d.journal.as_ref().map(|j| j.len()),
+            Some(1),
+            "one journal marker for one append"
+        );
+        d.commit_txn();
+    }
+}
+
+#[cfg(test)]
+mod extension_op_tests {
+    use super::*;
+    use crate::spec::PrimitiveEventSpec as P;
+    use sentinel_object::{ClassDecl, Oid, Value};
+    use std::sync::Arc;
+
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("m", &[]).method("x", &[]))
+            .unwrap();
+        reg
+    }
+
+    fn occ(reg: &ClassRegistry, at: u64, method: &str) -> PrimitiveOccurrence {
+        let cid = reg.id_of("C").unwrap();
+        PrimitiveOccurrence {
+            at,
+            oid: Oid(at),
+            class: cid,
+            owner: cid,
+            method: method.into(),
+            modifier: EventModifier::End,
+            params: Arc::from(Vec::<Value>::new()),
+        }
+    }
+
+    fn leaf(m: &str) -> EventExpr {
+        EventExpr::primitive(P::end("C", m))
+    }
+
+    #[test]
+    fn times_emits_every_nth_and_consumes() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&leaf("m").times(3), &reg).unwrap();
+        let mut emissions = 0;
+        for t in 1..=9 {
+            emissions += d.process(&reg, &occ(&reg, t, "m")).len();
+        }
+        assert_eq!(emissions, 3, "9 occurrences / n=3");
+        assert_eq!(d.buffered(), 0, "every group consumed");
+        // Each emission carries its n constituents.
+        let mut d = DetectorInstance::compile_default(&leaf("m").times(2), &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        let got = d.process(&reg, &occ(&reg, 2, "m"));
+        assert_eq!(got[0].constituents.len(), 2);
+        assert_eq!((got[0].start, got[0].end), (1, 2));
+    }
+
+    #[test]
+    fn times_abort_restores_partial_count() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&leaf("m").times(3), &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.begin_txn();
+        d.process(&reg, &occ(&reg, 2, "m"));
+        assert_eq!(d.process(&reg, &occ(&reg, 3, "m")).len(), 1);
+        d.abort_txn();
+        // Back to one buffered occurrence: two more complete the group.
+        assert_eq!(d.buffered(), 1);
+        d.process(&reg, &occ(&reg, 4, "m"));
+        assert_eq!(d.process(&reg, &occ(&reg, 5, "m")).len(), 1);
+    }
+
+    #[test]
+    fn plus_fires_lazily_at_or_after_deadline() {
+        let reg = registry();
+        // m + 10 ticks, signalled by whatever occurrence crosses it.
+        let mut d = DetectorInstance::compile_default(&leaf("m").plus(10), &reg).unwrap();
+        d.process(&reg, &occ(&reg, 5, "m")); // base at t=5, deadline 15
+        assert!(d.process(&reg, &occ(&reg, 10, "x")).is_empty(), "too early");
+        let got = d.process(&reg, &occ(&reg, 16, "x"));
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].start, got[0].end), (5, 16));
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn plus_queues_multiple_bases_fifo() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&leaf("m").plus(5), &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.process(&reg, &occ(&reg, 3, "m"));
+        // t=8 crosses 1+5 and 3+5: both fire, oldest first.
+        let got = d.process(&reg, &occ(&reg, 8, "x"));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].start, 1);
+        assert_eq!(got[1].start, 3);
+    }
+
+    #[test]
+    fn plus_abort_reinstates_pending_deadline() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&leaf("m").plus(5), &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.begin_txn();
+        assert_eq!(d.process(&reg, &occ(&reg, 7, "x")).len(), 1);
+        d.abort_txn();
+        // The pending deadline is re-armed and fires again.
+        assert_eq!(d.process(&reg, &occ(&reg, 9, "x")).len(), 1);
+    }
+
+    #[test]
+    fn composition_times_of_sequence() {
+        // Every 2nd (a ; b) pair.
+        let reg = registry();
+        let expr = leaf("m").then(leaf("x")).times(2);
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        let mut emissions = 0;
+        for t in 0..8 {
+            let m = if t % 2 == 0 { "m" } else { "x" };
+            emissions += d.process(&reg, &occ(&reg, t + 1, m)).len();
+        }
+        // 4 sequence detections → 2 times-emissions of 4 constituents.
+        assert_eq!(emissions, 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Parser for the paper's event-signature strings (§4.6).
+//!
+//! The paper creates primitive event objects from signature strings:
+//!
+//! ```text
+//! Event* empsal   = new Primitive ("end Employee::Set-Salary(float x)")
+//! Event* withdraw = new Primitive ("before Account::Withdraw(float x)")
+//! ```
+//!
+//! Accepted grammar (whitespace-insensitive around tokens):
+//!
+//! ```text
+//! signature := modifier class "::" method [ "(" params ")" ]
+//! modifier  := "begin" | "bom" | "before" | "end" | "eom" | "after"
+//! ```
+//!
+//! The parenthesised parameter list is accepted and ignored — the schema
+//! is the source of truth for parameter types; the paper includes the
+//! list purely to make the signature unique and readable.
+
+use crate::spec::{EventModifier, PrimitiveEventSpec};
+use sentinel_object::{ObjectError, Result};
+
+/// Parse a paper-style signature string into a [`PrimitiveEventSpec`].
+pub fn parse_signature(sig: &str) -> Result<PrimitiveEventSpec> {
+    let s = sig.trim();
+    let (modifier, rest) = match s.split_once(char::is_whitespace) {
+        Some((m, rest)) => (m, rest.trim_start()),
+        None => {
+            return Err(ObjectError::EventParse(format!(
+                "`{sig}`: expected `<modifier> <Class>::<method>`"
+            )))
+        }
+    };
+    let modifier = match modifier {
+        "begin" | "bom" | "before" => EventModifier::Begin,
+        "end" | "eom" | "after" => EventModifier::End,
+        other => {
+            return Err(ObjectError::EventParse(format!(
+                "`{sig}`: unknown modifier `{other}` (expected begin/before/bom or end/after/eom)"
+            )))
+        }
+    };
+    // Strip an optional parameter list.
+    let rest = match rest.find('(') {
+        Some(idx) => {
+            let tail = rest[idx..].trim();
+            if !tail.ends_with(')') {
+                return Err(ObjectError::EventParse(format!(
+                    "`{sig}`: unterminated parameter list"
+                )));
+            }
+            rest[..idx].trim()
+        }
+        None => rest.trim(),
+    };
+    let (class, method) = rest.split_once("::").ok_or_else(|| {
+        ObjectError::EventParse(format!("`{sig}`: expected `Class::method`, got `{rest}`"))
+    })?;
+    let class = class.trim();
+    let method = method.trim();
+    if class.is_empty() || method.is_empty() {
+        return Err(ObjectError::EventParse(format!(
+            "`{sig}`: empty class or method name"
+        )));
+    }
+    Ok(PrimitiveEventSpec {
+        class: class.to_string(),
+        method: method.to_string(),
+        modifier,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_parse() {
+        // §4.6 examples, verbatim.
+        let e = parse_signature("end Employee::Set-Salary(float x)").unwrap();
+        assert_eq!(e, PrimitiveEventSpec::end("Employee", "Set-Salary"));
+
+        let e = parse_signature("end Account::Deposit(float x)").unwrap();
+        assert_eq!(e, PrimitiveEventSpec::end("Account", "Deposit"));
+
+        let e = parse_signature("before Account::Withdraw(float x)").unwrap();
+        assert_eq!(e, PrimitiveEventSpec::begin("Account", "Withdraw"));
+
+        // Figure 9 example.
+        let e = parse_signature("begin Person::Marry (Person* spouse)").unwrap();
+        assert_eq!(e, PrimitiveEventSpec::begin("Person", "Marry"));
+    }
+
+    #[test]
+    fn modifier_synonyms() {
+        for m in ["begin", "bom", "before"] {
+            assert_eq!(
+                parse_signature(&format!("{m} C::m")).unwrap().modifier,
+                EventModifier::Begin
+            );
+        }
+        for m in ["end", "eom", "after"] {
+            assert_eq!(
+                parse_signature(&format!("{m} C::m")).unwrap().modifier,
+                EventModifier::End
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_list_optional_and_ignored() {
+        assert_eq!(
+            parse_signature("end C::m").unwrap(),
+            parse_signature("end C::m(int a, float b)").unwrap()
+        );
+    }
+
+    #[test]
+    fn malformed_signatures_rejected() {
+        for bad in [
+            "",
+            "end",
+            "banana C::m",
+            "end Cm",
+            "end ::m",
+            "end C::",
+            "end C::m(unclosed",
+        ] {
+            assert!(
+                matches!(parse_signature(bad), Err(ObjectError::EventParse(_))),
+                "should reject `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let e = parse_signature("  end   Stock::SetPrice ( float p ) ").unwrap();
+        assert_eq!(e, PrimitiveEventSpec::end("Stock", "SetPrice"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Primitive event specifications.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shade of a primitive event: before or after method execution.
+///
+/// The paper uses `begin`/`end` (bom/eom) in §4.3 and `before`/`after` in
+/// §4.6's signature examples; both surface syntaxes map to this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventModifier {
+    /// begin-of-method: signalled before the body executes.
+    Begin,
+    /// end-of-method: signalled after the body returns.
+    End,
+}
+
+impl fmt::Display for EventModifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventModifier::Begin => "begin",
+            EventModifier::End => "end",
+        })
+    }
+}
+
+/// A primitive event specification: *which* method invocations, on
+/// instances of *which* class, at *which* shade.
+///
+/// A specification written against a class also matches invocations on
+/// instances of its subclasses (matching ADAM's inheritance of rules and
+/// the natural OO reading of "an employee object executes the method
+/// Change-Income" — a manager *is an* employee). Matching against the
+/// dynamic class is performed by the detector, which resolves the class
+/// name against the schema at compile time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrimitiveEventSpec {
+    /// The class whose instances (and subclass instances) generate it.
+    pub class: String,
+    /// The generating method.
+    pub method: String,
+    /// begin-of-method or end-of-method.
+    pub modifier: EventModifier,
+}
+
+impl PrimitiveEventSpec {
+    /// Spec for the begin-of-method event of `class::method`.
+    pub fn begin(class: impl Into<String>, method: impl Into<String>) -> Self {
+        PrimitiveEventSpec {
+            class: class.into(),
+            method: method.into(),
+            modifier: EventModifier::Begin,
+        }
+    }
+
+    /// Spec for the end-of-method event of `class::method`.
+    pub fn end(class: impl Into<String>, method: impl Into<String>) -> Self {
+        PrimitiveEventSpec {
+            class: class.into(),
+            method: method.into(),
+            modifier: EventModifier::End,
+        }
+    }
+}
+
+impl fmt::Display for PrimitiveEventSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}::{}", self.modifier, self.class, self.method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_display() {
+        let s = PrimitiveEventSpec::end("Employee", "Set-Salary");
+        assert_eq!(s.modifier, EventModifier::End);
+        assert_eq!(s.to_string(), "end Employee::Set-Salary");
+        let b = PrimitiveEventSpec::begin("Person", "Marry");
+        assert_eq!(b.to_string(), "begin Person::Marry");
+    }
+}

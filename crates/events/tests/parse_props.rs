@@ -1,0 +1,60 @@
+//! Property tests for the event-signature parser.
+
+use proptest::prelude::*;
+use sentinel_events::{parse_signature, EventModifier, PrimitiveEventSpec};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // The paper's identifiers include hyphens (Set-Salary) and
+    // alphanumerics; keep `::`, whitespace and parens out.
+    "[A-Za-z][A-Za-z0-9_-]{0,20}"
+}
+
+proptest! {
+    /// Display form of a spec parses back to the same spec — for every
+    /// modifier synonym accepted by the grammar.
+    #[test]
+    fn display_parse_round_trip(class in arb_ident(), method in arb_ident(), end in any::<bool>()) {
+        let spec = if end {
+            PrimitiveEventSpec::end(&class, &method)
+        } else {
+            PrimitiveEventSpec::begin(&class, &method)
+        };
+        let parsed = parse_signature(&spec.to_string()).unwrap();
+        prop_assert_eq!(parsed, spec);
+    }
+
+    /// A parameter list never changes the parse.
+    #[test]
+    fn parameter_list_is_ignored(
+        class in arb_ident(),
+        method in arb_ident(),
+        params in "[a-z ,*&0-9]{0,30}",
+    ) {
+        let bare = parse_signature(&format!("end {class}::{method}")).unwrap();
+        let with = parse_signature(&format!("end {class}::{method}({params})")).unwrap();
+        prop_assert_eq!(bare, with);
+    }
+
+    /// Synonyms map to the right modifier.
+    #[test]
+    fn modifier_synonyms(class in arb_ident(), method in arb_ident(), pick in 0usize..6) {
+        let (word, expected) = [
+            ("begin", EventModifier::Begin),
+            ("bom", EventModifier::Begin),
+            ("before", EventModifier::Begin),
+            ("end", EventModifier::End),
+            ("eom", EventModifier::End),
+            ("after", EventModifier::End),
+        ][pick];
+        let parsed = parse_signature(&format!("{word} {class}::{method}")).unwrap();
+        prop_assert_eq!(parsed.modifier, expected);
+        prop_assert_eq!(parsed.class, class);
+        prop_assert_eq!(parsed.method, method);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn never_panics(input in ".{0,60}") {
+        let _ = parse_signature(&input);
+    }
+}

@@ -1,0 +1,103 @@
+//! Instance state.
+
+use crate::error::{ObjectError, Result};
+use crate::schema::{ClassDef, ClassId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The stored state of one object: its class plus one value per slot of
+/// the class layout (inherited slots included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectState {
+    /// The instance's (dynamic) class.
+    pub class: ClassId,
+    /// One value per slot of the class layout, inherited slots included.
+    pub slots: Vec<Value>,
+}
+
+impl ObjectState {
+    /// Fresh instance state with every slot at its declared default.
+    pub fn new(def: &ClassDef) -> Self {
+        ObjectState {
+            class: def.id,
+            slots: def.layout.iter().map(|s| s.attr.default.clone()).collect(),
+        }
+    }
+
+    /// Read an attribute through the class layout.
+    pub fn get(&self, def: &ClassDef, attr: &str) -> Result<&Value> {
+        match def.slot_of(attr) {
+            Some(idx) => Ok(&self.slots[idx]),
+            None => Err(ObjectError::UnknownAttribute {
+                class: def.name.clone(),
+                attribute: attr.to_string(),
+            }),
+        }
+    }
+
+    /// Write an attribute through the class layout, enforcing the
+    /// declared type. Returns the previous value (used for undo logging).
+    pub fn set(&mut self, def: &ClassDef, attr: &str, value: Value) -> Result<Value> {
+        let idx = def
+            .slot_of(attr)
+            .ok_or_else(|| ObjectError::UnknownAttribute {
+                class: def.name.clone(),
+                attribute: attr.to_string(),
+            })?;
+        let declared = def.layout[idx].attr.ty;
+        if !value.conforms_to(declared) {
+            return Err(ObjectError::TypeMismatch {
+                expected: declared,
+                found: value.type_tag(),
+            });
+        }
+        Ok(std::mem::replace(&mut self.slots[idx], value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ClassDecl, ClassRegistry};
+    use crate::value::TypeTag;
+
+    #[test]
+    fn defaults_then_get_set() {
+        let mut reg = ClassRegistry::new();
+        let id = reg
+            .define(
+                ClassDecl::new("Point")
+                    .attr("x", TypeTag::Float)
+                    .attr_with_default("label", TypeTag::Str, Value::Str("origin".into())),
+            )
+            .unwrap();
+        let def = reg.get(id);
+        let mut st = ObjectState::new(def);
+        assert_eq!(st.get(def, "x").unwrap(), &Value::Float(0.0));
+        assert_eq!(st.get(def, "label").unwrap(), &Value::Str("origin".into()));
+        let old = st.set(def, "x", Value::Float(3.5)).unwrap();
+        assert_eq!(old, Value::Float(0.0));
+        assert_eq!(st.get(def, "x").unwrap(), &Value::Float(3.5));
+    }
+
+    #[test]
+    fn type_enforcement_and_widening() {
+        let mut reg = ClassRegistry::new();
+        let id = reg
+            .define(ClassDecl::new("P").attr("x", TypeTag::Float))
+            .unwrap();
+        let def = reg.get(id);
+        let mut st = ObjectState::new(def);
+        // Int widens into a Float slot.
+        st.set(def, "x", Value::Int(2)).unwrap();
+        // But a string does not.
+        assert!(matches!(
+            st.set(def, "x", Value::Str("no".into())),
+            Err(ObjectError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            st.get(def, "nope"),
+            Err(ObjectError::UnknownAttribute { .. })
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! The in-memory object store.
+//!
+//! Holds every live instance, keyed by [`Oid`], and maintains a per-class
+//! *extent* index so class-level rules can be applied to "all instances of
+//! a class" without scanning the whole store (paper §4.7).
+
+use crate::error::{ObjectError, Result};
+use crate::object::ObjectState;
+use crate::oid::{Oid, OidGenerator};
+use crate::schema::{ClassId, ClassRegistry};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// In-memory instance storage with per-class extents.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: HashMap<Oid, ObjectState>,
+    extents: HashMap<ClassId, HashSet<Oid>>,
+    oidgen: OidGenerator,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Allocate a fresh oid without creating an object (the database
+    /// facade uses this to assign oids to rule/event objects).
+    pub fn allocate_oid(&self) -> Oid {
+        self.oidgen.allocate()
+    }
+
+    /// Create a new instance of `class` with default slot values.
+    pub fn create(&mut self, registry: &ClassRegistry, class: ClassId) -> Oid {
+        let oid = self.oidgen.allocate();
+        let state = ObjectState::new(registry.get(class));
+        self.insert_raw(oid, state);
+        oid
+    }
+
+    /// Insert a pre-built state under a pre-assigned oid (recovery path).
+    /// Advances the oid generator past `oid`.
+    pub fn insert_raw(&mut self, oid: Oid, state: ObjectState) {
+        self.oidgen.bump_past(oid);
+        self.extents.entry(state.class).or_default().insert(oid);
+        self.objects.insert(oid, state);
+    }
+
+    /// Remove an object, returning its final state (used for undo).
+    pub fn delete(&mut self, oid: Oid) -> Result<ObjectState> {
+        let state = self
+            .objects
+            .remove(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))?;
+        if let Some(ext) = self.extents.get_mut(&state.class) {
+            ext.remove(&oid);
+        }
+        Ok(state)
+    }
+
+    /// Does the object exist?
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.objects.contains_key(&oid)
+    }
+
+    /// The class of an object.
+    pub fn class_of(&self, oid: Oid) -> Result<ClassId> {
+        Ok(self.state(oid)?.class)
+    }
+
+    /// Borrow an object's state.
+    pub fn state(&self, oid: Oid) -> Result<&ObjectState> {
+        self.objects.get(&oid).ok_or(ObjectError::NoSuchObject(oid))
+    }
+
+    /// Mutably borrow an object's state.
+    pub fn state_mut(&mut self, oid: Oid) -> Result<&mut ObjectState> {
+        self.objects
+            .get_mut(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))
+    }
+
+    /// Read `attr` of `oid`.
+    pub fn get_attr(&self, registry: &ClassRegistry, oid: Oid, attr: &str) -> Result<Value> {
+        let st = self.state(oid)?;
+        Ok(st.get(registry.get(st.class), attr)?.clone())
+    }
+
+    /// Write `attr` of `oid`, returning the previous value.
+    pub fn set_attr(
+        &mut self,
+        registry: &ClassRegistry,
+        oid: Oid,
+        attr: &str,
+        value: Value,
+    ) -> Result<Value> {
+        let st = self
+            .objects
+            .get_mut(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))?;
+        st.set(registry.get(st.class), attr, value)
+    }
+
+    /// Oids of the *direct* extent of `class` (instances whose class is
+    /// exactly `class`).
+    pub fn direct_extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.extents.get(&class).into_iter().flatten().copied()
+    }
+
+    /// Oids of all instances of `class`, including instances of
+    /// subclasses (the paper's class-level rules apply to these).
+    pub fn extent<'a>(
+        &'a self,
+        registry: &'a ClassRegistry,
+        class: ClassId,
+    ) -> impl Iterator<Item = Oid> + 'a {
+        registry
+            .iter()
+            .filter(move |c| registry.is_subclass(c.id, class))
+            .flat_map(move |c| self.direct_extent(c.id))
+    }
+
+    /// Iterate over every (oid, state) pair — snapshot/persistence path.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &ObjectState)> {
+        self.objects.iter().map(|(&o, s)| (o, s))
+    }
+
+    /// Replace an object's entire state (undo path). The class of the
+    /// replacement must match the stored class.
+    pub fn restore_state(&mut self, oid: Oid, state: ObjectState) {
+        self.extents.entry(state.class).or_default().insert(oid);
+        self.objects.insert(oid, state);
+    }
+
+    /// Drop everything (recovery reload path).
+    pub fn clear(&mut self) {
+        self.objects.clear();
+        self.extents.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ClassDecl, ClassRegistry};
+    use crate::value::TypeTag;
+
+    fn setup() -> (ClassRegistry, ObjectStore, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let emp = reg
+            .define(ClassDecl::new("Employee").attr("salary", TypeTag::Float))
+            .unwrap();
+        let mgr = reg
+            .define(ClassDecl::new("Manager").parent("Employee"))
+            .unwrap();
+        (reg, ObjectStore::new(), emp, mgr)
+    }
+
+    #[test]
+    fn create_read_write_delete() {
+        let (reg, mut store, emp, _) = setup();
+        let fred = store.create(&reg, emp);
+        assert!(store.exists(fred));
+        assert_eq!(store.get_attr(&reg, fred, "salary").unwrap(), Value::Float(0.0));
+        let old = store
+            .set_attr(&reg, fred, "salary", Value::Float(100.0))
+            .unwrap();
+        assert_eq!(old, Value::Float(0.0));
+        assert_eq!(
+            store.get_attr(&reg, fred, "salary").unwrap(),
+            Value::Float(100.0)
+        );
+        store.delete(fred).unwrap();
+        assert!(!store.exists(fred));
+        assert!(matches!(
+            store.get_attr(&reg, fred, "salary"),
+            Err(ObjectError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn extent_includes_subclasses() {
+        let (reg, mut store, emp, mgr) = setup();
+        let fred = store.create(&reg, emp);
+        let mike = store.create(&reg, mgr);
+        let emps: HashSet<Oid> = store.extent(&reg, emp).collect();
+        assert_eq!(emps, HashSet::from([fred, mike]));
+        let mgrs: HashSet<Oid> = store.extent(&reg, mgr).collect();
+        assert_eq!(mgrs, HashSet::from([mike]));
+        let direct: HashSet<Oid> = store.direct_extent(emp).collect();
+        assert_eq!(direct, HashSet::from([fred]));
+    }
+
+    #[test]
+    fn restore_state_round_trip() {
+        let (reg, mut store, emp, _) = setup();
+        let fred = store.create(&reg, emp);
+        let before = store.state(fred).unwrap().clone();
+        store
+            .set_attr(&reg, fred, "salary", Value::Float(5.0))
+            .unwrap();
+        store.restore_state(fred, before.clone());
+        assert_eq!(store.state(fred).unwrap(), &before);
+    }
+
+    #[test]
+    fn insert_raw_bumps_oid_generator() {
+        let (reg, mut store, emp, _) = setup();
+        let st = ObjectState::new(reg.get(emp));
+        store.insert_raw(Oid(50), st);
+        let next = store.create(&reg, emp);
+        assert!(next > Oid(50));
+    }
+}

@@ -1,0 +1,351 @@
+//! The tagged value universe.
+//!
+//! Attribute values, method parameters and event parameters (the paper's
+//! "Actual parameters" in the generated-event tuple) are all [`Value`]s.
+//! The universe mirrors what the paper's C++ examples use: numbers,
+//! strings, booleans, object references, plus lists and maps so that
+//! composite state (e.g. a portfolio's holdings) can be modelled without
+//! auxiliary classes.
+
+use crate::error::{ObjectError, Result};
+use crate::oid::Oid;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Type tags for schema declarations and runtime checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants name primitive types
+pub enum TypeTag {
+    /// Unconstrained attribute/parameter.
+    Any,
+    Bool,
+    Int,
+    Float,
+    Str,
+    Oid,
+    List,
+    Map,
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TypeTag::Any => "any",
+            TypeTag::Bool => "bool",
+            TypeTag::Int => "int",
+            TypeTag::Float => "float",
+            TypeTag::Str => "str",
+            TypeTag::Oid => "oid",
+            TypeTag::List => "list",
+            TypeTag::Map => "map",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically-typed database value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants mirror TypeTag
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Oid(Oid),
+    List(Vec<Value>),
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The tag describing this value's runtime type.
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Null => TypeTag::Any,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Int(_) => TypeTag::Int,
+            Value::Float(_) => TypeTag::Float,
+            Value::Str(_) => TypeTag::Str,
+            Value::Oid(_) => TypeTag::Oid,
+            Value::List(_) => TypeTag::List,
+            Value::Map(_) => TypeTag::Map,
+        }
+    }
+
+    /// Whether this value is acceptable for a slot declared with `tag`.
+    ///
+    /// `Null` is acceptable everywhere (unset attribute); `Int` is
+    /// acceptable where `Float` is declared (numeric widening, matching
+    /// the paper's free use of C++ numeric conversions).
+    pub fn conforms_to(&self, tag: TypeTag) -> bool {
+        match (self, tag) {
+            (_, TypeTag::Any) | (Value::Null, _) => true,
+            (Value::Int(_), TypeTag::Float) => true,
+            (v, t) => v.type_tag() == t,
+        }
+    }
+
+    /// Default (zero) value for a declared type.
+    pub fn default_for(tag: TypeTag) -> Value {
+        match tag {
+            TypeTag::Any => Value::Null,
+            TypeTag::Bool => Value::Bool(false),
+            TypeTag::Int => Value::Int(0),
+            TypeTag::Float => Value::Float(0.0),
+            TypeTag::Str => Value::Str(String::new()),
+            TypeTag::Oid => Value::Oid(Oid::NIL),
+            TypeTag::List => Value::List(Vec::new()),
+            TypeTag::Map => Value::Map(BTreeMap::new()),
+        }
+    }
+
+    fn mismatch(&self, expected: TypeTag) -> ObjectError {
+        ObjectError::TypeMismatch {
+            expected,
+            found: self.type_tag(),
+        }
+    }
+
+    /// Extract a boolean, erroring on any other type.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(other.mismatch(TypeTag::Bool)),
+        }
+    }
+
+    /// Extract an integer, erroring on any other type.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(other.mismatch(TypeTag::Int)),
+        }
+    }
+
+    /// Extract a float; integers widen.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(other.mismatch(TypeTag::Float)),
+        }
+    }
+
+    /// Borrow a string, erroring on any other type.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(other.mismatch(TypeTag::Str)),
+        }
+    }
+
+    /// Extract an object reference, erroring on any other type.
+    pub fn as_oid(&self) -> Result<Oid> {
+        match self {
+            Value::Oid(o) => Ok(*o),
+            other => Err(other.mismatch(TypeTag::Oid)),
+        }
+    }
+
+    /// Borrow a list, erroring on any other type.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(l) => Ok(l),
+            other => Err(other.mismatch(TypeTag::List)),
+        }
+    }
+
+    /// Borrow a map, erroring on any other type.
+    pub fn as_map(&self) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(other.mismatch(TypeTag::Map)),
+        }
+    }
+
+    /// Truthiness used by rule conditions that return a value rather than
+    /// a boolean: `Null`, `false`, `0`, `0.0`, and the empty string/list/map
+    /// are falsy; everything else (including any oid) is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Oid(_) => true,
+            Value::List(l) => !l.is_empty(),
+            Value::Map(m) => !m.is_empty(),
+        }
+    }
+
+    /// Ordering used by conditions comparing event parameters. Numeric
+    /// values compare across `Int`/`Float`; other comparisons require the
+    /// same type tag. Returns `None` for incomparable pairs (including any
+    /// NaN operand).
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Oid(a), Value::Oid(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::List(l) => {
+                f.write_str("[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Oid> for Value {
+    fn from(o: Oid) -> Self {
+        Value::Oid(o)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(l: Vec<Value>) -> Self {
+        Value::List(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_and_widening() {
+        assert!(Value::Int(3).conforms_to(TypeTag::Float));
+        assert!(Value::Null.conforms_to(TypeTag::Oid));
+        assert!(!Value::Float(1.0).conforms_to(TypeTag::Int));
+        assert!(Value::Str("x".into()).conforms_to(TypeTag::Any));
+    }
+
+    #[test]
+    fn extraction_errors_carry_tags() {
+        let e = Value::Str("hi".into()).as_int().unwrap_err();
+        match e {
+            ObjectError::TypeMismatch { expected, found } => {
+                assert_eq!(expected, TypeTag::Int);
+                assert_eq!(found, TypeTag::Str);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_cross_comparison() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.0).compare(&Value::Int(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Str("a".into()).compare(&Value::Int(1)), None);
+        assert_eq!(Value::Float(f64::NAN).compare(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(Value::Oid(Oid(7)).is_truthy());
+        assert!(!Value::List(vec![]).is_truthy());
+    }
+
+    #[test]
+    fn defaults_conform() {
+        for tag in [
+            TypeTag::Any,
+            TypeTag::Bool,
+            TypeTag::Int,
+            TypeTag::Float,
+            TypeTag::Str,
+            TypeTag::Oid,
+            TypeTag::List,
+            TypeTag::Map,
+        ] {
+            assert!(Value::default_for(tag).conforms_to(tag), "{tag}");
+        }
+    }
+
+    #[test]
+    fn float_as_float_and_int_widen() {
+        assert_eq!(Value::Int(7).as_float().unwrap(), 7.0);
+        assert_eq!(Value::Float(1.5).as_float().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn display_round_trips_for_debugging() {
+        let v = Value::List(vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(v.to_string(), "[1, \"a\"]");
+    }
+}

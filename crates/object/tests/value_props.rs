@@ -1,0 +1,94 @@
+//! Property tests for the value universe.
+
+use proptest::prelude::*;
+use sentinel_object::{Oid, TypeTag, Value};
+use std::cmp::Ordering;
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN is deliberately incomparable and
+        // tested separately.
+        (-1e12f64..1e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        (0u64..1000).prop_map(|n| Value::Oid(Oid(n))),
+    ]
+}
+
+proptest! {
+    /// `compare` is antisymmetric: swapping operands reverses the order.
+    #[test]
+    fn compare_is_antisymmetric(a in arb_scalar(), b in arb_scalar()) {
+        let ab = a.compare(&b);
+        let ba = b.compare(&a);
+        match (ab, ba) {
+            (Some(x), Some(y)) => prop_assert_eq!(x, y.reverse()),
+            (None, None) => {}
+            other => prop_assert!(false, "asymmetric comparability: {:?}", other),
+        }
+    }
+
+    /// `compare` against self is Equal for every comparable value.
+    #[test]
+    fn compare_is_reflexive(a in arb_scalar()) {
+        if let Some(ord) = a.compare(&a) {
+            prop_assert_eq!(ord, Ordering::Equal);
+        }
+    }
+
+    /// Int/Float cross-comparison agrees with pure float comparison.
+    #[test]
+    fn numeric_widening_is_consistent(i in -1_000_000i64..1_000_000, f in -1e6f64..1e6) {
+        let a = Value::Int(i);
+        let b = Value::Float(f);
+        prop_assert_eq!(a.compare(&b), (i as f64).partial_cmp(&f));
+    }
+
+    /// Every default value conforms to its tag, and conformance is
+    /// stable under the widening rule.
+    #[test]
+    fn defaults_conform(v in arb_scalar()) {
+        for tag in [
+            TypeTag::Any, TypeTag::Bool, TypeTag::Int, TypeTag::Float,
+            TypeTag::Str, TypeTag::Oid, TypeTag::List, TypeTag::Map,
+        ] {
+            prop_assert!(Value::default_for(tag).conforms_to(tag));
+        }
+        // Any accepts everything.
+        prop_assert!(v.conforms_to(TypeTag::Any));
+        // A value always conforms to its own tag.
+        prop_assert!(v.conforms_to(v.type_tag()));
+    }
+
+    /// Extraction agrees with conformance for the scalar accessors
+    /// (modulo widening: as_float also accepts ints).
+    #[test]
+    fn extraction_matches_tag(v in arb_scalar()) {
+        prop_assert_eq!(v.as_int().is_ok(), v.type_tag() == TypeTag::Int);
+        prop_assert_eq!(
+            v.as_float().is_ok(),
+            matches!(v.type_tag(), TypeTag::Float | TypeTag::Int)
+        );
+        prop_assert_eq!(v.as_bool().is_ok(), v.type_tag() == TypeTag::Bool);
+        prop_assert_eq!(v.as_str().is_ok(), v.type_tag() == TypeTag::Str);
+        prop_assert_eq!(v.as_oid().is_ok(), v.type_tag() == TypeTag::Oid);
+    }
+
+    /// Serde round-trips every scalar exactly.
+    #[test]
+    fn serde_round_trip(v in arb_scalar()) {
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}
+
+#[test]
+fn nan_is_incomparable_even_to_itself() {
+    let nan = Value::Float(f64::NAN);
+    assert_eq!(nan.compare(&nan), None);
+    assert_eq!(nan.compare(&Value::Float(0.0)), None);
+    assert_eq!(Value::Int(0).compare(&nan), None);
+}

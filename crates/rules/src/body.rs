@@ -1,0 +1,227 @@
+//! Named condition and action bodies — the PMF analog.
+//!
+//! The paper's rule class stores `PMF *condition, *action` — pointers to
+//! C++ member functions. Persisting a pointer is meaningless; what
+//! Zeitgeist actually persisted was the *identity* of the function, with
+//! the code supplied by the (re)compiled application. This registry
+//! reproduces that split: rules store body *names*; applications register
+//! the code under those names at startup; recovery rebinds by name.
+
+use crate::rule::RuleId;
+use sentinel_events::CompositeOccurrence;
+use sentinel_object::{ObjectError, Result, Value, World};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a condition/action can inspect about its triggering: the
+/// rule identity and the composite occurrence (constituent primitives
+/// with their recorded parameters — the paper's `Record`ed state).
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// The triggered rule.
+    pub rule: RuleId,
+    /// Its name (cheap to clone into error messages).
+    pub rule_name: Arc<str>,
+    /// The detected (possibly composite) event occurrence.
+    pub occurrence: CompositeOccurrence,
+}
+
+impl Firing {
+    /// Parameter `i` of the constituent raised by `method`, if present.
+    /// The common access pattern for conditions ("the amount passed to
+    /// Change-Income").
+    pub fn param_of(&self, method: &str, i: usize) -> Option<&Value> {
+        self.occurrence
+            .constituent_for_method(method)
+            .and_then(|c| c.param(i))
+    }
+}
+
+/// A condition body: evaluated when the rule's event is detected;
+/// returning `Ok(true)` lets the action run.
+pub type CondFn = Arc<dyn Fn(&mut dyn World, &Firing) -> Result<bool> + Send + Sync>;
+
+/// An action body: executed when the condition holds. Returning
+/// `Err(TransactionAborted)` aborts the triggering transaction.
+pub type ActionFn = Arc<dyn Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync>;
+
+/// Name → body registry for rule conditions and actions.
+#[derive(Clone)]
+pub struct RuleBodyRegistry {
+    conditions: HashMap<String, CondFn>,
+    actions: HashMap<String, ActionFn>,
+}
+
+impl std::fmt::Debug for RuleBodyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleBodyRegistry")
+            .field("conditions", &self.conditions.len())
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+/// Built-in condition that always holds (a rule with no condition part).
+pub const COND_TRUE: &str = "true";
+/// Built-in action that aborts the triggering transaction — Figure 9's
+/// `A : abort`.
+pub const ACTION_ABORT: &str = "abort";
+/// Built-in action that does nothing (event-logging rules).
+pub const ACTION_NOOP: &str = "noop";
+
+impl Default for RuleBodyRegistry {
+    fn default() -> Self {
+        let mut reg = RuleBodyRegistry {
+            conditions: HashMap::new(),
+            actions: HashMap::new(),
+        };
+        reg.register_condition(COND_TRUE, |_, _| Ok(true));
+        reg.register_action(ACTION_ABORT, |_, firing| {
+            Err(ObjectError::abort(format!(
+                "rule `{}` aborted the transaction",
+                firing.rule_name
+            )))
+        });
+        reg.register_action(ACTION_NOOP, |_, _| Ok(()));
+        reg
+    }
+}
+
+impl RuleBodyRegistry {
+    /// A registry pre-populated with the built-in bodies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a condition body under `name`.
+    pub fn register_condition<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut dyn World, &Firing) -> Result<bool> + Send + Sync + 'static,
+    {
+        self.conditions.insert(name.into(), Arc::new(f));
+    }
+
+    /// Register (or replace) an action body under `name`.
+    pub fn register_action<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
+    {
+        self.actions.insert(name.into(), Arc::new(f));
+    }
+
+    /// Fetch a condition body.
+    pub fn condition(&self, name: &str) -> Result<CondFn> {
+        self.conditions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ObjectError::App(format!("unregistered condition body `{name}`")))
+    }
+
+    /// Fetch an action body.
+    pub fn action(&self, name: &str) -> Result<ActionFn> {
+        self.actions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ObjectError::App(format!("unregistered action body `{name}`")))
+    }
+
+    /// Is a condition body registered?
+    pub fn has_condition(&self, name: &str) -> bool {
+        self.conditions.contains_key(name)
+    }
+
+    /// Is an action body registered?
+    pub fn has_action(&self, name: &str) -> bool {
+        self.actions.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_events::{EventModifier, PrimitiveOccurrence};
+    use sentinel_object::{ClassId, Oid};
+
+    fn firing() -> Firing {
+        let p = PrimitiveOccurrence {
+            at: 1,
+            oid: Oid(9),
+            class: ClassId(0),
+            owner: ClassId(0),
+            method: "Change-Income".into(),
+            modifier: EventModifier::End,
+            params: Arc::from(vec![Value::Float(55.0)]),
+        };
+        Firing {
+            rule: RuleId(1),
+            rule_name: "IncomeLevel".into(),
+            occurrence: CompositeOccurrence::from_primitive(p),
+        }
+    }
+
+    #[test]
+    fn builtins_present() {
+        let reg = RuleBodyRegistry::new();
+        assert!(reg.has_condition(COND_TRUE));
+        assert!(reg.has_action(ACTION_ABORT));
+        assert!(reg.has_action(ACTION_NOOP));
+        assert!(!reg.has_condition("nope"));
+        assert!(matches!(
+            reg.condition("nope"),
+            Err(ObjectError::App(_))
+        ));
+    }
+
+    #[test]
+    fn abort_action_signals_abort_with_rule_name() {
+        let reg = RuleBodyRegistry::new();
+        let action = reg.action(ACTION_ABORT).unwrap();
+        // A world is required by the signature but not touched by abort;
+        // passing a dummy is fine because the closure ignores it.
+        struct NoWorld(sentinel_object::ClassRegistry);
+        impl World for NoWorld {
+            fn registry(&self) -> &sentinel_object::ClassRegistry {
+                &self.0
+            }
+            fn create(&mut self, _: &str) -> Result<Oid> {
+                unimplemented!()
+            }
+            fn delete(&mut self, _: Oid) -> Result<()> {
+                unimplemented!()
+            }
+            fn get_attr(&self, _: Oid, _: &str) -> Result<Value> {
+                unimplemented!()
+            }
+            fn set_attr(&mut self, _: Oid, _: &str, _: Value) -> Result<()> {
+                unimplemented!()
+            }
+            fn send(&mut self, _: Oid, _: &str, _: &[Value]) -> Result<Value> {
+                unimplemented!()
+            }
+            fn class_of(&self, _: Oid) -> Result<ClassId> {
+                unimplemented!()
+            }
+            fn extent(&self, _: &str) -> Result<Vec<Oid>> {
+                unimplemented!()
+            }
+            fn now(&self) -> u64 {
+                0
+            }
+        }
+        let mut w = NoWorld(sentinel_object::ClassRegistry::new());
+        let err = action(&mut w, &firing()).err().unwrap();
+        assert!(err.is_abort());
+        assert!(err.to_string().contains("IncomeLevel"));
+    }
+
+    #[test]
+    fn firing_param_access() {
+        let f = firing();
+        assert_eq!(
+            f.param_of("Change-Income", 0),
+            Some(&Value::Float(55.0))
+        );
+        assert_eq!(f.param_of("Change-Income", 1), None);
+        assert_eq!(f.param_of("Other", 0), None);
+    }
+}

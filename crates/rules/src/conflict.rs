@@ -1,0 +1,107 @@
+//! Pluggable conflict-resolution strategies.
+//!
+//! When one event triggers several rules, *something* must pick an
+//! execution order. The paper makes extensibility here a design goal:
+//! "our design allows incorporation of new features (for example,
+//! providing a new conflict resolution strategy) without modifications
+//! to application code" (§3). The strategy is therefore a trait object
+//! installed on the engine, replaceable at runtime.
+
+use crate::engine::ReadyFiring;
+
+/// Orders a batch of simultaneous firings.
+pub trait ConflictResolver: Send + Sync {
+    /// Strategy name (for experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Reorder `firings` in place into execution order.
+    fn order(&self, firings: &mut [ReadyFiring]);
+}
+
+/// Fire higher-priority rules first; ties keep trigger order (stable).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PriorityResolver;
+
+impl ConflictResolver for PriorityResolver {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+    fn order(&self, firings: &mut [ReadyFiring]) {
+        firings.sort_by_key(|f| std::cmp::Reverse(f.priority));
+    }
+}
+
+/// Fire in trigger order (the detection order) — the engine default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoResolver;
+
+impl ConflictResolver for FifoResolver {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+    fn order(&self, _firings: &mut [ReadyFiring]) {}
+}
+
+/// Fire most recently triggered first.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LifoResolver;
+
+impl ConflictResolver for LifoResolver {
+    fn name(&self) -> &'static str {
+        "lifo"
+    }
+    fn order(&self, firings: &mut [ReadyFiring]) {
+        firings.reverse();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{Firing, RuleBodyRegistry, ACTION_NOOP, COND_TRUE};
+    use crate::rule::RuleId;
+    use sentinel_events::CompositeOccurrence;
+
+    fn firing(id: u64, priority: i32) -> ReadyFiring {
+        let bodies = RuleBodyRegistry::new();
+        ReadyFiring {
+            priority,
+            condition: bodies.condition(COND_TRUE).unwrap(),
+            action: bodies.action(ACTION_NOOP).unwrap(),
+            firing: Firing {
+                rule: RuleId(id),
+                rule_name: format!("r{id}").into(),
+                occurrence: CompositeOccurrence {
+                    constituents: vec![],
+                    start: id,
+                    end: id,
+                },
+            },
+        }
+    }
+
+    fn ids(fs: &[ReadyFiring]) -> Vec<u64> {
+        fs.iter().map(|f| f.firing.rule.0).collect()
+    }
+
+    #[test]
+    fn priority_orders_descending_and_is_stable() {
+        let mut fs = vec![firing(1, 0), firing(2, 5), firing(3, 0), firing(4, 5)];
+        PriorityResolver.order(&mut fs);
+        assert_eq!(ids(&fs), [2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn fifo_keeps_trigger_order() {
+        let mut fs = vec![firing(3, 9), firing(1, 0), firing(2, 5)];
+        FifoResolver.order(&mut fs);
+        assert_eq!(ids(&fs), [3, 1, 2]);
+    }
+
+    #[test]
+    fn lifo_reverses() {
+        let mut fs = vec![firing(1, 0), firing(2, 0), firing(3, 0)];
+        LifoResolver.order(&mut fs);
+        assert_eq!(ids(&fs), [3, 2, 1]);
+    }
+}

@@ -1,0 +1,630 @@
+//! The rule engine: detection fan-out and firing scheduling.
+//!
+//! Figure 2 of the paper: reactive objects propagate primitive events to
+//! the notifiable objects subscribed to them; each rule passes the events
+//! to its local detector; when the detector signals, the rule checks its
+//! condition and runs its action. This engine implements everything up
+//! to (but not including) body execution: the database facade executes
+//! the [`ReadyFiring`]s the engine hands back, because execution needs
+//! the full `World`, which owns the engine.
+
+use crate::body::{ActionFn, CondFn, Firing, RuleBodyRegistry};
+use crate::conflict::{ConflictResolver, FifoResolver};
+use crate::coupling::CouplingMode;
+use crate::rule::{Rule, RuleDef, RuleId, RuleStats};
+use crate::subscription::SubscriptionManager;
+use sentinel_events::{DetectorCaps, PrimitiveOccurrence};
+use sentinel_object::{ClassRegistry, ObjectError, Oid, Result};
+use std::collections::HashMap;
+
+/// A triggered rule whose bodies are resolved and which is ready to run.
+#[derive(Clone)]
+pub struct ReadyFiring {
+    /// The rule's priority (consumed by conflict resolvers).
+    pub priority: i32,
+    /// Resolved condition body.
+    pub condition: CondFn,
+    /// Resolved action body.
+    pub action: ActionFn,
+    /// What triggered and with which occurrence.
+    pub firing: Firing,
+}
+
+impl std::fmt::Debug for ReadyFiring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadyFiring")
+            .field("rule", &self.firing.rule)
+            .field("name", &self.firing.rule_name)
+            .field("priority", &self.priority)
+            .finish()
+    }
+}
+
+/// Engine-wide counters (experiments E3, E5, E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Primitive occurrences offered to the engine.
+    pub occurrences: u64,
+    /// Deliveries of an occurrence to a subscribed rule's detector — the
+    /// "rule checking" work the subscription mechanism minimises.
+    pub notifications: u64,
+    /// Firings routed with immediate coupling.
+    pub immediate: u64,
+    /// Firings routed with deferred coupling.
+    pub deferred: u64,
+    /// Firings routed with detached coupling.
+    pub detached: u64,
+}
+
+/// Detection and scheduling for a set of first-class rules.
+pub struct RuleEngine {
+    rules: HashMap<RuleId, Rule>,
+    by_name: HashMap<String, RuleId>,
+    by_oid: HashMap<Oid, RuleId>,
+    /// Named condition/action bodies (the PMF analog).
+    pub bodies: RuleBodyRegistry,
+    /// The consumer lists connecting rules to reactive objects.
+    pub subscriptions: SubscriptionManager,
+    resolver: Box<dyn ConflictResolver>,
+    caps: DetectorCaps,
+    next_rule: u64,
+    deferred: Vec<ReadyFiring>,
+    detached: Vec<ReadyFiring>,
+    stats: EngineStats,
+    scratch: Vec<RuleId>,
+    /// Rules whose detectors have an undo journal open for the
+    /// transaction in flight: a rule joins the set (and its journal
+    /// starts) the first time it receives an occurrence after
+    /// [`begin_capture`](Self::begin_capture).
+    capture: Option<std::collections::HashSet<RuleId>>,
+}
+
+impl std::fmt::Debug for RuleEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleEngine")
+            .field("rules", &self.rules.len())
+            .field("resolver", &self.resolver.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for RuleEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuleEngine {
+    /// An empty engine with the built-in bodies and FIFO resolution.
+    pub fn new() -> Self {
+        RuleEngine {
+            rules: HashMap::new(),
+            by_name: HashMap::new(),
+            by_oid: HashMap::new(),
+            bodies: RuleBodyRegistry::new(),
+            subscriptions: SubscriptionManager::new(),
+            resolver: Box::new(FifoResolver),
+            caps: DetectorCaps::default(),
+            next_rule: 0,
+            deferred: Vec::new(),
+            detached: Vec::new(),
+            stats: EngineStats::default(),
+            scratch: Vec::new(),
+            capture: None,
+        }
+    }
+
+    /// Start transactional detection: until
+    /// [`commit_capture`](Self::commit_capture) or
+    /// [`abort_capture`](Self::abort_capture), the first delivery to
+    /// each rule opens an undo journal on its detector, so an abort can
+    /// restore exactly the pre-transaction detection state — including
+    /// occurrences a rolled-back detection consumed. Journaling costs
+    /// O(1) per state mutation, independent of buffered-state size.
+    pub fn begin_capture(&mut self) {
+        self.capture = Some(std::collections::HashSet::new());
+    }
+
+    /// Transaction committed: close the journals.
+    pub fn commit_capture(&mut self) {
+        if let Some(touched) = self.capture.take() {
+            for rid in touched {
+                if let Some(rule) = self.rules.get_mut(&rid) {
+                    rule.detector.commit_txn();
+                }
+            }
+        }
+    }
+
+    /// Transaction aborted: roll every touched rule's detector back.
+    pub fn abort_capture(&mut self) {
+        if let Some(touched) = self.capture.take() {
+            for rid in touched {
+                if let Some(rule) = self.rules.get_mut(&rid) {
+                    rule.detector.abort_txn();
+                }
+            }
+        }
+    }
+
+    /// Install a different conflict-resolution strategy (no application
+    /// code changes — paper §3).
+    pub fn set_resolver(&mut self, resolver: Box<dyn ConflictResolver>) {
+        self.resolver = resolver;
+    }
+
+    /// Detector caps applied to rules added from now on.
+    pub fn set_detector_caps(&mut self, caps: DetectorCaps) {
+        self.caps = caps;
+    }
+
+    /// Create a rule object. `oid` is the rule's store identity
+    /// ([`Oid::NIL`] when the engine runs storeless). The rule starts
+    /// enabled but fires only once subscriptions connect it to event
+    /// producers.
+    pub fn add_rule(&mut self, def: RuleDef, oid: Oid, registry: &ClassRegistry) -> Result<RuleId> {
+        if !self.bodies.has_condition(&def.condition) {
+            return Err(ObjectError::App(format!(
+                "rule `{}`: unregistered condition body `{}`",
+                def.name, def.condition
+            )));
+        }
+        if !self.bodies.has_action(&def.action) {
+            return Err(ObjectError::App(format!(
+                "rule `{}`: unregistered action body `{}`",
+                def.name, def.action
+            )));
+        }
+        self.add_rule_unchecked(def, oid, registry)
+    }
+
+    /// Create a rule without validating that its condition/action bodies
+    /// are registered yet. Recovery uses this: rule objects come back
+    /// from the log before the application re-registers its code; the
+    /// body lookup happens (and errors cleanly) at fire time.
+    pub fn add_rule_unchecked(
+        &mut self,
+        def: RuleDef,
+        oid: Oid,
+        registry: &ClassRegistry,
+    ) -> Result<RuleId> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(ObjectError::DuplicateRule(def.name));
+        }
+        self.next_rule += 1;
+        let id = RuleId(self.next_rule);
+        let name = def.name.clone();
+        let rule = Rule::instantiate(id, oid, def, registry, self.caps)?;
+        self.rules.insert(id, rule);
+        self.by_name.insert(name, id);
+        if !oid.is_nil() {
+            self.by_oid.insert(oid, id);
+        }
+        Ok(id)
+    }
+
+    /// Delete a rule and all its subscriptions.
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<RuleDef> {
+        let rule = self
+            .rules
+            .remove(&id)
+            .ok_or_else(|| ObjectError::UnknownRule(format!("{id}")))?;
+        self.by_name.remove(&rule.def.name);
+        if !rule.oid.is_nil() {
+            self.by_oid.remove(&rule.oid);
+        }
+        self.subscriptions.remove_rule(id);
+        Ok(rule.def)
+    }
+
+    /// Resolve a rule by name.
+    pub fn id_of(&self, name: &str) -> Result<RuleId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ObjectError::UnknownRule(name.to_string()))
+    }
+
+    /// Resolve a rule by its store oid (rules-on-rules path).
+    pub fn id_of_oid(&self, oid: Oid) -> Option<RuleId> {
+        self.by_oid.get(&oid).copied()
+    }
+
+    /// Borrow a rule.
+    pub fn rule(&self, id: RuleId) -> Result<&Rule> {
+        self.rules
+            .get(&id)
+            .ok_or_else(|| ObjectError::UnknownRule(format!("{id}")))
+    }
+
+    /// Mutably borrow a rule (the facade updates its stats after
+    /// executing bodies).
+    pub fn rule_mut(&mut self, id: RuleId) -> Result<&mut Rule> {
+        self.rules
+            .get_mut(&id)
+            .ok_or_else(|| ObjectError::UnknownRule(format!("{id}")))
+    }
+
+    /// Iterate over all rules (unspecified order).
+    pub fn iter_rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// Number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Enable a rule. (Figure 7's `Enable` method.)
+    pub fn enable(&mut self, id: RuleId) -> Result<()> {
+        self.rule_mut(id)?.enabled = true;
+        Ok(())
+    }
+
+    /// Disable a rule: it stops receiving and recording events, and its
+    /// partial detector state is discarded.
+    pub fn disable(&mut self, id: RuleId) -> Result<()> {
+        let r = self.rule_mut(id)?;
+        r.enabled = false;
+        r.detector.reset();
+        Ok(())
+    }
+
+    /// Offer one primitive occurrence: deliver it to the rules subscribed
+    /// to the generating object (directly or via its class), run their
+    /// detectors, and return the **immediate** firings in execution order.
+    /// Deferred/detached firings are queued internally for
+    /// [`take_deferred`](Self::take_deferred) /
+    /// [`take_detached`](Self::take_detached).
+    pub fn on_occurrence(
+        &mut self,
+        registry: &ClassRegistry,
+        occ: &PrimitiveOccurrence,
+    ) -> Result<Vec<ReadyFiring>> {
+        self.stats.occurrences += 1;
+        let mut consumers = std::mem::take(&mut self.scratch);
+        self.subscriptions
+            .consumers(registry, occ.oid, occ.class, &mut consumers);
+
+        let mut immediate = Vec::new();
+        for rid in consumers.iter().copied() {
+            let Some(rule) = self.rules.get_mut(&rid) else {
+                continue; // stale subscription of a deleted rule
+            };
+            if !rule.enabled {
+                continue;
+            }
+            self.stats.notifications += 1;
+            rule.stats.notifications += 1;
+            if let Some(cap) = self.capture.as_mut() {
+                if cap.insert(rid) {
+                    rule.detector.begin_txn();
+                }
+            }
+            let completions = rule.detector.process(registry, occ);
+            if completions.is_empty() {
+                continue;
+            }
+            rule.stats.triggered += completions.len() as u64;
+            let condition = self.bodies.condition(&rule.def.condition)?;
+            let action = self.bodies.action(&rule.def.action)?;
+            for occurrence in completions {
+                let ready = ReadyFiring {
+                    priority: rule.def.priority,
+                    condition: condition.clone(),
+                    action: action.clone(),
+                    firing: Firing {
+                        rule: rid,
+                        rule_name: rule.def.name.as_str().into(),
+                        occurrence,
+                    },
+                };
+                match rule.def.coupling {
+                    CouplingMode::Immediate => {
+                        self.stats.immediate += 1;
+                        immediate.push(ready);
+                    }
+                    CouplingMode::Deferred => {
+                        self.stats.deferred += 1;
+                        self.deferred.push(ready);
+                    }
+                    CouplingMode::Detached => {
+                        self.stats.detached += 1;
+                        self.detached.push(ready);
+                    }
+                }
+            }
+        }
+        consumers.clear();
+        self.scratch = consumers;
+        self.resolver.order(&mut immediate);
+        Ok(immediate)
+    }
+
+    /// Drain the deferred queue (at commit), in execution order.
+    pub fn take_deferred(&mut self) -> Vec<ReadyFiring> {
+        let mut out = std::mem::take(&mut self.deferred);
+        self.resolver.order(&mut out);
+        out
+    }
+
+    /// Drain the detached queue (after commit), in execution order.
+    pub fn take_detached(&mut self) -> Vec<ReadyFiring> {
+        let mut out = std::mem::take(&mut self.detached);
+        self.resolver.order(&mut out);
+        out
+    }
+
+    /// Throw away queued work (transaction aborted: deferred firings die
+    /// with it; detached firings belong to a commit that never happened).
+    pub fn discard_pending(&mut self) {
+        self.deferred.clear();
+        self.detached.clear();
+    }
+
+    /// Pending queue sizes (deferred, detached).
+    pub fn pending(&self) -> (usize, usize) {
+        (self.deferred.len(), self.detached.len())
+    }
+
+    /// Engine-wide counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Reset engine-wide counters (benchmark warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+        for r in self.rules.values_mut() {
+            r.stats = RuleStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{ACTION_NOOP, COND_TRUE};
+    use sentinel_events::{EventExpr, EventModifier, PrimitiveEventSpec};
+    use sentinel_object::{ClassDecl, Value};
+    use std::sync::Arc;
+
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("Stock").method("SetPrice", &[]))
+            .unwrap();
+        reg.define(ClassDecl::reactive("Index").method("SetValue", &[]))
+            .unwrap();
+        reg
+    }
+
+    fn occ(reg: &ClassRegistry, at: u64, oid: u64, class: &str, method: &str) -> PrimitiveOccurrence {
+        let cid = reg.id_of(class).unwrap();
+        PrimitiveOccurrence {
+            at,
+            oid: Oid(oid),
+            class: cid,
+            owner: cid,
+            method: method.into(),
+            modifier: EventModifier::End,
+            params: Arc::from(vec![Value::Int(at as i64)]),
+        }
+    }
+
+    fn simple_rule(name: &str) -> RuleDef {
+        RuleDef::new(
+            name,
+            EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice")),
+            ACTION_NOOP,
+        )
+    }
+
+    #[test]
+    fn only_subscribed_rules_are_notified() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r1 = eng.add_rule(simple_rule("r1"), Oid::NIL, &reg).unwrap();
+        let _r2 = eng.add_rule(simple_rule("r2"), Oid::NIL, &reg).unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r1);
+
+        let fired = eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice")).unwrap();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].firing.rule, r1);
+        // Exactly one notification delivered: r2 was never checked.
+        assert_eq!(eng.stats().notifications, 1);
+        assert_eq!(eng.rule(r1).unwrap().stats.triggered, 1);
+    }
+
+    #[test]
+    fn inter_object_conjunction_spanning_classes() {
+        // The paper's Purchase rule shape: IBM!SetPrice && DowJones!SetValue.
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let e = EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice")).and(
+            EventExpr::primitive(PrimitiveEventSpec::end("Index", "SetValue")),
+        );
+        let r = eng
+            .add_rule(RuleDef::new("Purchase", e, ACTION_NOOP), Oid::NIL, &reg)
+            .unwrap();
+        let ibm = Oid(10);
+        let dj = Oid(20);
+        eng.subscriptions.subscribe_object(ibm, r);
+        eng.subscriptions.subscribe_object(dj, r);
+
+        assert!(eng
+            .on_occurrence(&reg, &occ(&reg, 1, 10, "Stock", "SetPrice"))
+            .unwrap()
+            .is_empty());
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 2, 20, "Index", "SetValue"))
+            .unwrap();
+        assert_eq!(fired.len(), 1);
+        let f = &fired[0].firing;
+        assert!(f.occurrence.constituent_of(ibm).is_some());
+        assert!(f.occurrence.constituent_of(dj).is_some());
+    }
+
+    #[test]
+    fn events_from_unsubscribed_objects_are_invisible() {
+        // A second Stock instance the rule did not subscribe to must not
+        // complete the rule's event (instance-level monitoring).
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng.add_rule(simple_rule("r"), Oid::NIL, &reg).unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 2, "Stock", "SetPrice"))
+            .unwrap();
+        assert!(fired.is_empty());
+        assert_eq!(eng.stats().notifications, 0);
+    }
+
+    #[test]
+    fn coupling_modes_route_to_queues() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let ri = eng.add_rule(simple_rule("imm"), Oid::NIL, &reg).unwrap();
+        let rd = eng
+            .add_rule(simple_rule("def").coupling(CouplingMode::Deferred), Oid::NIL, &reg)
+            .unwrap();
+        let rx = eng
+            .add_rule(simple_rule("det").coupling(CouplingMode::Detached), Oid::NIL, &reg)
+            .unwrap();
+        for r in [ri, rd, rx] {
+            eng.subscriptions.subscribe_object(Oid(1), r);
+        }
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(eng.pending(), (1, 1));
+        let d = eng.take_deferred();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].firing.rule, rd);
+        let x = eng.take_detached();
+        assert_eq!(x[0].firing.rule, rx);
+        assert_eq!(eng.pending(), (0, 0));
+    }
+
+    #[test]
+    fn discard_pending_on_abort() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let rd = eng
+            .add_rule(simple_rule("def").coupling(CouplingMode::Deferred), Oid::NIL, &reg)
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), rd);
+        eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert_eq!(eng.pending(), (1, 0));
+        eng.discard_pending();
+        assert_eq!(eng.pending(), (0, 0));
+    }
+
+    #[test]
+    fn disabled_rule_neither_notified_nor_retains_state() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let e = EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice")).and(
+            EventExpr::primitive(PrimitiveEventSpec::end("Index", "SetValue")),
+        );
+        let r = eng
+            .add_rule(RuleDef::new("r", e, ACTION_NOOP), Oid::NIL, &reg)
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        eng.subscriptions.subscribe_object(Oid(2), r);
+        // Buffer a left constituent, then disable: state must be dropped.
+        eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        eng.disable(r).unwrap();
+        eng.on_occurrence(&reg, &occ(&reg, 2, 2, "Index", "SetValue"))
+            .unwrap();
+        eng.enable(r).unwrap();
+        // After re-enable, the old left must not pair.
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 3, 2, "Index", "SetValue"))
+            .unwrap();
+        assert!(fired.is_empty());
+        assert_eq!(eng.rule(r).unwrap().stats.notifications, 2);
+    }
+
+    #[test]
+    fn duplicate_names_and_missing_bodies_rejected() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        eng.add_rule(simple_rule("r"), Oid::NIL, &reg).unwrap();
+        assert!(matches!(
+            eng.add_rule(simple_rule("r"), Oid::NIL, &reg),
+            Err(ObjectError::DuplicateRule(_))
+        ));
+        let bad = simple_rule("bad").condition("never-registered");
+        assert!(matches!(
+            eng.add_rule(bad, Oid::NIL, &reg),
+            Err(ObjectError::App(_))
+        ));
+    }
+
+    #[test]
+    fn remove_rule_clears_subscriptions_and_name() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng.add_rule(simple_rule("r"), Oid::NIL, &reg).unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        let def = eng.remove_rule(r).unwrap();
+        assert_eq!(def.name, "r");
+        assert!(eng.id_of("r").is_err());
+        // Occurrence delivery hits no rules.
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert!(fired.is_empty());
+        // Name is reusable after removal.
+        eng.add_rule(simple_rule("r"), Oid::NIL, &reg).unwrap();
+    }
+
+    #[test]
+    fn priority_resolver_orders_simultaneous_firings() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        eng.set_resolver(Box::new(crate::conflict::PriorityResolver));
+        let lo = eng
+            .add_rule(simple_rule("lo").priority(1), Oid::NIL, &reg)
+            .unwrap();
+        let hi = eng
+            .add_rule(simple_rule("hi").priority(10), Oid::NIL, &reg)
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), lo);
+        eng.subscriptions.subscribe_object(Oid(1), hi);
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0].firing.rule, hi);
+        assert_eq!(fired[1].firing.rule, lo);
+    }
+
+    #[test]
+    fn class_subscription_fires_for_every_instance() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng.add_rule(simple_rule("class-rule"), Oid::NIL, &reg).unwrap();
+        eng.subscriptions
+            .subscribe_class(reg.id_of("Stock").unwrap(), r);
+        for oid in [1, 2, 3] {
+            let fired = eng
+                .on_occurrence(&reg, &occ(&reg, oid, oid, "Stock", "SetPrice"))
+                .unwrap();
+            assert_eq!(fired.len(), 1, "instance {oid}");
+        }
+        assert_eq!(eng.rule(r).unwrap().stats.triggered, 3);
+    }
+
+    #[test]
+    fn condition_true_builtin_used() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng.add_rule(simple_rule("r"), Oid::NIL, &reg).unwrap();
+        assert_eq!(eng.rule(r).unwrap().def.condition, COND_TRUE);
+    }
+}

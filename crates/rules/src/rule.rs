@@ -1,0 +1,194 @@
+//! First-class rule objects (paper §3.4, Figure 7).
+
+use crate::coupling::CouplingMode;
+use sentinel_events::{DetectorCaps, DetectorInstance, EventExpr, ParamContext};
+use sentinel_object::{ClassRegistry, Oid, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Rule identifier, unique per engine lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RuleId(pub u64);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule#{}", self.0)
+    }
+}
+
+/// The serializable definition of a rule — what Figure 7 stores:
+/// `name`, `event-id`, `condition`, `action`, `mode`, plus the paper's
+/// implied priority used by the conflict-resolution strategies.
+///
+/// `condition`/`action` are *names* into the
+/// [`RuleBodyRegistry`](crate::body::RuleBodyRegistry), the persistable
+/// analog of Figure 7's `PMF` pointers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleDef {
+    /// Rule name (unique per engine).
+    pub name: String,
+    /// The triggering event expression.
+    pub event: EventExpr,
+    /// Name of the condition body in the body registry.
+    pub condition: String,
+    /// Name of the action body in the body registry.
+    pub action: String,
+    /// When the rule executes relative to its triggering transaction.
+    pub coupling: CouplingMode,
+    /// Larger fires earlier under the priority resolver.
+    pub priority: i32,
+    /// Parameter context for this rule's private detector.
+    pub context: ParamContext,
+}
+
+impl RuleDef {
+    /// A rule with the given name, event and action, an always-true
+    /// condition, immediate coupling, and default priority/context.
+    pub fn new(name: impl Into<String>, event: EventExpr, action: impl Into<String>) -> Self {
+        RuleDef {
+            name: name.into(),
+            event,
+            condition: crate::body::COND_TRUE.into(),
+            action: action.into(),
+            coupling: CouplingMode::Immediate,
+            priority: 0,
+            context: ParamContext::default(),
+        }
+    }
+
+    /// Set the condition body name.
+    pub fn condition(mut self, name: impl Into<String>) -> Self {
+        self.condition = name.into();
+        self
+    }
+
+    /// Set the coupling mode.
+    pub fn coupling(mut self, mode: CouplingMode) -> Self {
+        self.coupling = mode;
+        self
+    }
+
+    /// Set the priority (larger fires earlier under the priority
+    /// resolver).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Set the parameter context for the rule's detector.
+    pub fn context(mut self, ctx: ParamContext) -> Self {
+        self.context = ctx;
+        self
+    }
+}
+
+/// Per-rule counters, surfaced by the comparison experiments (E3, E5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Primitive occurrences delivered to this rule's detector.
+    pub notifications: u64,
+    /// Detections of the rule's (composite) event.
+    pub triggered: u64,
+    /// Condition evaluations performed.
+    pub condition_evals: u64,
+    /// Conditions that held.
+    pub condition_true: u64,
+    /// Actions executed.
+    pub actions_run: u64,
+}
+
+/// A live rule: definition + runtime state + private event detector.
+#[derive(Debug)]
+pub struct Rule {
+    /// Engine-local identity.
+    pub id: RuleId,
+    /// The rule's identity as a first-class object in the store
+    /// ([`Oid::NIL`] when the engine is used standalone without a store).
+    pub oid: Oid,
+    /// The serializable definition.
+    pub def: RuleDef,
+    /// Disabled rules receive no events and hold no detector state.
+    pub enabled: bool,
+    /// The rule's private event detector (paper Figure 2).
+    pub detector: DetectorInstance,
+    /// Firing counters.
+    pub stats: RuleStats,
+}
+
+impl Rule {
+    /// Instantiate a rule, compiling its detector against the schema.
+    pub fn instantiate(
+        id: RuleId,
+        oid: Oid,
+        def: RuleDef,
+        registry: &ClassRegistry,
+        caps: DetectorCaps,
+    ) -> Result<Self> {
+        let detector = DetectorInstance::compile(&def.event, registry, def.context, caps)?;
+        Ok(Rule {
+            id,
+            oid,
+            def,
+            enabled: true,
+            detector,
+            stats: RuleStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_events::PrimitiveEventSpec;
+    use sentinel_object::ClassDecl;
+
+    #[test]
+    fn def_builder_defaults() {
+        let e = EventExpr::primitive(PrimitiveEventSpec::end("C", "m"));
+        let d = RuleDef::new("R", e.clone(), crate::body::ACTION_NOOP);
+        assert_eq!(d.condition, crate::body::COND_TRUE);
+        assert_eq!(d.coupling, CouplingMode::Immediate);
+        assert_eq!(d.priority, 0);
+        let d = d
+            .condition("c1")
+            .coupling(CouplingMode::Deferred)
+            .priority(5)
+            .context(ParamContext::Recent);
+        assert_eq!(d.condition, "c1");
+        assert_eq!(d.coupling, CouplingMode::Deferred);
+        assert_eq!(d.priority, 5);
+        assert_eq!(d.context, ParamContext::Recent);
+    }
+
+    #[test]
+    fn def_serde_round_trip() {
+        let e = EventExpr::primitive(PrimitiveEventSpec::end("C", "m"))
+            .and(EventExpr::primitive(PrimitiveEventSpec::begin("C", "n")));
+        let d = RuleDef::new("R", e, "act").priority(-3);
+        let s = serde_json::to_string(&d).unwrap();
+        assert_eq!(serde_json::from_str::<RuleDef>(&s).unwrap(), d);
+    }
+
+    #[test]
+    fn instantiate_compiles_detector() {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("m", &[])).unwrap();
+        let def = RuleDef::new(
+            "R",
+            EventExpr::primitive(PrimitiveEventSpec::end("C", "m")),
+            crate::body::ACTION_NOOP,
+        );
+        let r = Rule::instantiate(RuleId(1), Oid::NIL, def, &reg, DetectorCaps::default())
+            .unwrap();
+        assert!(r.enabled);
+        assert_eq!(r.stats, RuleStats::default());
+        // Unknown class in the event is rejected at instantiation.
+        let bad = RuleDef::new(
+            "B",
+            EventExpr::primitive(PrimitiveEventSpec::end("Nope", "m")),
+            crate::body::ACTION_NOOP,
+        );
+        assert!(Rule::instantiate(RuleId(2), Oid::NIL, bad, &reg, DetectorCaps::default())
+            .is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! The subscription mechanism (paper §3.5, §4.1, Figure 4).
+//!
+//! The paper's `Reactive` class keeps a `consumers` list per reactive
+//! object: the notifiable objects (rules, event objects) that subscribed
+//! to its events. This manager centralises those per-object lists —
+//! physically one map instead of a field in every object, which is an
+//! implementation detail; the *semantics* are per-object lists, and
+//! lookup cost is proportional to the subscribers of the generating
+//! object, not to the number of rules in the system (the paper's first
+//! claimed advantage, benchmarked in E3).
+//!
+//! Two granularities:
+//!
+//! * **instance subscriptions** (`Fred.Subscribe(IncomeLevel)`) — the
+//!   rule hears events from exactly that object;
+//! * **class subscriptions** — the rule hears events from every instance
+//!   of a class, subclass instances included. This implements class-level
+//!   rules (Figure 9) with O(1) association cost per rule instead of
+//!   O(instances) (experiment E10).
+
+use crate::rule::RuleId;
+use sentinel_object::{ClassId, ClassRegistry, Oid};
+use std::collections::{HashMap, HashSet};
+
+/// Consumer lists at instance and class granularity.
+#[derive(Debug, Default)]
+pub struct SubscriptionManager {
+    by_object: HashMap<Oid, Vec<RuleId>>,
+    by_class: HashMap<ClassId, Vec<RuleId>>,
+    // Reverse indices so a rule can be dropped in O(its subscriptions).
+    objects_of: HashMap<RuleId, HashSet<Oid>>,
+    classes_of: HashMap<RuleId, HashSet<ClassId>>,
+}
+
+impl SubscriptionManager {
+    /// An empty subscription table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `object.Subscribe(rule)` — the rule becomes a consumer of the
+    /// object's events. Idempotent.
+    pub fn subscribe_object(&mut self, object: Oid, rule: RuleId) {
+        if self.objects_of.entry(rule).or_default().insert(object) {
+            self.by_object.entry(object).or_default().push(rule);
+        }
+    }
+
+    /// Reverse of [`subscribe_object`](Self::subscribe_object).
+    pub fn unsubscribe_object(&mut self, object: Oid, rule: RuleId) {
+        if let Some(set) = self.objects_of.get_mut(&rule) {
+            if set.remove(&object) {
+                if let Some(v) = self.by_object.get_mut(&object) {
+                    v.retain(|&r| r != rule);
+                }
+            }
+        }
+    }
+
+    /// Subscribe a rule to every instance of a class (present and
+    /// future) — the class-level rule association. Idempotent.
+    pub fn subscribe_class(&mut self, class: ClassId, rule: RuleId) {
+        if self.classes_of.entry(rule).or_default().insert(class) {
+            self.by_class.entry(class).or_default().push(rule);
+        }
+    }
+
+    /// Reverse of [`subscribe_class`](Self::subscribe_class).
+    pub fn unsubscribe_class(&mut self, class: ClassId, rule: RuleId) {
+        if let Some(set) = self.classes_of.get_mut(&rule) {
+            if set.remove(&class) {
+                if let Some(v) = self.by_class.get_mut(&class) {
+                    v.retain(|&r| r != rule);
+                }
+            }
+        }
+    }
+
+    /// Drop every subscription of a rule (rule deletion).
+    pub fn remove_rule(&mut self, rule: RuleId) {
+        if let Some(objects) = self.objects_of.remove(&rule) {
+            for o in objects {
+                if let Some(v) = self.by_object.get_mut(&o) {
+                    v.retain(|&r| r != rule);
+                }
+            }
+        }
+        if let Some(classes) = self.classes_of.remove(&rule) {
+            for c in classes {
+                if let Some(v) = self.by_class.get_mut(&c) {
+                    v.retain(|&r| r != rule);
+                }
+            }
+        }
+    }
+
+    /// Drop the consumer list of a deleted object.
+    pub fn remove_object(&mut self, object: Oid) {
+        if let Some(rules) = self.by_object.remove(&object) {
+            for r in rules {
+                if let Some(set) = self.objects_of.get_mut(&r) {
+                    set.remove(&object);
+                }
+            }
+        }
+    }
+
+    /// The consumers to notify when `object` (of dynamic class `class`)
+    /// generates an event: its instance subscribers plus the class
+    /// subscribers of every class in its linearization, deduplicated in
+    /// subscription order.
+    pub fn consumers(
+        &self,
+        registry: &ClassRegistry,
+        object: Oid,
+        class: ClassId,
+        out: &mut Vec<RuleId>,
+    ) {
+        out.clear();
+        if let Some(v) = self.by_object.get(&object) {
+            out.extend_from_slice(v);
+        }
+        for &c in &registry.get(class).linearization {
+            if let Some(v) = self.by_class.get(&c) {
+                for &r in v {
+                    if !out.contains(&r) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        // Instance-level duplicates (same rule subscribed twice) cannot
+        // happen (idempotent insert), but a rule subscribed both to the
+        // object and its class must be delivered once.
+        dedup_preserving_order(out);
+    }
+
+    /// The objects a rule is subscribed to (unspecified order).
+    pub fn objects_of(&self, rule: RuleId) -> Vec<Oid> {
+        self.objects_of
+            .get(&rule)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The classes a rule is subscribed to (unspecified order).
+    pub fn classes_of(&self, rule: RuleId) -> Vec<ClassId> {
+        self.classes_of
+            .get(&rule)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of instance subscriptions of a rule.
+    pub fn object_subscription_count(&self, rule: RuleId) -> usize {
+        self.objects_of.get(&rule).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Number of class subscriptions of a rule.
+    pub fn class_subscription_count(&self, rule: RuleId) -> usize {
+        self.classes_of.get(&rule).map(HashSet::len).unwrap_or(0)
+    }
+
+    /// Total subscription edges (memory metric for E4/E10).
+    pub fn edge_count(&self) -> usize {
+        self.objects_of.values().map(HashSet::len).sum::<usize>()
+            + self.classes_of.values().map(HashSet::len).sum::<usize>()
+    }
+}
+
+fn dedup_preserving_order(v: &mut Vec<RuleId>) {
+    let mut seen = HashSet::with_capacity(v.len());
+    v.retain(|r| seen.insert(*r));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::ClassDecl;
+
+    fn registry() -> (ClassRegistry, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let emp = reg.define(ClassDecl::reactive("Employee")).unwrap();
+        let mgr = reg
+            .define(ClassDecl::reactive("Manager").parent("Employee"))
+            .unwrap();
+        (reg, emp, mgr)
+    }
+
+    #[test]
+    fn instance_subscription_delivery() {
+        let (reg, emp, _) = registry();
+        let mut subs = SubscriptionManager::new();
+        let fred = Oid(1);
+        let mike = Oid(2);
+        subs.subscribe_object(fred, RuleId(10));
+        subs.subscribe_object(fred, RuleId(11));
+        subs.subscribe_object(mike, RuleId(11));
+
+        let mut out = Vec::new();
+        subs.consumers(&reg, fred, emp, &mut out);
+        assert_eq!(out, vec![RuleId(10), RuleId(11)]);
+        subs.consumers(&reg, mike, emp, &mut out);
+        assert_eq!(out, vec![RuleId(11)]);
+        subs.consumers(&reg, Oid(99), emp, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn subscription_is_idempotent() {
+        let (reg, emp, _) = registry();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe_object(Oid(1), RuleId(1));
+        subs.subscribe_object(Oid(1), RuleId(1));
+        let mut out = Vec::new();
+        subs.consumers(&reg, Oid(1), emp, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(subs.edge_count(), 1);
+    }
+
+    #[test]
+    fn class_subscription_covers_subclasses() {
+        let (reg, emp, mgr) = registry();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe_class(emp, RuleId(7));
+        let mut out = Vec::new();
+        // An event from a Manager instance reaches the Employee-level rule.
+        subs.consumers(&reg, Oid(5), mgr, &mut out);
+        assert_eq!(out, vec![RuleId(7)]);
+        // A rule on Manager does not hear plain Employees.
+        subs.subscribe_class(mgr, RuleId(8));
+        subs.consumers(&reg, Oid(6), emp, &mut out);
+        assert_eq!(out, vec![RuleId(7)]);
+        subs.consumers(&reg, Oid(5), mgr, &mut out);
+        assert_eq!(out, vec![RuleId(8), RuleId(7)]);
+    }
+
+    #[test]
+    fn object_plus_class_subscription_delivers_once() {
+        let (reg, emp, _) = registry();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe_object(Oid(1), RuleId(3));
+        subs.subscribe_class(emp, RuleId(3));
+        let mut out = Vec::new();
+        subs.consumers(&reg, Oid(1), emp, &mut out);
+        assert_eq!(out, vec![RuleId(3)]);
+    }
+
+    #[test]
+    fn unsubscribe_and_remove() {
+        let (reg, emp, _) = registry();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe_object(Oid(1), RuleId(1));
+        subs.subscribe_object(Oid(2), RuleId(1));
+        subs.subscribe_class(emp, RuleId(1));
+        assert_eq!(subs.edge_count(), 3);
+
+        subs.unsubscribe_object(Oid(1), RuleId(1));
+        let mut out = Vec::new();
+        subs.consumers(&reg, Oid(1), emp, &mut out);
+        assert_eq!(out, vec![RuleId(1)], "class subscription still applies");
+        subs.unsubscribe_class(emp, RuleId(1));
+        subs.consumers(&reg, Oid(1), emp, &mut out);
+        assert!(out.is_empty());
+
+        subs.subscribe_object(Oid(3), RuleId(1));
+        subs.remove_rule(RuleId(1));
+        subs.consumers(&reg, Oid(3), emp, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(subs.edge_count(), 0);
+    }
+
+    #[test]
+    fn remove_object_clears_its_consumer_list() {
+        let (reg, emp, _) = registry();
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe_object(Oid(1), RuleId(1));
+        subs.remove_object(Oid(1));
+        let mut out = Vec::new();
+        subs.consumers(&reg, Oid(1), emp, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(subs.object_subscription_count(RuleId(1)), 0);
+    }
+}

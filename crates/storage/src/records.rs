@@ -1,0 +1,111 @@
+//! Write-ahead-log record types.
+
+use sentinel_object::{Oid, Value};
+use serde::{Deserialize, Serialize};
+
+/// Transaction identifier, unique per database lifetime.
+pub type TxnId = u64;
+
+/// One record in the write-ahead log.
+///
+/// Records are *redo* records: recovery replays the mutations of
+/// committed transactions in log order. `SetAttr` also carries the old
+/// value so the log doubles as an audit trail and supports offline undo
+/// tooling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // record fields are named and self-describing
+pub enum LogRecord {
+    /// Transaction start.
+    Begin { txn: TxnId },
+    /// Transaction commit — its earlier records become durable.
+    Commit { txn: TxnId },
+    /// Transaction abort — its earlier records must be ignored.
+    Abort { txn: TxnId },
+    /// Object creation, with the initial slot values.
+    Create {
+        txn: TxnId,
+        oid: Oid,
+        class: String,
+        slots: Vec<Value>,
+    },
+    /// Attribute update.
+    SetAttr {
+        txn: TxnId,
+        oid: Oid,
+        attr: String,
+        old: Value,
+        new: Value,
+    },
+    /// Object deletion, with the final slot values (for auditability).
+    Delete {
+        txn: TxnId,
+        oid: Oid,
+        class: String,
+        slots: Vec<Value>,
+    },
+    /// Logical-clock watermark, so recovery resumes timestamps above
+    /// anything already issued.
+    ClockAdvance { at: u64 },
+    /// Extension point for layers above (the database facade logs rule
+    /// and event registrations here so recovery can rebuild the rule
+    /// manager).
+    Meta {
+        txn: TxnId,
+        tag: String,
+        payload: String,
+    },
+}
+
+impl LogRecord {
+    /// The transaction a record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::Create { txn, .. }
+            | LogRecord::SetAttr { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Meta { txn, .. } => Some(*txn),
+            LogRecord::ClockAdvance { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let records = vec![
+            LogRecord::Begin { txn: 1 },
+            LogRecord::Create {
+                txn: 1,
+                oid: Oid(7),
+                class: "Employee".into(),
+                slots: vec![Value::Float(10.0), Value::Str("Fred".into())],
+            },
+            LogRecord::SetAttr {
+                txn: 1,
+                oid: Oid(7),
+                attr: "salary".into(),
+                old: Value::Float(10.0),
+                new: Value::Float(20.0),
+            },
+            LogRecord::Commit { txn: 1 },
+            LogRecord::ClockAdvance { at: 42 },
+        ];
+        for r in records {
+            let s = serde_json::to_string(&r).unwrap();
+            let back: LogRecord = serde_json::from_str(&s).unwrap();
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn txn_extraction() {
+        assert_eq!(LogRecord::Begin { txn: 3 }.txn(), Some(3));
+        assert_eq!(LogRecord::ClockAdvance { at: 1 }.txn(), None);
+    }
+}

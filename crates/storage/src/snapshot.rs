@@ -1,0 +1,194 @@
+//! Full-store snapshots (checkpoints).
+//!
+//! A snapshot captures the schema, every live object, the logical-clock
+//! watermark, and an opaque `extra` blob the database facade uses for the
+//! rule/event catalog. After a snapshot is written the WAL can be
+//! truncated; recovery is `snapshot + committed WAL suffix`.
+
+use sentinel_object::{ClassDecl, ClassRegistry, ObjectError, ObjectStore, Oid, Result, Value};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One object in a snapshot, identified by class *name* so that a
+/// snapshot is stable across registry rebuilds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectSnapshot {
+    /// The object's identity.
+    pub oid: Oid,
+    /// Class name (stable across registry rebuilds).
+    pub class: String,
+    /// Slot values, in layout order.
+    pub slots: Vec<Value>,
+}
+
+/// A complete checkpoint of a database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Class declarations, in original definition order (so parents
+    /// precede children and ids are reproduced exactly on reload).
+    pub classes: Vec<ClassDecl>,
+    /// Every live object.
+    pub objects: Vec<ObjectSnapshot>,
+    /// Logical-clock watermark at snapshot time.
+    pub clock: u64,
+    /// Opaque payload for higher layers (rule/event catalog).
+    pub extra: String,
+}
+
+impl Snapshot {
+    /// Capture the current schema and store.
+    pub fn capture(
+        registry: &ClassRegistry,
+        store: &ObjectStore,
+        clock: u64,
+        extra: String,
+    ) -> Self {
+        let classes = registry
+            .iter()
+            .map(|c| ClassDecl {
+                name: c.name.clone(),
+                parents: c
+                    .parents
+                    .iter()
+                    .map(|&p| registry.get(p).name.clone())
+                    .collect(),
+                reactivity: c.reactivity,
+                attributes: c.own_attributes.clone(),
+                methods: c.own_methods.clone(),
+            })
+            .collect();
+        let mut objects: Vec<ObjectSnapshot> = store
+            .iter()
+            .map(|(oid, st)| ObjectSnapshot {
+                oid,
+                class: registry.get(st.class).name.clone(),
+                slots: st.slots.clone(),
+            })
+            .collect();
+        objects.sort_by_key(|o| o.oid);
+        Snapshot {
+            classes,
+            objects,
+            clock,
+            extra,
+        }
+    }
+
+    /// Serialize to a file (atomically: write to a temp file, then rename).
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let data = serde_json::to_vec_pretty(self)
+            .map_err(|e| ObjectError::Storage(format!("serialize snapshot: {e}")))?;
+        std::fs::write(&tmp, data).map_err(|e| ObjectError::Storage(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| ObjectError::Storage(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Load a snapshot from a file. A missing file yields an empty
+    /// snapshot (fresh database).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let data = match std::fs::read(path.as_ref()) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Snapshot::default()),
+            Err(e) => return Err(ObjectError::Storage(e.to_string())),
+        };
+        serde_json::from_slice(&data)
+            .map_err(|e| ObjectError::Storage(format!("parse snapshot: {e}")))
+    }
+
+    /// Rebuild a registry + store pair from this snapshot.
+    pub fn restore(&self) -> Result<(ClassRegistry, ObjectStore)> {
+        let mut registry = ClassRegistry::new();
+        for decl in &self.classes {
+            registry.define(decl.clone())?;
+        }
+        let mut store = ObjectStore::new();
+        for obj in &self.objects {
+            let class = registry.id_of(&obj.class)?;
+            store.insert_raw(
+                obj.oid,
+                sentinel_object::ObjectState {
+                    class,
+                    slots: obj.slots.clone(),
+                },
+            );
+        }
+        Ok((registry, store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::{ClassDecl, TypeTag};
+
+    fn build() -> (ClassRegistry, ObjectStore) {
+        let mut reg = ClassRegistry::new();
+        let emp = reg
+            .define(
+                ClassDecl::reactive("Employee")
+                    .attr("salary", TypeTag::Float)
+                    .attr("name", TypeTag::Str),
+            )
+            .unwrap();
+        reg.define(ClassDecl::new("Manager").parent("Employee"))
+            .unwrap();
+        let mut store = ObjectStore::new();
+        let fred = store.create(&reg, emp);
+        store
+            .set_attr(&reg, fred, "salary", Value::Float(90.0))
+            .unwrap();
+        store
+            .set_attr(&reg, fred, "name", Value::Str("Fred".into()))
+            .unwrap();
+        (reg, store)
+    }
+
+    #[test]
+    fn capture_restore_round_trip() {
+        let (reg, store) = build();
+        let snap = Snapshot::capture(&reg, &store, 17, "catalog".into());
+        let (reg2, store2) = snap.restore().unwrap();
+        assert_eq!(reg2.len(), 2);
+        assert_eq!(store2.len(), 1);
+        let fred = store2.iter().next().unwrap().0;
+        assert_eq!(
+            store2.get_attr(&reg2, fred, "salary").unwrap(),
+            Value::Float(90.0)
+        );
+        assert_eq!(snap.clock, 17);
+        assert_eq!(snap.extra, "catalog");
+        // Subclass relationship survives.
+        let emp = reg2.id_of("Employee").unwrap();
+        let mgr = reg2.id_of("Manager").unwrap();
+        assert!(reg2.is_subclass(mgr, emp));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("sentinel-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("snap.json");
+        let (reg, store) = build();
+        let snap = Snapshot::capture(&reg, &store, 5, String::new());
+        snap.write(&p).unwrap();
+        let loaded = Snapshot::load(&p).unwrap();
+        assert_eq!(loaded.objects, snap.objects);
+        assert_eq!(loaded.clock, 5);
+        // Missing file → empty snapshot.
+        let missing = Snapshot::load(dir.join("nope.json")).unwrap();
+        assert!(missing.classes.is_empty());
+        assert!(missing.objects.is_empty());
+    }
+
+    #[test]
+    fn restored_store_does_not_reuse_oids() {
+        let (reg, store) = build();
+        let snap = Snapshot::capture(&reg, &store, 0, String::new());
+        let (reg2, mut store2) = snap.restore().unwrap();
+        let max = snap.objects.iter().map(|o| o.oid).max().unwrap();
+        let emp = reg2.id_of("Employee").unwrap();
+        assert!(store2.create(&reg2, emp) > max);
+    }
+}

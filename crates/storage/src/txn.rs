@@ -1,0 +1,250 @@
+//! Transactions with in-memory undo.
+//!
+//! The paper requires rules and events to be "subject to the same
+//! transaction semantics" as other objects, and its canonical class-level
+//! rule (Figure 9, the Marriage rule) has `abort` as its action — so the
+//! substrate must support rolling back everything the triggering
+//! transaction did, including the updates a rule action itself performed
+//! before the abort.
+//!
+//! Model: one active top-level transaction at a time (the paper's
+//! single-user Zeitgeist setting). Mutations apply to the store eagerly;
+//! each registers an [`UndoOp`]. Abort replays the undo list in reverse.
+//! The database facade wraps every externally initiated message in an
+//! auto-transaction when none is active.
+
+use crate::records::TxnId;
+use sentinel_object::{ObjectError, ObjectState, ObjectStore, Oid, Result, Value};
+
+/// Inverse of one applied mutation.
+///
+/// Attribute undo records the *slot index* rather than the attribute
+/// name: slot indices are stable (class layouts are immutable) and undo
+/// then needs no schema access.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)] // operand fields are named and self-describing
+pub enum UndoOp {
+    /// Undo a create: delete the object.
+    Create { oid: Oid },
+    /// Undo an attribute write: restore the previous slot value.
+    SetSlot { oid: Oid, slot: usize, old: Value },
+    /// Undo a delete: re-insert the final state.
+    Delete { oid: Oid, state: ObjectState },
+}
+
+/// State of the single active transaction.
+#[derive(Debug)]
+struct ActiveTxn {
+    id: TxnId,
+    undo: Vec<UndoOp>,
+}
+
+/// Allocates transaction ids and tracks the active transaction's undo log.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next: TxnId,
+    active: Option<ActiveTxn>,
+    committed: u64,
+    aborted: u64,
+}
+
+impl TxnManager {
+    /// A fresh manager with no open transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensure future transaction ids exceed `floor` (recovery path).
+    pub fn set_floor(&mut self, floor: TxnId) {
+        self.next = self.next.max(floor);
+    }
+
+    /// Begin a transaction. Errors if one is already active.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        if self.active.is_some() {
+            return Err(ObjectError::TransactionAlreadyActive);
+        }
+        self.next += 1;
+        let id = self.next;
+        self.active = Some(ActiveTxn {
+            id,
+            undo: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// The active transaction's id, if any.
+    pub fn current(&self) -> Option<TxnId> {
+        self.active.as_ref().map(|t| t.id)
+    }
+
+    /// True while a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Number of undo entries accumulated by the active transaction.
+    pub fn undo_len(&self) -> usize {
+        self.active.as_ref().map(|t| t.undo.len()).unwrap_or(0)
+    }
+
+    /// Record the inverse of a mutation just applied to the store.
+    pub fn record(&mut self, op: UndoOp) -> Result<()> {
+        match self.active.as_mut() {
+            Some(t) => {
+                t.undo.push(op);
+                Ok(())
+            }
+            None => Err(ObjectError::NoActiveTransaction),
+        }
+    }
+
+    /// Commit: discard the undo log. Returns the committed id.
+    pub fn commit(&mut self) -> Result<TxnId> {
+        let t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
+        self.committed += 1;
+        Ok(t.id)
+    }
+
+    /// Abort: replay the undo log in reverse against `store`. Returns the
+    /// aborted id.
+    pub fn abort(&mut self, store: &mut ObjectStore) -> Result<TxnId> {
+        let t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
+        for op in t.undo.into_iter().rev() {
+            match op {
+                UndoOp::Create { oid } => {
+                    // The object may have been deleted later in the same
+                    // transaction (its own undo re-inserted it first, or
+                    // it is simply gone); either way absence is fine.
+                    let _ = store.delete(oid);
+                }
+                UndoOp::SetSlot { oid, slot, old } => {
+                    if let Ok(st) = store.state_mut(oid) {
+                        st.slots[slot] = old;
+                    }
+                }
+                UndoOp::Delete { oid, state } => {
+                    store.restore_state(oid, state);
+                }
+            }
+        }
+        self.aborted += 1;
+        Ok(t.id)
+    }
+
+    /// (committed, aborted) counters.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.committed, self.aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::{ClassDecl, ClassRegistry, TypeTag};
+
+    fn setup() -> (ClassRegistry, ObjectStore, TxnManager) {
+        let mut reg = ClassRegistry::new();
+        reg.define(
+            ClassDecl::new("Account")
+                .attr("balance", TypeTag::Float)
+                .attr("owner", TypeTag::Str),
+        )
+        .unwrap();
+        (reg, ObjectStore::new(), TxnManager::new())
+    }
+
+    #[test]
+    fn begin_commit_lifecycle() {
+        let (_, _, mut tm) = setup();
+        assert!(!tm.in_txn());
+        let t1 = tm.begin().unwrap();
+        assert!(tm.in_txn());
+        assert_eq!(tm.current(), Some(t1));
+        assert!(matches!(
+            tm.begin(),
+            Err(ObjectError::TransactionAlreadyActive)
+        ));
+        assert_eq!(tm.commit().unwrap(), t1);
+        assert!(!tm.in_txn());
+        assert!(matches!(tm.commit(), Err(ObjectError::NoActiveTransaction)));
+        assert_eq!(tm.counts(), (1, 0));
+    }
+
+    #[test]
+    fn abort_rolls_back_set_create_delete() {
+        let (reg, mut store, mut tm) = setup();
+        let acct = reg.id_of("Account").unwrap();
+        // Pre-existing object, set before the transaction.
+        let a = store.create(&reg, acct);
+        store
+            .set_attr(&reg, a, "balance", Value::Float(100.0))
+            .unwrap();
+
+        tm.begin().unwrap();
+        // Update a's balance.
+        let slot = reg.get(acct).slot_of("balance").unwrap();
+        let old = store
+            .set_attr(&reg, a, "balance", Value::Float(40.0))
+            .unwrap();
+        tm.record(UndoOp::SetSlot { oid: a, slot, old }).unwrap();
+        // Create a new object.
+        let b = store.create(&reg, acct);
+        tm.record(UndoOp::Create { oid: b }).unwrap();
+        // Delete the original.
+        let st = store.delete(a).unwrap();
+        tm.record(UndoOp::Delete { oid: a, state: st }).unwrap();
+
+        assert_eq!(tm.undo_len(), 3);
+        tm.abort(&mut store).unwrap();
+
+        // a back with its pre-transaction balance; b gone.
+        assert!(store.exists(a));
+        assert!(!store.exists(b));
+        assert_eq!(
+            store.get_attr(&reg, a, "balance").unwrap(),
+            Value::Float(100.0)
+        );
+        assert_eq!(tm.counts(), (0, 1));
+    }
+
+    #[test]
+    fn abort_handles_multiple_writes_to_same_slot() {
+        let (reg, mut store, mut tm) = setup();
+        let acct = reg.id_of("Account").unwrap();
+        let a = store.create(&reg, acct);
+        let slot = reg.get(acct).slot_of("balance").unwrap();
+
+        tm.begin().unwrap();
+        for v in [10.0, 20.0, 30.0] {
+            let old = store.set_attr(&reg, a, "balance", Value::Float(v)).unwrap();
+            tm.record(UndoOp::SetSlot { oid: a, slot, old }).unwrap();
+        }
+        tm.abort(&mut store).unwrap();
+        assert_eq!(
+            store.get_attr(&reg, a, "balance").unwrap(),
+            Value::Float(0.0),
+            "reverse replay restores the original value"
+        );
+    }
+
+    #[test]
+    fn record_outside_txn_is_an_error() {
+        let (_, _, mut tm) = setup();
+        assert!(matches!(
+            tm.record(UndoOp::Create { oid: Oid(1) }),
+            Err(ObjectError::NoActiveTransaction)
+        ));
+    }
+
+    #[test]
+    fn txn_ids_are_unique_and_increasing() {
+        let (_, mut store, mut tm) = setup();
+        let a = tm.begin().unwrap();
+        tm.commit().unwrap();
+        let b = tm.begin().unwrap();
+        tm.abort(&mut store).unwrap();
+        let c = tm.begin().unwrap();
+        assert!(a < b && b < c);
+    }
+}

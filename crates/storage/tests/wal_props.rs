@@ -1,0 +1,110 @@
+//! Property tests for the write-ahead log and the committed-records
+//! filter.
+
+use proptest::prelude::*;
+use sentinel_storage::{committed_records, LogRecord, SyncPolicy, Wal};
+use sentinel_object::{Oid, Value};
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    prop_oneof![
+        (1u64..8).prop_map(|txn| LogRecord::Begin { txn }),
+        (1u64..8).prop_map(|txn| LogRecord::Commit { txn }),
+        (1u64..8).prop_map(|txn| LogRecord::Abort { txn }),
+        (1u64..8, 1u64..50, any::<i64>()).prop_map(|(txn, oid, v)| LogRecord::SetAttr {
+            txn,
+            oid: Oid(oid),
+            attr: "x".into(),
+            old: Value::Null,
+            new: Value::Int(v),
+        }),
+        (1u64..8, 1u64..50).prop_map(|(txn, oid)| LogRecord::Create {
+            txn,
+            oid: Oid(oid),
+            class: "C".into(),
+            slots: vec![Value::Int(0)],
+        }),
+        (1u64..8, 1u64..50).prop_map(|(txn, oid)| LogRecord::Delete {
+            txn,
+            oid: Oid(oid),
+            class: "C".into(),
+            slots: vec![],
+        }),
+        (0u64..100).prop_map(|at| LogRecord::ClockAdvance { at }),
+        (1u64..8, "[a-z]{1,8}").prop_map(|(txn, p)| LogRecord::Meta {
+            txn,
+            tag: "t".into(),
+            payload: p,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Append-then-read returns exactly what was written, in order.
+    #[test]
+    fn wal_round_trip(records in prop::collection::vec(arb_record(), 0..60)) {
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-walprop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("prop.wal");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut wal = Wal::open(&p, SyncPolicy::Never).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        let back = Wal::read_all(&p).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// The committed filter keeps exactly: ClockAdvance records, plus
+    /// data records of transactions with a Commit marker; and it
+    /// preserves order.
+    #[test]
+    fn committed_filter_laws(records in prop::collection::vec(arb_record(), 0..80)) {
+        let committed: std::collections::HashSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let kept = committed_records(&records);
+        // No control markers survive.
+        for r in &kept {
+            let is_marker = matches!(
+                r,
+                LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. }
+            );
+            prop_assert!(!is_marker);
+        }
+        // Everything kept is committed (or a clock watermark).
+        for r in &kept {
+            match r.txn() {
+                Some(t) => prop_assert!(committed.contains(&t)),
+                None => {
+                    let is_clock = matches!(r, LogRecord::ClockAdvance { .. });
+                    prop_assert!(is_clock);
+                }
+            }
+        }
+        // Everything droppable was dropped for a reason: recount.
+        let expected = records
+            .iter()
+            .filter(|r| match r {
+                LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => {
+                    false
+                }
+                LogRecord::ClockAdvance { .. } => true,
+                other => other.txn().map(|t| committed.contains(&t)).unwrap_or(false),
+            })
+            .count();
+        prop_assert_eq!(kept.len(), expected);
+    }
+}

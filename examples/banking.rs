@@ -1,0 +1,169 @@
+//! Banking — §4.6's deposit-then-withdraw sequence event, hard
+//! overdraft protection, coupling modes, and durable recovery.
+//!
+//! Run with: `cargo run --example banking`
+
+use sentinel::prelude::*;
+
+fn schema(db: &mut Database) -> Result<()> {
+    db.define_class(
+        ClassDecl::reactive("Account")
+            .attr("owner", TypeTag::Str)
+            .attr("balance", TypeTag::Float)
+            .attr("suspicious", TypeTag::Bool)
+            .event_method("Deposit", &[("x", TypeTag::Float)], EventSpec::End)
+            .event_method("Withdraw", &[("x", TypeTag::Float)], EventSpec::Begin),
+    )?;
+    db.define_class(ClassDecl::new("AuditLog").attr("entries", TypeTag::List))?;
+    db.register_method("Account", "Deposit", |w, this, args| {
+        let b = w.get_attr(this, "balance")?.as_float()?;
+        w.set_attr(this, "balance", Value::Float(b + args[0].as_float()?))?;
+        Ok(Value::Null)
+    })?;
+    db.register_method("Account", "Withdraw", |w, this, args| {
+        let b = w.get_attr(this, "balance")?.as_float()?;
+        w.set_attr(this, "balance", Value::Float(b - args[0].as_float()?))?;
+        Ok(Value::Null)
+    })?;
+    Ok(())
+}
+
+fn bodies(db: &mut Database) {
+    // Overdraft: a begin-of-method rule sees the withdrawal *before* it
+    // executes and aborts if it would overdraw.
+    db.register_condition("would-overdraw", |w, firing| {
+        let occ = firing.occurrence.constituent_for_method("Withdraw").unwrap();
+        let amount = occ.param(0).unwrap().as_float()?;
+        Ok(w.get_attr(occ.oid, "balance")?.as_float()? < amount)
+    });
+    // Deposit-then-withdraw on the same account: mark suspicious.
+    db.register_condition("same-account", |_w, firing| {
+        let dep = firing.occurrence.constituent_for_method("Deposit").unwrap();
+        let wit = firing.occurrence.constituent_for_method("Withdraw").unwrap();
+        Ok(dep.oid == wit.oid)
+    });
+    db.register_action("mark-suspicious", |w, firing| {
+        let acct = firing.occurrence.constituent_for_method("Withdraw").unwrap().oid;
+        w.set_attr(acct, "suspicious", Value::Bool(true))
+    });
+    // Detached audit trail: runs in its own transaction after commit.
+    db.register_action("audit", |w, firing| {
+        let log = w.extent("AuditLog")?[0];
+        let occ = firing.occurrence.constituents.last().unwrap();
+        let mut entries = w.get_attr(log, "entries")?.as_list()?.to_vec();
+        entries.push(Value::Str(format!(
+            "t={} {} {}({})",
+            occ.at,
+            occ.oid,
+            occ.method,
+            occ.params.first().cloned().unwrap_or(Value::Null)
+        )));
+        w.set_attr(log, "entries", Value::List(entries))
+    });
+}
+
+fn rules(db: &mut Database) -> Result<()> {
+    db.add_class_rule(
+        "Account",
+        RuleDef::new(
+            "NoOverdraft",
+            event("begin Account::Withdraw(float x)")?,
+            ACTION_ABORT,
+        )
+        .condition("would-overdraw")
+        .priority(10),
+    )?;
+    db.define_event(
+        "DepWit",
+        event("end Account::Deposit(float x)")?.then(event("begin Account::Withdraw(float x)")?),
+    )?;
+    db.add_class_rule(
+        "Account",
+        RuleDef::new("SuspiciousFlow", db.event_expr("DepWit")?, "mark-suspicious")
+            .condition("same-account")
+            .context(ParamContext::Chronicle),
+    )?;
+    db.add_class_rule(
+        "Account",
+        RuleDef::new("Audit", event("end Account::Deposit(float x)")?, "audit")
+            .coupling(CouplingMode::Detached),
+    )?;
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join("sentinel-banking-example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let acct;
+    {
+        let mut db = Database::with_config(DbConfig::durable(&dir))?;
+        schema(&mut db)?;
+        bodies(&mut db);
+        rules(&mut db)?;
+        db.create("AuditLog")?;
+
+        acct = db.create_with("Account", &[("owner", "Carol".into())])?;
+        db.send(acct, "Deposit", &[Value::Float(500.0)])?;
+        println!("balance after deposit: {}", db.get_attr(acct, "balance")?);
+
+        // Overdraft attempt: aborted before the body runs.
+        let err = db
+            .send(acct, "Withdraw", &[Value::Float(900.0)])
+            .expect_err("overdraft must abort");
+        println!("overdraft rejected: {err}");
+        assert_eq!(db.get_attr(acct, "balance")?, Value::Float(500.0));
+
+        // Legitimate withdrawal completes the DepWit sequence.
+        db.send(acct, "Withdraw", &[Value::Float(100.0)])?;
+        println!(
+            "balance={}  suspicious={}",
+            db.get_attr(acct, "balance")?,
+            db.get_attr(acct, "suspicious")?
+        );
+        assert_eq!(db.get_attr(acct, "suspicious")?, Value::Bool(true));
+
+        let log = db.extent("AuditLog")?[0];
+        println!(
+            "audit entries (written by the detached rule): {}",
+            db.get_attr(log, "entries")?
+        );
+        db.checkpoint()?;
+        db.send(acct, "Deposit", &[Value::Float(25.0)])?;
+    } // process "crashes" here
+
+    // Recovery: objects, rules, events, subscriptions all return; the
+    // application re-registers its code and carries on.
+    let mut db = Database::recover(DbConfig::durable(&dir))?;
+    schema_reregister(&mut db)?;
+    bodies(&mut db);
+    println!(
+        "recovered balance: {} (rules back: {:?})",
+        db.get_attr(acct, "balance")?,
+        db.rule_names()
+    );
+    assert_eq!(db.get_attr(acct, "balance")?, Value::Float(425.0));
+    // The recovered NoOverdraft rule still protects the account.
+    let err = db
+        .send(acct, "Withdraw", &[Value::Float(9_999.0)])
+        .expect_err("overdraft still aborts after recovery");
+    println!("post-recovery overdraft rejected: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+/// After recovery the schema already exists; only code is re-registered.
+fn schema_reregister(db: &mut Database) -> Result<()> {
+    db.register_method("Account", "Deposit", |w, this, args| {
+        let b = w.get_attr(this, "balance")?.as_float()?;
+        w.set_attr(this, "balance", Value::Float(b + args[0].as_float()?))?;
+        Ok(Value::Null)
+    })?;
+    db.register_method("Account", "Withdraw", |w, this, args| {
+        let b = w.get_attr(this, "balance")?.as_float()?;
+        w.set_attr(this, "balance", Value::Float(b - args[0].as_float()?))?;
+        Ok(Value::Null)
+    })?;
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Rules over rules — the paper's closing claim: "treatment of events
+//! and rules as objects and the general event interface permit
+//! specification of rules on any set of objects, including rules
+//! themselves."
+//!
+//! A safety-critical rule must never stay disabled: a *meta-rule*
+//! monitors the safety rule's `Disable` events and re-enables it in a
+//! detached transaction (re-enabling inside the same event cascade
+//! would fight the disable mid-flight).
+//!
+//! Run with: `cargo run --example meta_rules`
+
+use sentinel::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    db.define_class(
+        ClassDecl::reactive("Reactor")
+            .attr("temperature", TypeTag::Float)
+            .attr("scrams", TypeTag::Int)
+            .event_method("SetTemperature", &[("t", TypeTag::Float)], EventSpec::End),
+    )?;
+    db.register_setter("Reactor", "SetTemperature", "temperature")?;
+
+    // The safety rule: scram above 1000 degrees.
+    db.register_condition("too-hot", |_w, firing| {
+        Ok(firing
+            .param_of("SetTemperature", 0)
+            .expect("temperature param")
+            .as_float()?
+            > 1000.0)
+    });
+    db.register_action("scram", |w, firing| {
+        let reactor = firing.occurrence.constituents[0].oid;
+        let n = w.get_attr(reactor, "scrams")?.as_int()?;
+        w.set_attr(reactor, "scrams", Value::Int(n + 1))?;
+        w.set_attr(reactor, "temperature", Value::Float(300.0))
+    });
+    let safety_oid = db.add_class_rule(
+        "Reactor",
+        RuleDef::new(
+            "Scram",
+            event("end Reactor::SetTemperature(float t)")?,
+            "scram",
+        )
+        .condition("too-hot"),
+    )?;
+
+    // The meta-rule: watch the Scram *rule object* and re-enable it.
+    db.register_action("re-enable-scram", |w, firing| {
+        let rule_object = firing.occurrence.constituents[0].oid;
+        w.send(rule_object, "Enable", &[])?;
+        Ok(())
+    });
+    db.add_rule(
+        RuleDef::new(
+            "ScramGuardian",
+            event("end Rule::Disable()")?,
+            "re-enable-scram",
+        )
+        .coupling(CouplingMode::Detached),
+    )?;
+    // The meta-rule subscribes to the rule object — rules are reactive
+    // objects like any other.
+    db.subscribe(safety_oid, "ScramGuardian")?;
+
+    let reactor = db.create("Reactor")?;
+    db.send(reactor, "SetTemperature", &[Value::Float(1_200.0)])?;
+    println!(
+        "after overheat: temperature={} scrams={}",
+        db.get_attr(reactor, "temperature")?,
+        db.get_attr(reactor, "scrams")?
+    );
+    assert_eq!(db.get_attr(reactor, "scrams")?, Value::Int(1));
+
+    // Someone disables the safety rule...
+    db.send(safety_oid, "Disable", &[])?;
+    // ...but the guardian re-enabled it in its detached transaction.
+    println!(
+        "Scram enabled after tampering attempt: {}",
+        db.rule_enabled("Scram")?
+    );
+    assert!(db.rule_enabled("Scram")?);
+
+    db.send(reactor, "SetTemperature", &[Value::Float(1_500.0)])?;
+    assert_eq!(db.get_attr(reactor, "scrams")?, Value::Int(2));
+    println!(
+        "overheat still caught: scrams={}",
+        db.get_attr(reactor, "scrams")?
+    );
+    Ok(())
+}

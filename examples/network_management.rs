@@ -1,0 +1,172 @@
+//! Network management — the third application domain the paper's §2.1
+//! motivates ("patient databases, portfolio management, and network
+//! management"). A network operations centre monitors links it did not
+//! define and cannot modify:
+//!
+//! * an **observer** tallies every link-state transition;
+//! * a `times(3)` rule escalates on every third flap of a watched link;
+//! * a `not(recover) in (down, probe)` rule pages when a link goes down
+//!   and is still down when the next health probe arrives;
+//! * queries + an **attribute index** drive the operator dashboard;
+//! * a **detached** audit rule runs on `SharedDatabase`'s background
+//!   executor so event processing never blocks the data path.
+//!
+//! Run with: `cargo run --example network_management`
+
+use sentinel::prelude::*;
+use sentinel::db::{attr, event, Query, SharedDatabase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    db.define_class(
+        ClassDecl::reactive("Link")
+            .attr("name", TypeTag::Str)
+            .attr("up", TypeTag::Bool)
+            .attr("latency_ms", TypeTag::Float)
+            .attr("flaps", TypeTag::Int)
+            .event_method("Down", &[], EventSpec::End)
+            .event_method("Up", &[], EventSpec::End)
+            .event_method("Probe", &[("latency", TypeTag::Float)], EventSpec::End),
+    )?;
+    db.define_class(
+        ClassDecl::new("Pager")
+            .attr("pages", TypeTag::List)
+            .method("Page", &[("msg", TypeTag::Str)]),
+    )?;
+    db.register_method("Link", "Down", |w, this, _| {
+        let flaps = w.get_attr(this, "flaps")?.as_int()?;
+        w.set_attr(this, "up", Value::Bool(false))?;
+        w.set_attr(this, "flaps", Value::Int(flaps + 1))?;
+        Ok(Value::Null)
+    })?;
+    db.register_method("Link", "Up", |w, this, _| {
+        w.set_attr(this, "up", Value::Bool(true))?;
+        Ok(Value::Null)
+    })?;
+    db.register_method("Link", "Probe", |w, this, args| {
+        w.set_attr(this, "latency_ms", args[0].clone())?;
+        Ok(Value::Null)
+    })?;
+    db.register_method("Pager", "Page", |w, this, args| {
+        let mut pages = w.get_attr(this, "pages")?.as_list()?.to_vec();
+        pages.push(args[0].clone());
+        w.set_attr(this, "pages", Value::List(pages))?;
+        Ok(Value::Null)
+    })?;
+
+    // The NOC dashboard keeps a latency index for its queries.
+    db.create_index("Link", "latency_ms")?;
+
+    // Transition counter: a pure observer, no database effects.
+    let transitions = Arc::new(AtomicU64::new(0));
+    let t2 = transitions.clone();
+    db.observe(
+        "TransitionTally",
+        event("end Link::Down()")?.or(event("end Link::Up()")?),
+        move |_f| {
+            t2.fetch_add(1, Ordering::Relaxed);
+        },
+    )?;
+    db.subscribe_class("Link", "TransitionTally")?;
+
+    let pager = db.create("Pager")?;
+
+    // Escalation: every 3rd Down of a *watched* link (times operator).
+    db.register_action("escalate", move |w, f| {
+        let link = f.occurrence.constituents[0].oid;
+        let name = w.get_attr(link, "name")?;
+        w.send(pager, "Page", &[Value::Str(format!("ESCALATE: {name} flapping"))])?;
+        Ok(())
+    });
+    db.add_rule(RuleDef::new(
+        "FlapEscalation",
+        event("end Link::Down()")?.times(3),
+        "escalate",
+    ))?;
+
+    // Sustained outage: Down, then a Probe with no Up in between.
+    db.register_action("page-outage", move |w, f| {
+        let link = f.occurrence.constituents[0].oid;
+        let name = w.get_attr(link, "name")?;
+        w.send(pager, "Page", &[Value::Str(format!("OUTAGE: {name} still down at probe"))])?;
+        Ok(())
+    });
+    db.add_rule(RuleDef::new(
+        "SustainedOutage",
+        EventExpr::not_between(
+            event("end Link::Up()")?,
+            event("end Link::Down()")?,
+            event("end Link::Probe(float latency)")?,
+        ),
+        "page-outage",
+    ))?;
+
+    // Detached audit trail, drained by the background executor.
+    db.define_class(ClassDecl::new("Audit").attr("entries", TypeTag::Int))?;
+    let audit = db.create("Audit")?;
+    db.register_action("audit", move |w, _f| {
+        let n = w.get_attr(audit, "entries")?.as_int()?;
+        w.set_attr(audit, "entries", Value::Int(n + 1))
+    });
+    db.add_class_rule(
+        "Link",
+        RuleDef::new("AuditTransitions", event("end Link::Down()")?, "audit")
+            .coupling(CouplingMode::Detached),
+    )?;
+
+    // Links exist; the NOC picks which to monitor closely, at runtime.
+    let backbone = db.create_with("Link", &[("name", "backbone-1".into()), ("up", true.into())])?;
+    let edge = db.create_with("Link", &[("name", "edge-7".into()), ("up", true.into())])?;
+    db.subscribe(backbone, "FlapEscalation")?;
+    db.subscribe(backbone, "SustainedOutage")?;
+
+    let shared = SharedDatabase::new(db);
+
+    // A day in the life: the backbone flaps, the edge link misbehaves
+    // unmonitored.
+    for i in 0..3 {
+        shared.try_with(|db| db.send(backbone, "Down", &[]))?;
+        shared.try_with(|db| db.send(edge, "Down", &[]))?;
+        if i < 2 {
+            shared.try_with(|db| db.send(backbone, "Up", &[]))?;
+        }
+        shared.try_with(|db| db.send(edge, "Up", &[]))?;
+    }
+    // Health probes: the backbone is still down on the last one.
+    shared.try_with(|db| db.send(backbone, "Probe", &[Value::Float(42.0)]))?;
+    shared.try_with(|db| db.send(edge, "Probe", &[Value::Float(7.5)]))?;
+
+    shared.drain();
+    let db = shared.shutdown();
+
+    let pages = db.get_attr(pager, "pages")?;
+    println!("pager:");
+    for p in pages.as_list()? {
+        println!("  - {p}");
+    }
+    assert_eq!(pages.as_list()?.len(), 2, "one escalation + one outage page");
+
+    println!("link transitions observed: {}", transitions.load(Ordering::Relaxed));
+    assert_eq!(transitions.load(Ordering::Relaxed), 11);
+
+    println!(
+        "audited downs (detached, background executor): {}",
+        db.get_attr(audit, "entries")?
+    );
+    assert_eq!(db.get_attr(audit, "entries")?, Value::Int(6));
+
+    // Dashboard query: slow links, via the latency index.
+    let slow = Query::over("Link")
+        .range("latency_ms", Some(Value::Float(10.0)), None)
+        .select_attr("name")
+        .run(&db)?;
+    println!("links with latency >= 10ms: {slow:?}");
+    assert_eq!(slow.len(), 1);
+
+    let healthy = Query::over("Link").filter(attr("up").truthy()).count(&db)?;
+    println!("healthy links: {healthy}/2");
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Patient monitoring — the paper's §2.1 motivation for the external
+//! monitoring viewpoint:
+//!
+//! > "when a patient class is defined (and instances are created), it is
+//! > not known who may be interested in monitoring that patient;
+//! > depending upon the diagnosis, additional groups or physicians may
+//! > have to track the patient's progress."
+//!
+//! Physicians attach (subscribe) and detach (unsubscribe) monitoring
+//! rules to particular patients at runtime, without touching the
+//! `Patient` class. A composite *sequence* event catches a fever spike
+//! followed by a medication change.
+//!
+//! Run with: `cargo run --example patient_monitoring`
+
+use sentinel::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    db.define_class(
+        ClassDecl::reactive("Patient")
+            .attr("name", TypeTag::Str)
+            .attr("temperature", TypeTag::Float)
+            .attr("medication", TypeTag::Str)
+            .event_method("RecordTemperature", &[("t", TypeTag::Float)], EventSpec::End)
+            .event_method("ChangeMedication", &[("drug", TypeTag::Str)], EventSpec::End),
+    )?;
+    db.define_class(
+        ClassDecl::new("Physician")
+            .attr("name", TypeTag::Str)
+            .attr("pages", TypeTag::List),
+    )?;
+    db.register_setter("Patient", "RecordTemperature", "temperature")?;
+    db.register_setter("Patient", "ChangeMedication", "medication")?;
+
+    let alice = db.create_with("Patient", &[("name", "Alice".into())])?;
+    let bob = db.create_with("Patient", &[("name", "Bob".into())])?;
+    let dr_lee = db.create_with("Physician", &[("name", "Dr. Lee".into())])?;
+
+    // Rule 1: page on any fever above 39°C.
+    db.register_condition("fever", |_w, firing| {
+        Ok(firing
+            .param_of("RecordTemperature", 0)
+            .expect("temperature param")
+            .as_float()?
+            > 39.0)
+    });
+    db.register_action("page-physician", move |w, firing| {
+        let patient = firing.occurrence.constituents[0].oid;
+        let who = w.get_attr(patient, "name")?;
+        let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
+        pages.push(Value::Str(format!("fever alert: {who}")));
+        w.set_attr(dr_lee, "pages", Value::List(pages))
+    });
+    db.add_rule(
+        RuleDef::new(
+            "FeverAlert",
+            event("end Patient::RecordTemperature(float t)")?,
+            "page-physician",
+        )
+        .condition("fever"),
+    )?;
+
+    // Rule 2: fever followed by a medication change — review the order.
+    db.register_action("flag-med-change", move |w, firing| {
+        let patient = firing
+            .occurrence
+            .constituent_for_method("ChangeMedication")
+            .expect("sequence carries the medication event")
+            .oid;
+        let who = w.get_attr(patient, "name")?;
+        let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
+        pages.push(Value::Str(format!("review medication order for {who}")));
+        w.set_attr(dr_lee, "pages", Value::List(pages))
+    });
+    db.register_condition("fever-in-sequence", |_w, firing| {
+        Ok(firing
+            .param_of("RecordTemperature", 0)
+            .expect("temperature param")
+            .as_float()?
+            > 39.0)
+    });
+    db.add_rule(
+        RuleDef::new(
+            "MedAfterFever",
+            event("end Patient::RecordTemperature(float t)")?
+                .then(event("end Patient::ChangeMedication(str drug)")?),
+            "flag-med-change",
+        )
+        .condition("fever-in-sequence")
+        .context(ParamContext::Recent),
+    )?;
+
+    // Dr. Lee picks up Alice only. Bob is not monitored.
+    db.subscribe(alice, "FeverAlert")?;
+    db.subscribe(alice, "MedAfterFever")?;
+
+    db.send(bob, "RecordTemperature", &[Value::Float(40.2)])?; // unmonitored
+    db.send(alice, "RecordTemperature", &[Value::Float(38.2)])?; // no fever
+    db.send(alice, "RecordTemperature", &[Value::Float(39.7)])?; // fever page
+    db.send(alice, "ChangeMedication", &[Value::Str("antibiotic-B".into())])?; // sequence
+
+    // The diagnosis changes: Dr. Lee starts monitoring Bob too — the
+    // Patient class is untouched.
+    db.subscribe(bob, "FeverAlert")?;
+    db.send(bob, "RecordTemperature", &[Value::Float(40.5)])?;
+
+    // Alice recovers; monitoring is detached.
+    db.unsubscribe(alice, "FeverAlert")?;
+    db.unsubscribe(alice, "MedAfterFever")?;
+    db.send(alice, "RecordTemperature", &[Value::Float(41.0)])?; // no page
+
+    let pages = db.get_attr(dr_lee, "pages")?;
+    println!("Dr. Lee's pager:");
+    for p in pages.as_list()? {
+        println!("  - {p}");
+    }
+    assert_eq!(pages.as_list()?.len(), 3);
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Portfolio management — the paper's §2.1 motivating example.
+//!
+//! ```text
+//! RULE Purchase :
+//!   WHEN IBM!SetPrice And DowJones!SetValue          /* Event     */
+//!   IF   IBM!GetPrice < $80 and DowJones!Change < 3.4%  /* Condition */
+//!   THEN Parker!PurchaseIBMStock                     /* Action    */
+//! ```
+//!
+//! The rule is defined *independently* of the `Stock`, `FinancialInfo`,
+//! and `Portfolio` classes (the external monitoring viewpoint): the
+//! stock objects existed first, and a new portfolio starts monitoring
+//! them by subscribing at runtime — no class is redefined.
+//!
+//! Run with: `cargo run --example portfolio`
+
+use sentinel::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    db.define_class(
+        ClassDecl::reactive("Stock")
+            .attr("symbol", TypeTag::Str)
+            .attr("price", TypeTag::Float)
+            .event_method("SetPrice", &[("p", TypeTag::Float)], EventSpec::End)
+            .method("GetPrice", &[]),
+    )?;
+    db.define_class(
+        ClassDecl::reactive("FinancialInfo")
+            .attr("name", TypeTag::Str)
+            .attr("change", TypeTag::Float)
+            .event_method("SetValue", &[("v", TypeTag::Float)], EventSpec::End),
+    )?;
+    db.define_class(
+        ClassDecl::new("Portfolio")
+            .attr("owner", TypeTag::Str)
+            .attr("shares", TypeTag::Int)
+            .attr("trades", TypeTag::List)
+            .method("PurchaseIBMStock", &[]),
+    )?;
+    db.register_setter("Stock", "SetPrice", "price")?;
+    db.register_getter("Stock", "GetPrice", "price")?;
+    db.register_setter("FinancialInfo", "SetValue", "change")?;
+    db.register_method("Portfolio", "PurchaseIBMStock", |w, this, _| {
+        let s = w.get_attr(this, "shares")?.as_int()?;
+        w.set_attr(this, "shares", Value::Int(s + 100))?;
+        Ok(Value::Null)
+    })?;
+
+    // Market objects exist long before anyone monitors them.
+    let ibm = db.create_with(
+        "Stock",
+        &[("symbol", "IBM".into()), ("price", Value::Float(102.0))],
+    )?;
+    let dow = db.create_with("FinancialInfo", &[("name", "DowJones".into())])?;
+    let parker = db.create_with("Portfolio", &[("owner", "Parker".into())])?;
+
+    // The Purchase rule: conjunction of events from two distinct classes.
+    db.register_condition("buy-window", move |w, _| {
+        Ok(w.get_attr(ibm, "price")?.as_float()? < 80.0
+            && w.get_attr(dow, "change")?.as_float()? < 3.4)
+    });
+    db.register_action("purchase", move |w, _| {
+        w.send(parker, "PurchaseIBMStock", &[])?;
+        Ok(())
+    });
+    let purchase_event =
+        event("end Stock::SetPrice(float p)")?.and(event("end FinancialInfo::SetValue(float v)")?);
+    db.define_event("IBM-and-DowJones", purchase_event)?;
+    db.add_rule(
+        RuleDef::new("Purchase", db.event_expr("IBM-and-DowJones")?, "purchase")
+            .condition("buy-window")
+            .context(ParamContext::Recent),
+    )?;
+    db.subscribe(ibm, "Purchase")?;
+    db.subscribe(dow, "Purchase")?;
+
+    // A simulated trading day.
+    let ticks: &[(f64, f64)] = &[
+        (102.5, 1.2), // price too high — no purchase
+        (98.0, 4.0),  // both out of window
+        (79.0, 2.0),  // in the window: buy
+        (76.5, 1.1),  // still in the window: buy again
+        (85.0, 0.4),  // back out
+    ];
+    for &(price, change) in ticks {
+        db.send(ibm, "SetPrice", &[Value::Float(price)])?;
+        db.send(dow, "SetValue", &[Value::Float(change)])?;
+        println!(
+            "IBM={price:>6.2}  DowJones={change:>4.1}%  Parker holds {} shares",
+            db.get_attr(parker, "shares")?
+        );
+    }
+    assert_eq!(db.get_attr(parker, "shares")?, Value::Int(200));
+
+    let rs = db.rule_stats("Purchase")?;
+    println!(
+        "Purchase rule: {} notifications, {} detections, {} buys",
+        rs.notifications, rs.triggered, rs.actions_run
+    );
+    Ok(())
+}

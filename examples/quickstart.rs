@@ -1,0 +1,101 @@
+//! Quickstart: the paper's Figure 8/9/10 payroll scenario end-to-end.
+//!
+//! * A reactive `Employee` class with an event interface.
+//! * A **class-level** rule (`Marriage`-style hard constraint): no
+//!   employee may earn a negative salary — violating updates abort.
+//! * An **instance-level** rule spanning two classes (Figure 10's
+//!   `IncomeLevel`): Fred the employee and Mike the manager must always
+//!   earn the same amount.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sentinel::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    // --- Schema: Figure 8 style event interface ------------------------
+    db.define_class(
+        ClassDecl::reactive("Employee")
+            .attr("name", TypeTag::Str)
+            .attr("salary", TypeTag::Float)
+            .event_method("Change-Income", &[("amount", TypeTag::Float)], EventSpec::End)
+            .method("Get-Income", &[]),
+    )?;
+    db.define_class(ClassDecl::reactive("Manager").parent("Employee"))?;
+    db.register_setter("Employee", "Change-Income", "salary")?;
+    db.register_getter("Employee", "Get-Income", "salary")?;
+
+    // --- Class-level rule: applies to every employee and manager -------
+    db.register_condition("salary-negative", |_w, firing| {
+        let amount = firing
+            .param_of("Change-Income", 0)
+            .expect("Change-Income carries its amount")
+            .as_float()?;
+        Ok(amount < 0.0)
+    });
+    db.add_class_rule(
+        "Employee",
+        RuleDef::new(
+            "NoNegativeSalary",
+            event("end Employee::Change-Income(float amount)")?,
+            ACTION_ABORT,
+        )
+        .condition("salary-negative"),
+    )?;
+
+    // --- Objects --------------------------------------------------------
+    let fred = db.create_with("Employee", &[("name", "Fred".into())])?;
+    let mike = db.create_with("Manager", &[("name", "Mike".into())])?;
+
+    // --- Instance-level rule spanning Employee and Manager (Figure 10) --
+    db.register_condition("incomes-differ", move |w, _| {
+        Ok(w.get_attr(fred, "salary")? != w.get_attr(mike, "salary")?)
+    });
+    db.register_action("make-equal", move |w, firing| {
+        let amount = firing
+            .param_of("Change-Income", 0)
+            .cloned()
+            .unwrap_or(Value::Float(0.0));
+        w.set_attr(fred, "salary", amount.clone())?;
+        w.set_attr(mike, "salary", amount)?;
+        Ok(())
+    });
+    let income_event = event("end Employee::Change-Income(float amount)")?
+        .or(event("end Manager::Change-Income(float amount)")?);
+    db.add_rule(RuleDef::new("IncomeLevel", income_event, "make-equal").condition("incomes-differ"))?;
+    // The rule monitors exactly these two objects — Fred.Subscribe(IncomeLevel).
+    db.subscribe(fred, "IncomeLevel")?;
+    db.subscribe(mike, "IncomeLevel")?;
+
+    // --- Drive it ---------------------------------------------------------
+    db.send(fred, "Change-Income", &[Value::Float(120.0)])?;
+    println!(
+        "after Fred's raise:  Fred={}  Mike={}",
+        db.get_attr(fred, "salary")?,
+        db.get_attr(mike, "salary")?
+    );
+    assert_eq!(db.get_attr(mike, "salary")?, Value::Float(120.0));
+
+    db.send(mike, "Change-Income", &[Value::Float(250.0)])?;
+    println!(
+        "after Mike's raise:  Fred={}  Mike={}",
+        db.get_attr(fred, "salary")?,
+        db.get_attr(mike, "salary")?
+    );
+    assert_eq!(db.get_attr(fred, "salary")?, Value::Float(250.0));
+
+    // Violating update: the class-level rule aborts the transaction.
+    let err = db
+        .send(fred, "Change-Income", &[Value::Float(-5.0)])
+        .expect_err("negative salary must abort");
+    println!("negative raise rejected: {err}");
+    assert_eq!(db.get_attr(fred, "salary")?, Value::Float(250.0));
+
+    let s = db.stats();
+    println!(
+        "stats: {} sends, {} events, {} condition evals, {} actions, {} aborts",
+        s.sends, s.events_generated, s.condition_evals, s.actions_run, s.aborts
+    );
+    Ok(())
+}

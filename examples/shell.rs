@@ -1,0 +1,51 @@
+//! An interactive shell over the Sentinel database — the kind of tool a
+//! downstream adopter writes first. Reads commands from stdin (EOF or
+//! `quit` exits), so it can also be driven by a script:
+//!
+//! ```text
+//! cargo run --example shell <<'SCRIPT'
+//! class Stock reactive price:float symbol:str
+//! new Stock symbol="IBM"
+//! rule Watch when "end Stock::Setprice(float p)" do print
+//! subscribe @13 Watch
+//! send @13 Setprice 95.5
+//! get @13 price
+//! stats
+//! SCRIPT
+//! ```
+//!
+//! The command language is implemented (and tested) in
+//! [`sentinel::shell`]; type `help` for the reference.
+
+use sentinel::prelude::*;
+use sentinel::shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    shell::prepare(&mut db);
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    print!("sentinel> ");
+    let _ = out.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            print!("sentinel> ");
+            let _ = out.flush();
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell::run_command(&mut db, line) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+        print!("sentinel> ");
+        let _ = out.flush();
+    }
+    println!();
+}

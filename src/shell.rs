@@ -1,0 +1,505 @@
+//! A line-oriented command language over the database — the interpreter
+//! behind `examples/shell.rs`, exposed as a library module so its
+//! behaviour is testable and reusable (e.g. for scripted fixtures).
+//!
+//! Commands (see [`HELP`]):
+//!
+//! ```text
+//! class <Name> [reactive] [parent=<P>] <attr>:<type> ...
+//! new <Class> [<attr>=<value> ...]
+//! get/set/send/delete ...
+//! rule <Name> when "<sig>" [and|or|then "<sig>"]... do print|abort
+//! subscribe / subscribe-class / enable / disable
+//! query <Class> [where <attr> <op> <value>]
+//! objects / rules / stats
+//! ```
+
+use crate::prelude::*;
+use sentinel_db::{attr as qattr, event, Query};
+
+/// Help text printed by the `help` command.
+pub const HELP: &str = r#"commands:
+  class <Name> [reactive] [parent=<P>] <attr>:<type> ...
+        defines the class; each attribute also gets a Set<attr> method
+        (an `end` event generator on reactive classes)
+  new <Class> [<attr>=<value> ...]       create an instance
+  get <@oid> <attr>                      read an attribute
+  set <@oid> <attr> <value>              write an attribute (no events)
+  send <@oid> <Method> [args...]         invoke a method (raises events)
+  delete <@oid>                          delete an object
+  rule <Name> when "<sig>" [and|or|then "<sig>"]... do print|abort
+  subscribe <@oid> <Rule>                instance-level monitoring
+  subscribe-class <Class> <Rule>         class-level monitoring
+  enable <Rule> / disable <Rule>
+  query <Class> [where <attr> <op> <value>]
+  objects <Class>    rules    stats    help    quit
+types: int float str bool oid list; oids are written @7
+signatures: "end Stock::SetPrice(float p)" (begin|end Class::Method)"#;
+
+/// Parse a literal: `@7` → oid, numbers, booleans, `null`, else string.
+pub fn parse_value(s: &str) -> Value {
+    if let Some(stripped) = s.strip_prefix('@') {
+        if let Ok(n) = stripped.parse::<u64>() {
+            return Value::Oid(Oid(n));
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        "null" => Value::Null,
+        _ => Value::Str(s.trim_matches('"').to_string()),
+    }
+}
+
+fn parse_oid(s: &str) -> Result<Oid> {
+    s.strip_prefix('@')
+        .and_then(|n| n.parse::<u64>().ok())
+        .map(Oid)
+        .ok_or_else(|| ObjectError::App(format!("expected @<oid>, got `{s}`")))
+}
+
+fn type_tag(s: &str) -> Result<TypeTag> {
+    Ok(match s {
+        "int" => TypeTag::Int,
+        "float" => TypeTag::Float,
+        "str" | "string" => TypeTag::Str,
+        "bool" => TypeTag::Bool,
+        "oid" | "ref" => TypeTag::Oid,
+        "list" => TypeTag::List,
+        other => return Err(ObjectError::App(format!("unknown type `{other}`"))),
+    })
+}
+
+/// Split a line into tokens, keeping "double-quoted strings" whole.
+pub fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    for c in line.chars() {
+        match c {
+            '"' => {
+                quoted = !quoted;
+                if !quoted && !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c if c.is_whitespace() && !quoted => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Prepare a database for the shell: registers the `print` action rules
+/// can use.
+pub fn prepare(db: &mut Database) {
+    db.register_action("print", |_w, firing| {
+        println!(
+            "  [rule `{}` fired on {}]",
+            firing.rule_name,
+            firing
+                .occurrence
+                .constituents
+                .iter()
+                .map(|c| format!("{} {}.{}", c.modifier, c.oid, c.method))
+                .collect::<Vec<_>>()
+                .join(" + ")
+        );
+        Ok(())
+    });
+}
+
+/// Execute one command line; returns the reply text.
+pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
+    let tokens = tokenize(line);
+    let (cmd, args) = tokens
+        .split_first()
+        .ok_or_else(|| ObjectError::App("empty command".into()))?;
+    match cmd.as_str() {
+        "help" => Ok(HELP.to_string()),
+        "class" => cmd_class(db, args),
+        "new" => {
+            let class = args
+                .first()
+                .ok_or_else(|| ObjectError::App("new: missing class".into()))?;
+            let mut inits = Vec::new();
+            for a in &args[1..] {
+                let (k, v) = a
+                    .split_once('=')
+                    .ok_or_else(|| ObjectError::App(format!("new: bad init `{a}`")))?;
+                inits.push((k, parse_value(v)));
+            }
+            let init_refs: Vec<(&str, Value)> =
+                inits.iter().map(|(k, v)| (*k, v.clone())).collect();
+            let oid = db.create_with(class, &init_refs)?;
+            Ok(format!("{oid}"))
+        }
+        "get" => {
+            let [o, a] = args else {
+                return Err(ObjectError::App("get <@oid> <attr>".into()));
+            };
+            Ok(format!("{}", db.get_attr(parse_oid(o)?, a)?))
+        }
+        "set" => {
+            let [o, a, v] = args else {
+                return Err(ObjectError::App("set <@oid> <attr> <value>".into()));
+            };
+            db.set_attr(parse_oid(o)?, a, parse_value(v))?;
+            Ok("ok".into())
+        }
+        "send" => {
+            let (o, rest) = args
+                .split_first()
+                .ok_or_else(|| ObjectError::App("send <@oid> <Method> [args]".into()))?;
+            let (m, vals) = rest
+                .split_first()
+                .ok_or_else(|| ObjectError::App("send: missing method".into()))?;
+            let vals: Vec<Value> = vals.iter().map(|v| parse_value(v)).collect();
+            let r = db.send(parse_oid(o)?, m, &vals)?;
+            Ok(format!("=> {r}"))
+        }
+        "delete" => {
+            let [o] = args else {
+                return Err(ObjectError::App("delete <@oid>".into()));
+            };
+            db.delete(parse_oid(o)?)?;
+            Ok("deleted".into())
+        }
+        "rule" => cmd_rule(db, args),
+        "subscribe" => {
+            let [o, r] = args else {
+                return Err(ObjectError::App("subscribe <@oid> <Rule>".into()));
+            };
+            db.subscribe(parse_oid(o)?, r)?;
+            Ok("subscribed".into())
+        }
+        "subscribe-class" => {
+            let [c, r] = args else {
+                return Err(ObjectError::App("subscribe-class <Class> <Rule>".into()));
+            };
+            db.subscribe_class(c, r)?;
+            Ok("subscribed".into())
+        }
+        "enable" => {
+            let [r] = args else {
+                return Err(ObjectError::App("enable <Rule>".into()));
+            };
+            db.enable_rule(r)?;
+            Ok("enabled".into())
+        }
+        "disable" => {
+            let [r] = args else {
+                return Err(ObjectError::App("disable <Rule>".into()));
+            };
+            db.disable_rule(r)?;
+            Ok("disabled".into())
+        }
+        "query" => cmd_query(db, args),
+        "objects" => {
+            let [c] = args else {
+                return Err(ObjectError::App("objects <Class>".into()));
+            };
+            let mut oids = db.extent(c)?;
+            oids.sort_unstable();
+            Ok(oids
+                .iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(" "))
+        }
+        "rules" => {
+            let mut names = db.rule_names();
+            names.sort();
+            Ok(names
+                .iter()
+                .map(|n| {
+                    let s = db.rule_stats(n).unwrap_or_default();
+                    format!(
+                        "{n} (enabled={}, triggered={}, actions={})",
+                        db.rule_enabled(n).unwrap_or(false),
+                        s.triggered,
+                        s.actions_run
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "stats" => {
+            let s = db.stats();
+            let e = db.engine_stats();
+            Ok(format!(
+                "sends={} events={} notifications={} cond-evals={} actions={} commits={} aborts={}",
+                s.sends,
+                s.events_generated,
+                e.notifications,
+                s.condition_evals,
+                s.actions_run,
+                s.commits,
+                s.aborts
+            ))
+        }
+        other => Err(ObjectError::App(format!(
+            "unknown command `{other}` (try `help`)"
+        ))),
+    }
+}
+
+fn cmd_class(db: &mut Database, args: &[String]) -> Result<String> {
+    let name = args
+        .first()
+        .ok_or_else(|| ObjectError::App("class: missing name".into()))?
+        .clone();
+    let reactive = args.iter().any(|a| a == "reactive");
+    let mut decl = if reactive {
+        ClassDecl::reactive(&name)
+    } else {
+        ClassDecl::new(&name)
+    };
+    let mut attrs = Vec::new();
+    for a in &args[1..] {
+        if a == "reactive" {
+            continue;
+        } else if let Some(p) = a.strip_prefix("parent=") {
+            decl = decl.parent(p);
+        } else if let Some((attr, ty)) = a.split_once(':') {
+            let tag = type_tag(ty)?;
+            decl = decl.attr(attr, tag);
+            decl = decl.event_method(
+                format!("Set{attr}"),
+                &[("v", tag)],
+                if reactive {
+                    EventSpec::End
+                } else {
+                    EventSpec::None
+                },
+            );
+            attrs.push(attr.to_string());
+        } else {
+            return Err(ObjectError::App(format!("class: bad argument `{a}`")));
+        }
+    }
+    db.define_class(decl)?;
+    for attr in &attrs {
+        db.register_setter(&name, &format!("Set{attr}"), attr)?;
+    }
+    Ok(format!(
+        "class `{name}` defined{}",
+        if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " (setters: {})",
+                attrs
+                    .iter()
+                    .map(|a| format!("Set{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    ))
+}
+
+fn cmd_rule(db: &mut Database, args: &[String]) -> Result<String> {
+    let name = args
+        .first()
+        .ok_or_else(|| ObjectError::App("rule: missing name".into()))?;
+    let mut i = 1;
+    if args.get(i).map(String::as_str) != Some("when") {
+        return Err(ObjectError::App("rule: expected `when`".into()));
+    }
+    i += 1;
+    let mut expr = event(
+        args.get(i)
+            .ok_or_else(|| ObjectError::App("rule: missing event signature".into()))?,
+    )?;
+    i += 1;
+    while let Some(op) = args.get(i) {
+        if op == "do" {
+            break;
+        }
+        let sig = args
+            .get(i + 1)
+            .ok_or_else(|| ObjectError::App(format!("rule: `{op}` needs a signature")))?;
+        let rhs = event(sig)?;
+        expr = match op.as_str() {
+            "and" => expr.and(rhs),
+            "or" => expr.or(rhs),
+            "then" => expr.then(rhs),
+            other => {
+                return Err(ObjectError::App(format!(
+                    "rule: unknown operator `{other}` (and|or|then)"
+                )))
+            }
+        };
+        i += 2;
+    }
+    if args.get(i).map(String::as_str) != Some("do") {
+        return Err(ObjectError::App("rule: expected `do print|abort`".into()));
+    }
+    let action = match args.get(i + 1).map(String::as_str) {
+        Some("print") => "print",
+        Some("abort") => ACTION_ABORT,
+        other => {
+            return Err(ObjectError::App(format!(
+                "rule: unknown action {other:?} (print|abort)"
+            )))
+        }
+    };
+    let oid = db.add_rule(RuleDef::new(name.clone(), expr, action))?;
+    Ok(format!("rule `{name}` created as {oid}"))
+}
+
+fn cmd_query(db: &mut Database, args: &[String]) -> Result<String> {
+    let class = args
+        .first()
+        .ok_or_else(|| ObjectError::App("query <Class> [where a op v]".into()))?;
+    let mut q = Query::over(class.clone());
+    if args.get(1).map(String::as_str) == Some("where") {
+        let [_, _, a, op, v] = args else {
+            return Err(ObjectError::App(
+                "query <Class> where <attr> <op> <value>".into(),
+            ));
+        };
+        let val = parse_value(v);
+        let term = qattr(a.clone());
+        q = q.filter(match op.as_str() {
+            "=" | "==" => term.eq(val),
+            "!=" => term.ne(val),
+            "<" => term.lt(val),
+            "<=" => term.le(val),
+            ">" => term.gt(val),
+            ">=" => term.ge(val),
+            other => return Err(ObjectError::App(format!("query: bad operator `{other}`"))),
+        });
+    }
+    let oids = q.run_oids(db)?;
+    Ok(format!(
+        "{} match(es): {}",
+        oids.len(),
+        oids.iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell_db() -> Database {
+        let mut db = Database::new();
+        prepare(&mut db);
+        db
+    }
+
+    fn run(db: &mut Database, line: &str) -> String {
+        run_command(db, line).unwrap()
+    }
+
+    #[test]
+    fn tokenizer_respects_quotes() {
+        assert_eq!(
+            tokenize(r#"rule R when "end A::B(x y)" do print"#),
+            ["rule", "R", "when", "end A::B(x y)", "do", "print"]
+        );
+        assert_eq!(tokenize("  a   b  "), ["a", "b"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn value_literals() {
+        assert_eq!(parse_value("@7"), Value::Oid(Oid(7)));
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("4.5"), Value::Float(4.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("null"), Value::Null);
+        assert_eq!(parse_value("IBM"), Value::Str("IBM".into()));
+    }
+
+    #[test]
+    fn end_to_end_scripted_session() {
+        let mut db = shell_db();
+        run(&mut db, "class Stock reactive price:float symbol:str");
+        let oid_line = run(&mut db, r#"new Stock symbol="IBM""#);
+        assert!(oid_line.starts_with('@'), "{oid_line}");
+        run(
+            &mut db,
+            r#"rule Watch when "end Stock::Setprice(float p)" do print"#,
+        );
+        run(&mut db, &format!("subscribe {oid_line} Watch"));
+        run(&mut db, &format!("send {oid_line} Setprice 95.5"));
+        assert_eq!(run(&mut db, &format!("get {oid_line} price")), "95.5");
+        let rules = run(&mut db, "rules");
+        assert!(rules.contains("Watch (enabled=true, triggered=1, actions=1)"), "{rules}");
+        let q = run(&mut db, "query Stock where price > 90");
+        assert!(q.starts_with("1 match(es):"), "{q}");
+        let q = run(&mut db, "query Stock where price > 100");
+        assert!(q.starts_with("0 match(es):"), "{q}");
+    }
+
+    #[test]
+    fn abort_rules_via_shell() {
+        let mut db = shell_db();
+        run(&mut db, "class Acct reactive bal:float");
+        let a = run(&mut db, "new Acct");
+        run(
+            &mut db,
+            r#"rule NoSet when "end Acct::Setbal(float v)" do abort"#,
+        );
+        run(&mut db, "subscribe-class Acct NoSet");
+        let err = run_command(&mut db, &format!("send {a} Setbal 5")).err().unwrap();
+        assert!(err.is_abort());
+        assert_eq!(run(&mut db, &format!("get {a} bal")), "0");
+        run(&mut db, "disable NoSet");
+        run(&mut db, &format!("send {a} Setbal 5"));
+        assert_eq!(run(&mut db, &format!("get {a} bal")), "5");
+    }
+
+    #[test]
+    fn bad_commands_are_reported_not_panicked() {
+        let mut db = shell_db();
+        for bad in [
+            "",
+            "frobnicate",
+            "get nonsense attr",
+            "class",
+            "rule R when",
+            "rule R when \"banana\" do print",
+            "query Missing",
+            "send @999 M",
+        ] {
+            assert!(run_command(&mut db, bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn inheritance_and_composite_rules_via_shell() {
+        let mut db = shell_db();
+        run(&mut db, "class Base reactive x:int");
+        run(&mut db, "class Derived reactive parent=Base y:int");
+        let d = run(&mut db, "new Derived");
+        run(
+            &mut db,
+            r#"rule Pair when "end Base::Setx(int v)" then "end Derived::Sety(int v)" do print"#,
+        );
+        run(&mut db, "subscribe-class Base Pair");
+        run(&mut db, &format!("send {d} Setx 1"));
+        run(&mut db, &format!("send {d} Sety 2"));
+        let rules = run(&mut db, "rules");
+        assert!(rules.contains("triggered=1"), "{rules}");
+    }
+}

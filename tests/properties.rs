@@ -1,0 +1,436 @@
+//! Property-based tests of the core invariants:
+//!
+//! * event-algebra laws of the detector under random occurrence streams,
+//! * detector-state bounds of the restricted parameter contexts,
+//! * transaction abort as a perfect inverse of random mutation batches,
+//! * recovery as an exact replica of committed state,
+//! * C3 linearization sanity over random class DAGs.
+
+use proptest::prelude::*;
+use sentinel::events::{
+    CompositeOccurrence, DetectorCaps, DetectorInstance, EventExpr, EventModifier, ParamContext,
+    PrimitiveEventSpec, PrimitiveOccurrence,
+};
+use sentinel::object::{ClassDecl, ClassRegistry, Oid, TypeTag, Value};
+use sentinel::prelude::{DbConfig, Database, EventSpec, RuleDef, ACTION_NOOP};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Detector properties
+// ---------------------------------------------------------------------
+
+fn registry_ab() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define(ClassDecl::reactive("C").method("a", &[]).method("b", &[]))
+        .unwrap();
+    reg
+}
+
+/// A random stream over two primitive events `a` and `b`.
+fn stream(reg: &ClassRegistry, choices: &[bool]) -> Vec<PrimitiveOccurrence> {
+    let cid = reg.id_of("C").unwrap();
+    choices
+        .iter()
+        .enumerate()
+        .map(|(i, &is_a)| PrimitiveOccurrence {
+            at: i as u64 + 1,
+            oid: Oid(1),
+            class: cid,
+            owner: cid,
+            method: if is_a { "a".into() } else { "b".into() },
+            modifier: EventModifier::End,
+            params: Arc::from(Vec::<Value>::new()),
+        })
+        .collect()
+}
+
+fn run(
+    expr: &EventExpr,
+    reg: &ClassRegistry,
+    ctx: ParamContext,
+    occs: &[PrimitiveOccurrence],
+) -> (Vec<CompositeOccurrence>, DetectorInstance) {
+    let mut d = DetectorInstance::compile(expr, reg, ctx, DetectorCaps::default()).unwrap();
+    let mut out = Vec::new();
+    for o in occs {
+        out.extend(d.process(reg, o));
+    }
+    (out, d)
+}
+
+fn leaf(m: &str) -> EventExpr {
+    EventExpr::primitive(PrimitiveEventSpec::end("C", m))
+}
+
+proptest! {
+    /// Disjunction is exactly the merge of the two streams.
+    #[test]
+    fn or_emits_once_per_match(choices in prop::collection::vec(any::<bool>(), 0..200)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let (out, d) = run(&leaf("a").or(leaf("b")), &reg, ParamContext::Unrestricted, &occs);
+        prop_assert_eq!(out.len(), choices.len());
+        prop_assert_eq!(d.buffered(), 0);
+    }
+
+    /// Unrestricted conjunction emits every (a, b) pair exactly once,
+    /// regardless of interleaving.
+    #[test]
+    fn unrestricted_and_emits_all_pairs(choices in prop::collection::vec(any::<bool>(), 0..120)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let na = choices.iter().filter(|&&c| c).count();
+        let nb = choices.len() - na;
+        let (out, _) = run(&leaf("a").and(leaf("b")), &reg, ParamContext::Unrestricted, &occs);
+        prop_assert_eq!(out.len(), na * nb);
+    }
+
+    /// Unrestricted sequence emits exactly the pairs where `a` precedes
+    /// `b`.
+    #[test]
+    fn unrestricted_seq_counts_ordered_pairs(choices in prop::collection::vec(any::<bool>(), 0..120)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let mut expected = 0usize;
+        let mut seen_a = 0usize;
+        for &c in &choices {
+            if c {
+                seen_a += 1;
+            } else {
+                expected += seen_a;
+            }
+        }
+        let (out, _) = run(&leaf("a").then(leaf("b")), &reg, ParamContext::Unrestricted, &occs);
+        prop_assert_eq!(out.len(), expected);
+        // Every emission is ordered.
+        for o in &out {
+            prop_assert!(o.constituents[0].at < o.constituents[1].at);
+        }
+    }
+
+    /// The recent context keeps conjunction state bounded by one
+    /// occurrence per side, no matter the stream.
+    #[test]
+    fn recent_and_state_is_bounded(choices in prop::collection::vec(any::<bool>(), 0..300)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let expr = leaf("a").and(leaf("b"));
+        let mut d = DetectorInstance::compile(&expr, &reg, ParamContext::Recent, DetectorCaps::default()).unwrap();
+        for o in &occs {
+            d.process(&reg, o);
+            prop_assert!(d.buffered() <= 1, "recent context must stay bounded");
+        }
+    }
+
+    /// Chronicle conjunction pairs FIFO and consumes: the emission count
+    /// is the running min of completed pairs, and every occurrence is
+    /// used at most once.
+    #[test]
+    fn chronicle_and_emits_min_counts(choices in prop::collection::vec(any::<bool>(), 0..200)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let na = choices.iter().filter(|&&c| c).count();
+        let nb = choices.len() - na;
+        let (out, _) = run(&leaf("a").and(leaf("b")), &reg, ParamContext::Chronicle, &occs);
+        prop_assert_eq!(out.len(), na.min(nb));
+        // Consumption: constituent timestamps are pairwise distinct
+        // across emissions.
+        let mut used = std::collections::HashSet::new();
+        for o in &out {
+            for c in &o.constituents {
+                prop_assert!(used.insert(c.at), "occurrence t={} reused", c.at);
+            }
+        }
+        // And pairing is FIFO: a-side timestamps appear in order.
+        let a_times: Vec<u64> = out
+            .iter()
+            .map(|o| o.constituents.iter().find(|c| &*c.method == "a").unwrap().at)
+            .collect();
+        let mut sorted = a_times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(a_times, sorted);
+    }
+
+    /// Cumulative conjunction partitions matched occurrences: every
+    /// occurrence appears in at most one emission, and each emission
+    /// contains every occurrence buffered since the previous one.
+    #[test]
+    fn cumulative_and_partitions_occurrences(choices in prop::collection::vec(any::<bool>(), 0..200)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let (out, d) = run(&leaf("a").and(leaf("b")), &reg, ParamContext::Cumulative, &occs);
+        let mut used = std::collections::HashSet::new();
+        for o in &out {
+            for c in &o.constituents {
+                prop_assert!(used.insert(c.at));
+            }
+        }
+        prop_assert_eq!(used.len() + d.buffered(), choices.len());
+    }
+
+    /// Compiling and re-running the same stream is deterministic.
+    #[test]
+    fn detection_is_deterministic(choices in prop::collection::vec(any::<bool>(), 0..100)) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let expr = leaf("a").then(leaf("b")).or(leaf("a").and(leaf("b")));
+        let (out1, _) = run(&expr, &reg, ParamContext::Unrestricted, &occs);
+        let (out2, _) = run(&expr, &reg, ParamContext::Unrestricted, &occs);
+        prop_assert_eq!(out1, out2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transaction properties
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize, i64),
+    Create,
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..8, any::<i64>()).prop_map(|(i, v)| Op::Set(i, v)),
+        Just(Op::Create),
+        (0usize..8).prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Abort undoes an arbitrary batch of creates/sets/deletes exactly.
+    #[test]
+    fn abort_is_a_perfect_inverse(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let mut db = Database::new();
+        db.define_class(ClassDecl::new("X").attr("v", TypeTag::Int)).unwrap();
+        let mut oids: Vec<Oid> = (0..8).map(|_| db.create("X").unwrap()).collect();
+        for (i, &o) in oids.iter().enumerate() {
+            db.set_attr(o, "v", Value::Int(i as i64)).unwrap();
+        }
+        let before: Vec<(Oid, Option<Value>)> = oids
+            .iter()
+            .map(|&o| (o, db.get_attr(o, "v").ok()))
+            .collect();
+        let count_before = db.object_count();
+
+        db.begin().unwrap();
+        for op in &ops {
+            match *op {
+                Op::Set(i, v) => {
+                    let o = oids[i % oids.len()];
+                    let _ = db.set_attr(o, "v", Value::Int(v));
+                }
+                Op::Create => {
+                    let o = db.create("X").unwrap();
+                    oids.push(o);
+                }
+                Op::Delete(i) => {
+                    let o = oids[i % oids.len()];
+                    let _ = db.delete(o);
+                }
+            }
+        }
+        db.abort().unwrap();
+
+        prop_assert_eq!(db.object_count(), count_before);
+        for (o, v) in before {
+            prop_assert_eq!(db.get_attr(o, "v").ok(), v);
+        }
+    }
+
+    /// Committed state survives a crash (drop without checkpoint) and
+    /// recovery rebuilds it exactly; a second recovery is identical.
+    #[test]
+    fn recovery_replays_committed_state(values in prop::collection::vec(-1000i64..1000, 1..30)) {
+        let dir = std::env::temp_dir().join(format!(
+            "sentinel-prop-rec-{}-{}",
+            std::process::id(),
+            values.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut reference = Vec::new();
+        {
+            let mut db = Database::with_config(DbConfig::durable(&dir)).unwrap();
+            db.define_class(
+                ClassDecl::reactive("X")
+                    .attr("v", TypeTag::Int)
+                    .event_method("Set", &[("v", TypeTag::Int)], EventSpec::End),
+            )
+            .unwrap();
+            db.register_setter("X", "Set", "v").unwrap();
+            db.checkpoint().unwrap(); // schema reaches the snapshot
+            for &v in &values {
+                let o = db.create("X").unwrap();
+                db.send(o, "Set", &[Value::Int(v)]).unwrap();
+                reference.push((o, v));
+            }
+            // Uncommitted tail that must NOT survive.
+            db.begin().unwrap();
+            let ghost = db.create("X").unwrap();
+            db.send(ghost, "Set", &[Value::Int(424242)]).unwrap();
+            // crash: drop with the transaction still open
+        }
+        let db1 = Database::recover(DbConfig::durable(&dir)).unwrap();
+        prop_assert_eq!(db1.object_count() - db1.extent("Rule").unwrap().len(), reference.len());
+        for &(o, v) in &reference {
+            prop_assert_eq!(db1.get_attr(o, "v").unwrap(), Value::Int(v));
+        }
+        drop(db1);
+        let db2 = Database::recover(DbConfig::durable(&dir)).unwrap();
+        for &(o, v) in &reference {
+            prop_assert_eq!(db2.get_attr(o, "v").unwrap(), Value::Int(v));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random multiple-inheritance DAGs: when C3 accepts, the
+    /// linearization starts at the class, visits every ancestor exactly
+    /// once, and respects local parent order.
+    #[test]
+    fn c3_linearization_sanity(parent_picks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..3), 1..12)) {
+        let mut reg = ClassRegistry::new();
+        let mut ids = Vec::new();
+        for (i, picks) in parent_picks.iter().enumerate() {
+            let mut decl = ClassDecl::new(format!("K{i}"));
+            let mut chosen = Vec::new();
+            for &p in picks {
+                if ids.is_empty() {
+                    break;
+                }
+                let idx = (p as usize) % ids.len();
+                if !chosen.contains(&idx) {
+                    chosen.push(idx);
+                    decl = decl.parent(format!("K{idx}"));
+                }
+            }
+            match reg.define(decl) {
+                Ok(id) => {
+                    let lin = reg.get(id).linearization.clone();
+                    // Starts with self.
+                    prop_assert_eq!(lin[0], id);
+                    // No duplicates.
+                    let set: std::collections::HashSet<_> = lin.iter().collect();
+                    prop_assert_eq!(set.len(), lin.len());
+                    // Every direct parent appears, in relative order.
+                    let positions: Vec<usize> = reg.get(id).parents.iter()
+                        .map(|p| lin.iter().position(|c| c == p).expect("parent in lin"))
+                        .collect();
+                    let mut sorted = positions.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(&positions, &sorted);
+                    // Subclass relation holds for every linearized class.
+                    for &c in &lin {
+                        prop_assert!(reg.is_subclass(id, c));
+                    }
+                    ids.push(id);
+                }
+                Err(_) => {
+                    // Inconsistent orders are allowed to be rejected; the
+                    // registry must simply stay usable.
+                    prop_assert!(reg.len() == ids.len());
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end property: rule firing counts match event generation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A class-level rule on a primitive event fires exactly once per
+    /// declared-method send, whatever the mix of instances.
+    #[test]
+    fn class_rule_fires_once_per_event(sends in prop::collection::vec(0usize..5, 1..60)) {
+        let mut db = Database::new();
+        db.define_class(
+            ClassDecl::reactive("T")
+                .attr("n", TypeTag::Int)
+                .event_method("Poke", &[], EventSpec::End)
+                .method("Quiet", &[]),
+        ).unwrap();
+        db.register_method("T", "Poke", |w, this, _| {
+            let n = w.get_attr(this, "n")?.as_int()?;
+            w.set_attr(this, "n", Value::Int(n + 1))?;
+            Ok(Value::Null)
+        }).unwrap();
+        db.register_method("T", "Quiet", |_, _, _| Ok(Value::Null)).unwrap();
+        db.add_class_rule(
+            "T",
+            RuleDef::new("count", sentinel::db::event("end T::Poke()").unwrap(), ACTION_NOOP),
+        ).unwrap();
+        let objs: Vec<Oid> = (0..5).map(|_| db.create("T").unwrap()).collect();
+        let mut expected = 0u64;
+        for &pick in &sends {
+            let o = objs[pick % objs.len()];
+            if pick % 2 == 0 {
+                db.send(o, "Poke", &[]).unwrap();
+                expected += 1;
+            } else {
+                db.send(o, "Quiet", &[]).unwrap();
+            }
+        }
+        let rs = db.rule_stats("count").unwrap();
+        prop_assert_eq!(rs.triggered, expected);
+        prop_assert_eq!(rs.actions_run, expected);
+        prop_assert_eq!(db.stats().events_generated, expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension-operator properties (times, plus)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// `times(n)` emits exactly floor(matches / n) composites, each with
+    /// n constituents, consuming in order.
+    #[test]
+    fn times_counts_exactly(
+        choices in prop::collection::vec(any::<bool>(), 0..200),
+        n in 1usize..6,
+    ) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let matches = choices.iter().filter(|&&c| c).count();
+        let (out, d) = run(&leaf("a").times(n), &reg, ParamContext::Unrestricted, &occs);
+        prop_assert_eq!(out.len(), matches / n);
+        for o in &out {
+            prop_assert_eq!(o.constituents.len(), n);
+        }
+        prop_assert_eq!(d.buffered(), matches % n);
+    }
+
+    /// `plus(delta)` fires at most once per base, never before the
+    /// deadline, and pending bases equal fired-minus-total.
+    #[test]
+    fn plus_respects_deadlines(
+        choices in prop::collection::vec(any::<bool>(), 1..200),
+        delta in 0u64..50,
+    ) {
+        let reg = registry_ab();
+        let occs = stream(&reg, &choices);
+        let (out, d) = run(&leaf("a").plus(delta), &reg, ParamContext::Unrestricted, &occs);
+        let bases = choices.iter().filter(|&&c| c).count();
+        prop_assert!(out.len() <= bases);
+        prop_assert_eq!(out.len() + d.buffered(), bases);
+        for o in &out {
+            // Fired at or after the deadline.
+            prop_assert!(o.end >= o.start + delta);
+        }
+    }
+}
