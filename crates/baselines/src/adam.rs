@@ -23,9 +23,7 @@
 use crate::interface::{ActiveEngine, Capabilities, EngineCounters};
 use crate::kernel::Kernel;
 use sentinel_events::EventModifier;
-use sentinel_object::{
-    ClassDecl, ClassId, ClassRegistry, ObjectError, Oid, Result, Value, World,
-};
+use sentinel_object::{ClassDecl, ClassId, ClassRegistry, ObjectError, Oid, Result, Value, World};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -317,7 +315,11 @@ impl AdamEngine {
     /// All instances of a class.
     pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.kernel.registry.id_of(class)?;
-        Ok(self.kernel.store.extent(&self.kernel.registry, id).collect())
+        Ok(self
+            .kernel
+            .store
+            .extent(&self.kernel.registry, id)
+            .collect())
     }
 
     /// Names of all live rules.
@@ -407,7 +409,8 @@ mod tests {
         .unwrap();
         adam.define_class(ClassDecl::new("Manager").parent("Employee"))
             .unwrap();
-        adam.register_setter("Employee", "Set-Salary", "sal").unwrap();
+        adam.register_setter("Employee", "Set-Salary", "sal")
+            .unwrap();
 
         // Figure 12: a single event object shared by both rules.
         let ev = adam.define_event("Set-Salary", EventModifier::End);
@@ -460,7 +463,8 @@ mod tests {
         let fred = adam.create("Employee").unwrap();
         adam.set_attr(fred, "mgr", Value::Oid(mike)).unwrap();
 
-        adam.send(fred, "Set-Salary", &[Value::Float(80.0)]).unwrap();
+        adam.send(fred, "Set-Salary", &[Value::Float(80.0)])
+            .unwrap();
         // Violation from the employee side.
         let err = adam
             .send(fred, "Set-Salary", &[Value::Float(150.0)])
@@ -504,7 +508,8 @@ mod tests {
                 .method("Set-Salary", &[("x", TypeTag::Float)]),
         )
         .unwrap();
-        adam.register_setter("Employee", "Set-Salary", "sal").unwrap();
+        adam.register_setter("Employee", "Set-Salary", "sal")
+            .unwrap();
         for i in 0..50 {
             let ev = adam.define_event(&format!("Method-{i}"), EventModifier::End);
             adam.add_rule(AdamRuleSpec {
@@ -565,7 +570,8 @@ mod tests {
         let mut adam = AdamEngine::new();
         adam.define_class(ClassDecl::new("C").attr("x", TypeTag::Int).method("M", &[]))
             .unwrap();
-        adam.register_method("C", "M", |_, _, _| Ok(Value::Null)).unwrap();
+        adam.register_method("C", "M", |_, _, _| Ok(Value::Null))
+            .unwrap();
         let ev = adam.define_event("M", EventModifier::End);
         let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let c2 = count.clone();

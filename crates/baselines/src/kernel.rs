@@ -93,14 +93,12 @@ impl Kernel {
     /// Write an attribute inside the active transaction.
     pub fn set_attr_in_txn(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
         let class = self.store.class_of(oid)?;
-        let slot = self
-            .registry
-            .get(class)
-            .slot_of(attr)
-            .ok_or_else(|| ObjectError::UnknownAttribute {
+        let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
+            ObjectError::UnknownAttribute {
                 class: self.registry.get(class).name.clone(),
                 attribute: attr.to_string(),
-            })?;
+            }
+        })?;
         let old = self.store.set_attr(&self.registry, oid, attr, value)?;
         self.txn.record(UndoOp::SetSlot { oid, slot, old })?;
         Ok(())

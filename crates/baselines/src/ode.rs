@@ -26,9 +26,7 @@
 
 use crate::interface::{ActiveEngine, Capabilities, EngineCounters};
 use crate::kernel::Kernel;
-use sentinel_object::{
-    ClassDecl, ClassId, ClassRegistry, ObjectError, Oid, Result, Value, World,
-};
+use sentinel_object::{ClassDecl, ClassId, ClassRegistry, ObjectError, Oid, Result, Value, World};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -120,7 +118,13 @@ impl OdeEngine {
         P: Fn(&mut dyn World, Oid) -> Result<bool> + Send + Sync + 'static,
     {
         let id = self.kernel.registry.id_of(class)?;
-        if self.kernel.store.extent(&self.kernel.registry, id).next().is_some() {
+        if self
+            .kernel
+            .store
+            .extent(&self.kernel.registry, id)
+            .next()
+            .is_some()
+        {
             return Err(ObjectError::Unsupported(
                 "Ode: constraints are fixed at class-definition time; \
                  use recompile_with_constraint to simulate schema recompilation"
@@ -155,7 +159,13 @@ impl OdeEngine {
         A: Fn(&mut dyn World, Oid) -> Result<()> + Send + Sync + 'static,
     {
         let id = self.kernel.registry.id_of(class)?;
-        if self.kernel.store.extent(&self.kernel.registry, id).next().is_some() {
+        if self
+            .kernel
+            .store
+            .extent(&self.kernel.registry, id)
+            .next()
+            .is_some()
+        {
             return Err(ObjectError::Unsupported(
                 "Ode: triggers are declared at class-definition time".into(),
             ));
@@ -176,11 +186,14 @@ impl OdeEngine {
         for &cid in &self.kernel.registry.get(class).linearization {
             if let Some(decls) = self.triggers.get(&cid) {
                 if let Some(idx) = decls.iter().position(|t| t.name == name) {
-                    self.activations.entry(oid).or_default().push(TriggerActivation {
-                        class: cid,
-                        index: idx,
-                        active: true,
-                    });
+                    self.activations
+                        .entry(oid)
+                        .or_default()
+                        .push(TriggerActivation {
+                            class: cid,
+                            index: idx,
+                            active: true,
+                        });
                     return Ok(());
                 }
             }
@@ -404,7 +417,11 @@ impl OdeEngine {
     /// All instances of a class.
     pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.kernel.registry.id_of(class)?;
-        Ok(self.kernel.store.extent(&self.kernel.registry, id).collect())
+        Ok(self
+            .kernel
+            .store
+            .extent(&self.kernel.registry, id)
+            .collect())
     }
 }
 
@@ -486,7 +503,8 @@ mod tests {
         .unwrap();
         ode.define_class(ClassDecl::new("Manager").parent("Employee"))
             .unwrap();
-        ode.register_setter("Employee", "Set-Salary", "sal").unwrap();
+        ode.register_setter("Employee", "Set-Salary", "sal")
+            .unwrap();
         // Constraint in the employee class...
         ode.declare_constraint(
             "Employee",

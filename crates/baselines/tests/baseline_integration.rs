@@ -2,11 +2,9 @@
 //! sends, runaway protection, recompile failure modes, and counter
 //! accounting.
 
-use sentinel_baselines::{
-    ActiveEngine, AdamEngine, AdamRuleSpec, OdeConstraintKind, OdeEngine,
-};
+use sentinel_baselines::{ActiveEngine, AdamEngine, AdamRuleSpec, OdeConstraintKind, OdeEngine};
 use sentinel_events::EventModifier;
-use sentinel_object::{ClassDecl, ObjectError, TypeTag, Value, World};
+use sentinel_object::{ClassDecl, ObjectError, TypeTag, Value};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------
@@ -40,8 +38,7 @@ fn ode_fixup_cascade_is_depth_limited() {
     let g = ode.create("G").unwrap();
     let err = ode.send(g, "Set", &[Value::Float(5.0)]).err().unwrap();
     assert!(
-        matches!(err, ObjectError::CascadeDepthExceeded { .. })
-            || err.is_abort(),
+        matches!(err, ObjectError::CascadeDepthExceeded { .. }) || err.is_abort(),
         "{err}"
     );
     // The transaction rolled back: nothing stuck.
@@ -85,12 +82,19 @@ fn ode_counters_account_for_hierarchy_sweeps() {
             .method("Set", &[("x", TypeTag::Float)]),
     )
     .unwrap();
-    ode.define_class(ClassDecl::new("Derived").parent("Base")).unwrap();
+    ode.define_class(ClassDecl::new("Derived").parent("Base"))
+        .unwrap();
     ode.register_setter("Base", "Set", "v").unwrap();
     ode.declare_constraint("Base", "c1", OdeConstraintKind::Hard, |_, _| Ok(true), None)
         .unwrap();
-    ode.declare_constraint("Derived", "c2", OdeConstraintKind::Hard, |_, _| Ok(true), None)
-        .unwrap();
+    ode.declare_constraint(
+        "Derived",
+        "c2",
+        OdeConstraintKind::Hard,
+        |_, _| Ok(true),
+        None,
+    )
+    .unwrap();
     let b = ode.create("Base").unwrap();
     let d = ode.create("Derived").unwrap();
     ode.reset_counters();
@@ -118,7 +122,8 @@ fn adam_rule_action_cascades_through_sends() {
             .method("Second", &[]),
     )
     .unwrap();
-    adam.register_method("A", "First", |_, _, _| Ok(Value::Null)).unwrap();
+    adam.register_method("A", "First", |_, _, _| Ok(Value::Null))
+        .unwrap();
     adam.register_method("A", "Second", |w, this, _| {
         let n = w.get_attr(this, "log")?.as_int()?;
         w.set_attr(this, "log", Value::Int(n + 1))?;
@@ -200,8 +205,10 @@ fn adam_condition_eval_counts_only_matching_events() {
             .method("M2", &[]),
     )
     .unwrap();
-    adam.register_method("A", "M1", |_, _, _| Ok(Value::Null)).unwrap();
-    adam.register_method("A", "M2", |_, _, _| Ok(Value::Null)).unwrap();
+    adam.register_method("A", "M1", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    adam.register_method("A", "M2", |_, _, _| Ok(Value::Null))
+        .unwrap();
     let e1 = adam.define_event("M1", EventModifier::End);
     adam.add_rule(AdamRuleSpec {
         name: "only-m1".into(),

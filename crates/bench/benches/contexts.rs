@@ -14,13 +14,17 @@ fn skewed_conjunction(ctx: ParamContext) -> (Database, Oid) {
             .event_method("r", &[], EventSpec::End),
     )
     .unwrap();
-    db.register_method("S", "l", |_, _, _| Ok(Value::Null)).unwrap();
-    db.register_method("S", "r", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_method("S", "l", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("S", "r", |_, _, _| Ok(Value::Null))
+        .unwrap();
     db.register_action("nothing", |_, _| Ok(()));
     db.add_rule(
         RuleDef::new(
             "skew",
-            event("end S::l()").unwrap().and(event("end S::r()").unwrap()),
+            event("end S::l()")
+                .unwrap()
+                .and(event("end S::r()").unwrap()),
             "nothing",
         )
         .context(ctx),
@@ -47,7 +51,6 @@ fn contexts(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
 fn quick() -> Criterion {
@@ -57,7 +60,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = contexts

@@ -12,11 +12,26 @@ fn dispatch_overhead(c: &mut Criterion) {
     let cases: &[(&str, DispatchKind)] = &[
         ("passive", DispatchKind::Passive),
         ("reactive_undeclared", DispatchKind::ReactiveUndeclared),
-        ("declared_subs0", DispatchKind::ReactiveDeclared { subscribers: 0 }),
-        ("declared_subs1", DispatchKind::ReactiveDeclared { subscribers: 1 }),
-        ("declared_subs8", DispatchKind::ReactiveDeclared { subscribers: 8 }),
-        ("declared_subs64", DispatchKind::ReactiveDeclared { subscribers: 64 }),
-        ("all_methods_subs8", DispatchKind::AllMethodsEvents { subscribers: 8 }),
+        (
+            "declared_subs0",
+            DispatchKind::ReactiveDeclared { subscribers: 0 },
+        ),
+        (
+            "declared_subs1",
+            DispatchKind::ReactiveDeclared { subscribers: 1 },
+        ),
+        (
+            "declared_subs8",
+            DispatchKind::ReactiveDeclared { subscribers: 8 },
+        ),
+        (
+            "declared_subs64",
+            DispatchKind::ReactiveDeclared { subscribers: 64 },
+        ),
+        (
+            "all_methods_subs8",
+            DispatchKind::AllMethodsEvents { subscribers: 8 },
+        ),
     ];
     for (name, kind) in cases {
         g.bench_with_input(BenchmarkId::from_parameter(name), kind, |b, &kind| {
@@ -31,7 +46,6 @@ fn dispatch_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
 fn quick() -> Criterion {
@@ -41,7 +55,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = dispatch_overhead

@@ -31,25 +31,19 @@ fn composite_detection(c: &mut Criterion) {
     let mut g = c.benchmark_group("e2b_composite_detection");
     for op in [OpKind::Or, OpKind::And, OpKind::Seq] {
         for depth in [1usize, 2, 4, 6] {
-            g.bench_with_input(
-                BenchmarkId::new(op.name(), depth),
-                &depth,
-                |b, &depth| {
-                    let (mut db, obj, names) =
-                        chain_scenario(op, depth, ParamContext::Chronicle);
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let n = &names[i % names.len()];
-                        i += 1;
-                        black_box(db.send(obj, n, &[]).unwrap());
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(op.name(), depth), &depth, |b, &depth| {
+                let (mut db, obj, names) = chain_scenario(op, depth, ParamContext::Chronicle);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let n = &names[i % names.len()];
+                    i += 1;
+                    black_box(db.send(obj, n, &[]).unwrap());
+                });
+            });
         }
     }
     g.finish();
 }
-
 
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
@@ -60,7 +54,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = primitive_detection, composite_detection

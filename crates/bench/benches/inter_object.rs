@@ -19,7 +19,10 @@ fn inter_object(c: &mut Criterion) {
                 i += 1;
                 match *ev {
                     MarketEvent::Price(s, p) => {
-                        black_box(db.send(stock_oids[s], "SetPrice", &[Value::Float(p)]).unwrap());
+                        black_box(
+                            db.send(stock_oids[s], "SetPrice", &[Value::Float(p)])
+                                .unwrap(),
+                        );
                     }
                     MarketEvent::IndexChange(ch) => {
                         black_box(db.send(index, "SetValue", &[Value::Float(ch)]).unwrap());
@@ -31,7 +34,6 @@ fn inter_object(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
 fn quick() -> Criterion {
@@ -41,7 +43,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = inter_object

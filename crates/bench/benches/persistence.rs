@@ -8,7 +8,10 @@ use sentinel_db::{event, Database};
 use std::hint::black_box;
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!("sentinel-bench-persist-{}-{tag}", std::process::id()));
+    let d = std::env::temp_dir().join(format!(
+        "sentinel-bench-persist-{}-{tag}",
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&d);
     d
 }
@@ -131,7 +134,6 @@ fn rule_admin(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
 fn quick() -> Criterion {
@@ -141,7 +143,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = durable_send, recovery, rule_admin

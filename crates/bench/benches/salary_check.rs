@@ -20,8 +20,12 @@ fn salary_check(c: &mut Criterion) {
             let u = &stream[i % stream.len()];
             i += 1;
             black_box(
-                s.db.send(s.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
-                    .ok(),
+                s.db.send(
+                    s.employees[u.employee],
+                    "Set-Salary",
+                    &[Value::Float(u.amount)],
+                )
+                .ok(),
             );
         });
     });
@@ -34,7 +38,11 @@ fn salary_check(c: &mut Criterion) {
             i += 1;
             black_box(
                 o.ode
-                    .send(o.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
+                    .send(
+                        o.employees[u.employee],
+                        "Set-Salary",
+                        &[Value::Float(u.amount)],
+                    )
                     .ok(),
             );
         });
@@ -48,14 +56,17 @@ fn salary_check(c: &mut Criterion) {
             i += 1;
             black_box(
                 a.adam
-                    .send(a.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)])
+                    .send(
+                        a.employees[u.employee],
+                        "Set-Salary",
+                        &[Value::Float(u.amount)],
+                    )
                     .ok(),
             );
         });
     });
     g.finish();
 }
-
 
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
@@ -66,7 +77,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = salary_check

@@ -38,7 +38,6 @@ fn subscription_vs_centralized(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short, CI-friendly measurement settings: the harness runs dozens of
 /// benchmark points; statistical depth matters less than coverage here.
 fn quick() -> Criterion {
@@ -48,7 +47,7 @@ fn quick() -> Criterion {
         .sample_size(30)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = subscription_vs_centralized

@@ -1,0 +1,51 @@
+//! Telemetry overhead on the hot dispatch path.
+//!
+//! The disabled configuration is the one that must hold the line: with
+//! telemetry off (the default), every instrumentation point reduces to
+//! a single relaxed atomic load and branch, so `off` should be
+//! indistinguishable from the pre-telemetry `e6_dispatch_overhead`
+//! numbers. `counters` adds histogram recording; `tracing` additionally
+//! materialises a subject string per record into the ring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sentinel_bench::scenarios::{dispatch_scenario, DispatchKind};
+use sentinel_db::prelude::*;
+use std::hint::black_box;
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    let modes: &[(&str, bool, bool)] = &[
+        ("off", false, false),
+        ("counters", true, false),
+        ("tracing", true, true),
+    ];
+    for &(name, enabled, tracing) in modes {
+        let kind = DispatchKind::ReactiveDeclared { subscribers: 1 };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            let (mut db, obj) = dispatch_scenario(kind);
+            db.telemetry().set_enabled(enabled);
+            db.telemetry().set_tracing(tracing);
+            let mut i = 0f64;
+            b.iter(|| {
+                i += 1.0;
+                black_box(db.send(obj, "Set", &[Value::Float(i)]).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Short, CI-friendly measurement settings (see `dispatch_overhead.rs`).
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = telemetry_overhead
+}
+criterion_main!(benches);

@@ -8,15 +8,15 @@
 //! Each experiment E1..E14 is anchored to a paper claim; the index is
 //! DESIGN.md §6 and the results commentary is EXPERIMENTS.md.
 
-use sentinel_baselines::{
-    ActiveEngine, AdamEngine, AdamRuleSpec, Capabilities, OdeConstraintKind,
-};
+use sentinel_baselines::{ActiveEngine, AdamEngine, AdamRuleSpec, Capabilities, OdeConstraintKind};
 use sentinel_bench::measure::{per_item, throughput, time_once, Table};
 use sentinel_bench::scenarios::{
     self, adam_hot_object, adam_salary, chain_scenario, dispatch_scenario, generator_scenario,
     market_scenario, sentinel_hot_object, sentinel_salary, DispatchKind, OpKind,
 };
-use sentinel_bench::workload::{bank_stream, dep_wit_oracle, market_stream, salary_stream, MarketEvent};
+use sentinel_bench::workload::{
+    bank_stream, dep_wit_oracle, market_stream, salary_stream, MarketEvent,
+};
 use sentinel_db::prelude::*;
 use sentinel_db::{event, Database};
 use std::sync::Arc;
@@ -41,20 +41,33 @@ fn main() {
     let experiments: &[Experiment] = &[
         ("e1", "capability matrix (paper §6 comparison)", e1),
         ("e2", "event management cost (paper §1 issue 3)", e2),
-        ("e3", "subscription vs centralized checking (§3.5 adv. 1)", e3),
+        (
+            "e3",
+            "subscription vs centralized checking (§3.5 adv. 1)",
+            e3,
+        ),
         ("e4", "rule sharing across classes (§3.5 adv. 2)", e4),
         ("e5", "salary check across engines (§5 example one)", e5),
         ("e6", "dispatch overhead by object kind (§3.2, fn.7)", e6),
         ("e7", "runtime rule addition vs recompile (§1 issue 1)", e7),
         ("e8", "inter-object conjunction (§2.1 purchase rule)", e8),
         ("e9", "coupling modes (§4.4)", e9),
-        ("e10", "class-level vs instance-level association (§1 issue 2)", e10),
+        (
+            "e10",
+            "class-level vs instance-level association (§1 issue 2)",
+            e10,
+        ),
         ("e11", "sequence detection precision (§4.6 DepWit)", e11),
         ("e12", "parameter-context ablation (detector state)", e12),
         ("e13", "first-class persistence & recovery (§3.3–3.4)", e13),
         ("e14", "rules on rules (§1 closing claim)", e14),
-        ("e15", "conflict-resolution strategies (§3 extensibility)", e15),
+        (
+            "e15",
+            "conflict-resolution strategies (§3 extensibility)",
+            e15,
+        ),
         ("e16", "index vs scan (access-path ablation)", e16),
+        ("e17", "pipeline telemetry snapshot (observability)", e17),
     ];
 
     let t0 = Instant::now();
@@ -103,7 +116,10 @@ fn e1(_cfg: &Cfg) {
         ("inter-class composite events", |c| {
             yn(c.inter_class_composite_events)
         }),
-        ("events as first-class objects", |c| yn(c.events_first_class)),
+        (
+            "events as first-class objects",
+            |c| yn(c.events_first_class),
+        ),
         ("rules as first-class objects", |c| yn(c.rules_first_class)),
         ("one rule shared across classes", |c| {
             yn(c.rule_sharing_across_classes)
@@ -140,7 +156,9 @@ fn e2(cfg: &Cfg) {
     }
     t.print();
 
-    println!("\n(b) composite detection: cost per event vs operator and depth (chronicle context)\n");
+    println!(
+        "\n(b) composite detection: cost per event vs operator and depth (chronicle context)\n"
+    );
     let mut t = Table::new(&["operator", "depth", "events", "time/event", "detections"]);
     for op in [OpKind::Or, OpKind::And, OpKind::Seq] {
         for depth in [1usize, 2, 4, 6] {
@@ -248,7 +266,8 @@ fn e4(cfg: &Cfg) {
                     for c in 1..classes {
                         expr = expr.or(event(&format!("end C{c}::Set(float x)")).unwrap());
                     }
-                    db.add_rule(RuleDef::new("shared", expr, "nothing")).unwrap();
+                    db.add_rule(RuleDef::new("shared", expr, "nothing"))
+                        .unwrap();
                     for c in 0..classes {
                         db.subscribe_class(&format!("C{c}"), "shared").unwrap();
                     }
@@ -278,7 +297,12 @@ fn e4(cfg: &Cfg) {
             });
             t.row(vec![
                 classes.to_string(),
-                (if shared { "1 shared rule" } else { "N duplicated" }).to_string(),
+                (if shared {
+                    "1 shared rule"
+                } else {
+                    "N duplicated"
+                })
+                .to_string(),
                 db.rule_count().to_string(),
                 format!("{:?}", setup),
                 db.stats().actions_run.to_string(),
@@ -307,9 +331,11 @@ fn e5(cfg: &Cfg) {
     let mut s = sentinel_salary(employees);
     let sd = time_once(|| {
         for u in &stream {
-            let _ = s
-                .db
-                .send(s.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)]);
+            let _ = s.db.send(
+                s.employees[u.employee],
+                "Set-Salary",
+                &[Value::Float(u.amount)],
+            );
         }
     });
     t.row(vec![
@@ -324,9 +350,11 @@ fn e5(cfg: &Cfg) {
     let mut o = scenarios::ode_salary(employees);
     let od = time_once(|| {
         for u in &stream {
-            let _ = o
-                .ode
-                .send(o.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)]);
+            let _ = o.ode.send(
+                o.employees[u.employee],
+                "Set-Salary",
+                &[Value::Float(u.amount)],
+            );
         }
     });
     t.row(vec![
@@ -341,9 +369,11 @@ fn e5(cfg: &Cfg) {
     let mut a = adam_salary(employees);
     let ad = time_once(|| {
         for u in &stream {
-            let _ = a
-                .adam
-                .send(a.employees[u.employee], "Set-Salary", &[Value::Float(u.amount)]);
+            let _ = a.adam.send(
+                a.employees[u.employee],
+                "Set-Salary",
+                &[Value::Float(u.amount)],
+            );
         }
     });
     t.row(vec![
@@ -363,7 +393,10 @@ fn e6(cfg: &Cfg) {
     let mut t = Table::new(&["object kind", "subscribers", "time/send", "events/send"]);
     let cases = [
         (DispatchKind::Passive, "passive"),
-        (DispatchKind::ReactiveUndeclared, "reactive, method undeclared"),
+        (
+            DispatchKind::ReactiveUndeclared,
+            "reactive, method undeclared",
+        ),
         (
             DispatchKind::ReactiveDeclared { subscribers: 0 },
             "reactive, declared (end)",
@@ -481,8 +514,14 @@ fn e7(cfg: &Cfg) {
             ode.create("P").unwrap();
         }
         let od = time_once(|| {
-            ode.recompile_with_constraint("P", "late", OdeConstraintKind::Hard, |_, _| Ok(true), None)
-                .unwrap();
+            ode.recompile_with_constraint(
+                "P",
+                "late",
+                OdeConstraintKind::Hard,
+                |_, _| Ok(true),
+                None,
+            )
+            .unwrap();
         });
 
         t.row(vec![
@@ -509,7 +548,8 @@ fn e8(cfg: &Cfg) {
         for ev in &stream {
             match *ev {
                 MarketEvent::Price(i, p) => {
-                    db.send(stock_oids[i], "SetPrice", &[Value::Float(p)]).unwrap();
+                    db.send(stock_oids[i], "SetPrice", &[Value::Float(p)])
+                        .unwrap();
                 }
                 MarketEvent::IndexChange(c) => {
                     db.send(index, "SetValue", &[Value::Float(c)]).unwrap();
@@ -526,7 +566,10 @@ fn e8(cfg: &Cfg) {
     t.row(vec!["time/event".into(), per_item(d, len)]);
     t.row(vec!["throughput".into(), throughput(d, len)]);
     t.row(vec!["conjunctions detected".into(), triggered.to_string()]);
-    t.row(vec!["purchases executed (condition held)".into(), actions.to_string()]);
+    t.row(vec![
+        "purchases executed (condition held)".into(),
+        actions.to_string(),
+    ]);
     t.row(vec![
         "engine notifications".into(),
         db.engine_stats().notifications.to_string(),
@@ -543,7 +586,11 @@ fn e9(cfg: &Cfg) {
         "actions before commit",
         "actions at/after commit",
     ]);
-    let batches: &[usize] = if cfg.quick { &[10, 100] } else { &[10, 100, 1000] };
+    let batches: &[usize] = if cfg.quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1000]
+    };
     for &b in batches {
         for mode in [
             CouplingMode::Immediate,
@@ -648,7 +695,11 @@ fn e9(cfg: &Cfg) {
                 }
             });
             let seen = db.get_attr(o, "seen").unwrap().as_int().unwrap();
-            t.row(vec!["inline (default)".into(), per_item(d, 20), seen.to_string()]);
+            t.row(vec![
+                "inline (default)".into(),
+                per_item(d, 20),
+                seen.to_string(),
+            ]);
         }
     }
     t.print();
@@ -835,7 +886,8 @@ fn e11(cfg: &Cfg) {
     let d = time_once(|| {
         for op in &ops {
             let m = if op.deposit { "Deposit" } else { "Withdraw" };
-            db.send(accts[op.account], m, &[Value::Float(op.amount)]).unwrap();
+            db.send(accts[op.account], m, &[Value::Float(op.amount)])
+                .unwrap();
         }
     });
     let detected: u64 = (0..accounts)
@@ -844,7 +896,10 @@ fn e11(cfg: &Cfg) {
     let mut t = Table::new(&["metric", "value"]);
     t.row(vec!["ops".into(), len.to_string()]);
     t.row(vec!["time/op".into(), per_item(d, len)]);
-    t.row(vec!["expected detections (oracle)".into(), oracle.to_string()]);
+    t.row(vec![
+        "expected detections (oracle)".into(),
+        oracle.to_string(),
+    ]);
     t.row(vec!["detected".into(), detected.to_string()]);
     t.row(vec![
         "precision/recall".into(),
@@ -855,7 +910,10 @@ fn e11(cfg: &Cfg) {
         },
     ]);
     t.print();
-    assert_eq!(detected as usize, oracle, "sequence detection must match the oracle");
+    assert_eq!(
+        detected as usize, oracle,
+        "sequence detection must match the oracle"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -865,7 +923,13 @@ fn e12(cfg: &Cfg) {
         "conjunction under skewed constituent rates (15 left : 1 right), {len} events; \
          detector state and detections per context\n"
     );
-    let mut t = Table::new(&["context", "events", "time/event", "detections", "buffered after run"]);
+    let mut t = Table::new(&[
+        "context",
+        "events",
+        "time/event",
+        "detections",
+        "buffered after run",
+    ]);
     for ctx in ParamContext::ALL {
         // The unrestricted context emits O(left × right) composites —
         // inherent to its semantics; cap its stream so the full run
@@ -882,13 +946,17 @@ fn e12(cfg: &Cfg) {
                 .event_method("r", &[], EventSpec::End),
         )
         .unwrap();
-        db.register_method("S", "l", |_, _, _| Ok(Value::Null)).unwrap();
-        db.register_method("S", "r", |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("S", "l", |_, _, _| Ok(Value::Null))
+            .unwrap();
+        db.register_method("S", "r", |_, _, _| Ok(Value::Null))
+            .unwrap();
         db.register_action("nothing", |_, _| Ok(()));
         db.add_rule(
             RuleDef::new(
                 "skew",
-                event("end S::l()").unwrap().and(event("end S::r()").unwrap()),
+                event("end S::l()")
+                    .unwrap()
+                    .and(event("end S::r()").unwrap()),
                 "nothing",
             )
             .context(ctx),
@@ -922,7 +990,11 @@ fn e12(cfg: &Cfg) {
 
 // ---------------------------------------------------------------------
 fn e13(cfg: &Cfg) {
-    let sweep: &[usize] = if cfg.quick { &[10, 100] } else { &[10, 100, 1000] };
+    let sweep: &[usize] = if cfg.quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1000]
+    };
     let mut t = Table::new(&[
         "rules+events (objects)",
         "checkpoint time",
@@ -983,16 +1055,23 @@ fn e13(cfg: &Cfg) {
 // ---------------------------------------------------------------------
 fn e14(cfg: &Cfg) {
     let toggles = if cfg.quick { 2_000 } else { 10_000 };
-    println!("Enable/Disable a rule object {toggles} times, with and without a meta-rule watching\n");
+    println!(
+        "Enable/Disable a rule object {toggles} times, with and without a meta-rule watching\n"
+    );
     let mut t = Table::new(&["configuration", "time/toggle", "meta-rule firings"]);
     for watched in [false, true] {
         let mut db = Database::new();
         db.define_class(ClassDecl::reactive("P").event_method("m", &[], EventSpec::End))
             .unwrap();
-        db.register_method("P", "m", |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("P", "m", |_, _, _| Ok(Value::Null))
+            .unwrap();
         db.register_action("nothing", |_, _| Ok(()));
         let target = db
-            .add_rule(RuleDef::new("target", event("end P::m()").unwrap(), "nothing"))
+            .add_rule(RuleDef::new(
+                "target",
+                event("end P::m()").unwrap(),
+                "nothing",
+            ))
             .unwrap();
         if watched {
             db.add_rule(RuleDef::new(
@@ -1018,7 +1097,12 @@ fn e14(cfg: &Cfg) {
             "-".into()
         };
         t.row(vec![
-            (if watched { "watched by meta-rule" } else { "unwatched" }).to_string(),
+            (if watched {
+                "watched by meta-rule"
+            } else {
+                "unwatched"
+            })
+            .to_string(),
             per_item(d, toggles * 2),
             firings,
         ]);
@@ -1035,7 +1119,12 @@ fn e15(cfg: &Cfg) {
         "{fanout} rules all triggered by the same event, {events} events; \
          resolver installed at runtime without touching application code\n"
     );
-    let mut t = Table::new(&["resolver", "time/event", "first-fired rule", "orders correctly"]);
+    let mut t = Table::new(&[
+        "resolver",
+        "time/event",
+        "first-fired rule",
+        "orders correctly",
+    ]);
     for which in ["fifo", "lifo", "priority"] {
         let mut db = Database::new();
         db.define_class(
@@ -1044,7 +1133,8 @@ fn e15(cfg: &Cfg) {
                 .event_method("Hit", &[], EventSpec::End),
         )
         .unwrap();
-        db.register_method("X", "Hit", |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("X", "Hit", |_, _, _| Ok(Value::Null))
+            .unwrap();
         for i in 0..fanout {
             let name = format!("r{i:02}");
             let label = name.clone();
@@ -1109,12 +1199,18 @@ fn e16(cfg: &Cfg) {
         "speedup",
         "results agree",
     ]);
-    let sweep: &[usize] = if cfg.quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000] };
+    let sweep: &[usize] = if cfg.quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
     for &n in sweep {
         let mut db = Database::new();
-        db.define_class(ClassDecl::new("P").attr("v", TypeTag::Float)).unwrap();
+        db.define_class(ClassDecl::new("P").attr("v", TypeTag::Float))
+            .unwrap();
         for i in 0..n {
-            db.create_with("P", &[("v", Value::Float(i as f64))]).unwrap();
+            db.create_with("P", &[("v", Value::Float(i as f64))])
+                .unwrap();
         }
         let lo = (n / 2) as f64;
         let hi = lo + (n as f64) * 0.01;
@@ -1141,4 +1237,150 @@ fn e16(cfg: &Cfg) {
         ]);
     }
     t.print();
+}
+
+// ---------------------------------------------------------------------
+fn e17(cfg: &Cfg) {
+    let updates = if cfg.quick { 2_000 } else { 20_000 };
+    println!(
+        "one mixed workload ({updates} updates, all three coupling modes, 10% aborts) \
+         with telemetry + tracing on; per-stage counts/latencies and the reconciliation \
+         of stage counters against the facade's own statistics\n"
+    );
+    let mut db = Database::new();
+    let tel = db.telemetry().clone();
+    tel.set_enabled(true);
+    tel.set_tracing(true);
+    db.define_class(
+        ClassDecl::reactive("X")
+            .attr("v", TypeTag::Float)
+            .attr("seen", TypeTag::Int)
+            .event_method("Set", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("X", "Set", "v").unwrap();
+    db.register_action("tick", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        let n = w.get_attr(o, "seen")?.as_int()?;
+        w.set_attr(o, "seen", Value::Int(n + 1))
+    });
+    for (name, mode) in [
+        ("R-imm", CouplingMode::Immediate),
+        ("R-def", CouplingMode::Deferred),
+        ("R-det", CouplingMode::Detached),
+    ] {
+        db.add_class_rule(
+            "X",
+            RuleDef::new(name, event("end X::Set(float x)").unwrap(), "tick").coupling(mode),
+        )
+        .unwrap();
+    }
+    let o = db.create("X").unwrap();
+    db.reset_stats();
+    for i in 0..updates {
+        db.begin().unwrap();
+        db.send(o, "Set", &[Value::Float(i as f64)]).unwrap();
+        if i % 10 == 9 {
+            db.abort().unwrap();
+        } else {
+            db.commit().unwrap();
+        }
+    }
+
+    let snap = tel.snapshot();
+    let mut t = Table::new(&["stage", "count", "unit", "p-of-2 mean", "min..max"]);
+    for s in &snap.stages {
+        if s.count == 0 {
+            continue;
+        }
+        let mean = if s.values.count > 0 {
+            format!("{:.0}", s.values.sum as f64 / s.values.count as f64)
+        } else {
+            "-".into()
+        };
+        let range = if s.values.count > 0 {
+            format!(
+                "{}..{}",
+                s.values.min.unwrap_or(0),
+                s.values.max.unwrap_or(0)
+            )
+        } else {
+            "-".into()
+        };
+        t.row(vec![
+            s.stage.clone(),
+            s.count.to_string(),
+            s.unit.clone(),
+            mean,
+            range,
+        ]);
+    }
+    t.print();
+
+    let d = db.stats();
+    let e = db.engine_stats();
+    use sentinel_db::prelude::Stage;
+    let checks = [
+        (
+            "method_send == sends",
+            tel.stage_count(Stage::MethodSend),
+            d.sends,
+        ),
+        (
+            "event_raised == events_generated",
+            tel.stage_count(Stage::EventRaised),
+            d.events_generated,
+        ),
+        (
+            "fan_out == occurrences",
+            tel.stage_count(Stage::FanOut),
+            e.occurrences,
+        ),
+        (
+            "detector_transition == notifications",
+            tel.stage_count(Stage::DetectorTransition),
+            e.notifications,
+        ),
+        (
+            "condition_eval == condition_evals",
+            tel.stage_count(Stage::ConditionEval),
+            d.condition_evals,
+        ),
+        (
+            "action_run == actions_run",
+            tel.stage_count(Stage::ActionRun),
+            d.actions_run,
+        ),
+        (
+            "txn_commit == commits",
+            tel.stage_count(Stage::TxnCommit),
+            d.commits,
+        ),
+        (
+            "txn_abort == aborts",
+            tel.stage_count(Stage::TxnAbort),
+            d.aborts,
+        ),
+        (
+            "detached_run == detached_runs",
+            tel.stage_count(Stage::DetachedRun),
+            d.detached_runs,
+        ),
+    ];
+    println!("\nreconciliation (stage counter vs facade statistic):");
+    let mut all_ok = true;
+    for (what, a, b) in checks {
+        let ok = a == b;
+        all_ok &= ok;
+        println!("  {} {what}: {a} vs {b}", if ok { "ok " } else { "FAIL" });
+    }
+    assert!(all_ok, "telemetry does not reconcile with stats");
+    println!(
+        "\ntrace ring: {} recorded, {} buffered, {} dropped (capacity {})",
+        snap.trace.recorded, snap.trace.buffered, snap.trace.dropped, snap.trace.capacity
+    );
+    println!("\nPrometheus exposition (first 12 lines):");
+    for line in db.metrics_prometheus().lines().take(12) {
+        println!("  {line}");
+    }
 }

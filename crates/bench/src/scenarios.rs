@@ -93,7 +93,8 @@ pub fn sentinel_salary(employees: usize) -> SentinelSalary {
             .event_method("Set-Salary", &[("x", TypeTag::Float)], EventSpec::End),
     )
     .unwrap();
-    db.define_class(ClassDecl::reactive("Manager").parent("Employee")).unwrap();
+    db.define_class(ClassDecl::reactive("Manager").parent("Employee"))
+        .unwrap();
     db.register_setter("Employee", "Set-Salary", "sal").unwrap();
     let manager = db
         .create_with("Manager", &[("sal", Value::Float(100.0))])
@@ -119,8 +120,10 @@ pub fn sentinel_salary(employees: usize) -> SentinelSalary {
             }
             Ok(false)
         } else {
-            Ok(w.get_attr(occ.oid, "sal")?.as_float()?
-                >= w.get_attr(manager, "sal")?.as_float()?)
+            Ok(
+                w.get_attr(occ.oid, "sal")?.as_float()?
+                    >= w.get_attr(manager, "sal")?.as_float()?,
+            )
         }
     });
     // ONE rule over a disjunction of the two classes' events.
@@ -155,8 +158,10 @@ pub fn ode_salary(employees: usize) -> OdeSalary {
             .method("Set-Salary", &[("x", TypeTag::Float)]),
     )
     .unwrap();
-    ode.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
-    ode.register_setter("Employee", "Set-Salary", "sal").unwrap();
+    ode.define_class(ClassDecl::new("Manager").parent("Employee"))
+        .unwrap();
+    ode.register_setter("Employee", "Set-Salary", "sal")
+        .unwrap();
     ode.declare_constraint(
         "Employee",
         "below-mgr",
@@ -223,8 +228,10 @@ pub fn adam_salary(employees: usize) -> AdamSalary {
             .method("Set-Salary", &[("x", TypeTag::Float)]),
     )
     .unwrap();
-    adam.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
-    adam.register_setter("Employee", "Set-Salary", "sal").unwrap();
+    adam.define_class(ClassDecl::new("Manager").parent("Employee"))
+        .unwrap();
+    adam.register_setter("Employee", "Set-Salary", "sal")
+        .unwrap();
     let ev = adam.define_event("Set-Salary", EventModifier::End);
     adam.add_rule(AdamRuleSpec {
         name: "emp-check".into(),
@@ -358,7 +365,8 @@ pub fn generator_scenario(methods: usize) -> (Database, Oid, Vec<String>) {
     }
     db.define_class(decl).unwrap();
     for n in &names {
-        db.register_method("G", n, |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("G", n, |_, _, _| Ok(Value::Null))
+            .unwrap();
     }
     db.register_action("nothing", |_, _| Ok(()));
     let obj = db.create("G").unwrap();
@@ -395,7 +403,11 @@ impl OpKind {
 /// `depth + 1` distinct primitive events, subscribed to one object.
 /// Returns the database, the object, and the event-method names in
 /// chain order (round-robin sends exercise the whole chain).
-pub fn chain_scenario(op: OpKind, depth: usize, context: ParamContext) -> (Database, Oid, Vec<String>) {
+pub fn chain_scenario(
+    op: OpKind,
+    depth: usize,
+    context: ParamContext,
+) -> (Database, Oid, Vec<String>) {
     let mut db = Database::new();
     let names: Vec<String> = (0..=depth).map(|i| format!("e{i}")).collect();
     let mut decl = ClassDecl::reactive("C");
@@ -404,7 +416,8 @@ pub fn chain_scenario(op: OpKind, depth: usize, context: ParamContext) -> (Datab
     }
     db.define_class(decl).unwrap();
     for n in &names {
-        db.register_method("C", n, |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("C", n, |_, _, _| Ok(Value::Null))
+            .unwrap();
     }
     let mut expr = event(&format!("end C::{}()", names[0])).unwrap();
     for n in &names[1..] {
@@ -441,7 +454,8 @@ pub fn market_scenario(stocks: usize) -> (Database, Vec<Oid>, Oid) {
     )
     .unwrap();
     db.register_setter("Stock", "SetPrice", "price").unwrap();
-    db.register_setter("FinancialInfo", "SetValue", "change").unwrap();
+    db.register_setter("FinancialInfo", "SetValue", "change")
+        .unwrap();
     db.register_action("nothing", |_, _| Ok(()));
     db.register_condition("buy-window", |w, f| {
         let stock = f.occurrence.constituent_for_method("SetPrice").unwrap().oid;
@@ -534,7 +548,8 @@ mod tests {
     #[test]
     fn market_scenario_detects() {
         let (mut db, stocks, index) = market_scenario(2);
-        db.send(stocks[0], "SetPrice", &[Value::Float(70.0)]).unwrap();
+        db.send(stocks[0], "SetPrice", &[Value::Float(70.0)])
+            .unwrap();
         db.send(index, "SetValue", &[Value::Float(1.0)]).unwrap();
         assert_eq!(db.rule_stats("Purchase0").unwrap().triggered, 1);
         assert_eq!(db.rule_stats("Purchase1").unwrap().triggered, 0);

@@ -80,7 +80,12 @@ pub struct SalaryUpdate {
     pub amount: f64,
 }
 
-pub fn salary_stream(seed: u64, employees: usize, len: usize, violate_ratio: f64) -> Vec<SalaryUpdate> {
+pub fn salary_stream(
+    seed: u64,
+    employees: usize,
+    len: usize,
+    violate_ratio: f64,
+) -> Vec<SalaryUpdate> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
         .map(|_| {
@@ -110,12 +115,36 @@ mod tests {
     #[test]
     fn oracle_counts_chronicle_pairs() {
         let ops = vec![
-            BankOp { account: 0, deposit: true, amount: 1.0 },
-            BankOp { account: 0, deposit: true, amount: 1.0 },
-            BankOp { account: 1, deposit: false, amount: 1.0 }, // no deposit yet
-            BankOp { account: 0, deposit: false, amount: 1.0 }, // pairs
-            BankOp { account: 0, deposit: false, amount: 1.0 }, // pairs
-            BankOp { account: 0, deposit: false, amount: 1.0 }, // exhausted
+            BankOp {
+                account: 0,
+                deposit: true,
+                amount: 1.0,
+            },
+            BankOp {
+                account: 0,
+                deposit: true,
+                amount: 1.0,
+            },
+            BankOp {
+                account: 1,
+                deposit: false,
+                amount: 1.0,
+            }, // no deposit yet
+            BankOp {
+                account: 0,
+                deposit: false,
+                amount: 1.0,
+            }, // pairs
+            BankOp {
+                account: 0,
+                deposit: false,
+                amount: 1.0,
+            }, // pairs
+            BankOp {
+                account: 0,
+                deposit: false,
+                amount: 1.0,
+            }, // exhausted
         ];
         assert_eq!(dep_wit_oracle(&ops, 2), vec![2, 0]);
     }

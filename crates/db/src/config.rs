@@ -20,6 +20,14 @@ pub struct DbConfig {
     pub default_context: ParamContext,
     /// Occurrence-buffer caps applied to every rule detector.
     pub detector_caps: DetectorCaps,
+    /// Record pipeline telemetry (counters and histograms) from the
+    /// start. Off by default: the disabled path costs one branch per
+    /// instrumentation point. Can be toggled at runtime via
+    /// [`Database::telemetry`](crate::Database::telemetry).
+    pub telemetry_enabled: bool,
+    /// Capacity of the structured-trace ring buffer (records kept when
+    /// tracing is turned on).
+    pub trace_capacity: usize,
 }
 
 impl Default for DbConfig {
@@ -30,6 +38,8 @@ impl Default for DbConfig {
             max_cascade_depth: 64,
             default_context: ParamContext::default(),
             detector_caps: DetectorCaps::default(),
+            telemetry_enabled: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -63,6 +73,18 @@ impl DbConfig {
     /// Override the default parameter context.
     pub fn default_context(mut self, ctx: ParamContext) -> Self {
         self.default_context = ctx;
+        self
+    }
+
+    /// Record telemetry from the start.
+    pub fn telemetry_enabled(mut self, on: bool) -> Self {
+        self.telemetry_enabled = on;
+        self
+    }
+
+    /// Override the trace ring-buffer capacity.
+    pub fn trace_capacity(mut self, records: usize) -> Self {
+        self.trace_capacity = records;
         self
     }
 

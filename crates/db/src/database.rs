@@ -3,10 +3,8 @@
 use crate::catalog::{CatalogSnapshot, CatalogUndo, EventRecord, MetaOp, RuleRecord};
 use crate::config::DbConfig;
 use crate::index::{AttrIndex, IndexId};
-use crate::stats::DbStats;
-use sentinel_events::{
-    EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence,
-};
+use crate::stats::{DbStats, FullStats};
+use sentinel_events::{EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence};
 use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
@@ -16,6 +14,7 @@ use sentinel_rules::{
     RuleStats,
 };
 use sentinel_storage::{LogRecord, Snapshot, TxnManager, UndoOp, Wal};
+use sentinel_telemetry::{BodyKind, Stage, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,6 +66,9 @@ pub struct Database {
     catalog_undo: Vec<CatalogUndo>,
     rule_class: ClassId,
     event_class: ClassId,
+    /// Shared pipeline observability handle; clones live in the engine,
+    /// every rule detector, and the WAL.
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for Database {
@@ -104,18 +106,35 @@ impl Database {
                 return Self::recover(config);
             }
         }
-        let mut db = Self::assemble(ClassRegistry::new(), ObjectStore::new(), config)?;
+        let telemetry = Self::new_telemetry(&config);
+        let mut db = Self::assemble(ClassRegistry::new(), ObjectStore::new(), config, telemetry)?;
         db.bootstrap_meta_classes()?;
         Ok(db)
     }
 
-    fn assemble(registry: ClassRegistry, store: ObjectStore, config: DbConfig) -> Result<Self> {
+    fn new_telemetry(config: &DbConfig) -> Arc<Telemetry> {
+        let tel = Telemetry::shared(config.trace_capacity);
+        tel.set_enabled(config.telemetry_enabled);
+        tel
+    }
+
+    fn assemble(
+        registry: ClassRegistry,
+        store: ObjectStore,
+        config: DbConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Self> {
         let wal = match config.wal_path() {
-            Some(p) => Some(Wal::open(p, config.sync)?),
+            Some(p) => {
+                let mut w = Wal::open(p, config.sync)?;
+                w.set_telemetry(telemetry.clone());
+                Some(w)
+            }
             None => None,
         };
         let mut engine = RuleEngine::new();
         engine.set_detector_caps(config.detector_caps);
+        engine.set_telemetry(telemetry.clone());
         Ok(Database {
             registry,
             store,
@@ -135,6 +154,7 @@ impl Database {
             catalog_undo: Vec::new(),
             rule_class: ClassId(0),
             event_class: ClassId(0),
+            telemetry,
         })
     }
 
@@ -180,11 +200,12 @@ impl Database {
                 "Rule::Enable is handled by the engine".into(),
             ))
         });
-        self.methods.register(self.rule_class, "Disable", |_, _, _| {
-            Err(ObjectError::App(
-                "Rule::Disable is handled by the engine".into(),
-            ))
-        });
+        self.methods
+            .register(self.rule_class, "Disable", |_, _, _| {
+                Err(ObjectError::App(
+                    "Rule::Disable is handled by the engine".into(),
+                ))
+            });
         Ok(())
     }
 
@@ -322,6 +343,7 @@ impl Database {
         if !self.txn.in_txn() {
             return Err(ObjectError::NoActiveTransaction);
         }
+        let commit_timer = self.telemetry.timer();
         // Deferred rules run at end-of-transaction, inside it. Their
         // actions may queue more deferred work; drain to a fixpoint,
         // bounded by the cascade limit.
@@ -355,6 +377,10 @@ impl Database {
         self.catalog_undo.clear();
         self.txn_touched.clear();
         self.stats.commits += 1;
+        self.telemetry
+            .observe_timer(Stage::TxnCommit, self.clock.now(), commit_timer, || {
+                format!("txn {id}")
+            });
         Ok(())
     }
 
@@ -375,6 +401,10 @@ impl Database {
             }
             for f in batch {
                 self.stats.detached_runs += 1;
+                self.telemetry
+                    .hit(Stage::DetachedRun, self.clock.now(), || {
+                        f.firing.rule_name.to_string()
+                    });
                 let tid = self.txn.begin()?;
                 self.log(LogRecord::Begin { txn: tid })?;
                 match self.execute_firing(&f) {
@@ -416,6 +446,9 @@ impl Database {
             }
         }
         self.stats.aborts += 1;
+        self.telemetry.hit(Stage::TxnAbort, self.clock.now(), || {
+            String::from("rollback")
+        });
     }
 
     fn apply_catalog_undo(&mut self, u: CatalogUndo) {
@@ -470,14 +503,12 @@ impl Database {
                 }
             }
             CatalogUndo::ClassSubscribed { class, rule } => {
-                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class))
-                {
+                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class)) {
                     self.engine.subscriptions.unsubscribe_class(cid, id);
                 }
             }
             CatalogUndo::ClassUnsubscribed { class, rule } => {
-                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class))
-                {
+                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class)) {
                     self.engine.subscriptions.subscribe_class(cid, id);
                 }
             }
@@ -589,14 +620,12 @@ impl Database {
 
     fn set_attr_internal(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
         let class = self.store.class_of(oid)?;
-        let slot = self
-            .registry
-            .get(class)
-            .slot_of(attr)
-            .ok_or_else(|| ObjectError::UnknownAttribute {
+        let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
+            ObjectError::UnknownAttribute {
                 class: self.registry.get(class).name.clone(),
                 attribute: attr.to_string(),
-            })?;
+            }
+        })?;
         let old = self
             .store
             .set_attr(&self.registry, oid, attr, value.clone())?;
@@ -658,6 +687,9 @@ impl Database {
 
     fn dispatch_inner(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
         self.stats.sends += 1;
+        self.telemetry.hit(Stage::MethodSend, self.clock.now(), || {
+            format!("{receiver}.{method}")
+        });
         let class = self.store.class_of(receiver)?;
         let (owner, def, body) = self.methods.resolve(&self.registry, class, method, args)?;
         // Visibility (paper §1, difference #2): externally initiated
@@ -709,7 +741,14 @@ impl Database {
         };
 
         if espec.end() {
-            self.raise(receiver, class, owner, method_name, EventModifier::End, params)?;
+            self.raise(
+                receiver,
+                class,
+                owner,
+                method_name,
+                EventModifier::End,
+                params,
+            )?;
         }
         Ok(result)
     }
@@ -735,6 +774,9 @@ impl Database {
             modifier,
             params,
         };
+        self.telemetry.hit(Stage::EventRaised, occ.at, || {
+            format!("{}.{}:{:?}", occ.oid, occ.method, occ.modifier)
+        });
         let immediate = self.engine.on_occurrence(&self.registry, &occ)?;
         for f in &immediate {
             self.execute_firing(f)?;
@@ -749,7 +791,19 @@ impl Database {
         if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
             r.stats.condition_evals += 1;
         }
-        let held = (f.condition)(self, &f.firing)?;
+        // Condition and action latencies are observed *before* `?`
+        // propagation so stage counts reconcile with the counters above
+        // even when a body aborts the transaction.
+        let cond_timer = self.telemetry.timer();
+        let cond = (f.condition)(self, &f.firing);
+        let at = self.clock.now();
+        if let Some(ns) = cond_timer.elapsed_ns() {
+            let name = &f.firing.rule_name;
+            self.telemetry
+                .observe(Stage::ConditionEval, at, ns, || name.to_string());
+            self.telemetry.observe_rule(name, BodyKind::Condition, ns);
+        }
+        let held = cond?;
         if !held {
             return Ok(());
         }
@@ -765,8 +819,16 @@ impl Database {
             });
         }
         self.depth += 1;
+        let action_timer = self.telemetry.timer();
         let out = (f.action)(self, &f.firing);
         self.depth -= 1;
+        let at = self.clock.now();
+        if let Some(ns) = action_timer.elapsed_ns() {
+            let name = &f.firing.rule_name;
+            self.telemetry
+                .observe(Stage::ActionRun, at, ns, || name.to_string());
+            self.telemetry.observe_rule(name, BodyKind::Action, ns);
+        }
         out
     }
 
@@ -924,12 +986,14 @@ impl Database {
             self.engine.disable(id)?;
         }
         self.set_attr_internal(oid, "enabled", Value::Bool(enable))?;
-        self.catalog_undo
-            .push(CatalogUndo::EnabledChanged {
-                name: name.clone(),
-                was,
-            });
-        self.log_meta(MetaOp::SetEnabled { name, enabled: enable })
+        self.catalog_undo.push(CatalogUndo::EnabledChanged {
+            name: name.clone(),
+            was,
+        });
+        self.log_meta(MetaOp::SetEnabled {
+            name,
+            enabled: enable,
+        })
     }
 
     /// The rule object's oid (so other rules can subscribe to it).
@@ -1111,9 +1175,7 @@ impl Database {
         let before = self.indexes.len();
         self.indexes.retain(|i| !(i.class == cid && i.attr == attr));
         if self.indexes.len() == before {
-            return Err(ObjectError::App(format!(
-                "no index on `{class}.{attr}`"
-            )));
+            return Err(ObjectError::App(format!("no index on `{class}.{attr}`")));
         }
         Ok(())
     }
@@ -1191,7 +1253,11 @@ impl Database {
         };
         for i in 0..self.indexes.len() {
             let applicable = self.registry.is_subclass(class, self.indexes[i].class)
-                && self.registry.get(class).slot_of(&self.indexes[i].attr).is_some();
+                && self
+                    .registry
+                    .get(class)
+                    .slot_of(&self.indexes[i].attr)
+                    .is_some();
             if applicable {
                 let v = self
                     .store
@@ -1288,9 +1354,10 @@ impl Database {
             .snapshot_path()
             .ok_or_else(|| ObjectError::Storage("recover requires data_dir".into()))?;
         let wal_p = config.wal_path().expect("durable");
-        let rec = sentinel_storage::recover(&snap_p, &wal_p)?;
+        let telemetry = Self::new_telemetry(&config);
+        let rec = sentinel_storage::recover_with(&snap_p, &wal_p, Some(&telemetry))?;
         let fresh = rec.registry.is_empty();
-        let mut db = Self::assemble(rec.registry, rec.store, config)?;
+        let mut db = Self::assemble(rec.registry, rec.store, config, telemetry)?;
         db.txn.set_floor(rec.max_txn);
         db.clock.advance_to(rec.clock);
         if fresh {
@@ -1415,10 +1482,57 @@ impl Database {
         self.engine.stats()
     }
 
-    /// Zero all counters (benchmark warm-up).
+    /// Zero all counters (benchmark warm-up). Also clears telemetry
+    /// histograms and the trace ring, keeping the enablement flags.
     pub fn reset_stats(&mut self) {
         self.stats = DbStats::default();
         self.engine.reset_stats();
+        self.telemetry.reset();
+    }
+
+    /// The pipeline telemetry handle. Toggle recording/tracing at
+    /// runtime via [`Telemetry::set_enabled`] / [`Telemetry::set_tracing`].
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Facade + engine counters plus a telemetry snapshot, in one
+    /// serializable value.
+    pub fn full_stats(&self) -> FullStats {
+        FullStats {
+            db: self.stats,
+            engine: self.engine.stats(),
+            telemetry: self.telemetry.snapshot(),
+        }
+    }
+
+    /// Prometheus-style text exposition of the full telemetry snapshot
+    /// plus the facade and engine counters.
+    pub fn metrics_prometheus(&self) -> String {
+        let d = self.stats;
+        let e = self.engine.stats();
+        let extra = [
+            ("sends_total", d.sends),
+            ("events_generated_total", d.events_generated),
+            ("condition_evals_total", d.condition_evals),
+            ("condition_true_total", d.condition_true),
+            ("actions_run_total", d.actions_run),
+            ("commits_total", d.commits),
+            ("aborts_total", d.aborts),
+            ("detached_runs_total", d.detached_runs),
+            ("occurrences_total", e.occurrences),
+            ("notifications_total", e.notifications),
+            ("scheduled_immediate_total", e.immediate),
+            ("scheduled_deferred_total", e.deferred),
+            ("scheduled_detached_total", e.detached),
+        ];
+        sentinel_telemetry::prometheus_text(&self.telemetry.snapshot(), &extra)
+    }
+
+    /// Pretty-printed JSON of [`full_stats`](Self::full_stats).
+    pub fn metrics_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(&self.full_stats())
+            .map_err(|e| ObjectError::Storage(format!("serialize stats: {e}")))
     }
 
     /// Number of live objects.

@@ -82,9 +82,7 @@ pub fn indexable(v: &Value) -> Result<()> {
         Value::List(_) | Value::Map(_) => Err(ObjectError::App(
             "list/map values cannot be index keys".into(),
         )),
-        Value::Float(f) if f.is_nan() => {
-            Err(ObjectError::App("NaN cannot be an index key".into()))
-        }
+        Value::Float(f) if f.is_nan() => Err(ObjectError::App("NaN cannot be an index key".into())),
         _ => Ok(()),
     }
 }
@@ -141,8 +139,12 @@ impl AttrIndex {
     /// order then oid order.
     pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<Oid> {
         use std::ops::Bound::*;
-        let lo_b = lo.map(|v| Included(OrdValue(v.clone()))).unwrap_or(Unbounded);
-        let hi_b = hi.map(|v| Included(OrdValue(v.clone()))).unwrap_or(Unbounded);
+        let lo_b = lo
+            .map(|v| Included(OrdValue(v.clone())))
+            .unwrap_or(Unbounded);
+        let hi_b = hi
+            .map(|v| Included(OrdValue(v.clone())))
+            .unwrap_or(Unbounded);
         self.by_key
             .range((lo_b, hi_b))
             .flat_map(|(_, oids)| oids.iter().copied())
@@ -232,12 +234,14 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_total_and_stable() {
-        let mut keys = [OrdValue(Value::Str("a".into())),
+        let mut keys = [
+            OrdValue(Value::Str("a".into())),
             OrdValue(Value::Int(3)),
             OrdValue(Value::Null),
             OrdValue(Value::Bool(true)),
             OrdValue(Value::Oid(Oid(1))),
-            OrdValue(Value::Float(-2.0))];
+            OrdValue(Value::Float(-2.0)),
+        ];
         keys.sort();
         let ranks: Vec<u8> = keys.iter().map(|k| super::rank(&k.0)).collect();
         let mut sorted = ranks.clone();

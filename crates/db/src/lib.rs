@@ -42,7 +42,7 @@ pub use dsl::event;
 pub use index::{AttrIndex, IndexId};
 pub use query::{attr, ObjectView, Predicate, Query};
 pub use shared::SharedDatabase;
-pub use stats::DbStats;
+pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
 
 /// Everything an application typically needs, re-exported flat.
@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::dsl::event;
     pub use crate::query::{attr, ObjectView, Predicate, Query};
     pub use crate::shared::SharedDatabase;
-    pub use crate::stats::DbStats;
+    pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
     pub use sentinel_events::{
         CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
@@ -66,4 +66,7 @@ pub mod prelude {
         CouplingMode, Firing, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
     };
     pub use sentinel_storage::SyncPolicy;
+    pub use sentinel_telemetry::{
+        prometheus_text, Stage, Telemetry, TelemetrySnapshot, TraceRecord,
+    };
 }

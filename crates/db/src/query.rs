@@ -257,12 +257,7 @@ impl Query {
     /// either bound optional). Declarative — unlike
     /// [`filter`](Self::filter) closures — so it uses an attribute index
     /// when the view has one, and falls back to a scan otherwise.
-    pub fn range(
-        mut self,
-        attr: impl Into<String>,
-        lo: Option<Value>,
-        hi: Option<Value>,
-    ) -> Self {
+    pub fn range(mut self, attr: impl Into<String>, lo: Option<Value>, hi: Option<Value>) -> Self {
         self.range = Some((attr.into(), lo, hi));
         self
     }
@@ -319,11 +314,16 @@ impl Query {
                             let v = view.view_attr(oid, attr)?;
                             let ge = lo
                                 .as_ref()
-                                .map(|l| v.compare(l) != Some(Ordering::Less) && v.compare(l).is_some())
+                                .map(|l| {
+                                    v.compare(l) != Some(Ordering::Less) && v.compare(l).is_some()
+                                })
                                 .unwrap_or(true);
                             let le = hi
                                 .as_ref()
-                                .map(|h| v.compare(h) != Some(Ordering::Greater) && v.compare(h).is_some())
+                                .map(|h| {
+                                    v.compare(h) != Some(Ordering::Greater)
+                                        && v.compare(h).is_some()
+                                })
                                 .unwrap_or(true);
                             if ge && le {
                                 out.push(oid);
@@ -478,7 +478,8 @@ mod tests {
                 .attr("active", TypeTag::Bool),
         )
         .unwrap();
-        db.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
+        db.define_class(ClassDecl::new("Manager").parent("Employee"))
+            .unwrap();
         for (n, s, a) in [
             ("ann", 120.0, true),
             ("bob", 80.0, true),
@@ -486,13 +487,21 @@ mod tests {
         ] {
             db.create_with(
                 "Employee",
-                &[("name", n.into()), ("salary", Value::Float(s)), ("active", a.into())],
+                &[
+                    ("name", n.into()),
+                    ("salary", Value::Float(s)),
+                    ("active", a.into()),
+                ],
             )
             .unwrap();
         }
         db.create_with(
             "Manager",
-            &[("name", "mia".into()), ("salary", Value::Float(200.0)), ("active", true.into())],
+            &[
+                ("name", "mia".into()),
+                ("salary", Value::Float(200.0)),
+                ("active", true.into()),
+            ],
         )
         .unwrap();
         db
@@ -560,7 +569,10 @@ mod tests {
         let q = Query::over("Employee");
         assert_eq!(q.sum_attr(&db, "salary").unwrap(), 495.0);
         assert_eq!(q.min_attr(&db, "salary").unwrap(), Some(Value::Float(80.0)));
-        assert_eq!(q.max_attr(&db, "salary").unwrap(), Some(Value::Float(200.0)));
+        assert_eq!(
+            q.max_attr(&db, "salary").unwrap(),
+            Some(Value::Float(200.0))
+        );
         assert_eq!(q.avg_attr(&db, "salary").unwrap(), Some(123.75));
         let empty = Query::over("Employee").filter(attr("name").eq("zed".into()));
         assert_eq!(empty.avg_attr(&db, "salary").unwrap(), None);
@@ -600,7 +612,8 @@ mod tests {
                 .event_method("Audit", &[], EventSpecLocal::End),
         )
         .unwrap();
-        db.register_method("Acct", "Audit", |_, _, _| Ok(Value::Null)).unwrap();
+        db.register_method("Acct", "Audit", |_, _, _| Ok(Value::Null))
+            .unwrap();
         // The action freezes every overdrawn account, found by query.
         db.register_action("freeze-overdrawn", |w, _f| {
             let hits = Query::over("Acct")

@@ -1,9 +1,11 @@
 //! Database-level counters used by the experiments.
 
 use sentinel_rules::EngineStats;
+use sentinel_telemetry::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
 
 /// Counters aggregated by the facade on top of the engine's.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DbStats {
     /// Messages dispatched (externally initiated and nested).
     pub sends: u64,
@@ -23,13 +25,17 @@ pub struct DbStats {
     pub detached_runs: u64,
 }
 
-/// The facade's counters plus the engine's, printed together.
-#[derive(Debug, Clone, Copy, Default)]
+/// The facade's counters plus the engine's and a full telemetry
+/// snapshot, serialized together — the payload of `stats json` and the
+/// JSON metrics exporter.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FullStats {
     /// Facade-level counters.
     pub db: DbStats,
     /// Engine-level counters.
     pub engine: EngineStats,
+    /// Pipeline telemetry (stage counters, histograms, trace-ring state).
+    pub telemetry: TelemetrySnapshot,
 }
 
 #[cfg(test)]
@@ -41,5 +47,12 @@ mod tests {
         let s = DbStats::default();
         assert_eq!(s.sends, 0);
         assert_eq!(s.events_generated, 0);
+    }
+
+    #[test]
+    fn full_stats_serde_round_trip() {
+        let s = FullStats::default();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<FullStats>(&json).unwrap(), s);
     }
 }

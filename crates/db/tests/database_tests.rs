@@ -13,14 +13,20 @@ fn payroll_db() -> Database {
             .attr("salary", TypeTag::Float)
             .attr("name", TypeTag::Str)
             .attr("mgr", TypeTag::Oid)
-            .event_method("Change-Income", &[("amount", TypeTag::Float)], EventSpec::End)
+            .event_method(
+                "Change-Income",
+                &[("amount", TypeTag::Float)],
+                EventSpec::End,
+            )
             .method("Get-Income", &[]),
     )
     .unwrap();
     db.define_class(ClassDecl::reactive("Manager").parent("Employee"))
         .unwrap();
-    db.register_setter("Employee", "Change-Income", "salary").unwrap();
-    db.register_getter("Employee", "Get-Income", "salary").unwrap();
+    db.register_setter("Employee", "Change-Income", "salary")
+        .unwrap();
+    db.register_getter("Employee", "Get-Income", "salary")
+        .unwrap();
     db
 }
 
@@ -51,8 +57,12 @@ fn quickstart_counter() {
 fn figure_10_income_level_instance_rule_spans_classes() {
     // Fred (Employee) and Mike (Manager) must always have equal income.
     let mut db = payroll_db();
-    let fred = db.create_with("Employee", &[("name", "Fred".into())]).unwrap();
-    let mike = db.create_with("Manager", &[("name", "Mike".into())]).unwrap();
+    let fred = db
+        .create_with("Employee", &[("name", "Fred".into())])
+        .unwrap();
+    let mike = db
+        .create_with("Manager", &[("name", "Mike".into())])
+        .unwrap();
 
     db.register_condition("incomes-differ", move |w, _f| {
         Ok(w.get_attr(fred, "salary")? != w.get_attr(mike, "salary")?)
@@ -72,16 +82,16 @@ fn figure_10_income_level_instance_rule_spans_classes() {
     let e = event("end Employee::Change-Income(float amount)")
         .unwrap()
         .or(event("end Manager::Change-Income(float amount)").unwrap());
-    db.add_rule(
-        RuleDef::new("IncomeLevel", e, "make-equal").condition("incomes-differ"),
-    )
-    .unwrap();
+    db.add_rule(RuleDef::new("IncomeLevel", e, "make-equal").condition("incomes-differ"))
+        .unwrap();
     db.subscribe(fred, "IncomeLevel").unwrap();
     db.subscribe(mike, "IncomeLevel").unwrap();
 
-    db.send(fred, "Change-Income", &[Value::Float(120.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(120.0)])
+        .unwrap();
     assert_eq!(db.get_attr(mike, "salary").unwrap(), Value::Float(120.0));
-    db.send(mike, "Change-Income", &[Value::Float(300.0)]).unwrap();
+    db.send(mike, "Change-Income", &[Value::Float(300.0)])
+        .unwrap();
     assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(300.0));
 
     let rs = db.rule_stats("IncomeLevel").unwrap();
@@ -149,7 +159,8 @@ fn class_level_rule_applies_to_future_instances() {
         let n = w.get_attr(counter, "n")?.as_int()?;
         w.set_attr(counter, "n", Value::Int(n + 1))
     });
-    db.define_class(ClassDecl::new("Tally").attr("n", TypeTag::Int)).unwrap();
+    db.define_class(ClassDecl::new("Tally").attr("n", TypeTag::Int))
+        .unwrap();
     db.create("Tally").unwrap();
     db.add_class_rule(
         "Employee",
@@ -162,7 +173,8 @@ fn class_level_rule_applies_to_future_instances() {
     .unwrap();
     // Instance created *after* the rule — still covered.
     let late = db.create("Employee").unwrap();
-    db.send(late, "Change-Income", &[Value::Float(1.0)]).unwrap();
+    db.send(late, "Change-Income", &[Value::Float(1.0)])
+        .unwrap();
     // Subclass instance — covered through the class hierarchy.
     let mgr = db.create("Manager").unwrap();
     db.send(mgr, "Change-Income", &[Value::Float(2.0)]).unwrap();
@@ -195,7 +207,8 @@ fn purchase_rule_inter_object_conjunction() {
     )
     .unwrap();
     db.register_setter("Stock", "SetPrice", "price").unwrap();
-    db.register_setter("FinancialInfo", "SetValue", "change").unwrap();
+    db.register_setter("FinancialInfo", "SetValue", "change")
+        .unwrap();
     db.register_method("Portfolio", "PurchaseIBMStock", |w, this, _| {
         let s = w.get_attr(this, "shares")?.as_int()?;
         w.set_attr(this, "shares", Value::Int(s + 100))?;
@@ -273,8 +286,12 @@ fn deposit_withdraw_sequence_event() {
     db.define_event("DepWit", dep_wit.clone()).unwrap();
     db.add_class_rule(
         "Account",
-        RuleDef::new("FlagDepositThenWithdraw", db.event_expr("DepWit").unwrap(), "flag")
-            .context(ParamContext::Chronicle),
+        RuleDef::new(
+            "FlagDepositThenWithdraw",
+            db.event_expr("DepWit").unwrap(),
+            "flag",
+        )
+        .context(ParamContext::Chronicle),
     )
     .unwrap();
 
@@ -308,7 +325,8 @@ fn passive_objects_generate_no_events() {
     db.register_action("noop2", |_, _| Ok(()));
     db.define_class(ClassDecl::reactive("R").event_method("m", &[], EventSpec::End))
         .unwrap();
-    db.add_rule(RuleDef::new("r", event("end R::m()").unwrap(), "noop2")).unwrap();
+    db.add_rule(RuleDef::new("r", event("end R::m()").unwrap(), "noop2"))
+        .unwrap();
     assert!(db.subscribe(p, "r").is_err());
 }
 
@@ -323,14 +341,16 @@ fn undeclared_methods_generate_no_events() {
         0,
         "Get-Income is not in the event interface"
     );
-    db.send(fred, "Change-Income", &[Value::Float(1.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(1.0)])
+        .unwrap();
     assert_eq!(db.stats().events_generated, 1);
 }
 
 #[test]
 fn coupling_modes_execution_placement() {
     let mut db = payroll_db();
-    db.define_class(ClassDecl::new("Log").attr("entries", TypeTag::List)).unwrap();
+    db.define_class(ClassDecl::new("Log").attr("entries", TypeTag::List))
+        .unwrap();
     let log = db.create("Log").unwrap();
     let mk_action = |label: &'static str| {
         move |w: &mut dyn World, _f: &Firing| {
@@ -345,7 +365,8 @@ fn coupling_modes_execution_placement() {
     db.register_action("log-det", mk_action("detached"));
 
     let e = || event("end Employee::Change-Income(float x)").unwrap();
-    db.add_class_rule("Employee", RuleDef::new("imm", e(), "log-imm")).unwrap();
+    db.add_class_rule("Employee", RuleDef::new("imm", e(), "log-imm"))
+        .unwrap();
     db.add_class_rule(
         "Employee",
         RuleDef::new("def", e(), "log-def").coupling(CouplingMode::Deferred),
@@ -359,8 +380,10 @@ fn coupling_modes_execution_placement() {
 
     let fred = db.create("Employee").unwrap();
     db.begin().unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(10.0)]).unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(20.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(10.0)])
+        .unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(20.0)])
+        .unwrap();
     // Mid-transaction: only the immediate rule has run.
     let entries = db.get_attr(log, "entries").unwrap();
     assert_eq!(
@@ -406,7 +429,8 @@ fn deferred_rules_die_with_aborted_transaction() {
     .unwrap();
     let fred = db.create("Employee").unwrap();
     db.begin().unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(9.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(9.0)])
+        .unwrap();
     db.abort().unwrap();
     assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(0.0));
 }
@@ -430,11 +454,17 @@ fn detached_abort_is_isolated() {
         .coupling(CouplingMode::Detached),
     )
     .unwrap();
-    let fred = db.create_with("Employee", &[("name", "Fred".into())]).unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(50.0)]).unwrap();
+    let fred = db
+        .create_with("Employee", &[("name", "Fred".into())])
+        .unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(50.0)])
+        .unwrap();
     // The triggering update survives; the detached mutation was undone.
     assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(50.0));
-    assert_eq!(db.get_attr(fred, "name").unwrap(), Value::Str("Fred".into()));
+    assert_eq!(
+        db.get_attr(fred, "name").unwrap(),
+        Value::Str("Fred".into())
+    );
     assert_eq!(db.stats().aborts, 1);
 }
 
@@ -468,7 +498,8 @@ fn rules_on_rules_meta_monitoring() {
     // A meta-rule fires when another rule is disabled — possible because
     // Rule is a reactive class whose Disable is an event generator.
     let mut db = payroll_db();
-    db.define_class(ClassDecl::new("Audit").attr("count", TypeTag::Int)).unwrap();
+    db.define_class(ClassDecl::new("Audit").attr("count", TypeTag::Int))
+        .unwrap();
     let audit = db.create("Audit").unwrap();
     db.register_action("nothing", |_, _| Ok(()));
     db.register_action("note-disable", move |w, _f| {
@@ -512,7 +543,8 @@ fn disabled_rule_does_not_fire_or_record() {
     .unwrap();
     let fred = db.create("Employee").unwrap();
     db.disable_rule("R").unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(1.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(1.0)])
+        .unwrap();
     let rs = db.rule_stats("R").unwrap();
     assert_eq!(rs.notifications, 0);
     assert_eq!(rs.triggered, 0);
@@ -540,7 +572,11 @@ fn cascade_depth_limit_stops_self_triggering_rule() {
     });
     db.add_class_rule(
         "Ping",
-        RuleDef::new("SelfTrigger", event("end Ping::Hit()").unwrap(), "hit-again"),
+        RuleDef::new(
+            "SelfTrigger",
+            event("end Ping::Hit()").unwrap(),
+            "hit-again",
+        ),
     )
     .unwrap();
     let p = db.create("Ping").unwrap();
@@ -562,9 +598,11 @@ fn unsubscribe_stops_delivery() {
     .unwrap();
     let fred = db.create("Employee").unwrap();
     db.subscribe(fred, "R").unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(1.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(1.0)])
+        .unwrap();
     db.unsubscribe(fred, "R").unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(2.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(2.0)])
+        .unwrap();
     assert_eq!(db.rule_stats("R").unwrap().notifications, 1);
 }
 
@@ -586,7 +624,8 @@ fn catalog_mutations_roll_back_with_transaction() {
 
     // The rule and its subscription are gone, in memory and on replay.
     assert!(db.rule_stats("Tx").is_err());
-    db.send(fred, "Change-Income", &[Value::Float(1.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(1.0)])
+        .unwrap();
     assert_eq!(db.engine_stats().notifications, 0);
     // And the name is reusable.
     db.add_rule(RuleDef::new(
@@ -611,20 +650,24 @@ fn durable_database_recovers_rules_events_and_subscriptions() {
                 .event_method("Change-Income", &[("x", TypeTag::Float)], EventSpec::End),
         )
         .unwrap();
-        db.register_setter("Employee", "Change-Income", "salary").unwrap();
+        db.register_setter("Employee", "Change-Income", "salary")
+            .unwrap();
         db.register_action("nothing", |_, _| Ok(()));
         fred = db.create("Employee").unwrap();
-        db.send(fred, "Change-Income", &[Value::Float(70.0)]).unwrap();
+        db.send(fred, "Change-Income", &[Value::Float(70.0)])
+            .unwrap();
         db.define_event("E", event("end Employee::Change-Income(float x)").unwrap())
             .unwrap();
-        db.add_rule(RuleDef::new("R", db.event_expr("E").unwrap(), "nothing")).unwrap();
+        db.add_rule(RuleDef::new("R", db.event_expr("E").unwrap(), "nothing"))
+            .unwrap();
         db.subscribe(fred, "R").unwrap();
         db.disable_rule("R").unwrap();
         // NOTE: schema (class declarations) reaches disk only via
         // checkpoint; WAL records reference classes by name.
         db.checkpoint().unwrap();
         db.enable_rule("R").unwrap(); // post-checkpoint, recovered from WAL
-        db.send(fred, "Change-Income", &[Value::Float(80.0)]).unwrap();
+        db.send(fred, "Change-Income", &[Value::Float(80.0)])
+            .unwrap();
     } // drop = crash (nothing flushed beyond commit records)
 
     let mut db = Database::recover(DbConfig::durable(&dir)).unwrap();
@@ -634,9 +677,11 @@ fn durable_database_recovers_rules_events_and_subscriptions() {
     assert!(db.event_expr("E").is_ok());
     assert!(db.rule_enabled("R").unwrap());
     // Re-register code, then the recovered rule fires again.
-    db.register_setter("Employee", "Change-Income", "salary").unwrap();
+    db.register_setter("Employee", "Change-Income", "salary")
+        .unwrap();
     db.register_action("nothing", |_, _| Ok(()));
-    db.send(fred, "Change-Income", &[Value::Float(90.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(90.0)])
+        .unwrap();
     assert_eq!(db.rule_stats("R").unwrap().triggered, 1);
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -655,10 +700,12 @@ fn recovery_is_idempotent() {
                 .event_method("Change-Income", &[("x", TypeTag::Float)], EventSpec::End),
         )
         .unwrap();
-        db.register_setter("Employee", "Change-Income", "salary").unwrap();
+        db.register_setter("Employee", "Change-Income", "salary")
+            .unwrap();
         fred = db.create("Employee").unwrap();
         db.checkpoint().unwrap();
-        db.send(fred, "Change-Income", &[Value::Float(70.0)]).unwrap();
+        db.send(fred, "Change-Income", &[Value::Float(70.0)])
+            .unwrap();
     }
     // Recover twice without writing; state must match.
     let db1 = Database::recover(DbConfig::durable(&dir)).unwrap();
@@ -675,12 +722,15 @@ fn explicit_transaction_groups_sends() {
     let mut db = payroll_db();
     let fred = db.create("Employee").unwrap();
     db.begin().unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(10.0)]).unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(20.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(10.0)])
+        .unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(20.0)])
+        .unwrap();
     db.abort().unwrap();
     assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(0.0));
     db.begin().unwrap();
-    db.send(fred, "Change-Income", &[Value::Float(30.0)]).unwrap();
+    db.send(fred, "Change-Income", &[Value::Float(30.0)])
+        .unwrap();
     db.commit().unwrap();
     assert_eq!(db.get_attr(fred, "salary").unwrap(), Value::Float(30.0));
 }

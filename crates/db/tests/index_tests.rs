@@ -16,7 +16,8 @@ fn db_with_emps() -> Database {
     .unwrap();
     db.define_class(ClassDecl::reactive("Manager").parent("Employee"))
         .unwrap();
-    db.register_setter("Employee", "Set-Salary", "salary").unwrap();
+    db.register_setter("Employee", "Set-Salary", "salary")
+        .unwrap();
     db
 }
 
@@ -122,7 +123,8 @@ fn rule_abort_keeps_index_consistent() {
         .unwrap();
     assert!(db.send(a, "Set-Salary", &[Value::Float(500.0)]).is_err());
     assert_eq!(
-        db.index_get("Employee", "salary", &Value::Float(50.0)).unwrap(),
+        db.index_get("Employee", "salary", &Value::Float(50.0))
+            .unwrap(),
         vec![a]
     );
     assert!(db
@@ -138,11 +140,8 @@ fn query_range_uses_index_and_matches_scan() {
         db.create_with("Employee", &[("salary", Value::Float(i as f64))])
             .unwrap();
     }
-    let q = Query::over("Employee").range(
-        "salary",
-        Some(Value::Float(25.0)),
-        Some(Value::Float(74.0)),
-    );
+    let q =
+        Query::over("Employee").range("salary", Some(Value::Float(25.0)), Some(Value::Float(74.0)));
     let scanned = q.run_oids(&db).unwrap();
     db.create_index("Employee", "salary").unwrap();
     let indexed = q.run_oids(&db).unwrap();

@@ -17,7 +17,8 @@ fn db() -> (Database, Oid) {
             .method("Raise", &[("pct", TypeTag::Float)]),
     )
     .unwrap();
-    db.register_setter("Employee", "Change-Salary", "salary").unwrap();
+    db.register_setter("Employee", "Change-Salary", "salary")
+        .unwrap();
     db.register_method("Employee", "Raise", |w, this, args| {
         let cur = w.get_attr(this, "salary")?.as_float()?;
         // Intra-class call: allowed to reach the private method.
@@ -72,18 +73,21 @@ fn rule_actions_may_reach_private_methods() {
     // Rule bodies run inside the engine (nested depth), standing in for
     // the paper's system-generated code.
     let (mut db, fred) = db();
-    db.define_class(
-        ClassDecl::reactive("Trigger").event_method("Fire", &[], EventSpec::End),
-    )
-    .unwrap();
-    db.register_method("Trigger", "Fire", |_, _, _| Ok(Value::Null)).unwrap();
+    db.define_class(ClassDecl::reactive("Trigger").event_method("Fire", &[], EventSpec::End))
+        .unwrap();
+    db.register_method("Trigger", "Fire", |_, _, _| Ok(Value::Null))
+        .unwrap();
     db.register_action("reset-salary", move |w, _| {
         w.send(fred, "Change-Salary", &[Value::Float(0.0)])?;
         Ok(())
     });
     db.add_class_rule(
         "Trigger",
-        RuleDef::new("Reset", event("end Trigger::Fire()").unwrap(), "reset-salary"),
+        RuleDef::new(
+            "Reset",
+            event("end Trigger::Fire()").unwrap(),
+            "reset-salary",
+        ),
     )
     .unwrap();
     let t = db.create("Trigger").unwrap();

@@ -49,7 +49,9 @@ use crate::context::ParamContext;
 use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 use crate::spec::EventModifier;
 use sentinel_object::{ClassId, ClassRegistry, Result};
+use sentinel_telemetry::{Stage, Telemetry, Timer};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Resource limits protecting against unbounded detector state (the
 /// unrestricted context never discards occurrences on its own).
@@ -107,7 +109,10 @@ enum NodeUndo {
 
 #[derive(Debug, Clone)]
 enum JournalEntry {
-    Node { node: u32, undo: NodeUndo },
+    Node {
+        node: u32,
+        undo: NodeUndo,
+    },
     /// A full pre-state snapshot (recorded by `reset` when a journal is
     /// active — rare, so the clone is acceptable there).
     Full(Box<Node>),
@@ -124,6 +129,8 @@ pub struct DetectorInstance {
     caps: DetectorCaps,
     stats: DetectorStats,
     journal: Option<Vec<JournalEntry>>,
+    telemetry: Option<Arc<Telemetry>>,
+    label: Arc<str>,
 }
 
 impl std::fmt::Debug for DetectorInstance {
@@ -154,12 +161,26 @@ impl DetectorInstance {
             caps,
             stats: DetectorStats::default(),
             journal: None,
+            telemetry: None,
+            label: Arc::from(""),
         })
+    }
+
+    /// Attach an observability handle. `label` (typically the owning
+    /// rule's name) becomes the subject of the detector's trace records.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>, label: impl Into<Arc<str>>) {
+        self.telemetry = Some(telemetry);
+        self.label = label.into();
     }
 
     /// Compile with default context and caps.
     pub fn compile_default(expr: &EventExpr, registry: &ClassRegistry) -> Result<Self> {
-        Self::compile(expr, registry, ParamContext::default(), DetectorCaps::default())
+        Self::compile(
+            expr,
+            registry,
+            ParamContext::default(),
+            DetectorCaps::default(),
+        )
     }
 
     /// Feed one primitive occurrence; returns the composite occurrences
@@ -172,6 +193,10 @@ impl DetectorInstance {
         occ: &PrimitiveOccurrence,
     ) -> Vec<CompositeOccurrence> {
         self.stats.offered += 1;
+        let timer = match &self.telemetry {
+            Some(t) => t.timer(),
+            None => Timer::off(),
+        };
         let mut env = Env {
             registry,
             context: self.context,
@@ -186,6 +211,22 @@ impl DetectorInstance {
         }
         self.stats.dropped += env.dropped;
         self.stats.emitted += out.len() as u64;
+        if let Some(tel) = &self.telemetry {
+            // The enabled check also guards the `buffered` tree walk, which
+            // is not free on deep expressions.
+            if tel.is_enabled() {
+                let label = &self.label;
+                tel.observe_timer(Stage::DetectorTransition, occ.at, timer, || {
+                    label.to_string()
+                });
+                tel.observe(
+                    Stage::DetectorDepth,
+                    occ.at,
+                    self.root.buffered() as u64,
+                    || label.to_string(),
+                );
+            }
+        }
         out
     }
 
@@ -305,7 +346,13 @@ impl Buffer {
     fn pop_front(&mut self, node: u32, side: u8, env: &mut Env<'_>) -> Option<CompositeOccurrence> {
         let occ = self.items.pop_front()?;
         if env.journaling() {
-            env.record(node, NodeUndo::PushFront { side, occ: occ.clone() });
+            env.record(
+                node,
+                NodeUndo::PushFront {
+                    side,
+                    occ: occ.clone(),
+                },
+            );
         }
         Some(occ)
     }
@@ -454,7 +501,11 @@ impl Node {
         })
     }
 
-    fn process(&mut self, occ: &PrimitiveOccurrence, env: &mut Env<'_>) -> Vec<CompositeOccurrence> {
+    fn process(
+        &mut self,
+        occ: &PrimitiveOccurrence,
+        env: &mut Env<'_>,
+    ) -> Vec<CompositeOccurrence> {
         match self {
             Node::Primitive {
                 class,
@@ -797,9 +848,7 @@ impl Node {
                 end,
                 open,
                 ..
-            } => {
-                watch.buffered() + start.buffered() + end.buffered() + usize::from(open.is_some())
-            }
+            } => watch.buffered() + start.buffered() + end.buffered() + usize::from(open.is_some()),
             Node::Aperiodic {
                 start,
                 each,
@@ -1120,12 +1169,7 @@ fn pair_seq(
         }
         ParamContext::Chronicle => {
             for r in &re {
-                if lbuf
-                    .items
-                    .front()
-                    .map(|l| l.end < r.start)
-                    .unwrap_or(false)
-                {
+                if lbuf.items.front().map(|l| l.end < r.start).unwrap_or(false) {
                     let l = lbuf.pop_front(id, 0, env).expect("checked non-empty");
                     out.push(CompositeOccurrence::merge(&l, r));
                 }
@@ -1233,15 +1277,19 @@ mod tests {
         let reg = registry();
         let mut d = DetectorInstance::compile_default(&stock("SetPrice"), &reg).unwrap();
         // Growth is a subclass of Stock: its invocations match.
-        assert_eq!(d.process(&reg, &occ(&reg, 1, "Growth", "SetPrice")).len(), 1);
+        assert_eq!(
+            d.process(&reg, &occ(&reg, 1, "Growth", "SetPrice")).len(),
+            1
+        );
     }
 
     #[test]
     fn compile_rejects_unknown_class() {
         let reg = registry();
-        let err = DetectorInstance::compile_default(&EventExpr::primitive(P::end("Nope", "m")), &reg)
-            .err()
-            .unwrap();
+        let err =
+            DetectorInstance::compile_default(&EventExpr::primitive(P::end("Nope", "m")), &reg)
+                .err()
+                .unwrap();
         assert!(matches!(err, sentinel_object::ObjectError::UnknownClass(_)));
     }
 
@@ -1250,7 +1298,9 @@ mod tests {
         let reg = registry();
         let expr = stock("SetPrice").and(fininfo("SetValue"));
         let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
-        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).is_empty());
+        assert!(d
+            .process(&reg, &occ(&reg, 1, "Stock", "SetPrice"))
+            .is_empty());
         let got = d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].start, 1);
@@ -1286,10 +1336,13 @@ mod tests {
         let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
         assert_eq!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).len(), 1);
         assert_eq!(
-            d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue")).len(),
+            d.process(&reg, &occ(&reg, 2, "FinancialInfo", "SetValue"))
+                .len(),
             1
         );
-        assert!(d.process(&reg, &occ(&reg, 3, "Stock", "Nothing")).is_empty());
+        assert!(d
+            .process(&reg, &occ(&reg, 3, "Stock", "Nothing"))
+            .is_empty());
         assert_eq!(d.buffered(), 0, "disjunction is stateless");
     }
 
@@ -1302,7 +1355,9 @@ mod tests {
         assert!(d
             .process(&reg, &occ(&reg, 1, "FinancialInfo", "SetValue"))
             .is_empty());
-        assert!(d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice")).is_empty());
+        assert!(d
+            .process(&reg, &occ(&reg, 2, "Stock", "SetPrice"))
+            .is_empty());
         let got = d.process(&reg, &occ(&reg, 3, "FinancialInfo", "SetValue"));
         assert_eq!(got.len(), 1);
         assert_eq!((got[0].start, got[0].end), (2, 3));
@@ -1341,7 +1396,9 @@ mod tests {
         let reg = registry();
         let expr = stock("SetPrice").then(stock("SetPrice"));
         let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
-        assert!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).is_empty());
+        assert!(d
+            .process(&reg, &occ(&reg, 1, "Stock", "SetPrice"))
+            .is_empty());
         // Second occurrence pairs with the first.
         assert_eq!(d.process(&reg, &occ(&reg, 2, "Stock", "SetPrice")).len(), 1);
     }
@@ -1502,8 +1559,7 @@ mod tests {
         during: &[PrimitiveOccurrence],
         reg: &ClassRegistry,
     ) {
-        let mut d =
-            DetectorInstance::compile(expr, reg, ctx, DetectorCaps::default()).unwrap();
+        let mut d = DetectorInstance::compile(expr, reg, ctx, DetectorCaps::default()).unwrap();
         for o in pre {
             d.process(reg, o);
         }
@@ -1560,11 +1616,7 @@ mod tests {
         // Any / Not / Aperiodic use window state.
         let any = EventExpr::any(2, vec![stock("SetPrice"), fininfo("SetValue"), stock("x")]);
         assert_abort_restores(&any, ParamContext::Unrestricted, &pre, &during, &reg);
-        let not = EventExpr::not_between(
-            stock("w"),
-            stock("SetPrice"),
-            fininfo("SetValue"),
-        );
+        let not = EventExpr::not_between(stock("w"), stock("SetPrice"), fininfo("SetValue"));
         assert_abort_restores(&not, ParamContext::Unrestricted, &pre, &during, &reg);
         let ap = EventExpr::aperiodic(stock("SetPrice"), fininfo("SetValue"), stock("e"));
         assert_abort_restores(&ap, ParamContext::Unrestricted, &pre, &during, &reg);

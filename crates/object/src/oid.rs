@@ -67,12 +67,10 @@ impl OidGenerator {
     pub fn bump_past(&self, floor: Oid) {
         let mut cur = self.next.load(Ordering::Relaxed);
         while cur <= floor.0 {
-            match self.next.compare_exchange(
-                cur,
-                floor.0 + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .next
+                .compare_exchange(cur, floor.0 + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }

@@ -551,11 +551,7 @@ mod tests {
                     .attr("age", TypeTag::Int)
                     .attr("salary", TypeTag::Float)
                     .attr("name", TypeTag::Str)
-                    .event_method(
-                        "Change-Salary",
-                        &[("x", TypeTag::Float)],
-                        EventSpec::Begin,
-                    )
+                    .event_method("Change-Salary", &[("x", TypeTag::Float)], EventSpec::Begin)
                     .event_method("Get-Salary", &[], EventSpec::End)
                     .event_method("Get-Age", &[], EventSpec::BeginAndEnd)
                     .method("Get-Name", &[]),
@@ -621,10 +617,8 @@ mod tests {
     #[test]
     fn passive_subclass_masks_event_generation() {
         let mut reg = ClassRegistry::new();
-        reg.define(
-            ClassDecl::reactive("Base").event_method("M", &[], EventSpec::BeginAndEnd),
-        )
-        .unwrap();
+        reg.define(ClassDecl::reactive("Base").event_method("M", &[], EventSpec::BeginAndEnd))
+            .unwrap();
         // A subclass of a reactive class is reactive (cannot opt out).
         let sub = reg.define(ClassDecl::new("Sub").parent("Base")).unwrap();
         assert_eq!(reg.get(sub).reactivity, Reactivity::Reactive);
@@ -724,12 +718,8 @@ mod tests {
     #[test]
     fn attribute_override_replaces_slot_in_place() {
         let mut reg = ClassRegistry::new();
-        reg.define(ClassDecl::new("Base").attr_with_default(
-            "x",
-            TypeTag::Int,
-            Value::Int(1),
-        ))
-        .unwrap();
+        reg.define(ClassDecl::new("Base").attr_with_default("x", TypeTag::Int, Value::Int(1)))
+            .unwrap();
         let sub = reg
             .define(ClassDecl::new("Sub").parent("Base").attr_with_default(
                 "x",

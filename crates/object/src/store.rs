@@ -172,7 +172,10 @@ mod tests {
         let (reg, mut store, emp, _) = setup();
         let fred = store.create(&reg, emp);
         assert!(store.exists(fred));
-        assert_eq!(store.get_attr(&reg, fred, "salary").unwrap(), Value::Float(0.0));
+        assert_eq!(
+            store.get_attr(&reg, fred, "salary").unwrap(),
+            Value::Float(0.0)
+        );
         let old = store
             .set_attr(&reg, fred, "salary", Value::Float(100.0))
             .unwrap();

@@ -166,10 +166,7 @@ mod tests {
         assert!(reg.has_action(ACTION_ABORT));
         assert!(reg.has_action(ACTION_NOOP));
         assert!(!reg.has_condition("nope"));
-        assert!(matches!(
-            reg.condition("nope"),
-            Err(ObjectError::App(_))
-        ));
+        assert!(matches!(reg.condition("nope"), Err(ObjectError::App(_))));
     }
 
     #[test]
@@ -217,10 +214,7 @@ mod tests {
     #[test]
     fn firing_param_access() {
         let f = firing();
-        assert_eq!(
-            f.param_of("Change-Income", 0),
-            Some(&Value::Float(55.0))
-        );
+        assert_eq!(f.param_of("Change-Income", 0), Some(&Value::Float(55.0)));
         assert_eq!(f.param_of("Change-Income", 1), None);
         assert_eq!(f.param_of("Other", 0), None);
     }

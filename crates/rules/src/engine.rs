@@ -15,7 +15,10 @@ use crate::rule::{Rule, RuleDef, RuleId, RuleStats};
 use crate::subscription::SubscriptionManager;
 use sentinel_events::{DetectorCaps, PrimitiveOccurrence};
 use sentinel_object::{ClassRegistry, ObjectError, Oid, Result};
+use sentinel_telemetry::{Stage, Telemetry, Timer};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A triggered rule whose bodies are resolved and which is ready to run.
 #[derive(Clone)]
@@ -41,7 +44,7 @@ impl std::fmt::Debug for ReadyFiring {
 }
 
 /// Engine-wide counters (experiments E3, E5, E6).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Primitive occurrences offered to the engine.
     pub occurrences: u64,
@@ -77,6 +80,7 @@ pub struct RuleEngine {
     /// starts) the first time it receives an occurrence after
     /// [`begin_capture`](Self::begin_capture).
     capture: Option<std::collections::HashSet<RuleId>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for RuleEngine {
@@ -112,7 +116,19 @@ impl RuleEngine {
             stats: EngineStats::default(),
             scratch: Vec::new(),
             capture: None,
+            telemetry: None,
         }
+    }
+
+    /// Attach an observability handle; it is propagated to every
+    /// existing rule's detector (and to rules added later), labelled
+    /// with the rule's name.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        for rule in self.rules.values_mut() {
+            rule.detector
+                .set_telemetry(telemetry.clone(), rule.def.name.as_str());
+        }
+        self.telemetry = Some(telemetry);
     }
 
     /// Start transactional detection: until
@@ -195,7 +211,10 @@ impl RuleEngine {
         self.next_rule += 1;
         let id = RuleId(self.next_rule);
         let name = def.name.clone();
-        let rule = Rule::instantiate(id, oid, def, registry, self.caps)?;
+        let mut rule = Rule::instantiate(id, oid, def, registry, self.caps)?;
+        if let Some(tel) = &self.telemetry {
+            rule.detector.set_telemetry(tel.clone(), name.as_str());
+        }
         self.rules.insert(id, rule);
         self.by_name.insert(name, id);
         if !oid.is_nil() {
@@ -283,6 +302,10 @@ impl RuleEngine {
         occ: &PrimitiveOccurrence,
     ) -> Result<Vec<ReadyFiring>> {
         self.stats.occurrences += 1;
+        let fan_out_timer = match &self.telemetry {
+            Some(t) => t.timer(),
+            None => Timer::off(),
+        };
         let mut consumers = std::mem::take(&mut self.scratch);
         self.subscriptions
             .consumers(registry, occ.oid, occ.class, &mut consumers);
@@ -320,25 +343,36 @@ impl RuleEngine {
                         occurrence,
                     },
                 };
-                match rule.def.coupling {
+                let stage = match rule.def.coupling {
                     CouplingMode::Immediate => {
                         self.stats.immediate += 1;
                         immediate.push(ready);
+                        Stage::FiringImmediate
                     }
                     CouplingMode::Deferred => {
                         self.stats.deferred += 1;
                         self.deferred.push(ready);
+                        Stage::FiringDeferred
                     }
                     CouplingMode::Detached => {
                         self.stats.detached += 1;
                         self.detached.push(ready);
+                        Stage::FiringDetached
                     }
+                };
+                if let Some(tel) = &self.telemetry {
+                    tel.hit(stage, occ.at, || rule.def.name.clone());
                 }
             }
         }
         consumers.clear();
         self.scratch = consumers;
         self.resolver.order(&mut immediate);
+        if let Some(tel) = &self.telemetry {
+            tel.observe_timer(Stage::FanOut, occ.at, fan_out_timer, || {
+                format!("{}.{}", occ.oid, occ.method)
+            });
+        }
         Ok(immediate)
     }
 
@@ -399,7 +433,13 @@ mod tests {
         reg
     }
 
-    fn occ(reg: &ClassRegistry, at: u64, oid: u64, class: &str, method: &str) -> PrimitiveOccurrence {
+    fn occ(
+        reg: &ClassRegistry,
+        at: u64,
+        oid: u64,
+        class: &str,
+        method: &str,
+    ) -> PrimitiveOccurrence {
         let cid = reg.id_of(class).unwrap();
         PrimitiveOccurrence {
             at,
@@ -428,7 +468,9 @@ mod tests {
         let _r2 = eng.add_rule(simple_rule("r2"), Oid::NIL, &reg).unwrap();
         eng.subscriptions.subscribe_object(Oid(1), r1);
 
-        let fired = eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice")).unwrap();
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].firing.rule, r1);
         // Exactly one notification delivered: r2 was never checked.
@@ -486,10 +528,18 @@ mod tests {
         let mut eng = RuleEngine::new();
         let ri = eng.add_rule(simple_rule("imm"), Oid::NIL, &reg).unwrap();
         let rd = eng
-            .add_rule(simple_rule("def").coupling(CouplingMode::Deferred), Oid::NIL, &reg)
+            .add_rule(
+                simple_rule("def").coupling(CouplingMode::Deferred),
+                Oid::NIL,
+                &reg,
+            )
             .unwrap();
         let rx = eng
-            .add_rule(simple_rule("det").coupling(CouplingMode::Detached), Oid::NIL, &reg)
+            .add_rule(
+                simple_rule("det").coupling(CouplingMode::Detached),
+                Oid::NIL,
+                &reg,
+            )
             .unwrap();
         for r in [ri, rd, rx] {
             eng.subscriptions.subscribe_object(Oid(1), r);
@@ -512,7 +562,11 @@ mod tests {
         let reg = registry();
         let mut eng = RuleEngine::new();
         let rd = eng
-            .add_rule(simple_rule("def").coupling(CouplingMode::Deferred), Oid::NIL, &reg)
+            .add_rule(
+                simple_rule("def").coupling(CouplingMode::Deferred),
+                Oid::NIL,
+                &reg,
+            )
             .unwrap();
         eng.subscriptions.subscribe_object(Oid(1), rd);
         eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
@@ -608,7 +662,9 @@ mod tests {
     fn class_subscription_fires_for_every_instance() {
         let reg = registry();
         let mut eng = RuleEngine::new();
-        let r = eng.add_rule(simple_rule("class-rule"), Oid::NIL, &reg).unwrap();
+        let r = eng
+            .add_rule(simple_rule("class-rule"), Oid::NIL, &reg)
+            .unwrap();
         eng.subscriptions
             .subscribe_class(reg.id_of("Stock").unwrap(), r);
         for oid in [1, 2, 3] {

@@ -83,7 +83,7 @@ impl RuleDef {
 }
 
 /// Per-rule counters, surfaced by the comparison experiments (E3, E5).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RuleStats {
     /// Primitive occurrences delivered to this rule's detector.
     pub notifications: u64,
@@ -172,14 +172,14 @@ mod tests {
     #[test]
     fn instantiate_compiles_detector() {
         let mut reg = ClassRegistry::new();
-        reg.define(ClassDecl::reactive("C").method("m", &[])).unwrap();
+        reg.define(ClassDecl::reactive("C").method("m", &[]))
+            .unwrap();
         let def = RuleDef::new(
             "R",
             EventExpr::primitive(PrimitiveEventSpec::end("C", "m")),
             crate::body::ACTION_NOOP,
         );
-        let r = Rule::instantiate(RuleId(1), Oid::NIL, def, &reg, DetectorCaps::default())
-            .unwrap();
+        let r = Rule::instantiate(RuleId(1), Oid::NIL, def, &reg, DetectorCaps::default()).unwrap();
         assert!(r.enabled);
         assert_eq!(r.stats, RuleStats::default());
         // Unknown class in the event is rejected at instantiation.
@@ -188,7 +188,8 @@ mod tests {
             EventExpr::primitive(PrimitiveEventSpec::end("Nope", "m")),
             crate::body::ACTION_NOOP,
         );
-        assert!(Rule::instantiate(RuleId(2), Oid::NIL, bad, &reg, DetectorCaps::default())
-            .is_err());
+        assert!(
+            Rule::instantiate(RuleId(2), Oid::NIL, bad, &reg, DetectorCaps::default()).is_err()
+        );
     }
 }

@@ -4,9 +4,7 @@
 
 use sentinel_events::{EventExpr, EventModifier, PrimitiveEventSpec, PrimitiveOccurrence};
 use sentinel_object::{ClassDecl, ClassRegistry, Oid, Value};
-use sentinel_rules::{
-    CouplingMode, PriorityResolver, RuleDef, RuleEngine, ACTION_NOOP,
-};
+use sentinel_rules::{CouplingMode, PriorityResolver, RuleDef, RuleEngine, ACTION_NOOP};
 use std::sync::Arc;
 
 fn registry() -> ClassRegistry {

@@ -27,7 +27,7 @@ pub mod txn;
 pub mod wal;
 
 pub use records::{LogRecord, TxnId};
-pub use recovery::{committed_records, recover, Recovered, META_CLASS_TAG};
+pub use recovery::{committed_records, recover, recover_with, Recovered, META_CLASS_TAG};
 pub use snapshot::{ObjectSnapshot, Snapshot};
 pub use txn::{TxnManager, UndoOp};
 pub use wal::{SyncPolicy, Wal};

@@ -70,6 +70,21 @@ impl LogRecord {
             LogRecord::ClockAdvance { .. } => None,
         }
     }
+
+    /// Short static variant name, used as the subject of WAL telemetry
+    /// trace records.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            LogRecord::Begin { .. } => "begin",
+            LogRecord::Commit { .. } => "commit",
+            LogRecord::Abort { .. } => "abort",
+            LogRecord::Create { .. } => "create",
+            LogRecord::SetAttr { .. } => "set_attr",
+            LogRecord::Delete { .. } => "delete",
+            LogRecord::ClockAdvance { .. } => "clock_advance",
+            LogRecord::Meta { .. } => "meta",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@ use crate::records::{LogRecord, TxnId};
 use crate::snapshot::Snapshot;
 use crate::wal::Wal;
 use sentinel_object::{ClassDecl, ClassRegistry, ObjectError, ObjectState, ObjectStore, Result};
+use sentinel_telemetry::{Stage, Telemetry};
 use std::collections::HashSet;
 use std::path::Path;
 
@@ -26,6 +27,8 @@ pub struct Recovered {
     /// not); the reopened transaction manager must allocate above it so
     /// a later recovery cannot confuse old and new records.
     pub max_txn: TxnId,
+    /// Committed log records replayed by this recovery pass.
+    pub replayed: u64,
 }
 
 /// Filter a raw log down to the records of committed transactions, in
@@ -44,10 +47,7 @@ pub fn committed_records(log: &[LogRecord]) -> Vec<&LogRecord> {
         .filter(|r| match r {
             LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. } => false,
             LogRecord::ClockAdvance { .. } => true,
-            other => other
-                .txn()
-                .map(|t| committed.contains(&t))
-                .unwrap_or(false),
+            other => other.txn().map(|t| committed.contains(&t)).unwrap_or(false),
         })
         .collect()
 }
@@ -65,14 +65,28 @@ pub const META_CLASS_TAG: &str = "schema.class";
 /// Replay is idempotent: re-running recovery over the same inputs yields
 /// the same state (property-tested in the workspace `tests/`).
 pub fn recover(snapshot_path: impl AsRef<Path>, wal_path: impl AsRef<Path>) -> Result<Recovered> {
+    recover_with(snapshot_path, wal_path, None)
+}
+
+/// [`recover`], additionally reporting the replay size to a telemetry
+/// handle (one `recovery_replay` observation whose value is the number
+/// of committed records replayed).
+pub fn recover_with(
+    snapshot_path: impl AsRef<Path>,
+    wal_path: impl AsRef<Path>,
+    telemetry: Option<&Telemetry>,
+) -> Result<Recovered> {
+    let wal_path = wal_path.as_ref();
     let snapshot = Snapshot::load(snapshot_path)?;
     let (mut registry, mut store) = snapshot.restore()?;
     let mut clock = snapshot.clock;
     let mut meta = Vec::new();
+    let mut replayed = 0u64;
 
     let log = Wal::read_all(wal_path)?;
     let max_txn = log.iter().filter_map(LogRecord::txn).max().unwrap_or(0);
     for record in committed_records(&log) {
+        replayed += 1;
         match record {
             LogRecord::Create {
                 oid, class, slots, ..
@@ -86,9 +100,7 @@ pub fn recover(snapshot_path: impl AsRef<Path>, wal_path: impl AsRef<Path>) -> R
                     },
                 );
             }
-            LogRecord::SetAttr {
-                oid, attr, new, ..
-            } => {
+            LogRecord::SetAttr { oid, attr, new, .. } => {
                 // The object may have been deleted later in the log; a
                 // missing object here is not an error.
                 if store.exists(*oid) {
@@ -121,6 +133,12 @@ pub fn recover(snapshot_path: impl AsRef<Path>, wal_path: impl AsRef<Path>) -> R
         }
     }
 
+    if let Some(tel) = telemetry {
+        tel.observe(Stage::RecoveryReplay, clock, replayed, || {
+            wal_path.display().to_string()
+        });
+    }
+
     Ok(Recovered {
         registry,
         store,
@@ -128,6 +146,7 @@ pub fn recover(snapshot_path: impl AsRef<Path>, wal_path: impl AsRef<Path>) -> R
         extra: snapshot.extra,
         meta,
         max_txn,
+        replayed,
     })
 }
 
@@ -261,7 +280,10 @@ mod tests {
         );
         assert_eq!(rec.clock, 42);
         assert_eq!(rec.extra, "x");
-        assert_eq!(rec.meta, vec![(1, "rule".to_string(), "{\"name\":\"R\"}".to_string())]);
+        assert_eq!(
+            rec.meta,
+            vec![(1, "rule".to_string(), "{\"name\":\"R\"}".to_string())]
+        );
     }
 
     #[test]

@@ -8,9 +8,11 @@
 
 use crate::records::LogRecord;
 use sentinel_object::{ObjectError, Result};
+use sentinel_telemetry::{Stage, Telemetry, Timer};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// When appended records reach the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +36,7 @@ pub struct Wal {
     writer: BufWriter<File>,
     policy: SyncPolicy,
     appended: u64,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 fn io_err(e: std::io::Error) -> ObjectError {
@@ -54,28 +57,52 @@ impl Wal {
             writer: BufWriter::new(file),
             policy,
             appended: 0,
+            telemetry: None,
         })
+    }
+
+    /// Attach an observability handle: appends and fsyncs are timed into
+    /// the `wal_append` / `wal_fsync` stages.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Append one record, honouring the sync policy.
     pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+        let timer = match &self.telemetry {
+            Some(t) => t.timer(),
+            None => Timer::off(),
+        };
         let line = serde_json::to_string(record)
             .map_err(|e| ObjectError::Storage(format!("serialize log record: {e}")))?;
         self.writer.write_all(line.as_bytes()).map_err(io_err)?;
         self.writer.write_all(b"\n").map_err(io_err)?;
         self.appended += 1;
+        if let Some(tel) = &self.telemetry {
+            tel.observe_timer(Stage::WalAppend, 0, timer, || record.kind().to_string());
+        }
         match self.policy {
-            SyncPolicy::Always => {
-                self.writer.flush().map_err(io_err)?;
-                self.writer.get_ref().sync_data().map_err(io_err)?;
-            }
+            SyncPolicy::Always => self.fsync(record)?,
             SyncPolicy::OnCommit => {
                 if matches!(record, LogRecord::Commit { .. }) {
-                    self.writer.flush().map_err(io_err)?;
-                    self.writer.get_ref().sync_data().map_err(io_err)?;
+                    self.fsync(record)?;
                 }
             }
             SyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flush buffered bytes and force them to disk, timing the wait.
+    fn fsync(&mut self, record: &LogRecord) -> Result<()> {
+        let timer = match &self.telemetry {
+            Some(t) => t.timer(),
+            None => Timer::off(),
+        };
+        self.writer.flush().map_err(io_err)?;
+        self.writer.get_ref().sync_data().map_err(io_err)?;
+        if let Some(tel) = &self.telemetry {
+            tel.observe_timer(Stage::WalFsync, 0, timer, || record.kind().to_string());
         }
         Ok(())
     }
@@ -224,10 +251,7 @@ mod tests {
         let mut wal = Wal::open(&p, SyncPolicy::Always).unwrap();
         wal.append(&sample(2)).unwrap();
         drop(wal);
-        assert!(matches!(
-            Wal::read_all(&p),
-            Err(ObjectError::Storage(_))
-        ));
+        assert!(matches!(Wal::read_all(&p), Err(ObjectError::Storage(_))));
     }
 
     #[test]

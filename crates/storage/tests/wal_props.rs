@@ -2,8 +2,8 @@
 //! filter.
 
 use proptest::prelude::*;
-use sentinel_storage::{committed_records, LogRecord, SyncPolicy, Wal};
 use sentinel_object::{Oid, Value};
+use sentinel_storage::{committed_records, LogRecord, SyncPolicy, Wal};
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![

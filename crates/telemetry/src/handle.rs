@@ -1,0 +1,471 @@
+//! The [`Telemetry`] handle threaded through the pipeline.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::stage::Stage;
+use crate::trace::{RingBufferSink, TraceRecord, TraceSink};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-stage storage: a counter plus a value histogram.
+#[derive(Debug, Default)]
+struct StageCell {
+    count: AtomicU64,
+    hist: Histogram,
+}
+
+/// Which rule body a per-rule latency belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyKind {
+    /// The rule's condition.
+    Condition,
+    /// The rule's action.
+    Action,
+}
+
+/// Per-rule latency histograms (condition and action bodies).
+#[derive(Debug, Default)]
+struct RuleCell {
+    condition: Histogram,
+    action: Histogram,
+}
+
+/// A started wall-clock timer, or nothing when telemetry was disabled
+/// at start time — so the disabled path never reads the clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer(Option<Instant>);
+
+impl Timer {
+    /// A timer that records nothing.
+    pub const fn off() -> Self {
+        Timer(None)
+    }
+
+    /// Nanoseconds since the timer started (`None` if it never did).
+    #[inline]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.0.map(|t0| t0.elapsed().as_nanos() as u64)
+    }
+}
+
+/// The shared observability handle: per-stage counters and histograms,
+/// per-rule body latencies, and a structured trace ring.
+///
+/// One handle is created per [`Database`] and cloned (via `Arc`) into
+/// the rule engine, each rule's detector, and the WAL, so a single
+/// snapshot sees the whole pipeline.
+///
+/// All instrumentation entry points are gated on one relaxed atomic
+/// load; with telemetry disabled (the default) they cost a single
+/// predictable branch.
+///
+/// [`Database`]: https://docs.rs/sentinel-db
+pub struct Telemetry {
+    enabled: AtomicBool,
+    tracing: AtomicBool,
+    seq: AtomicU64,
+    stages: [StageCell; Stage::COUNT],
+    rules: RwLock<BTreeMap<String, Arc<RuleCell>>>,
+    ring: RingBufferSink,
+    custom: RwLock<Option<Arc<dyn TraceSink>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("tracing", &self.is_tracing())
+            .field("trace_buffered", &self.ring.len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle whose trace ring holds at most
+    /// `trace_capacity` records.
+    pub fn new(trace_capacity: usize) -> Self {
+        Telemetry {
+            enabled: AtomicBool::new(false),
+            tracing: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            stages: std::array::from_fn(|_| StageCell::default()),
+            rules: RwLock::new(BTreeMap::new()),
+            ring: RingBufferSink::new(trace_capacity),
+            custom: RwLock::new(None),
+        }
+    }
+
+    /// A shared disabled handle (convenience for `Arc::new(Self::new(..))`).
+    pub fn shared(trace_capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(trace_capacity))
+    }
+
+    // -- gating ---------------------------------------------------------
+
+    /// Are counters and histograms being recorded?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Turn counter/histogram recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Are structured trace records being captured? (Only meaningful
+    /// while enabled.)
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Relaxed)
+    }
+
+    /// Turn trace capture on or off. Tracing also requires
+    /// [`set_enabled`](Self::set_enabled)`(true)`.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, Relaxed);
+    }
+
+    // -- recording ------------------------------------------------------
+
+    /// Count one firing of `stage` with no value. `subject` is evaluated
+    /// only if tracing is on.
+    #[inline]
+    pub fn hit<F: FnOnce() -> String>(&self, stage: Stage, at: u64, subject: F) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_inner(stage, at, None, subject);
+    }
+
+    /// Count one firing of `stage` and record `value` into its
+    /// histogram. `subject` is evaluated only if tracing is on.
+    #[inline]
+    pub fn observe<F: FnOnce() -> String>(&self, stage: Stage, at: u64, value: u64, subject: F) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record_inner(stage, at, Some(value), subject);
+    }
+
+    /// Start a wall-clock timer — a no-op [`Timer::off`] when disabled,
+    /// so the disabled path never touches the clock.
+    #[inline]
+    pub fn timer(&self) -> Timer {
+        if self.is_enabled() {
+            Timer(Some(Instant::now()))
+        } else {
+            Timer::off()
+        }
+    }
+
+    /// Record the elapsed time of `timer` into `stage` (no-op for a
+    /// [`Timer::off`]).
+    #[inline]
+    pub fn observe_timer<F: FnOnce() -> String>(
+        &self,
+        stage: Stage,
+        at: u64,
+        timer: Timer,
+        subject: F,
+    ) {
+        if let Some(ns) = timer.elapsed_ns() {
+            self.observe(stage, at, ns, subject);
+        }
+    }
+
+    /// Record a body latency against a rule's private histograms.
+    pub fn observe_rule(&self, rule: &str, kind: BodyKind, ns: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cell = {
+            let rules = self.rules.read();
+            rules.get(rule).cloned()
+        };
+        let cell = cell.unwrap_or_else(|| {
+            self.rules
+                .write()
+                .entry(rule.to_string())
+                .or_default()
+                .clone()
+        });
+        match kind {
+            BodyKind::Condition => cell.condition.record(ns),
+            BodyKind::Action => cell.action.record(ns),
+        }
+    }
+
+    #[cold]
+    fn trace_inner(&self, stage: Stage, at: u64, value: u64, subject: String) {
+        let rec = TraceRecord {
+            seq: self.seq.fetch_add(1, Relaxed),
+            at,
+            stage,
+            subject,
+            value,
+        };
+        if let Some(sink) = self.custom.read().clone() {
+            sink.record(rec.clone());
+        }
+        self.ring.record(rec);
+    }
+
+    #[inline]
+    fn record_inner<F: FnOnce() -> String>(
+        &self,
+        stage: Stage,
+        at: u64,
+        value: Option<u64>,
+        subject: F,
+    ) {
+        let cell = &self.stages[stage.index()];
+        cell.count.fetch_add(1, Relaxed);
+        if let Some(v) = value {
+            cell.hist.record(v);
+        }
+        if self.is_tracing() {
+            self.trace_inner(stage, at, value.unwrap_or(0), subject());
+        }
+    }
+
+    // -- inspection -----------------------------------------------------
+
+    /// Count of firings of one stage.
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.stages[stage.index()].count.load(Relaxed)
+    }
+
+    /// The built-in trace ring.
+    pub fn ring(&self) -> &RingBufferSink {
+        &self.ring
+    }
+
+    /// The most recent `n` trace records, oldest first.
+    pub fn trace_dump(&self, n: usize) -> Vec<TraceRecord> {
+        self.ring.dump(n)
+    }
+
+    /// Install (or clear) an additional sink that receives every trace
+    /// record alongside the ring.
+    pub fn set_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.custom.write() = sink;
+    }
+
+    /// Zero all counters, histograms, per-rule latencies, and the ring
+    /// (benchmark warm-up / `reset_stats` parity). Enablement flags are
+    /// left as they are.
+    pub fn reset(&self) {
+        for cell in &self.stages {
+            cell.count.store(0, Relaxed);
+            cell.hist.reset();
+        }
+        self.rules.write().clear();
+        self.ring.clear();
+        self.seq.store(0, Relaxed);
+    }
+
+    /// A serializable copy of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let cell = &self.stages[s.index()];
+                StageSnapshot {
+                    stage: s.name().to_string(),
+                    unit: s.unit().to_string(),
+                    count: cell.count.load(Relaxed),
+                    values: cell.hist.snapshot(),
+                }
+            })
+            .collect();
+        let rules = self
+            .rules
+            .read()
+            .iter()
+            .map(|(name, cell)| RuleLatencySnapshot {
+                rule: name.clone(),
+                condition: cell.condition.snapshot(),
+                action: cell.action.snapshot(),
+            })
+            .collect();
+        TelemetrySnapshot {
+            enabled: self.is_enabled(),
+            tracing: self.is_tracing(),
+            stages,
+            rules,
+            trace: TraceMeta {
+                recorded: self.ring.recorded(),
+                buffered: self.ring.len() as u64,
+                dropped: self.ring.dropped(),
+                capacity: self.ring.capacity() as u64,
+            },
+        }
+    }
+}
+
+/// Counters and histogram of one stage, frozen for export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// The stage's snake_case [`name`](Stage::name).
+    pub stage: String,
+    /// The [`unit`](Stage::unit) of `values`.
+    pub unit: String,
+    /// How many times the stage fired.
+    pub count: u64,
+    /// Distribution of the recorded values (empty for untimed stages).
+    pub values: HistogramSnapshot,
+}
+
+/// Per-rule body latencies, frozen for export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleLatencySnapshot {
+    /// The rule's name.
+    pub rule: String,
+    /// Condition-evaluation latencies (ns).
+    pub condition: HistogramSnapshot,
+    /// Action-execution latencies (ns).
+    pub action: HistogramSnapshot,
+}
+
+/// State of the trace ring at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Records ever captured.
+    pub recorded: u64,
+    /// Records currently buffered.
+    pub buffered: u64,
+    /// Records evicted to make room.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// A serializable point-in-time copy of a [`Telemetry`] handle —
+/// embedded in `sentinel-db`'s `FullStats` and consumed by the
+/// exporters in [`crate::export`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Was recording enabled at snapshot time?
+    pub enabled: bool,
+    /// Was trace capture enabled at snapshot time?
+    pub tracing: bool,
+    /// Every stage, in pipeline order.
+    pub stages: Vec<StageSnapshot>,
+    /// Per-rule body latencies, sorted by rule name.
+    pub rules: Vec<RuleLatencySnapshot>,
+    /// Trace-ring state.
+    pub trace: TraceMeta,
+}
+
+impl TelemetrySnapshot {
+    /// The snapshot of one stage, by [`Stage`].
+    pub fn stage(&self, stage: Stage) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.stage == stage.name())
+    }
+
+    /// Firing count of one stage (0 if absent).
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.stage(stage).map_or(0, |s| s.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::new(16);
+        t.hit(Stage::MethodSend, 1, || unreachable!("lazy subject"));
+        t.observe(Stage::WalAppend, 1, 99, || unreachable!());
+        t.observe_rule("r", BodyKind::Action, 5);
+        assert!(t.timer().elapsed_ns().is_none());
+        let s = t.snapshot();
+        assert!(s.stages.iter().all(|st| st.count == 0));
+        assert!(s.rules.is_empty());
+        assert_eq!(s.trace.recorded, 0);
+    }
+
+    #[test]
+    fn enabled_without_tracing_skips_subjects() {
+        let t = Telemetry::new(16);
+        t.set_enabled(true);
+        t.hit(Stage::MethodSend, 1, || unreachable!("tracing is off"));
+        assert_eq!(t.stage_count(Stage::MethodSend), 1);
+        assert_eq!(t.ring().recorded(), 0);
+    }
+
+    #[test]
+    fn tracing_captures_records_and_histograms_fill() {
+        let t = Telemetry::new(16);
+        t.set_enabled(true);
+        t.set_tracing(true);
+        t.observe(Stage::ConditionEval, 7, 1000, || "rule-x".into());
+        t.observe_rule("rule-x", BodyKind::Condition, 1000);
+        t.observe_rule("rule-x", BodyKind::Action, 2000);
+        let s = t.snapshot();
+        let stage = s.stage(Stage::ConditionEval).unwrap();
+        assert_eq!(stage.count, 1);
+        assert_eq!(stage.values.sum, 1000);
+        assert_eq!(s.rules.len(), 1);
+        assert_eq!(s.rules[0].rule, "rule-x");
+        assert_eq!(s.rules[0].condition.count, 1);
+        assert_eq!(s.rules[0].action.sum, 2000);
+        let dump = t.trace_dump(10);
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].subject, "rule-x");
+        assert_eq!(dump[0].at, 7);
+    }
+
+    #[test]
+    fn custom_sink_sees_records() {
+        struct Collect(Mutex<Vec<TraceRecord>>);
+        impl TraceSink for Collect {
+            fn record(&self, rec: TraceRecord) {
+                self.0.lock().push(rec);
+            }
+        }
+        let t = Telemetry::new(4);
+        t.set_enabled(true);
+        t.set_tracing(true);
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        t.set_sink(Some(sink.clone()));
+        t.hit(Stage::TxnCommit, 3, || "txn 1".into());
+        assert_eq!(sink.0.lock().len(), 1);
+        t.set_sink(None);
+        t.hit(Stage::TxnCommit, 4, || "txn 2".into());
+        assert_eq!(sink.0.lock().len(), 1);
+        assert_eq!(t.ring().recorded(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_flags() {
+        let t = Telemetry::new(4);
+        t.set_enabled(true);
+        t.set_tracing(true);
+        t.observe(Stage::ActionRun, 1, 5, || "r".into());
+        t.observe_rule("r", BodyKind::Action, 5);
+        t.reset();
+        assert!(t.is_enabled() && t.is_tracing());
+        assert_eq!(t.stage_count(Stage::ActionRun), 0);
+        assert!(t.snapshot().rules.is_empty());
+        assert_eq!(t.ring().recorded(), 0);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let t = Telemetry::new(8);
+        t.set_enabled(true);
+        t.observe(Stage::WalFsync, 0, 12_345, String::new);
+        t.observe_rule("r1", BodyKind::Condition, 10);
+        let s = t.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<TelemetrySnapshot>(&json).unwrap(), s);
+        assert_eq!(s.stage_count(Stage::WalFsync), 1);
+    }
+}

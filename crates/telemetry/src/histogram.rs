@@ -1,0 +1,202 @@
+//! Lock-free latency/value histograms with power-of-two buckets.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: bucket `i` holds values `v` with
+/// `bit_length(v) == i`, i.e. `2^(i-1) <= v < 2^i` (bucket 0 holds 0).
+/// 64 buckets cover the full `u64` range.
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram over `u64` values (nanoseconds for latency
+/// stages, plain magnitudes for depth/count stages).
+///
+/// All cells are relaxed atomics: recording is wait-free and never takes
+/// a lock; snapshots are not a consistent cut (a record racing a
+/// snapshot may land in `count` but not yet in `sum`), which is fine for
+/// monitoring counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a value: its bit length.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (the largest value with bit
+    /// length `i`).
+    fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        let idx = Self::bucket_of(v).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Zero every cell.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+
+    /// A serializable copy of the current state (non-empty buckets only).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Relaxed);
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n > 0).then(|| Bucket {
+                    le: Self::bucket_bound(i),
+                    count: n,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: (count > 0).then(|| self.min.load(Relaxed)),
+            max: (count > 0).then(|| self.max.load(Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: `count` values were
+/// `<= le` (and greater than the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Values recorded into this bucket (not cumulative).
+    pub count: u64,
+}
+
+/// A serializable point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (absent while empty).
+    pub min: Option<u64>,
+    /// Largest recorded value (absent while empty).
+    pub max: Option<u64>,
+    /// Non-empty buckets, in increasing `le` order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(10), 1023);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 3, 900, 1000, 70_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 71_904);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(70_000));
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 6);
+        // 900 and 1000 share the [512, 1023] bucket.
+        assert!(s.buckets.iter().any(|b| b.le == 1023 && b.count == 2));
+        assert!((s.mean() - 71_904.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(4096);
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<HistogramSnapshot>(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,176 @@
+//! Structured trace records and the ring-buffer recorder.
+
+use crate::stage::Stage;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One structured record of a pipeline stage firing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (per [`Telemetry`](crate::Telemetry)
+    /// handle).
+    pub seq: u64,
+    /// Logical-clock reading when the stage fired (0 where no clock is
+    /// in scope, e.g. WAL appends).
+    pub at: u64,
+    /// Which stage fired.
+    pub stage: Stage,
+    /// What it fired on: `@oid.Method` for sends, the event signature
+    /// for raises, the rule name for detection/condition/action stages.
+    pub subject: String,
+    /// The recorded value in the stage's [`unit`](Stage::unit):
+    /// nanoseconds for latency stages, a magnitude for depth/count
+    /// stages, 0 for untimed counting stages.
+    pub value: u64,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} t={} {:<19} {:>9}{} {}",
+            self.seq,
+            self.at,
+            self.stage.name(),
+            self.value,
+            self.stage.unit(),
+            self.subject
+        )
+    }
+}
+
+/// Consumer of trace records. The built-in sink is
+/// [`RingBufferSink`]; a custom sink (e.g. a test collector or an
+/// external forwarder) can be installed alongside it with
+/// [`Telemetry::set_sink`](crate::Telemetry::set_sink).
+pub trait TraceSink: Send + Sync {
+    /// Accept one record.
+    fn record(&self, rec: TraceRecord);
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    buf: VecDeque<TraceRecord>,
+    recorded: u64,
+    dropped: u64,
+}
+
+/// A bounded, mutex-guarded ring of the most recent trace records.
+///
+/// "Lock-light": the mutex is held only for a push/pop pair per record,
+/// and only while tracing is enabled; the disabled path never reaches
+/// this type.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` records (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity,
+            inner: Mutex::new(RingInner::default()),
+        }
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever offered to the ring.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().recorded
+    }
+
+    /// Records evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn dump(&self, n: usize) -> Vec<TraceRecord> {
+        let inner = self.inner.lock();
+        let skip = inner.buf.len().saturating_sub(n);
+        inner.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Forget everything buffered (counters included).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.buf.clear();
+        inner.recorded = 0;
+        inner.dropped = 0;
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&self, rec: TraceRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(rec);
+        inner.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            at: seq,
+            stage: Stage::MethodSend,
+            subject: format!("@1.m{seq}"),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingBufferSink::new(3);
+        for i in 0..5 {
+            ring.record(rec(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.dump(10).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        // dump(n) returns the *most recent* n.
+        let seqs: Vec<u64> = ring.dump(2).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, [3, 4]);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 0);
+    }
+
+    #[test]
+    fn record_serde_round_trip() {
+        let r = rec(9);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<TraceRecord>(&json).unwrap(), r);
+        assert!(r.to_string().contains("method_send"));
+    }
+}

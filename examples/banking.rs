@@ -32,18 +32,28 @@ fn bodies(db: &mut Database) {
     // Overdraft: a begin-of-method rule sees the withdrawal *before* it
     // executes and aborts if it would overdraw.
     db.register_condition("would-overdraw", |w, firing| {
-        let occ = firing.occurrence.constituent_for_method("Withdraw").unwrap();
+        let occ = firing
+            .occurrence
+            .constituent_for_method("Withdraw")
+            .unwrap();
         let amount = occ.param(0).unwrap().as_float()?;
         Ok(w.get_attr(occ.oid, "balance")?.as_float()? < amount)
     });
     // Deposit-then-withdraw on the same account: mark suspicious.
     db.register_condition("same-account", |_w, firing| {
         let dep = firing.occurrence.constituent_for_method("Deposit").unwrap();
-        let wit = firing.occurrence.constituent_for_method("Withdraw").unwrap();
+        let wit = firing
+            .occurrence
+            .constituent_for_method("Withdraw")
+            .unwrap();
         Ok(dep.oid == wit.oid)
     });
     db.register_action("mark-suspicious", |w, firing| {
-        let acct = firing.occurrence.constituent_for_method("Withdraw").unwrap().oid;
+        let acct = firing
+            .occurrence
+            .constituent_for_method("Withdraw")
+            .unwrap()
+            .oid;
         w.set_attr(acct, "suspicious", Value::Bool(true))
     });
     // Detached audit trail: runs in its own transaction after commit.
@@ -79,9 +89,13 @@ fn rules(db: &mut Database) -> Result<()> {
     )?;
     db.add_class_rule(
         "Account",
-        RuleDef::new("SuspiciousFlow", db.event_expr("DepWit")?, "mark-suspicious")
-            .condition("same-account")
-            .context(ParamContext::Chronicle),
+        RuleDef::new(
+            "SuspiciousFlow",
+            db.event_expr("DepWit")?,
+            "mark-suspicious",
+        )
+        .condition("same-account")
+        .context(ParamContext::Chronicle),
     )?;
     db.add_class_rule(
         "Account",

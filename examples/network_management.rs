@@ -13,8 +13,8 @@
 //!
 //! Run with: `cargo run --example network_management`
 
-use sentinel::prelude::*;
 use sentinel::db::{attr, event, Query, SharedDatabase};
+use sentinel::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -78,7 +78,11 @@ fn main() -> Result<()> {
     db.register_action("escalate", move |w, f| {
         let link = f.occurrence.constituents[0].oid;
         let name = w.get_attr(link, "name")?;
-        w.send(pager, "Page", &[Value::Str(format!("ESCALATE: {name} flapping"))])?;
+        w.send(
+            pager,
+            "Page",
+            &[Value::Str(format!("ESCALATE: {name} flapping"))],
+        )?;
         Ok(())
     });
     db.add_rule(RuleDef::new(
@@ -91,7 +95,11 @@ fn main() -> Result<()> {
     db.register_action("page-outage", move |w, f| {
         let link = f.occurrence.constituents[0].oid;
         let name = w.get_attr(link, "name")?;
-        w.send(pager, "Page", &[Value::Str(format!("OUTAGE: {name} still down at probe"))])?;
+        w.send(
+            pager,
+            "Page",
+            &[Value::Str(format!("OUTAGE: {name} still down at probe"))],
+        )?;
         Ok(())
     });
     db.add_rule(RuleDef::new(
@@ -118,7 +126,10 @@ fn main() -> Result<()> {
     )?;
 
     // Links exist; the NOC picks which to monitor closely, at runtime.
-    let backbone = db.create_with("Link", &[("name", "backbone-1".into()), ("up", true.into())])?;
+    let backbone = db.create_with(
+        "Link",
+        &[("name", "backbone-1".into()), ("up", true.into())],
+    )?;
     let edge = db.create_with("Link", &[("name", "edge-7".into()), ("up", true.into())])?;
     db.subscribe(backbone, "FlapEscalation")?;
     db.subscribe(backbone, "SustainedOutage")?;
@@ -147,9 +158,16 @@ fn main() -> Result<()> {
     for p in pages.as_list()? {
         println!("  - {p}");
     }
-    assert_eq!(pages.as_list()?.len(), 2, "one escalation + one outage page");
+    assert_eq!(
+        pages.as_list()?.len(),
+        2,
+        "one escalation + one outage page"
+    );
 
-    println!("link transitions observed: {}", transitions.load(Ordering::Relaxed));
+    println!(
+        "link transitions observed: {}",
+        transitions.load(Ordering::Relaxed)
+    );
     assert_eq!(transitions.load(Ordering::Relaxed), 11);
 
     println!(

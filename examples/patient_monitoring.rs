@@ -23,8 +23,16 @@ fn main() -> Result<()> {
             .attr("name", TypeTag::Str)
             .attr("temperature", TypeTag::Float)
             .attr("medication", TypeTag::Str)
-            .event_method("RecordTemperature", &[("t", TypeTag::Float)], EventSpec::End)
-            .event_method("ChangeMedication", &[("drug", TypeTag::Str)], EventSpec::End),
+            .event_method(
+                "RecordTemperature",
+                &[("t", TypeTag::Float)],
+                EventSpec::End,
+            )
+            .event_method(
+                "ChangeMedication",
+                &[("drug", TypeTag::Str)],
+                EventSpec::End,
+            ),
     )?;
     db.define_class(
         ClassDecl::new("Physician")
@@ -99,7 +107,11 @@ fn main() -> Result<()> {
     db.send(bob, "RecordTemperature", &[Value::Float(40.2)])?; // unmonitored
     db.send(alice, "RecordTemperature", &[Value::Float(38.2)])?; // no fever
     db.send(alice, "RecordTemperature", &[Value::Float(39.7)])?; // fever page
-    db.send(alice, "ChangeMedication", &[Value::Str("antibiotic-B".into())])?; // sequence
+    db.send(
+        alice,
+        "ChangeMedication",
+        &[Value::Str("antibiotic-B".into())],
+    )?; // sequence
 
     // The diagnosis changes: Dr. Lee starts monitoring Bob too — the
     // Patient class is untouched.

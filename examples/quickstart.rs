@@ -19,7 +19,11 @@ fn main() -> Result<()> {
         ClassDecl::reactive("Employee")
             .attr("name", TypeTag::Str)
             .attr("salary", TypeTag::Float)
-            .event_method("Change-Income", &[("amount", TypeTag::Float)], EventSpec::End)
+            .event_method(
+                "Change-Income",
+                &[("amount", TypeTag::Float)],
+                EventSpec::End,
+            )
             .method("Get-Income", &[]),
     )?;
     db.define_class(ClassDecl::reactive("Manager").parent("Employee"))?;
@@ -63,7 +67,9 @@ fn main() -> Result<()> {
     });
     let income_event = event("end Employee::Change-Income(float amount)")?
         .or(event("end Manager::Change-Income(float amount)")?);
-    db.add_rule(RuleDef::new("IncomeLevel", income_event, "make-equal").condition("incomes-differ"))?;
+    db.add_rule(
+        RuleDef::new("IncomeLevel", income_event, "make-equal").condition("incomes-differ"),
+    )?;
     // The rule monitors exactly these two objects — Fred.Subscribe(IncomeLevel).
     db.subscribe(fred, "IncomeLevel")?;
     db.subscribe(mike, "IncomeLevel")?;

@@ -32,7 +32,10 @@ pub const HELP: &str = r#"commands:
   subscribe-class <Class> <Rule>         class-level monitoring
   enable <Rule> / disable <Rule>
   query <Class> [where <attr> <op> <value>]
-  objects <Class>    rules    stats    help    quit
+  objects <Class>    rules    help    quit
+  stats [json]                           counters (json = full snapshot)
+  trace on|off|dump [n]                  structured pipeline tracing
+  metrics [json]                         Prometheus text / JSON export
 types: int float str bool oid list; oids are written @7
 signatures: "end Stock::SetPrice(float p)" (begin|end Class::Method)"#;
 
@@ -237,23 +240,82 @@ pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
                 .collect::<Vec<_>>()
                 .join("\n"))
         }
-        "stats" => {
-            let s = db.stats();
-            let e = db.engine_stats();
-            Ok(format!(
-                "sends={} events={} notifications={} cond-evals={} actions={} commits={} aborts={}",
-                s.sends,
-                s.events_generated,
-                e.notifications,
-                s.condition_evals,
-                s.actions_run,
-                s.commits,
-                s.aborts
-            ))
-        }
+        "stats" => match args {
+            [] => {
+                let s = db.stats();
+                let e = db.engine_stats();
+                Ok(format!(
+                    "sends={} events={} notifications={} cond-evals={} cond-true={} \
+                     actions={} immediate={} deferred={} detached={} detached-runs={} \
+                     commits={} aborts={}",
+                    s.sends,
+                    s.events_generated,
+                    e.notifications,
+                    s.condition_evals,
+                    s.condition_true,
+                    s.actions_run,
+                    e.immediate,
+                    e.deferred,
+                    e.detached,
+                    s.detached_runs,
+                    s.commits,
+                    s.aborts
+                ))
+            }
+            [j] if j == "json" => db.metrics_json(),
+            _ => Err(ObjectError::App("stats [json]".into())),
+        },
+        "trace" => cmd_trace(db, args),
+        "metrics" => match args {
+            [] => Ok(db.metrics_prometheus()),
+            [j] if j == "json" => db.metrics_json(),
+            _ => Err(ObjectError::App("metrics [json]".into())),
+        },
         other => Err(ObjectError::App(format!(
             "unknown command `{other}` (try `help`)"
         ))),
+    }
+}
+
+fn cmd_trace(db: &mut Database, args: &[String]) -> Result<String> {
+    let tel = db.telemetry();
+    match args.first().map(String::as_str) {
+        Some("on") => {
+            tel.set_enabled(true);
+            tel.set_tracing(true);
+            Ok("tracing on (telemetry recording enabled)".into())
+        }
+        Some("off") => {
+            tel.set_tracing(false);
+            Ok("tracing off".into())
+        }
+        Some("dump") => {
+            let n = match args.get(1) {
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| ObjectError::App(format!("trace dump: bad count `{s}`")))?,
+                None => 20,
+            };
+            let records = tel.trace_dump(n);
+            if records.is_empty() {
+                return Ok("trace buffer is empty (is tracing on?)".into());
+            }
+            Ok(records
+                .iter()
+                .map(|r| {
+                    format!(
+                        "#{:<6} t={:<8} {:<20} {:<10} {}",
+                        r.seq,
+                        r.at,
+                        r.stage.name(),
+                        r.value,
+                        r.subject
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        _ => Err(ObjectError::App("trace on|off|dump [n]".into())),
     }
 }
 
@@ -444,7 +506,10 @@ mod tests {
         run(&mut db, &format!("send {oid_line} Setprice 95.5"));
         assert_eq!(run(&mut db, &format!("get {oid_line} price")), "95.5");
         let rules = run(&mut db, "rules");
-        assert!(rules.contains("Watch (enabled=true, triggered=1, actions=1)"), "{rules}");
+        assert!(
+            rules.contains("Watch (enabled=true, triggered=1, actions=1)"),
+            "{rules}"
+        );
         let q = run(&mut db, "query Stock where price > 90");
         assert!(q.starts_with("1 match(es):"), "{q}");
         let q = run(&mut db, "query Stock where price > 100");
@@ -461,7 +526,9 @@ mod tests {
             r#"rule NoSet when "end Acct::Setbal(float v)" do abort"#,
         );
         run(&mut db, "subscribe-class Acct NoSet");
-        let err = run_command(&mut db, &format!("send {a} Setbal 5")).err().unwrap();
+        let err = run_command(&mut db, &format!("send {a} Setbal 5"))
+            .err()
+            .unwrap();
         assert!(err.is_abort());
         assert_eq!(run(&mut db, &format!("get {a} bal")), "0");
         run(&mut db, "disable NoSet");
@@ -484,6 +551,46 @@ mod tests {
         ] {
             assert!(run_command(&mut db, bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn stats_and_metrics_commands() {
+        let mut db = shell_db();
+        db.telemetry().set_enabled(true);
+        run(&mut db, "class Stock reactive price:float");
+        let s = run(&mut db, "new Stock");
+        run(&mut db, &format!("send {s} Setprice 10"));
+        let stats = run(&mut db, "stats");
+        assert!(stats.contains("sends=1"), "{stats}");
+        assert!(stats.contains("commits="), "{stats}");
+        let json = run(&mut db, "stats json");
+        assert!(json.contains("\"sends\": 1"), "{json}");
+        assert!(json.contains("\"telemetry\""), "{json}");
+        let prom = run(&mut db, "metrics");
+        assert!(prom.contains("sentinel_sends_total 1"), "{prom}");
+        assert!(
+            prom.contains("sentinel_stage_total{stage=\"method_send\"} 1"),
+            "{prom}"
+        );
+        assert_eq!(run(&mut db, "metrics json"), json);
+        assert!(run_command(&mut db, "stats banana").is_err());
+    }
+
+    #[test]
+    fn trace_commands() {
+        let mut db = shell_db();
+        run(&mut db, "class Stock reactive price:float");
+        let s = run(&mut db, "new Stock");
+        assert!(run(&mut db, "trace dump").contains("empty"));
+        run(&mut db, "trace on");
+        run(&mut db, &format!("send {s} Setprice 10"));
+        let dump = run(&mut db, "trace dump 5");
+        assert!(dump.contains("method_send"), "{dump}");
+        run(&mut db, "trace off");
+        let before = db.telemetry().ring().recorded();
+        run(&mut db, &format!("send {s} Setprice 11"));
+        assert_eq!(db.telemetry().ring().recorded(), before);
+        assert!(run_command(&mut db, "trace sideways").is_err());
     }
 
     #[test]

@@ -51,10 +51,13 @@ fn run_sentinel(updates: &[Update]) -> Outcome {
             .event_method("Set-Salary", &[("x", TypeTag::Float)], EventSpec::End),
     )
     .unwrap();
-    db.define_class(ClassDecl::reactive("Manager").parent("Employee")).unwrap();
+    db.define_class(ClassDecl::reactive("Manager").parent("Employee"))
+        .unwrap();
     db.register_setter("Employee", "Set-Salary", "sal").unwrap();
 
-    let mike = db.create_with("Manager", &[("sal", Value::Float(100.0))]).unwrap();
+    let mike = db
+        .create_with("Manager", &[("sal", Value::Float(100.0))])
+        .unwrap();
     let emps: Vec<Oid> = (0..EMPLOYEES)
         .map(|_| {
             db.create_with(
@@ -112,8 +115,10 @@ fn run_ode(updates: &[Update]) -> Outcome {
             .method("Set-Salary", &[("x", TypeTag::Float)]),
     )
     .unwrap();
-    ode.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
-    ode.register_setter("Employee", "Set-Salary", "sal").unwrap();
+    ode.define_class(ClassDecl::new("Manager").parent("Employee"))
+        .unwrap();
+    ode.register_setter("Employee", "Set-Salary", "sal")
+        .unwrap();
     ode.declare_constraint(
         "Employee",
         "below-mgr",
@@ -186,8 +191,10 @@ fn run_adam(updates: &[Update]) -> Outcome {
             .method("Set-Salary", &[("x", TypeTag::Float)]),
     )
     .unwrap();
-    adam.define_class(ClassDecl::new("Manager").parent("Employee")).unwrap();
-    adam.register_setter("Employee", "Set-Salary", "sal").unwrap();
+    adam.define_class(ClassDecl::new("Manager").parent("Employee"))
+        .unwrap();
+    adam.register_setter("Employee", "Set-Salary", "sal")
+        .unwrap();
     let ev = adam.define_event("Set-Salary", EventModifier::End);
     adam.add_rule(AdamRuleSpec {
         name: "emp-check".into(),
@@ -259,10 +266,22 @@ fn three_engines_agree_on_salary_check() {
         let sentinel = run_sentinel(&w);
         let ode = run_ode(&w);
         let adam = run_adam(&w);
-        assert_eq!(sentinel.0, ode.0, "accept/reject parity sentinel vs ode (seed {seed})");
-        assert_eq!(sentinel.0, adam.0, "accept/reject parity sentinel vs adam (seed {seed})");
-        assert_eq!(sentinel.1, ode.1, "final salaries sentinel vs ode (seed {seed})");
-        assert_eq!(sentinel.1, adam.1, "final salaries sentinel vs adam (seed {seed})");
+        assert_eq!(
+            sentinel.0, ode.0,
+            "accept/reject parity sentinel vs ode (seed {seed})"
+        );
+        assert_eq!(
+            sentinel.0, adam.0,
+            "accept/reject parity sentinel vs adam (seed {seed})"
+        );
+        assert_eq!(
+            sentinel.1, ode.1,
+            "final salaries sentinel vs ode (seed {seed})"
+        );
+        assert_eq!(
+            sentinel.1, adam.1,
+            "final salaries sentinel vs adam (seed {seed})"
+        );
         assert_eq!(sentinel.2, ode.2, "manager salary (seed {seed})");
         assert_eq!(sentinel.2, adam.2, "manager salary (seed {seed})");
         // And the invariant actually holds at the end.

@@ -1,8 +1,8 @@
 //! Failure-injection tests: torn log tails, missing code after
 //! recovery, detector-state caps, and cascade runaways.
 
-use sentinel::prelude::*;
 use sentinel::db::event;
+use sentinel::prelude::*;
 use std::io::Write;
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -53,7 +53,11 @@ fn recovered_rule_without_code_fails_cleanly_until_rebound() {
         db.register_action("custom-act", |_, _| Ok(()));
         db.add_class_rule(
             "X",
-            RuleDef::new("NeedsCode", event("end X::Set(int v)").unwrap(), "custom-act"),
+            RuleDef::new(
+                "NeedsCode",
+                event("end X::Set(int v)").unwrap(),
+                "custom-act",
+            ),
         )
         .unwrap();
         o = db.create("X").unwrap();
@@ -83,20 +87,20 @@ fn detector_caps_bound_state_under_flood() {
         max_buffered_per_node: 16,
     };
     let mut db = Database::with_config(cfg).unwrap();
-    db.define_class(
-        ClassDecl::reactive("L").event_method("m", &[], EventSpec::End),
-    )
-    .unwrap();
-    db.define_class(
-        ClassDecl::reactive("R").event_method("n", &[], EventSpec::End),
-    )
-    .unwrap();
-    db.register_method("L", "m", |_, _, _| Ok(Value::Null)).unwrap();
-    db.register_method("R", "n", |_, _, _| Ok(Value::Null)).unwrap();
+    db.define_class(ClassDecl::reactive("L").event_method("m", &[], EventSpec::End))
+        .unwrap();
+    db.define_class(ClassDecl::reactive("R").event_method("n", &[], EventSpec::End))
+        .unwrap();
+    db.register_method("L", "m", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("R", "n", |_, _, _| Ok(Value::Null))
+        .unwrap();
     db.register_action("ok", |_, _| Ok(()));
     db.add_rule(RuleDef::new(
         "flood",
-        event("end L::m()").unwrap().and(event("end R::n()").unwrap()),
+        event("end L::m()")
+            .unwrap()
+            .and(event("end R::n()").unwrap()),
         "ok",
     ))
     .unwrap();
@@ -120,8 +124,10 @@ fn abort_restores_consumed_detector_state() {
             .event_method("Second", &[], EventSpec::End),
     )
     .unwrap();
-    db.register_method("A", "First", |_, _, _| Ok(Value::Null)).unwrap();
-    db.register_method("A", "Second", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_method("A", "First", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("A", "Second", |_, _, _| Ok(Value::Null))
+        .unwrap();
     db.register_action("hit", |w, f| {
         let o = f.occurrence.constituents[0].oid;
         let n = w.get_attr(o, "hits")?.as_int()?;
@@ -131,7 +137,9 @@ fn abort_restores_consumed_detector_state() {
         "A",
         RuleDef::new(
             "seq",
-            event("end A::First()").unwrap().then(event("end A::Second()").unwrap()),
+            event("end A::First()")
+                .unwrap()
+                .then(event("end A::Second()").unwrap()),
             "hit",
         )
         .context(ParamContext::Chronicle),

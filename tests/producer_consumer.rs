@@ -11,20 +11,24 @@ use sentinel::prelude::*;
 #[test]
 fn producer_consumer_pipeline() {
     let mut db = Database::new();
-    db.define_class(
-        ClassDecl::reactive("Object1")
-            .event_method("m1", &[("x", TypeTag::Int)], EventSpec::End),
-    )
+    db.define_class(ClassDecl::reactive("Object1").event_method(
+        "m1",
+        &[("x", TypeTag::Int)],
+        EventSpec::End,
+    ))
     .unwrap();
-    db.define_class(
-        ClassDecl::reactive("Object2")
-            .event_method("m2", &[("y", TypeTag::Int)], EventSpec::End),
-    )
+    db.define_class(ClassDecl::reactive("Object2").event_method(
+        "m2",
+        &[("y", TypeTag::Int)],
+        EventSpec::End,
+    ))
     .unwrap();
     db.define_class(ClassDecl::new("Sink").attr("sum", TypeTag::Int))
         .unwrap();
-    db.register_method("Object1", "m1", |_, _, _| Ok(Value::Null)).unwrap();
-    db.register_method("Object2", "m2", |_, _, _| Ok(Value::Null)).unwrap();
+    db.register_method("Object1", "m1", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("Object2", "m2", |_, _, _| Ok(Value::Null))
+        .unwrap();
 
     let o1 = db.create("Object1").unwrap();
     let o2 = db.create("Object2").unwrap();
@@ -41,7 +45,8 @@ fn producer_consumer_pipeline() {
     let e1_and_e2 = event("end Object1::m1(int x)")
         .unwrap()
         .and(event("end Object2::m2(int y)").unwrap());
-    db.add_rule(RuleDef::new("R1", e1_and_e2, "consume")).unwrap();
+    db.add_rule(RuleDef::new("R1", e1_and_e2, "consume"))
+        .unwrap();
     db.subscribe(o1, "R1").unwrap();
     db.subscribe(o2, "R1").unwrap();
 
@@ -76,14 +81,22 @@ fn reactive_class_dual_interface() {
     });
     db.add_class_rule(
         "Cell",
-        RuleDef::new("Observe", event("end Cell::Swap(int new)").unwrap(), "observe"),
+        RuleDef::new(
+            "Observe",
+            event("end Cell::Swap(int new)").unwrap(),
+            "observe",
+        ),
     )
     .unwrap();
 
     let c = db.create("Cell").unwrap();
     let old = db.send(c, "Swap", &[Value::Int(7)]).unwrap();
     assert_eq!(old, Value::Int(0), "synchronous result");
-    assert_eq!(db.get_attr(c, "observed").unwrap(), Value::Int(7), "asynchronous event");
+    assert_eq!(
+        db.get_attr(c, "observed").unwrap(),
+        Value::Int(7),
+        "asynchronous event"
+    );
 }
 
 /// The E1 capability matrix: what each engine's architecture can
@@ -103,22 +116,22 @@ fn capability_matrix_cross_check() {
 
     // Sentinel: demonstrate the capabilities positively.
     let mut db = Database::new();
-    db.define_class(
-        ClassDecl::reactive("A").event_method("m", &[], EventSpec::End),
-    )
-    .unwrap();
-    db.define_class(
-        ClassDecl::reactive("B").event_method("n", &[], EventSpec::End),
-    )
-    .unwrap();
-    db.register_method("A", "m", |_, _, _| Ok(Value::Null)).unwrap();
-    db.register_method("B", "n", |_, _, _| Ok(Value::Null)).unwrap();
+    db.define_class(ClassDecl::reactive("A").event_method("m", &[], EventSpec::End))
+        .unwrap();
+    db.define_class(ClassDecl::reactive("B").event_method("n", &[], EventSpec::End))
+        .unwrap();
+    db.register_method("A", "m", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("B", "n", |_, _, _| Ok(Value::Null))
+        .unwrap();
     let a = db.create("A").unwrap();
     let b = db.create("B").unwrap();
     // Runtime rule addition over pre-existing instances, inter-class
     // composite event, instance-level subscription — all at once.
     db.register_action("ok", |_, _| Ok(()));
-    let cross = event("end A::m()").unwrap().and(event("end B::n()").unwrap());
+    let cross = event("end A::m()")
+        .unwrap()
+        .and(event("end B::n()").unwrap());
     db.add_rule(RuleDef::new("Cross", cross, "ok")).unwrap();
     db.subscribe(a, "Cross").unwrap();
     db.subscribe(b, "Cross").unwrap();
@@ -148,7 +161,8 @@ fn rule_sharing_across_classes() {
         })
         .unwrap();
     }
-    db.define_class(ClassDecl::new("Ops").attr("alerts", TypeTag::Int)).unwrap();
+    db.define_class(ClassDecl::new("Ops").attr("alerts", TypeTag::Int))
+        .unwrap();
     let ops = db.create("Ops").unwrap();
     db.register_action("alert", move |w, _| {
         let n = w.get_attr(ops, "alerts")?.as_int()?;

@@ -12,7 +12,7 @@ use sentinel::events::{
     PrimitiveEventSpec, PrimitiveOccurrence,
 };
 use sentinel::object::{ClassDecl, ClassRegistry, Oid, TypeTag, Value};
-use sentinel::prelude::{DbConfig, Database, EventSpec, RuleDef, ACTION_NOOP};
+use sentinel::prelude::{Database, DbConfig, EventSpec, RuleDef, ACTION_NOOP};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------

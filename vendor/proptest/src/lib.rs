@@ -1,0 +1,599 @@
+//! Offline shim of `proptest`: random generate-and-assert property
+//! testing with the strategy surface this workspace uses.
+//!
+//! Differences from upstream, by design:
+//! * **No shrinking.** A failing case panics with the case number and
+//!   the per-test seed; reproduce by rerunning the test (seeds are
+//!   derived deterministically from the test's module path, or from
+//!   `PROPTEST_SEED` when set).
+//! * `prop_assert*` are plain `assert*` — failures panic instead of
+//!   returning `Err`.
+//! * Regex strategies implement the subset actually used: literal
+//!   chars, `.`, `[...]` classes with ranges, and `{m,n}` repetition.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator driving all strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from a test's module path, or `PROPTEST_SEED` when set.
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or(0xDEFA117),
+            // FNV-1a over the test name: stable across runs and rustc
+            // versions, unique per test.
+            Err(_) => name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100000001b3)
+            }),
+        };
+        Self::seed_from_u64(seed)
+    }
+
+    /// SplitMix64-expanded seeding.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Test-loop configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Override the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Box a strategy (used by `prop_oneof!` for type erasure).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// The identity strategy: always yields a clone of the value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from boxed alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+// --- any::<T>() -------------------------------------------------------
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix small magnitudes with full-range values so both
+                // boundary and typical cases appear.
+                match rng.below(4) {
+                    0 => (rng.below(17) as i64 - 8) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.unit() - 0.5) * 2e9
+    }
+}
+
+// --- ranges -----------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+// --- tuples -----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+// --- regex-ish string strategies --------------------------------------
+
+/// One parsed atom of the mini-regex grammar.
+enum Atom {
+    Literal(char),
+    AnyChar,
+    Class(Vec<(char, char)>),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                while let Some(c) = chars.next() {
+                    if c == ']' {
+                        break;
+                    }
+                    if c == '-' {
+                        // A range if a start is pending and an end
+                        // follows; a literal dash otherwise.
+                        if let (Some(start), Some(&end)) = (pending, chars.peek()) {
+                            if end != ']' {
+                                chars.next();
+                                ranges.push((start, end));
+                                pending = None;
+                                continue;
+                            }
+                        }
+                        if let Some(p) = pending.take() {
+                            ranges.push((p, p));
+                        }
+                        pending = Some('-');
+                        continue;
+                    }
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(c);
+                }
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            c => Atom::Literal(c),
+        };
+        // Optional {m,n} / {m} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse_pattern(self) {
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => {
+                        // Printable ASCII mostly, with occasional
+                        // arbitrary Unicode to probe robustness.
+                        if rng.below(8) == 0 {
+                            loop {
+                                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                                    out.push(c);
+                                    break;
+                                }
+                            }
+                        } else {
+                            out.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (a, b) in ranges {
+                            let size = (*b as u64) - (*a as u64) + 1;
+                            if pick < size {
+                                out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= size;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// --- collections ------------------------------------------------------
+
+/// Length specifications accepted by [`collection::vec`].
+pub trait LenRange {
+    /// Draw a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl LenRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+impl LenRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+impl LenRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{LenRange, Strategy, TestRng};
+
+    /// A vector whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy, L: LenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: LenRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The conventional glob import.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// --- macros -----------------------------------------------------------
+
+/// Uniform choice among strategies yielding a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a property (panics on failure in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` looping over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $pat = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest shim: case {case}/{} of {} failed (set PROPTEST_SEED to vary)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..200 {
+            let ident = Strategy::generate(&"[A-Za-z][A-Za-z0-9_-]{0,20}", &mut rng);
+            assert!(!ident.is_empty() && ident.len() <= 21);
+            let first = ident.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "bad first char in {ident:?}");
+            for c in ident.chars().skip(1) {
+                assert!(
+                    c.is_ascii_alphanumeric() || c == '_' || c == '-',
+                    "bad char {c:?} in {ident:?}"
+                );
+            }
+            let short = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&short.len()));
+            assert!(short.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires patterns, strategies, and config together.
+        #[test]
+        fn macro_generates_cases(x in 0i64..10, flip in any::<bool>(), v in prop::collection::vec(0u8..4, 0..9)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 4));
+            let _ = flip;
+        }
+
+        /// prop_oneof and prop_map compose.
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u64..5).prop_map(|n| n as i64),
+            Just(-1i64),
+        ]) {
+            prop_assert!(v == -1 || (0..5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the narrow serde surface it actually uses: derived
+//! `Serialize`/`Deserialize` on plain structs and enums, serialized
+//! through a JSON value model that `serde_json` (the sibling shim)
+//! renders and parses. The trait signatures are deliberately simpler
+//! than upstream serde's visitor architecture — both macros and traits
+//! are defined here, so they only have to agree with each other.
+//!
+//! Encoding conventions match `serde_json`'s defaults so that data
+//! written by a real-serde build would be readable by this one and
+//! vice versa:
+//! * named-field structs -> objects
+//! * newtype structs -> the inner value
+//! * tuple structs (arity > 1) -> arrays
+//! * unit enum variants -> `"Variant"`
+//! * newtype variants -> `{"Variant": value}`
+//! * tuple variants -> `{"Variant": [..]}`
+//! * struct variants -> `{"Variant": {..}}`
+//! * `Option`: `None` -> `null`, `Some(v)` -> `v`
+//! * non-finite floats -> `null`
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON data model shared by the serde and serde_json shims.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A JSON number that parsed as a signed integer.
+    I64(i64),
+    /// A JSON number too large for `i64` but fitting `u64`.
+    U64(u64),
+    /// A JSON number with a fraction or exponent.
+    F64(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Array(Vec<Content>),
+    /// A JSON object, in insertion order.
+    Object(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Array(_) => "array",
+            Content::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Construct an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be rendered into the JSON data model.
+pub trait Serialize {
+    /// Convert to the shared JSON value model.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from the shared JSON value model.
+    fn from_content(v: &Content) -> Result<Self, Error>;
+}
+
+fn unexpected(want: &str, got: &Content) -> Error {
+    Error(format!("expected {want}, found {}", got.kind()))
+}
+
+// --- primitives -------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::msg("integer out of range"))?,
+                    other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Content::U64(n) => *n,
+                    Content::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::msg("negative integer for unsigned field"))?,
+                    other => return Err(unexpected("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::F64(f) => Ok(*f),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            other => Err(unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        (*self as f64).to_content()
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        f64::from_content(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Serialize for &str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("single-char string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Null => Ok(()),
+            other => Err(unexpected("null", other)),
+        }
+    }
+}
+
+// --- containers -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Array(items) => items.iter().map(T::from_content).collect(),
+            other => Err(unexpected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sort keys so output is deterministic, like a BTreeMap's.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Content::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_content()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(unexpected("object", other)),
+        }
+    }
+}
+
+macro_rules! impl_deref {
+    ($($ptr:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $ptr<T> {
+            fn to_content(&self) -> Content { (**self).to_content() }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<T> {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                T::from_content(v).map($ptr::new)
+            }
+        }
+    )*};
+}
+impl_deref!(Box, Rc, Arc);
+
+// Shared-slice forms used for cheap fan-out (upstream serde's `rc`
+// feature). The blanket `$ptr<T>` impls above require `T: Sized`, so
+// these do not overlap.
+macro_rules! impl_rc_unsized {
+    ($($ptr:ident),*) => {$(
+        impl Deserialize for $ptr<str> {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                String::from_content(v).map($ptr::from)
+            }
+        }
+        impl<T: Deserialize> Deserialize for $ptr<[T]> {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                Vec::<T>::from_content(v).map($ptr::from)
+            }
+        }
+    )*};
+}
+impl_rc_unsized!(Rc, Arc);
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Array(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(v: &Content) -> Result<Self, Error> {
+                match v {
+                    Content::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(unexpected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_numbers_round_trip() {
+        let v: Option<i64> = Some(-5);
+        let c = v.to_content();
+        assert_eq!(Option::<i64>::from_content(&c).unwrap(), v);
+        assert_eq!(u64::from_content(&Content::I64(7)).unwrap(), 7);
+        assert!(u64::from_content(&Content::I64(-7)).is_err());
+    }
+
+    #[test]
+    fn maps_sort_keys() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1i64);
+        m.insert("a".to_string(), 2i64);
+        match m.to_content() {
+            Content::Object(fields) => {
+                assert_eq!(fields[0].0, "a");
+                assert_eq!(fields[1].0, "b");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline shim of serde's derive macros.
+//!
+//! crates.io is unreachable in this build environment, so `syn` and
+//! `quote` are unavailable; the item grammar is parsed directly from
+//! the raw token stream. Supported shapes are exactly what the
+//! workspace uses: non-generic structs (named, tuple, newtype, unit)
+//! and non-generic enums (unit, newtype, tuple, and struct variants).
+//! `#[serde(...)]` attributes are not supported and are rejected
+//! loudly rather than silently ignored.
+//!
+//! Generated code targets the sibling `serde` shim's trait signatures
+//! (`to_content`/`from_content` over `serde::Content`), not upstream
+//! serde's visitor API.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// --- parsing ----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde shim derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Skip leading attributes (including doc comments) and visibility.
+/// Rejects `#[serde(...)]`, which the shim cannot honour.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") {
+                        panic!("serde shim derive: #[serde(...)] attributes are not supported");
+                    }
+                }
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Field names of a `{ name: Type, ... }` body. Types are skipped with
+/// angle-bracket depth tracking so generic arguments' commas do not
+/// terminate a field early.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// --- code generation --------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Content::Null".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::NamedStruct(fields) => object_literal_expr(fields.iter().map(|f| {
+            (
+                f.clone(),
+                format!("::serde::Serialize::to_content(&self.{f})"),
+            )
+        })),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Content::Object(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Object(vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner = object_literal_expr(
+                            fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_content({f})"))),
+                        );
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Object(vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn object_literal_expr(fields: impl Iterator<Item = (String, String)>) -> String {
+    let entries: Vec<String> = fields
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Content::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!(
+            "match v {{\n\
+             ::serde::Content::Null => Ok({name}),\n\
+             other => Err(::serde::Error::msg(format!(\
+             \"expected null for {name}, found {{}}\", other.kind()))),\n}}"
+        ),
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Content::Array(items) if items.len() == {n} => \
+                 Ok({name}({elems})),\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"expected {n}-element array for {name}, found {{}}\", other.kind()))),\n}}",
+                elems = elems.join(", ")
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let inits = named_field_inits(name, fields, "v");
+            format!(
+                "match v {{\n\
+                 ::serde::Content::Object(_) => Ok({name} {{ {inits} }}),\n\
+                 other => Err(::serde::Error::msg(format!(\
+                 \"expected object for {name}, found {{}}\", other.kind()))),\n}}"
+            )
+        }
+        ItemKind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(v: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// `field: from_content(src.get("field")...)?, ...`
+fn named_field_inits(owner: &str, fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content({src}.get(\"{f}\").ok_or_else(|| \
+                 ::serde::Error::msg(\"missing field `{f}` in {owner}\"))?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+            }
+            VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_content(inner)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match inner {{\n\
+                     ::serde::Content::Array(items) if items.len() == {n} => \
+                     Ok({name}::{vname}({elems})),\n\
+                     other => Err(::serde::Error::msg(format!(\
+                     \"expected {n}-element array for {name}::{vname}, found {{}}\", other.kind()))),\n}},\n",
+                    elems = elems.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let inits = named_field_inits(&format!("{name}::{vname}"), fields, "inner");
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match inner {{\n\
+                     ::serde::Content::Object(_) => Ok({name}::{vname} {{ {inits} }}),\n\
+                     other => Err(::serde::Error::msg(format!(\
+                     \"expected object for {name}::{vname}, found {{}}\", other.kind()))),\n}},\n"
+                ));
+            }
+        }
+    }
+    // Avoid an unused-variable warning when every variant is a unit.
+    let inner_bind = if tagged_arms.is_empty() {
+        "_inner"
+    } else {
+        "inner"
+    };
+    format!(
+        "match v {{\n\
+         ::serde::Content::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\
+         other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+         ::serde::Content::Object(fields) if fields.len() == 1 => {{\n\
+         let (tag, {inner_bind}) = &fields[0];\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\
+         other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}},\n\
+         other => Err(::serde::Error::msg(format!(\
+         \"expected variant string or single-key object for {name}, found {{}}\", other.kind()))),\n}}"
+    )
+}

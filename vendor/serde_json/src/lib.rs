@@ -1,0 +1,498 @@
+//! Offline shim of `serde_json`: renders and parses the `Content`
+//! model defined by the sibling `serde` shim.
+//!
+//! Guarantees relied on by the workspace:
+//! * floats are written with Rust's shortest-round-trip `Display`
+//!   (a `.0` is appended to integral floats so they re-parse as
+//!   floats under real serde_json too) and parsed with std's
+//!   correctly rounded `f64::from_str`, so values survive a
+//!   write/read cycle bit-exactly (the WAL and snapshots depend on
+//!   this);
+//! * the parser never panics on malformed input — corrupt WAL tails
+//!   must surface as `Err`, not aborts;
+//! * `to_string` is compact (no whitespace) because the WAL is
+//!   line-framed.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to pretty JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse_document()?;
+    T::from_content(&content).map_err(Error::from)
+}
+
+/// Deserialize from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// --- writer -----------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Content, indent: Option<usize>, depth: usize) {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::F64(f) => write_float(out, *f),
+        Content::Str(s) => write_string(out, s),
+        Content::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // serde_json's default: non-finite floats become null.
+        out.push_str("null");
+        return;
+    }
+    let s = f.to_string();
+    out.push_str(&s);
+    // Keep the value float-typed in JSON: `1` would re-parse as an
+    // integer. Display never produces exponents, so checking for a
+    // decimal point suffices.
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser -----------------------------------------------------------
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let v = self.parse_value(0)?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new(format!(
+                "trailing characters at byte {}",
+                self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{lit}` at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Content, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::new("recursion limit exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null").map(|_| Content::Null),
+            Some(b't') => self.eat_literal("true").map(|_| Content::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|_| Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Array(items));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `]` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Object(fields));
+                        }
+                        _ => {
+                            return Err(Error::new(format!(
+                                "expected `,` or `}}` at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is UTF-8 and we only stopped on ASCII
+                // boundaries, so this slice is valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat_literal("\\u")?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| Error::new("invalid code point"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::new("unpaired surrogate"))?
+                            };
+                            out.push(c);
+                            continue; // parse_hex4 advanced pos already
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new("control character in string"));
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.eat_digits();
+        if int_digits == 0 {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(Error::new("missing digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if self.eat_digits() == 0 {
+                return Err(Error::new("missing exponent digits"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Content::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|e| Error::new(format!("invalid number `{text}`: {e}")))
+    }
+
+    fn eat_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(from_str::<f64>("1.0").unwrap(), 1.0);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\u{1}é\u{1F600}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn float_display_round_trips_exactly() {
+        for f in [0.1, -0.0, 1e12, 123.456e-7, f64::MIN_POSITIVE, f64::MAX] {
+            let json = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&json).unwrap(), f, "json was {json}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![Some(1i64), None, Some(-2)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Option<i64>>>(&json).unwrap(), v);
+        let pretty = String::from_utf8(to_vec_pretty(&v).unwrap()).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Option<i64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        for bad in [
+            "", "{", "[1,", "\"abc", "{\"a\":}", "01", "1.", "nul", "\u{7f}",
+        ] {
+            assert!(from_str::<bool>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}
