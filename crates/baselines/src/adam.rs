@@ -315,11 +315,7 @@ impl AdamEngine {
     /// All instances of a class.
     pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.kernel.registry.id_of(class)?;
-        Ok(self
-            .kernel
-            .store
-            .extent(&self.kernel.registry, id)
-            .collect())
+        Ok(self.kernel.store.extent(&self.kernel.registry, id))
     }
 
     /// Names of all live rules.

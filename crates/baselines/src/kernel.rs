@@ -113,7 +113,7 @@ impl Kernel {
 
     /// Roll back the active transaction.
     pub fn rollback(&mut self) {
-        let _ = self.txn.abort(&mut self.store);
+        let _ = self.txn.abort(&self.store);
     }
 }
 

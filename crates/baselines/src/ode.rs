@@ -118,12 +118,11 @@ impl OdeEngine {
         P: Fn(&mut dyn World, Oid) -> Result<bool> + Send + Sync + 'static,
     {
         let id = self.kernel.registry.id_of(class)?;
-        if self
+        if !self
             .kernel
             .store
             .extent(&self.kernel.registry, id)
-            .next()
-            .is_some()
+            .is_empty()
         {
             return Err(ObjectError::Unsupported(
                 "Ode: constraints are fixed at class-definition time; \
@@ -159,12 +158,11 @@ impl OdeEngine {
         A: Fn(&mut dyn World, Oid) -> Result<()> + Send + Sync + 'static,
     {
         let id = self.kernel.registry.id_of(class)?;
-        if self
+        if !self
             .kernel
             .store
             .extent(&self.kernel.registry, id)
-            .next()
-            .is_some()
+            .is_empty()
         {
             return Err(ObjectError::Unsupported(
                 "Ode: triggers are declared at class-definition time".into(),
@@ -227,11 +225,7 @@ impl OdeEngine {
         });
         self.recompiles += 1;
         // Revalidate every stored instance against the changed class.
-        let instances: Vec<Oid> = self
-            .kernel
-            .store
-            .extent(&self.kernel.registry, id)
-            .collect();
+        let instances: Vec<Oid> = self.kernel.store.extent(&self.kernel.registry, id);
         let n = instances.len();
         self.kernel.txn.begin()?;
         for oid in instances {
@@ -417,11 +411,7 @@ impl OdeEngine {
     /// All instances of a class.
     pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.kernel.registry.id_of(class)?;
-        Ok(self
-            .kernel
-            .store
-            .extent(&self.kernel.registry, id)
-            .collect())
+        Ok(self.kernel.store.extent(&self.kernel.registry, id))
     }
 }
 

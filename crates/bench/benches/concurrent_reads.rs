@@ -1,0 +1,228 @@
+//! Read-only query throughput under concurrency: the session-handle
+//! redesign's headline numbers.
+//!
+//! Baseline: `Mutex<Database>` — every reader serialises on one lock
+//! (what `SharedDatabase` offered). Treatment: `Sentinel` sessions —
+//! readers go straight to the sharded store and never touch the core
+//! lock. Two scenarios:
+//!
+//! * **quiet**: 4 reader threads, no writer. On a multi-core machine
+//!   sessions scale with cores while the mutex serialises; on a single
+//!   core the two tie (both are then CPU-bound on one core).
+//! * **busy writer**: 4 reader threads while a writer periodically holds
+//!   its lock for ~1 ms of maintenance (checkpoint-style work, simulated
+//!   with a sleep so the comparison is core-count independent). Mutex
+//!   readers stall behind every hold; session readers don't notice. This
+//!   is where the redesign's >=2x read throughput shows on any machine.
+//!
+//! The final report prints the busy-writer speedup as a single ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sentinel_db::prelude::*;
+use sentinel_db::{attr, Query};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const THREADS: usize = 4;
+const OBJECTS: usize = 256;
+const QUIET_OPS: usize = 200;
+const BUSY_OPS: usize = 50;
+const WRITER_HOLD: Duration = Duration::from_millis(1);
+const WRITER_GAP: Duration = Duration::from_micros(200);
+
+fn populate() -> (Database, Vec<Oid>) {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::new("Reading")
+            .attr("sensor", TypeTag::Int)
+            .attr("value", TypeTag::Float),
+    )
+    .unwrap();
+    db.create_index("Reading", "value").unwrap();
+    let oids: Vec<Oid> = (0..OBJECTS)
+        .map(|i| {
+            let o = db.create("Reading").unwrap();
+            db.set_attr(o, "sensor", Value::Int(i as i64)).unwrap();
+            db.set_attr(o, "value", Value::Float(i as f64)).unwrap();
+            o
+        })
+        .collect();
+    (db, oids)
+}
+
+/// The per-op read workload: one point lookup plus one indexed range
+/// count, evaluated against any `ObjectView`.
+fn read_op<V: ObjectView>(view: &V, oids: &[Oid], i: usize) {
+    let o = oids[i % oids.len()];
+    black_box(view.view_attr(o, "value").unwrap());
+    let lo = (i % 128) as f64;
+    let q = Query::over("Reading")
+        .range(
+            "value",
+            Some(Value::Float(lo)),
+            Some(Value::Float(lo + 63.0)),
+        )
+        .filter(attr("sensor").gt(Value::Int(-1)));
+    black_box(q.count(view).unwrap());
+}
+
+/// 4 threads, each performing `ops` read ops through a `Mutex<Database>`
+/// (lock per op — the pre-redesign model).
+fn mutex_round(db: &Arc<Mutex<Database>>, oids: &Arc<Vec<Oid>>, ops: usize) {
+    let mut handles = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let db = Arc::clone(db);
+        let oids = Arc::clone(oids);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..ops {
+                let guard = db.lock().unwrap();
+                read_op(&*guard, &oids, t * ops + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// 4 threads, each reading through its own `Session`.
+fn session_round(sentinel: &Sentinel, oids: &Arc<Vec<Oid>>, ops: usize) {
+    let mut handles = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let session = sentinel.session();
+        let oids = Arc::clone(oids);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..ops {
+                read_op(&session, &oids, t * ops + i);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Spawn a maintenance writer that repeatedly holds the exclusive lock
+/// for [`WRITER_HOLD`] (simulated checkpoint work), with a short gap
+/// between holds. Returns (stop flag, join handle).
+fn spawn_writer(
+    hold: impl Fn() + Send + 'static,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let h = std::thread::spawn(move || {
+        while !stop2.load(Ordering::Relaxed) {
+            hold();
+            std::thread::sleep(WRITER_GAP);
+        }
+    });
+    (stop, h)
+}
+
+fn quiet_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent_reads/quiet");
+    g.sample_size(10);
+    {
+        let (db, oids) = populate();
+        let db = Arc::new(Mutex::new(db));
+        let oids = Arc::new(oids);
+        g.bench_function(format!("mutex_database/{THREADS}threads"), |b| {
+            b.iter(|| mutex_round(&db, &oids, QUIET_OPS))
+        });
+    }
+    {
+        let (db, oids) = populate();
+        let sentinel = Sentinel::open(db);
+        let oids = Arc::new(oids);
+        g.bench_function(format!("sentinel_sessions/{THREADS}threads"), |b| {
+            b.iter(|| session_round(&sentinel, &oids, QUIET_OPS))
+        });
+    }
+    g.finish();
+}
+
+fn busy_writer_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("concurrent_reads/busy_writer");
+    g.sample_size(10);
+    {
+        let (db, oids) = populate();
+        let db = Arc::new(Mutex::new(db));
+        let oids = Arc::new(oids);
+        let wdb = Arc::clone(&db);
+        let (stop, writer) = spawn_writer(move || {
+            let _guard = wdb.lock().unwrap();
+            std::thread::sleep(WRITER_HOLD);
+        });
+        g.bench_function(format!("mutex_database/{THREADS}threads"), |b| {
+            b.iter(|| mutex_round(&db, &oids, BUSY_OPS))
+        });
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+    {
+        let (db, oids) = populate();
+        let sentinel = Sentinel::open(db);
+        let oids = Arc::new(oids);
+        let wsentinel = sentinel.clone();
+        let (stop, writer) = spawn_writer(move || {
+            wsentinel.with(|_db| std::thread::sleep(WRITER_HOLD));
+        });
+        g.bench_function(format!("sentinel_sessions/{THREADS}threads"), |b| {
+            b.iter(|| session_round(&sentinel, &oids, BUSY_OPS))
+        });
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+    g.finish();
+}
+
+/// Direct wall-clock comparison under the busy writer, printed as one
+/// ratio so the >=2x claim is visible without comparing columns by eye.
+fn speedup_report(_c: &mut Criterion) {
+    const ROUNDS: usize = 5;
+
+    let (db, oids) = populate();
+    let db = Arc::new(Mutex::new(db));
+    let oids_arc = Arc::new(oids);
+    let wdb = Arc::clone(&db);
+    let (stop, writer) = spawn_writer(move || {
+        let _guard = wdb.lock().unwrap();
+        std::thread::sleep(WRITER_HOLD);
+    });
+    mutex_round(&db, &oids_arc, BUSY_OPS); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        mutex_round(&db, &oids_arc, BUSY_OPS);
+    }
+    let mutex_time = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+
+    let (db, oids) = populate();
+    let sentinel = Sentinel::open(db);
+    let oids_arc = Arc::new(oids);
+    let wsentinel = sentinel.clone();
+    let (stop, writer) = spawn_writer(move || {
+        wsentinel.with(|_db| std::thread::sleep(WRITER_HOLD));
+    });
+    session_round(&sentinel, &oids_arc, BUSY_OPS); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        session_round(&sentinel, &oids_arc, BUSY_OPS);
+    }
+    let session_time = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+
+    let speedup = mutex_time.as_secs_f64() / session_time.as_secs_f64();
+    println!(
+        "concurrent_reads/speedup(busy writer): Mutex<Database> {:?} vs Sentinel sessions {:?} \
+         over {ROUNDS} rounds x {THREADS} threads x {BUSY_OPS} ops => {speedup:.2}x",
+        mutex_time, session_time
+    );
+}
+
+criterion_group!(benches, quiet_reads, busy_writer_reads, speedup_report);
+criterion_main!(benches);

@@ -269,7 +269,8 @@ fn e4(cfg: &Cfg) {
                     db.add_rule(RuleDef::new("shared", expr, "nothing"))
                         .unwrap();
                     for c in 0..classes {
-                        db.subscribe_class(&format!("C{c}"), "shared").unwrap();
+                        db.subscribe(sentinel_db::Target::Class(&format!("C{c}")), "shared")
+                            .unwrap();
                     }
                 } else {
                     // One rule object per class (the duplication the
@@ -641,7 +642,7 @@ fn e9(cfg: &Cfg) {
 
     println!(
         "\n(b) asynchronous detached execution: commit latency with a slow (1 ms) \
-         detached action, inline vs SharedDatabase background executor\n"
+         detached action, inline vs Sentinel background executor\n"
     );
     let mut t = Table::new(&["executor", "commit+send latency", "actions completed"]);
     for background in [false, true] {
@@ -668,7 +669,7 @@ fn e9(cfg: &Cfg) {
         .unwrap();
         let o = db.create("X").unwrap();
         if background {
-            let shared = sentinel_db::SharedDatabase::new(db);
+            let shared = sentinel_db::Sentinel::open(db);
             let d = time_once(|| {
                 for i in 0..20 {
                     shared
@@ -684,7 +685,7 @@ fn e9(cfg: &Cfg) {
                 .unwrap();
             drop(shared);
             t.row(vec![
-                "background (SharedDatabase)".into(),
+                "background (Sentinel)".into(),
                 per_item(d, 20),
                 seen.to_string(),
             ]);

@@ -31,7 +31,7 @@ pub fn sentinel_hot_object(total: usize, hot: usize) -> (Database, Oid) {
     let e = || event("end Hot::Set(float x)").unwrap();
     for i in 0..total {
         let name = format!("r{i}");
-        db.add_rule(RuleDef::new(&name, e(), "nothing").condition("never"))
+        db.add_rule(RuleDef::on(e()).named(&name).when("never").then("nothing"))
             .unwrap();
         if i < hot {
             db.subscribe(hot_obj, &name).unwrap();
@@ -132,7 +132,10 @@ pub fn sentinel_salary(employees: usize) -> SentinelSalary {
         .or(event("end Manager::Set-Salary(float x)").unwrap());
     db.add_class_rule(
         "Employee",
-        RuleDef::new("SalaryCheck", e, ACTION_ABORT).condition("violates"),
+        RuleDef::on(e)
+            .named("SalaryCheck")
+            .when("violates")
+            .then(ACTION_ABORT),
     )
     .unwrap();
     db.reset_stats();
@@ -338,8 +341,10 @@ pub fn dispatch_scenario(kind: DispatchKind) -> (Database, Oid) {
         for i in 0..subscribers {
             let name = format!("s{i}");
             db.add_rule(
-                RuleDef::new(&name, event("end T::Set(float x)").unwrap(), "nothing")
-                    .condition("never"),
+                RuleDef::on(event("end T::Set(float x)").unwrap())
+                    .named(&name)
+                    .when("never")
+                    .then("nothing"),
             )
             .unwrap();
             db.subscribe(obj, &name).unwrap();
@@ -370,11 +375,11 @@ pub fn generator_scenario(methods: usize) -> (Database, Oid, Vec<String>) {
     }
     db.register_action("nothing", |_, _| Ok(()));
     let obj = db.create("G").unwrap();
-    db.add_rule(RuleDef::new(
-        "watch-m0",
-        event("end G::m0()").unwrap(),
-        "nothing",
-    ))
+    db.add_rule(
+        RuleDef::on(event("end G::m0()").unwrap())
+            .named("watch-m0")
+            .then("nothing"),
+    )
     .unwrap();
     db.subscribe(obj, "watch-m0").unwrap();
     db.reset_stats();
@@ -430,8 +435,13 @@ pub fn chain_scenario(
     }
     db.register_action("nothing", |_, _| Ok(()));
     let obj = db.create("C").unwrap();
-    db.add_rule(RuleDef::new("chain", expr, "nothing").context(context))
-        .unwrap();
+    db.add_rule(
+        RuleDef::on(expr)
+            .named("chain")
+            .then("nothing")
+            .context(context),
+    )
+    .unwrap();
     db.subscribe(obj, "chain").unwrap();
     db.reset_stats();
     (db, obj, names)
@@ -472,8 +482,10 @@ pub fn market_scenario(stocks: usize) -> (Database, Vec<Oid>, Oid) {
             let s = db.create("Stock").unwrap();
             let name = format!("Purchase{i}");
             db.add_rule(
-                RuleDef::new(&name, e.clone(), "nothing")
-                    .condition("buy-window")
+                RuleDef::on(e.clone())
+                    .named(&name)
+                    .when("buy-window")
+                    .then("nothing")
                     .context(ParamContext::Recent),
             )
             .unwrap();

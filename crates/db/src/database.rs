@@ -3,7 +3,8 @@
 use crate::catalog::{CatalogSnapshot, CatalogUndo, EventRecord, MetaOp, RuleRecord};
 use crate::config::DbConfig;
 use crate::index::{AttrIndex, IndexId};
-use crate::stats::{DbStats, FullStats};
+use crate::stats::{DbStats, FullStats, SharedDbStats};
+use parking_lot::RwLock;
 use sentinel_events::{EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence};
 use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
@@ -40,18 +41,49 @@ pub mod meta {
     pub const RULE: &str = "Rule";
 }
 
+/// What a rule subscribes to: one reactive object (instance-level
+/// monitoring, paper Figure 10) or every instance of a reactive class,
+/// present and future (class-level monitoring, Figure 9).
+///
+/// `Oid` and `&str` convert into a `Target`, so most call sites never
+/// name the enum: `db.subscribe(oid, "R")`, `db.subscribe("Class", "R")`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target<'a> {
+    /// One reactive object.
+    Object(Oid),
+    /// All instances of a reactive class, present and future.
+    Class(&'a str),
+}
+
+impl From<Oid> for Target<'static> {
+    fn from(oid: Oid) -> Self {
+        Target::Object(oid)
+    }
+}
+
+impl<'a> From<&'a str> for Target<'a> {
+    fn from(class: &'a str) -> Self {
+        Target::Class(class)
+    }
+}
+
 /// The Sentinel database: schema + objects + events + rules +
 /// transactions, behind one handle.
 pub struct Database {
     registry: ClassRegistry,
-    store: ObjectStore,
+    /// Copy of the schema published for concurrent reader sessions,
+    /// refreshed after every DDL (`define_class`). Readers never touch
+    /// the owned `registry`, which stays `&self`-borrowable for the
+    /// ~everything that already depends on `World::registry()`.
+    published_registry: Arc<RwLock<ClassRegistry>>,
+    store: Arc<ObjectStore>,
     methods: MethodTable,
-    clock: LogicalClock,
+    clock: Arc<LogicalClock>,
     engine: RuleEngine,
     txn: TxnManager,
     wal: Option<Wal>,
     config: DbConfig,
-    stats: DbStats,
+    stats: Arc<SharedDbStats>,
     depth: usize,
     /// Logical-clock value when the active transaction began; abort
     /// prunes detector state newer than this.
@@ -59,7 +91,7 @@ pub struct Database {
     /// Run detached firings inline at commit (default); `false` defers
     /// them to an external executor.
     inline_detached: bool,
-    indexes: Vec<AttrIndex>,
+    indexes: Arc<RwLock<Vec<AttrIndex>>>,
     /// Objects mutated by the active transaction, re-indexed on abort.
     txn_touched: Vec<Oid>,
     events: HashMap<String, EventRecord>,
@@ -136,19 +168,20 @@ impl Database {
         engine.set_detector_caps(config.detector_caps);
         engine.set_telemetry(telemetry.clone());
         Ok(Database {
+            published_registry: Arc::new(RwLock::new(registry.clone())),
             registry,
-            store,
+            store: Arc::new(store),
             methods: MethodTable::new(),
-            clock: LogicalClock::new(),
+            clock: Arc::new(LogicalClock::new()),
             engine,
             txn: TxnManager::new(),
             wal,
             config,
-            stats: DbStats::default(),
+            stats: Arc::new(SharedDbStats::default()),
             depth: 0,
             txn_start_clock: 0,
             inline_detached: true,
-            indexes: Vec::new(),
+            indexes: Arc::new(RwLock::new(Vec::new())),
             txn_touched: Vec::new(),
             events: HashMap::new(),
             catalog_undo: Vec::new(),
@@ -219,6 +252,7 @@ impl Database {
     /// once logged and is not undone by a surrounding abort.
     pub fn define_class(&mut self, decl: ClassDecl) -> Result<ClassId> {
         let id = self.registry.define(decl.clone())?;
+        self.publish_registry();
         if self.wal.is_some() {
             self.with_auto_txn(|db| {
                 let payload = serde_json::to_string(&decl)
@@ -232,6 +266,26 @@ impl Database {
             })?;
         }
         Ok(id)
+    }
+
+    /// Refresh the schema copy published to concurrent reader sessions.
+    fn publish_registry(&self) {
+        *self.published_registry.write() = self.registry.clone();
+    }
+
+    /// The shared read-side state captured by [`Sentinel`](crate::Sentinel)
+    /// at open time: everything a reader session needs without the core
+    /// lock.
+    pub(crate) fn read_handles(&self) -> crate::session::ReadHandles {
+        crate::session::ReadHandles {
+            store: Arc::clone(&self.store),
+            registry: Arc::clone(&self.published_registry),
+            indexes: Arc::clone(&self.indexes),
+            clock: Arc::clone(&self.clock),
+            stats: Arc::clone(&self.stats),
+            engine: self.engine.counters(),
+            telemetry: Arc::clone(&self.telemetry),
+        }
     }
 
     /// Register the body of `class::method`.
@@ -324,9 +378,16 @@ impl Database {
     /// Execute queued detached firings now (each in its own
     /// transaction); returns how many ran.
     pub fn run_pending_detached(&mut self) -> Result<u64> {
-        let before = self.stats.detached_runs;
+        let before = self
+            .stats
+            .detached_runs
+            .load(std::sync::atomic::Ordering::Relaxed);
         self.run_detached()?;
-        Ok(self.stats.detached_runs - before)
+        Ok(self
+            .stats
+            .detached_runs
+            .load(std::sync::atomic::Ordering::Relaxed)
+            - before)
     }
 
     /// Abort the active transaction: undo object mutations and catalog
@@ -376,7 +437,7 @@ impl Database {
         self.log(LogRecord::Commit { txn: id })?;
         self.catalog_undo.clear();
         self.txn_touched.clear();
-        self.stats.commits += 1;
+        SharedDbStats::bump(&self.stats.commits);
         self.telemetry
             .observe_timer(Stage::TxnCommit, self.clock.now(), commit_timer, || {
                 format!("txn {id}")
@@ -400,7 +461,7 @@ impl Database {
                 });
             }
             for f in batch {
-                self.stats.detached_runs += 1;
+                SharedDbStats::bump(&self.stats.detached_runs);
                 self.telemetry
                     .hit(Stage::DetachedRun, self.clock.now(), || {
                         f.firing.rule_name.to_string()
@@ -421,7 +482,7 @@ impl Database {
         for u in std::mem::take(&mut self.catalog_undo).into_iter().rev() {
             self.apply_catalog_undo(u);
         }
-        if let Ok(id) = self.txn.abort(&mut self.store) {
+        if let Ok(id) = self.txn.abort(&self.store) {
             let _ = self.log(LogRecord::Abort { txn: id });
         }
         self.engine.discard_pending();
@@ -445,7 +506,7 @@ impl Database {
                 r.detector.prune_newer_than(ts);
             }
         }
-        self.stats.aborts += 1;
+        SharedDbStats::bump(&self.stats.aborts);
         self.telemetry.hit(Stage::TxnAbort, self.clock.now(), || {
             String::from("rollback")
         });
@@ -591,7 +652,7 @@ impl Database {
     /// All instances of a class (subclass instances included).
     pub fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.registry.id_of(class)?;
-        Ok(self.store.extent(&self.registry, id).collect())
+        Ok(self.store.extent(&self.registry, id))
     }
 
     /// Send a message: the externally initiated dispatch entry point.
@@ -604,7 +665,7 @@ impl Database {
     fn create_internal(&mut self, class: ClassId) -> Result<Oid> {
         let oid = self.store.create(&self.registry, class);
         self.txn.record(UndoOp::Create { oid })?;
-        let slots = self.store.state(oid)?.slots.clone();
+        let slots = self.store.with_state(oid, |st| st.slots.clone())?;
         let class_name = self.registry.get(class).name.clone();
         let txn = self.txn.current().expect("in txn");
         self.log(LogRecord::Create {
@@ -642,7 +703,7 @@ impl Database {
             old,
             new: value,
         })?;
-        if !self.indexes.is_empty() {
+        if !self.indexes.read().is_empty() {
             self.index_refresh_attr(oid, class, attr)?;
             self.txn_touched.push(oid);
         }
@@ -662,7 +723,7 @@ impl Database {
             class: class_name,
             slots,
         })?;
-        for idx in &mut self.indexes {
+        for idx in self.indexes.write().iter_mut() {
             idx.remove(oid);
         }
         self.txn_touched.push(oid);
@@ -686,7 +747,7 @@ impl Database {
     }
 
     fn dispatch_inner(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
-        self.stats.sends += 1;
+        SharedDbStats::bump(&self.stats.sends);
         self.telemetry.hit(Stage::MethodSend, self.clock.now(), || {
             format!("{receiver}.{method}")
         });
@@ -764,7 +825,7 @@ impl Database {
         modifier: EventModifier,
         params: Arc<[Value]>,
     ) -> Result<()> {
-        self.stats.events_generated += 1;
+        SharedDbStats::bump(&self.stats.events_generated);
         let occ = PrimitiveOccurrence {
             at: self.clock.tick(),
             oid,
@@ -787,7 +848,7 @@ impl Database {
     /// Evaluate a triggered rule's condition and, if it holds, run its
     /// action. Bodies receive the database itself as their `World`.
     fn execute_firing(&mut self, f: &ReadyFiring) -> Result<()> {
-        self.stats.condition_evals += 1;
+        SharedDbStats::bump(&self.stats.condition_evals);
         if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
             r.stats.condition_evals += 1;
         }
@@ -807,12 +868,12 @@ impl Database {
         if !held {
             return Ok(());
         }
-        self.stats.condition_true += 1;
+        SharedDbStats::bump(&self.stats.condition_true);
         if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
             r.stats.condition_true += 1;
             r.stats.actions_run += 1;
         }
-        self.stats.actions_run += 1;
+        SharedDbStats::bump(&self.stats.actions_run);
         if self.depth >= self.config.max_cascade_depth {
             return Err(ObjectError::CascadeDepthExceeded {
                 limit: self.config.max_cascade_depth,
@@ -895,7 +956,8 @@ impl Database {
 
     /// Create a rule object. Its condition/action bodies must already be
     /// registered. Returns the rule object's oid.
-    pub fn add_rule(&mut self, mut def: RuleDef) -> Result<Oid> {
+    pub fn add_rule(&mut self, def: impl Into<RuleDef>) -> Result<Oid> {
+        let mut def = def.into();
         if def.context == ParamContext::default() {
             def.context = self.config.default_context;
         }
@@ -921,10 +983,11 @@ impl Database {
     /// Declare a class-level rule (paper Figure 9): the rule is created
     /// and subscribed to the whole class, so it applies to every present
     /// and future instance (and instances of subclasses).
-    pub fn add_class_rule(&mut self, class: &str, def: RuleDef) -> Result<Oid> {
+    pub fn add_class_rule(&mut self, class: &str, def: impl Into<RuleDef>) -> Result<Oid> {
+        let def = def.into();
         let name = def.name.clone();
         let oid = self.add_rule(def)?;
-        self.subscribe_class(class, &name)?;
+        self.subscribe_class_inner(class, &name)?;
         Ok(oid)
     }
 
@@ -1051,9 +1114,28 @@ impl Database {
     // Subscriptions
     // ------------------------------------------------------------------
 
+    /// Connect a rule to a [`Target`] — one reactive object or a whole
+    /// reactive class. `Oid` and `&str` convert into [`Target`], so
+    /// `db.subscribe(oid, "R")` and `db.subscribe("Class", "R")` both
+    /// read naturally.
+    pub fn subscribe<'a>(&mut self, target: impl Into<Target<'a>>, rule: &str) -> Result<()> {
+        match target.into() {
+            Target::Object(oid) => self.subscribe_object_inner(oid, rule),
+            Target::Class(class) => self.subscribe_class_inner(class, rule),
+        }
+    }
+
+    /// Reverse of [`subscribe`](Self::subscribe), for either target kind.
+    pub fn unsubscribe<'a>(&mut self, target: impl Into<Target<'a>>, rule: &str) -> Result<()> {
+        match target.into() {
+            Target::Object(oid) => self.unsubscribe_object_inner(oid, rule),
+            Target::Class(class) => self.unsubscribe_class_inner(class, rule),
+        }
+    }
+
     /// `object.Subscribe(rule)` — the rule starts consuming the events
     /// generated by this (reactive) object.
-    pub fn subscribe(&mut self, object: Oid, rule: &str) -> Result<()> {
+    fn subscribe_object_inner(&mut self, object: Oid, rule: &str) -> Result<()> {
         let id = self.engine.id_of(rule)?;
         let class = self.store.class_of(object)?;
         if self.registry.get(class).reactivity != Reactivity::Reactive {
@@ -1076,8 +1158,7 @@ impl Database {
         })
     }
 
-    /// Reverse of [`subscribe`](Self::subscribe).
-    pub fn unsubscribe(&mut self, object: Oid, rule: &str) -> Result<()> {
+    fn unsubscribe_object_inner(&mut self, object: Oid, rule: &str) -> Result<()> {
         let id = self.engine.id_of(rule)?;
         let rule_name = rule.to_string();
         self.with_auto_txn(move |db| {
@@ -1093,9 +1174,7 @@ impl Database {
         })
     }
 
-    /// Subscribe a rule to all instances of a class, present and future
-    /// (class-level rule association).
-    pub fn subscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+    fn subscribe_class_inner(&mut self, class: &str, rule: &str) -> Result<()> {
         let id = self.engine.id_of(rule)?;
         let cid = self.registry.id_of(class)?;
         if self.registry.get(cid).reactivity != Reactivity::Reactive {
@@ -1117,8 +1196,7 @@ impl Database {
         })
     }
 
-    /// Reverse of [`subscribe_class`](Self::subscribe_class).
-    pub fn unsubscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+    fn unsubscribe_class_inner(&mut self, class: &str, rule: &str) -> Result<()> {
         let id = self.engine.id_of(rule)?;
         let cid = self.registry.id_of(class)?;
         let (class_name, rule_name) = (class.to_string(), rule.to_string());
@@ -1133,6 +1211,22 @@ impl Database {
                 rule: rule_name,
             })
         })
+    }
+
+    /// Subscribe a rule to all instances of a class, present and future
+    /// (class-level rule association).
+    #[deprecated(since = "0.2.0", note = "use `subscribe(Target::Class(class), rule)`")]
+    pub fn subscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+        self.subscribe(Target::Class(class), rule)
+    }
+
+    /// Reverse of the class-level subscribe.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `unsubscribe(Target::Class(class), rule)`"
+    )]
+    pub fn unsubscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
+        self.unsubscribe(Target::Class(class), rule)
     }
 
     // ------------------------------------------------------------------
@@ -1152,6 +1246,7 @@ impl Database {
         }
         if self
             .indexes
+            .read()
             .iter()
             .any(|i| i.class == cid && i.attr == attr)
         {
@@ -1160,21 +1255,23 @@ impl Database {
             )));
         }
         let mut idx = AttrIndex::new(cid, attr);
-        let oids: Vec<Oid> = self.store.extent(&self.registry, cid).collect();
+        let oids: Vec<Oid> = self.store.extent(&self.registry, cid);
         for oid in oids {
             let v = self.store.get_attr(&self.registry, oid, attr)?;
             idx.upsert(oid, v)?;
         }
-        self.indexes.push(idx);
-        Ok(IndexId(self.indexes.len() - 1))
+        let mut indexes = self.indexes.write();
+        indexes.push(idx);
+        Ok(IndexId(indexes.len() - 1))
     }
 
     /// Drop an index.
     pub fn drop_index(&mut self, class: &str, attr: &str) -> Result<()> {
         let cid = self.registry.id_of(class)?;
-        let before = self.indexes.len();
-        self.indexes.retain(|i| !(i.class == cid && i.attr == attr));
-        if self.indexes.len() == before {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| !(i.class == cid && i.attr == attr));
+        if indexes.len() == before {
             return Err(ObjectError::App(format!("no index on `{class}.{attr}`")));
         }
         Ok(())
@@ -1191,8 +1288,8 @@ impl Database {
         hi: Option<Value>,
     ) -> Result<Vec<Oid>> {
         let cid = self.registry.id_of(class)?;
-        let idx = self
-            .indexes
+        let indexes = self.indexes.read();
+        let idx = indexes
             .iter()
             .find(|i| i.class == cid && i.attr == attr)
             .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
@@ -1202,8 +1299,8 @@ impl Database {
     /// Indexed exact lookup.
     pub fn index_get(&self, class: &str, attr: &str, key: &Value) -> Result<Vec<Oid>> {
         let cid = self.registry.id_of(class)?;
-        let idx = self
-            .indexes
+        let indexes = self.indexes.read();
+        let idx = indexes
             .iter()
             .find(|i| i.class == cid && i.attr == attr)
             .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
@@ -1221,6 +1318,7 @@ impl Database {
     ) -> Option<Vec<Oid>> {
         let cid = self.registry.id_of(class).ok()?;
         self.indexes
+            .read()
             .iter()
             .find(|i| i.class == cid && i.attr == attr)
             .map(|i| i.range(lo, hi))
@@ -1228,12 +1326,12 @@ impl Database {
 
     /// Re-index one attribute of one object after a write.
     fn index_refresh_attr(&mut self, oid: Oid, class: ClassId, attr: &str) -> Result<()> {
-        for i in 0..self.indexes.len() {
-            if self.indexes[i].attr == attr
-                && self.registry.is_subclass(class, self.indexes[i].class)
-            {
+        // Lock order: indexes before store shard (never the reverse).
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            if idx.attr == attr && self.registry.is_subclass(class, idx.class) {
                 let v = self.store.get_attr(&self.registry, oid, attr)?;
-                self.indexes[i].upsert(oid, v)?;
+                idx.upsert(oid, v)?;
             }
         }
         Ok(())
@@ -1242,29 +1340,24 @@ impl Database {
     /// Re-index every applicable attribute of one object from its
     /// current state (or remove it everywhere if it no longer exists).
     fn index_refresh(&mut self, oid: Oid) -> Result<()> {
-        if self.indexes.is_empty() {
+        let mut indexes = self.indexes.write();
+        if indexes.is_empty() {
             return Ok(());
         }
         let Ok(class) = self.store.class_of(oid) else {
-            for idx in &mut self.indexes {
+            for idx in indexes.iter_mut() {
                 idx.remove(oid);
             }
             return Ok(());
         };
-        for i in 0..self.indexes.len() {
-            let applicable = self.registry.is_subclass(class, self.indexes[i].class)
-                && self
-                    .registry
-                    .get(class)
-                    .slot_of(&self.indexes[i].attr)
-                    .is_some();
+        for idx in indexes.iter_mut() {
+            let applicable = self.registry.is_subclass(class, idx.class)
+                && self.registry.get(class).slot_of(&idx.attr).is_some();
             if applicable {
-                let v = self
-                    .store
-                    .get_attr(&self.registry, oid, &self.indexes[i].attr)?;
-                self.indexes[i].upsert(oid, v)?;
+                let v = self.store.get_attr(&self.registry, oid, &idx.attr)?;
+                idx.upsert(oid, v)?;
             } else {
-                self.indexes[i].remove(oid);
+                idx.remove(oid);
             }
         }
         Ok(())
@@ -1474,7 +1567,7 @@ impl Database {
 
     /// Facade counters.
     pub fn stats(&self) -> DbStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Engine counters.
@@ -1485,7 +1578,7 @@ impl Database {
     /// Zero all counters (benchmark warm-up). Also clears telemetry
     /// histograms and the trace ring, keeping the enablement flags.
     pub fn reset_stats(&mut self) {
-        self.stats = DbStats::default();
+        self.stats.reset();
         self.engine.reset_stats();
         self.telemetry.reset();
     }
@@ -1500,7 +1593,7 @@ impl Database {
     /// serializable value.
     pub fn full_stats(&self) -> FullStats {
         FullStats {
-            db: self.stats,
+            db: self.stats.snapshot(),
             engine: self.engine.stats(),
             telemetry: self.telemetry.snapshot(),
         }
@@ -1509,7 +1602,7 @@ impl Database {
     /// Prometheus-style text exposition of the full telemetry snapshot
     /// plus the facade and engine counters.
     pub fn metrics_prometheus(&self) -> String {
-        let d = self.stats;
+        let d = self.stats.snapshot();
         let e = self.engine.stats();
         let extra = [
             ("sends_total", d.sends),
@@ -1586,7 +1679,7 @@ impl World for Database {
 
     fn extent(&self, class: &str) -> Result<Vec<Oid>> {
         let id = self.registry.id_of(class)?;
-        Ok(self.store.extent(&self.registry, id).collect())
+        Ok(self.store.extent(&self.registry, id))
     }
 
     fn now(&self) -> u64 {

@@ -31,16 +31,19 @@ pub mod database;
 pub mod dsl;
 pub mod index;
 pub mod query;
+pub mod session;
 pub mod shared;
 pub mod stats;
 pub mod typed;
 
 pub use catalog::{CatalogSnapshot, EventRecord, MetaOp, RuleRecord};
 pub use config::DbConfig;
-pub use database::Database;
+pub use database::{Database, Target};
 pub use dsl::event;
 pub use index::{AttrIndex, IndexId};
 pub use query::{attr, ObjectView, Predicate, Query};
+pub use session::{Sentinel, Session};
+#[allow(deprecated)]
 pub use shared::SharedDatabase;
 pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
@@ -48,9 +51,11 @@ pub use typed::{FieldValue, NativeClass};
 /// Everything an application typically needs, re-exported flat.
 pub mod prelude {
     pub use crate::config::DbConfig;
-    pub use crate::database::Database;
+    pub use crate::database::{Database, Target};
     pub use crate::dsl::event;
     pub use crate::query::{attr, ObjectView, Predicate, Query};
+    pub use crate::session::{Sentinel, Session};
+    #[allow(deprecated)]
     pub use crate::shared::SharedDatabase;
     pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
@@ -63,7 +68,8 @@ pub mod prelude {
         TypeTag, Value, Visibility, World,
     };
     pub use sentinel_rules::{
-        CouplingMode, Firing, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
+        CouplingMode, Firing, RuleBuilder, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP,
+        COND_TRUE,
     };
     pub use sentinel_storage::SyncPolicy;
     pub use sentinel_telemetry::{

@@ -1,146 +1,75 @@
-//! Shared, thread-safe database handle with an asynchronous detached
-//! executor.
+//! Deprecated predecessor of [`Sentinel`](crate::Sentinel).
 //!
-//! The paper's Figure 1 draws the event interface as *asynchronous*:
-//! consumers react to propagated events off the producer's call path.
-//! The single-threaded [`Database`] realises detached coupling
-//! synchronously (detached firings run right after commit, in their own
-//! transactions). [`SharedDatabase`] restores the asynchronous reading:
-//! a background worker drains detached firings while producer threads
-//! carry on — commit latency no longer includes detached work
-//! (quantified against inline execution in the E9 commentary).
-//!
-//! Concurrency model: one big lock. The paper's Zeitgeist setting is a
-//! single-user database; the lock gives `Send + Sync` sharing without
-//! perturbing the engine's single-writer semantics. The interesting
-//! property is *placement* (detached work off the caller's thread), not
-//! parallel scaling.
+//! [`SharedDatabase`] was the first thread-safe handle: one big lock
+//! plus a background worker for detached firings. The session-handle
+//! redesign absorbed both jobs into [`Sentinel`](crate::Sentinel), which
+//! adds what this type never had — lock-free concurrent readers via
+//! [`Session`](crate::Session). This wrapper remains so existing code
+//! keeps compiling; every method is a one-line delegation.
 
 use crate::database::Database;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crate::session::Sentinel;
 use sentinel_object::Result;
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-enum Signal {
-    Drain,
-    Shutdown,
-}
 
 /// A cloneable, thread-safe handle to a database whose detached rules
 /// execute on a background worker.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Sentinel` (and `Session` for reads) instead"
+)]
 pub struct SharedDatabase {
-    inner: Arc<Mutex<Database>>,
-    tx: Sender<Signal>,
-    worker: Option<JoinHandle<()>>,
+    handle: Sentinel,
 }
 
+#[allow(deprecated)]
 impl SharedDatabase {
     /// Wrap a database. Detached firings stop running inline; the
     /// spawned worker picks them up after each commit.
-    pub fn new(mut db: Database) -> Self {
-        db.set_inline_detached(false);
-        let inner = Arc::new(Mutex::new(db));
-        let (tx, rx): (Sender<Signal>, Receiver<Signal>) = unbounded();
-        let worker_db = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
-            .name("sentinel-detached".into())
-            .spawn(move || {
-                while let Ok(first) = rx.recv() {
-                    let mut shutdown = matches!(first, Signal::Shutdown);
-                    // Coalesce bursts of queued signals into one drain
-                    // pass — but never lose a Shutdown seen on the way.
-                    while let Ok(sig) = rx.try_recv() {
-                        if matches!(sig, Signal::Shutdown) {
-                            shutdown = true;
-                        }
-                    }
-                    {
-                        let mut db = worker_db.lock();
-                        // Errors inside detached firings abort only their
-                        // own transaction (already handled); a failure to
-                        // even schedule is engine-level and surfaced via
-                        // stats.
-                        let _ = db.run_pending_detached();
-                    }
-                    if shutdown {
-                        break;
-                    }
-                }
-            })
-            .expect("spawn detached worker");
+    pub fn new(db: Database) -> Self {
         SharedDatabase {
-            inner,
-            tx,
-            worker: Some(worker),
+            handle: Sentinel::open(db),
         }
     }
 
     /// Run `f` under the lock. If the call left detached work queued,
     /// the background worker is signalled afterwards.
     pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        let mut db = self.inner.lock();
-        let out = f(&mut db);
-        let pending = db.pending_detached() > 0;
-        drop(db);
-        if pending {
-            let _ = self.tx.send(Signal::Drain);
-        }
-        out
+        self.handle.with(f)
     }
 
     /// Convenience: a fallible operation under the lock.
     pub fn try_with<R>(&self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
-        self.with(f)
+        self.handle.try_with(f)
     }
 
     /// Block until no detached work is pending (best-effort: new commits
     /// can queue more).
     pub fn drain(&self) {
-        loop {
-            {
-                let mut db = self.inner.lock();
-                let _ = db.run_pending_detached();
-                if db.pending_detached() == 0 {
-                    return;
-                }
-            }
-            std::thread::yield_now();
-        }
+        self.handle.drain();
     }
 
     /// Stop the worker, running any remaining detached work first.
-    pub fn shutdown(mut self) -> Database {
-        self.drain();
-        let _ = self.tx.send(Signal::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
-        let inner = Arc::clone(&self.inner);
-        drop(self); // Drop impl is a no-op now: worker already joined
-        match Arc::try_unwrap(inner) {
-            Ok(m) => m.into_inner(),
-            Err(_) => panic!("SharedDatabase::shutdown with outstanding clones"),
-        }
-    }
-}
-
-impl Drop for SharedDatabase {
-    fn drop(&mut self) {
-        let _ = self.tx.send(Signal::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
-        }
+    ///
+    /// # Panics
+    ///
+    /// Panics if other handles to the same database are still alive —
+    /// the historical contract of this type. [`Sentinel::shutdown`]
+    /// returns an error instead.
+    pub fn shutdown(self) -> Database {
+        self.handle
+            .shutdown()
+            .expect("SharedDatabase::shutdown with outstanding clones")
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dsl::event;
     use sentinel_object::{ClassDecl, EventSpec, TypeTag, Value};
     use sentinel_rules::{CouplingMode, RuleDef};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     fn build() -> Database {

@@ -1,8 +1,14 @@
 //! Database-level counters used by the experiments.
+//!
+//! [`DbStats`] is the serializable point-in-time snapshot; the live
+//! counters are [`SharedDbStats`] — relaxed atomics shared (via `Arc`)
+//! between the write core and concurrent reader sessions, so `stats`
+//! and the metrics exporters never need the core lock.
 
 use sentinel_rules::EngineStats;
 use sentinel_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters aggregated by the facade on top of the engine's.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,6 +29,70 @@ pub struct DbStats {
     pub aborts: u64,
     /// Detached firings executed (each in its own transaction).
     pub detached_runs: u64,
+}
+
+/// Live facade counters: the atomic twin of [`DbStats`].
+///
+/// Counters are relaxed — they are monotonic tallies, not
+/// synchronisation points — and a [`snapshot`](Self::snapshot) is
+/// therefore only per-field consistent, which is what the experiments
+/// have always assumed.
+#[derive(Debug, Default)]
+pub struct SharedDbStats {
+    /// Messages dispatched (externally initiated and nested).
+    pub sends: AtomicU64,
+    /// Primitive events generated (bom + eom).
+    pub events_generated: AtomicU64,
+    /// Rule condition evaluations executed by the facade.
+    pub condition_evals: AtomicU64,
+    /// Conditions that held.
+    pub condition_true: AtomicU64,
+    /// Rule actions executed.
+    pub actions_run: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted (by rules or explicitly).
+    pub aborts: AtomicU64,
+    /// Detached firings executed (each in its own transaction).
+    pub detached_runs: AtomicU64,
+}
+
+impl SharedDbStats {
+    /// Add one to `field` (relaxed).
+    #[inline]
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> DbStats {
+        DbStats {
+            sends: self.sends.load(Ordering::Relaxed),
+            events_generated: self.events_generated.load(Ordering::Relaxed),
+            condition_evals: self.condition_evals.load(Ordering::Relaxed),
+            condition_true: self.condition_true.load(Ordering::Relaxed),
+            actions_run: self.actions_run.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            detached_runs: self.detached_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (benchmark warm-up).
+    pub fn reset(&self) {
+        for f in [
+            &self.sends,
+            &self.events_generated,
+            &self.condition_evals,
+            &self.condition_true,
+            &self.actions_run,
+            &self.commits,
+            &self.aborts,
+            &self.detached_runs,
+        ] {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The facade's counters plus the engine's and a full telemetry
@@ -54,5 +124,19 @@ mod tests {
         let s = FullStats::default();
         let json = serde_json::to_string(&s).unwrap();
         assert_eq!(serde_json::from_str::<FullStats>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn shared_stats_snapshot_and_reset() {
+        let s = SharedDbStats::default();
+        SharedDbStats::bump(&s.sends);
+        SharedDbStats::bump(&s.sends);
+        SharedDbStats::bump(&s.aborts);
+        let snap = s.snapshot();
+        assert_eq!(snap.sends, 2);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.commits, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), DbStats::default());
     }
 }

@@ -33,7 +33,8 @@ fn observer_sees_every_detection_with_parameters() {
         },
     )
     .unwrap();
-    db.subscribe_class("Sensor", "watch-reads").unwrap();
+    db.subscribe(Target::Class("Sensor"), "watch-reads")
+        .unwrap();
 
     let s = db.create("Sensor").unwrap();
     for v in [10.0, 20.0, 30.0] {
@@ -70,7 +71,7 @@ fn observer_on_composite_event() {
         p2.fetch_add(1, Ordering::Relaxed);
     })
     .unwrap();
-    db.subscribe_class("Sensor", "pairs").unwrap();
+    db.subscribe(Target::Class("Sensor"), "pairs").unwrap();
     let s = db.create("Sensor").unwrap();
     for v in 0..5 {
         db.send(s, "Read", &[Value::Float(v as f64)]).unwrap();

@@ -45,6 +45,13 @@ impl LogicalClock {
     }
 }
 
+// The clock is shared by reference between the write core and every
+// reader session; it must stay lock-free and thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LogicalClock>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,3 +38,17 @@ pub use detector::{DetectorCaps, DetectorInstance, DetectorStats};
 pub use occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 pub use parse::parse_signature;
 pub use spec::{EventModifier, PrimitiveEventSpec};
+
+// Everything the concurrent session API moves across threads — event
+// expressions inside rule definitions, occurrences inside firings, and
+// detector state owned by the engine behind the core lock — must be
+// `Send + Sync`. Assert it here so a non-thread-safe field added to any
+// of these types fails to compile in this crate, not two layers up.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EventExpr>();
+    assert_send_sync::<PrimitiveOccurrence>();
+    assert_send_sync::<CompositeOccurrence>();
+    assert_send_sync::<DetectorInstance>();
+    assert_send_sync::<LogicalClock>()
+};

@@ -13,7 +13,13 @@ pub type Result<T> = std::result::Result<T, ObjectError>;
 /// The rule layers reuse this type so that a rule condition/action body can
 /// signal `TransactionAborted` — the paper's Figure 9 `A : abort` action —
 /// and have the database roll the triggering transaction back.
+/// The enum is `#[non_exhaustive]`: downstream `match`es need a
+/// wildcard arm, and new error variants are not breaking changes. For
+/// the two distinctions callers actually branch on, prefer the
+/// [`is_abort`](Self::is_abort) / [`is_not_found`](Self::is_not_found)
+/// predicates over matching variants directly.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 #[allow(missing_docs)] // variant fields are named and self-describing
 pub enum ObjectError {
     /// No class with this name has been defined.
@@ -145,6 +151,22 @@ impl ObjectError {
     pub fn is_abort(&self) -> bool {
         matches!(self, ObjectError::TransactionAborted(_))
     }
+
+    /// True if this error means a named entity (object, class, method,
+    /// attribute, rule, or event) does not exist — the "look it up,
+    /// fall back if absent" cases, as opposed to malformed input or an
+    /// engine failure.
+    pub fn is_not_found(&self) -> bool {
+        matches!(
+            self,
+            ObjectError::NoSuchObject(_)
+                | ObjectError::UnknownClass(_)
+                | ObjectError::UnknownMethod { .. }
+                | ObjectError::UnknownAttribute { .. }
+                | ObjectError::UnknownRule(_)
+                | ObjectError::UnknownEvent(_)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -165,5 +187,14 @@ mod tests {
         let e = ObjectError::abort("same sex");
         assert!(e.is_abort());
         assert!(!ObjectError::NoActiveTransaction.is_abort());
+    }
+
+    #[test]
+    fn not_found_predicate() {
+        assert!(ObjectError::NoSuchObject(Oid(7)).is_not_found());
+        assert!(ObjectError::UnknownClass("X".into()).is_not_found());
+        assert!(ObjectError::UnknownRule("R".into()).is_not_found());
+        assert!(!ObjectError::abort("no").is_not_found());
+        assert!(!ObjectError::Storage("disk".into()).is_not_found());
     }
 }

@@ -170,7 +170,7 @@ mod tests {
         }
         fn extent(&self, class: &str) -> Result<Vec<Oid>> {
             let id = self.registry.id_of(class)?;
-            Ok(self.store.extent(&self.registry, id).collect())
+            Ok(self.store.extent(&self.registry, id))
         }
         fn now(&self) -> u64 {
             self.clock

@@ -307,7 +307,7 @@ impl ClassDef {
 /// Classes are immutable once defined (the paper's critique of Ode hinges
 /// on *rules* being changeable without touching class definitions; the
 /// class definitions themselves stay fixed, as in any compiled schema).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ClassRegistry {
     classes: Vec<ClassDef>,
     by_name: HashMap<String, ClassId>,

@@ -1,38 +1,124 @@
-//! The in-memory object store.
+//! The in-memory object store — sharded for concurrent readers.
 //!
 //! Holds every live instance, keyed by [`Oid`], and maintains a per-class
 //! *extent* index so class-level rules can be applied to "all instances of
 //! a class" without scanning the whole store (paper §4.7).
+//!
+//! Concurrency model: the store is split into a power-of-two number of
+//! **shards**, each guarding its objects and extent slices with one
+//! reader/writer lock. All operations take `&self`; the store is shared
+//! between the database's serialized write core and any number of
+//! concurrent reader sessions via `Arc`. Readers of different objects
+//! (and readers of the same object) proceed in parallel; a writer
+//! serializes only against the one shard it touches. Every lock
+//! acquisition is counted per shard in a
+//! [`ShardCounters`](sentinel_telemetry::ShardCounters) so load skew is
+//! observable in the metrics export.
+//!
+//! Isolation note: a single read (`get_attr`, `state_cloned`) is always
+//! internally consistent — it happens entirely under the shard's read
+//! lock — but readers that do not hold the database's write core can
+//! observe the intermediate states of an in-flight transaction
+//! (read-uncommitted). DESIGN.md §11 records the trade-off.
 
 use crate::error::{ObjectError, Result};
 use crate::object::ObjectState;
 use crate::oid::{Oid, OidGenerator};
 use crate::schema::{ClassId, ClassRegistry};
 use crate::value::Value;
+use parking_lot::RwLock;
+use sentinel_telemetry::{ShardCounters, ShardLoad};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// In-memory instance storage with per-class extents.
+/// Default shard count: enough to keep four to eight reader threads off
+/// each other's locks without bloating a small store.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One shard's object map and extent slice.
 #[derive(Debug, Default)]
-pub struct ObjectStore {
+struct Shard {
     objects: HashMap<Oid, ObjectState>,
     extents: HashMap<ClassId, HashSet<Oid>>,
+}
+
+/// In-memory instance storage with per-class extents, sharded by oid.
+#[derive(Debug)]
+pub struct ObjectStore {
+    shards: Box<[RwLock<Shard>]>,
+    mask: u64,
     oidgen: OidGenerator,
+    len: AtomicUsize,
+    counters: Arc<ShardCounters>,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl ObjectStore {
-    /// An empty store.
+    /// An empty store with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty store with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ObjectStore {
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            mask: (n - 1) as u64,
+            oidgen: OidGenerator::new(),
+            len: AtomicUsize::new(0),
+            counters: Arc::new(ShardCounters::new(n)),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard holds `oid`.
+    #[inline]
+    fn shard_of(&self, oid: Oid) -> usize {
+        (oid.0 & self.mask) as usize
+    }
+
+    #[inline]
+    fn read(&self, idx: usize) -> parking_lot::RwLockReadGuard<'_, Shard> {
+        self.counters.record_read(idx);
+        self.shards[idx].read()
+    }
+
+    #[inline]
+    fn write(&self, idx: usize) -> parking_lot::RwLockWriteGuard<'_, Shard> {
+        self.counters.record_write(idx);
+        self.shards[idx].write()
+    }
+
+    /// Per-shard lock-acquisition counters (shared handle).
+    pub fn shard_counters(&self) -> Arc<ShardCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Snapshot of the per-shard load counters.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.counters.snapshot()
+    }
+
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True when the store holds no objects.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len() == 0
     }
 
     /// Allocate a fresh oid without creating an object (the database
@@ -42,7 +128,7 @@ impl ObjectStore {
     }
 
     /// Create a new instance of `class` with default slot values.
-    pub fn create(&mut self, registry: &ClassRegistry, class: ClassId) -> Oid {
+    pub fn create(&self, registry: &ClassRegistry, class: ClassId) -> Oid {
         let oid = self.oidgen.allocate();
         let state = ObjectState::new(registry.get(class));
         self.insert_raw(oid, state);
@@ -51,61 +137,85 @@ impl ObjectStore {
 
     /// Insert a pre-built state under a pre-assigned oid (recovery path).
     /// Advances the oid generator past `oid`.
-    pub fn insert_raw(&mut self, oid: Oid, state: ObjectState) {
+    pub fn insert_raw(&self, oid: Oid, state: ObjectState) {
         self.oidgen.bump_past(oid);
-        self.extents.entry(state.class).or_default().insert(oid);
-        self.objects.insert(oid, state);
+        let mut shard = self.write(self.shard_of(oid));
+        shard.extents.entry(state.class).or_default().insert(oid);
+        if shard.objects.insert(oid, state).is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Remove an object, returning its final state (used for undo).
-    pub fn delete(&mut self, oid: Oid) -> Result<ObjectState> {
-        let state = self
+    pub fn delete(&self, oid: Oid) -> Result<ObjectState> {
+        let mut shard = self.write(self.shard_of(oid));
+        let state = shard
             .objects
             .remove(&oid)
             .ok_or(ObjectError::NoSuchObject(oid))?;
-        if let Some(ext) = self.extents.get_mut(&state.class) {
+        if let Some(ext) = shard.extents.get_mut(&state.class) {
             ext.remove(&oid);
         }
+        self.len.fetch_sub(1, Ordering::Relaxed);
         Ok(state)
     }
 
     /// Does the object exist?
     pub fn exists(&self, oid: Oid) -> bool {
-        self.objects.contains_key(&oid)
+        self.read(self.shard_of(oid)).objects.contains_key(&oid)
     }
 
     /// The class of an object.
     pub fn class_of(&self, oid: Oid) -> Result<ClassId> {
-        Ok(self.state(oid)?.class)
+        self.with_state(oid, |st| st.class)
     }
 
-    /// Borrow an object's state.
-    pub fn state(&self, oid: Oid) -> Result<&ObjectState> {
-        self.objects.get(&oid).ok_or(ObjectError::NoSuchObject(oid))
+    /// Clone an object's full state.
+    pub fn state_cloned(&self, oid: Oid) -> Result<ObjectState> {
+        self.with_state(oid, Clone::clone)
     }
 
-    /// Mutably borrow an object's state.
-    pub fn state_mut(&mut self, oid: Oid) -> Result<&mut ObjectState> {
-        self.objects
+    /// Run `f` over an object's state under the shard read lock.
+    pub fn with_state<R>(&self, oid: Oid, f: impl FnOnce(&ObjectState) -> R) -> Result<R> {
+        let shard = self.read(self.shard_of(oid));
+        shard
+            .objects
+            .get(&oid)
+            .map(f)
+            .ok_or(ObjectError::NoSuchObject(oid))
+    }
+
+    /// Run `f` over an object's state under the shard **write** lock
+    /// (transaction-undo path: slot restores bypass schema checks).
+    pub fn with_state_mut<R>(&self, oid: Oid, f: impl FnOnce(&mut ObjectState) -> R) -> Result<R> {
+        let mut shard = self.write(self.shard_of(oid));
+        shard
+            .objects
             .get_mut(&oid)
+            .map(f)
             .ok_or(ObjectError::NoSuchObject(oid))
     }
 
     /// Read `attr` of `oid`.
     pub fn get_attr(&self, registry: &ClassRegistry, oid: Oid, attr: &str) -> Result<Value> {
-        let st = self.state(oid)?;
+        let shard = self.read(self.shard_of(oid));
+        let st = shard
+            .objects
+            .get(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))?;
         Ok(st.get(registry.get(st.class), attr)?.clone())
     }
 
     /// Write `attr` of `oid`, returning the previous value.
     pub fn set_attr(
-        &mut self,
+        &self,
         registry: &ClassRegistry,
         oid: Oid,
         attr: &str,
         value: Value,
     ) -> Result<Value> {
-        let st = self
+        let mut shard = self.write(self.shard_of(oid));
+        let st = shard
             .objects
             .get_mut(&oid)
             .ok_or(ObjectError::NoSuchObject(oid))?;
@@ -114,41 +224,76 @@ impl ObjectStore {
 
     /// Oids of the *direct* extent of `class` (instances whose class is
     /// exactly `class`).
-    pub fn direct_extent(&self, class: ClassId) -> impl Iterator<Item = Oid> + '_ {
-        self.extents.get(&class).into_iter().flatten().copied()
+    pub fn direct_extent(&self, class: ClassId) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for idx in 0..self.shards.len() {
+            let shard = self.read(idx);
+            if let Some(ext) = shard.extents.get(&class) {
+                out.extend(ext.iter().copied());
+            }
+        }
+        out
     }
 
     /// Oids of all instances of `class`, including instances of
     /// subclasses (the paper's class-level rules apply to these).
-    pub fn extent<'a>(
-        &'a self,
-        registry: &'a ClassRegistry,
-        class: ClassId,
-    ) -> impl Iterator<Item = Oid> + 'a {
-        registry
+    pub fn extent(&self, registry: &ClassRegistry, class: ClassId) -> Vec<Oid> {
+        let subclasses: Vec<ClassId> = registry
             .iter()
-            .filter(move |c| registry.is_subclass(c.id, class))
-            .flat_map(move |c| self.direct_extent(c.id))
+            .filter(|c| registry.is_subclass(c.id, class))
+            .map(|c| c.id)
+            .collect();
+        let mut out = Vec::new();
+        for idx in 0..self.shards.len() {
+            let shard = self.read(idx);
+            for cid in &subclasses {
+                if let Some(ext) = shard.extents.get(cid) {
+                    out.extend(ext.iter().copied());
+                }
+            }
+        }
+        out
     }
 
-    /// Iterate over every (oid, state) pair — snapshot/persistence path.
-    pub fn iter(&self) -> impl Iterator<Item = (Oid, &ObjectState)> {
-        self.objects.iter().map(|(&o, s)| (o, s))
+    /// Visit every (oid, state) pair — snapshot/persistence path. Shards
+    /// are visited one at a time; the callback must not re-enter the
+    /// store (the shard lock is held across the call).
+    pub fn for_each(&self, mut f: impl FnMut(Oid, &ObjectState)) {
+        for idx in 0..self.shards.len() {
+            let shard = self.read(idx);
+            for (&oid, st) in shard.objects.iter() {
+                f(oid, st);
+            }
+        }
     }
 
     /// Replace an object's entire state (undo path). The class of the
     /// replacement must match the stored class.
-    pub fn restore_state(&mut self, oid: Oid, state: ObjectState) {
-        self.extents.entry(state.class).or_default().insert(oid);
-        self.objects.insert(oid, state);
+    pub fn restore_state(&self, oid: Oid, state: ObjectState) {
+        let mut shard = self.write(self.shard_of(oid));
+        shard.extents.entry(state.class).or_default().insert(oid);
+        if shard.objects.insert(oid, state).is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Drop everything (recovery reload path).
-    pub fn clear(&mut self) {
-        self.objects.clear();
-        self.extents.clear();
+    pub fn clear(&self) {
+        for idx in 0..self.shards.len() {
+            let mut shard = self.write(idx);
+            shard.objects.clear();
+            shard.extents.clear();
+        }
+        self.len.store(0, Ordering::Relaxed);
     }
 }
+
+// Shared across the Sentinel handle, reader sessions, and the detached
+// executor; the compiler verifies the shard locks make that sound.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ObjectStore>()
+};
 
 #[cfg(test)]
 mod tests {
@@ -169,7 +314,7 @@ mod tests {
 
     #[test]
     fn create_read_write_delete() {
-        let (reg, mut store, emp, _) = setup();
+        let (reg, store, emp, _) = setup();
         let fred = store.create(&reg, emp);
         assert!(store.exists(fred));
         assert_eq!(
@@ -194,35 +339,108 @@ mod tests {
 
     #[test]
     fn extent_includes_subclasses() {
-        let (reg, mut store, emp, mgr) = setup();
+        let (reg, store, emp, mgr) = setup();
         let fred = store.create(&reg, emp);
         let mike = store.create(&reg, mgr);
-        let emps: HashSet<Oid> = store.extent(&reg, emp).collect();
+        let emps: HashSet<Oid> = store.extent(&reg, emp).into_iter().collect();
         assert_eq!(emps, HashSet::from([fred, mike]));
-        let mgrs: HashSet<Oid> = store.extent(&reg, mgr).collect();
+        let mgrs: HashSet<Oid> = store.extent(&reg, mgr).into_iter().collect();
         assert_eq!(mgrs, HashSet::from([mike]));
-        let direct: HashSet<Oid> = store.direct_extent(emp).collect();
+        let direct: HashSet<Oid> = store.direct_extent(emp).into_iter().collect();
         assert_eq!(direct, HashSet::from([fred]));
     }
 
     #[test]
     fn restore_state_round_trip() {
-        let (reg, mut store, emp, _) = setup();
+        let (reg, store, emp, _) = setup();
         let fred = store.create(&reg, emp);
-        let before = store.state(fred).unwrap().clone();
+        let before = store.state_cloned(fred).unwrap();
         store
             .set_attr(&reg, fred, "salary", Value::Float(5.0))
             .unwrap();
         store.restore_state(fred, before.clone());
-        assert_eq!(store.state(fred).unwrap(), &before);
+        assert_eq!(store.state_cloned(fred).unwrap(), before);
     }
 
     #[test]
     fn insert_raw_bumps_oid_generator() {
-        let (reg, mut store, emp, _) = setup();
+        let (reg, store, emp, _) = setup();
         let st = ObjectState::new(reg.get(emp));
         store.insert_raw(Oid(50), st);
         let next = store.create(&reg, emp);
         assert!(next > Oid(50));
+    }
+
+    #[test]
+    fn len_tracks_inserts_restores_and_deletes() {
+        let (reg, store, emp, _) = setup();
+        assert!(store.is_empty());
+        let a = store.create(&reg, emp);
+        let b = store.create(&reg, emp);
+        assert_eq!(store.len(), 2);
+        let st = store.delete(a).unwrap();
+        assert_eq!(store.len(), 1);
+        store.restore_state(a, st.clone());
+        assert_eq!(store.len(), 2);
+        // Restoring over an existing object must not double-count.
+        store.restore_state(a, st);
+        assert_eq!(store.len(), 2);
+        store.clear();
+        assert!(store.is_empty());
+        assert!(!store.exists(b));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ObjectStore::with_shards(0).shard_count(), 1);
+        assert_eq!(ObjectStore::with_shards(3).shard_count(), 4);
+        assert_eq!(ObjectStore::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn shard_counters_observe_traffic() {
+        let (reg, store, emp, _) = setup();
+        let a = store.create(&reg, emp);
+        store.get_attr(&reg, a, "salary").unwrap();
+        let (reads, writes) = store.shard_counters().totals();
+        assert!(writes >= 1, "create takes a write lock");
+        assert!(reads >= 1, "get_attr takes a read lock");
+        assert_eq!(store.shard_loads().len(), store.shard_count());
+    }
+
+    #[test]
+    fn concurrent_readers_and_one_writer() {
+        let (reg, store, emp, _) = setup();
+        let reg = std::sync::Arc::new(reg);
+        let store = std::sync::Arc::new(store);
+        let oids: Vec<Oid> = (0..64).map(|_| store.create(&reg, emp)).collect();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (store, reg, oids) = (store.clone(), reg.clone(), oids.clone());
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    for &o in &oids {
+                        let v = store.get_attr(&reg, o, "salary").unwrap();
+                        assert!(matches!(v, Value::Float(_)));
+                    }
+                }
+            }));
+        }
+        {
+            let (store, reg, oids) = (store.clone(), reg.clone(), oids.clone());
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    for &o in &oids {
+                        store
+                            .set_attr(&reg, o, "salary", Value::Float(i as f64))
+                            .unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 64);
     }
 }

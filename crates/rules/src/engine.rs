@@ -18,6 +18,7 @@ use sentinel_object::{ClassRegistry, ObjectError, Oid, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A triggered rule whose bodies are resolved and which is ready to run.
@@ -59,6 +60,48 @@ pub struct EngineStats {
     pub detached: u64,
 }
 
+/// Live engine counters: the atomic twin of [`EngineStats`], shared
+/// (via `Arc`) with stats readers so snapshots need no engine access.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    occurrences: AtomicU64,
+    notifications: AtomicU64,
+    immediate: AtomicU64,
+    deferred: AtomicU64,
+    detached: AtomicU64,
+}
+
+impl EngineCounters {
+    #[inline]
+    fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            occurrences: self.occurrences.load(Ordering::Relaxed),
+            notifications: self.notifications.load(Ordering::Relaxed),
+            immediate: self.immediate.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
+            detached: self.detached.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (benchmark warm-up).
+    pub fn reset(&self) {
+        for f in [
+            &self.occurrences,
+            &self.notifications,
+            &self.immediate,
+            &self.deferred,
+            &self.detached,
+        ] {
+            f.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Detection and scheduling for a set of first-class rules.
 pub struct RuleEngine {
     rules: HashMap<RuleId, Rule>,
@@ -73,7 +116,7 @@ pub struct RuleEngine {
     next_rule: u64,
     deferred: Vec<ReadyFiring>,
     detached: Vec<ReadyFiring>,
-    stats: EngineStats,
+    stats: Arc<EngineCounters>,
     scratch: Vec<RuleId>,
     /// Rules whose detectors have an undo journal open for the
     /// transaction in flight: a rule joins the set (and its journal
@@ -113,7 +156,7 @@ impl RuleEngine {
             next_rule: 0,
             deferred: Vec::new(),
             detached: Vec::new(),
-            stats: EngineStats::default(),
+            stats: Arc::new(EngineCounters::default()),
             scratch: Vec::new(),
             capture: None,
             telemetry: None,
@@ -301,7 +344,7 @@ impl RuleEngine {
         registry: &ClassRegistry,
         occ: &PrimitiveOccurrence,
     ) -> Result<Vec<ReadyFiring>> {
-        self.stats.occurrences += 1;
+        EngineCounters::bump(&self.stats.occurrences);
         let fan_out_timer = match &self.telemetry {
             Some(t) => t.timer(),
             None => Timer::off(),
@@ -318,7 +361,7 @@ impl RuleEngine {
             if !rule.enabled {
                 continue;
             }
-            self.stats.notifications += 1;
+            EngineCounters::bump(&self.stats.notifications);
             rule.stats.notifications += 1;
             if let Some(cap) = self.capture.as_mut() {
                 if cap.insert(rid) {
@@ -345,17 +388,17 @@ impl RuleEngine {
                 };
                 let stage = match rule.def.coupling {
                     CouplingMode::Immediate => {
-                        self.stats.immediate += 1;
+                        EngineCounters::bump(&self.stats.immediate);
                         immediate.push(ready);
                         Stage::FiringImmediate
                     }
                     CouplingMode::Deferred => {
-                        self.stats.deferred += 1;
+                        EngineCounters::bump(&self.stats.deferred);
                         self.deferred.push(ready);
                         Stage::FiringDeferred
                     }
                     CouplingMode::Detached => {
-                        self.stats.detached += 1;
+                        EngineCounters::bump(&self.stats.detached);
                         self.detached.push(ready);
                         Stage::FiringDetached
                     }
@@ -404,12 +447,18 @@ impl RuleEngine {
 
     /// Engine-wide counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Shared handle to the live counters (read concurrently by stats
+    /// exporters without going through the engine).
+    pub fn counters(&self) -> Arc<EngineCounters> {
+        Arc::clone(&self.stats)
     }
 
     /// Reset engine-wide counters (benchmark warm-up).
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
+        self.stats.reset();
         for r in self.rules.values_mut() {
             r.stats = RuleStats::default();
         }

@@ -80,6 +80,89 @@ impl RuleDef {
         self.context = ctx;
         self
     }
+
+    /// Start a fluent builder from the triggering event, reading in ECA
+    /// order:
+    ///
+    /// ```
+    /// use sentinel_rules::{CouplingMode, RuleDef};
+    /// use sentinel_events::{EventExpr, PrimitiveEventSpec};
+    ///
+    /// let e = EventExpr::primitive(PrimitiveEventSpec::end("Acct", "Withdraw"));
+    /// let def = RuleDef::on(e)
+    ///     .named("Overdraft")
+    ///     .when("balance-negative")
+    ///     .then("freeze-account")
+    ///     .coupling(CouplingMode::Deferred)
+    ///     .build();
+    /// assert_eq!(def.name, "Overdraft");
+    /// ```
+    ///
+    /// `when` is optional (default: always-true condition); `named` and
+    /// `then` are required before the definition is usable. Anything
+    /// taking `impl Into<RuleDef>` accepts the builder directly, without
+    /// [`build`](RuleBuilder::build).
+    pub fn on(event: EventExpr) -> RuleBuilder {
+        RuleBuilder {
+            def: RuleDef::new("", event, crate::body::ACTION_NOOP),
+        }
+    }
+}
+
+/// Fluent builder for [`RuleDef`], created by [`RuleDef::on`].
+#[derive(Debug, Clone)]
+pub struct RuleBuilder {
+    def: RuleDef,
+}
+
+impl RuleBuilder {
+    /// Set the rule name (required; unique per engine).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.def.name = name.into();
+        self
+    }
+
+    /// Set the condition body name (default: always true).
+    pub fn when(mut self, condition: impl Into<String>) -> Self {
+        self.def.condition = condition.into();
+        self
+    }
+
+    /// Set the action body name (required).
+    pub fn then(mut self, action: impl Into<String>) -> Self {
+        self.def.action = action.into();
+        self
+    }
+
+    /// Set the coupling mode (default: immediate).
+    pub fn coupling(mut self, mode: CouplingMode) -> Self {
+        self.def.coupling = mode;
+        self
+    }
+
+    /// Set the priority (larger fires earlier under the priority
+    /// resolver; default 0).
+    pub fn priority(mut self, p: i32) -> Self {
+        self.def.priority = p;
+        self
+    }
+
+    /// Set the parameter context for the rule's detector.
+    pub fn context(mut self, ctx: ParamContext) -> Self {
+        self.def.context = ctx;
+        self
+    }
+
+    /// Finish, yielding the [`RuleDef`].
+    pub fn build(self) -> RuleDef {
+        self.def
+    }
+}
+
+impl From<RuleBuilder> for RuleDef {
+    fn from(b: RuleBuilder) -> Self {
+        b.build()
+    }
 }
 
 /// Per-rule counters, surfaced by the comparison experiments (E3, E5).

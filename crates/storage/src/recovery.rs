@@ -78,7 +78,7 @@ pub fn recover_with(
 ) -> Result<Recovered> {
     let wal_path = wal_path.as_ref();
     let snapshot = Snapshot::load(snapshot_path)?;
-    let (mut registry, mut store) = snapshot.restore()?;
+    let (mut registry, store) = snapshot.restore()?;
     let mut clock = snapshot.clock;
     let mut meta = Vec::new();
     let mut replayed = 0u64;
@@ -216,7 +216,7 @@ mod tests {
 
         // Base state: one account at balance 100, snapshotted.
         let reg = registry();
-        let mut store = ObjectStore::new();
+        let store = ObjectStore::new();
         let acct = reg.id_of("Account").unwrap();
         let a = store.create(&reg, acct);
         store

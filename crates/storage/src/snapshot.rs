@@ -57,14 +57,14 @@ impl Snapshot {
                 methods: c.own_methods.clone(),
             })
             .collect();
-        let mut objects: Vec<ObjectSnapshot> = store
-            .iter()
-            .map(|(oid, st)| ObjectSnapshot {
+        let mut objects: Vec<ObjectSnapshot> = Vec::with_capacity(store.len());
+        store.for_each(|oid, st| {
+            objects.push(ObjectSnapshot {
                 oid,
                 class: registry.get(st.class).name.clone(),
                 slots: st.slots.clone(),
-            })
-            .collect();
+            });
+        });
         objects.sort_by_key(|o| o.oid);
         Snapshot {
             classes,
@@ -103,7 +103,7 @@ impl Snapshot {
         for decl in &self.classes {
             registry.define(decl.clone())?;
         }
-        let mut store = ObjectStore::new();
+        let store = ObjectStore::new();
         for obj in &self.objects {
             let class = registry.id_of(&obj.class)?;
             store.insert_raw(
@@ -134,7 +134,7 @@ mod tests {
             .unwrap();
         reg.define(ClassDecl::new("Manager").parent("Employee"))
             .unwrap();
-        let mut store = ObjectStore::new();
+        let store = ObjectStore::new();
         let fred = store.create(&reg, emp);
         store
             .set_attr(&reg, fred, "salary", Value::Float(90.0))
@@ -152,7 +152,7 @@ mod tests {
         let (reg2, store2) = snap.restore().unwrap();
         assert_eq!(reg2.len(), 2);
         assert_eq!(store2.len(), 1);
-        let fred = store2.iter().next().unwrap().0;
+        let fred = snap.objects[0].oid;
         assert_eq!(
             store2.get_attr(&reg2, fred, "salary").unwrap(),
             Value::Float(90.0)
@@ -186,7 +186,7 @@ mod tests {
     fn restored_store_does_not_reuse_oids() {
         let (reg, store) = build();
         let snap = Snapshot::capture(&reg, &store, 0, String::new());
-        let (reg2, mut store2) = snap.restore().unwrap();
+        let (reg2, store2) = snap.restore().unwrap();
         let max = snap.objects.iter().map(|o| o.oid).max().unwrap();
         let emp = reg2.id_of("Employee").unwrap();
         assert!(store2.create(&reg2, emp) > max);

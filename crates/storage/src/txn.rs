@@ -108,7 +108,7 @@ impl TxnManager {
 
     /// Abort: replay the undo log in reverse against `store`. Returns the
     /// aborted id.
-    pub fn abort(&mut self, store: &mut ObjectStore) -> Result<TxnId> {
+    pub fn abort(&mut self, store: &ObjectStore) -> Result<TxnId> {
         let t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
         for op in t.undo.into_iter().rev() {
             match op {
@@ -119,9 +119,7 @@ impl TxnManager {
                     let _ = store.delete(oid);
                 }
                 UndoOp::SetSlot { oid, slot, old } => {
-                    if let Ok(st) = store.state_mut(oid) {
-                        st.slots[slot] = old;
-                    }
+                    let _ = store.with_state_mut(oid, |st| st.slots[slot] = old);
                 }
                 UndoOp::Delete { oid, state } => {
                     store.restore_state(oid, state);
@@ -173,7 +171,7 @@ mod tests {
 
     #[test]
     fn abort_rolls_back_set_create_delete() {
-        let (reg, mut store, mut tm) = setup();
+        let (reg, store, mut tm) = setup();
         let acct = reg.id_of("Account").unwrap();
         // Pre-existing object, set before the transaction.
         let a = store.create(&reg, acct);
@@ -196,7 +194,7 @@ mod tests {
         tm.record(UndoOp::Delete { oid: a, state: st }).unwrap();
 
         assert_eq!(tm.undo_len(), 3);
-        tm.abort(&mut store).unwrap();
+        tm.abort(&store).unwrap();
 
         // a back with its pre-transaction balance; b gone.
         assert!(store.exists(a));
@@ -210,7 +208,7 @@ mod tests {
 
     #[test]
     fn abort_handles_multiple_writes_to_same_slot() {
-        let (reg, mut store, mut tm) = setup();
+        let (reg, store, mut tm) = setup();
         let acct = reg.id_of("Account").unwrap();
         let a = store.create(&reg, acct);
         let slot = reg.get(acct).slot_of("balance").unwrap();
@@ -220,7 +218,7 @@ mod tests {
             let old = store.set_attr(&reg, a, "balance", Value::Float(v)).unwrap();
             tm.record(UndoOp::SetSlot { oid: a, slot, old }).unwrap();
         }
-        tm.abort(&mut store).unwrap();
+        tm.abort(&store).unwrap();
         assert_eq!(
             store.get_attr(&reg, a, "balance").unwrap(),
             Value::Float(0.0),
@@ -239,11 +237,11 @@ mod tests {
 
     #[test]
     fn txn_ids_are_unique_and_increasing() {
-        let (_, mut store, mut tm) = setup();
+        let (_, store, mut tm) = setup();
         let a = tm.begin().unwrap();
         tm.commit().unwrap();
         let b = tm.begin().unwrap();
-        tm.abort(&mut store).unwrap();
+        tm.abort(&store).unwrap();
         let c = tm.begin().unwrap();
         assert!(a < b && b < c);
     }

@@ -3,7 +3,43 @@
 
 use crate::handle::TelemetrySnapshot;
 use crate::histogram::HistogramSnapshot;
+use crate::shard::ShardLoad;
 use std::fmt::Write;
+
+/// Render per-shard store-lock counters in the Prometheus text format:
+/// `sentinel_store_shard_{reads,writes}_total{shard="i"}`. Appended by
+/// the database facade after [`prometheus_text`].
+pub fn prometheus_shard_text(loads: &[ShardLoad]) -> String {
+    let mut out = String::new();
+    if loads.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "# HELP sentinel_store_shard_reads_total Read-lock acquisitions per store shard."
+    );
+    let _ = writeln!(out, "# TYPE sentinel_store_shard_reads_total counter");
+    for l in loads {
+        let _ = writeln!(
+            out,
+            "sentinel_store_shard_reads_total{{shard=\"{}\"}} {}",
+            l.shard, l.reads
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP sentinel_store_shard_writes_total Write-lock acquisitions per store shard."
+    );
+    let _ = writeln!(out, "# TYPE sentinel_store_shard_writes_total counter");
+    for l in loads {
+        let _ = writeln!(
+            out,
+            "sentinel_store_shard_writes_total{{shard=\"{}\"}} {}",
+            l.shard, l.writes
+        );
+    }
+    out
+}
 
 /// Render a snapshot (plus caller-supplied counters, e.g. the database
 /// facade's `DbStats`/`EngineStats`) in the Prometheus text exposition

@@ -28,11 +28,13 @@
 pub mod export;
 pub mod handle;
 pub mod histogram;
+pub mod shard;
 pub mod stage;
 pub mod trace;
 
-pub use export::prometheus_text;
+pub use export::{prometheus_shard_text, prometheus_text};
 pub use handle::{BodyKind, Telemetry, TelemetrySnapshot, Timer, TraceMeta};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use shard::{ShardCounters, ShardLoad};
 pub use stage::Stage;
 pub use trace::{RingBufferSink, TraceRecord, TraceSink};

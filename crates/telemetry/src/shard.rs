@@ -1,0 +1,158 @@
+//! Per-shard load counters for the sharded object store.
+//!
+//! The store takes one reader/writer lock per shard; these counters
+//! record how many read-side and write-side acquisitions each shard has
+//! served, so skew (a hot shard serialising readers behind a writer) is
+//! visible in the metrics export instead of only in tail latencies.
+//!
+//! Same design constraints as the rest of the crate: relaxed atomics,
+//! no locks, and cells are padded apart by allocation order so two
+//! shards' counters do not share a cache line pathologically under
+//! concurrent readers.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One shard's counters. Padded to a cache line so neighbouring shards'
+/// counters do not false-share under concurrent readers.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct ShardCell {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+/// Read/write acquisition counters, one cell per store shard.
+#[derive(Debug)]
+pub struct ShardCounters {
+    cells: Box<[ShardCell]>,
+}
+
+/// Serializable snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Read-lock acquisitions served.
+    pub reads: u64,
+    /// Write-lock acquisitions served.
+    pub writes: u64,
+}
+
+impl ShardCounters {
+    /// Counters for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ShardCounters {
+            cells: (0..shards).map(|_| ShardCell::default()).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when tracking zero shards.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Record a read-lock acquisition on `shard`.
+    #[inline]
+    pub fn record_read(&self, shard: usize) {
+        if let Some(c) = self.cells.get(shard) {
+            c.reads.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a write-lock acquisition on `shard`.
+    #[inline]
+    pub fn record_write(&self, shard: usize) {
+        if let Some(c) = self.cells.get(shard) {
+            c.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot every shard's counters.
+    pub fn snapshot(&self) -> Vec<ShardLoad> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(shard, c)| ShardLoad {
+                shard,
+                reads: c.reads.load(Ordering::Relaxed),
+                writes: c.writes.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total (reads, writes) across all shards.
+    pub fn totals(&self) -> (u64, u64) {
+        self.cells.iter().fold((0, 0), |(r, w), c| {
+            (
+                r + c.reads.load(Ordering::Relaxed),
+                w + c.writes.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Zero every counter (benchmark warm-up).
+    pub fn reset(&self) {
+        for c in self.cells.iter() {
+            c.reads.store(0, Ordering::Relaxed);
+            c.writes.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_shard() {
+        let c = ShardCounters::new(4);
+        c.record_read(0);
+        c.record_read(0);
+        c.record_write(3);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].reads, 2);
+        assert_eq!(snap[0].writes, 0);
+        assert_eq!(snap[3].writes, 1);
+        assert_eq!(c.totals(), (2, 1));
+    }
+
+    #[test]
+    fn out_of_range_is_ignored() {
+        let c = ShardCounters::new(2);
+        c.record_read(99);
+        assert_eq!(c.totals(), (0, 0));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = ShardCounters::new(2);
+        c.record_write(1);
+        c.reset();
+        assert_eq!(c.totals(), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let c = std::sync::Arc::new(ShardCounters::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    c.record_read((t + i) % 8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.totals(), (4000, 0));
+    }
+}

@@ -75,13 +75,11 @@ fn bodies(db: &mut Database) {
 fn rules(db: &mut Database) -> Result<()> {
     db.add_class_rule(
         "Account",
-        RuleDef::new(
-            "NoOverdraft",
-            event("begin Account::Withdraw(float x)")?,
-            ACTION_ABORT,
-        )
-        .condition("would-overdraw")
-        .priority(10),
+        RuleDef::on(event("begin Account::Withdraw(float x)")?)
+            .named("NoOverdraft")
+            .when("would-overdraw")
+            .then(ACTION_ABORT)
+            .priority(10),
     )?;
     db.define_event(
         "DepWit",
@@ -89,17 +87,17 @@ fn rules(db: &mut Database) -> Result<()> {
     )?;
     db.add_class_rule(
         "Account",
-        RuleDef::new(
-            "SuspiciousFlow",
-            db.event_expr("DepWit")?,
-            "mark-suspicious",
-        )
-        .condition("same-account")
-        .context(ParamContext::Chronicle),
+        RuleDef::on(db.event_expr("DepWit")?)
+            .named("SuspiciousFlow")
+            .when("same-account")
+            .then("mark-suspicious")
+            .context(ParamContext::Chronicle),
     )?;
     db.add_class_rule(
         "Account",
-        RuleDef::new("Audit", event("end Account::Deposit(float x)")?, "audit")
+        RuleDef::on(event("end Account::Deposit(float x)")?)
+            .named("Audit")
+            .then("audit")
             .coupling(CouplingMode::Detached),
     )?;
     Ok(())

@@ -39,12 +39,10 @@ fn main() -> Result<()> {
     });
     let safety_oid = db.add_class_rule(
         "Reactor",
-        RuleDef::new(
-            "Scram",
-            event("end Reactor::SetTemperature(float t)")?,
-            "scram",
-        )
-        .condition("too-hot"),
+        RuleDef::on(event("end Reactor::SetTemperature(float t)")?)
+            .named("Scram")
+            .when("too-hot")
+            .then("scram"),
     )?;
 
     // The meta-rule: watch the Scram *rule object* and re-enable it.
@@ -54,12 +52,10 @@ fn main() -> Result<()> {
         Ok(())
     });
     db.add_rule(
-        RuleDef::new(
-            "ScramGuardian",
-            event("end Rule::Disable()")?,
-            "re-enable-scram",
-        )
-        .coupling(CouplingMode::Detached),
+        RuleDef::on(event("end Rule::Disable()")?)
+            .named("ScramGuardian")
+            .then("re-enable-scram")
+            .coupling(CouplingMode::Detached),
     )?;
     // The meta-rule subscribes to the rule object — rules are reactive
     // objects like any other.

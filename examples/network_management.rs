@@ -8,12 +8,13 @@
 //! * a `not(recover) in (down, probe)` rule pages when a link goes down
 //!   and is still down when the next health probe arrives;
 //! * queries + an **attribute index** drive the operator dashboard;
-//! * a **detached** audit rule runs on `SharedDatabase`'s background
-//!   executor so event processing never blocks the data path.
+//! * a **detached** audit rule runs on `Sentinel`'s background
+//!   executor, and the dashboard reads through a `Session` that never
+//!   blocks the data path.
 //!
 //! Run with: `cargo run --example network_management`
 
-use sentinel::db::{attr, event, Query, SharedDatabase};
+use sentinel::db::{attr, event, Query, Sentinel, Target};
 use sentinel::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,7 +71,7 @@ fn main() -> Result<()> {
             t2.fetch_add(1, Ordering::Relaxed);
         },
     )?;
-    db.subscribe_class("Link", "TransitionTally")?;
+    db.subscribe(Target::Class("Link"), "TransitionTally")?;
 
     let pager = db.create("Pager")?;
 
@@ -85,11 +86,11 @@ fn main() -> Result<()> {
         )?;
         Ok(())
     });
-    db.add_rule(RuleDef::new(
-        "FlapEscalation",
-        event("end Link::Down()")?.times(3),
-        "escalate",
-    ))?;
+    db.add_rule(
+        RuleDef::on(event("end Link::Down()")?.times(3))
+            .named("FlapEscalation")
+            .then("escalate"),
+    )?;
 
     // Sustained outage: Down, then a Probe with no Up in between.
     db.register_action("page-outage", move |w, f| {
@@ -102,15 +103,15 @@ fn main() -> Result<()> {
         )?;
         Ok(())
     });
-    db.add_rule(RuleDef::new(
-        "SustainedOutage",
-        EventExpr::not_between(
+    db.add_rule(
+        RuleDef::on(EventExpr::not_between(
             event("end Link::Up()")?,
             event("end Link::Down()")?,
             event("end Link::Probe(float latency)")?,
-        ),
-        "page-outage",
-    ))?;
+        ))
+        .named("SustainedOutage")
+        .then("page-outage"),
+    )?;
 
     // Detached audit trail, drained by the background executor.
     db.define_class(ClassDecl::new("Audit").attr("entries", TypeTag::Int))?;
@@ -121,7 +122,9 @@ fn main() -> Result<()> {
     });
     db.add_class_rule(
         "Link",
-        RuleDef::new("AuditTransitions", event("end Link::Down()")?, "audit")
+        RuleDef::on(event("end Link::Down()")?)
+            .named("AuditTransitions")
+            .then("audit")
             .coupling(CouplingMode::Detached),
     )?;
 
@@ -134,26 +137,27 @@ fn main() -> Result<()> {
     db.subscribe(backbone, "FlapEscalation")?;
     db.subscribe(backbone, "SustainedOutage")?;
 
-    let shared = SharedDatabase::new(db);
+    let sentinel = Sentinel::open(db);
 
     // A day in the life: the backbone flaps, the edge link misbehaves
     // unmonitored.
     for i in 0..3 {
-        shared.try_with(|db| db.send(backbone, "Down", &[]))?;
-        shared.try_with(|db| db.send(edge, "Down", &[]))?;
+        sentinel.try_with(|db| db.send(backbone, "Down", &[]))?;
+        sentinel.try_with(|db| db.send(edge, "Down", &[]))?;
         if i < 2 {
-            shared.try_with(|db| db.send(backbone, "Up", &[]))?;
+            sentinel.try_with(|db| db.send(backbone, "Up", &[]))?;
         }
-        shared.try_with(|db| db.send(edge, "Up", &[]))?;
+        sentinel.try_with(|db| db.send(edge, "Up", &[]))?;
     }
     // Health probes: the backbone is still down on the last one.
-    shared.try_with(|db| db.send(backbone, "Probe", &[Value::Float(42.0)]))?;
-    shared.try_with(|db| db.send(edge, "Probe", &[Value::Float(7.5)]))?;
+    sentinel.try_with(|db| db.send(backbone, "Probe", &[Value::Float(42.0)]))?;
+    sentinel.try_with(|db| db.send(edge, "Probe", &[Value::Float(7.5)]))?;
 
-    shared.drain();
-    let db = shared.shutdown();
+    sentinel.drain();
 
-    let pages = db.get_attr(pager, "pages")?;
+    // The NOC dashboard reads through a session — no core lock taken.
+    let session = sentinel.session();
+    let pages = session.get_attr(pager, "pages")?;
     println!("pager:");
     for p in pages.as_list()? {
         println!("  - {p}");
@@ -172,19 +176,24 @@ fn main() -> Result<()> {
 
     println!(
         "audited downs (detached, background executor): {}",
-        db.get_attr(audit, "entries")?
+        session.get_attr(audit, "entries")?
     );
-    assert_eq!(db.get_attr(audit, "entries")?, Value::Int(6));
+    assert_eq!(session.get_attr(audit, "entries")?, Value::Int(6));
 
     // Dashboard query: slow links, via the latency index.
     let slow = Query::over("Link")
         .range("latency_ms", Some(Value::Float(10.0)), None)
         .select_attr("name")
-        .run(&db)?;
+        .run(&session)?;
     println!("links with latency >= 10ms: {slow:?}");
     assert_eq!(slow.len(), 1);
 
-    let healthy = Query::over("Link").filter(attr("up").truthy()).count(&db)?;
+    let healthy = Query::over("Link")
+        .filter(attr("up").truthy())
+        .count(&session)?;
     println!("healthy links: {healthy}/2");
+
+    let db = sentinel.shutdown()?;
+    assert_eq!(db.stats().detached_runs, 6);
     Ok(())
 }

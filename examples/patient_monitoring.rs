@@ -62,12 +62,10 @@ fn main() -> Result<()> {
         w.set_attr(dr_lee, "pages", Value::List(pages))
     });
     db.add_rule(
-        RuleDef::new(
-            "FeverAlert",
-            event("end Patient::RecordTemperature(float t)")?,
-            "page-physician",
-        )
-        .condition("fever"),
+        RuleDef::on(event("end Patient::RecordTemperature(float t)")?)
+            .named("FeverAlert")
+            .when("fever")
+            .then("page-physician"),
     )?;
 
     // Rule 2: fever followed by a medication change — review the order.
@@ -90,13 +88,13 @@ fn main() -> Result<()> {
             > 39.0)
     });
     db.add_rule(
-        RuleDef::new(
-            "MedAfterFever",
+        RuleDef::on(
             event("end Patient::RecordTemperature(float t)")?
                 .then(event("end Patient::ChangeMedication(str drug)")?),
-            "flag-med-change",
         )
-        .condition("fever-in-sequence")
+        .named("MedAfterFever")
+        .when("fever-in-sequence")
+        .then("flag-med-change")
         .context(ParamContext::Recent),
     )?;
 

@@ -69,8 +69,10 @@ fn main() -> Result<()> {
         event("end Stock::SetPrice(float p)")?.and(event("end FinancialInfo::SetValue(float v)")?);
     db.define_event("IBM-and-DowJones", purchase_event)?;
     db.add_rule(
-        RuleDef::new("Purchase", db.event_expr("IBM-and-DowJones")?, "purchase")
-            .condition("buy-window")
+        RuleDef::on(db.event_expr("IBM-and-DowJones")?)
+            .named("Purchase")
+            .when("buy-window")
+            .then("purchase")
             .context(ParamContext::Recent),
     )?;
     db.subscribe(ibm, "Purchase")?;

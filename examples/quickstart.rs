@@ -40,12 +40,10 @@ fn main() -> Result<()> {
     });
     db.add_class_rule(
         "Employee",
-        RuleDef::new(
-            "NoNegativeSalary",
-            event("end Employee::Change-Income(float amount)")?,
-            ACTION_ABORT,
-        )
-        .condition("salary-negative"),
+        RuleDef::on(event("end Employee::Change-Income(float amount)")?)
+            .named("NoNegativeSalary")
+            .when("salary-negative")
+            .then(ACTION_ABORT),
     )?;
 
     // --- Objects --------------------------------------------------------
@@ -68,7 +66,10 @@ fn main() -> Result<()> {
     let income_event = event("end Employee::Change-Income(float amount)")?
         .or(event("end Manager::Change-Income(float amount)")?);
     db.add_rule(
-        RuleDef::new("IncomeLevel", income_event, "make-equal").condition("incomes-differ"),
+        RuleDef::on(income_event)
+            .named("IncomeLevel")
+            .when("incomes-differ")
+            .then("make-equal"),
     )?;
     // The rule monitors exactly these two objects — Fred.Subscribe(IncomeLevel).
     db.subscribe(fred, "IncomeLevel")?;

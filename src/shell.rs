@@ -193,7 +193,7 @@ pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
             let [c, r] = args else {
                 return Err(ObjectError::App("subscribe-class <Class> <Rule>".into()));
             };
-            db.subscribe_class(c, r)?;
+            db.subscribe(sentinel_db::Target::Class(c), r)?;
             Ok("subscribed".into())
         }
         "enable" => {

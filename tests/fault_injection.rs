@@ -70,7 +70,15 @@ fn recovered_rule_without_code_fails_cleanly_until_rebound() {
     // panicking or silently skipping.
     let err = db.send(o, "Set", &[Value::Int(2)]).err().unwrap();
     assert!(matches!(err, ObjectError::App(_)), "got {err}");
+    // The predicates classify it: not an abort, not a lookup miss.
+    assert!(!err.is_abort());
+    assert!(!err.is_not_found());
     assert_eq!(db.get_attr(o, "v").unwrap(), Value::Int(1));
+    // Whereas asking for things that don't exist IS a lookup miss —
+    // `is_not_found()` spares callers matching `#[non_exhaustive]`
+    // variants directly.
+    assert!(db.remove_rule("NoSuchRule").unwrap_err().is_not_found());
+    assert!(db.get_attr(Oid(u64::MAX), "v").unwrap_err().is_not_found());
     // Re-registering the body restores full operation.
     db.register_action("custom-act", |_, _| Ok(()));
     db.send(o, "Set", &[Value::Int(2)]).unwrap();

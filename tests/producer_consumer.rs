@@ -175,7 +175,7 @@ fn rule_sharing_across_classes() {
         .or(event("end Sensor::Fail()").unwrap());
     db.add_rule(RuleDef::new("AnyFailure", e, "alert")).unwrap();
     for class in ["Pump", "Valve", "Sensor"] {
-        db.subscribe_class(class, "AnyFailure").unwrap();
+        db.subscribe(Target::Class(class), "AnyFailure").unwrap();
     }
     let p = db.create("Pump").unwrap();
     let v = db.create("Valve").unwrap();
