@@ -1,0 +1,129 @@
+//! Routing-index dispatch throughput: occurrences/sec on a many-rules
+//! hot object with symbol-keyed routing vs. full per-object fan-out.
+//!
+//! The scenario is the routing index's target case: 400 rules subscribed
+//! to one hot object, each watching a single one of its 40 event
+//! methods. With routing, an occurrence notifies only the 10 rules whose
+//! alphabet contains its symbol; without it, all 400 subscribers are
+//! notified and 390 detectors reject the occurrence.
+//!
+//! A custom harness (not Criterion) so the run can assert the
+//! notification counts, compute the speedup, and record the result in
+//! `BENCH_dispatch.json` at the repository root. `--quick` is the CI
+//! smoke mode: a short run with the same functional assertions that
+//! leaves the committed JSON untouched.
+
+use sentinel_bench::scenarios::routing_scenario;
+use sentinel_db::prelude::*;
+use sentinel_db::Database;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const RULES: usize = 400;
+const METHODS: usize = 40;
+
+#[derive(Serialize)]
+struct Scenario {
+    rules: usize,
+    methods: usize,
+    hot_objects: usize,
+    sends_per_sample: usize,
+    samples_per_config: usize,
+}
+
+#[derive(Serialize)]
+struct Notifications {
+    baseline_full_fanout: usize,
+    routed: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    scenario: Scenario,
+    notifications_per_occurrence: Notifications,
+    baseline_full_fanout_occ_per_sec: f64,
+    routed_occ_per_sec: f64,
+    speedup: f64,
+}
+
+/// Round-robin `sends` method invocations on the hot object; returns
+/// elapsed seconds.
+fn drive(db: &mut Database, obj: Oid, names: &[String], sends: usize) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..sends {
+        black_box(db.send(obj, &names[i % names.len()], &[]).unwrap());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Median occurrences/sec over `reps` samples of `sends` each.
+fn measure(db: &mut Database, obj: Oid, names: &[String], sends: usize, reps: usize) -> f64 {
+    drive(db, obj, names, names.len() * 4); // warm up (index build, caches)
+    let mut samples: Vec<f64> = (0..reps).map(|_| drive(db, obj, names, sends)).collect();
+    samples.sort_by(f64::total_cmp);
+    sends as f64 / samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sends, reps) = if quick { (4_000, 1) } else { (40_000, 5) };
+
+    let (mut db, obj, names) = routing_scenario(RULES, METHODS);
+
+    // Functional check before timing anything: with routing, one full
+    // round of the methods notifies each rule exactly once (only the
+    // alphabet-matching watchers hear each occurrence); without it,
+    // every round notifies all RULES subscribers per send.
+    for n in &names {
+        db.send(obj, n, &[]).unwrap();
+    }
+    db.reset_stats();
+    for n in &names {
+        db.send(obj, n, &[]).unwrap();
+    }
+    assert_eq!(db.engine_stats().notifications, RULES as u64);
+    db.set_routing_enabled(false);
+    db.reset_stats();
+    for n in &names {
+        db.send(obj, n, &[]).unwrap();
+    }
+    assert_eq!(db.engine_stats().notifications, (RULES * METHODS) as u64);
+
+    db.set_routing_enabled(false);
+    let baseline = measure(&mut db, obj, &names, sends, reps);
+    db.set_routing_enabled(true);
+    let routed = measure(&mut db, obj, &names, sends, reps);
+    let speedup = routed / baseline;
+
+    println!("dispatch_throughput ({RULES} rules, {METHODS} methods, 1 hot object)");
+    println!("  baseline (full fan-out): {baseline:>12.0} occ/s");
+    println!("  routed (symbol index):   {routed:>12.0} occ/s");
+    println!("  speedup:                 {speedup:>12.2}x");
+
+    if quick {
+        println!("  (--quick: smoke run, BENCH_dispatch.json not rewritten)");
+        return;
+    }
+    let report = Report {
+        bench: "dispatch_throughput",
+        scenario: Scenario {
+            rules: RULES,
+            methods: METHODS,
+            hot_objects: 1,
+            sends_per_sample: sends,
+            samples_per_config: reps,
+        },
+        notifications_per_occurrence: Notifications {
+            baseline_full_fanout: RULES,
+            routed: RULES / METHODS,
+        },
+        baseline_full_fanout_occ_per_sec: baseline,
+        routed_occ_per_sec: routed,
+        speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("  wrote {path}");
+}

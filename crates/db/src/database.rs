@@ -333,6 +333,13 @@ impl Database {
         self.engine.set_resolver(r);
     }
 
+    /// Toggle the engine's symbol-keyed routing index (on by default).
+    /// Disabling reverts to full per-object fan-out — the baseline the
+    /// `dispatch_throughput` benchmark measures against.
+    pub fn set_routing_enabled(&mut self, enabled: bool) {
+        self.engine.set_routing(enabled);
+    }
+
     // ------------------------------------------------------------------
     // Transactions
     // ------------------------------------------------------------------

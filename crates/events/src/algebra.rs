@@ -16,6 +16,7 @@
 //! * `aperiodic(S, M, E)` — every `M` between an `S` and the next `E`.
 
 use crate::spec::PrimitiveEventSpec;
+use sentinel_object::{ClassRegistry, EventSym};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -151,6 +152,54 @@ impl EventExpr {
         }
     }
 
+    /// The expression's primitive-event *alphabet*: the sorted, deduped
+    /// set of interned [`EventSym`]s any leaf can consume, closed over
+    /// subclass linearizations. `None` means the alphabet is unbounded:
+    /// a `Plus` operand uses a lazy timer whose deadline is signalled by
+    /// the *first subsequently delivered occurrence of any kind*, so an
+    /// expression containing `Plus` must be routed every event its
+    /// producers raise, not just alphabet members.
+    pub fn alphabet(&self, registry: &ClassRegistry) -> Option<Vec<EventSym>> {
+        let mut syms = Vec::new();
+        self.collect_alphabet(registry, &mut syms)?;
+        syms.sort_unstable();
+        syms.dedup();
+        Some(syms)
+    }
+
+    /// Recursive helper for [`EventExpr::alphabet`]; `None` aborts the
+    /// walk when an unbounded (`Plus`) operator is found.
+    fn collect_alphabet(&self, registry: &ClassRegistry, out: &mut Vec<EventSym>) -> Option<()> {
+        match self {
+            EventExpr::Primitive(s) => {
+                out.extend(s.alphabet(registry));
+                Some(())
+            }
+            EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
+                a.collect_alphabet(registry, out)?;
+                b.collect_alphabet(registry, out)
+            }
+            EventExpr::Any { exprs, .. } => {
+                for e in exprs {
+                    e.collect_alphabet(registry, out)?;
+                }
+                Some(())
+            }
+            EventExpr::Not { watch, start, end }
+            | EventExpr::Aperiodic {
+                start,
+                each: watch,
+                end,
+            } => {
+                watch.collect_alphabet(registry, out)?;
+                start.collect_alphabet(registry, out)?;
+                end.collect_alphabet(registry, out)
+            }
+            EventExpr::Times { expr, .. } => expr.collect_alphabet(registry, out),
+            EventExpr::Plus { .. } => None,
+        }
+    }
+
     /// Depth of the operator tree (a primitive has depth 1). Used by the
     /// event-management-cost experiment (E2) to sweep expression depth.
     pub fn depth(&self) -> usize {
@@ -260,6 +309,45 @@ mod tests {
         assert_eq!(not.to_string(), "not(end C::w) in (end C::s, end C::e)");
         let ap = EventExpr::aperiodic(leaf("s"), leaf("m"), leaf("e"));
         assert_eq!(ap.operator_count(), 1);
+    }
+
+    #[test]
+    fn alphabet_closes_over_subclasses_and_flags_plus_unbounded() {
+        use sentinel_object::ClassDecl;
+        let mut reg = sentinel_object::ClassRegistry::new();
+        reg.define(
+            ClassDecl::reactive("Base")
+                .method("a", &[])
+                .method("b", &[]),
+        )
+        .unwrap();
+        reg.define(ClassDecl::reactive("Sub").parent("Base"))
+            .unwrap();
+
+        let base = reg.id_of("Base").unwrap();
+        let sub = reg.id_of("Sub").unwrap();
+        let e = EventExpr::primitive(P::end("Base", "a"))
+            .and(EventExpr::primitive(P::end("Base", "b")));
+        let alpha = e.alphabet(&reg).unwrap();
+        // Each leaf contributes its Base symbol plus the Sub closure.
+        assert_eq!(alpha.len(), 4);
+        assert!(alpha.contains(&reg.event_sym(base, "a", true).unwrap()));
+        assert!(alpha.contains(&reg.event_sym(sub, "a", true).unwrap()));
+        assert!(alpha.contains(&reg.event_sym(base, "b", true).unwrap()));
+        assert!(alpha.contains(&reg.event_sym(sub, "b", true).unwrap()));
+        // Begin symbols are not in an end-spec's alphabet.
+        assert!(!alpha.contains(&reg.event_sym(base, "a", false).unwrap()));
+
+        // A Plus anywhere makes the alphabet unbounded.
+        assert!(e.clone().plus(5).alphabet(&reg).is_none());
+        assert!(e
+            .then(EventExpr::primitive(P::end("Base", "a")).plus(1))
+            .alphabet(&reg)
+            .is_none());
+
+        // Specs on unknown classes have empty alphabets (string fallback).
+        let unknown = EventExpr::primitive(P::end("Nope", "a"));
+        assert_eq!(unknown.alphabet(&reg).unwrap(), vec![]);
     }
 
     #[test]

@@ -47,8 +47,8 @@
 use crate::algebra::EventExpr;
 use crate::context::ParamContext;
 use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
-use crate::spec::EventModifier;
-use sentinel_object::{ClassId, ClassRegistry, Result};
+use crate::spec::{sym_alphabet, EventModifier};
+use sentinel_object::{ClassId, ClassRegistry, EventSym, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -131,6 +131,10 @@ pub struct DetectorInstance {
     journal: Option<Vec<JournalEntry>>,
     telemetry: Option<Arc<Telemetry>>,
     label: Arc<str>,
+    /// Registry length the leaf alphabets were computed against. The
+    /// registry is append-only, so a length mismatch means classes were
+    /// defined since compile time and subclass closures may be stale.
+    schema_len: usize,
 }
 
 impl std::fmt::Debug for DetectorInstance {
@@ -163,6 +167,7 @@ impl DetectorInstance {
             journal: None,
             telemetry: None,
             label: Arc::from(""),
+            schema_len: registry.len(),
         })
     }
 
@@ -192,6 +197,25 @@ impl DetectorInstance {
         registry: &ClassRegistry,
         occ: &PrimitiveOccurrence,
     ) -> Vec<CompositeOccurrence> {
+        let sym = registry.event_sym(occ.class, &occ.method, occ.modifier.is_end());
+        self.process_resolved(registry, occ, sym)
+    }
+
+    /// [`process`](Self::process) with the occurrence's interned symbol
+    /// already resolved by the caller (the engine resolves once per event
+    /// and shares the symbol across every notified detector). `None`
+    /// means the occurrence names a method outside the schema — leaves
+    /// then match by the string-compare fallback.
+    pub fn process_resolved(
+        &mut self,
+        registry: &ClassRegistry,
+        occ: &PrimitiveOccurrence,
+        sym: Option<EventSym>,
+    ) -> Vec<CompositeOccurrence> {
+        if self.schema_len != registry.len() {
+            self.root.refresh_alphabets(registry);
+            self.schema_len = registry.len();
+        }
         self.stats.offered += 1;
         let timer = match &self.telemetry {
             Some(t) => t.timer(),
@@ -199,6 +223,7 @@ impl DetectorInstance {
         };
         let mut env = Env {
             registry,
+            sym,
             context: self.context,
             caps: self.caps,
             matched: false,
@@ -302,6 +327,8 @@ impl DetectorInstance {
 /// Per-call environment threaded through the node recursion.
 struct Env<'a> {
     registry: &'a ClassRegistry,
+    /// The occurrence's interned symbol (`None` = out-of-schema event).
+    sym: Option<EventSym>,
     context: ParamContext,
     caps: DetectorCaps,
     matched: bool,
@@ -379,6 +406,11 @@ enum Node {
         class: ClassId,
         method: String,
         modifier: EventModifier,
+        /// Sorted interned symbols this leaf consumes (the spec closed
+        /// over subclasses). Occurrences carrying a symbol match by
+        /// binary search; symbol-less occurrences fall back to the
+        /// string compare.
+        alphabet: Vec<EventSym>,
     },
     And {
         id: u32,
@@ -440,11 +472,15 @@ impl Node {
             id
         };
         Ok(match expr {
-            EventExpr::Primitive(spec) => Node::Primitive {
-                class: registry.id_of(&spec.class)?,
-                method: spec.method.clone(),
-                modifier: spec.modifier,
-            },
+            EventExpr::Primitive(spec) => {
+                let class = registry.id_of(&spec.class)?;
+                Node::Primitive {
+                    class,
+                    method: spec.method.clone(),
+                    modifier: spec.modifier,
+                    alphabet: sym_alphabet(registry, class, &spec.method, spec.modifier),
+                }
+            }
             EventExpr::And(a, b) => Node::And {
                 id: fresh(),
                 left: Box::new(Node::compile(a, registry, next_id)?),
@@ -511,10 +547,19 @@ impl Node {
                 class,
                 method,
                 modifier,
+                alphabet,
             } => {
-                let matches = *modifier == occ.modifier
-                    && method.as_str() == &*occ.method
-                    && env.registry.is_subclass(occ.class, *class);
+                // In-schema occurrences carry an interned symbol and match
+                // by integer membership; hand-built occurrences naming
+                // undeclared methods take the string-compare fallback.
+                let matches = match env.sym {
+                    Some(sym) => alphabet.binary_search(&sym).is_ok(),
+                    None => {
+                        *modifier == occ.modifier
+                            && method.as_str() == &*occ.method
+                            && env.registry.is_subclass(occ.class, *class)
+                    }
+                };
                 if matches {
                     env.matched = true;
                     vec![CompositeOccurrence::from_primitive(occ.clone())]
@@ -1012,6 +1057,51 @@ impl Node {
             }
         }
     }
+
+    /// Recompute every leaf's symbol alphabet against a grown schema
+    /// (classes defined after compile time may add subclass symbols).
+    fn refresh_alphabets(&mut self, registry: &ClassRegistry) {
+        match self {
+            Node::Primitive {
+                class,
+                method,
+                modifier,
+                alphabet,
+            } => {
+                *alphabet = sym_alphabet(registry, *class, method, *modifier);
+            }
+            Node::Or { left, right } => {
+                left.refresh_alphabets(registry);
+                right.refresh_alphabets(registry);
+            }
+            Node::And { left, right, .. } | Node::Seq { left, right, .. } => {
+                left.refresh_alphabets(registry);
+                right.refresh_alphabets(registry);
+            }
+            Node::Any { children, .. } => {
+                for c in children {
+                    c.refresh_alphabets(registry);
+                }
+            }
+            Node::Not {
+                watch, start, end, ..
+            } => {
+                watch.refresh_alphabets(registry);
+                start.refresh_alphabets(registry);
+                end.refresh_alphabets(registry);
+            }
+            Node::Aperiodic {
+                start, each, end, ..
+            } => {
+                start.refresh_alphabets(registry);
+                each.refresh_alphabets(registry);
+                end.refresh_alphabets(registry);
+            }
+            Node::Times { child, .. } | Node::Plus { child, .. } => {
+                child.refresh_alphabets(registry);
+            }
+        }
+    }
 }
 
 /// Apply a buffer-shaped undo to an And node (both sides) or a Seq node
@@ -1281,6 +1371,24 @@ mod tests {
             d.process(&reg, &occ(&reg, 1, "Growth", "SetPrice")).len(),
             1
         );
+    }
+
+    #[test]
+    fn subclass_defined_after_compile_still_matches() {
+        // The leaf alphabet is computed at compile time; defining a new
+        // subclass afterwards must refresh it (lazily, keyed on registry
+        // length) so the subclass's fresh symbols match.
+        let mut reg = registry();
+        let mut d = DetectorInstance::compile_default(&stock("SetPrice"), &reg).unwrap();
+        assert_eq!(d.process(&reg, &occ(&reg, 1, "Stock", "SetPrice")).len(), 1);
+        reg.define(ClassDecl::reactive("Late").parent("Stock"))
+            .unwrap();
+        assert_eq!(d.process(&reg, &occ(&reg, 2, "Late", "SetPrice")).len(), 1);
+        // And the pre-resolved entry point agrees.
+        let o = occ(&reg, 3, "Late", "SetPrice");
+        let sym = o.sym(&reg);
+        assert!(sym.is_some());
+        assert_eq!(d.process_resolved(&reg, &o, sym).len(), 1);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use context::ParamContext;
 pub use detector::{DetectorCaps, DetectorInstance, DetectorStats};
 pub use occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 pub use parse::parse_signature;
-pub use spec::{EventModifier, PrimitiveEventSpec};
+pub use spec::{sym_alphabet, EventModifier, PrimitiveEventSpec};
 
 // Everything the concurrent session API moves across threads — event
 // expressions inside rule definitions, occurrences inside firings, and

@@ -1,5 +1,6 @@
 //! Primitive event specifications.
 
+use sentinel_object::{ClassId, ClassRegistry, EventSym};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -15,6 +16,14 @@ pub enum EventModifier {
     End,
 }
 
+impl EventModifier {
+    /// Is this the end-of-method half? (Selects the symbol slot in the
+    /// schema's per-method `[begin, end]` pair.)
+    pub fn is_end(self) -> bool {
+        matches!(self, EventModifier::End)
+    }
+}
+
 impl fmt::Display for EventModifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -22,6 +31,28 @@ impl fmt::Display for EventModifier {
             EventModifier::End => "end",
         })
     }
+}
+
+/// The interned-symbol *alphabet* of one primitive spec: the sorted set of
+/// [`EventSym`]s the spec can consume, closed over subclasses — a spec on
+/// `Employee::Change-Salary` also matches the `Manager` symbol for that
+/// method, because a manager *is an* employee. Matching an occurrence then
+/// reduces to an integer membership test instead of a string compare plus
+/// a linearization walk.
+pub fn sym_alphabet(
+    registry: &ClassRegistry,
+    class: ClassId,
+    method: &str,
+    modifier: EventModifier,
+) -> Vec<EventSym> {
+    let mut syms: Vec<EventSym> = registry
+        .iter()
+        .filter(|def| registry.is_subclass(def.id, class))
+        .filter_map(|def| def.event_syms(method))
+        .map(|pair| pair[modifier.is_end() as usize])
+        .collect();
+    syms.sort_unstable();
+    syms
 }
 
 /// A primitive event specification: *which* method invocations, on
@@ -59,6 +90,16 @@ impl PrimitiveEventSpec {
             class: class.into(),
             method: method.into(),
             modifier: EventModifier::End,
+        }
+    }
+
+    /// The spec's interned-symbol alphabet (see [`sym_alphabet`]). Empty
+    /// when the class is unknown or the method is undeclared — such specs
+    /// only ever match through the string-compare fallback.
+    pub fn alphabet(&self, registry: &ClassRegistry) -> Vec<EventSym> {
+        match registry.id_of(&self.class) {
+            Ok(cid) => sym_alphabet(registry, cid, &self.method, self.modifier),
+            Err(_) => Vec::new(),
         }
     }
 }

@@ -39,8 +39,8 @@ pub use method::{MethodTable, NativeFn};
 pub use object::ObjectState;
 pub use oid::{Oid, OidGenerator};
 pub use schema::{
-    AttributeDef, ClassDecl, ClassDef, ClassId, ClassRegistry, EventSpec, MethodDef, ParamDef,
-    Reactivity, Visibility,
+    AttributeDef, ClassDecl, ClassDef, ClassId, ClassRegistry, EventSpec, EventSym, EventSymInfo,
+    MethodDef, ParamDef, Reactivity, Visibility,
 };
 pub use store::ObjectStore;
 pub use value::{TypeTag, Value};

@@ -34,6 +34,36 @@ impl fmt::Display for ClassId {
     }
 }
 
+/// Interned primitive-event symbol: a dense identifier for one
+/// `(class, method, begin|end)` triple.
+///
+/// Every method visible on a class (own or inherited) gets two symbols —
+/// the paper's "every method of a class corresponds to two potential
+/// primitive events" — interned when the class is defined. A subclass
+/// receives *fresh* symbols for inherited methods: the symbol identifies
+/// the event as raised by an instance of that dynamic class, which is what
+/// lets subclass-closed alphabets match by integer compare instead of a
+/// string compare plus a linearization walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventSym(pub u32);
+
+impl fmt::Display for EventSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Reverse-lookup record for an interned [`EventSym`].
+#[derive(Debug, Clone)]
+pub struct EventSymInfo {
+    /// The dynamic class the symbol belongs to.
+    pub class: ClassId,
+    /// The method name.
+    pub method: String,
+    /// `false` = begin-of-method half, `true` = end-of-method half.
+    pub end: bool,
+}
+
 /// C++-style member visibility (paper difference #2: "the distinctions
 /// between features supported (e.g., private, protected, and public in
 /// C++) need to be accounted for").
@@ -288,6 +318,9 @@ pub struct ClassDef {
     /// Method resolution cache: name → (defining class, index into that
     /// class's `own_methods`).
     method_index: HashMap<String, (ClassId, usize)>,
+    /// Interned event symbols for every visible method:
+    /// name → `[begin-sym, end-sym]`.
+    event_sym_index: HashMap<String, [EventSym; 2]>,
 }
 
 impl ClassDef {
@@ -300,6 +333,11 @@ impl ClassDef {
     pub fn slot_count(&self) -> usize {
         self.layout.len()
     }
+
+    /// The `[begin, end]` event symbols of a visible method, if declared.
+    pub fn event_syms(&self, method: &str) -> Option<&[EventSym; 2]> {
+        self.event_sym_index.get(method)
+    }
 }
 
 /// The schema: all class definitions plus name lookup.
@@ -311,6 +349,10 @@ impl ClassDef {
 pub struct ClassRegistry {
     classes: Vec<ClassDef>,
     by_name: HashMap<String, ClassId>,
+    /// Interned event-symbol table, dense over all classes. Append-only,
+    /// like the class list, so `len()` doubles as a schema version for
+    /// caches keyed on symbols.
+    syms: Vec<EventSymInfo>,
 }
 
 impl ClassRegistry {
@@ -403,6 +445,7 @@ impl ClassRegistry {
         let mut layout: Vec<SlotDef> = Vec::new();
         let mut slot_index: HashMap<String, usize> = HashMap::new();
         let mut method_index: HashMap<String, (ClassId, usize)> = HashMap::new();
+        let mut method_order: Vec<String> = Vec::new();
         for &cid in linearization.iter().rev() {
             let (attrs, methods): (&[AttributeDef], &[MethodDef]) = if cid == id {
                 (&decl.attributes, &decl.methods)
@@ -428,8 +471,29 @@ impl ClassRegistry {
                 }
             }
             for (mi, m) in methods.iter().enumerate() {
-                method_index.insert(m.name.clone(), (cid, mi));
+                if method_index.insert(m.name.clone(), (cid, mi)).is_none() {
+                    method_order.push(m.name.clone());
+                }
             }
+        }
+
+        // Intern the event symbols: two per visible method, in the
+        // deterministic base-to-derived declaration order collected above.
+        let mut event_sym_index: HashMap<String, [EventSym; 2]> = HashMap::new();
+        for name in method_order {
+            let begin = EventSym(self.syms.len() as u32);
+            self.syms.push(EventSymInfo {
+                class: id,
+                method: name.clone(),
+                end: false,
+            });
+            let end = EventSym(self.syms.len() as u32);
+            self.syms.push(EventSymInfo {
+                class: id,
+                method: name.clone(),
+                end: true,
+            });
+            event_sym_index.insert(name, [begin, end]);
         }
 
         // A subclass of a reactive class is itself reactive.
@@ -454,6 +518,7 @@ impl ClassRegistry {
             layout,
             slot_index,
             method_index,
+            event_sym_index,
         });
         self.by_name.insert(decl.name, id);
         Ok(id)
@@ -526,6 +591,29 @@ impl ClassRegistry {
         } else {
             Ok(def.events)
         }
+    }
+
+    /// Resolve the interned symbol for a primitive event raised by an
+    /// instance of `class` invoking `method` (`end` selects the
+    /// end-of-method half). `None` when the method is not part of the
+    /// class's visible interface — callers fall back to string matching.
+    pub fn event_sym(&self, class: ClassId, method: &str, end: bool) -> Option<EventSym> {
+        self.classes
+            .get(class.0 as usize)?
+            .event_sym_index
+            .get(method)
+            .map(|pair| pair[end as usize])
+    }
+
+    /// Number of interned event symbols (grows monotonically with the
+    /// schema; usable as a cache version together with `len()`).
+    pub fn sym_count(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Reverse lookup for an interned symbol.
+    pub fn sym_info(&self, sym: EventSym) -> &EventSymInfo {
+        &self.syms[sym.0 as usize]
     }
 
     /// Total number of potential primitive events declared on a class
@@ -713,6 +801,31 @@ mod tests {
             ))
             .unwrap_err();
         assert!(matches!(err, ObjectError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn event_syms_are_interned_per_class_and_method() {
+        let (mut reg, emp) = reg_with_employee();
+        let [b, e] = *reg.get(emp).event_syms("Change-Salary").unwrap();
+        assert_ne!(b, e);
+        assert_eq!(reg.event_sym(emp, "Change-Salary", false), Some(b));
+        assert_eq!(reg.event_sym(emp, "Change-Salary", true), Some(e));
+        assert_eq!(reg.event_sym(emp, "No-Such-Method", true), None);
+        let info = reg.sym_info(e);
+        assert_eq!(info.class, emp);
+        assert_eq!(info.method, "Change-Salary");
+        assert!(info.end);
+
+        // A subclass re-interns fresh symbols for inherited methods: the
+        // symbol identifies the *dynamic* class of the raising instance.
+        let mgr = reg
+            .define(ClassDecl::reactive("Manager").parent("Employee"))
+            .unwrap();
+        let m = reg.event_sym(mgr, "Change-Salary", true).unwrap();
+        assert_ne!(m, e);
+        assert_eq!(reg.sym_info(m).class, mgr);
+        // Every visible method got both halves: 4 methods × 2 each class.
+        assert_eq!(reg.sym_count(), 16);
     }
 
     #[test]

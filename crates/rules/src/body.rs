@@ -50,6 +50,11 @@ pub type ActionFn = Arc<dyn Fn(&mut dyn World, &Firing) -> Result<()> + Send + S
 pub struct RuleBodyRegistry {
     conditions: HashMap<String, CondFn>,
     actions: HashMap<String, ActionFn>,
+    /// Bumped on every registration. Rules cache resolved body handles
+    /// tagged with this version; a mismatch re-resolves, so re-registering
+    /// a body (recovery, hot swap) invalidates every stale cache without
+    /// the registry knowing which rules reference which names.
+    version: u64,
 }
 
 impl std::fmt::Debug for RuleBodyRegistry {
@@ -74,6 +79,7 @@ impl Default for RuleBodyRegistry {
         let mut reg = RuleBodyRegistry {
             conditions: HashMap::new(),
             actions: HashMap::new(),
+            version: 0,
         };
         reg.register_condition(COND_TRUE, |_, _| Ok(true));
         reg.register_action(ACTION_ABORT, |_, firing| {
@@ -98,6 +104,7 @@ impl RuleBodyRegistry {
     where
         F: Fn(&mut dyn World, &Firing) -> Result<bool> + Send + Sync + 'static,
     {
+        self.version += 1;
         self.conditions.insert(name.into(), Arc::new(f));
     }
 
@@ -106,7 +113,13 @@ impl RuleBodyRegistry {
     where
         F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
     {
+        self.version += 1;
         self.actions.insert(name.into(), Arc::new(f));
+    }
+
+    /// Current registration version (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Fetch a condition body.

@@ -14,7 +14,7 @@ use crate::coupling::CouplingMode;
 use crate::rule::{Rule, RuleDef, RuleId, RuleStats};
 use crate::subscription::SubscriptionManager;
 use sentinel_events::{DetectorCaps, PrimitiveOccurrence};
-use sentinel_object::{ClassRegistry, ObjectError, Oid, Result};
+use sentinel_object::{ClassId, ClassRegistry, EventSym, ObjectError, Oid, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -102,6 +102,63 @@ impl EngineCounters {
     }
 }
 
+/// Keyed dispatch over `(subscription target, event symbol)`.
+///
+/// Built lazily from the subscription tables plus each rule's detector
+/// *alphabet* (the interned primitive-event symbols that can advance it,
+/// closed over subclasses). An occurrence then notifies only the rules
+/// whose alphabet contains its symbol, instead of every subscriber of
+/// the generating object. Rules with an unbounded alphabet (`Plus`
+/// deadlines are signalled by any subsequent occurrence) go in the
+/// *broad* tables and hear everything from their subscribed producers.
+///
+/// Validity is version-based: the index records the schema size, the
+/// subscription generation, and the engine epoch it was built at, and is
+/// rebuilt on any mismatch. That keeps it correct even though
+/// `engine.subscriptions` is a public field mutable behind the engine's
+/// back.
+#[derive(Debug, Default)]
+struct RoutingIndex {
+    /// Schema size at build time (the registry is append-only).
+    schema_len: usize,
+    /// Subscription-table generation at build time.
+    subs_gen: u64,
+    /// Engine epoch (rule add/remove/enable/disable) at build time.
+    epoch: u64,
+    /// Instance subscriptions of symbol-bounded rules.
+    by_object: HashMap<(Oid, EventSym), Vec<RuleId>>,
+    /// Instance subscriptions of unbounded (broad) rules.
+    broad_by_object: HashMap<Oid, Vec<RuleId>>,
+    /// Class subscriptions of symbol-bounded rules. A symbol names its
+    /// dynamic class, so subclass closure is resolved at build time and
+    /// dispatch is a single lookup — no linearization walk.
+    by_class_sym: HashMap<EventSym, Vec<RuleId>>,
+    /// Class subscriptions of unbounded rules, looked up along the
+    /// occurrence's class linearization (only when non-empty).
+    broad_by_class: HashMap<ClassId, Vec<RuleId>>,
+}
+
+impl RoutingIndex {
+    fn clear(&mut self) {
+        self.by_object.clear();
+        self.broad_by_object.clear();
+        self.by_class_sym.clear();
+        self.broad_by_class.clear();
+    }
+}
+
+/// Append `list` to `out`, skipping rules already present. Fan-outs are
+/// small, so a linear scan beats hashing and allocates nothing.
+fn push_unique(out: &mut Vec<RuleId>, list: Option<&Vec<RuleId>>) {
+    if let Some(list) = list {
+        for &r in list {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    }
+}
+
 /// Detection and scheduling for a set of first-class rules.
 pub struct RuleEngine {
     rules: HashMap<RuleId, Rule>,
@@ -118,6 +175,14 @@ pub struct RuleEngine {
     detached: Vec<ReadyFiring>,
     stats: Arc<EngineCounters>,
     scratch: Vec<RuleId>,
+    /// Lazily built `(target, symbol)` dispatch index; `None` until the
+    /// first routed occurrence and after [`set_routing`](Self::set_routing)
+    /// disables it.
+    routing: Option<RoutingIndex>,
+    routing_enabled: bool,
+    /// Bumped on rule add/remove/enable/disable — the rule-side half of
+    /// the routing index's validity stamp.
+    epoch: u64,
     /// Rules whose detectors have an undo journal open for the
     /// transaction in flight: a rule joins the set (and its journal
     /// starts) the first time it receives an occurrence after
@@ -158,9 +223,28 @@ impl RuleEngine {
             detached: Vec::new(),
             stats: Arc::new(EngineCounters::default()),
             scratch: Vec::new(),
+            routing: None,
+            routing_enabled: true,
+            epoch: 0,
             capture: None,
             telemetry: None,
         }
+    }
+
+    /// Turn the `(target, symbol)` routing index on or off. On by
+    /// default; disabling falls back to full per-object fan-out (every
+    /// subscriber of the generating object is notified) — the baseline
+    /// the `dispatch_throughput` benchmark compares against.
+    pub fn set_routing(&mut self, enabled: bool) {
+        self.routing_enabled = enabled;
+        if !enabled {
+            self.routing = None;
+        }
+    }
+
+    /// Is symbol-keyed routing enabled?
+    pub fn routing_enabled(&self) -> bool {
+        self.routing_enabled
     }
 
     /// Attach an observability handle; it is propagated to every
@@ -255,6 +339,12 @@ impl RuleEngine {
         let id = RuleId(self.next_rule);
         let name = def.name.clone();
         let mut rule = Rule::instantiate(id, oid, def, registry, self.caps)?;
+        // Resolve the body handles now so the first completion doesn't
+        // pay the name lookup. Unregistered bodies (the recovery path)
+        // stay `None` and resolve — or error — at fire time.
+        rule.cached_condition = self.bodies.condition(&rule.def.condition).ok();
+        rule.cached_action = self.bodies.action(&rule.def.action).ok();
+        rule.bodies_version = self.bodies.version();
         if let Some(tel) = &self.telemetry {
             rule.detector.set_telemetry(tel.clone(), name.as_str());
         }
@@ -263,6 +353,7 @@ impl RuleEngine {
         if !oid.is_nil() {
             self.by_oid.insert(oid, id);
         }
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -277,6 +368,7 @@ impl RuleEngine {
             self.by_oid.remove(&rule.oid);
         }
         self.subscriptions.remove_rule(id);
+        self.epoch += 1;
         Ok(rule.def)
     }
 
@@ -321,6 +413,7 @@ impl RuleEngine {
     /// Enable a rule. (Figure 7's `Enable` method.)
     pub fn enable(&mut self, id: RuleId) -> Result<()> {
         self.rule_mut(id)?.enabled = true;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -330,7 +423,78 @@ impl RuleEngine {
         let r = self.rule_mut(id)?;
         r.enabled = false;
         r.detector.reset();
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// Is the routing index still valid against every mutation source?
+    fn routing_fresh(&self, registry: &ClassRegistry) -> bool {
+        match &self.routing {
+            Some(idx) => {
+                idx.schema_len == registry.len()
+                    && idx.subs_gen == self.subscriptions.generation()
+                    && idx.epoch == self.epoch
+            }
+            None => false,
+        }
+    }
+
+    /// (Re)build the routing index from the subscription tables and the
+    /// enabled rules' alphabets. Reuses the previous index's allocations.
+    fn rebuild_routing(&mut self, registry: &ClassRegistry) {
+        for rule in self.rules.values_mut() {
+            rule.refresh_alphabet(registry);
+        }
+        let mut idx = self.routing.take().unwrap_or_default();
+        idx.clear();
+        idx.schema_len = registry.len();
+        idx.subs_gen = self.subscriptions.generation();
+        idx.epoch = self.epoch;
+        for (oid, list) in self.subscriptions.object_lists() {
+            for &rid in list {
+                let Some(rule) = self.rules.get(&rid) else {
+                    continue; // stale subscription of a deleted rule
+                };
+                if !rule.enabled {
+                    continue;
+                }
+                match &rule.alphabet {
+                    Some(syms) => {
+                        for &s in syms {
+                            idx.by_object.entry((oid, s)).or_default().push(rid);
+                        }
+                    }
+                    None => idx.broad_by_object.entry(oid).or_default().push(rid),
+                }
+            }
+        }
+        for def in registry.iter() {
+            let Some(list) = self.subscriptions.class_list(def.id) else {
+                continue;
+            };
+            for &rid in list {
+                let Some(rule) = self.rules.get(&rid) else {
+                    continue;
+                };
+                if !rule.enabled {
+                    continue;
+                }
+                match &rule.alphabet {
+                    Some(syms) => {
+                        for &s in syms {
+                            // A symbol names its dynamic class; the rule
+                            // hears it only when that class falls under
+                            // the subscribed one.
+                            if registry.is_subclass(registry.sym_info(s).class, def.id) {
+                                idx.by_class_sym.entry(s).or_default().push(rid);
+                            }
+                        }
+                    }
+                    None => idx.broad_by_class.entry(def.id).or_default().push(rid),
+                }
+            }
+        }
+        self.routing = Some(idx);
     }
 
     /// Offer one primitive occurrence: deliver it to the rules subscribed
@@ -339,6 +503,12 @@ impl RuleEngine {
     /// Deferred/detached firings are queued internally for
     /// [`take_deferred`](Self::take_deferred) /
     /// [`take_detached`](Self::take_detached).
+    ///
+    /// With routing enabled (the default) and the occurrence carrying an
+    /// interned symbol, only subscribers whose detector alphabet contains
+    /// that symbol are notified. Symbol-less occurrences (methods outside
+    /// the declared schema) and disabled routing fall back to notifying
+    /// every subscriber of the generating object.
     pub fn on_occurrence(
         &mut self,
         registry: &ClassRegistry,
@@ -349,10 +519,31 @@ impl RuleEngine {
             Some(t) => t.timer(),
             None => Timer::off(),
         };
+        let sym = occ.sym(registry);
         let mut consumers = std::mem::take(&mut self.scratch);
-        self.subscriptions
-            .consumers(registry, occ.oid, occ.class, &mut consumers);
+        match (self.routing_enabled, sym) {
+            (true, Some(s)) => {
+                if !self.routing_fresh(registry) {
+                    self.rebuild_routing(registry);
+                }
+                consumers.clear();
+                let idx = self.routing.as_ref().expect("routing index just built");
+                push_unique(&mut consumers, idx.by_object.get(&(occ.oid, s)));
+                push_unique(&mut consumers, idx.broad_by_object.get(&occ.oid));
+                push_unique(&mut consumers, idx.by_class_sym.get(&s));
+                if !idx.broad_by_class.is_empty() {
+                    for &c in &registry.get(occ.class).linearization {
+                        push_unique(&mut consumers, idx.broad_by_class.get(&c));
+                    }
+                }
+            }
+            _ => {
+                self.subscriptions
+                    .consumers(registry, occ.oid, occ.class, &mut consumers);
+            }
+        }
 
+        let bodies_version = self.bodies.version();
         let mut immediate = Vec::new();
         for rid in consumers.iter().copied() {
             let Some(rule) = self.rules.get_mut(&rid) else {
@@ -368,13 +559,21 @@ impl RuleEngine {
                     rule.detector.begin_txn();
                 }
             }
-            let completions = rule.detector.process(registry, occ);
+            let completions = rule.detector.process_resolved(registry, occ, sym);
             if completions.is_empty() {
                 continue;
             }
             rule.stats.triggered += completions.len() as u64;
-            let condition = self.bodies.condition(&rule.def.condition)?;
-            let action = self.bodies.action(&rule.def.action)?;
+            if rule.bodies_version != bodies_version
+                || rule.cached_condition.is_none()
+                || rule.cached_action.is_none()
+            {
+                rule.cached_condition = Some(self.bodies.condition(&rule.def.condition)?);
+                rule.cached_action = Some(self.bodies.action(&rule.def.action)?);
+                rule.bodies_version = bodies_version;
+            }
+            let condition = rule.cached_condition.as_ref().expect("resolved above");
+            let action = rule.cached_action.as_ref().expect("resolved above");
             for occurrence in completions {
                 let ready = ReadyFiring {
                     priority: rule.def.priority,
@@ -382,7 +581,7 @@ impl RuleEngine {
                     action: action.clone(),
                     firing: Firing {
                         rule: rid,
-                        rule_name: rule.def.name.as_str().into(),
+                        rule_name: rule.name.clone(),
                         occurrence,
                     },
                 };
@@ -404,7 +603,9 @@ impl RuleEngine {
                     }
                 };
                 if let Some(tel) = &self.telemetry {
-                    tel.hit(stage, occ.at, || rule.def.name.clone());
+                    // Lazy: the closure runs only when tracing is on.
+                    let name = &rule.name;
+                    tel.hit(stage, occ.at, || name.to_string());
                 }
             }
         }

@@ -1,10 +1,12 @@
 //! First-class rule objects (paper §3.4, Figure 7).
 
+use crate::body::{ActionFn, CondFn};
 use crate::coupling::CouplingMode;
 use sentinel_events::{DetectorCaps, DetectorInstance, EventExpr, ParamContext};
-use sentinel_object::{ClassRegistry, Oid, Result};
+use sentinel_object::{ClassRegistry, EventSym, Oid, Result};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Rule identifier, unique per engine lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -181,7 +183,6 @@ pub struct RuleStats {
 }
 
 /// A live rule: definition + runtime state + private event detector.
-#[derive(Debug)]
 pub struct Rule {
     /// Engine-local identity.
     pub id: RuleId,
@@ -190,12 +191,46 @@ pub struct Rule {
     pub oid: Oid,
     /// The serializable definition.
     pub def: RuleDef,
+    /// The rule's name, shared: firings and telemetry labels clone the
+    /// `Arc`, not the string.
+    pub name: Arc<str>,
     /// Disabled rules receive no events and hold no detector state.
     pub enabled: bool,
     /// The rule's private event detector (paper Figure 2).
     pub detector: DetectorInstance,
     /// Firing counters.
     pub stats: RuleStats,
+    /// The detector's primitive-event alphabet: the interned symbols that
+    /// can advance it, closed over subclasses. `None` means unbounded
+    /// (the expression contains `Plus`, whose deadline is signalled by
+    /// any subsequent occurrence) — such rules are routed broadly.
+    pub(crate) alphabet: Option<Vec<EventSym>>,
+    /// Schema size the alphabet was computed against; a later `define`
+    /// may add subclasses whose symbols belong in the alphabet.
+    pub(crate) alphabet_schema_len: usize,
+    /// Resolved condition body, cached at registration so completions
+    /// skip the name → body map lookup.
+    pub(crate) cached_condition: Option<CondFn>,
+    /// Resolved action body (same caching discipline).
+    pub(crate) cached_action: Option<ActionFn>,
+    /// Body-registry version the cached handles were resolved at;
+    /// re-registering a body bumps the registry version and forces a
+    /// re-resolve on next completion.
+    pub(crate) bodies_version: u64,
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Rule")
+            .field("id", &self.id)
+            .field("oid", &self.oid)
+            .field("def", &self.def)
+            .field("enabled", &self.enabled)
+            .field("detector", &self.detector)
+            .field("stats", &self.stats)
+            .field("alphabet", &self.alphabet)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Rule {
@@ -208,14 +243,31 @@ impl Rule {
         caps: DetectorCaps,
     ) -> Result<Self> {
         let detector = DetectorInstance::compile(&def.event, registry, def.context, caps)?;
+        let name: Arc<str> = def.name.as_str().into();
+        let alphabet = def.event.alphabet(registry);
         Ok(Rule {
             id,
             oid,
             def,
+            name,
             enabled: true,
             detector,
             stats: RuleStats::default(),
+            alphabet,
+            alphabet_schema_len: registry.len(),
+            cached_condition: None,
+            cached_action: None,
+            bodies_version: 0,
         })
+    }
+
+    /// Recompute the alphabet if classes were defined since it was last
+    /// derived (a new subclass adds fresh symbols for inherited methods).
+    pub(crate) fn refresh_alphabet(&mut self, registry: &ClassRegistry) {
+        if self.alphabet_schema_len != registry.len() {
+            self.alphabet = self.def.event.alphabet(registry);
+            self.alphabet_schema_len = registry.len();
+        }
     }
 }
 

@@ -30,6 +30,11 @@ pub struct SubscriptionManager {
     // Reverse indices so a rule can be dropped in O(its subscriptions).
     objects_of: HashMap<RuleId, HashSet<Oid>>,
     classes_of: HashMap<RuleId, HashSet<ClassId>>,
+    /// Bumped on every mutation. The engine's routing index records the
+    /// generation it was built at and rebuilds on mismatch, which keeps
+    /// the index correct even though these methods are reachable without
+    /// going through the engine (`engine.subscriptions` is public).
+    generation: u64,
 }
 
 impl SubscriptionManager {
@@ -43,6 +48,7 @@ impl SubscriptionManager {
     pub fn subscribe_object(&mut self, object: Oid, rule: RuleId) {
         if self.objects_of.entry(rule).or_default().insert(object) {
             self.by_object.entry(object).or_default().push(rule);
+            self.generation += 1;
         }
     }
 
@@ -53,6 +59,7 @@ impl SubscriptionManager {
                 if let Some(v) = self.by_object.get_mut(&object) {
                     v.retain(|&r| r != rule);
                 }
+                self.generation += 1;
             }
         }
     }
@@ -62,6 +69,7 @@ impl SubscriptionManager {
     pub fn subscribe_class(&mut self, class: ClassId, rule: RuleId) {
         if self.classes_of.entry(rule).or_default().insert(class) {
             self.by_class.entry(class).or_default().push(rule);
+            self.generation += 1;
         }
     }
 
@@ -72,6 +80,7 @@ impl SubscriptionManager {
                 if let Some(v) = self.by_class.get_mut(&class) {
                     v.retain(|&r| r != rule);
                 }
+                self.generation += 1;
             }
         }
     }
@@ -83,6 +92,7 @@ impl SubscriptionManager {
                 if let Some(v) = self.by_object.get_mut(&o) {
                     v.retain(|&r| r != rule);
                 }
+                self.generation += 1;
             }
         }
         if let Some(classes) = self.classes_of.remove(&rule) {
@@ -90,6 +100,7 @@ impl SubscriptionManager {
                 if let Some(v) = self.by_class.get_mut(&c) {
                     v.retain(|&r| r != rule);
                 }
+                self.generation += 1;
             }
         }
     }
@@ -102,13 +113,36 @@ impl SubscriptionManager {
                     set.remove(&object);
                 }
             }
+            self.generation += 1;
         }
+    }
+
+    /// Mutation counter: changes whenever any subscription edge is added
+    /// or removed. Caches over the consumer lists key on this.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Iterate the instance-level consumer lists (index construction).
+    pub(crate) fn object_lists(&self) -> impl Iterator<Item = (Oid, &[RuleId])> {
+        self.by_object.iter().map(|(&o, v)| (o, v.as_slice()))
+    }
+
+    /// The consumer list of one class, if any (index construction).
+    pub(crate) fn class_list(&self, class: ClassId) -> Option<&[RuleId]> {
+        self.by_class.get(&class).map(Vec::as_slice)
     }
 
     /// The consumers to notify when `object` (of dynamic class `class`)
     /// generates an event: its instance subscribers plus the class
     /// subscribers of every class in its linearization, deduplicated in
     /// subscription order.
+    ///
+    /// `out` doubles as the seen-list: fan-outs are small, so one linear
+    /// `contains` scan per class subscriber beats allocating a `HashSet`
+    /// per event. Instance lists are duplicate-free by construction
+    /// (idempotent insert), so only the class loop needs the scan — which
+    /// also catches a rule subscribed both to the object and its class.
     pub fn consumers(
         &self,
         registry: &ClassRegistry,
@@ -129,10 +163,6 @@ impl SubscriptionManager {
                 }
             }
         }
-        // Instance-level duplicates (same rule subscribed twice) cannot
-        // happen (idempotent insert), but a rule subscribed both to the
-        // object and its class must be delivered once.
-        dedup_preserving_order(out);
     }
 
     /// The objects a rule is subscribed to (unspecified order).
@@ -166,11 +196,6 @@ impl SubscriptionManager {
         self.objects_of.values().map(HashSet::len).sum::<usize>()
             + self.classes_of.values().map(HashSet::len).sum::<usize>()
     }
-}
-
-fn dedup_preserving_order(v: &mut Vec<RuleId>) {
-    let mut seen = HashSet::with_capacity(v.len());
-    v.retain(|r| seen.insert(*r));
 }
 
 #[cfg(test)]

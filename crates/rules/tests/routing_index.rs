@@ -1,0 +1,258 @@
+//! Routing-index correctness under every invalidation source.
+//!
+//! The engine's `(target, symbol)` dispatch index is rebuilt lazily from
+//! version stamps (schema size, subscription generation, engine epoch).
+//! These tests drive events, mutate each stamp's source, and assert the
+//! delivered notification counts — the observable the index changes —
+//! against what per-object fan-out would deliver.
+
+use sentinel_events::PrimitiveOccurrence;
+use sentinel_events::{EventExpr, EventModifier, ParamContext, PrimitiveEventSpec};
+use sentinel_object::{ClassDecl, ClassRegistry, Oid, Value};
+use sentinel_rules::{RuleDef, RuleEngine, ACTION_NOOP};
+use std::sync::Arc;
+
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    reg.define(
+        ClassDecl::reactive("Stock")
+            .method("SetPrice", &[])
+            .method("SetVolume", &[]),
+    )
+    .unwrap();
+    reg
+}
+
+fn occ(reg: &ClassRegistry, at: u64, oid: u64, class: &str, method: &str) -> PrimitiveOccurrence {
+    let cid = reg.id_of(class).unwrap();
+    PrimitiveOccurrence {
+        at,
+        oid: Oid(oid),
+        class: cid,
+        owner: cid,
+        method: method.into(),
+        modifier: EventModifier::End,
+        params: Arc::from(vec![Value::Int(at as i64)]),
+    }
+}
+
+fn watcher(name: &str, class: &str, method: &str) -> RuleDef {
+    RuleDef::new(
+        name,
+        EventExpr::primitive(PrimitiveEventSpec::end(class, method)),
+        ACTION_NOOP,
+    )
+}
+
+/// Routing filters notifications down to the alphabet-matching rules;
+/// disabling it reverts to notifying every subscriber of the object.
+#[test]
+fn routing_enable_disable_changes_fanout() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let price = eng
+        .add_rule(watcher("price", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    let volume = eng
+        .add_rule(watcher("volume", "Stock", "SetVolume"), Oid::NIL, &reg)
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), price);
+    eng.subscriptions.subscribe_object(Oid(1), volume);
+
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    // Routed: only the SetPrice watcher was notified.
+    assert_eq!(eng.stats().notifications, 1);
+    assert_eq!(eng.rule(price).unwrap().stats.notifications, 1);
+    assert_eq!(eng.rule(volume).unwrap().stats.notifications, 0);
+
+    eng.set_routing(false);
+    eng.on_occurrence(&reg, &occ(&reg, 2, 1, "Stock", "SetPrice"))
+        .unwrap();
+    // Full fan-out: both subscribers notified (the volume watcher's
+    // detector rejects the occurrence itself).
+    assert_eq!(eng.stats().notifications, 3);
+    assert_eq!(eng.rule(volume).unwrap().stats.notifications, 1);
+
+    eng.set_routing(true);
+    eng.on_occurrence(&reg, &occ(&reg, 3, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 4);
+    assert_eq!(eng.rule(volume).unwrap().stats.notifications, 1);
+}
+
+/// Removing a rule after the index was built must stop its deliveries;
+/// detection results stay identical to the fallback path.
+#[test]
+fn remove_rule_invalidates_index() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let a = eng
+        .add_rule(watcher("a", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    let b = eng
+        .add_rule(watcher("b", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), a);
+    eng.subscriptions.subscribe_object(Oid(1), b);
+
+    let fired = eng
+        .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(fired.len(), 2);
+    assert_eq!(eng.stats().notifications, 2);
+
+    eng.remove_rule(a).unwrap();
+    let fired = eng
+        .on_occurrence(&reg, &occ(&reg, 2, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].firing.rule, b);
+    assert_eq!(eng.stats().notifications, 3);
+}
+
+/// Disabled rules drop out of the index; re-enabling re-admits them.
+#[test]
+fn disable_enable_invalidates_index() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let r = eng
+        .add_rule(watcher("r", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), r);
+
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 1);
+
+    eng.disable(r).unwrap();
+    eng.on_occurrence(&reg, &occ(&reg, 2, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 1, "disabled: not notified");
+    assert_eq!(eng.rule(r).unwrap().stats.notifications, 1);
+
+    eng.enable(r).unwrap();
+    let fired = eng
+        .on_occurrence(&reg, &occ(&reg, 3, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(fired.len(), 1);
+    assert_eq!(eng.stats().notifications, 2);
+}
+
+/// Subscribing and unsubscribing after events already flowed (the index
+/// is hot) must be reflected on the very next occurrence, including
+/// mutations made through the public `subscriptions` field.
+#[test]
+fn subscribe_unsubscribe_after_events_flowed() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let r = eng
+        .add_rule(watcher("r", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), r);
+
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 1);
+
+    // A second producer subscribed while the index is hot.
+    eng.subscriptions.subscribe_object(Oid(2), r);
+    eng.on_occurrence(&reg, &occ(&reg, 2, 2, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 2);
+
+    eng.subscriptions.unsubscribe_object(Oid(1), r);
+    eng.on_occurrence(&reg, &occ(&reg, 3, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 2, "unsubscribed: silent");
+
+    // Class subscription added late is honoured too.
+    let stock = reg.id_of("Stock").unwrap();
+    eng.subscriptions.subscribe_class(stock, r);
+    eng.on_occurrence(&reg, &occ(&reg, 4, 7, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 3);
+    eng.subscriptions.unsubscribe_class(stock, r);
+    eng.on_occurrence(&reg, &occ(&reg, 5, 7, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 3);
+}
+
+/// A subclass defined *after* a rule (and its index entry) exists mints
+/// fresh symbols for inherited methods; an instance of that subclass
+/// raising the parent-spec method must still reach the rule.
+#[test]
+fn subclass_instance_raises_parent_spec_method() {
+    let mut reg = registry();
+    let mut eng = RuleEngine::new();
+    let r = eng
+        .add_rule(watcher("r", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    let stock = reg.id_of("Stock").unwrap();
+    eng.subscriptions.subscribe_class(stock, r);
+
+    // Build the index against the current schema.
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 1);
+
+    // New subclass: SetPrice on a TechStock is a *different* symbol.
+    reg.define(ClassDecl::reactive("TechStock").parent("Stock"))
+        .unwrap();
+    let fired = eng
+        .on_occurrence(&reg, &occ(&reg, 2, 9, "TechStock", "SetPrice"))
+        .unwrap();
+    assert_eq!(fired.len(), 1, "subclass event reaches the parent rule");
+    assert_eq!(eng.stats().notifications, 2);
+
+    // And the sibling method still routes away from the rule.
+    eng.on_occurrence(&reg, &occ(&reg, 3, 9, "TechStock", "SetVolume"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 2);
+}
+
+/// Expressions containing `Plus` have an unbounded alphabet (any
+/// subsequent occurrence can signal the deadline), so such rules must
+/// hear *every* event of their subscribed producers even under routing.
+#[test]
+fn plus_rules_are_routed_broadly() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let plus = EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice")).plus(5);
+    let r = eng
+        .add_rule(
+            RuleDef::new("deadline", plus, ACTION_NOOP).context(ParamContext::Chronicle),
+            Oid::NIL,
+            &reg,
+        )
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), r);
+
+    // The anchor event, then an unrelated method past the deadline: the
+    // rule must be notified of both for the deadline to be detected.
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+        .unwrap();
+    let fired = eng
+        .on_occurrence(&reg, &occ(&reg, 10, 1, "Stock", "SetVolume"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 2, "broad rule hears everything");
+    assert_eq!(fired.len(), 1, "deadline detected via unrelated event");
+}
+
+/// Occurrences whose method is outside the declared schema carry no
+/// symbol and fall back to full fan-out plus string matching.
+#[test]
+fn symbol_less_occurrences_fall_back() {
+    let reg = registry();
+    let mut eng = RuleEngine::new();
+    let r = eng
+        .add_rule(watcher("r", "Stock", "SetPrice"), Oid::NIL, &reg)
+        .unwrap();
+    eng.subscriptions.subscribe_object(Oid(1), r);
+    // "Audit" is not in Stock's declared interface: no symbol, so the
+    // engine falls back to notifying every subscriber.
+    eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "Audit"))
+        .unwrap();
+    assert_eq!(eng.stats().notifications, 1);
+    assert_eq!(eng.rule(r).unwrap().stats.triggered, 0);
+}
