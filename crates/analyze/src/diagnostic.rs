@@ -1,0 +1,194 @@
+//! Typed diagnostics: stable codes, severities, ordering.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail the CI gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory: reduces analysis precision or smells, but is legal.
+    Info,
+    /// Likely a mistake; the rule set still has a defined semantics.
+    Warning,
+    /// The rule set is broken: non-terminating, dead, or unrunnable.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes — the analyzer's public vocabulary. The
+/// string forms (kebab-case) are what tests, the shell table, and CI
+/// output match on; they must never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DiagCode {
+    /// A cycle of definite triggering edges containing at least one
+    /// Immediate-coupled rule: unbounded recursion inside a transaction.
+    ImmediateCycle,
+    /// A cycle of definite triggering edges whose members are all
+    /// Deferred/Detached: each round is bounded, but the set never
+    /// quiesces.
+    DeferredCycle,
+    /// A cycle that exists only through conservative "effects unknown"
+    /// edges — possibly spurious; declare effects to resolve.
+    PotentialCycle,
+    /// Same-priority rules triggerable by one occurrence whose declared
+    /// writes overlap: the final state depends on execution order.
+    NonConfluent,
+    /// The rule's subscriptions can never deliver any symbol of its
+    /// alphabet: the rule can never trigger.
+    UnreachableRule,
+    /// One particular subscription delivers no alphabet symbol (other
+    /// subscriptions keep the rule reachable).
+    DeafSubscription,
+    /// The rule has no subscriptions at all, so it never triggers.
+    NoSubscription,
+    /// The rule is disabled and no enabled rule (nor any action with
+    /// unknown effects) can re-enable it.
+    DisabledForever,
+    /// Every occurrence that can trigger this rule also triggers a
+    /// higher-priority Immediate rule that unconditionally aborts.
+    ShadowedByAbort,
+    /// A `Seq` operand whose alphabet is empty under the current
+    /// schema: the sequence can never complete.
+    SeqDeadOperand,
+    /// A `Plus` with `delta == 0` — "zero ticks after E" is just E,
+    /// at the cost of unbounded routing.
+    PlusZeroDeadline,
+    /// A conjunction (`And`/`Any`) lists the same primitive more than
+    /// once; one occurrence satisfies both operands.
+    DupPrimitiveConjunction,
+    /// The rule's action has no declared effects; the analyzer falls
+    /// back to "may raise anything".
+    UnknownEffects,
+    /// The rule references a condition/action body that is not
+    /// registered; it will error at fire time.
+    UnregisteredBody,
+    /// The runtime recorder observed a raise/write the declaration does
+    /// not cover: the declared-effects contract is wrong.
+    EffectMismatch,
+}
+
+impl DiagCode {
+    /// The stable kebab-case code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::ImmediateCycle => "immediate-cycle",
+            DiagCode::DeferredCycle => "deferred-cycle",
+            DiagCode::PotentialCycle => "potential-cycle",
+            DiagCode::NonConfluent => "non-confluent",
+            DiagCode::UnreachableRule => "unreachable-rule",
+            DiagCode::DeafSubscription => "deaf-subscription",
+            DiagCode::NoSubscription => "no-subscription",
+            DiagCode::DisabledForever => "disabled-forever",
+            DiagCode::ShadowedByAbort => "shadowed-by-abort",
+            DiagCode::SeqDeadOperand => "seq-dead-operand",
+            DiagCode::PlusZeroDeadline => "plus-zero-deadline",
+            DiagCode::DupPrimitiveConjunction => "dup-primitive-conjunction",
+            DiagCode::UnknownEffects => "unknown-effects",
+            DiagCode::UnregisteredBody => "unregistered-body",
+            DiagCode::EffectMismatch => "effect-mismatch",
+        }
+    }
+
+    /// The severity this code is always reported at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::ImmediateCycle
+            | DiagCode::UnreachableRule
+            | DiagCode::UnregisteredBody
+            | DiagCode::EffectMismatch => Severity::Error,
+            DiagCode::DeferredCycle
+            | DiagCode::NonConfluent
+            | DiagCode::NoSubscription
+            | DiagCode::DisabledForever
+            | DiagCode::ShadowedByAbort
+            | DiagCode::SeqDeadOperand
+            | DiagCode::PlusZeroDeadline
+            | DiagCode::DupPrimitiveConjunction => Severity::Warning,
+            DiagCode::PotentialCycle | DiagCode::DeafSubscription | DiagCode::UnknownEffects => {
+                Severity::Info
+            }
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (see [`DiagCode`]).
+    pub code: DiagCode,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// The rule the finding is attached to, when there is a single one.
+    pub rule: Option<String>,
+    /// Human-readable explanation with the concrete names involved.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a finding for `code` attached to rule `rule`.
+    pub fn new(
+        code: DiagCode,
+        rule: impl Into<Option<String>>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            rule: rule.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(r) = &self.rule {
+            write!(f, " rule `{r}`")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_kebab_and_severity_is_stable() {
+        assert_eq!(DiagCode::ImmediateCycle.as_str(), "immediate-cycle");
+        assert_eq!(DiagCode::ImmediateCycle.severity(), Severity::Error);
+        assert_eq!(DiagCode::UnknownEffects.severity(), Severity::Info);
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic::new(
+            DiagCode::NoSubscription,
+            Some("Audit".to_string()),
+            "rule has no subscriptions",
+        );
+        assert_eq!(
+            d.to_string(),
+            "warning[no-subscription] rule `Audit`: rule has no subscriptions"
+        );
+    }
+}

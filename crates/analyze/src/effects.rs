@@ -1,0 +1,146 @@
+//! Observed runtime effects and the declared-vs-actual diff.
+//!
+//! The declared-effects contract is only as good as the declarations;
+//! the runtime recorder (opt-in, in `sentinel-db`) captures what an
+//! action *actually* raised and wrote while it ran, and [`diff_effects`]
+//! turns divergence into `effect-mismatch` diagnostics.
+
+use crate::diagnostic::{DiagCode, Diagnostic};
+use sentinel_object::ClassRegistry;
+use sentinel_rules::ActionEffects;
+use std::collections::BTreeSet;
+
+/// What the recorder saw one action do, as `(class name, member name)`
+/// pairs. Class names are the *dynamic* class of the object involved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservedEffects {
+    /// Events raised while the action ran: `(class, method)`.
+    pub raises: BTreeSet<(String, String)>,
+    /// Attributes written while the action ran: `(class, attr)`.
+    pub writes: BTreeSet<(String, String)>,
+}
+
+impl ObservedEffects {
+    /// Record a raised primitive event.
+    pub fn record_raise(&mut self, class: impl Into<String>, method: impl Into<String>) {
+        self.raises.insert((class.into(), method.into()));
+    }
+
+    /// Record an attribute write.
+    pub fn record_write(&mut self, class: impl Into<String>, attr: impl Into<String>) {
+        self.writes.insert((class.into(), attr.into()));
+    }
+
+    /// Nothing observed.
+    pub fn is_empty(&self) -> bool {
+        self.raises.is_empty() && self.writes.is_empty()
+    }
+}
+
+/// Does a declared pattern class cover an observed (dynamic) class?
+/// Subclass-closed when both resolve in the registry; name equality
+/// otherwise.
+fn class_covers(registry: &ClassRegistry, declared: &str, observed: &str) -> bool {
+    match (registry.id_of(declared), registry.id_of(observed)) {
+        (Ok(sup), Ok(sub)) => registry.is_subclass(sub, sup),
+        _ => declared == observed,
+    }
+}
+
+/// Diff an action's observed effects against its declaration. Every
+/// observed raise/write not covered by a declared pattern yields an
+/// error-severity `effect-mismatch` diagnostic. Only call this for
+/// actions that *have* a declaration — an undeclared action promises
+/// nothing, so nothing it does can contradict it.
+pub fn diff_effects(
+    action: &str,
+    declared: &ActionEffects,
+    observed: &ObservedEffects,
+    registry: &ClassRegistry,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (class, method) in &observed.raises {
+        let covered = declared
+            .raises
+            .iter()
+            .any(|p| p.method == *method && class_covers(registry, &p.class, class));
+        if !covered {
+            out.push(Diagnostic::new(
+                DiagCode::EffectMismatch,
+                None,
+                format!(
+                    "action `{action}` raised `{class}::{method}` but its \
+                     declared effects do not include it"
+                ),
+            ));
+        }
+    }
+    for (class, attr) in &observed.writes {
+        let covered = declared
+            .writes
+            .iter()
+            .any(|p| p.attr == *attr && class_covers(registry, &p.class, class));
+        if !covered {
+            out.push(Diagnostic::new(
+                DiagCode::EffectMismatch,
+                None,
+                format!(
+                    "action `{action}` wrote `{class}.{attr}` but its \
+                     declared effects do not include it"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_object::ClassDecl;
+
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("Account").method("Withdraw", &[]))
+            .unwrap();
+        reg.define(ClassDecl::reactive("Savings").parent("Account"))
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn covered_effects_produce_no_diagnostics() {
+        let reg = registry();
+        let declared = ActionEffects::none()
+            .raising("Account", "Withdraw")
+            .writing("Account", "balance");
+        let mut obs = ObservedEffects::default();
+        // Subclass send is covered by the superclass declaration.
+        obs.record_raise("Savings", "Withdraw");
+        obs.record_write("Account", "balance");
+        assert!(diff_effects("a", &declared, &obs, &reg).is_empty());
+    }
+
+    #[test]
+    fn undeclared_raise_and_write_are_mismatches() {
+        let reg = registry();
+        let declared = ActionEffects::none();
+        let mut obs = ObservedEffects::default();
+        obs.record_raise("Account", "Withdraw");
+        obs.record_write("Account", "balance");
+        let diags = diff_effects("quiet", &declared, &obs, &reg);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == DiagCode::EffectMismatch));
+        assert!(diags[0].message.contains("`quiet`"));
+    }
+
+    #[test]
+    fn superclass_send_not_covered_by_subclass_declaration() {
+        let reg = registry();
+        // Declared on the subclass; the action touched the superclass.
+        let declared = ActionEffects::none().raising("Savings", "Withdraw");
+        let mut obs = ObservedEffects::default();
+        obs.record_raise("Account", "Withdraw");
+        assert_eq!(diff_effects("a", &declared, &obs, &reg).len(), 1);
+    }
+}

@@ -1,0 +1,295 @@
+//! The triggering graph: which rule's action can trigger which rule.
+
+use sentinel_rules::CouplingMode;
+use serde::{Deserialize, Serialize};
+
+/// A rule node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphNode {
+    /// Rule name.
+    pub rule: String,
+    /// Coupling mode (drives cycle severity).
+    pub coupling: CouplingMode,
+    /// Whether the rule is currently enabled. Disabled rules keep their
+    /// node (so the DOT dump shows them) but get no edges.
+    pub enabled: bool,
+}
+
+/// A triggering edge: the `from` rule's action can raise an event that
+/// triggers the `to` rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphEdge {
+    /// Index of the triggering rule in [`TriggeringGraph::nodes`].
+    pub from: usize,
+    /// Index of the triggered rule.
+    pub to: usize,
+    /// `true` when derived from a declared effect; `false` for the
+    /// conservative "effects unknown" edges.
+    pub definite: bool,
+    /// What carries the trigger, e.g. `Account::Withdraw (end)` — or
+    /// `effects unknown` for conservative edges.
+    pub via: String,
+}
+
+/// Rules as nodes, possible triggerings as edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TriggeringGraph {
+    /// One node per rule, in engine iteration order (sorted by name at
+    /// construction so output is deterministic).
+    pub nodes: Vec<GraphNode>,
+    /// All edges, definite and conservative.
+    pub edges: Vec<GraphEdge>,
+}
+
+/// A cyclic strongly connected component, reported by member indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// Node indices in the component (sorted).
+    pub members: Vec<usize>,
+    /// Whether the component is cyclic using definite edges alone.
+    pub definite: bool,
+}
+
+impl TriggeringGraph {
+    /// Find cyclic strongly connected components. Each returned
+    /// [`Cycle`] is either cyclic through definite edges alone
+    /// (`definite == true`) or only when conservative edges are added.
+    /// A component cyclic on definite edges is *not* re-reported at the
+    /// conservative level.
+    pub fn cycles(&self) -> Vec<Cycle> {
+        let all = self.sccs(|_| true);
+        let definite = self.sccs(|e| e.definite);
+        let mut out: Vec<Cycle> = definite
+            .iter()
+            .map(|m| Cycle {
+                members: m.clone(),
+                definite: true,
+            })
+            .collect();
+        // Conservative-level components that add something new: cyclic
+        // with all edges, not a subset relationship already reported.
+        for members in all {
+            let covered = definite
+                .iter()
+                .any(|d| members.iter().all(|m| d.contains(m)));
+            if !covered {
+                out.push(Cycle {
+                    members,
+                    definite: false,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.members.cmp(&b.members));
+        out
+    }
+
+    /// Tarjan's SCC over the subgraph of edges passing `keep`, returning
+    /// only *cyclic* components (size > 1, or a single node with a kept
+    /// self-loop), members sorted.
+    fn sccs(&self, keep: impl Fn(&GraphEdge) -> bool) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut self_loop = vec![false; n];
+        for e in &self.edges {
+            if keep(e) {
+                adj[e.from].push(e.to);
+                if e.from == e.to {
+                    self_loop[e.from] = true;
+                }
+            }
+        }
+
+        // Iterative Tarjan (explicit stack; rule sets are small but the
+        // engine shouldn't be able to overflow the thread stack either).
+        const UNSET: usize = usize::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        // (node, next child position)
+        let mut work: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != UNSET {
+                continue;
+            }
+            work.push((start, 0));
+            while let Some(&(v, ci)) = work.last() {
+                if ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = adj[v].get(ci) {
+                    work.last_mut().expect("frame present").1 += 1;
+                    if index[w] == UNSET {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if comp.len() > 1 || self_loop[comp[0]] {
+                            comp.sort_unstable();
+                            comps.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        comps.sort();
+        comps
+    }
+
+    /// Graphviz DOT rendering: solid edges are definite, dashed are
+    /// conservative; disabled rules are grayed.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph triggering {\n  rankdir=LR;\n  node [shape=box];\n");
+        for node in &self.nodes {
+            let style = if node.enabled {
+                String::new()
+            } else {
+                ", style=dashed, color=gray".to_string()
+            };
+            let _ = writeln!(
+                s,
+                "  \"{}\" [label=\"{}\\n{}\"{}];",
+                node.rule,
+                node.rule,
+                node.coupling.name(),
+                style
+            );
+        }
+        for e in &self.edges {
+            let style = if e.definite { "solid" } else { "dashed" };
+            let _ = writeln!(
+                s,
+                "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+                self.nodes[e.from].rule, self.nodes[e.to].rule, e.via, style
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Node index by rule name.
+    pub fn node_of(&self, rule: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.rule == rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str) -> GraphNode {
+        GraphNode {
+            rule: name.into(),
+            coupling: CouplingMode::Immediate,
+            enabled: true,
+        }
+    }
+
+    fn edge(from: usize, to: usize, definite: bool) -> GraphEdge {
+        GraphEdge {
+            from,
+            to,
+            definite,
+            via: if definite {
+                "X::m (end)".into()
+            } else {
+                "effects unknown".into()
+            },
+        }
+    }
+
+    #[test]
+    fn finds_definite_cycle_and_ignores_dag() {
+        let g = TriggeringGraph {
+            nodes: vec![node("a"), node("b"), node("c"), node("d")],
+            // a -> b -> a is a cycle; c -> d is not.
+            edges: vec![edge(0, 1, true), edge(1, 0, true), edge(2, 3, true)],
+        };
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members, vec![0, 1]);
+        assert!(cycles[0].definite);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = TriggeringGraph {
+            nodes: vec![node("a")],
+            edges: vec![edge(0, 0, true)],
+        };
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].members, vec![0]);
+    }
+
+    #[test]
+    fn conservative_cycle_reported_separately() {
+        let g = TriggeringGraph {
+            nodes: vec![node("a"), node("b")],
+            // Cycle only closes through the conservative edge.
+            edges: vec![edge(0, 1, true), edge(1, 0, false)],
+        };
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert!(!cycles[0].definite);
+        assert_eq!(cycles[0].members, vec![0, 1]);
+    }
+
+    #[test]
+    fn definite_cycle_not_rereported_at_conservative_level() {
+        let g = TriggeringGraph {
+            nodes: vec![node("a"), node("b"), node("c")],
+            // a <-> b definitely; c joins the component conservatively.
+            edges: vec![
+                edge(0, 1, true),
+                edge(1, 0, true),
+                edge(1, 2, false),
+                edge(2, 0, false),
+            ],
+        };
+        let cycles = g.cycles();
+        // One definite {a, b}; one conservative {a, b, c} (it is not a
+        // subset of the definite component, so it adds information).
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.iter().any(|c| c.definite && c.members == vec![0, 1]));
+        assert!(cycles
+            .iter()
+            .any(|c| !c.definite && c.members == vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn dot_renders_nodes_and_edge_styles() {
+        let mut g = TriggeringGraph {
+            nodes: vec![node("a"), node("b")],
+            edges: vec![edge(0, 1, true), edge(1, 0, false)],
+        };
+        g.nodes[1].enabled = false;
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph triggering"));
+        assert!(dot.contains("\"a\" -> \"b\" [label=\"X::m (end)\", style=solid]"));
+        assert!(dot.contains("\"b\" -> \"a\" [label=\"effects unknown\", style=dashed]"));
+        assert!(dot.contains("style=dashed, color=gray"));
+    }
+}

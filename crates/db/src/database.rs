@@ -5,18 +5,19 @@ use crate::config::DbConfig;
 use crate::index::{AttrIndex, IndexId};
 use crate::stats::{DbStats, FullStats, SharedDbStats};
 use parking_lot::RwLock;
+use sentinel_analyze::{diff_effects, AnalysisReport, ObservedEffects, RuleAnalyzer};
 use sentinel_events::{EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence};
 use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
 };
 use sentinel_rules::{
-    ConflictResolver, CouplingMode, EngineStats, Firing, ReadyFiring, RuleDef, RuleEngine, RuleId,
-    RuleStats,
+    ActionEffects, ConflictResolver, CouplingMode, EngineStats, Firing, ReadyFiring, RuleDef,
+    RuleEngine, RuleId, RuleStats,
 };
 use sentinel_storage::{LogRecord, Snapshot, TxnManager, UndoOp, Wal};
 use sentinel_telemetry::{BodyKind, Stage, Telemetry};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Names of the bootstrap meta-classes (paper Figure 3).
@@ -101,6 +102,18 @@ pub struct Database {
     /// Shared pipeline observability handle; clones live in the engine,
     /// every rule detector, and the WAL.
     telemetry: Arc<Telemetry>,
+    /// Opt-in runtime effect recorder: while `Some`, every raise and
+    /// attribute write performed during a rule action is attributed to
+    /// that action, for diffing against its declared effects.
+    effect_recorder: Option<EffectRecorder>,
+}
+
+/// Observed effects per action name, plus the stack of actions currently
+/// executing (a cascade attributes inner raises to the innermost action).
+#[derive(Default)]
+struct EffectRecorder {
+    records: BTreeMap<String, ObservedEffects>,
+    stack: Vec<String>,
 }
 
 impl std::fmt::Debug for Database {
@@ -188,6 +201,7 @@ impl Database {
             rule_class: ClassId(0),
             event_class: ClassId(0),
             telemetry,
+            effect_recorder: None,
         })
     }
 
@@ -326,6 +340,26 @@ impl Database {
         F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
     {
         self.engine.bodies.register_action(name, f);
+    }
+
+    /// Register a named rule-action body together with its declared
+    /// effects — the events it may raise and the attributes it may
+    /// write. Declared effects are the contract the static analyzer
+    /// ([`analyze`](Self::analyze)) builds the triggering graph from; an
+    /// action registered without them is conservatively treated as able
+    /// to raise anything.
+    pub fn register_action_with_effects<F>(&mut self, name: &str, effects: ActionEffects, f: F)
+    where
+        F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
+    {
+        self.engine
+            .bodies
+            .register_action_with_effects(name, effects, f);
+    }
+
+    /// Declare (or replace) the effects of an already-registered action.
+    pub fn declare_action_effects(&mut self, name: &str, effects: ActionEffects) -> Result<()> {
+        self.engine.bodies.declare_action_effects(name, effects)
     }
 
     /// Install a different conflict-resolution strategy.
@@ -710,6 +744,15 @@ impl Database {
             old,
             new: value,
         })?;
+        if let Some(rec) = &mut self.effect_recorder {
+            if let Some(action) = rec.stack.last() {
+                let class_name = self.registry.get(class).name.clone();
+                rec.records
+                    .entry(action.clone())
+                    .or_default()
+                    .record_write(class_name, attr);
+            }
+        }
         if !self.indexes.read().is_empty() {
             self.index_refresh_attr(oid, class, attr)?;
             self.txn_touched.push(oid);
@@ -845,6 +888,15 @@ impl Database {
         self.telemetry.hit(Stage::EventRaised, occ.at, || {
             format!("{}.{}:{:?}", occ.oid, occ.method, occ.modifier)
         });
+        if let Some(rec) = &mut self.effect_recorder {
+            if let Some(action) = rec.stack.last() {
+                let class_name = self.registry.get(class).name.clone();
+                rec.records
+                    .entry(action.clone())
+                    .or_default()
+                    .record_raise(class_name, occ.method.as_ref());
+            }
+        }
         let immediate = self.engine.on_occurrence(&self.registry, &occ)?;
         for f in &immediate {
             self.execute_firing(f)?;
@@ -886,10 +938,25 @@ impl Database {
                 limit: self.config.max_cascade_depth,
             });
         }
+        let mut effect_frame = false;
+        if self.effect_recorder.is_some() {
+            if let Ok(r) = self.engine.rule(f.firing.rule) {
+                let action = r.def.action.clone();
+                if let Some(rec) = &mut self.effect_recorder {
+                    rec.stack.push(action);
+                    effect_frame = true;
+                }
+            }
+        }
         self.depth += 1;
         let action_timer = self.telemetry.timer();
         let out = (f.action)(self, &f.firing);
         self.depth -= 1;
+        if effect_frame {
+            if let Some(rec) = &mut self.effect_recorder {
+                rec.stack.pop();
+            }
+        }
         let at = self.clock.now();
         if let Some(ns) = action_timer.elapsed_ns() {
             let name = &f.firing.rule_name;
@@ -1110,10 +1177,17 @@ impl Database {
         F: Fn(&Firing) + Send + Sync + 'static,
     {
         let action_name = format!("__observer::{name}");
-        self.register_action(&action_name, move |_w, firing| {
-            callback(firing);
-            Ok(())
-        });
+        // The callback only sees the firing, never the world, so the
+        // empty effects declaration is sound — and keeps observers from
+        // showing up as unknown-effects in `analyze`.
+        self.register_action_with_effects(
+            &action_name,
+            ActionEffects::none(),
+            move |_w, firing| {
+                callback(firing);
+                Ok(())
+            },
+        );
         self.add_rule(RuleDef::new(name, expr, action_name))
     }
 
@@ -1561,6 +1635,72 @@ impl Database {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Static rule-set analysis
+    // ------------------------------------------------------------------
+
+    /// Statically analyze the current rule set: build the triggering
+    /// graph from declared action effects, detect triggering cycles
+    /// (coupling-mode-aware — an all-Immediate cycle is an error, a
+    /// Deferred one a warning), and lint reachability, shadowing,
+    /// confluence, and event-expression well-formedness. When the
+    /// runtime effect recorder is on
+    /// ([`set_effect_recording`](Self::set_effect_recording)), observed
+    /// effects are additionally diffed against each action's declaration.
+    pub fn analyze(&self) -> AnalysisReport {
+        let mut object_classes = HashMap::new();
+        for r in self.engine.iter_rules() {
+            for oid in self.engine.subscriptions.objects_of(r.id) {
+                if let Ok(c) = self.store.class_of(oid) {
+                    object_classes.insert(oid, c);
+                }
+            }
+        }
+        let mut report = RuleAnalyzer::new(&self.registry, &self.engine)
+            .with_object_classes(object_classes)
+            .analyze();
+        if let Some(rec) = &self.effect_recorder {
+            for (action, observed) in &rec.records {
+                if let Some(declared) = self.engine.bodies.action_effects(action) {
+                    report.diagnostics.extend(diff_effects(
+                        action,
+                        declared,
+                        observed,
+                        &self.registry,
+                    ));
+                }
+            }
+            report.resort();
+        }
+        report
+    }
+
+    /// [`analyze`](Self::analyze) and fail on any error-severity finding
+    /// — the programmatic form of the CI analyze gate.
+    pub fn analyze_gate(&self) -> Result<()> {
+        self.analyze().gate()
+    }
+
+    /// Toggle the runtime effect recorder. Turning it on starts a fresh
+    /// record; turning it off discards all observations.
+    pub fn set_effect_recording(&mut self, on: bool) {
+        self.effect_recorder = on.then(EffectRecorder::default);
+    }
+
+    /// Observed per-action effects recorded so far (empty unless
+    /// recording is on).
+    pub fn observed_effects(&self) -> Vec<(String, ObservedEffects)> {
+        self.effect_recorder
+            .as_ref()
+            .map(|r| {
+                r.records
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------

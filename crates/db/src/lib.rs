@@ -48,6 +48,11 @@ pub use shared::SharedDatabase;
 pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
 
+pub use sentinel_analyze::{
+    AnalysisReport, DiagCode, Diagnostic, ObservedEffects, RuleAnalyzer, Severity,
+};
+pub use sentinel_rules::{ActionEffects, AttrPattern, EventPattern};
+
 /// Everything an application typically needs, re-exported flat.
 pub mod prelude {
     pub use crate::config::DbConfig;
@@ -59,6 +64,7 @@ pub mod prelude {
     pub use crate::shared::SharedDatabase;
     pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
+    pub use sentinel_analyze::{AnalysisReport, DiagCode, Diagnostic, Severity};
     pub use sentinel_events::{
         CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
         PrimitiveEventSpec, PrimitiveOccurrence,
@@ -68,8 +74,8 @@ pub mod prelude {
         TypeTag, Value, Visibility, World,
     };
     pub use sentinel_rules::{
-        CouplingMode, Firing, RuleBuilder, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP,
-        COND_TRUE,
+        ActionEffects, AttrPattern, CouplingMode, EventPattern, Firing, RuleBuilder, RuleDef,
+        RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
     };
     pub use sentinel_storage::SyncPolicy;
     pub use sentinel_telemetry::{

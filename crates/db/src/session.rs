@@ -181,6 +181,17 @@ impl Sentinel {
         self.with(f)
     }
 
+    /// Statically analyze the rule set (see [`Database::analyze`]).
+    pub fn analyze(&self) -> sentinel_analyze::AnalysisReport {
+        self.with(|db| db.analyze())
+    }
+
+    /// Fail on any error-severity analysis finding (see
+    /// [`Database::analyze_gate`]).
+    pub fn analyze_gate(&self) -> Result<()> {
+        self.with(|db| db.analyze_gate())
+    }
+
     /// Send a message (serialized through the write core).
     pub fn send(&self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
         self.with(|db| db.send(receiver, method, args))

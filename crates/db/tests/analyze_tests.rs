@@ -1,0 +1,158 @@
+//! End-to-end tests of the static rule-set analyzer surfaced through
+//! the `Database` facade and the `Sentinel` session handle, including
+//! the opt-in runtime effect recorder.
+
+use sentinel_db::prelude::*;
+use sentinel_db::{Database, DiagCode, Sentinel};
+
+/// Counter schema with an event-generating `Bump` and a plain setter.
+fn counter_db() -> Database {
+    let mut db = Database::new();
+    db.define_class(
+        ClassDecl::reactive("Counter")
+            .attr("n", TypeTag::Int)
+            .event_method("Bump", &[], EventSpec::End)
+            .event_method("Reset", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Counter", "Bump", |w, this, _| {
+        let n = w.get_attr(this, "n")?.as_int()?;
+        w.set_attr(this, "n", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    db.register_method("Counter", "Reset", |w, this, _| {
+        w.set_attr(this, "n", Value::Int(0))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    db
+}
+
+fn bump_expr() -> EventExpr {
+    EventExpr::primitive(PrimitiveEventSpec::end("Counter", "Bump"))
+}
+
+#[test]
+fn clean_rule_set_passes_the_gate() {
+    let mut db = counter_db();
+    db.register_action_with_effects(
+        "log",
+        ActionEffects::none().writing("Counter", "n"),
+        |_, _| Ok(()),
+    );
+    db.add_class_rule("Counter", RuleDef::new("BumpLog", bump_expr(), "log"))
+        .unwrap();
+    let report = db.analyze();
+    assert!(!report.has_errors(), "{}", report.render_table());
+    db.analyze_gate().unwrap();
+    assert_eq!(report.graph.nodes.len(), 1);
+}
+
+#[test]
+fn undeclared_effects_are_flagged_and_immediate_cycle_is_an_error() {
+    let mut db = counter_db();
+    // No effects declaration: conservatively "may raise anything".
+    db.register_action("mystery", |_, _| Ok(()));
+    db.add_class_rule("Counter", RuleDef::new("Mystery", bump_expr(), "mystery"))
+        .unwrap();
+    let report = db.analyze();
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::UnknownEffects && d.rule.as_deref() == Some("Mystery")));
+
+    // Declaring a self-retriggering effect upgrades the story to a
+    // definite Immediate cycle — an error the gate rejects.
+    db.declare_action_effects("mystery", ActionEffects::none().raising("Counter", "Bump"))
+        .unwrap();
+    let report = db.analyze();
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::ImmediateCycle));
+    assert!(db.analyze_gate().is_err());
+}
+
+#[test]
+fn effect_recorder_diffs_actual_behaviour_against_declarations() {
+    let mut db = counter_db();
+    // Lies twice: the action writes `n` and re-raises `Reset` events by
+    // sending Reset, but declares itself effect-free.
+    db.register_action_with_effects("liar", ActionEffects::none(), |w, f| {
+        let this = f.occurrence.constituents[0].oid;
+        w.send(this, "Reset", &[])?;
+        Ok(())
+    });
+    db.add_class_rule("Counter", RuleDef::new("Liar", bump_expr(), "liar"))
+        .unwrap();
+    let c = db.create("Counter").unwrap();
+
+    db.set_effect_recording(true);
+    db.send(c, "Bump", &[]).unwrap();
+    let observed = db.observed_effects();
+    assert_eq!(observed.len(), 1);
+    assert_eq!(observed[0].0, "liar");
+
+    let report = db.analyze();
+    let mismatches: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == DiagCode::EffectMismatch)
+        .collect();
+    assert!(
+        mismatches
+            .iter()
+            .any(|d| d.message.contains("Counter::Reset")),
+        "{}",
+        report.render_table()
+    );
+    assert!(
+        mismatches.iter().any(|d| d.message.contains("Counter.n")),
+        "{}",
+        report.render_table()
+    );
+    assert!(db.analyze_gate().is_err());
+
+    // Turning recording off clears the evidence; the static story alone
+    // has no mismatch (the declaration is empty, which only claims the
+    // action raises nothing — a claim analyze can't refute statically).
+    db.set_effect_recording(false);
+    assert!(db.observed_effects().is_empty());
+    assert!(!db
+        .analyze()
+        .diagnostics
+        .iter()
+        .any(|d| d.code == DiagCode::EffectMismatch));
+}
+
+#[test]
+fn observers_carry_empty_effects_and_stay_clean() {
+    let mut db = counter_db();
+    db.observe("watch", bump_expr(), |_| {}).unwrap();
+    db.subscribe("Counter", "watch").unwrap();
+    let report = db.analyze();
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::UnknownEffects),
+        "{}",
+        report.render_table()
+    );
+    db.analyze_gate().unwrap();
+}
+
+#[test]
+fn sentinel_session_surfaces_the_analyzer() {
+    let mut db = counter_db();
+    db.register_action_with_effects("log", ActionEffects::none(), |_, _| Ok(()));
+    db.add_class_rule("Counter", RuleDef::new("BumpLog", bump_expr(), "log"))
+        .unwrap();
+    let sentinel = Sentinel::open(db);
+    let report = sentinel.analyze();
+    assert!(!report.has_errors());
+    sentinel.analyze_gate().unwrap();
+    assert!(report.to_dot().contains("BumpLog"));
+    sentinel.shutdown().unwrap();
+}

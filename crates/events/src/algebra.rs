@@ -350,6 +350,78 @@ mod tests {
         assert_eq!(unknown.alphabet(&reg).unwrap(), vec![]);
     }
 
+    /// Analyzer-feeding edge cases: `Plus` nested arbitrarily deep under
+    /// `Seq` (and other operators) must still poison the whole alphabet,
+    /// because the unboundedness is about routing, not tree position.
+    #[test]
+    fn nested_plus_under_seq_propagates_unbounded() {
+        use sentinel_object::ClassDecl;
+        let mut reg = sentinel_object::ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("a", &[]).method("b", &[]))
+            .unwrap();
+
+        // Plus as the *left* Seq operand.
+        let left = leaf("a").plus(5).then(leaf("b"));
+        assert!(left.alphabet(&reg).is_none());
+        // Plus buried two operators deep: Seq(a, Times(3, Plus(b))).
+        let deep = leaf("a").then(EventExpr::times(leaf("b").plus(1), 3));
+        assert!(deep.alphabet(&reg).is_none());
+        // Plus inside a Not window under a Seq.
+        let in_not = leaf("a").then(EventExpr::not_between(
+            leaf("b").plus(2),
+            leaf("a"),
+            leaf("b"),
+        ));
+        assert!(in_not.alphabet(&reg).is_none());
+        // Control: the same shapes without Plus stay bounded.
+        let bounded = leaf("a").then(EventExpr::times(leaf("b"), 3));
+        assert_eq!(bounded.alphabet(&reg).unwrap().len(), 2);
+    }
+
+    /// Duplicate primitives across `And`/`Or` operands collapse to one
+    /// alphabet entry (sorted + deduped), so the analyzer sees set
+    /// semantics, not leaf counts.
+    #[test]
+    fn duplicate_primitives_in_and_or_dedupe() {
+        use sentinel_object::ClassDecl;
+        let mut reg = sentinel_object::ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("a", &[]).method("b", &[]))
+            .unwrap();
+        let cid = reg.id_of("C").unwrap();
+
+        let and_dup = leaf("a").and(leaf("a"));
+        assert_eq!(and_dup.primitives().len(), 2, "leaves are not deduped");
+        assert_eq!(
+            and_dup.alphabet(&reg).unwrap(),
+            vec![reg.event_sym(cid, "a", true).unwrap()]
+        );
+        let or_dup = leaf("a").or(leaf("a").and(leaf("b")));
+        let alpha = or_dup.alphabet(&reg).unwrap();
+        assert_eq!(alpha.len(), 2, "`a` appears once despite two leaves");
+        // Deduped output stays sorted (binary-search invariant downstream).
+        let mut sorted = alpha.clone();
+        sorted.sort_unstable();
+        assert_eq!(alpha, sorted);
+    }
+
+    /// The symbol-less string-fallback path: a spec naming a known class
+    /// but an *undeclared* method interns no symbols, so the alphabet is
+    /// `Some(empty)` — bounded but deaf. The analyzer turns this into a
+    /// reachability lint rather than a routing entry.
+    #[test]
+    fn undeclared_method_yields_empty_alphabet() {
+        use sentinel_object::ClassDecl;
+        let mut reg = sentinel_object::ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("a", &[]))
+            .unwrap();
+
+        let ghost = EventExpr::primitive(P::end("C", "no-such-method"));
+        assert_eq!(ghost.alphabet(&reg).unwrap(), vec![]);
+        // Composed with a live leaf, only the live leaf contributes.
+        let mixed = ghost.or(leaf("a"));
+        assert_eq!(mixed.alphabet(&reg).unwrap().len(), 1);
+    }
+
     #[test]
     fn serde_round_trip() {
         let e = leaf("a").then(leaf("b")).and(leaf("c"));

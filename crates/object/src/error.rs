@@ -75,6 +75,12 @@ pub enum ObjectError {
     Unsupported(String),
     /// Storage-layer failure (I/O, corrupt record, ...).
     Storage(String),
+    /// A rule references a condition/action body name that was never
+    /// registered in the body registry. `kind` is `"condition"` or
+    /// `"action"`. Surfaced as a diagnostic by the engine (at
+    /// `add_rule` and at fire time) and by the static analyzer,
+    /// instead of panicking inside dispatch.
+    BodyNotRegistered { kind: &'static str, name: String },
     /// Catch-all for application-level failures inside method bodies.
     App(String),
 }
@@ -132,6 +138,9 @@ impl fmt::Display for ObjectError {
             UnknownEvent(e) => write!(f, "unknown event `{e}`"),
             EventParse(msg) => write!(f, "cannot parse event signature: {msg}"),
             Unsupported(what) => write!(f, "unsupported by this engine: {what}"),
+            BodyNotRegistered { kind, name } => {
+                write!(f, "no {kind} body registered under `{name}`")
+            }
             Storage(msg) => write!(f, "storage error: {msg}"),
             App(msg) => write!(f, "application error: {msg}"),
         }
@@ -187,6 +196,17 @@ mod tests {
         let e = ObjectError::abort("same sex");
         assert!(e.is_abort());
         assert!(!ObjectError::NoActiveTransaction.is_abort());
+    }
+
+    #[test]
+    fn body_not_registered_display() {
+        let e = ObjectError::BodyNotRegistered {
+            kind: "action",
+            name: "purchase".into(),
+        };
+        assert_eq!(e.to_string(), "no action body registered under `purchase`");
+        assert!(!e.is_abort());
+        assert!(!e.is_not_found());
     }
 
     #[test]

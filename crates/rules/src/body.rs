@@ -10,8 +10,97 @@
 use crate::rule::RuleId;
 use sentinel_events::CompositeOccurrence;
 use sentinel_object::{ObjectError, Result, Value, World};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A primitive event an action may raise: "some `class::method` send".
+/// Matches both the `begin` and `end` shade and closes over subclasses
+/// (declaring `Account::Withdraw` covers `SavingsAccount::Withdraw`).
+/// Used by the static analyzer to build the triggering graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventPattern {
+    /// Class name (the declared static class; subclass sends match too).
+    pub class: String,
+    /// Method name.
+    pub method: String,
+}
+
+impl EventPattern {
+    /// Convenience constructor.
+    pub fn new(class: impl Into<String>, method: impl Into<String>) -> Self {
+        EventPattern {
+            class: class.into(),
+            method: method.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for EventPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.class, self.method)
+    }
+}
+
+/// An attribute an action may write, for the analyzer's confluence
+/// check. Subclass-closed like [`EventPattern`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttrPattern {
+    /// Class name.
+    pub class: String,
+    /// Attribute name.
+    pub attr: String,
+}
+
+impl AttrPattern {
+    /// Convenience constructor.
+    pub fn new(class: impl Into<String>, attr: impl Into<String>) -> Self {
+        AttrPattern {
+            class: class.into(),
+            attr: attr.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for AttrPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.class, self.attr)
+    }
+}
+
+/// Declared side-effects of an action body. Actions are opaque Rust
+/// closures, so the analyzer cannot inspect them; this is the contract
+/// the author states at registration. An action with *no* declaration
+/// is conservatively analyzed as "may raise anything" (and flagged with
+/// an `unknown-effects` info lint); a declared empty `ActionEffects`
+/// asserts the action raises no events and writes no attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActionEffects {
+    /// Events the action may cause to be raised (message sends it makes).
+    pub raises: Vec<EventPattern>,
+    /// Attributes the action may write.
+    pub writes: Vec<AttrPattern>,
+}
+
+impl ActionEffects {
+    /// An action that provably raises no events and writes nothing
+    /// (pure observers, `abort`, `noop`).
+    pub fn none() -> Self {
+        ActionEffects::default()
+    }
+
+    /// Builder: add a raised event pattern.
+    pub fn raising(mut self, class: impl Into<String>, method: impl Into<String>) -> Self {
+        self.raises.push(EventPattern::new(class, method));
+        self
+    }
+
+    /// Builder: add a written attribute pattern.
+    pub fn writing(mut self, class: impl Into<String>, attr: impl Into<String>) -> Self {
+        self.writes.push(AttrPattern::new(class, attr));
+        self
+    }
+}
 
 /// Everything a condition/action can inspect about its triggering: the
 /// rule identity and the composite occurrence (constituent primitives
@@ -50,6 +139,10 @@ pub type ActionFn = Arc<dyn Fn(&mut dyn World, &Firing) -> Result<()> + Send + S
 pub struct RuleBodyRegistry {
     conditions: HashMap<String, CondFn>,
     actions: HashMap<String, ActionFn>,
+    /// Declared side-effects per action name. Absence means "effects
+    /// unknown" — the analyzer treats the action as able to raise
+    /// anything.
+    effects: HashMap<String, ActionEffects>,
     /// Bumped on every registration. Rules cache resolved body handles
     /// tagged with this version; a mismatch re-resolves, so re-registering
     /// a body (recovery, hot swap) invalidates every stale cache without
@@ -79,16 +172,19 @@ impl Default for RuleBodyRegistry {
         let mut reg = RuleBodyRegistry {
             conditions: HashMap::new(),
             actions: HashMap::new(),
+            effects: HashMap::new(),
             version: 0,
         };
         reg.register_condition(COND_TRUE, |_, _| Ok(true));
-        reg.register_action(ACTION_ABORT, |_, firing| {
+        // The built-ins provably raise no events and write nothing, so
+        // they carry an empty effects declaration out of the box.
+        reg.register_action_with_effects(ACTION_ABORT, ActionEffects::none(), |_, firing| {
             Err(ObjectError::abort(format!(
                 "rule `{}` aborted the transaction",
                 firing.rule_name
             )))
         });
-        reg.register_action(ACTION_NOOP, |_, _| Ok(()));
+        reg.register_action_with_effects(ACTION_NOOP, ActionEffects::none(), |_, _| Ok(()));
         reg
     }
 }
@@ -108,13 +204,62 @@ impl RuleBodyRegistry {
         self.conditions.insert(name.into(), Arc::new(f));
     }
 
-    /// Register (or replace) an action body under `name`.
+    /// Register (or replace) an action body under `name` with no
+    /// effects declaration ("effects unknown" to the analyzer). Any
+    /// previously declared effects for the name are dropped, since they
+    /// described the replaced body.
     pub fn register_action<F>(&mut self, name: impl Into<String>, f: F)
     where
         F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
     {
         self.version += 1;
-        self.actions.insert(name.into(), Arc::new(f));
+        let name = name.into();
+        self.effects.remove(&name);
+        self.actions.insert(name, Arc::new(f));
+    }
+
+    /// Register (or replace) an action body together with its declared
+    /// side-effects — what events it may raise and attributes it may
+    /// write. The analyzer uses the declaration to build precise
+    /// triggering-graph edges instead of conservative ones.
+    pub fn register_action_with_effects<F>(
+        &mut self,
+        name: impl Into<String>,
+        effects: ActionEffects,
+        f: F,
+    ) where
+        F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
+    {
+        self.version += 1;
+        let name = name.into();
+        self.effects.insert(name.clone(), effects);
+        self.actions.insert(name, Arc::new(f));
+    }
+
+    /// Declare (or replace) the effects of an already-registered action.
+    /// Errors with [`ObjectError::BodyNotRegistered`] if no action body
+    /// exists under `name` — a declaration for a missing body would be
+    /// silently meaningless.
+    pub fn declare_action_effects(
+        &mut self,
+        name: impl Into<String>,
+        effects: ActionEffects,
+    ) -> Result<()> {
+        let name = name.into();
+        if !self.actions.contains_key(&name) {
+            return Err(ObjectError::BodyNotRegistered {
+                kind: "action",
+                name,
+            });
+        }
+        self.effects.insert(name, effects);
+        Ok(())
+    }
+
+    /// Declared effects of an action, if the author provided them.
+    /// `None` means "unknown" — not "no effects".
+    pub fn action_effects(&self, name: &str) -> Option<&ActionEffects> {
+        self.effects.get(name)
     }
 
     /// Current registration version (see the `version` field).
@@ -127,7 +272,10 @@ impl RuleBodyRegistry {
         self.conditions
             .get(name)
             .cloned()
-            .ok_or_else(|| ObjectError::App(format!("unregistered condition body `{name}`")))
+            .ok_or_else(|| ObjectError::BodyNotRegistered {
+                kind: "condition",
+                name: name.to_string(),
+            })
     }
 
     /// Fetch an action body.
@@ -135,7 +283,10 @@ impl RuleBodyRegistry {
         self.actions
             .get(name)
             .cloned()
-            .ok_or_else(|| ObjectError::App(format!("unregistered action body `{name}`")))
+            .ok_or_else(|| ObjectError::BodyNotRegistered {
+                kind: "action",
+                name: name.to_string(),
+            })
     }
 
     /// Is a condition body registered?
@@ -179,7 +330,51 @@ mod tests {
         assert!(reg.has_action(ACTION_ABORT));
         assert!(reg.has_action(ACTION_NOOP));
         assert!(!reg.has_condition("nope"));
-        assert!(matches!(reg.condition("nope"), Err(ObjectError::App(_))));
+        assert!(matches!(
+            reg.condition("nope"),
+            Err(ObjectError::BodyNotRegistered {
+                kind: "condition",
+                ..
+            })
+        ));
+        assert!(matches!(
+            reg.action("nope"),
+            Err(ObjectError::BodyNotRegistered { kind: "action", .. })
+        ));
+        // Built-ins ship with an explicit "no effects" declaration.
+        assert_eq!(
+            reg.action_effects(ACTION_ABORT),
+            Some(&ActionEffects::none())
+        );
+        assert_eq!(
+            reg.action_effects(ACTION_NOOP),
+            Some(&ActionEffects::none())
+        );
+    }
+
+    #[test]
+    fn effects_declaration_lifecycle() {
+        let mut reg = RuleBodyRegistry::new();
+        // Plain registration leaves effects unknown.
+        reg.register_action("mutate", |_, _| Ok(()));
+        assert_eq!(reg.action_effects("mutate"), None);
+        // A declaration sticks...
+        let fx = ActionEffects::none()
+            .raising("Account", "Withdraw")
+            .writing("Account", "suspicious");
+        reg.declare_action_effects("mutate", fx.clone()).unwrap();
+        assert_eq!(reg.action_effects("mutate"), Some(&fx));
+        // ...until the body is replaced without one.
+        reg.register_action("mutate", |_, _| Ok(()));
+        assert_eq!(reg.action_effects("mutate"), None);
+        // Registering with effects sets both at once.
+        reg.register_action_with_effects("mutate", fx.clone(), |_, _| Ok(()));
+        assert_eq!(reg.action_effects("mutate"), Some(&fx));
+        // Declaring for a missing body is an error, not a silent no-op.
+        assert!(matches!(
+            reg.declare_action_effects("ghost", ActionEffects::none()),
+            Err(ObjectError::BodyNotRegistered { kind: "action", .. })
+        ));
     }
 
     #[test]
@@ -187,32 +382,38 @@ mod tests {
         let reg = RuleBodyRegistry::new();
         let action = reg.action(ACTION_ABORT).unwrap();
         // A world is required by the signature but not touched by abort;
-        // passing a dummy is fine because the closure ignores it.
+        // passing a dummy is fine because the closure ignores it. Every
+        // operation returns a clean `Unsupported` error (never panics),
+        // so a body that unexpectedly touches the world surfaces as a
+        // diagnosable failure instead of unwinding through the engine.
         struct NoWorld(sentinel_object::ClassRegistry);
+        fn no_world(op: &str) -> ObjectError {
+            ObjectError::Unsupported(format!("{op}: no world available in this context"))
+        }
         impl World for NoWorld {
             fn registry(&self) -> &sentinel_object::ClassRegistry {
                 &self.0
             }
             fn create(&mut self, _: &str) -> Result<Oid> {
-                unimplemented!()
+                Err(no_world("create"))
             }
             fn delete(&mut self, _: Oid) -> Result<()> {
-                unimplemented!()
+                Err(no_world("delete"))
             }
             fn get_attr(&self, _: Oid, _: &str) -> Result<Value> {
-                unimplemented!()
+                Err(no_world("get_attr"))
             }
             fn set_attr(&mut self, _: Oid, _: &str, _: Value) -> Result<()> {
-                unimplemented!()
+                Err(no_world("set_attr"))
             }
             fn send(&mut self, _: Oid, _: &str, _: &[Value]) -> Result<Value> {
-                unimplemented!()
+                Err(no_world("send"))
             }
             fn class_of(&self, _: Oid) -> Result<ClassId> {
-                unimplemented!()
+                Err(no_world("class_of"))
             }
             fn extent(&self, _: &str) -> Result<Vec<Oid>> {
-                unimplemented!()
+                Err(no_world("extent"))
             }
             fn now(&self) -> u64 {
                 0

@@ -104,4 +104,78 @@ mod tests {
         LifoResolver.order(&mut fs);
         assert_eq!(ids(&fs), [3, 2, 1]);
     }
+
+    #[test]
+    fn priority_all_ties_is_identity() {
+        // Equal priorities throughout: the stable sort must leave the
+        // trigger order completely untouched.
+        let mut fs = vec![firing(7, 3), firing(5, 3), firing(9, 3), firing(1, 3)];
+        PriorityResolver.order(&mut fs);
+        assert_eq!(ids(&fs), [7, 5, 9, 1]);
+    }
+
+    /// A custom resolver installed at runtime via `set_resolver` must
+    /// actually be consulted by the engine — §3's "new conflict
+    /// resolution strategy without modifications to application code".
+    #[test]
+    fn custom_resolver_installed_at_runtime_is_consulted() {
+        use crate::engine::RuleEngine;
+        use crate::rule::RuleDef;
+        use sentinel_events::{EventExpr, EventModifier, PrimitiveEventSpec, PrimitiveOccurrence};
+        use sentinel_object::{ClassDecl, ClassRegistry, Oid, Value};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        /// Reverses the batch and counts invocations.
+        struct CountingReverser(Arc<AtomicUsize>);
+        impl ConflictResolver for CountingReverser {
+            fn name(&self) -> &'static str {
+                "counting-reverser"
+            }
+            fn order(&self, firings: &mut [ReadyFiring]) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                firings.reverse();
+            }
+        }
+
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("Stock").method("SetPrice", &[]))
+            .unwrap();
+        let mut eng = RuleEngine::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        eng.set_resolver(Box::new(CountingReverser(calls.clone())));
+
+        let mk = |name: &str| {
+            RuleDef::new(
+                name,
+                EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice")),
+                ACTION_NOOP,
+            )
+        };
+        let first = eng.add_rule(mk("first"), Oid::NIL, &reg).unwrap();
+        let second = eng.add_rule(mk("second"), Oid::NIL, &reg).unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), first);
+        eng.subscriptions.subscribe_object(Oid(1), second);
+
+        let cid = reg.id_of("Stock").unwrap();
+        let fired = eng
+            .on_occurrence(
+                &reg,
+                &PrimitiveOccurrence {
+                    at: 1,
+                    oid: Oid(1),
+                    class: cid,
+                    owner: cid,
+                    method: "SetPrice".into(),
+                    modifier: EventModifier::End,
+                    params: Arc::from(vec![Value::Int(1)]),
+                },
+            )
+            .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "resolver not consulted");
+        assert_eq!(fired.len(), 2);
+        // Trigger order was (first, second); the reverser flipped it.
+        assert_eq!(fired[0].firing.rule, second);
+        assert_eq!(fired[1].firing.rule, first);
+    }
 }

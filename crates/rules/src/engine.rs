@@ -308,16 +308,16 @@ impl RuleEngine {
     /// producers.
     pub fn add_rule(&mut self, def: RuleDef, oid: Oid, registry: &ClassRegistry) -> Result<RuleId> {
         if !self.bodies.has_condition(&def.condition) {
-            return Err(ObjectError::App(format!(
-                "rule `{}`: unregistered condition body `{}`",
-                def.name, def.condition
-            )));
+            return Err(ObjectError::BodyNotRegistered {
+                kind: "condition",
+                name: def.condition,
+            });
         }
         if !self.bodies.has_action(&def.action) {
-            return Err(ObjectError::App(format!(
-                "rule `{}`: unregistered action body `{}`",
-                def.name, def.action
-            )));
+            return Err(ObjectError::BodyNotRegistered {
+                kind: "action",
+                name: def.action,
+            });
         }
         self.add_rule_unchecked(def, oid, registry)
     }
@@ -865,8 +865,53 @@ mod tests {
         let bad = simple_rule("bad").condition("never-registered");
         assert!(matches!(
             eng.add_rule(bad, Oid::NIL, &reg),
-            Err(ObjectError::App(_))
+            Err(ObjectError::BodyNotRegistered {
+                kind: "condition",
+                ..
+            })
         ));
+        let mut bad = simple_rule("bad2");
+        bad.action = "never-registered".into();
+        assert!(matches!(
+            eng.add_rule(bad, Oid::NIL, &reg),
+            Err(ObjectError::BodyNotRegistered { kind: "action", .. })
+        ));
+    }
+
+    /// Regression: a rule whose bodies are still missing at fire time
+    /// (the `add_rule_unchecked` recovery path) must error cleanly with
+    /// `BodyNotRegistered` when its event arrives — never panic inside
+    /// dispatch.
+    #[test]
+    fn missing_body_at_fire_time_errors_cleanly() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng
+            .add_rule_unchecked(
+                simple_rule("orphan").condition("not-yet-registered"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        let err = eng
+            .on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ObjectError::BodyNotRegistered {
+                kind: "condition",
+                ..
+            }
+        ));
+        // Registering the body afterwards (recovery completing) heals
+        // the rule: the next occurrence resolves and fires.
+        eng.bodies
+            .register_condition("not-yet-registered", |_, _| Ok(true));
+        let fired = eng
+            .on_occurrence(&reg, &occ(&reg, 2, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert_eq!(fired.len(), 1);
     }
 
     #[test]

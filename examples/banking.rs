@@ -48,28 +48,38 @@ fn bodies(db: &mut Database) {
             .unwrap();
         Ok(dep.oid == wit.oid)
     });
-    db.register_action("mark-suspicious", |w, firing| {
-        let acct = firing
-            .occurrence
-            .constituent_for_method("Withdraw")
-            .unwrap()
-            .oid;
-        w.set_attr(acct, "suspicious", Value::Bool(true))
-    });
+    // Both actions declare their effects so the static analyzer can
+    // prove neither re-raises events (the rule set terminates).
+    db.register_action_with_effects(
+        "mark-suspicious",
+        ActionEffects::none().writing("Account", "suspicious"),
+        |w, firing| {
+            let acct = firing
+                .occurrence
+                .constituent_for_method("Withdraw")
+                .unwrap()
+                .oid;
+            w.set_attr(acct, "suspicious", Value::Bool(true))
+        },
+    );
     // Detached audit trail: runs in its own transaction after commit.
-    db.register_action("audit", |w, firing| {
-        let log = w.extent("AuditLog")?[0];
-        let occ = firing.occurrence.constituents.last().unwrap();
-        let mut entries = w.get_attr(log, "entries")?.as_list()?.to_vec();
-        entries.push(Value::Str(format!(
-            "t={} {} {}({})",
-            occ.at,
-            occ.oid,
-            occ.method,
-            occ.params.first().cloned().unwrap_or(Value::Null)
-        )));
-        w.set_attr(log, "entries", Value::List(entries))
-    });
+    db.register_action_with_effects(
+        "audit",
+        ActionEffects::none().writing("AuditLog", "entries"),
+        |w, firing| {
+            let log = w.extent("AuditLog")?[0];
+            let occ = firing.occurrence.constituents.last().unwrap();
+            let mut entries = w.get_attr(log, "entries")?.as_list()?.to_vec();
+            entries.push(Value::Str(format!(
+                "t={} {} {}({})",
+                occ.at,
+                occ.oid,
+                occ.method,
+                occ.params.first().cloned().unwrap_or(Value::Null)
+            )));
+            w.set_attr(log, "entries", Value::List(entries))
+        },
+    );
 }
 
 fn rules(db: &mut Database) -> Result<()> {
@@ -115,6 +125,12 @@ fn main() -> Result<()> {
         rules(&mut db)?;
         db.create("AuditLog")?;
 
+        // Static analysis gate: the rule set must be free of
+        // error-severity findings before we drive it.
+        let report = db.analyze();
+        println!("analysis: {}", report.summary());
+        report.gate()?;
+
         acct = db.create_with("Account", &[("owner", "Carol".into())])?;
         db.send(acct, "Deposit", &[Value::Float(500.0)])?;
         println!("balance after deposit: {}", db.get_attr(acct, "balance")?);
@@ -149,6 +165,8 @@ fn main() -> Result<()> {
     let mut db = Database::recover(DbConfig::durable(&dir))?;
     schema_reregister(&mut db)?;
     bodies(&mut db);
+    // Recovered rules + re-registered bodies still pass the gate.
+    db.analyze_gate()?;
     println!(
         "recovered balance: {} (rules back: {:?})",
         db.get_attr(acct, "balance")?,

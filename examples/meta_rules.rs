@@ -31,12 +31,18 @@ fn main() -> Result<()> {
             .as_float()?
             > 1000.0)
     });
-    db.register_action("scram", |w, firing| {
-        let reactor = firing.occurrence.constituents[0].oid;
-        let n = w.get_attr(reactor, "scrams")?.as_int()?;
-        w.set_attr(reactor, "scrams", Value::Int(n + 1))?;
-        w.set_attr(reactor, "temperature", Value::Float(300.0))
-    });
+    db.register_action_with_effects(
+        "scram",
+        ActionEffects::none()
+            .writing("Reactor", "scrams")
+            .writing("Reactor", "temperature"),
+        |w, firing| {
+            let reactor = firing.occurrence.constituents[0].oid;
+            let n = w.get_attr(reactor, "scrams")?.as_int()?;
+            w.set_attr(reactor, "scrams", Value::Int(n + 1))?;
+            w.set_attr(reactor, "temperature", Value::Float(300.0))
+        },
+    );
     let safety_oid = db.add_class_rule(
         "Reactor",
         RuleDef::on(event("end Reactor::SetTemperature(float t)")?)
@@ -46,11 +52,20 @@ fn main() -> Result<()> {
     )?;
 
     // The meta-rule: watch the Scram *rule object* and re-enable it.
-    db.register_action("re-enable-scram", |w, firing| {
-        let rule_object = firing.occurrence.constituents[0].oid;
-        w.send(rule_object, "Enable", &[])?;
-        Ok(())
-    });
+    // Its declared effects say it raises `Rule::Enable` — the analyzer
+    // can see this does not feed back into the meta-rule's own
+    // `Rule::Disable` trigger, so the meta-level is cycle-free too.
+    db.register_action_with_effects(
+        "re-enable-scram",
+        ActionEffects::none()
+            .raising("Rule", "Enable")
+            .writing("Rule", "enabled"),
+        |w, firing| {
+            let rule_object = firing.occurrence.constituents[0].oid;
+            w.send(rule_object, "Enable", &[])?;
+            Ok(())
+        },
+    );
     db.add_rule(
         RuleDef::on(event("end Rule::Disable()")?)
             .named("ScramGuardian")
@@ -60,6 +75,11 @@ fn main() -> Result<()> {
     // The meta-rule subscribes to the rule object — rules are reactive
     // objects like any other.
     db.subscribe(safety_oid, "ScramGuardian")?;
+
+    // Static analysis gate — proves the meta-level rule set terminates.
+    let report = db.analyze();
+    println!("analysis: {}", report.summary());
+    report.gate()?;
 
     let reactor = db.create("Reactor")?;
     db.send(reactor, "SetTemperature", &[Value::Float(1_200.0)])?;

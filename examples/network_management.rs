@@ -76,16 +76,22 @@ fn main() -> Result<()> {
     let pager = db.create("Pager")?;
 
     // Escalation: every 3rd Down of a *watched* link (times operator).
-    db.register_action("escalate", move |w, f| {
-        let link = f.occurrence.constituents[0].oid;
-        let name = w.get_attr(link, "name")?;
-        w.send(
-            pager,
-            "Page",
-            &[Value::Str(format!("ESCALATE: {name} flapping"))],
-        )?;
-        Ok(())
-    });
+    // `Pager` is passive, so paging raises no events — the declared
+    // effects let the analyzer prove the escalation cannot cascade.
+    db.register_action_with_effects(
+        "escalate",
+        ActionEffects::none().writing("Pager", "pages"),
+        move |w, f| {
+            let link = f.occurrence.constituents[0].oid;
+            let name = w.get_attr(link, "name")?;
+            w.send(
+                pager,
+                "Page",
+                &[Value::Str(format!("ESCALATE: {name} flapping"))],
+            )?;
+            Ok(())
+        },
+    );
     db.add_rule(
         RuleDef::on(event("end Link::Down()")?.times(3))
             .named("FlapEscalation")
@@ -93,16 +99,20 @@ fn main() -> Result<()> {
     )?;
 
     // Sustained outage: Down, then a Probe with no Up in between.
-    db.register_action("page-outage", move |w, f| {
-        let link = f.occurrence.constituents[0].oid;
-        let name = w.get_attr(link, "name")?;
-        w.send(
-            pager,
-            "Page",
-            &[Value::Str(format!("OUTAGE: {name} still down at probe"))],
-        )?;
-        Ok(())
-    });
+    db.register_action_with_effects(
+        "page-outage",
+        ActionEffects::none().writing("Pager", "pages"),
+        move |w, f| {
+            let link = f.occurrence.constituents[0].oid;
+            let name = w.get_attr(link, "name")?;
+            w.send(
+                pager,
+                "Page",
+                &[Value::Str(format!("OUTAGE: {name} still down at probe"))],
+            )?;
+            Ok(())
+        },
+    );
     db.add_rule(
         RuleDef::on(EventExpr::not_between(
             event("end Link::Up()")?,
@@ -116,10 +126,14 @@ fn main() -> Result<()> {
     // Detached audit trail, drained by the background executor.
     db.define_class(ClassDecl::new("Audit").attr("entries", TypeTag::Int))?;
     let audit = db.create("Audit")?;
-    db.register_action("audit", move |w, _f| {
-        let n = w.get_attr(audit, "entries")?.as_int()?;
-        w.set_attr(audit, "entries", Value::Int(n + 1))
-    });
+    db.register_action_with_effects(
+        "audit",
+        ActionEffects::none().writing("Audit", "entries"),
+        move |w, _f| {
+            let n = w.get_attr(audit, "entries")?.as_int()?;
+            w.set_attr(audit, "entries", Value::Int(n + 1))
+        },
+    );
     db.add_class_rule(
         "Link",
         RuleDef::on(event("end Link::Down()")?)
@@ -136,6 +150,13 @@ fn main() -> Result<()> {
     let edge = db.create_with("Link", &[("name", "edge-7".into()), ("up", true.into())])?;
     db.subscribe(backbone, "FlapEscalation")?;
     db.subscribe(backbone, "SustainedOutage")?;
+
+    // Static analysis gate before the NOC goes live. The two paging
+    // rules share a write target at equal priority, which surfaces as a
+    // (non-fatal) confluence warning; errors would stop the rollout.
+    let report = db.analyze();
+    println!("analysis: {}", report.summary());
+    report.gate()?;
 
     let sentinel = Sentinel::open(db);
 

@@ -61,10 +61,16 @@ fn main() -> Result<()> {
         Ok(w.get_attr(ibm, "price")?.as_float()? < 80.0
             && w.get_attr(dow, "change")?.as_float()? < 3.4)
     });
-    db.register_action("purchase", move |w, _| {
-        w.send(parker, "PurchaseIBMStock", &[])?;
-        Ok(())
-    });
+    // `Portfolio` is passive: purchasing raises no events, so the
+    // declared effects prove the Purchase rule cannot retrigger itself.
+    db.register_action_with_effects(
+        "purchase",
+        ActionEffects::none().writing("Portfolio", "shares"),
+        move |w, _| {
+            w.send(parker, "PurchaseIBMStock", &[])?;
+            Ok(())
+        },
+    );
     let purchase_event =
         event("end Stock::SetPrice(float p)")?.and(event("end FinancialInfo::SetValue(float v)")?);
     db.define_event("IBM-and-DowJones", purchase_event)?;
@@ -77,6 +83,11 @@ fn main() -> Result<()> {
     )?;
     db.subscribe(ibm, "Purchase")?;
     db.subscribe(dow, "Purchase")?;
+
+    // Static analysis gate before the trading day starts.
+    let report = db.analyze();
+    println!("analysis: {}", report.summary());
+    report.gate()?;
 
     // A simulated trading day.
     let ticks: &[(f64, f64)] = &[

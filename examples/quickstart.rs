@@ -54,15 +54,22 @@ fn main() -> Result<()> {
     db.register_condition("incomes-differ", move |w, _| {
         Ok(w.get_attr(fred, "salary")? != w.get_attr(mike, "salary")?)
     });
-    db.register_action("make-equal", move |w, firing| {
-        let amount = firing
-            .param_of("Change-Income", 0)
-            .cloned()
-            .unwrap_or(Value::Float(0.0));
-        w.set_attr(fred, "salary", amount.clone())?;
-        w.set_attr(mike, "salary", amount)?;
-        Ok(())
-    });
+    // Declared effects: `make-equal` writes salaries and raises nothing
+    // (it uses direct attribute writes, not event-generating methods).
+    // The static analyzer checks rule-set termination against this.
+    db.register_action_with_effects(
+        "make-equal",
+        ActionEffects::none().writing("Employee", "salary"),
+        move |w, firing| {
+            let amount = firing
+                .param_of("Change-Income", 0)
+                .cloned()
+                .unwrap_or(Value::Float(0.0));
+            w.set_attr(fred, "salary", amount.clone())?;
+            w.set_attr(mike, "salary", amount)?;
+            Ok(())
+        },
+    );
     let income_event = event("end Employee::Change-Income(float amount)")?
         .or(event("end Manager::Change-Income(float amount)")?);
     db.add_rule(
@@ -74,6 +81,14 @@ fn main() -> Result<()> {
     // The rule monitors exactly these two objects — Fred.Subscribe(IncomeLevel).
     db.subscribe(fred, "IncomeLevel")?;
     db.subscribe(mike, "IncomeLevel")?;
+
+    // --- Static analysis gate: must find no error-severity issues -------
+    let report = db.analyze();
+    println!("analysis: {}", report.summary());
+    report.gate()?;
+
+    // Also record what actions actually do, to diff against declarations.
+    db.set_effect_recording(true);
 
     // --- Drive it ---------------------------------------------------------
     db.send(fred, "Change-Income", &[Value::Float(120.0)])?;
@@ -98,6 +113,12 @@ fn main() -> Result<()> {
         .expect_err("negative salary must abort");
     println!("negative raise rejected: {err}");
     assert_eq!(db.get_attr(fred, "salary")?, Value::Float(250.0));
+
+    // The recorder saw `make-equal` run; its observed writes must be
+    // covered by the declaration, so the gate still passes.
+    let report = db.analyze();
+    println!("post-run analysis: {}", report.summary());
+    report.gate()?;
 
     let s = db.stats();
     println!(

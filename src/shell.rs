@@ -36,6 +36,8 @@ pub const HELP: &str = r#"commands:
   stats [json]                           counters (json = full snapshot)
   trace on|off|dump [n]                  structured pipeline tracing
   metrics [json]                         Prometheus text / JSON export
+  analyze [dot]                          static rule-set analysis
+                                         (dot = triggering graph as DOT)
 types: int float str bool oid list; oids are written @7
 signatures: "end Stock::SetPrice(float p)" (begin|end Class::Method)"#;
 
@@ -109,7 +111,9 @@ pub fn tokenize(line: &str) -> Vec<String> {
 /// Prepare a database for the shell: registers the `print` action rules
 /// can use.
 pub fn prepare(db: &mut Database) {
-    db.register_action("print", |_w, firing| {
+    // `print` only writes to stdout, so the empty effects declaration is
+    // truthful and keeps `analyze` output clean.
+    db.register_action_with_effects("print", ActionEffects::none(), |_w, firing| {
         println!(
             "  [rule `{}` fired on {}]",
             firing.rule_name,
@@ -266,6 +270,11 @@ pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
             _ => Err(ObjectError::App("stats [json]".into())),
         },
         "trace" => cmd_trace(db, args),
+        "analyze" => match args {
+            [] => Ok(db.analyze().render_table()),
+            [d] if d == "dot" => Ok(db.analyze().to_dot()),
+            _ => Err(ObjectError::App("analyze [dot]".into())),
+        },
         "metrics" => match args {
             [] => Ok(db.metrics_prometheus()),
             [j] if j == "json" => db.metrics_json(),
@@ -591,6 +600,33 @@ mod tests {
         run(&mut db, &format!("send {s} Setprice 11"));
         assert_eq!(db.telemetry().ring().recorded(), before);
         assert!(run_command(&mut db, "trace sideways").is_err());
+    }
+
+    #[test]
+    fn analyze_command_reports_and_renders_dot() {
+        let mut db = shell_db();
+        run(&mut db, "class Stock reactive price:float");
+        run(
+            &mut db,
+            r#"rule Watch when "end Stock::Setprice(float p)" do print"#,
+        );
+        run(&mut db, "subscribe-class Stock Watch");
+        let table = run(&mut db, "analyze");
+        assert!(table.contains("0 errors"), "{table}");
+        assert!(table.contains("triggering graph: 1 rules"), "{table}");
+        let dot = run(&mut db, "analyze dot");
+        assert!(dot.starts_with("digraph"), "{dot}");
+        assert!(dot.contains("Watch"), "{dot}");
+        assert!(run_command(&mut db, "analyze sideways").is_err());
+
+        // An unsubscribed rule is a warning in the table, not an error.
+        run(
+            &mut db,
+            r#"rule Orphan when "end Stock::Setprice(float p)" do print"#,
+        );
+        let table = run(&mut db, "analyze");
+        assert!(table.contains("no-subscription"), "{table}");
+        assert!(table.contains("Orphan"), "{table}");
     }
 
     #[test]

@@ -69,7 +69,10 @@ fn recovered_rule_without_code_fails_cleanly_until_rebound() {
     // errors cleanly (and the auto-transaction rolls back) rather than
     // panicking or silently skipping.
     let err = db.send(o, "Set", &[Value::Int(2)]).err().unwrap();
-    assert!(matches!(err, ObjectError::App(_)), "got {err}");
+    assert!(
+        matches!(err, ObjectError::BodyNotRegistered { kind: "action", .. }),
+        "got {err}"
+    );
     // The predicates classify it: not an abort, not a lookup miss.
     assert!(!err.is_abort());
     assert!(!err.is_not_found());
