@@ -2,7 +2,7 @@
 //! redesign's headline numbers.
 //!
 //! Baseline: `Mutex<Database>` — every reader serialises on one lock
-//! (what `SharedDatabase` offered). Treatment: `Sentinel` sessions —
+//! (the pre-session model). Treatment: `Sentinel` sessions —
 //! readers go straight to the sharded store and never touch the core
 //! lock. Two scenarios:
 //!

@@ -1,0 +1,167 @@
+//! Durable-commit throughput: per-transaction fsync (`SyncPolicy::OnCommit`)
+//! vs. group commit (`SyncPolicy::Grouped`) under 1/4/8 concurrent
+//! `Sentinel` clones.
+//!
+//! Under `OnCommit` every committed transaction pays its own fsync while
+//! holding the write core. Under `Grouped` a commit merely stages its
+//! records; the `Sentinel` worker (or the `max_batch` threshold) forces
+//! the batch to disk, so one fsync covers every transaction staged since
+//! the previous sync. Each round measures wall time from the first send
+//! until *all* commits are acknowledged durable (the final `drain()`
+//! syncs the tail), so both policies are compared at equal durability.
+//!
+//! A custom harness (not Criterion) so the run can assert the durable
+//! count, compute speedups, and record the result in
+//! `BENCH_group_commit.json` at the repository root. `--quick` is the CI
+//! smoke mode: `Grouped { max_batch: 1 }` degenerates to a sync per
+//! commit, so it must not be meaningfully slower than `OnCommit`; the
+//! committed JSON is left untouched.
+
+use sentinel_db::prelude::*;
+use sentinel_db::Database;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const WRITER_COUNTS: [usize; 3] = [1, 4, 8];
+const MAX_BATCH: usize = 64;
+const MAX_WAIT: Duration = Duration::from_millis(1);
+
+#[derive(Serialize)]
+struct Scenario {
+    writer_counts: Vec<usize>,
+    txns_per_writer: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    writers: usize,
+    on_commit_txns_per_sec: f64,
+    grouped_txns_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    scenario: Scenario,
+    results: Vec<Row>,
+}
+
+fn open(dir: &std::path::Path, sync: SyncPolicy) -> Sentinel {
+    let mut db = Database::with_config(DbConfig::durable(dir).sync(sync)).unwrap();
+    db.define_class(ClassDecl::new("W").attr("v", TypeTag::Int))
+        .unwrap();
+    Sentinel::open(db)
+}
+
+/// `writers` threads each commit `txns` one-object transactions; returns
+/// durable commits per second (measured to full durability).
+fn round(dir: &std::path::Path, sync: SyncPolicy, writers: usize, txns: usize) -> f64 {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    let sentinel = open(dir, sync);
+    // Make bootstrap/schema commits durable so the baseline is clean.
+    let base = sentinel.with(|db| {
+        db.sync_wal().unwrap();
+        db.durable_commits()
+    });
+
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(writers);
+    for w in 0..writers {
+        let s = sentinel.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..txns {
+                s.transaction(|db| {
+                    let o = db.create("W")?;
+                    db.set_attr(o, "v", Value::Int((w * txns + i) as i64))
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    sentinel.drain();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let durable = sentinel.with(|db| db.durable_commits()) - base;
+    assert_eq!(
+        durable,
+        (writers * txns) as u64,
+        "every commit must be durable before the clock stops"
+    );
+    sentinel.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+    (writers * txns) as f64 / elapsed
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dir = std::env::temp_dir().join(format!("sentinel-group-commit-{}", std::process::id()));
+
+    if quick {
+        // CI smoke: at batch size 1 group commit degenerates to one sync
+        // per commit, so it must stay in the same ballpark as OnCommit
+        // (0.5x tolerance absorbs scheduler noise on shared runners).
+        let txns = 50;
+        let on_commit = round(&dir, SyncPolicy::OnCommit, 1, txns);
+        let grouped1 = round(
+            &dir,
+            SyncPolicy::Grouped {
+                max_batch: 1,
+                max_wait: MAX_WAIT,
+            },
+            1,
+            txns,
+        );
+        println!("group_commit --quick (1 writer, {txns} txns)");
+        println!("  OnCommit:             {on_commit:>10.0} txns/s");
+        println!("  Grouped{{max_batch:1}}: {grouped1:>10.0} txns/s");
+        assert!(
+            grouped1 >= on_commit * 0.5,
+            "Grouped at batch size 1 regressed vs OnCommit: {grouped1:.0} vs {on_commit:.0}"
+        );
+        println!("  (--quick: smoke run, BENCH_group_commit.json not rewritten)");
+        return;
+    }
+
+    let txns = 200;
+    let grouped = SyncPolicy::Grouped {
+        max_batch: MAX_BATCH,
+        max_wait: MAX_WAIT,
+    };
+    let mut results = Vec::new();
+    println!("group_commit ({txns} txns/writer, max_batch={MAX_BATCH})");
+    for &writers in &WRITER_COUNTS {
+        let on_commit = round(&dir, SyncPolicy::OnCommit, writers, txns);
+        let grp = round(&dir, grouped, writers, txns);
+        let speedup = grp / on_commit;
+        println!(
+            "  {writers} writer(s): OnCommit {on_commit:>9.0} txns/s | Grouped {grp:>9.0} txns/s | {speedup:>5.2}x"
+        );
+        results.push(Row {
+            writers,
+            on_commit_txns_per_sec: on_commit,
+            grouped_txns_per_sec: grp,
+            speedup,
+        });
+    }
+
+    let report = Report {
+        bench: "group_commit",
+        scenario: Scenario {
+            writer_counts: WRITER_COUNTS.to_vec(),
+            txns_per_writer: txns,
+            max_batch: MAX_BATCH,
+            max_wait_ms: MAX_WAIT.as_millis() as u64,
+        },
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_group_commit.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("  wrote {path}");
+}

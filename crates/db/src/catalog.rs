@@ -7,9 +7,10 @@
 //! re-registered by the application after recovery, keyed by name — the
 //! same contract a recompiled C++ application had with Zeitgeist.
 
-use sentinel_events::EventExpr;
-use sentinel_object::Oid;
-use sentinel_rules::RuleDef;
+use crate::database::{meta, Database};
+use sentinel_events::{EventExpr, ParamContext};
+use sentinel_object::{ObjectError, Oid, Result, Value};
+use sentinel_rules::{ActionEffects, CouplingMode, Firing, RuleDef, RuleStats};
 use serde::{Deserialize, Serialize};
 
 /// A named first-class event object.
@@ -99,6 +100,236 @@ pub enum CatalogUndo {
     /// Undo a class unsubscribe.
     ClassUnsubscribed { class: String, rule: String },
 }
+
+impl Database {
+    // ------------------------------------------------------------------
+    // First-class events
+    // ------------------------------------------------------------------
+
+    /// Create a named first-class event object from an expression. The
+    /// object is an instance of the matching `Event` subclass
+    /// (Figure 5) and is persisted like any other object.
+    pub fn define_event(&mut self, name: &str, expr: EventExpr) -> Result<Oid> {
+        if self.events.contains_key(name) {
+            return Err(ObjectError::App(format!("event `{name}` already defined")));
+        }
+        // Validate the expression against the schema now.
+        sentinel_events::DetectorInstance::compile_default(&expr, &self.registry)?;
+        let subclass = match &expr {
+            EventExpr::Primitive(_) => meta::EVENT_PRIMITIVE,
+            EventExpr::And(..) => meta::EVENT_CONJUNCTION,
+            EventExpr::Or(..) => meta::EVENT_DISJUNCTION,
+            EventExpr::Seq(..) => meta::EVENT_SEQUENCE,
+            _ => meta::EVENT,
+        };
+        let class = self.registry.id_of(subclass)?;
+        let expr_json = serde_json::to_string(&expr)
+            .map_err(|e| ObjectError::Storage(format!("serialize event expr: {e}")))?;
+        let name_owned = name.to_string();
+        self.with_auto_txn(move |db| {
+            let oid = db.create_internal(class)?;
+            db.set_attr_internal(oid, "name", Value::Str(name_owned.clone()))?;
+            db.set_attr_internal(oid, "expr", Value::Str(expr_json))?;
+            let record = EventRecord {
+                name: name_owned.clone(),
+                oid,
+                expr,
+            };
+            db.events.insert(name_owned.clone(), record.clone());
+            db.catalog_undo
+                .push(CatalogUndo::EventDefined { name: name_owned });
+            db.log_meta(MetaOp::DefineEvent(record))?;
+            Ok(oid)
+        })
+    }
+
+    /// The expression of a named event object.
+    pub fn event_expr(&self, name: &str) -> Result<EventExpr> {
+        self.events
+            .get(name)
+            .map(|r| r.expr.clone())
+            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
+    }
+
+    /// The store oid of a named event object.
+    pub fn event_oid(&self, name: &str) -> Result<Oid> {
+        self.events
+            .get(name)
+            .map(|r| r.oid)
+            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // First-class rules
+    // ------------------------------------------------------------------
+
+    /// Create a rule object. Its condition/action bodies must already be
+    /// registered. Returns the rule object's oid.
+    pub fn add_rule(&mut self, def: impl Into<RuleDef>) -> Result<Oid> {
+        let mut def = def.into();
+        if def.context == ParamContext::default() {
+            def.context = self.config.default_context;
+        }
+        let rule_class = self.rule_class;
+        self.with_auto_txn(move |db| {
+            let oid = db.create_internal(rule_class)?;
+            db.set_attr_internal(oid, "name", Value::Str(def.name.clone()))?;
+            db.set_attr_internal(oid, "coupling", Value::Str(def.coupling.name().into()))?;
+            db.set_attr_internal(oid, "priority", Value::Int(def.priority as i64))?;
+            db.engine.add_rule(def.clone(), oid, &db.registry)?;
+            db.catalog_undo.push(CatalogUndo::RuleAdded {
+                name: def.name.clone(),
+            });
+            db.log_meta(MetaOp::AddRule(RuleRecord {
+                oid,
+                def,
+                enabled: true,
+            }))?;
+            Ok(oid)
+        })
+    }
+
+    /// Declare a class-level rule (paper Figure 9): the rule is created
+    /// and subscribed to the whole class, so it applies to every present
+    /// and future instance (and instances of subclasses).
+    pub fn add_class_rule(&mut self, class: &str, def: impl Into<RuleDef>) -> Result<Oid> {
+        let def = def.into();
+        let name = def.name.clone();
+        let oid = self.add_rule(def)?;
+        self.subscribe_class_inner(class, &name)?;
+        Ok(oid)
+    }
+
+    /// Delete a rule and its rule object.
+    pub fn remove_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let rule = self.engine.rule(id)?;
+        let oid = rule.oid;
+        let enabled = rule.enabled;
+        let object_subs = self.engine.subscriptions.objects_of(id);
+        let class_ids = self.engine.subscriptions.classes_of(id);
+        let class_subs: Vec<String> = class_ids
+            .iter()
+            .map(|&c| self.registry.get(c).name.clone())
+            .collect();
+        let name_owned = name.to_string();
+        self.with_auto_txn(move |db| {
+            let def = db.engine.remove_rule(id)?;
+            db.delete_internal(oid)?;
+            db.catalog_undo.push(CatalogUndo::RuleRemoved {
+                record: Box::new(RuleRecord { oid, def, enabled }),
+                object_subs,
+                class_subs,
+            });
+            db.log_meta(MetaOp::RemoveRule { name: name_owned })?;
+            Ok(())
+        })
+    }
+
+    /// Enable a rule by name. Equivalent to sending `Enable` to the rule
+    /// object (which additionally generates the rule's own events).
+    pub fn enable_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let oid = self.engine.rule(id)?.oid;
+        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, true))
+    }
+
+    /// Disable a rule by name: it stops receiving events and its partial
+    /// detector state is discarded.
+    pub fn disable_rule(&mut self, name: &str) -> Result<()> {
+        let id = self.engine.id_of(name)?;
+        let oid = self.engine.rule(id)?.oid;
+        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, false))
+    }
+
+    pub(crate) fn toggle_rule_by_oid(&mut self, oid: Oid, enable: bool) -> Result<()> {
+        let id = self
+            .engine
+            .id_of_oid(oid)
+            .ok_or_else(|| ObjectError::UnknownRule(format!("no rule object at {oid}")))?;
+        let was = self.engine.rule(id)?.enabled;
+        if was == enable {
+            return Ok(());
+        }
+        let name = self.engine.rule(id)?.def.name.clone();
+        if enable {
+            self.engine.enable(id)?;
+        } else {
+            self.engine.disable(id)?;
+        }
+        self.set_attr_internal(oid, "enabled", Value::Bool(enable))?;
+        self.catalog_undo.push(CatalogUndo::EnabledChanged {
+            name: name.clone(),
+            was,
+        });
+        self.log_meta(MetaOp::SetEnabled {
+            name,
+            enabled: enable,
+        })
+    }
+
+    /// The rule object's oid (so other rules can subscribe to it).
+    pub fn rule_oid(&self, name: &str) -> Result<Oid> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.oid)
+    }
+
+    /// Is the rule currently enabled?
+    pub fn rule_enabled(&self, name: &str) -> Result<bool> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.enabled)
+    }
+
+    /// Per-rule counters.
+    pub fn rule_stats(&self, name: &str) -> Result<RuleStats> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.stats)
+    }
+
+    /// Occurrences buffered by a rule's detector (experiment E12).
+    pub fn rule_detector_buffered(&self, name: &str) -> Result<usize> {
+        let id = self.engine.id_of(name)?;
+        Ok(self.engine.rule(id)?.detector.buffered())
+    }
+
+    /// Names of all rules.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.engine
+            .iter_rules()
+            .map(|r| r.def.name.clone())
+            .collect()
+    }
+
+    /// Convenience: install an *observer* — a notifiable consumer that
+    /// runs a callback on every detection of `expr`, with no condition
+    /// and no effect on the database unless the callback makes one. An
+    /// observer is exactly a rule whose action is the callback (the
+    /// paper's point that rules are just one kind of notifiable object);
+    /// connect it with [`subscribe`](Database::subscribe) at object or
+    /// class granularity like any rule.
+    pub fn observe<F>(&mut self, name: &str, expr: EventExpr, callback: F) -> Result<Oid>
+    where
+        F: Fn(&Firing) + Send + Sync + 'static,
+    {
+        let action_name = format!("__observer::{name}");
+        // The callback only sees the firing, never the world, so the
+        // empty effects declaration is sound — and keeps observers from
+        // showing up as unknown-effects in `analyze`.
+        self.register_action_with_effects(
+            &action_name,
+            ActionEffects::none(),
+            move |_w, firing| {
+                callback(firing);
+                Ok(())
+            },
+        );
+        self.add_rule(RuleDef::new(name, expr, action_name))
+    }
+}
+
+// Keep an explicit reference to CouplingMode so the doc link in add_rule
+// renders; also used by tests elsewhere in the crate.
+const _: fn() -> CouplingMode = CouplingMode::default;
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,7 @@
 //! Database configuration.
 
 use sentinel_events::{DetectorCaps, ParamContext};
+use sentinel_rules::BackpressurePolicy;
 use sentinel_storage::SyncPolicy;
 use std::path::PathBuf;
 
@@ -28,6 +29,16 @@ pub struct DbConfig {
     /// Capacity of the structured-trace ring buffer (records kept when
     /// tracing is turned on).
     pub trace_capacity: usize,
+    /// Bound on the detached-firing queue. Past it the
+    /// [`detached_policy`](Self::detached_policy) decides what happens;
+    /// a storm of detached rules can no longer grow the queue without
+    /// limit.
+    pub detached_cap: usize,
+    /// What to do when the detached queue is full: `Block` makes the
+    /// committing transaction drain the overflow itself (backpressure),
+    /// `Shed` drops the newest firing and counts it in
+    /// `EngineStats::detached_shed`.
+    pub detached_policy: BackpressurePolicy,
 }
 
 impl Default for DbConfig {
@@ -40,6 +51,8 @@ impl Default for DbConfig {
             detector_caps: DetectorCaps::default(),
             telemetry_enabled: false,
             trace_capacity: 4096,
+            detached_cap: 4096,
+            detached_policy: BackpressurePolicy::Block,
         }
     }
 }
@@ -85,6 +98,18 @@ impl DbConfig {
     /// Override the trace ring-buffer capacity.
     pub fn trace_capacity(mut self, records: usize) -> Self {
         self.trace_capacity = records;
+        self
+    }
+
+    /// Override the detached-queue bound (clamped to at least 1).
+    pub fn detached_cap(mut self, cap: usize) -> Self {
+        self.detached_cap = cap.max(1);
+        self
+    }
+
+    /// Override the detached-queue overflow policy.
+    pub fn detached_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.detached_policy = policy;
         self
     }
 

@@ -1,22 +1,28 @@
 //! The [`Database`]: Sentinel's public face.
+//!
+//! This module holds the handle itself — construction, schema and code
+//! registration, object access, the reactive dispatch path, and
+//! subscriptions. The transaction/commit machinery lives in
+//! [`crate::commit`], rollback in [`crate::undo`], the first-class
+//! event/rule catalog operations in [`crate::catalog`], and attribute
+//! indexes in [`crate::index`]; all of them extend `Database` with
+//! further `impl` blocks.
 
-use crate::catalog::{CatalogSnapshot, CatalogUndo, EventRecord, MetaOp, RuleRecord};
+use crate::catalog::{CatalogUndo, EventRecord, MetaOp};
+use crate::commit::CommitPipeline;
 use crate::config::DbConfig;
-use crate::index::{AttrIndex, IndexId};
+use crate::index::AttrIndex;
 use crate::stats::{DbStats, FullStats, SharedDbStats};
 use parking_lot::RwLock;
 use sentinel_analyze::{diff_effects, AnalysisReport, ObservedEffects, RuleAnalyzer};
-use sentinel_events::{EventExpr, EventModifier, LogicalClock, ParamContext, PrimitiveOccurrence};
+use sentinel_events::{EventModifier, LogicalClock, PrimitiveOccurrence};
 use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
 };
-use sentinel_rules::{
-    ActionEffects, ConflictResolver, CouplingMode, EngineStats, Firing, ReadyFiring, RuleDef,
-    RuleEngine, RuleId, RuleStats,
-};
-use sentinel_storage::{LogRecord, Snapshot, TxnManager, UndoOp, Wal};
-use sentinel_telemetry::{BodyKind, Stage, Telemetry};
+use sentinel_rules::{ActionEffects, ConflictResolver, EngineStats, Firing, RuleEngine};
+use sentinel_storage::{LogRecord, UndoOp, Wal};
+use sentinel_telemetry::{Stage, Telemetry};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -71,49 +77,50 @@ impl<'a> From<&'a str> for Target<'a> {
 /// The Sentinel database: schema + objects + events + rules +
 /// transactions, behind one handle.
 pub struct Database {
-    registry: ClassRegistry,
+    pub(crate) registry: ClassRegistry,
     /// Copy of the schema published for concurrent reader sessions,
     /// refreshed after every DDL (`define_class`). Readers never touch
     /// the owned `registry`, which stays `&self`-borrowable for the
     /// ~everything that already depends on `World::registry()`.
-    published_registry: Arc<RwLock<ClassRegistry>>,
-    store: Arc<ObjectStore>,
-    methods: MethodTable,
-    clock: Arc<LogicalClock>,
-    engine: RuleEngine,
-    txn: TxnManager,
-    wal: Option<Wal>,
-    config: DbConfig,
-    stats: Arc<SharedDbStats>,
-    depth: usize,
+    pub(crate) published_registry: Arc<RwLock<ClassRegistry>>,
+    pub(crate) store: Arc<ObjectStore>,
+    pub(crate) methods: MethodTable,
+    pub(crate) clock: Arc<LogicalClock>,
+    pub(crate) engine: RuleEngine,
+    /// The layered write path: transaction manager, WAL, and the active
+    /// transaction's staged write batch (see [`crate::commit`]).
+    pub(crate) pipeline: CommitPipeline,
+    pub(crate) config: DbConfig,
+    pub(crate) stats: Arc<SharedDbStats>,
+    pub(crate) depth: usize,
     /// Logical-clock value when the active transaction began; abort
     /// prunes detector state newer than this.
-    txn_start_clock: u64,
+    pub(crate) txn_start_clock: u64,
     /// Run detached firings inline at commit (default); `false` defers
     /// them to an external executor.
-    inline_detached: bool,
-    indexes: Arc<RwLock<Vec<AttrIndex>>>,
+    pub(crate) inline_detached: bool,
+    pub(crate) indexes: Arc<RwLock<Vec<AttrIndex>>>,
     /// Objects mutated by the active transaction, re-indexed on abort.
-    txn_touched: Vec<Oid>,
-    events: HashMap<String, EventRecord>,
-    catalog_undo: Vec<CatalogUndo>,
-    rule_class: ClassId,
-    event_class: ClassId,
+    pub(crate) txn_touched: Vec<Oid>,
+    pub(crate) events: HashMap<String, EventRecord>,
+    pub(crate) catalog_undo: Vec<CatalogUndo>,
+    pub(crate) rule_class: ClassId,
+    pub(crate) event_class: ClassId,
     /// Shared pipeline observability handle; clones live in the engine,
     /// every rule detector, and the WAL.
-    telemetry: Arc<Telemetry>,
+    pub(crate) telemetry: Arc<Telemetry>,
     /// Opt-in runtime effect recorder: while `Some`, every raise and
     /// attribute write performed during a rule action is attributed to
     /// that action, for diffing against its declared effects.
-    effect_recorder: Option<EffectRecorder>,
+    pub(crate) effect_recorder: Option<EffectRecorder>,
 }
 
 /// Observed effects per action name, plus the stack of actions currently
 /// executing (a cascade attributes inner raises to the innermost action).
 #[derive(Default)]
-struct EffectRecorder {
-    records: BTreeMap<String, ObservedEffects>,
-    stack: Vec<String>,
+pub(crate) struct EffectRecorder {
+    pub(crate) records: BTreeMap<String, ObservedEffects>,
+    pub(crate) stack: Vec<String>,
 }
 
 impl std::fmt::Debug for Database {
@@ -157,13 +164,13 @@ impl Database {
         Ok(db)
     }
 
-    fn new_telemetry(config: &DbConfig) -> Arc<Telemetry> {
+    pub(crate) fn new_telemetry(config: &DbConfig) -> Arc<Telemetry> {
         let tel = Telemetry::shared(config.trace_capacity);
         tel.set_enabled(config.telemetry_enabled);
         tel
     }
 
-    fn assemble(
+    pub(crate) fn assemble(
         registry: ClassRegistry,
         store: ObjectStore,
         config: DbConfig,
@@ -179,6 +186,7 @@ impl Database {
         };
         let mut engine = RuleEngine::new();
         engine.set_detector_caps(config.detector_caps);
+        engine.set_detached_queue(config.detached_cap, config.detached_policy);
         engine.set_telemetry(telemetry.clone());
         Ok(Database {
             published_registry: Arc::new(RwLock::new(registry.clone())),
@@ -187,8 +195,7 @@ impl Database {
             methods: MethodTable::new(),
             clock: Arc::new(LogicalClock::new()),
             engine,
-            txn: TxnManager::new(),
-            wal,
+            pipeline: CommitPipeline::new(wal),
             config,
             stats: Arc::new(SharedDbStats::default()),
             depth: 0,
@@ -209,7 +216,7 @@ impl Database {
     /// reactive `Enable`/`Disable` interface. Goes through
     /// [`define_class`](Self::define_class) so durable configurations
     /// log the meta-schema like any other DDL.
-    fn bootstrap_meta_classes(&mut self) -> Result<()> {
+    pub(crate) fn bootstrap_meta_classes(&mut self) -> Result<()> {
         self.define_class(ClassDecl::new(meta::ZG_POS))?;
         self.define_class(ClassDecl::new(meta::NOTIFIABLE).parent(meta::ZG_POS))?;
         self.define_class(ClassDecl::reactive(meta::REACTIVE).parent(meta::ZG_POS))?;
@@ -267,11 +274,14 @@ impl Database {
     pub fn define_class(&mut self, decl: ClassDecl) -> Result<ClassId> {
         let id = self.registry.define(decl.clone())?;
         self.publish_registry();
-        if self.wal.is_some() {
+        if self.pipeline.is_durable() {
             self.with_auto_txn(|db| {
                 let payload = serde_json::to_string(&decl)
                     .map_err(|e| ObjectError::Storage(format!("serialize class decl: {e}")))?;
-                let txn = db.txn.current().ok_or(ObjectError::NoActiveTransaction)?;
+                let txn = db
+                    .pipeline
+                    .current()
+                    .ok_or(ObjectError::NoActiveTransaction)?;
                 db.log(LogRecord::Meta {
                     txn,
                     tag: sentinel_storage::META_CLASS_TAG.into(),
@@ -375,278 +385,6 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
-    // Transactions
-    // ------------------------------------------------------------------
-
-    /// Begin an explicit transaction.
-    pub fn begin(&mut self) -> Result<()> {
-        let id = self.txn.begin()?;
-        self.txn_start_clock = self.clock.now();
-        self.engine.begin_capture();
-        self.log(LogRecord::Begin { txn: id })
-    }
-
-    /// Is a transaction active?
-    pub fn in_txn(&self) -> bool {
-        self.txn.in_txn()
-    }
-
-    /// Commit the active transaction: run deferred rules (inside it),
-    /// make it durable, then run detached firings in follow-on
-    /// transactions (unless inline detached execution is off — see
-    /// [`set_inline_detached`](Self::set_inline_detached)).
-    pub fn commit(&mut self) -> Result<()> {
-        self.commit_internal()?;
-        if self.inline_detached {
-            self.run_detached()
-        } else {
-            Ok(())
-        }
-    }
-
-    /// When `false`, commits leave detached firings queued for an
-    /// external executor ([`run_pending_detached`](Self::run_pending_detached));
-    /// `SharedDatabase` uses this to run them on a background thread.
-    pub fn set_inline_detached(&mut self, inline: bool) {
-        self.inline_detached = inline;
-    }
-
-    /// Detached firings awaiting execution.
-    pub fn pending_detached(&self) -> usize {
-        self.engine.pending().1
-    }
-
-    /// Execute queued detached firings now (each in its own
-    /// transaction); returns how many ran.
-    pub fn run_pending_detached(&mut self) -> Result<u64> {
-        let before = self
-            .stats
-            .detached_runs
-            .load(std::sync::atomic::Ordering::Relaxed);
-        self.run_detached()?;
-        Ok(self
-            .stats
-            .detached_runs
-            .load(std::sync::atomic::Ordering::Relaxed)
-            - before)
-    }
-
-    /// Abort the active transaction: undo object mutations and catalog
-    /// mutations, discard pending rule work.
-    pub fn abort(&mut self) -> Result<()> {
-        if !self.txn.in_txn() {
-            return Err(ObjectError::NoActiveTransaction);
-        }
-        self.rollback();
-        Ok(())
-    }
-
-    fn commit_internal(&mut self) -> Result<()> {
-        if !self.txn.in_txn() {
-            return Err(ObjectError::NoActiveTransaction);
-        }
-        let commit_timer = self.telemetry.timer();
-        // Deferred rules run at end-of-transaction, inside it. Their
-        // actions may queue more deferred work; drain to a fixpoint,
-        // bounded by the cascade limit.
-        let mut rounds = 0usize;
-        loop {
-            let batch = self.engine.take_deferred();
-            if batch.is_empty() {
-                break;
-            }
-            rounds += 1;
-            if rounds > self.config.max_cascade_depth {
-                let e = ObjectError::CascadeDepthExceeded {
-                    limit: self.config.max_cascade_depth,
-                };
-                self.rollback();
-                return Err(e);
-            }
-            for f in &batch {
-                if let Err(e) = self.execute_firing(f) {
-                    self.rollback();
-                    return Err(e);
-                }
-            }
-        }
-        let id = self.txn.commit()?;
-        self.engine.commit_capture();
-        self.log(LogRecord::ClockAdvance {
-            at: self.clock.now(),
-        })?;
-        self.log(LogRecord::Commit { txn: id })?;
-        self.catalog_undo.clear();
-        self.txn_touched.clear();
-        SharedDbStats::bump(&self.stats.commits);
-        self.telemetry
-            .observe_timer(Stage::TxnCommit, self.clock.now(), commit_timer, || {
-                format!("txn {id}")
-            });
-        Ok(())
-    }
-
-    /// Execute queued detached firings, each in its own transaction. An
-    /// abort in one detached firing does not affect the others.
-    fn run_detached(&mut self) -> Result<()> {
-        let mut rounds = 0usize;
-        loop {
-            let batch = self.engine.take_detached();
-            if batch.is_empty() {
-                return Ok(());
-            }
-            rounds += 1;
-            if rounds > self.config.max_cascade_depth {
-                return Err(ObjectError::CascadeDepthExceeded {
-                    limit: self.config.max_cascade_depth,
-                });
-            }
-            for f in batch {
-                SharedDbStats::bump(&self.stats.detached_runs);
-                self.telemetry
-                    .hit(Stage::DetachedRun, self.clock.now(), || {
-                        f.firing.rule_name.to_string()
-                    });
-                let tid = self.txn.begin()?;
-                self.log(LogRecord::Begin { txn: tid })?;
-                match self.execute_firing(&f) {
-                    Ok(()) => self.commit_internal()?,
-                    Err(_) => self.rollback(),
-                }
-            }
-        }
-    }
-
-    /// Undo everything the active transaction did (store + catalog),
-    /// discard pending firings, and log the abort.
-    fn rollback(&mut self) {
-        for u in std::mem::take(&mut self.catalog_undo).into_iter().rev() {
-            self.apply_catalog_undo(u);
-        }
-        if let Ok(id) = self.txn.abort(&self.store) {
-            let _ = self.log(LogRecord::Abort { txn: id });
-        }
-        self.engine.discard_pending();
-        // Restore the pre-transaction detection state of every rule the
-        // transaction touched: events generated by the rolled-back
-        // transaction must not later complete a composite event, and
-        // occurrences consumed by a rolled-back detection must be
-        // re-armed. As a belt-and-braces measure, prune anything newer
-        // than the transaction start that a restore could have missed
-        // (e.g. a rule created during the transaction).
-        self.engine.abort_capture();
-        // The store-level undo bypassed index maintenance; refresh every
-        // object the transaction touched from its restored state.
-        for oid in std::mem::take(&mut self.txn_touched) {
-            let _ = self.index_refresh(oid);
-        }
-        let ts = self.txn_start_clock;
-        let ids: Vec<RuleId> = self.engine.iter_rules().map(|r| r.id).collect();
-        for id in ids {
-            if let Ok(r) = self.engine.rule_mut(id) {
-                r.detector.prune_newer_than(ts);
-            }
-        }
-        SharedDbStats::bump(&self.stats.aborts);
-        self.telemetry.hit(Stage::TxnAbort, self.clock.now(), || {
-            String::from("rollback")
-        });
-    }
-
-    fn apply_catalog_undo(&mut self, u: CatalogUndo) {
-        match u {
-            CatalogUndo::EventDefined { name } => {
-                self.events.remove(&name);
-            }
-            CatalogUndo::RuleAdded { name } => {
-                if let Ok(id) = self.engine.id_of(&name) {
-                    let _ = self.engine.remove_rule(id);
-                }
-            }
-            CatalogUndo::RuleRemoved {
-                record,
-                object_subs,
-                class_subs,
-            } => {
-                if let Ok(id) =
-                    self.engine
-                        .add_rule_unchecked(record.def.clone(), record.oid, &self.registry)
-                {
-                    if !record.enabled {
-                        let _ = self.engine.disable(id);
-                    }
-                    for o in object_subs {
-                        self.engine.subscriptions.subscribe_object(o, id);
-                    }
-                    for c in class_subs {
-                        if let Ok(cid) = self.registry.id_of(&c) {
-                            self.engine.subscriptions.subscribe_class(cid, id);
-                        }
-                    }
-                }
-            }
-            CatalogUndo::EnabledChanged { name, was } => {
-                if let Ok(id) = self.engine.id_of(&name) {
-                    let _ = if was {
-                        self.engine.enable(id)
-                    } else {
-                        self.engine.disable(id)
-                    };
-                }
-            }
-            CatalogUndo::ObjectSubscribed { object, rule } => {
-                if let Ok(id) = self.engine.id_of(&rule) {
-                    self.engine.subscriptions.unsubscribe_object(object, id);
-                }
-            }
-            CatalogUndo::ObjectUnsubscribed { object, rule } => {
-                if let Ok(id) = self.engine.id_of(&rule) {
-                    self.engine.subscriptions.subscribe_object(object, id);
-                }
-            }
-            CatalogUndo::ClassSubscribed { class, rule } => {
-                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class)) {
-                    self.engine.subscriptions.unsubscribe_class(cid, id);
-                }
-            }
-            CatalogUndo::ClassUnsubscribed { class, rule } => {
-                if let (Ok(id), Ok(cid)) = (self.engine.id_of(&rule), self.registry.id_of(&class)) {
-                    self.engine.subscriptions.subscribe_class(cid, id);
-                }
-            }
-        }
-    }
-
-    /// Run `f` inside the active transaction, or inside a fresh
-    /// auto-committed one when none is active (mirroring the paper's
-    /// implicit per-message transactions).
-    fn with_auto_txn<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
-        if self.txn.in_txn() {
-            let r = f(self);
-            if let Err(e) = &r {
-                if e.is_abort() {
-                    self.rollback();
-                }
-            }
-            r
-        } else {
-            self.begin()?;
-            match f(self) {
-                Ok(v) => {
-                    self.commit()?;
-                    Ok(v)
-                }
-                Err(e) => {
-                    if self.txn.in_txn() {
-                        self.rollback();
-                    }
-                    Err(e)
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
     // Objects
     // ------------------------------------------------------------------
 
@@ -703,12 +441,12 @@ impl Database {
         self.with_auto_txn(|db| db.dispatch(receiver, method, args))
     }
 
-    fn create_internal(&mut self, class: ClassId) -> Result<Oid> {
+    pub(crate) fn create_internal(&mut self, class: ClassId) -> Result<Oid> {
         let oid = self.store.create(&self.registry, class);
-        self.txn.record(UndoOp::Create { oid })?;
+        self.pipeline.stage_undo(UndoOp::Create { oid })?;
         let slots = self.store.with_state(oid, |st| st.slots.clone())?;
         let class_name = self.registry.get(class).name.clone();
-        let txn = self.txn.current().expect("in txn");
+        let txn = self.pipeline.current().expect("in txn");
         self.log(LogRecord::Create {
             txn,
             oid,
@@ -720,7 +458,7 @@ impl Database {
         Ok(oid)
     }
 
-    fn set_attr_internal(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
+    pub(crate) fn set_attr_internal(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
         let class = self.store.class_of(oid)?;
         let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
             ObjectError::UnknownAttribute {
@@ -731,12 +469,12 @@ impl Database {
         let old = self
             .store
             .set_attr(&self.registry, oid, attr, value.clone())?;
-        self.txn.record(UndoOp::SetSlot {
+        self.pipeline.stage_undo(UndoOp::SetSlot {
             oid,
             slot,
             old: old.clone(),
         })?;
-        let txn = self.txn.current().expect("in txn");
+        let txn = self.pipeline.current().expect("in txn");
         self.log(LogRecord::SetAttr {
             txn,
             oid,
@@ -760,13 +498,13 @@ impl Database {
         Ok(())
     }
 
-    fn delete_internal(&mut self, oid: Oid) -> Result<()> {
+    pub(crate) fn delete_internal(&mut self, oid: Oid) -> Result<()> {
         let state = self.store.delete(oid)?;
         let class_name = self.registry.get(state.class).name.clone();
         let slots = state.slots.clone();
-        self.txn.record(UndoOp::Delete { oid, state })?;
+        self.pipeline.stage_undo(UndoOp::Delete { oid, state })?;
         self.engine.subscriptions.remove_object(oid);
-        let txn = self.txn.current().expect("in txn");
+        let txn = self.pipeline.current().expect("in txn");
         self.log(LogRecord::Delete {
             txn,
             oid,
@@ -784,7 +522,12 @@ impl Database {
     // Dispatch: the reactive message send
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self, receiver: Oid, method: &str, args: &[Value]) -> Result<Value> {
+    pub(crate) fn dispatch(
+        &mut self,
+        receiver: Oid,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value> {
         if self.depth >= self.config.max_cascade_depth {
             return Err(ObjectError::CascadeDepthExceeded {
                 limit: self.config.max_cascade_depth,
@@ -904,293 +647,6 @@ impl Database {
         Ok(())
     }
 
-    /// Evaluate a triggered rule's condition and, if it holds, run its
-    /// action. Bodies receive the database itself as their `World`.
-    fn execute_firing(&mut self, f: &ReadyFiring) -> Result<()> {
-        SharedDbStats::bump(&self.stats.condition_evals);
-        if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
-            r.stats.condition_evals += 1;
-        }
-        // Condition and action latencies are observed *before* `?`
-        // propagation so stage counts reconcile with the counters above
-        // even when a body aborts the transaction.
-        let cond_timer = self.telemetry.timer();
-        let cond = (f.condition)(self, &f.firing);
-        let at = self.clock.now();
-        if let Some(ns) = cond_timer.elapsed_ns() {
-            let name = &f.firing.rule_name;
-            self.telemetry
-                .observe(Stage::ConditionEval, at, ns, || name.to_string());
-            self.telemetry.observe_rule(name, BodyKind::Condition, ns);
-        }
-        let held = cond?;
-        if !held {
-            return Ok(());
-        }
-        SharedDbStats::bump(&self.stats.condition_true);
-        if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
-            r.stats.condition_true += 1;
-            r.stats.actions_run += 1;
-        }
-        SharedDbStats::bump(&self.stats.actions_run);
-        if self.depth >= self.config.max_cascade_depth {
-            return Err(ObjectError::CascadeDepthExceeded {
-                limit: self.config.max_cascade_depth,
-            });
-        }
-        let mut effect_frame = false;
-        if self.effect_recorder.is_some() {
-            if let Ok(r) = self.engine.rule(f.firing.rule) {
-                let action = r.def.action.clone();
-                if let Some(rec) = &mut self.effect_recorder {
-                    rec.stack.push(action);
-                    effect_frame = true;
-                }
-            }
-        }
-        self.depth += 1;
-        let action_timer = self.telemetry.timer();
-        let out = (f.action)(self, &f.firing);
-        self.depth -= 1;
-        if effect_frame {
-            if let Some(rec) = &mut self.effect_recorder {
-                rec.stack.pop();
-            }
-        }
-        let at = self.clock.now();
-        if let Some(ns) = action_timer.elapsed_ns() {
-            let name = &f.firing.rule_name;
-            self.telemetry
-                .observe(Stage::ActionRun, at, ns, || name.to_string());
-            self.telemetry.observe_rule(name, BodyKind::Action, ns);
-        }
-        out
-    }
-
-    // ------------------------------------------------------------------
-    // First-class events
-    // ------------------------------------------------------------------
-
-    /// Create a named first-class event object from an expression. The
-    /// object is an instance of the matching `Event` subclass
-    /// (Figure 5) and is persisted like any other object.
-    pub fn define_event(&mut self, name: &str, expr: EventExpr) -> Result<Oid> {
-        if self.events.contains_key(name) {
-            return Err(ObjectError::App(format!("event `{name}` already defined")));
-        }
-        // Validate the expression against the schema now.
-        sentinel_events::DetectorInstance::compile_default(&expr, &self.registry)?;
-        let subclass = match &expr {
-            EventExpr::Primitive(_) => meta::EVENT_PRIMITIVE,
-            EventExpr::And(..) => meta::EVENT_CONJUNCTION,
-            EventExpr::Or(..) => meta::EVENT_DISJUNCTION,
-            EventExpr::Seq(..) => meta::EVENT_SEQUENCE,
-            _ => meta::EVENT,
-        };
-        let class = self.registry.id_of(subclass)?;
-        let expr_json = serde_json::to_string(&expr)
-            .map_err(|e| ObjectError::Storage(format!("serialize event expr: {e}")))?;
-        let name_owned = name.to_string();
-        self.with_auto_txn(move |db| {
-            let oid = db.create_internal(class)?;
-            db.set_attr_internal(oid, "name", Value::Str(name_owned.clone()))?;
-            db.set_attr_internal(oid, "expr", Value::Str(expr_json))?;
-            let record = EventRecord {
-                name: name_owned.clone(),
-                oid,
-                expr,
-            };
-            db.events.insert(name_owned.clone(), record.clone());
-            db.catalog_undo
-                .push(CatalogUndo::EventDefined { name: name_owned });
-            db.log_meta(MetaOp::DefineEvent(record))?;
-            Ok(oid)
-        })
-    }
-
-    /// The expression of a named event object.
-    pub fn event_expr(&self, name: &str) -> Result<EventExpr> {
-        self.events
-            .get(name)
-            .map(|r| r.expr.clone())
-            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
-    }
-
-    /// The store oid of a named event object.
-    pub fn event_oid(&self, name: &str) -> Result<Oid> {
-        self.events
-            .get(name)
-            .map(|r| r.oid)
-            .ok_or_else(|| ObjectError::UnknownEvent(name.to_string()))
-    }
-
-    // ------------------------------------------------------------------
-    // First-class rules
-    // ------------------------------------------------------------------
-
-    /// Create a rule object. Its condition/action bodies must already be
-    /// registered. Returns the rule object's oid.
-    pub fn add_rule(&mut self, def: impl Into<RuleDef>) -> Result<Oid> {
-        let mut def = def.into();
-        if def.context == ParamContext::default() {
-            def.context = self.config.default_context;
-        }
-        let rule_class = self.rule_class;
-        self.with_auto_txn(move |db| {
-            let oid = db.create_internal(rule_class)?;
-            db.set_attr_internal(oid, "name", Value::Str(def.name.clone()))?;
-            db.set_attr_internal(oid, "coupling", Value::Str(def.coupling.name().into()))?;
-            db.set_attr_internal(oid, "priority", Value::Int(def.priority as i64))?;
-            db.engine.add_rule(def.clone(), oid, &db.registry)?;
-            db.catalog_undo.push(CatalogUndo::RuleAdded {
-                name: def.name.clone(),
-            });
-            db.log_meta(MetaOp::AddRule(RuleRecord {
-                oid,
-                def,
-                enabled: true,
-            }))?;
-            Ok(oid)
-        })
-    }
-
-    /// Declare a class-level rule (paper Figure 9): the rule is created
-    /// and subscribed to the whole class, so it applies to every present
-    /// and future instance (and instances of subclasses).
-    pub fn add_class_rule(&mut self, class: &str, def: impl Into<RuleDef>) -> Result<Oid> {
-        let def = def.into();
-        let name = def.name.clone();
-        let oid = self.add_rule(def)?;
-        self.subscribe_class_inner(class, &name)?;
-        Ok(oid)
-    }
-
-    /// Delete a rule and its rule object.
-    pub fn remove_rule(&mut self, name: &str) -> Result<()> {
-        let id = self.engine.id_of(name)?;
-        let rule = self.engine.rule(id)?;
-        let oid = rule.oid;
-        let enabled = rule.enabled;
-        let object_subs = self.engine.subscriptions.objects_of(id);
-        let class_ids = self.engine.subscriptions.classes_of(id);
-        let class_subs: Vec<String> = class_ids
-            .iter()
-            .map(|&c| self.registry.get(c).name.clone())
-            .collect();
-        let name_owned = name.to_string();
-        self.with_auto_txn(move |db| {
-            let def = db.engine.remove_rule(id)?;
-            db.delete_internal(oid)?;
-            db.catalog_undo.push(CatalogUndo::RuleRemoved {
-                record: Box::new(RuleRecord { oid, def, enabled }),
-                object_subs,
-                class_subs,
-            });
-            db.log_meta(MetaOp::RemoveRule { name: name_owned })?;
-            Ok(())
-        })
-    }
-
-    /// Enable a rule by name. Equivalent to sending `Enable` to the rule
-    /// object (which additionally generates the rule's own events).
-    pub fn enable_rule(&mut self, name: &str) -> Result<()> {
-        let id = self.engine.id_of(name)?;
-        let oid = self.engine.rule(id)?.oid;
-        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, true))
-    }
-
-    /// Disable a rule by name: it stops receiving events and its partial
-    /// detector state is discarded.
-    pub fn disable_rule(&mut self, name: &str) -> Result<()> {
-        let id = self.engine.id_of(name)?;
-        let oid = self.engine.rule(id)?.oid;
-        self.with_auto_txn(|db| db.toggle_rule_by_oid(oid, false))
-    }
-
-    fn toggle_rule_by_oid(&mut self, oid: Oid, enable: bool) -> Result<()> {
-        let id = self
-            .engine
-            .id_of_oid(oid)
-            .ok_or_else(|| ObjectError::UnknownRule(format!("no rule object at {oid}")))?;
-        let was = self.engine.rule(id)?.enabled;
-        if was == enable {
-            return Ok(());
-        }
-        let name = self.engine.rule(id)?.def.name.clone();
-        if enable {
-            self.engine.enable(id)?;
-        } else {
-            self.engine.disable(id)?;
-        }
-        self.set_attr_internal(oid, "enabled", Value::Bool(enable))?;
-        self.catalog_undo.push(CatalogUndo::EnabledChanged {
-            name: name.clone(),
-            was,
-        });
-        self.log_meta(MetaOp::SetEnabled {
-            name,
-            enabled: enable,
-        })
-    }
-
-    /// The rule object's oid (so other rules can subscribe to it).
-    pub fn rule_oid(&self, name: &str) -> Result<Oid> {
-        let id = self.engine.id_of(name)?;
-        Ok(self.engine.rule(id)?.oid)
-    }
-
-    /// Is the rule currently enabled?
-    pub fn rule_enabled(&self, name: &str) -> Result<bool> {
-        let id = self.engine.id_of(name)?;
-        Ok(self.engine.rule(id)?.enabled)
-    }
-
-    /// Per-rule counters.
-    pub fn rule_stats(&self, name: &str) -> Result<RuleStats> {
-        let id = self.engine.id_of(name)?;
-        Ok(self.engine.rule(id)?.stats)
-    }
-
-    /// Occurrences buffered by a rule's detector (experiment E12).
-    pub fn rule_detector_buffered(&self, name: &str) -> Result<usize> {
-        let id = self.engine.id_of(name)?;
-        Ok(self.engine.rule(id)?.detector.buffered())
-    }
-
-    /// Names of all rules.
-    pub fn rule_names(&self) -> Vec<String> {
-        self.engine
-            .iter_rules()
-            .map(|r| r.def.name.clone())
-            .collect()
-    }
-
-    /// Convenience: install an *observer* — a notifiable consumer that
-    /// runs a callback on every detection of `expr`, with no condition
-    /// and no effect on the database unless the callback makes one. An
-    /// observer is exactly a rule whose action is the callback (the
-    /// paper's point that rules are just one kind of notifiable object);
-    /// connect it with [`subscribe`](Self::subscribe) /
-    /// [`subscribe_class`](Self::subscribe_class) like any rule.
-    pub fn observe<F>(&mut self, name: &str, expr: EventExpr, callback: F) -> Result<Oid>
-    where
-        F: Fn(&Firing) + Send + Sync + 'static,
-    {
-        let action_name = format!("__observer::{name}");
-        // The callback only sees the firing, never the world, so the
-        // empty effects declaration is sound — and keeps observers from
-        // showing up as unknown-effects in `analyze`.
-        self.register_action_with_effects(
-            &action_name,
-            ActionEffects::none(),
-            move |_w, firing| {
-                callback(firing);
-                Ok(())
-            },
-        );
-        self.add_rule(RuleDef::new(name, expr, action_name))
-    }
-
     // ------------------------------------------------------------------
     // Subscriptions
     // ------------------------------------------------------------------
@@ -1255,7 +711,7 @@ impl Database {
         })
     }
 
-    fn subscribe_class_inner(&mut self, class: &str, rule: &str) -> Result<()> {
+    pub(crate) fn subscribe_class_inner(&mut self, class: &str, rule: &str) -> Result<()> {
         let id = self.engine.id_of(rule)?;
         let cid = self.registry.id_of(class)?;
         if self.registry.get(cid).reactivity != Reactivity::Reactive {
@@ -1292,349 +748,6 @@ impl Database {
                 rule: rule_name,
             })
         })
-    }
-
-    /// Subscribe a rule to all instances of a class, present and future
-    /// (class-level rule association).
-    #[deprecated(since = "0.2.0", note = "use `subscribe(Target::Class(class), rule)`")]
-    pub fn subscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
-        self.subscribe(Target::Class(class), rule)
-    }
-
-    /// Reverse of the class-level subscribe.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `unsubscribe(Target::Class(class), rule)`"
-    )]
-    pub fn unsubscribe_class(&mut self, class: &str, rule: &str) -> Result<()> {
-        self.unsubscribe(Target::Class(class), rule)
-    }
-
-    // ------------------------------------------------------------------
-    // Attribute indexes
-    // ------------------------------------------------------------------
-
-    /// Create an ordered index over `class.attr` (subclass instances
-    /// included), built from the current extent. Indexes are in-memory
-    /// access paths and are rebuilt by the application after recovery.
-    pub fn create_index(&mut self, class: &str, attr: &str) -> Result<IndexId> {
-        let cid = self.registry.id_of(class)?;
-        if self.registry.get(cid).slot_of(attr).is_none() {
-            return Err(ObjectError::UnknownAttribute {
-                class: class.to_string(),
-                attribute: attr.to_string(),
-            });
-        }
-        if self
-            .indexes
-            .read()
-            .iter()
-            .any(|i| i.class == cid && i.attr == attr)
-        {
-            return Err(ObjectError::App(format!(
-                "index on `{class}.{attr}` already exists"
-            )));
-        }
-        let mut idx = AttrIndex::new(cid, attr);
-        let oids: Vec<Oid> = self.store.extent(&self.registry, cid);
-        for oid in oids {
-            let v = self.store.get_attr(&self.registry, oid, attr)?;
-            idx.upsert(oid, v)?;
-        }
-        let mut indexes = self.indexes.write();
-        indexes.push(idx);
-        Ok(IndexId(indexes.len() - 1))
-    }
-
-    /// Drop an index.
-    pub fn drop_index(&mut self, class: &str, attr: &str) -> Result<()> {
-        let cid = self.registry.id_of(class)?;
-        let mut indexes = self.indexes.write();
-        let before = indexes.len();
-        indexes.retain(|i| !(i.class == cid && i.attr == attr));
-        if indexes.len() == before {
-            return Err(ObjectError::App(format!("no index on `{class}.{attr}`")));
-        }
-        Ok(())
-    }
-
-    /// Indexed range lookup: oids of `class` instances whose `attr` lies
-    /// in `[lo, hi]` (inclusive, either bound optional), in key order.
-    /// Errors if no matching index exists.
-    pub fn index_range(
-        &self,
-        class: &str,
-        attr: &str,
-        lo: Option<Value>,
-        hi: Option<Value>,
-    ) -> Result<Vec<Oid>> {
-        let cid = self.registry.id_of(class)?;
-        let indexes = self.indexes.read();
-        let idx = indexes
-            .iter()
-            .find(|i| i.class == cid && i.attr == attr)
-            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
-        Ok(idx.range(lo.as_ref(), hi.as_ref()))
-    }
-
-    /// Indexed exact lookup.
-    pub fn index_get(&self, class: &str, attr: &str, key: &Value) -> Result<Vec<Oid>> {
-        let cid = self.registry.id_of(class)?;
-        let indexes = self.indexes.read();
-        let idx = indexes
-            .iter()
-            .find(|i| i.class == cid && i.attr == attr)
-            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
-        Ok(idx.get(key))
-    }
-
-    /// If an index exactly covers `class.attr`, return its candidates in
-    /// `[lo, hi]`; used by the query layer.
-    pub(crate) fn index_candidates(
-        &self,
-        class: &str,
-        attr: &str,
-        lo: Option<&Value>,
-        hi: Option<&Value>,
-    ) -> Option<Vec<Oid>> {
-        let cid = self.registry.id_of(class).ok()?;
-        self.indexes
-            .read()
-            .iter()
-            .find(|i| i.class == cid && i.attr == attr)
-            .map(|i| i.range(lo, hi))
-    }
-
-    /// Re-index one attribute of one object after a write.
-    fn index_refresh_attr(&mut self, oid: Oid, class: ClassId, attr: &str) -> Result<()> {
-        // Lock order: indexes before store shard (never the reverse).
-        let mut indexes = self.indexes.write();
-        for idx in indexes.iter_mut() {
-            if idx.attr == attr && self.registry.is_subclass(class, idx.class) {
-                let v = self.store.get_attr(&self.registry, oid, attr)?;
-                idx.upsert(oid, v)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Re-index every applicable attribute of one object from its
-    /// current state (or remove it everywhere if it no longer exists).
-    fn index_refresh(&mut self, oid: Oid) -> Result<()> {
-        let mut indexes = self.indexes.write();
-        if indexes.is_empty() {
-            return Ok(());
-        }
-        let Ok(class) = self.store.class_of(oid) else {
-            for idx in indexes.iter_mut() {
-                idx.remove(oid);
-            }
-            return Ok(());
-        };
-        for idx in indexes.iter_mut() {
-            let applicable = self.registry.is_subclass(class, idx.class)
-                && self.registry.get(class).slot_of(&idx.attr).is_some();
-            if applicable {
-                let v = self.store.get_attr(&self.registry, oid, &idx.attr)?;
-                idx.upsert(oid, v)?;
-            } else {
-                idx.remove(oid);
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Persistence
-    // ------------------------------------------------------------------
-
-    fn log(&mut self, record: LogRecord) -> Result<()> {
-        match &mut self.wal {
-            Some(w) => w.append(&record),
-            None => Ok(()),
-        }
-    }
-
-    fn log_meta(&mut self, op: MetaOp) -> Result<()> {
-        if self.wal.is_none() {
-            return Ok(());
-        }
-        let txn = self.txn.current().ok_or(ObjectError::NoActiveTransaction)?;
-        let payload = serde_json::to_string(&op)
-            .map_err(|e| ObjectError::Storage(format!("serialize meta op: {e}")))?;
-        self.log(LogRecord::Meta {
-            txn,
-            tag: "catalog".into(),
-            payload,
-        })
-    }
-
-    fn catalog_snapshot(&self) -> CatalogSnapshot {
-        let mut events: Vec<EventRecord> = self.events.values().cloned().collect();
-        events.sort_by(|a, b| a.name.cmp(&b.name));
-        let mut rules: Vec<RuleRecord> = Vec::new();
-        let mut object_subs = Vec::new();
-        let mut class_subs = Vec::new();
-        for r in self.engine.iter_rules() {
-            rules.push(RuleRecord {
-                oid: r.oid,
-                def: r.def.clone(),
-                enabled: r.enabled,
-            });
-            for o in self.engine.subscriptions.objects_of(r.id) {
-                object_subs.push((o, r.def.name.clone()));
-            }
-            for c in self.engine.subscriptions.classes_of(r.id) {
-                class_subs.push((self.registry.get(c).name.clone(), r.def.name.clone()));
-            }
-        }
-        rules.sort_by(|a, b| a.def.name.cmp(&b.def.name));
-        object_subs.sort();
-        class_subs.sort();
-        CatalogSnapshot {
-            events,
-            rules,
-            object_subs,
-            class_subs,
-        }
-    }
-
-    /// Write a snapshot and truncate the WAL. No transaction may be
-    /// active.
-    pub fn checkpoint(&mut self) -> Result<()> {
-        if self.txn.in_txn() {
-            return Err(ObjectError::TransactionAlreadyActive);
-        }
-        let Some(path) = self.config.snapshot_path() else {
-            return Err(ObjectError::Storage(
-                "checkpoint requires a durable configuration (data_dir)".into(),
-            ));
-        };
-        let extra = serde_json::to_string(&self.catalog_snapshot())
-            .map_err(|e| ObjectError::Storage(format!("serialize catalog: {e}")))?;
-        Snapshot::capture(&self.registry, &self.store, self.clock.now(), extra).write(path)?;
-        if let Some(w) = &mut self.wal {
-            w.truncate()?;
-        }
-        Ok(())
-    }
-
-    /// Recover a database from its data directory. Method bodies and
-    /// rule condition/action bodies are code and must be re-registered
-    /// by the application afterwards (by name); a rule whose bodies are
-    /// missing fails cleanly when it fires.
-    pub fn recover(config: DbConfig) -> Result<Self> {
-        let snap_p = config
-            .snapshot_path()
-            .ok_or_else(|| ObjectError::Storage("recover requires data_dir".into()))?;
-        let wal_p = config.wal_path().expect("durable");
-        let telemetry = Self::new_telemetry(&config);
-        let rec = sentinel_storage::recover_with(&snap_p, &wal_p, Some(&telemetry))?;
-        let fresh = rec.registry.is_empty();
-        let mut db = Self::assemble(rec.registry, rec.store, config, telemetry)?;
-        db.txn.set_floor(rec.max_txn);
-        db.clock.advance_to(rec.clock);
-        if fresh {
-            db.bootstrap_meta_classes()?;
-        } else {
-            db.rule_class = db.registry.id_of(meta::RULE)?;
-            db.event_class = db.registry.id_of(meta::EVENT)?;
-            // Re-register the intercepted Rule methods.
-            db.methods.register(db.rule_class, "Enable", |_, _, _| {
-                Err(ObjectError::App("handled by the engine".into()))
-            });
-            db.methods.register(db.rule_class, "Disable", |_, _, _| {
-                Err(ObjectError::App("handled by the engine".into()))
-            });
-        }
-        // Catalog: snapshot first, then committed meta records in order.
-        if !rec.extra.is_empty() {
-            let snap: CatalogSnapshot = serde_json::from_str(&rec.extra)
-                .map_err(|e| ObjectError::Storage(format!("parse catalog snapshot: {e}")))?;
-            db.apply_catalog_snapshot(snap)?;
-        }
-        for (_txn, tag, payload) in &rec.meta {
-            if tag != "catalog" {
-                continue;
-            }
-            let op: MetaOp = serde_json::from_str(payload)
-                .map_err(|e| ObjectError::Storage(format!("parse meta op: {e}")))?;
-            db.apply_meta_op(op)?;
-        }
-        Ok(db)
-    }
-
-    fn apply_catalog_snapshot(&mut self, snap: CatalogSnapshot) -> Result<()> {
-        for e in snap.events {
-            self.events.insert(e.name.clone(), e);
-        }
-        for r in snap.rules {
-            let id = self
-                .engine
-                .add_rule_unchecked(r.def, r.oid, &self.registry)?;
-            if !r.enabled {
-                self.engine.disable(id)?;
-            }
-        }
-        for (object, rule) in snap.object_subs {
-            let id = self.engine.id_of(&rule)?;
-            self.engine.subscriptions.subscribe_object(object, id);
-        }
-        for (class, rule) in snap.class_subs {
-            let id = self.engine.id_of(&rule)?;
-            let cid = self.registry.id_of(&class)?;
-            self.engine.subscriptions.subscribe_class(cid, id);
-        }
-        Ok(())
-    }
-
-    fn apply_meta_op(&mut self, op: MetaOp) -> Result<()> {
-        match op {
-            MetaOp::DefineEvent(e) => {
-                self.events.insert(e.name.clone(), e);
-            }
-            MetaOp::AddRule(r) => {
-                let id = self
-                    .engine
-                    .add_rule_unchecked(r.def, r.oid, &self.registry)?;
-                if !r.enabled {
-                    self.engine.disable(id)?;
-                }
-            }
-            MetaOp::RemoveRule { name } => {
-                if let Ok(id) = self.engine.id_of(&name) {
-                    self.engine.remove_rule(id)?;
-                }
-            }
-            MetaOp::SetEnabled { name, enabled } => {
-                if let Ok(id) = self.engine.id_of(&name) {
-                    if enabled {
-                        self.engine.enable(id)?;
-                    } else {
-                        self.engine.disable(id)?;
-                    }
-                }
-            }
-            MetaOp::SubscribeObject { object, rule } => {
-                let id = self.engine.id_of(&rule)?;
-                self.engine.subscriptions.subscribe_object(object, id);
-            }
-            MetaOp::UnsubscribeObject { object, rule } => {
-                let id = self.engine.id_of(&rule)?;
-                self.engine.subscriptions.unsubscribe_object(object, id);
-            }
-            MetaOp::SubscribeClass { class, rule } => {
-                let id = self.engine.id_of(&rule)?;
-                let cid = self.registry.id_of(&class)?;
-                self.engine.subscriptions.subscribe_class(cid, id);
-            }
-            MetaOp::UnsubscribeClass { class, rule } => {
-                let id = self.engine.id_of(&rule)?;
-                let cid = self.registry.id_of(&class)?;
-                self.engine.subscriptions.unsubscribe_class(cid, id);
-            }
-        }
-        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1765,6 +878,8 @@ impl Database {
             ("scheduled_immediate_total", e.immediate),
             ("scheduled_deferred_total", e.deferred),
             ("scheduled_detached_total", e.detached),
+            ("detached_shed_total", e.detached_shed),
+            ("wal_durable_commits_total", self.pipeline.durable_commits()),
         ];
         sentinel_telemetry::prometheus_text(&self.telemetry.snapshot(), &extra)
     }
@@ -1833,7 +948,3 @@ impl World for Database {
         self.clock.now()
     }
 }
-
-// Keep an explicit reference to CouplingMode so the doc link in add_rule
-// renders; also used by tests below.
-const _: fn() -> CouplingMode = CouplingMode::default;

@@ -183,6 +183,143 @@ impl AttrIndex {
     }
 }
 
+impl crate::database::Database {
+    /// Create an ordered index over `class.attr` (subclass instances
+    /// included), built from the current extent. Indexes are in-memory
+    /// access paths and are rebuilt by the application after recovery.
+    pub fn create_index(&mut self, class: &str, attr: &str) -> Result<IndexId> {
+        let cid = self.registry.id_of(class)?;
+        if self.registry.get(cid).slot_of(attr).is_none() {
+            return Err(ObjectError::UnknownAttribute {
+                class: class.to_string(),
+                attribute: attr.to_string(),
+            });
+        }
+        if self
+            .indexes
+            .read()
+            .iter()
+            .any(|i| i.class == cid && i.attr == attr)
+        {
+            return Err(ObjectError::App(format!(
+                "index on `{class}.{attr}` already exists"
+            )));
+        }
+        let mut idx = AttrIndex::new(cid, attr);
+        let oids: Vec<Oid> = self.store.extent(&self.registry, cid);
+        for oid in oids {
+            let v = self.store.get_attr(&self.registry, oid, attr)?;
+            idx.upsert(oid, v)?;
+        }
+        let mut indexes = self.indexes.write();
+        indexes.push(idx);
+        Ok(IndexId(indexes.len() - 1))
+    }
+
+    /// Drop an index.
+    pub fn drop_index(&mut self, class: &str, attr: &str) -> Result<()> {
+        let cid = self.registry.id_of(class)?;
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| !(i.class == cid && i.attr == attr));
+        if indexes.len() == before {
+            return Err(ObjectError::App(format!("no index on `{class}.{attr}`")));
+        }
+        Ok(())
+    }
+
+    /// Indexed range lookup: oids of `class` instances whose `attr` lies
+    /// in `[lo, hi]` (inclusive, either bound optional), in key order.
+    /// Errors if no matching index exists.
+    pub fn index_range(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<Value>,
+        hi: Option<Value>,
+    ) -> Result<Vec<Oid>> {
+        let cid = self.registry.id_of(class)?;
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
+        Ok(idx.range(lo.as_ref(), hi.as_ref()))
+    }
+
+    /// Indexed exact lookup.
+    pub fn index_get(&self, class: &str, attr: &str, key: &Value) -> Result<Vec<Oid>> {
+        let cid = self.registry.id_of(class)?;
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .ok_or_else(|| ObjectError::App(format!("no index on `{class}.{attr}`")))?;
+        Ok(idx.get(key))
+    }
+
+    /// If an index exactly covers `class.attr`, return its candidates in
+    /// `[lo, hi]`; used by the query layer.
+    pub(crate) fn index_candidates(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+    ) -> Option<Vec<Oid>> {
+        let cid = self.registry.id_of(class).ok()?;
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.class == cid && i.attr == attr)
+            .map(|i| i.range(lo, hi))
+    }
+
+    /// Re-index one attribute of one object after a write.
+    pub(crate) fn index_refresh_attr(
+        &mut self,
+        oid: Oid,
+        class: ClassId,
+        attr: &str,
+    ) -> Result<()> {
+        // Lock order: indexes before store shard (never the reverse).
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            if idx.attr == attr && self.registry.is_subclass(class, idx.class) {
+                let v = self.store.get_attr(&self.registry, oid, attr)?;
+                idx.upsert(oid, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-index every applicable attribute of one object from its
+    /// current state (or remove it everywhere if it no longer exists).
+    pub(crate) fn index_refresh(&mut self, oid: Oid) -> Result<()> {
+        let mut indexes = self.indexes.write();
+        if indexes.is_empty() {
+            return Ok(());
+        }
+        let Ok(class) = self.store.class_of(oid) else {
+            for idx in indexes.iter_mut() {
+                idx.remove(oid);
+            }
+            return Ok(());
+        };
+        for idx in indexes.iter_mut() {
+            let applicable = self.registry.is_subclass(class, idx.class)
+                && self.registry.get(class).slot_of(&idx.attr).is_some();
+            if applicable {
+                let v = self.store.get_attr(&self.registry, oid, &idx.attr)?;
+                idx.upsert(oid, v)?;
+            } else {
+                idx.remove(oid);
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,15 +26,16 @@
 //! programs under `examples/`.
 
 pub mod catalog;
+pub(crate) mod commit;
 pub mod config;
 pub mod database;
 pub mod dsl;
 pub mod index;
 pub mod query;
 pub mod session;
-pub mod shared;
 pub mod stats;
 pub mod typed;
+pub(crate) mod undo;
 
 pub use catalog::{CatalogSnapshot, EventRecord, MetaOp, RuleRecord};
 pub use config::DbConfig;
@@ -43,15 +44,14 @@ pub use dsl::event;
 pub use index::{AttrIndex, IndexId};
 pub use query::{attr, ObjectView, Predicate, Query};
 pub use session::{Sentinel, Session};
-#[allow(deprecated)]
-pub use shared::SharedDatabase;
 pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
 
 pub use sentinel_analyze::{
     AnalysisReport, DiagCode, Diagnostic, ObservedEffects, RuleAnalyzer, Severity,
 };
-pub use sentinel_rules::{ActionEffects, AttrPattern, EventPattern};
+pub use sentinel_rules::{ActionEffects, AttrPattern, BackpressurePolicy, EventPattern};
+pub use sentinel_storage::BatchAck;
 
 /// Everything an application typically needs, re-exported flat.
 pub mod prelude {
@@ -60,8 +60,6 @@ pub mod prelude {
     pub use crate::dsl::event;
     pub use crate::query::{attr, ObjectView, Predicate, Query};
     pub use crate::session::{Sentinel, Session};
-    #[allow(deprecated)]
-    pub use crate::shared::SharedDatabase;
     pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
     pub use sentinel_analyze::{AnalysisReport, DiagCode, Diagnostic, Severity};
@@ -74,10 +72,10 @@ pub mod prelude {
         TypeTag, Value, Visibility, World,
     };
     pub use sentinel_rules::{
-        ActionEffects, AttrPattern, CouplingMode, EventPattern, Firing, RuleBuilder, RuleDef,
-        RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
+        ActionEffects, AttrPattern, BackpressurePolicy, CouplingMode, EventPattern, Firing,
+        RuleBuilder, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
     };
-    pub use sentinel_storage::SyncPolicy;
+    pub use sentinel_storage::{BatchAck, SyncPolicy};
     pub use sentinel_telemetry::{
         prometheus_text, Stage, Telemetry, TelemetrySnapshot, TraceRecord,
     };

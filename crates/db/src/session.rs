@@ -24,10 +24,13 @@
 //! internally consistent — it happens under one shard read lock. The
 //! trade-off and the lock ordering rules are documented in DESIGN.md §11.
 //!
-//! The detached executor that used to live in `SharedDatabase` is
-//! absorbed here: a background worker drains detached firings after
-//! every commit that queues them, keeping producer commit latency free
-//! of detached work. `SharedDatabase` remains as a deprecated wrapper.
+//! The background worker doubles as the **group-commit syncer**: each
+//! wakeup drains queued detached firings and then forces the WAL's
+//! staged batch to disk with one [`Database::sync_wal`] call, so under
+//! `SyncPolicy::Grouped` a burst of producer commits shares a single
+//! fsync instead of paying one each. Producer commit latency stays free
+//! of both detached work and durability waits; [`drain`](Sentinel::drain)
+//! and [`shutdown`](Sentinel::shutdown) sync before returning.
 
 use crate::database::Database;
 use crate::index::AttrIndex;
@@ -138,6 +141,9 @@ impl Sentinel {
                         // own transaction; scheduling failures surface in
                         // stats.
                         let _ = db.run_pending_detached();
+                        // One group fsync covers every commit this wakeup
+                        // drained (and any the producers staged since).
+                        let _ = db.sync_wal();
                     }
                     if shutdown {
                         break;
@@ -164,11 +170,12 @@ impl Sentinel {
     }
 
     /// Run `f` on the write core, under the lock. If the call left
-    /// detached work queued, the background worker is signalled.
+    /// detached work queued or group-commit records staged in the WAL,
+    /// the background worker is signalled to drain/sync.
     pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         let mut db = self.inner.core.lock();
         let out = f(&mut db);
-        let pending = db.pending_detached() > 0;
+        let pending = db.pending_detached() > 0 || db.wal_staged_commits() > 0;
         drop(db);
         if pending {
             let _ = self.inner.tx.send(Signal::Drain);
@@ -218,14 +225,15 @@ impl Sentinel {
         })
     }
 
-    /// Block until no detached work is pending (best-effort: new commits
-    /// can queue more).
+    /// Block until no detached work is pending and every committed
+    /// transaction is durable (best-effort: new commits can queue more).
     pub fn drain(&self) {
         loop {
             {
                 let mut db = self.inner.core.lock();
                 let _ = db.run_pending_detached();
                 if db.pending_detached() == 0 {
+                    let _ = db.sync_wal();
                     return;
                 }
             }
@@ -344,6 +352,7 @@ impl Session {
             ("scheduled_immediate_total", e.immediate),
             ("scheduled_deferred_total", e.deferred),
             ("scheduled_detached_total", e.detached),
+            ("detached_shed_total", e.detached_shed),
         ];
         let mut out = sentinel_telemetry::prometheus_text(&self.reads.telemetry.snapshot(), &extra);
         out.push_str(&sentinel_telemetry::prometheus_shard_text(
@@ -569,5 +578,70 @@ mod tests {
         sentinel.drain();
         let session = sentinel.session();
         assert_eq!(session.get_attr(o, "audits").unwrap(), Value::Int(200));
+    }
+
+    #[test]
+    fn commit_latency_excludes_detached_work() {
+        // With a deliberately slow detached action, the producer's send
+        // returns quickly and the work lands later.
+        let mut db = build();
+        db.register_action("slow-audit", |w, f| {
+            std::thread::sleep(Duration::from_millis(30));
+            let o = f.occurrence.constituents[0].oid;
+            let n = w.get_attr(o, "audits")?.as_int()?;
+            w.set_attr(o, "audits", Value::Int(n + 1))
+        });
+        db.remove_rule("Audit").unwrap();
+        db.add_class_rule(
+            "X",
+            RuleDef::new("Audit", event("end X::Set(float x)").unwrap(), "slow-audit")
+                .coupling(CouplingMode::Detached),
+        )
+        .unwrap();
+        let sentinel = Sentinel::open(db);
+        let o = sentinel.try_with(|db| db.create("X")).unwrap();
+        let t0 = Instant::now();
+        sentinel.send(o, "Set", &[Value::Float(1.0)]).unwrap();
+        let send_latency = t0.elapsed();
+        assert!(
+            send_latency < Duration::from_millis(25),
+            "send blocked on detached work: {send_latency:?}"
+        );
+        sentinel.drain();
+        let session = sentinel.session();
+        assert_eq!(session.get_attr(o, "audits").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn shutdown_flushes_pending_work() {
+        let sentinel = Sentinel::open(build());
+        let o = sentinel.try_with(|db| db.create("X")).unwrap();
+        for i in 0..10 {
+            sentinel.send(o, "Set", &[Value::Float(i as f64)]).unwrap();
+        }
+        let db = sentinel.shutdown().unwrap();
+        assert_eq!(db.get_attr(o, "audits").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn multiple_producer_threads() {
+        let sentinel = Sentinel::open(build());
+        let o = sentinel.try_with(|db| db.create("X")).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = sentinel.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    s.send(o, "Set", &[Value::Float((t * 100 + i) as f64)])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        sentinel.drain();
+        let session = sentinel.session();
+        assert_eq!(session.get_attr(o, "audits").unwrap(), Value::Int(100));
     }
 }

@@ -1,0 +1,54 @@
+//! Primitive-event leaves: compiling a spec into a leaf node and
+//! matching incoming occurrences against it (interned-symbol fast path
+//! with a string-compare fallback for out-of-schema occurrences).
+
+use crate::occurrence::PrimitiveOccurrence;
+use crate::spec::{sym_alphabet, EventModifier, PrimitiveEventSpec};
+use sentinel_object::{ClassId, ClassRegistry, EventSym, Result};
+
+use super::state::Env;
+use super::Node;
+
+/// Compile a primitive spec against the schema. Unknown classes are
+/// reported immediately rather than silently never matching.
+pub(super) fn compile(spec: &PrimitiveEventSpec, registry: &ClassRegistry) -> Result<Node> {
+    let class = registry.id_of(&spec.class)?;
+    Ok(Node::Primitive {
+        class,
+        method: spec.method.clone(),
+        modifier: spec.modifier,
+        alphabet: alphabet(registry, class, &spec.method, spec.modifier),
+    })
+}
+
+/// The leaf's sorted interned-symbol alphabet, closed over subclasses.
+pub(super) fn alphabet(
+    registry: &ClassRegistry,
+    class: ClassId,
+    method: &str,
+    modifier: EventModifier,
+) -> Vec<EventSym> {
+    sym_alphabet(registry, class, method, modifier)
+}
+
+/// Does the leaf consume this occurrence? In-schema occurrences carry
+/// an interned symbol and match by integer membership; hand-built
+/// occurrences naming undeclared methods take the string-compare
+/// fallback.
+pub(super) fn matches(
+    env: &Env<'_>,
+    class: ClassId,
+    method: &str,
+    modifier: EventModifier,
+    alphabet: &[EventSym],
+    occ: &PrimitiveOccurrence,
+) -> bool {
+    match env.sym {
+        Some(sym) => alphabet.binary_search(&sym).is_ok(),
+        None => {
+            modifier == occ.modifier
+                && method == &*occ.method
+                && env.registry.is_subclass(occ.class, class)
+        }
+    }
+}

@@ -44,14 +44,22 @@
 //! the buffer size — the reason this design replaced an earlier
 //! clone-the-detector checkpoint (see DESIGN.md §9).
 
+mod conjunction;
+mod leaf;
+mod sequence;
+mod state;
+
 use crate::algebra::EventExpr;
 use crate::context::ParamContext;
 use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
-use crate::spec::{sym_alphabet, EventModifier};
+use crate::spec::EventModifier;
 use sentinel_object::{ClassId, ClassRegistry, EventSym, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
-use std::collections::VecDeque;
 use std::sync::Arc;
+
+use conjunction::pair_and;
+use sequence::pair_seq;
+use state::{apply_buffer_undo, Buffer, Env, JournalEntry, NodeUndo};
 
 /// Resource limits protecting against unbounded detector state (the
 /// unrestricted context never discards occurrences on its own).
@@ -81,41 +89,6 @@ pub struct DetectorStats {
     pub emitted: u64,
     /// Occurrences dropped because a node buffer hit its cap.
     pub dropped: u64,
-}
-
-/// Inverse of one state mutation, tagged with the stateful node it
-/// applies to. Entries are applied in reverse journal order on abort.
-#[derive(Debug, Clone)]
-enum NodeUndo {
-    /// Undo an append to a buffer side.
-    PopBack { side: u8 },
-    /// Undo a consumption (or cap-drop) from the front of a buffer side.
-    PushFront { side: u8, occ: CompositeOccurrence },
-    /// Undo a clear/retain of a whole buffer side.
-    RestoreSide {
-        side: u8,
-        items: VecDeque<CompositeOccurrence>,
-    },
-    /// Undo a write to an `Any` node's latest-per-child slot.
-    SetLatest {
-        i: usize,
-        prev: Option<CompositeOccurrence>,
-    },
-    /// Undo a write to a window node's `open` slot.
-    SetOpen { prev: Option<CompositeOccurrence> },
-    /// Undo a write to a `Not` node's violation flag.
-    SetViolated { prev: bool },
-}
-
-#[derive(Debug, Clone)]
-enum JournalEntry {
-    Node {
-        node: u32,
-        undo: NodeUndo,
-    },
-    /// A full pre-state snapshot (recorded by `reset` when a journal is
-    /// active — rare, so the clone is acceptable there).
-    Full(Box<Node>),
 }
 
 /// A compiled, stateful detector for one event expression.
@@ -324,82 +297,6 @@ impl DetectorInstance {
     }
 }
 
-/// Per-call environment threaded through the node recursion.
-struct Env<'a> {
-    registry: &'a ClassRegistry,
-    /// The occurrence's interned symbol (`None` = out-of-schema event).
-    sym: Option<EventSym>,
-    context: ParamContext,
-    caps: DetectorCaps,
-    matched: bool,
-    dropped: u64,
-    journal: Option<&'a mut Vec<JournalEntry>>,
-}
-
-impl Env<'_> {
-    #[inline]
-    fn record(&mut self, node: u32, undo: NodeUndo) {
-        if let Some(j) = self.journal.as_deref_mut() {
-            j.push(JournalEntry::Node { node, undo });
-        }
-    }
-
-    #[inline]
-    fn journaling(&self) -> bool {
-        self.journal.is_some()
-    }
-}
-
-/// A bounded occurrence buffer (one side of a binary operator).
-#[derive(Debug, Default, Clone)]
-struct Buffer {
-    items: VecDeque<CompositeOccurrence>,
-}
-
-impl Buffer {
-    /// Append, honouring the cap; journals the append (and any cap-drop).
-    fn push(&mut self, node: u32, side: u8, occ: CompositeOccurrence, env: &mut Env<'_>) {
-        if self.items.len() >= env.caps.max_buffered_per_node {
-            if let Some(dropped) = self.items.pop_front() {
-                env.record(node, NodeUndo::PushFront { side, occ: dropped });
-                env.dropped += 1;
-            }
-        }
-        self.items.push_back(occ);
-        env.record(node, NodeUndo::PopBack { side });
-    }
-
-    /// Consume from the front; journals the consumption.
-    fn pop_front(&mut self, node: u32, side: u8, env: &mut Env<'_>) -> Option<CompositeOccurrence> {
-        let occ = self.items.pop_front()?;
-        if env.journaling() {
-            env.record(
-                node,
-                NodeUndo::PushFront {
-                    side,
-                    occ: occ.clone(),
-                },
-            );
-        }
-        Some(occ)
-    }
-
-    /// Drop everything; journals the old contents.
-    fn clear(&mut self, node: u32, side: u8, env: &mut Env<'_>) {
-        if self.items.is_empty() {
-            return;
-        }
-        let old = std::mem::take(&mut self.items);
-        if env.journaling() {
-            env.record(node, NodeUndo::RestoreSide { side, items: old });
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.items.len()
-    }
-}
-
 #[derive(Debug, Clone)]
 enum Node {
     Primitive {
@@ -472,15 +369,7 @@ impl Node {
             id
         };
         Ok(match expr {
-            EventExpr::Primitive(spec) => {
-                let class = registry.id_of(&spec.class)?;
-                Node::Primitive {
-                    class,
-                    method: spec.method.clone(),
-                    modifier: spec.modifier,
-                    alphabet: sym_alphabet(registry, class, &spec.method, spec.modifier),
-                }
-            }
+            EventExpr::Primitive(spec) => leaf::compile(spec, registry)?,
             EventExpr::And(a, b) => Node::And {
                 id: fresh(),
                 left: Box::new(Node::compile(a, registry, next_id)?),
@@ -549,18 +438,7 @@ impl Node {
                 modifier,
                 alphabet,
             } => {
-                // In-schema occurrences carry an interned symbol and match
-                // by integer membership; hand-built occurrences naming
-                // undeclared methods take the string-compare fallback.
-                let matches = match env.sym {
-                    Some(sym) => alphabet.binary_search(&sym).is_ok(),
-                    None => {
-                        *modifier == occ.modifier
-                            && method.as_str() == &*occ.method
-                            && env.registry.is_subclass(occ.class, *class)
-                    }
-                };
-                if matches {
+                if leaf::matches(env, *class, method, *modifier, alphabet, occ) {
                     env.matched = true;
                     vec![CompositeOccurrence::from_primitive(occ.clone())]
                 } else {
@@ -1068,7 +946,7 @@ impl Node {
                 modifier,
                 alphabet,
             } => {
-                *alphabet = sym_alphabet(registry, *class, method, *modifier);
+                *alphabet = leaf::alphabet(registry, *class, method, *modifier);
             }
             Node::Or { left, right } => {
                 left.refresh_alphabets(registry);
@@ -1102,204 +980,6 @@ impl Node {
             }
         }
     }
-}
-
-/// Apply a buffer-shaped undo to an And node (both sides) or a Seq node
-/// (left side only; `rbuf` is `None`).
-fn apply_buffer_undo(undo: NodeUndo, lbuf: &mut Buffer, rbuf: Option<&mut Buffer>) {
-    let side_of = |undo: &NodeUndo| match undo {
-        NodeUndo::PopBack { side }
-        | NodeUndo::PushFront { side, .. }
-        | NodeUndo::RestoreSide { side, .. } => Some(*side),
-        _ => None,
-    };
-    let buf = match side_of(&undo) {
-        Some(0) => lbuf,
-        Some(1) => match rbuf {
-            Some(r) => r,
-            None => return,
-        },
-        _ => return,
-    };
-    match undo {
-        NodeUndo::PopBack { .. } => {
-            buf.items.pop_back();
-        }
-        NodeUndo::PushFront { occ, .. } => {
-            buf.items.push_front(occ);
-        }
-        NodeUndo::RestoreSide { items, .. } => {
-            buf.items = items;
-        }
-        _ => {}
-    }
-}
-
-/// Conjunction pairing under each parameter context.
-fn pair_and(
-    id: u32,
-    le: Vec<CompositeOccurrence>,
-    re: Vec<CompositeOccurrence>,
-    lbuf: &mut Buffer,
-    rbuf: &mut Buffer,
-    env: &mut Env<'_>,
-) -> Vec<CompositeOccurrence> {
-    let mut out = Vec::new();
-    match env.context {
-        ParamContext::Unrestricted => {
-            for l in &le {
-                for r in rbuf.items.iter() {
-                    out.push(CompositeOccurrence::merge(l, r));
-                }
-            }
-            for r in &re {
-                for l in lbuf.items.iter() {
-                    out.push(CompositeOccurrence::merge(l, r));
-                }
-            }
-            for l in &le {
-                for r in &re {
-                    out.push(CompositeOccurrence::merge(l, r));
-                }
-            }
-            for l in le {
-                lbuf.push(id, 0, l, env);
-            }
-            for r in re {
-                rbuf.push(id, 1, r, env);
-            }
-        }
-        ParamContext::Recent => {
-            // Each side retains at most its most recent occurrence. A new
-            // arrival pairs with the retained occurrence of the opposite
-            // side (which is kept — the initiator survives detections);
-            // an arrival that finds no partner becomes the retained one.
-            for l in le {
-                if let Some(r) = rbuf.items.back() {
-                    out.push(CompositeOccurrence::merge(&l, r));
-                } else {
-                    lbuf.clear(id, 0, env);
-                    lbuf.push(id, 0, l, env);
-                }
-            }
-            for r in re {
-                if let Some(l) = lbuf.items.back() {
-                    out.push(CompositeOccurrence::merge(l, &r));
-                } else {
-                    rbuf.clear(id, 1, env);
-                    rbuf.push(id, 1, r, env);
-                }
-            }
-        }
-        ParamContext::Chronicle => {
-            for l in le {
-                match rbuf.pop_front(id, 1, env) {
-                    Some(r) => out.push(CompositeOccurrence::merge(&l, &r)),
-                    None => lbuf.push(id, 0, l, env),
-                }
-            }
-            for r in re {
-                match lbuf.pop_front(id, 0, env) {
-                    Some(l) => out.push(CompositeOccurrence::merge(&l, &r)),
-                    None => rbuf.push(id, 1, r, env),
-                }
-            }
-        }
-        ParamContext::Cumulative => {
-            for l in le {
-                lbuf.push(id, 0, l, env);
-            }
-            for r in re {
-                rbuf.push(id, 1, r, env);
-            }
-            if lbuf.len() > 0 && rbuf.len() > 0 {
-                out.push(CompositeOccurrence::merge_all(
-                    lbuf.items.iter().chain(rbuf.items.iter()),
-                ));
-                lbuf.clear(id, 0, env);
-                rbuf.clear(id, 1, env);
-            }
-        }
-    }
-    out
-}
-
-/// Sequence pairing under each parameter context. Only left-side
-/// occurrences are buffered; a right occurrence that finds no earlier
-/// left can never participate later and is discarded.
-fn pair_seq(
-    id: u32,
-    le: Vec<CompositeOccurrence>,
-    re: Vec<CompositeOccurrence>,
-    lbuf: &mut Buffer,
-    env: &mut Env<'_>,
-) -> Vec<CompositeOccurrence> {
-    let mut out = Vec::new();
-    match env.context {
-        ParamContext::Unrestricted => {
-            for r in &re {
-                for l in lbuf.items.iter().filter(|l| l.end < r.start) {
-                    out.push(CompositeOccurrence::merge(l, r));
-                }
-            }
-            for l in le {
-                lbuf.push(id, 0, l, env);
-            }
-        }
-        ParamContext::Recent => {
-            for r in &re {
-                if let Some(l) = lbuf.items.back().filter(|l| l.end < r.start) {
-                    out.push(CompositeOccurrence::merge(l, r));
-                }
-            }
-            for l in le {
-                lbuf.clear(id, 0, env);
-                lbuf.push(id, 0, l, env);
-            }
-        }
-        ParamContext::Chronicle => {
-            for r in &re {
-                if lbuf.items.front().map(|l| l.end < r.start).unwrap_or(false) {
-                    let l = lbuf.pop_front(id, 0, env).expect("checked non-empty");
-                    out.push(CompositeOccurrence::merge(&l, r));
-                }
-            }
-            for l in le {
-                lbuf.push(id, 0, l, env);
-            }
-        }
-        ParamContext::Cumulative => {
-            for r in &re {
-                let eligible: Vec<_> = lbuf
-                    .items
-                    .iter()
-                    .filter(|l| l.end < r.start)
-                    .cloned()
-                    .collect();
-                if !eligible.is_empty() {
-                    let mut merged = CompositeOccurrence::merge_all(eligible.iter());
-                    merged = CompositeOccurrence::merge(&merged, r);
-                    out.push(merged);
-                    // Journal the pre-retain contents, then consume the
-                    // eligible prefix.
-                    if env.journaling() {
-                        env.record(
-                            id,
-                            NodeUndo::RestoreSide {
-                                side: 0,
-                                items: lbuf.items.clone(),
-                            },
-                        );
-                    }
-                    lbuf.items.retain(|l| l.end >= r.start);
-                }
-            }
-            for l in le {
-                lbuf.push(id, 0, l, env);
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]

@@ -44,6 +44,28 @@ impl std::fmt::Debug for ReadyFiring {
     }
 }
 
+/// A detached firing waiting in the queue, stamped with its enqueue time
+/// so the drain can report queue-wait latency (`detached_queue_wait`).
+#[derive(Debug, Clone)]
+struct QueuedDetached {
+    ready: ReadyFiring,
+    queued: std::time::Instant,
+}
+
+/// What to do when a detached firing arrives and the detached queue is
+/// already at capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackpressurePolicy {
+    /// Admit the firing anyway; the committing side must drain the
+    /// overflow inline before acknowledging the commit, so the producer
+    /// pays the latency and the queue returns to its cap.
+    #[default]
+    Block,
+    /// Drop the firing and count it in
+    /// [`EngineStats::detached_shed`] — the queue never exceeds its cap.
+    Shed,
+}
+
 /// Engine-wide counters (experiments E3, E5, E6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -58,6 +80,9 @@ pub struct EngineStats {
     pub deferred: u64,
     /// Firings routed with detached coupling.
     pub detached: u64,
+    /// Detached firings dropped at a full queue under
+    /// [`BackpressurePolicy::Shed`].
+    pub detached_shed: u64,
 }
 
 /// Live engine counters: the atomic twin of [`EngineStats`], shared
@@ -69,6 +94,7 @@ pub struct EngineCounters {
     immediate: AtomicU64,
     deferred: AtomicU64,
     detached: AtomicU64,
+    detached_shed: AtomicU64,
 }
 
 impl EngineCounters {
@@ -85,6 +111,7 @@ impl EngineCounters {
             immediate: self.immediate.load(Ordering::Relaxed),
             deferred: self.deferred.load(Ordering::Relaxed),
             detached: self.detached.load(Ordering::Relaxed),
+            detached_shed: self.detached_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -96,6 +123,7 @@ impl EngineCounters {
             &self.immediate,
             &self.deferred,
             &self.detached,
+            &self.detached_shed,
         ] {
             f.store(0, Ordering::Relaxed);
         }
@@ -172,7 +200,15 @@ pub struct RuleEngine {
     caps: DetectorCaps,
     next_rule: u64,
     deferred: Vec<ReadyFiring>,
-    detached: Vec<ReadyFiring>,
+    /// Bounded detached-firing queue: each entry remembers when it was
+    /// scheduled so the drain can report queue-wait latency.
+    detached: std::collections::VecDeque<QueuedDetached>,
+    detached_cap: usize,
+    detached_policy: BackpressurePolicy,
+    /// Queue length at [`begin_capture`](Self::begin_capture): an abort
+    /// discards only the aborting transaction's detached work, not
+    /// firings earlier committed transactions already queued.
+    detached_floor: usize,
     stats: Arc<EngineCounters>,
     scratch: Vec<RuleId>,
     /// Lazily built `(target, symbol)` dispatch index; `None` until the
@@ -220,7 +256,10 @@ impl RuleEngine {
             caps: DetectorCaps::default(),
             next_rule: 0,
             deferred: Vec::new(),
-            detached: Vec::new(),
+            detached: std::collections::VecDeque::new(),
+            detached_cap: usize::MAX,
+            detached_policy: BackpressurePolicy::default(),
+            detached_floor: 0,
             stats: Arc::new(EngineCounters::default()),
             scratch: Vec::new(),
             routing: None,
@@ -267,6 +306,7 @@ impl RuleEngine {
     /// O(1) per state mutation, independent of buffered-state size.
     pub fn begin_capture(&mut self) {
         self.capture = Some(std::collections::HashSet::new());
+        self.detached_floor = self.detached.len();
     }
 
     /// Transaction committed: close the journals.
@@ -589,20 +629,32 @@ impl RuleEngine {
                     CouplingMode::Immediate => {
                         EngineCounters::bump(&self.stats.immediate);
                         immediate.push(ready);
-                        Stage::FiringImmediate
+                        Some(Stage::FiringImmediate)
                     }
                     CouplingMode::Deferred => {
                         EngineCounters::bump(&self.stats.deferred);
                         self.deferred.push(ready);
-                        Stage::FiringDeferred
+                        Some(Stage::FiringDeferred)
                     }
                     CouplingMode::Detached => {
-                        EngineCounters::bump(&self.stats.detached);
-                        self.detached.push(ready);
-                        Stage::FiringDetached
+                        if self.detached.len() >= self.detached_cap
+                            && self.detached_policy == BackpressurePolicy::Shed
+                        {
+                            // Full queue, shed policy: drop the firing
+                            // rather than grow without bound.
+                            EngineCounters::bump(&self.stats.detached_shed);
+                            None
+                        } else {
+                            EngineCounters::bump(&self.stats.detached);
+                            self.detached.push_back(QueuedDetached {
+                                ready,
+                                queued: std::time::Instant::now(),
+                            });
+                            Some(Stage::FiringDetached)
+                        }
                     }
                 };
-                if let Some(tel) = &self.telemetry {
+                if let (Some(tel), Some(stage)) = (&self.telemetry, stage) {
                     // Lazy: the closure runs only when tracing is on.
                     let name = &rule.name;
                     tel.hit(stage, occ.at, || name.to_string());
@@ -629,16 +681,64 @@ impl RuleEngine {
 
     /// Drain the detached queue (after commit), in execution order.
     pub fn take_detached(&mut self) -> Vec<ReadyFiring> {
-        let mut out = std::mem::take(&mut self.detached);
+        let n = self.detached.len();
+        self.drain_detached_front(n)
+    }
+
+    /// Drain only the *overflow*: the oldest firings beyond `cap`, in
+    /// execution order. The commit path uses this under
+    /// [`BackpressurePolicy::Block`] to bring a transiently over-full
+    /// queue back to its cap before acknowledging the commit.
+    pub fn take_detached_over(&mut self, cap: usize) -> Vec<ReadyFiring> {
+        let n = self.detached.len().saturating_sub(cap);
+        self.drain_detached_front(n)
+    }
+
+    fn drain_detached_front(&mut self, n: usize) -> Vec<ReadyFiring> {
+        let mut out = Vec::with_capacity(n);
+        for q in self.detached.drain(..n) {
+            if let Some(tel) = &self.telemetry {
+                let waited = q.queued.elapsed().as_nanos() as u64;
+                let name = q.ready.firing.rule_name.clone();
+                tel.observe(
+                    Stage::DetachedQueueWait,
+                    q.ready.firing.occurrence.end,
+                    waited,
+                    || name.to_string(),
+                );
+            }
+            out.push(q.ready);
+        }
+        self.detached_floor = self.detached_floor.min(self.detached.len());
         self.resolver.order(&mut out);
         out
     }
 
-    /// Throw away queued work (transaction aborted: deferred firings die
-    /// with it; detached firings belong to a commit that never happened).
+    /// Throw away the aborting transaction's queued work: its deferred
+    /// firings die with it, and the detached firings *it* scheduled
+    /// belong to a commit that never happened. Detached work queued by
+    /// earlier committed transactions (before
+    /// [`begin_capture`](Self::begin_capture)) survives.
     pub fn discard_pending(&mut self) {
         self.deferred.clear();
-        self.detached.clear();
+        self.detached.truncate(self.detached_floor);
+    }
+
+    /// Bound the detached queue at `cap` entries with the given
+    /// overflow policy. Defaults to an unbounded blocking queue.
+    pub fn set_detached_queue(&mut self, cap: usize, policy: BackpressurePolicy) {
+        self.detached_cap = cap.max(1);
+        self.detached_policy = policy;
+    }
+
+    /// The detached queue's capacity.
+    pub fn detached_cap(&self) -> usize {
+        self.detached_cap
+    }
+
+    /// The detached queue's overflow policy.
+    pub fn detached_policy(&self) -> BackpressurePolicy {
+        self.detached_policy
     }
 
     /// Pending queue sizes (deferred, detached).
@@ -824,6 +924,75 @@ mod tests {
         assert_eq!(eng.pending(), (1, 0));
         eng.discard_pending();
         assert_eq!(eng.pending(), (0, 0));
+    }
+
+    fn detached_engine(reg: &ClassRegistry) -> RuleEngine {
+        let mut eng = RuleEngine::new();
+        let r = eng
+            .add_rule(
+                simple_rule("det").coupling(CouplingMode::Detached),
+                Oid::NIL,
+                reg,
+            )
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        eng
+    }
+
+    #[test]
+    fn shed_policy_caps_the_detached_queue() {
+        let reg = registry();
+        let mut eng = detached_engine(&reg);
+        eng.set_detached_queue(3, BackpressurePolicy::Shed);
+        for at in 0..10 {
+            eng.on_occurrence(&reg, &occ(&reg, at, 1, "Stock", "SetPrice"))
+                .unwrap();
+        }
+        assert_eq!(eng.pending(), (0, 3), "queue never exceeds its cap");
+        assert_eq!(eng.stats().detached, 3, "only admitted firings counted");
+        assert_eq!(eng.stats().detached_shed, 7, "the overflow is visible");
+        assert_eq!(eng.take_detached().len(), 3);
+    }
+
+    #[test]
+    fn block_policy_admits_overflow_for_the_committer_to_drain() {
+        let reg = registry();
+        let mut eng = detached_engine(&reg);
+        eng.set_detached_queue(3, BackpressurePolicy::Block);
+        for at in 0..10 {
+            eng.on_occurrence(&reg, &occ(&reg, at, 1, "Stock", "SetPrice"))
+                .unwrap();
+        }
+        assert_eq!(eng.pending(), (0, 10), "block admits transient overflow");
+        assert_eq!(eng.stats().detached_shed, 0);
+        // The committer drains the overflow, oldest first, back to cap.
+        let over = eng.take_detached_over(3);
+        assert_eq!(over.len(), 7);
+        assert_eq!(over[0].firing.occurrence.end, 0);
+        assert_eq!(eng.pending(), (0, 3));
+        assert_eq!(eng.take_detached_over(3).len(), 0);
+    }
+
+    #[test]
+    fn abort_keeps_detached_work_of_earlier_transactions() {
+        let reg = registry();
+        let mut eng = detached_engine(&reg);
+        // Transaction 1 commits with one detached firing queued.
+        eng.begin_capture();
+        eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        eng.commit_capture();
+        assert_eq!(eng.pending(), (0, 1));
+        // Transaction 2 queues another and aborts: only its own firing
+        // is discarded.
+        eng.begin_capture();
+        eng.on_occurrence(&reg, &occ(&reg, 2, 1, "Stock", "SetPrice"))
+            .unwrap();
+        assert_eq!(eng.pending(), (0, 2));
+        eng.discard_pending();
+        eng.abort_capture();
+        assert_eq!(eng.pending(), (0, 1));
+        assert_eq!(eng.take_detached()[0].firing.occurrence.end, 1);
     }
 
     #[test]

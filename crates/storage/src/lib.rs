@@ -20,14 +20,16 @@
 //! of the latest snapshot. Aborts are handled in memory by the undo log
 //! and additionally recorded so recovery can skip them.
 
+pub mod batch;
 pub mod records;
 pub mod recovery;
 pub mod snapshot;
 pub mod txn;
 pub mod wal;
 
+pub use batch::WriteBatch;
 pub use records::{LogRecord, TxnId};
 pub use recovery::{committed_records, recover, recover_with, Recovered, META_CLASS_TAG};
 pub use snapshot::{ObjectSnapshot, Snapshot};
-pub use txn::{TxnManager, UndoOp};
-pub use wal::{SyncPolicy, Wal};
+pub use txn::{apply_undo, TxnManager, UndoOp};
+pub use wal::{BatchAck, SyncPolicy, Wal};

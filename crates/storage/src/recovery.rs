@@ -29,6 +29,9 @@ pub struct Recovered {
     pub max_txn: TxnId,
     /// Committed log records replayed by this recovery pass.
     pub replayed: u64,
+    /// Bytes of torn-tail garbage truncated off the log before replay
+    /// (0 when the log was clean).
+    pub tail_trimmed: u64,
 }
 
 /// Filter a raw log down to the records of committed transactions, in
@@ -83,7 +86,14 @@ pub fn recover_with(
     let mut meta = Vec::new();
     let mut replayed = 0u64;
 
-    let log = Wal::read_all(wal_path)?;
+    let (log, tail_trimmed) = Wal::read_all_repair(wal_path)?;
+    if tail_trimmed > 0 {
+        eprintln!(
+            "sentinel-storage: torn tail in {}: truncated {tail_trimmed} byte(s) of garbage; \
+             recovering the fully-synced prefix",
+            wal_path.display()
+        );
+    }
     let max_txn = log.iter().filter_map(LogRecord::txn).max().unwrap_or(0);
     for record in committed_records(&log) {
         replayed += 1;
@@ -147,6 +157,7 @@ pub fn recover_with(
         meta,
         max_txn,
         replayed,
+        tail_trimmed,
     })
 }
 

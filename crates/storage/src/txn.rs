@@ -32,6 +32,28 @@ pub enum UndoOp {
     Delete { oid: Oid, state: ObjectState },
 }
 
+/// Replay a list of undo ops in reverse against `store`, restoring the
+/// state they captured. Shared by [`TxnManager::abort`] and the commit
+/// pipeline's [`WriteBatch`](crate::WriteBatch) rollback.
+pub fn apply_undo(store: &ObjectStore, ops: Vec<UndoOp>) {
+    for op in ops.into_iter().rev() {
+        match op {
+            UndoOp::Create { oid } => {
+                // The object may have been deleted later in the same
+                // transaction (its own undo re-inserted it first, or
+                // it is simply gone); either way absence is fine.
+                let _ = store.delete(oid);
+            }
+            UndoOp::SetSlot { oid, slot, old } => {
+                let _ = store.with_state_mut(oid, |st| st.slots[slot] = old);
+            }
+            UndoOp::Delete { oid, state } => {
+                store.restore_state(oid, state);
+            }
+        }
+    }
+}
+
 /// State of the single active transaction.
 #[derive(Debug)]
 struct ActiveTxn {
@@ -110,22 +132,7 @@ impl TxnManager {
     /// aborted id.
     pub fn abort(&mut self, store: &ObjectStore) -> Result<TxnId> {
         let t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
-        for op in t.undo.into_iter().rev() {
-            match op {
-                UndoOp::Create { oid } => {
-                    // The object may have been deleted later in the same
-                    // transaction (its own undo re-inserted it first, or
-                    // it is simply gone); either way absence is fine.
-                    let _ = store.delete(oid);
-                }
-                UndoOp::SetSlot { oid, slot, old } => {
-                    let _ = store.with_state_mut(oid, |st| st.slots[slot] = old);
-                }
-                UndoOp::Delete { oid, state } => {
-                    store.restore_state(oid, state);
-                }
-            }
-        }
+        apply_undo(store, t.undo);
         self.aborted += 1;
         Ok(t.id)
     }

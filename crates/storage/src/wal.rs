@@ -5,14 +5,28 @@
 //! truncate a line mid-record to simulate a torn write) at the cost of
 //! some bytes; the format lives behind this module so a binary framing
 //! could be swapped in without touching callers.
+//!
+//! # Group commit
+//!
+//! Under [`SyncPolicy::Grouped`] appended records are *staged* in memory
+//! rather than written through: nothing reaches the file until
+//! [`Wal::sync_batch`] runs, which writes every staged byte and covers
+//! the whole batch with a single fsync. A batch syncs automatically once
+//! it holds `max_batch` commit records; callers are expected to check
+//! [`Wal::sync_due`] (age of the oldest staged commit vs `max_wait`) or
+//! drive [`Wal::sync_batch`] themselves at a group boundary. Because
+//! staged bytes never touch the file before the fsync, a crash loses
+//! exactly the unacknowledged suffix — there are no torn half-batches.
 
+use crate::batch::WriteBatch;
 use crate::records::LogRecord;
 use sentinel_object::{ObjectError, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// When appended records reach the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +41,26 @@ pub enum SyncPolicy {
     /// Never explicitly flush; rely on process exit. For benchmarks that
     /// want to exclude I/O cost.
     Never,
+    /// Group commit: stage records in memory and make a whole batch of
+    /// committed transactions durable with one fsync. The batch syncs
+    /// when it holds `max_batch` commits, or when the caller observes
+    /// that the oldest staged commit is older than `max_wait` (see
+    /// [`Wal::sync_due`]) and calls [`Wal::sync_batch`].
+    Grouped {
+        /// Commit records per batch before an automatic sync.
+        max_batch: usize,
+        /// Maximum age of a staged commit before a sync is due.
+        max_wait: Duration,
+    },
+}
+
+/// Receipt for one group-commit fsync: how much work it made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchAck {
+    /// Committed transactions covered by the fsync.
+    pub commits: u64,
+    /// Log records covered by the fsync.
+    pub records: u64,
 }
 
 /// Append-only log writer.
@@ -36,11 +70,30 @@ pub struct Wal {
     writer: BufWriter<File>,
     policy: SyncPolicy,
     appended: u64,
+    /// Serialized-but-unwritten records (Grouped mode only).
+    staged: Vec<u8>,
+    staged_records: u64,
+    staged_commits: u64,
+    oldest_staged: Option<Instant>,
+    durable_commits: u64,
     telemetry: Option<Arc<Telemetry>>,
 }
 
 fn io_err(e: std::io::Error) -> ObjectError {
     ObjectError::Storage(e.to_string())
+}
+
+fn trim_bytes(line: &[u8]) -> &[u8] {
+    let start = line
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(line.len());
+    let end = line
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map(|i| i + 1)
+        .unwrap_or(start);
+    &line[start..end]
 }
 
 impl Wal {
@@ -57,14 +110,25 @@ impl Wal {
             writer: BufWriter::new(file),
             policy,
             appended: 0,
+            staged: Vec::new(),
+            staged_records: 0,
+            staged_commits: 0,
+            oldest_staged: None,
+            durable_commits: 0,
             telemetry: None,
         })
     }
 
     /// Attach an observability handle: appends and fsyncs are timed into
-    /// the `wal_append` / `wal_fsync` stages.
+    /// the `wal_append` / `wal_fsync` stages, and group-commit batch
+    /// sizes are recorded under `wal_batch`.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// The active sync policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
     }
 
     /// Append one record, honouring the sync policy.
@@ -75,26 +139,104 @@ impl Wal {
         };
         let line = serde_json::to_string(record)
             .map_err(|e| ObjectError::Storage(format!("serialize log record: {e}")))?;
-        self.writer.write_all(line.as_bytes()).map_err(io_err)?;
-        self.writer.write_all(b"\n").map_err(io_err)?;
+        let is_commit = matches!(record, LogRecord::Commit { .. });
+        match self.policy {
+            SyncPolicy::Grouped { .. } => {
+                self.staged.extend_from_slice(line.as_bytes());
+                self.staged.push(b'\n');
+                self.staged_records += 1;
+                if is_commit {
+                    self.staged_commits += 1;
+                    self.oldest_staged.get_or_insert_with(Instant::now);
+                }
+            }
+            _ => {
+                self.writer.write_all(line.as_bytes()).map_err(io_err)?;
+                self.writer.write_all(b"\n").map_err(io_err)?;
+            }
+        }
         self.appended += 1;
         if let Some(tel) = &self.telemetry {
             tel.observe_timer(Stage::WalAppend, 0, timer, || record.kind().to_string());
         }
         match self.policy {
-            SyncPolicy::Always => self.fsync(record)?,
+            SyncPolicy::Always => self.fsync(record.kind())?,
             SyncPolicy::OnCommit => {
-                if matches!(record, LogRecord::Commit { .. }) {
-                    self.fsync(record)?;
+                if is_commit {
+                    self.fsync(record.kind())?;
+                    self.durable_commits += 1;
                 }
             }
             SyncPolicy::Never => {}
+            SyncPolicy::Grouped { max_batch, .. } => {
+                if self.staged_commits as usize >= max_batch.max(1) {
+                    self.sync_batch()?;
+                }
+            }
         }
         Ok(())
     }
 
+    /// Append every record of a transaction's [`WriteBatch`] as one unit.
+    ///
+    /// Under [`SyncPolicy::Grouped`] the whole batch is staged for the
+    /// next group fsync; under the per-record policies each record is
+    /// handled as if appended individually.
+    pub fn append_batch(&mut self, batch: &WriteBatch) -> Result<()> {
+        for record in batch.records() {
+            self.append(record)?;
+        }
+        Ok(())
+    }
+
+    /// Write all staged records, cover them with a single fsync, and
+    /// acknowledge the batch. A no-op (zero ack) when nothing is staged.
+    pub fn sync_batch(&mut self) -> Result<BatchAck> {
+        if self.staged.is_empty() && self.staged_commits == 0 {
+            return Ok(BatchAck::default());
+        }
+        let ack = BatchAck {
+            commits: self.staged_commits,
+            records: self.staged_records,
+        };
+        self.writer.write_all(&self.staged).map_err(io_err)?;
+        self.staged.clear();
+        self.staged_records = 0;
+        self.staged_commits = 0;
+        self.oldest_staged = None;
+        self.fsync("batch")?;
+        self.durable_commits += ack.commits;
+        if let Some(tel) = &self.telemetry {
+            tel.observe(Stage::WalBatch, 0, ack.commits, || {
+                format!("{} records", ack.records)
+            });
+        }
+        Ok(ack)
+    }
+
+    /// True when a staged batch has aged past the policy's `max_wait`
+    /// (the caller should run [`Wal::sync_batch`]). Always false outside
+    /// Grouped mode.
+    pub fn sync_due(&self) -> bool {
+        match (self.policy, self.oldest_staged) {
+            (SyncPolicy::Grouped { max_wait, .. }, Some(oldest)) => oldest.elapsed() >= max_wait,
+            _ => false,
+        }
+    }
+
+    /// Commit records staged but not yet covered by an fsync.
+    pub fn staged_commits(&self) -> u64 {
+        self.staged_commits
+    }
+
+    /// Commit records acknowledged as durable (fsynced, or captured by a
+    /// snapshot at truncation) through this handle.
+    pub fn durable_commits(&self) -> u64 {
+        self.durable_commits
+    }
+
     /// Flush buffered bytes and force them to disk, timing the wait.
-    fn fsync(&mut self, record: &LogRecord) -> Result<()> {
+    fn fsync(&mut self, subject: &'static str) -> Result<()> {
         let timer = match &self.telemetry {
             Some(t) => t.timer(),
             None => Timer::off(),
@@ -102,13 +244,22 @@ impl Wal {
         self.writer.flush().map_err(io_err)?;
         self.writer.get_ref().sync_data().map_err(io_err)?;
         if let Some(tel) = &self.telemetry {
-            tel.observe_timer(Stage::WalFsync, 0, timer, || record.kind().to_string());
+            tel.observe_timer(Stage::WalFsync, 0, timer, || subject.to_string());
         }
         Ok(())
     }
 
-    /// Flush buffered records to the OS.
+    /// Flush buffered records (including any staged batch) to the OS,
+    /// without forcing them to disk.
     pub fn flush(&mut self) -> Result<()> {
+        if !self.staged.is_empty() {
+            self.writer.write_all(&self.staged).map_err(io_err)?;
+            self.staged.clear();
+            self.durable_commits += self.staged_commits;
+            self.staged_records = 0;
+            self.staged_commits = 0;
+            self.oldest_staged = None;
+        }
         self.writer.flush().map_err(io_err)
     }
 
@@ -123,7 +274,14 @@ impl Wal {
     }
 
     /// Truncate the log (after a snapshot has captured its effects).
+    /// Staged records are dropped — the snapshot already made their
+    /// transactions durable, so they count as acknowledged.
     pub fn truncate(&mut self) -> Result<()> {
+        self.durable_commits += self.staged_commits;
+        self.staged.clear();
+        self.staged_records = 0;
+        self.staged_commits = 0;
+        self.oldest_staged = None;
         self.writer.flush().map_err(io_err)?;
         let file = OpenOptions::new()
             .write(true)
@@ -145,33 +303,72 @@ impl Wal {
     /// A torn final line (crash mid-append) is tolerated and ignored; a
     /// malformed line elsewhere is reported as corruption.
     pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
-        let file = match File::open(path.as_ref()) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Self::scan(path.as_ref()).map(|(records, _)| records)
+    }
+
+    /// Read every complete record and *repair* a torn tail: the garbage
+    /// suffix is truncated off the file so later appends cannot bury the
+    /// corruption mid-log. Returns the records and the number of bytes
+    /// trimmed (0 when the log was clean).
+    pub fn read_all_repair(path: impl AsRef<Path>) -> Result<(Vec<LogRecord>, u64)> {
+        let path = path.as_ref();
+        let (records, good_end) = Self::scan(path)?;
+        let len = match std::fs::metadata(path) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((records, 0)),
             Err(e) => return Err(io_err(e)),
         };
-        let reader = BufReader::new(file);
+        let trimmed = len.saturating_sub(good_end);
+        if trimmed > 0 {
+            let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+            file.set_len(good_end).map_err(io_err)?;
+            file.sync_data().map_err(io_err)?;
+        }
+        Ok((records, trimmed))
+    }
+
+    /// Parse the log at `path`, returning the records and the byte
+    /// offset just past the last fully parsed line.
+    fn scan(path: &Path) -> Result<(Vec<LogRecord>, u64)> {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(io_err(e)),
+        };
         let mut records = Vec::new();
-        let mut lines = reader.lines().peekable();
-        while let Some(line) = lines.next() {
-            let line = line.map_err(io_err)?;
-            if line.trim().is_empty() {
+        let mut pos = 0usize;
+        let mut good_end = 0u64;
+        while pos < data.len() {
+            let next = match data[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => pos + i + 1,
+                None => data.len(),
+            };
+            let line = trim_bytes(&data[pos..next]);
+            if line.is_empty() {
+                pos = next;
                 continue;
             }
-            match serde_json::from_str::<LogRecord>(&line) {
-                Ok(r) => records.push(r),
+            match serde_json::from_slice::<LogRecord>(line) {
+                Ok(r) => {
+                    records.push(r);
+                    good_end = next as u64;
+                    pos = next;
+                }
                 Err(e) => {
-                    if lines.peek().is_none() {
-                        // Torn tail: the crash interrupted the final append.
-                        break;
+                    let more_follows = data[next..]
+                        .split(|&b| b == b'\n')
+                        .any(|l| !trim_bytes(l).is_empty());
+                    if more_follows {
+                        return Err(ObjectError::Storage(format!(
+                            "corrupt log record (not at tail): {e}"
+                        )));
                     }
-                    return Err(ObjectError::Storage(format!(
-                        "corrupt log record (not at tail): {e}"
-                    )));
+                    // Torn tail: the crash interrupted the final append.
+                    break;
                 }
             }
         }
-        Ok(records)
+        Ok((records, good_end))
     }
 }
 
@@ -197,6 +394,13 @@ mod tests {
             attr: "x".into(),
             old: Value::Int(0),
             new: Value::Int(n as i64),
+        }
+    }
+
+    fn grouped(max_batch: usize) -> SyncPolicy {
+        SyncPolicy::Grouped {
+            max_batch,
+            max_wait: Duration::from_millis(5),
         }
     }
 
@@ -239,6 +443,31 @@ mod tests {
     }
 
     #[test]
+    fn repair_truncates_the_torn_tail() {
+        let p = tmpdir().join("repair.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, SyncPolicy::Always).unwrap();
+        wal.append(&sample(1)).unwrap();
+        wal.append(&sample(2)).unwrap();
+        drop(wal);
+        let clean_len = std::fs::metadata(&p).unwrap().len();
+        let garbage: &[u8] = b"{\"SetAttr\":{\"txn\":3,\"oi";
+        let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(garbage).unwrap();
+        drop(f);
+        let (records, trimmed) = Wal::read_all_repair(&p).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(trimmed, garbage.len() as u64);
+        assert_eq!(std::fs::metadata(&p).unwrap().len(), clean_len);
+        // The file is clean again: appending after repair keeps the log
+        // readable instead of burying garbage mid-file.
+        let mut wal = Wal::open(&p, SyncPolicy::Always).unwrap();
+        wal.append(&sample(3)).unwrap();
+        drop(wal);
+        assert_eq!(Wal::read_all(&p).unwrap().len(), 3);
+    }
+
+    #[test]
     fn corruption_in_the_middle_is_reported() {
         let p = tmpdir().join("corrupt.wal");
         let _ = std::fs::remove_file(&p);
@@ -252,6 +481,10 @@ mod tests {
         wal.append(&sample(2)).unwrap();
         drop(wal);
         assert!(matches!(Wal::read_all(&p), Err(ObjectError::Storage(_))));
+        assert!(matches!(
+            Wal::read_all_repair(&p),
+            Err(ObjectError::Storage(_))
+        ));
     }
 
     #[test]
@@ -266,5 +499,96 @@ mod tests {
         let records = Wal::read_all(&p).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0], sample(2));
+    }
+
+    #[test]
+    fn grouped_stages_records_until_the_batch_syncs() {
+        let p = tmpdir().join("grouped-stage.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, grouped(8)).unwrap();
+        for txn in 1..=3u64 {
+            wal.append(&LogRecord::Begin { txn }).unwrap();
+            wal.append(&sample(txn)).unwrap();
+            wal.append(&LogRecord::Commit { txn }).unwrap();
+        }
+        // Nothing is on disk yet: the batch is staged in memory.
+        assert_eq!(wal.staged_commits(), 3);
+        assert_eq!(wal.durable_commits(), 0);
+        assert_eq!(Wal::read_all(&p).unwrap().len(), 0);
+
+        let ack = wal.sync_batch().unwrap();
+        assert_eq!(ack.commits, 3);
+        assert_eq!(ack.records, 9);
+        assert_eq!(wal.staged_commits(), 0);
+        assert_eq!(wal.durable_commits(), 3);
+        assert_eq!(Wal::read_all(&p).unwrap().len(), 9);
+
+        // An empty batch acks zero without touching the file.
+        assert_eq!(wal.sync_batch().unwrap(), BatchAck::default());
+    }
+
+    #[test]
+    fn grouped_syncs_automatically_at_max_batch() {
+        let p = tmpdir().join("grouped-auto.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, grouped(2)).unwrap();
+        wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        assert_eq!(wal.durable_commits(), 0, "below max_batch: still staged");
+        wal.append(&LogRecord::Commit { txn: 2 }).unwrap();
+        assert_eq!(wal.durable_commits(), 2, "max_batch reached: auto-sync");
+        assert_eq!(Wal::read_all(&p).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn grouped_drop_loses_exactly_the_unacknowledged_suffix() {
+        let p = tmpdir().join("grouped-drop.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, grouped(100)).unwrap();
+        for txn in 1..=5u64 {
+            wal.append(&LogRecord::Commit { txn }).unwrap();
+        }
+        wal.sync_batch().unwrap();
+        for txn in 6..=8u64 {
+            wal.append(&LogRecord::Commit { txn }).unwrap();
+        }
+        let durable = wal.durable_commits();
+        drop(wal); // crash: staged commits 6..=8 were never written
+        assert_eq!(durable, 5);
+        let records = Wal::read_all(&p).unwrap();
+        assert_eq!(records.len(), 5);
+        assert!(matches!(records.last(), Some(LogRecord::Commit { txn: 5 })));
+    }
+
+    #[test]
+    fn grouped_sync_due_tracks_oldest_staged_commit() {
+        let p = tmpdir().join("grouped-due.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(
+            &p,
+            SyncPolicy::Grouped {
+                max_batch: 100,
+                max_wait: Duration::ZERO,
+            },
+        )
+        .unwrap();
+        assert!(!wal.sync_due(), "empty batch is never due");
+        wal.append(&sample(1)).unwrap();
+        assert!(!wal.sync_due(), "non-commit records do not start the clock");
+        wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        assert!(wal.sync_due(), "zero max_wait: due as soon as staged");
+        wal.sync_batch().unwrap();
+        assert!(!wal.sync_due());
+    }
+
+    #[test]
+    fn grouped_truncate_drops_staged_records_as_acknowledged() {
+        let p = tmpdir().join("grouped-trunc.wal");
+        let _ = std::fs::remove_file(&p);
+        let mut wal = Wal::open(&p, grouped(100)).unwrap();
+        wal.append(&LogRecord::Commit { txn: 1 }).unwrap();
+        wal.truncate().unwrap();
+        assert_eq!(wal.staged_commits(), 0);
+        assert_eq!(wal.durable_commits(), 1, "snapshot made the commit durable");
+        assert_eq!(Wal::read_all(&p).unwrap().len(), 0);
     }
 }

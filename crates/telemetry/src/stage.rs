@@ -9,8 +9,10 @@ use std::fmt;
 /// Each stage owns a counter and a histogram in [`Telemetry`]
 /// (crate::Telemetry). Most stages record latencies in nanoseconds; the
 /// exceptions are [`Stage::DetectorDepth`] (occurrences buffered by a
-/// detector after a delivery) and [`Stage::RecoveryReplay`] (log records
-/// replayed by one recovery run) — see [`Stage::unit`].
+/// detector after a delivery), [`Stage::WalBatch`] (committed
+/// transactions covered by one group-commit fsync) and
+/// [`Stage::RecoveryReplay`] (log records replayed by one recovery run)
+/// — see [`Stage::unit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
     /// A message dispatched through the database facade.
@@ -47,6 +49,12 @@ pub enum Stage {
     WalAppend,
     /// A WAL flush + fsync (per the active sync policy).
     WalFsync,
+    /// A group-commit batch made durable by a single fsync (value =
+    /// number of committed transactions the fsync covered).
+    WalBatch,
+    /// Time a detached firing spent queued between scheduling and the
+    /// worker draining it.
+    DetachedQueueWait,
     /// A recovery pass replaying committed log records (value = number
     /// of records replayed).
     RecoveryReplay,
@@ -54,7 +62,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -73,6 +81,8 @@ impl Stage {
         Stage::DetachedRun,
         Stage::WalAppend,
         Stage::WalFsync,
+        Stage::WalBatch,
+        Stage::DetachedQueueWait,
         Stage::RecoveryReplay,
     ];
 
@@ -99,6 +109,8 @@ impl Stage {
             Stage::DetachedRun => "detached_run",
             Stage::WalAppend => "wal_append",
             Stage::WalFsync => "wal_fsync",
+            Stage::WalBatch => "wal_batch",
+            Stage::DetachedQueueWait => "detached_queue_wait",
             Stage::RecoveryReplay => "recovery_replay",
         }
     }
@@ -107,6 +119,7 @@ impl Stage {
     pub const fn unit(self) -> &'static str {
         match self {
             Stage::DetectorDepth => "occurrences",
+            Stage::WalBatch => "txns",
             Stage::RecoveryReplay => "records",
             _ => "ns",
         }

@@ -1,7 +1,7 @@
 //! Stress tests for the session-handle concurrency model: N reader
 //! threads hammering `Session` reads and queries while one writer
 //! commits sends through the `Sentinel` core — plus a behavioural
-//! parity check between the deprecated `SharedDatabase` wrapper and
+//! parity check between a plain single-threaded `Database` and
 //! `Sentinel` over the producer/consumer pipeline.
 
 use sentinel::db::{Query, Sentinel};
@@ -169,10 +169,11 @@ fn stats_reconcile_exactly_after_concurrent_load() {
     assert_eq!(sentinel.with(|db| db.stats()), s);
 }
 
-/// Both handles must drive the producer/consumer pipeline (paper
-/// Figure 2) to identical results and identical counters.
+/// Driving the producer/consumer pipeline (paper Figure 2) through a
+/// plain `Database` and through the concurrent `Sentinel` handle must
+/// yield identical results and identical counters.
 #[test]
-fn shared_database_and_sentinel_parity_over_producer_consumer() {
+fn inline_database_and_sentinel_parity_over_producer_consumer() {
     fn build() -> (Database, Oid, Oid, Oid) {
         let mut db = Database::new();
         db.define_class(ClassDecl::reactive("Object1").event_method(
@@ -232,14 +233,13 @@ fn shared_database_and_sentinel_parity_over_producer_consumer() {
         db.extent("Object2").unwrap()[0]
     }
 
-    // Run through the deprecated wrapper...
-    #[allow(deprecated)]
-    let (shared_sum, shared_stats) = {
+    // Run against a plain single-threaded Database...
+    let (inline_sum, inline_stats) = {
         let (db, _, _, sink) = build();
-        let shared = sentinel::db::SharedDatabase::new(db);
-        drive(&|f| shared.with(|db| f(db)));
-        shared.drain();
-        let db = shared.shutdown();
+        let db = std::cell::RefCell::new(db);
+        drive(&|f| f(&mut db.borrow_mut()));
+        let mut db = db.into_inner();
+        db.run_pending_detached().unwrap();
         (db.get_attr(sink, "sum").unwrap(), db.stats())
     };
 
@@ -257,8 +257,8 @@ fn shared_database_and_sentinel_parity_over_producer_consumer() {
         (sum, stats)
     };
 
-    assert_eq!(shared_sum, sentinel_sum, "same pipeline result");
-    assert_eq!(shared_stats, sentinel_stats, "same counters");
+    assert_eq!(inline_sum, sentinel_sum, "same pipeline result");
+    assert_eq!(inline_stats, sentinel_stats, "same counters");
 
     // Sanity: under the default (unrestricted) parameter context the
     // conjunction detects every m1 x m2 combination, so the sink holds
