@@ -75,6 +75,16 @@ pub enum DiagCode {
     /// The runtime recorder observed a raise/write the declaration does
     /// not cover: the declared-effects contract is wrong.
     EffectMismatch,
+    /// A conservative ("effects unknown") triggering edge was actually
+    /// exercised by a recorded firing cascade: the edge is real, and
+    /// declaring the effect would make the static analysis precise.
+    ObservedTrigger,
+    /// A definite triggering edge was never exercised by any recorded
+    /// firing cascade: the rule path exists on paper but is untested.
+    UntestedRulePath,
+    /// A recorded cascade crossed a rule pair the triggering graph has
+    /// no edge for: the static model is missing a real dependency.
+    UnpredictedTrigger,
 }
 
 impl DiagCode {
@@ -96,6 +106,9 @@ impl DiagCode {
             DiagCode::UnknownEffects => "unknown-effects",
             DiagCode::UnregisteredBody => "unregistered-body",
             DiagCode::EffectMismatch => "effect-mismatch",
+            DiagCode::ObservedTrigger => "observed-trigger",
+            DiagCode::UntestedRulePath => "untested-rule-path",
+            DiagCode::UnpredictedTrigger => "unpredicted-trigger",
         }
     }
 
@@ -105,7 +118,8 @@ impl DiagCode {
             DiagCode::ImmediateCycle
             | DiagCode::UnreachableRule
             | DiagCode::UnregisteredBody
-            | DiagCode::EffectMismatch => Severity::Error,
+            | DiagCode::EffectMismatch
+            | DiagCode::UnpredictedTrigger => Severity::Error,
             DiagCode::DeferredCycle
             | DiagCode::NonConfluent
             | DiagCode::NoSubscription
@@ -113,10 +127,12 @@ impl DiagCode {
             | DiagCode::ShadowedByAbort
             | DiagCode::SeqDeadOperand
             | DiagCode::PlusZeroDeadline
-            | DiagCode::DupPrimitiveConjunction => Severity::Warning,
-            DiagCode::PotentialCycle | DiagCode::DeafSubscription | DiagCode::UnknownEffects => {
-                Severity::Info
-            }
+            | DiagCode::DupPrimitiveConjunction
+            | DiagCode::UntestedRulePath => Severity::Warning,
+            DiagCode::PotentialCycle
+            | DiagCode::DeafSubscription
+            | DiagCode::UnknownEffects
+            | DiagCode::ObservedTrigger => Severity::Info,
         }
     }
 }

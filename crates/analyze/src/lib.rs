@@ -39,11 +39,13 @@ pub mod analyzer;
 pub mod diagnostic;
 pub mod effects;
 pub mod graph;
+pub mod reconcile;
 
 pub use analyzer::{AnalysisReport, RuleAnalyzer};
 pub use diagnostic::{DiagCode, Diagnostic, Severity};
 pub use effects::{diff_effects, ObservedEffects};
 pub use graph::{GraphEdge, GraphNode, TriggeringGraph};
+pub use reconcile::{reconcile, ObservedEdge, ReconciliationReport};
 
 // Re-exported so analyzer consumers can name the contract types without
 // a direct sentinel-rules dependency.

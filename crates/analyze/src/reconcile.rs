@@ -1,0 +1,275 @@
+//! Static-vs-observed reconciliation.
+//!
+//! The triggering graph says which rule *can* trigger which rule; the
+//! firing-history ring records which rule *did*. Diffing the two turns
+//! runtime evidence into analysis upgrades:
+//!
+//! * A **conservative** edge (drawn only because the action's effects
+//!   are undeclared) that was exercised at runtime is real — an
+//!   `observed-trigger` info invites the author to declare the effect
+//!   and make the static analysis precise.
+//! * A **definite** edge never exercised by any recorded cascade is an
+//!   `untested-rule-path` warning: the dependency exists on paper but
+//!   no test or workload has ever driven it.
+//! * An observed cascade step with **no static edge at all** is an
+//!   `unpredicted-trigger` error: the static model is missing a real
+//!   dependency, so its termination/confluence verdicts are unsound.
+
+use crate::diagnostic::{DiagCode, Diagnostic, Severity};
+use crate::graph::TriggeringGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One rule-to-rule triggering actually recorded at runtime: `count`
+/// firings of `to` had a firing of `from` as their lineage parent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedEdge {
+    /// The rule whose firing was the lineage parent.
+    pub from: String,
+    /// The rule that fired as a consequence.
+    pub to: String,
+    /// How many parent/child firing pairs were recorded.
+    pub count: u64,
+}
+
+/// The outcome of diffing a [`TriggeringGraph`] against observed
+/// cascade edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconciliationReport {
+    /// Findings, sorted most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Definite static edges confirmed by at least one recorded firing.
+    pub confirmed_definite: usize,
+    /// Conservative static edges confirmed by at least one recorded
+    /// firing (each also yields an `observed-trigger` info).
+    pub confirmed_conservative: usize,
+    /// Definite static edges no recorded cascade ever exercised.
+    pub untested_definite: usize,
+    /// Observed edges the static graph has no edge for.
+    pub unpredicted: usize,
+    /// Total observed parent/child firing pairs fed in.
+    pub observed_pairs: u64,
+}
+
+impl ReconciliationReport {
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Any error-severity findings (i.e. unpredicted triggers)?
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// One-line summary in the same shape as
+    /// [`AnalysisReport::summary`](crate::AnalysisReport::summary), so
+    /// CI can grep for `0 errors`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} errors, {} warnings, {} infos; {} definite + {} conservative edges confirmed by {} observed firing pairs",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+            self.confirmed_definite,
+            self.confirmed_conservative,
+            self.observed_pairs,
+        )
+    }
+
+    /// Render the findings one per line (empty string when clean).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.to_string());
+            s.push('\n');
+        }
+        s
+    }
+
+    fn resort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.rule.cmp(&b.rule))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+}
+
+/// Diff the static `graph` against runtime-`observed` cascade edges.
+///
+/// Observed pairs whose parent rule is unknown (the parent firing was
+/// evicted from the history ring before the child was inspected) should
+/// be filtered out by the caller; an edge naming a rule absent from the
+/// graph is treated as unpredicted.
+pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> ReconciliationReport {
+    // Static edge map: (from, to) -> (any definite edge?, via of one
+    // representative edge).
+    let mut static_edges: BTreeMap<(&str, &str), (bool, &str)> = BTreeMap::new();
+    for e in &graph.edges {
+        let key = (
+            graph.nodes[e.from].rule.as_str(),
+            graph.nodes[e.to].rule.as_str(),
+        );
+        let entry = static_edges.entry(key).or_insert((false, e.via.as_str()));
+        if e.definite {
+            entry.0 = true;
+            entry.1 = e.via.as_str();
+        }
+    }
+
+    let mut report = ReconciliationReport::default();
+    let mut exercised: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for o in observed {
+        report.observed_pairs += o.count;
+        *exercised
+            .entry((o.from.as_str(), o.to.as_str()))
+            .or_insert(0) += o.count;
+    }
+
+    for (&(from, to), &count) in &exercised {
+        match static_edges.get(&(from, to)) {
+            Some(&(true, _)) => report.confirmed_definite += 1,
+            Some(&(false, _)) => {
+                report.confirmed_conservative += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    DiagCode::ObservedTrigger,
+                    Some(from.to_string()),
+                    format!(
+                        "conservative edge `{from}` -> `{to}` was exercised at runtime \
+                         ({count} firing pair{}); declare the action's effects to make it definite",
+                        if count == 1 { "" } else { "s" }
+                    ),
+                ));
+            }
+            None => {
+                report.unpredicted += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    DiagCode::UnpredictedTrigger,
+                    Some(from.to_string()),
+                    format!(
+                        "runtime recorded {count} firing pair{} `{from}` -> `{to}` but the \
+                         triggering graph predicts no such edge",
+                        if count == 1 { "" } else { "s" }
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (&(from, to), &(definite, via)) in &static_edges {
+        if definite && !exercised.contains_key(&(from, to)) {
+            report.untested_definite += 1;
+            report.diagnostics.push(Diagnostic::new(
+                DiagCode::UntestedRulePath,
+                Some(from.to_string()),
+                format!(
+                    "definite edge `{from}` -> `{to}` (via {via}) was never exercised \
+                     by any recorded firing cascade"
+                ),
+            ));
+        }
+    }
+
+    report.resort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphEdge, GraphNode};
+    use sentinel_rules::CouplingMode;
+
+    fn graph() -> TriggeringGraph {
+        let node = |name: &str| GraphNode {
+            rule: name.into(),
+            coupling: CouplingMode::Immediate,
+            enabled: true,
+        };
+        TriggeringGraph {
+            nodes: vec![node("A"), node("B"), node("C")],
+            edges: vec![
+                GraphEdge {
+                    from: 0,
+                    to: 1,
+                    definite: true,
+                    via: "X::m (end)".into(),
+                },
+                GraphEdge {
+                    from: 1,
+                    to: 2,
+                    definite: false,
+                    via: "effects unknown".into(),
+                },
+            ],
+        }
+    }
+
+    fn edge(from: &str, to: &str, count: u64) -> ObservedEdge {
+        ObservedEdge {
+            from: from.into(),
+            to: to.into(),
+            count,
+        }
+    }
+
+    #[test]
+    fn confirmed_definite_is_silent() {
+        let r = reconcile(&graph(), &[edge("A", "B", 3)]);
+        assert_eq!(r.confirmed_definite, 1);
+        assert!(!r.has_errors());
+        assert!(!r
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("`A` -> `B`") && d.code != DiagCode::UntestedRulePath));
+    }
+
+    #[test]
+    fn conservative_edge_upgrades_to_observed_trigger() {
+        let r = reconcile(&graph(), &[edge("B", "C", 1)]);
+        assert_eq!(r.confirmed_conservative, 1);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::ObservedTrigger)
+            .expect("observed-trigger finding");
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("`B` -> `C`"));
+    }
+
+    #[test]
+    fn unexercised_definite_edge_is_untested() {
+        let r = reconcile(&graph(), &[]);
+        assert_eq!(r.untested_definite, 1);
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::UntestedRulePath)
+            .expect("untested-rule-path finding");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("`A` -> `B`"));
+        assert!(r.summary().starts_with("0 errors"));
+    }
+
+    #[test]
+    fn edge_outside_the_graph_is_an_error() {
+        let r = reconcile(&graph(), &[edge("C", "A", 2)]);
+        assert_eq!(r.unpredicted, 1);
+        assert!(r.has_errors());
+        assert!(r.summary().starts_with("1 errors"));
+        assert!(r.render().contains("unpredicted-trigger"));
+    }
+
+    #[test]
+    fn observed_pairs_accumulate_across_duplicates() {
+        let r = reconcile(&graph(), &[edge("A", "B", 2), edge("A", "B", 3)]);
+        assert_eq!(r.observed_pairs, 5);
+        assert_eq!(r.confirmed_definite, 1);
+    }
+}

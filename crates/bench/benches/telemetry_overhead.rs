@@ -4,8 +4,11 @@
 //! telemetry off (the default), every instrumentation point reduces to
 //! a single relaxed atomic load and branch, so `off` should be
 //! indistinguishable from the pre-telemetry `e6_dispatch_overhead`
-//! numbers. `counters` adds histogram recording; `tracing` additionally
-//! materialises a subject string per record into the ring.
+//! numbers — and that includes the firing-history hooks, which gate on
+//! one relaxed load of the history flag. `counters` adds histogram
+//! recording; `tracing` additionally materialises a subject string per
+//! record into the ring; `history` (counters and tracing off) times the
+//! lineage stamping + firing-record path in isolation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sentinel_bench::scenarios::{dispatch_scenario, DispatchKind};
@@ -14,17 +17,19 @@ use std::hint::black_box;
 
 fn telemetry_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry_overhead");
-    let modes: &[(&str, bool, bool)] = &[
-        ("off", false, false),
-        ("counters", true, false),
-        ("tracing", true, true),
+    let modes: &[(&str, bool, bool, bool)] = &[
+        ("off", false, false, false),
+        ("counters", true, false, false),
+        ("tracing", true, true, false),
+        ("history", false, false, true),
     ];
-    for &(name, enabled, tracing) in modes {
+    for &(name, enabled, tracing, history) in modes {
         let kind = DispatchKind::ReactiveDeclared { subscribers: 1 };
         g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
             let (mut db, obj) = dispatch_scenario(kind);
             db.telemetry().set_enabled(enabled);
             db.telemetry().set_tracing(tracing);
+            db.telemetry().set_history(history);
             let mut i = 0f64;
             b.iter(|| {
                 i += 1.0;

@@ -18,7 +18,7 @@ use crate::stats::SharedDbStats;
 use sentinel_object::{ObjectError, ObjectStore, Result};
 use sentinel_rules::{BackpressurePolicy, ReadyFiring};
 use sentinel_storage::{BatchAck, LogRecord, Snapshot, TxnId, TxnManager, UndoOp, Wal, WriteBatch};
-use sentinel_telemetry::{BodyKind, Stage};
+use sentinel_telemetry::{BodyKind, FiringId, FiringOutcome, FiringRecord, Stage, Timer};
 
 /// The layered write path of one database: transaction ids, the WAL,
 /// and the active transaction's staged [`WriteBatch`].
@@ -257,6 +257,8 @@ impl Database {
         self.engine.commit_capture();
         self.catalog_undo.clear();
         self.txn_touched.clear();
+        // The transaction is durable: its firings' fates are sealed.
+        self.flush_pending_firings(false);
         SharedDbStats::bump(&self.stats.commits);
         self.telemetry
             .observe_timer(Stage::TxnCommit, self.clock.now(), commit_timer, || {
@@ -319,7 +321,68 @@ impl Database {
 
     /// Evaluate a triggered rule's condition and, if it holds, run its
     /// action. Bodies receive the database itself as their `World`.
+    ///
+    /// While firing history is on, the firing's lineage frame is pushed
+    /// around body execution (so raises from the bodies stamp it as
+    /// their parent) and a [`FiringRecord`] is staged; the record's
+    /// outcome is sealed when the surrounding transaction commits or
+    /// rolls back.
     pub(crate) fn execute_firing(&mut self, f: &ReadyFiring) -> Result<()> {
+        let history = self.telemetry.is_history() && f.firing.lineage.id != 0;
+        if !history {
+            return self.execute_firing_body(f);
+        }
+        let firing_timer = self.telemetry.history_timer();
+        self.lineage_stack.push(f.firing.lineage);
+        let out = self.execute_firing_body(f);
+        self.lineage_stack.pop();
+        self.stage_firing_record(f, firing_timer, out.is_ok());
+        out
+    }
+
+    fn stage_firing_record(&mut self, f: &ReadyFiring, timer: Timer, ok: bool) {
+        let lin = f.firing.lineage;
+        let target = f
+            .firing
+            .occurrence
+            .constituents
+            .last()
+            .map_or(0, |c| c.oid.0);
+        self.pending_firings.push(FiringRecord {
+            id: FiringId(lin.id),
+            rule: f.firing.rule_name.to_string(),
+            target,
+            coupling: f.coupling.into(),
+            parent: lin.parent.map(FiringId),
+            root_occurrence: lin.root,
+            occurrence: f.firing.occurrence.end,
+            depth: lin.depth,
+            latency_ns: timer.elapsed_ns().unwrap_or(0),
+            outcome: if ok {
+                FiringOutcome::Committed
+            } else {
+                FiringOutcome::Aborted
+            },
+        });
+    }
+
+    /// Flush staged firing records into the history ring. On a rollback
+    /// (`force_abort`) every record is sealed as `Aborted`, including
+    /// firings whose own bodies succeeded — their effects died with the
+    /// transaction.
+    pub(crate) fn flush_pending_firings(&mut self, force_abort: bool) {
+        if self.pending_firings.is_empty() {
+            return;
+        }
+        for mut rec in std::mem::take(&mut self.pending_firings) {
+            if force_abort {
+                rec.outcome = FiringOutcome::Aborted;
+            }
+            self.telemetry.record_firing(move || rec);
+        }
+    }
+
+    fn execute_firing_body(&mut self, f: &ReadyFiring) -> Result<()> {
         SharedDbStats::bump(&self.stats.condition_evals);
         if let Ok(r) = self.engine.rule_mut(f.firing.rule) {
             r.stats.condition_evals += 1;

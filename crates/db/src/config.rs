@@ -29,6 +29,13 @@ pub struct DbConfig {
     /// Capacity of the structured-trace ring buffer (records kept when
     /// tracing is turned on).
     pub trace_capacity: usize,
+    /// Record firing history (causal lineage) from the start. Off by
+    /// default: the disabled path costs one branch per firing. Can be
+    /// toggled at runtime via `telemetry().set_history(..)`.
+    pub history_enabled: bool,
+    /// Capacity of the firing-history ring (records kept when history
+    /// is turned on; the oldest record is shed on overflow).
+    pub history_capacity: usize,
     /// Bound on the detached-firing queue. Past it the
     /// [`detached_policy`](Self::detached_policy) decides what happens;
     /// a storm of detached rules can no longer grow the queue without
@@ -51,6 +58,8 @@ impl Default for DbConfig {
             detector_caps: DetectorCaps::default(),
             telemetry_enabled: false,
             trace_capacity: 4096,
+            history_enabled: false,
+            history_capacity: 4096,
             detached_cap: 4096,
             detached_policy: BackpressurePolicy::Block,
         }
@@ -98,6 +107,18 @@ impl DbConfig {
     /// Override the trace ring-buffer capacity.
     pub fn trace_capacity(mut self, records: usize) -> Self {
         self.trace_capacity = records;
+        self
+    }
+
+    /// Record firing history (causal lineage) from the start.
+    pub fn history_enabled(mut self, on: bool) -> Self {
+        self.history_enabled = on;
+        self
+    }
+
+    /// Override the firing-history ring capacity.
+    pub fn history_capacity(mut self, records: usize) -> Self {
+        self.history_capacity = records;
         self
     }
 

@@ -20,9 +20,9 @@ use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
 };
-use sentinel_rules::{ActionEffects, ConflictResolver, EngineStats, Firing, RuleEngine};
+use sentinel_rules::{ActionEffects, ConflictResolver, EngineStats, Firing, Lineage, RuleEngine};
 use sentinel_storage::{LogRecord, UndoOp, Wal};
-use sentinel_telemetry::{Stage, Telemetry};
+use sentinel_telemetry::{FiringRecord, Stage, Telemetry};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -113,6 +113,16 @@ pub struct Database {
     /// attribute write performed during a rule action is attributed to
     /// that action, for diffing against its declared effects.
     pub(crate) effect_recorder: Option<EffectRecorder>,
+    /// Stack of the firings currently executing (mirrors
+    /// [`EffectRecorder::stack`]): a raise from inside a rule action
+    /// stamps the innermost firing as the parent of whatever it
+    /// triggers. Pushed/popped by `execute_firing` while firing history
+    /// is enabled.
+    pub(crate) lineage_stack: Vec<Lineage>,
+    /// Firing records of the transaction in flight, held back until
+    /// their fate is known: flushed with outcome `Committed` when the
+    /// transaction commits, `Aborted` when it rolls back.
+    pub(crate) pending_firings: Vec<FiringRecord>,
 }
 
 /// Observed effects per action name, plus the stack of actions currently
@@ -165,8 +175,12 @@ impl Database {
     }
 
     pub(crate) fn new_telemetry(config: &DbConfig) -> Arc<Telemetry> {
-        let tel = Telemetry::shared(config.trace_capacity);
+        let tel = Arc::new(Telemetry::with_capacities(
+            config.trace_capacity,
+            config.history_capacity,
+        ));
         tel.set_enabled(config.telemetry_enabled);
+        tel.set_history(config.history_enabled);
         tel
     }
 
@@ -209,6 +223,8 @@ impl Database {
             event_class: ClassId(0),
             telemetry,
             effect_recorder: None,
+            lineage_stack: Vec::new(),
+            pending_firings: Vec::new(),
         })
     }
 
@@ -640,6 +656,12 @@ impl Database {
                     .record_raise(class_name, occ.method.as_ref());
             }
         }
+        if self.telemetry.is_history() {
+            // The innermost executing firing (if any) is the causal
+            // parent of every firing this occurrence schedules.
+            let ctx = self.lineage_stack.last().map(|l| (l.id, l.root, l.depth));
+            self.engine.set_lineage_context(ctx);
+        }
         let immediate = self.engine.on_occurrence(&self.registry, &occ)?;
         for f in &immediate {
             self.execute_firing(f)?;
@@ -881,7 +903,89 @@ impl Database {
             ("detached_shed_total", e.detached_shed),
             ("wal_durable_commits_total", self.pipeline.durable_commits()),
         ];
-        sentinel_telemetry::prometheus_text(&self.telemetry.snapshot(), &extra)
+        let mut out = sentinel_telemetry::prometheus_text(&self.telemetry.snapshot(), &extra);
+        self.append_rule_metrics(&mut out);
+        out
+    }
+
+    /// Per-rule counters, firing-latency quantiles from the history
+    /// ring, and the cascade-depth watermark, appended to the
+    /// Prometheus exposition.
+    fn append_rule_metrics(&self, out: &mut String) {
+        use std::fmt::Write;
+        let mut names = self.rule_names();
+        names.sort();
+        if !names.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sentinel_rule_firings_total Executed firings (condition evaluations) per rule."
+            );
+            let _ = writeln!(out, "# TYPE sentinel_rule_firings_total counter");
+            for name in &names {
+                if let Ok(s) = self.rule_stats(name) {
+                    let _ = writeln!(
+                        out,
+                        "sentinel_rule_firings_total{{rule=\"{name}\"}} {}",
+                        s.condition_evals
+                    );
+                }
+            }
+        }
+        // Firing latency quantiles per rule, over the records still in
+        // the history ring (empty unless history capture is on).
+        let mut by_rule: std::collections::BTreeMap<String, Vec<u64>> = Default::default();
+        for r in self.telemetry.firings().dump_all() {
+            if r.outcome != sentinel_telemetry::FiringOutcome::Shed {
+                by_rule.entry(r.rule).or_default().push(r.latency_ns);
+            }
+        }
+        if !by_rule.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP sentinel_rule_firing_latency_ns Firing latency quantiles over the history ring."
+            );
+            let _ = writeln!(out, "# TYPE sentinel_rule_firing_latency_ns summary");
+            for (rule, mut lat) in by_rule {
+                lat.sort_unstable();
+                for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+                    let _ = writeln!(
+                        out,
+                        "sentinel_rule_firing_latency_ns{{rule=\"{rule}\",quantile=\"{label}\"}} {}",
+                        lat[idx]
+                    );
+                }
+                let sum: u64 = lat.iter().sum();
+                let _ = writeln!(
+                    out,
+                    "sentinel_rule_firing_latency_ns_sum{{rule=\"{rule}\"}} {sum}"
+                );
+                let _ = writeln!(
+                    out,
+                    "sentinel_rule_firing_latency_ns_count{{rule=\"{rule}\"}} {}",
+                    lat.len()
+                );
+            }
+        }
+        let firings = self.telemetry.firings();
+        let _ = writeln!(
+            out,
+            "# HELP sentinel_cascade_depth_max Deepest firing cascade ever recorded (survives ring eviction)."
+        );
+        let _ = writeln!(out, "# TYPE sentinel_cascade_depth_max gauge");
+        let _ = writeln!(out, "sentinel_cascade_depth_max {}", firings.max_depth());
+        let _ = writeln!(out, "# TYPE sentinel_firing_history_recorded_total counter");
+        let _ = writeln!(
+            out,
+            "sentinel_firing_history_recorded_total {}",
+            firings.recorded()
+        );
+        let _ = writeln!(out, "# TYPE sentinel_firing_history_dropped_total counter");
+        let _ = writeln!(
+            out,
+            "sentinel_firing_history_dropped_total {}",
+            firings.dropped()
+        );
     }
 
     /// Pretty-printed JSON of [`full_stats`](Self::full_stats).

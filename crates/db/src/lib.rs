@@ -31,6 +31,7 @@ pub mod config;
 pub mod database;
 pub mod dsl;
 pub mod index;
+pub mod meta;
 pub mod query;
 pub mod session;
 pub mod stats;
@@ -42,13 +43,15 @@ pub use config::DbConfig;
 pub use database::{Database, Target};
 pub use dsl::event;
 pub use index::{AttrIndex, IndexId};
+pub use meta::{CmpOp, Relation, META_RELATIONS};
 pub use query::{attr, ObjectView, Predicate, Query};
 pub use session::{Sentinel, Session};
 pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
 
 pub use sentinel_analyze::{
-    AnalysisReport, DiagCode, Diagnostic, ObservedEffects, RuleAnalyzer, Severity,
+    AnalysisReport, DiagCode, Diagnostic, ObservedEdge, ObservedEffects, ReconciliationReport,
+    RuleAnalyzer, Severity,
 };
 pub use sentinel_rules::{ActionEffects, AttrPattern, BackpressurePolicy, EventPattern};
 pub use sentinel_storage::BatchAck;
@@ -58,11 +61,14 @@ pub mod prelude {
     pub use crate::config::DbConfig;
     pub use crate::database::{Database, Target};
     pub use crate::dsl::event;
+    pub use crate::meta::{CmpOp, Relation, META_RELATIONS};
     pub use crate::query::{attr, ObjectView, Predicate, Query};
     pub use crate::session::{Sentinel, Session};
     pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
-    pub use sentinel_analyze::{AnalysisReport, DiagCode, Diagnostic, Severity};
+    pub use sentinel_analyze::{
+        AnalysisReport, DiagCode, Diagnostic, ObservedEdge, ReconciliationReport, Severity,
+    };
     pub use sentinel_events::{
         CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
         PrimitiveEventSpec, PrimitiveOccurrence,
@@ -77,6 +83,7 @@ pub mod prelude {
     };
     pub use sentinel_storage::{BatchAck, SyncPolicy};
     pub use sentinel_telemetry::{
-        prometheus_text, Stage, Telemetry, TelemetrySnapshot, TraceRecord,
+        prometheus_text, FiringCoupling, FiringId, FiringOutcome, FiringRecord, Stage, Telemetry,
+        TelemetrySnapshot, TraceRecord,
     };
 }

@@ -102,6 +102,25 @@ impl ActionEffects {
     }
 }
 
+/// Causal coordinates of a firing, stamped at scheduling time while
+/// firing history is enabled (all-zero [`Default`] otherwise). The
+/// coordinates travel inside the [`Firing`] through the deferred and
+/// detached queues, so a firing executed long after its raise still
+/// knows its cascade.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lineage {
+    /// `FiringId` value allocated by the telemetry handle (0 = never
+    /// stamped, i.e. history was off when the firing was scheduled).
+    pub id: u64,
+    /// Id of the firing whose action raised the triggering occurrence
+    /// (`None` for a cascade root).
+    pub parent: Option<u64>,
+    /// OccId of the occurrence at the root of this cascade.
+    pub root: u64,
+    /// Cascade depth: 0 for a root firing, parent's depth + 1 below.
+    pub depth: u32,
+}
+
 /// Everything a condition/action can inspect about its triggering: the
 /// rule identity and the composite occurrence (constituent primitives
 /// with their recorded parameters — the paper's `Record`ed state).
@@ -113,6 +132,9 @@ pub struct Firing {
     pub rule_name: Arc<str>,
     /// The detected (possibly composite) event occurrence.
     pub occurrence: CompositeOccurrence,
+    /// Causal coordinates (meaningful only while firing history is
+    /// enabled).
+    pub lineage: Lineage,
 }
 
 impl Firing {
@@ -320,6 +342,7 @@ mod tests {
             rule: RuleId(1),
             rule_name: "IncomeLevel".into(),
             occurrence: CompositeOccurrence::from_primitive(p),
+            lineage: Lineage::default(),
         }
     }
 

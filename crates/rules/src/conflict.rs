@@ -66,6 +66,7 @@ mod tests {
         let bodies = RuleBodyRegistry::new();
         ReadyFiring {
             priority,
+            coupling: crate::coupling::CouplingMode::Immediate,
             condition: bodies.condition(COND_TRUE).unwrap(),
             action: bodies.action(ACTION_NOOP).unwrap(),
             firing: Firing {
@@ -76,6 +77,7 @@ mod tests {
                     start: id,
                     end: id,
                 },
+                lineage: Default::default(),
             },
         }
     }

@@ -36,6 +36,16 @@ impl CouplingMode {
     }
 }
 
+impl From<CouplingMode> for sentinel_telemetry::FiringCoupling {
+    fn from(m: CouplingMode) -> Self {
+        match m {
+            CouplingMode::Immediate => Self::Immediate,
+            CouplingMode::Deferred => Self::Deferred,
+            CouplingMode::Detached => Self::Detached,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,14 +8,16 @@
 //! the [`ReadyFiring`]s the engine hands back, because execution needs
 //! the full `World`, which owns the engine.
 
-use crate::body::{ActionFn, CondFn, Firing, RuleBodyRegistry};
+use crate::body::{ActionFn, CondFn, Firing, Lineage, RuleBodyRegistry};
 use crate::conflict::{ConflictResolver, FifoResolver};
 use crate::coupling::CouplingMode;
 use crate::rule::{Rule, RuleDef, RuleId, RuleStats};
 use crate::subscription::SubscriptionManager;
 use sentinel_events::{DetectorCaps, PrimitiveOccurrence};
 use sentinel_object::{ClassId, ClassRegistry, EventSym, ObjectError, Oid, Result};
-use sentinel_telemetry::{Stage, Telemetry, Timer};
+use sentinel_telemetry::{
+    FiringCoupling, FiringId, FiringOutcome, FiringRecord, Stage, Telemetry, Timer,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +28,9 @@ use std::sync::Arc;
 pub struct ReadyFiring {
     /// The rule's priority (consumed by conflict resolvers).
     pub priority: i32,
+    /// The coupling mode the firing was scheduled under (recorded into
+    /// its lineage record by the executor).
+    pub coupling: CouplingMode,
     /// Resolved condition body.
     pub condition: CondFn,
     /// Resolved action body.
@@ -225,6 +230,11 @@ pub struct RuleEngine {
     /// [`begin_capture`](Self::begin_capture).
     capture: Option<std::collections::HashSet<RuleId>>,
     telemetry: Option<Arc<Telemetry>>,
+    /// Causal context for firings scheduled by the next occurrence:
+    /// `(parent firing id, root occurrence, parent depth)`. Set by the
+    /// database facade around each raise while firing history is
+    /// enabled; `None` means occurrences start fresh cascades.
+    lineage_ctx: Option<(u64, u64, u32)>,
 }
 
 impl std::fmt::Debug for RuleEngine {
@@ -267,7 +277,16 @@ impl RuleEngine {
             epoch: 0,
             capture: None,
             telemetry: None,
+            lineage_ctx: None,
         }
+    }
+
+    /// Set (or clear) the causal context stamped onto firings scheduled
+    /// by subsequent occurrences: the currently executing firing's id,
+    /// its cascade-root occurrence, and its depth. Cleared context means
+    /// the next occurrence roots a fresh cascade.
+    pub fn set_lineage_context(&mut self, ctx: Option<(u64, u64, u32)>) {
+        self.lineage_ctx = ctx;
     }
 
     /// Turn the `(target, symbol)` routing index on or off. On by
@@ -584,6 +603,7 @@ impl RuleEngine {
         }
 
         let bodies_version = self.bodies.version();
+        let history_on = self.telemetry.as_ref().is_some_and(|t| t.is_history());
         let mut immediate = Vec::new();
         for rid in consumers.iter().copied() {
             let Some(rule) = self.rules.get_mut(&rid) else {
@@ -615,14 +635,36 @@ impl RuleEngine {
             let condition = rule.cached_condition.as_ref().expect("resolved above");
             let action = rule.cached_action.as_ref().expect("resolved above");
             for occurrence in completions {
+                let lineage = if history_on {
+                    let tel = self.telemetry.as_ref().expect("history implies telemetry");
+                    let id = tel.next_firing_id();
+                    match self.lineage_ctx {
+                        Some((parent, root, parent_depth)) => Lineage {
+                            id,
+                            parent: Some(parent),
+                            root,
+                            depth: parent_depth + 1,
+                        },
+                        None => Lineage {
+                            id,
+                            parent: None,
+                            root: occurrence.end,
+                            depth: 0,
+                        },
+                    }
+                } else {
+                    Lineage::default()
+                };
                 let ready = ReadyFiring {
                     priority: rule.def.priority,
+                    coupling: rule.def.coupling,
                     condition: condition.clone(),
                     action: action.clone(),
                     firing: Firing {
                         rule: rid,
                         rule_name: rule.name.clone(),
                         occurrence,
+                        lineage,
                     },
                 };
                 let stage = match rule.def.coupling {
@@ -641,8 +683,27 @@ impl RuleEngine {
                             && self.detached_policy == BackpressurePolicy::Shed
                         {
                             // Full queue, shed policy: drop the firing
-                            // rather than grow without bound.
+                            // rather than grow without bound — but leave
+                            // a lineage record, so cascade trees show
+                            // the shed firing instead of a silent gap.
                             EngineCounters::bump(&self.stats.detached_shed);
+                            if let Some(tel) = &self.telemetry {
+                                let name = &rule.name;
+                                let lin = ready.firing.lineage;
+                                let end = ready.firing.occurrence.end;
+                                tel.record_firing(|| FiringRecord {
+                                    id: FiringId(lin.id),
+                                    rule: name.to_string(),
+                                    target: occ.oid.0,
+                                    coupling: FiringCoupling::Detached,
+                                    parent: lin.parent.map(FiringId),
+                                    root_occurrence: lin.root,
+                                    occurrence: end,
+                                    depth: lin.depth,
+                                    latency_ns: 0,
+                                    outcome: FiringOutcome::Shed,
+                                });
+                            }
                             None
                         } else {
                             EngineCounters::bump(&self.stats.detached);

@@ -1,6 +1,7 @@
 //! The [`Telemetry`] handle threaded through the pipeline.
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::history::{FiringHistory, FiringRecord, HistoryMeta};
 use crate::stage::Stage;
 use crate::trace::{RingBufferSink, TraceRecord, TraceSink};
 use parking_lot::RwLock;
@@ -66,10 +67,13 @@ impl Timer {
 pub struct Telemetry {
     enabled: AtomicBool,
     tracing: AtomicBool,
+    history: AtomicBool,
     seq: AtomicU64,
+    firing_seq: AtomicU64,
     stages: [StageCell; Stage::COUNT],
     rules: RwLock<BTreeMap<String, Arc<RuleCell>>>,
     ring: RingBufferSink,
+    firings: FiringHistory,
     custom: RwLock<Option<Arc<dyn TraceSink>>>,
 }
 
@@ -78,22 +82,34 @@ impl std::fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("enabled", &self.is_enabled())
             .field("tracing", &self.is_tracing())
+            .field("history", &self.is_history())
             .field("trace_buffered", &self.ring.len())
+            .field("firings_buffered", &self.firings.len())
             .finish()
     }
 }
 
 impl Telemetry {
     /// A disabled handle whose trace ring holds at most
-    /// `trace_capacity` records.
+    /// `trace_capacity` records and whose firing-history ring uses the
+    /// same capacity.
     pub fn new(trace_capacity: usize) -> Self {
+        Self::with_capacities(trace_capacity, trace_capacity)
+    }
+
+    /// A disabled handle with separate trace-ring and firing-history
+    /// capacities.
+    pub fn with_capacities(trace_capacity: usize, history_capacity: usize) -> Self {
         Telemetry {
             enabled: AtomicBool::new(false),
             tracing: AtomicBool::new(false),
+            history: AtomicBool::new(false),
             seq: AtomicU64::new(0),
+            firing_seq: AtomicU64::new(0),
             stages: std::array::from_fn(|_| StageCell::default()),
             rules: RwLock::new(BTreeMap::new()),
             ring: RingBufferSink::new(trace_capacity),
+            firings: FiringHistory::new(history_capacity),
             custom: RwLock::new(None),
         }
     }
@@ -127,6 +143,20 @@ impl Telemetry {
     /// [`set_enabled`](Self::set_enabled)`(true)`.
     pub fn set_tracing(&self, on: bool) {
         self.tracing.store(on, Relaxed);
+    }
+
+    /// Is firing history (causal lineage) being recorded? Independent
+    /// of [`is_enabled`](Self::is_enabled): the history ring records
+    /// whenever this flag is on; only the `lineage_record` stage
+    /// counter additionally requires counters to be enabled.
+    #[inline]
+    pub fn is_history(&self) -> bool {
+        self.history.load(Relaxed)
+    }
+
+    /// Turn firing-history capture on or off.
+    pub fn set_history(&self, on: bool) {
+        self.history.store(on, Relaxed);
     }
 
     // -- recording ------------------------------------------------------
@@ -174,6 +204,48 @@ impl Telemetry {
     ) {
         if let Some(ns) = timer.elapsed_ns() {
             self.observe(stage, at, ns, subject);
+        }
+    }
+
+    /// Allocate the next [`FiringId`](crate::FiringId) value. Ids start
+    /// at 1 so that 0 can mark "never stamped". Callers gate on
+    /// [`is_history`](Self::is_history); minting is not itself gated.
+    #[inline]
+    pub fn next_firing_id(&self) -> u64 {
+        self.firing_seq.fetch_add(1, Relaxed) + 1
+    }
+
+    /// Append one firing record to the history ring. The record is
+    /// built lazily: with history disabled (the default) this is one
+    /// relaxed load and a branch, and `make` is never evaluated.
+    #[inline]
+    pub fn record_firing<F: FnOnce() -> FiringRecord>(&self, make: F) {
+        if !self.is_history() {
+            return;
+        }
+        self.record_firing_inner(make());
+    }
+
+    #[cold]
+    fn record_firing_inner(&self, rec: FiringRecord) {
+        self.observe(
+            Stage::LineageRecord,
+            rec.occurrence,
+            u64::from(rec.depth),
+            || format!("{} {}", rec.rule, rec.id),
+        );
+        self.firings.record(rec);
+    }
+
+    /// Start a wall-clock timer gated on the *history* flag instead of
+    /// the counters flag — used to time whole firings for their
+    /// lineage records without forcing counters on.
+    #[inline]
+    pub fn history_timer(&self) -> Timer {
+        if self.is_history() {
+            Timer(Some(Instant::now()))
+        } else {
+            Timer::off()
         }
     }
 
@@ -244,9 +316,19 @@ impl Telemetry {
         &self.ring
     }
 
+    /// The firing-history ring.
+    pub fn firings(&self) -> &FiringHistory {
+        &self.firings
+    }
+
     /// The most recent `n` trace records, oldest first.
     pub fn trace_dump(&self, n: usize) -> Vec<TraceRecord> {
         self.ring.dump(n)
+    }
+
+    /// The most recent `n` firing records, oldest first.
+    pub fn firing_dump(&self, n: usize) -> Vec<FiringRecord> {
+        self.firings.dump(n)
     }
 
     /// Install (or clear) an additional sink that receives every trace
@@ -265,7 +347,9 @@ impl Telemetry {
         }
         self.rules.write().clear();
         self.ring.clear();
+        self.firings.clear();
         self.seq.store(0, Relaxed);
+        self.firing_seq.store(0, Relaxed);
     }
 
     /// A serializable copy of everything recorded so far.
@@ -295,6 +379,7 @@ impl Telemetry {
         TelemetrySnapshot {
             enabled: self.is_enabled(),
             tracing: self.is_tracing(),
+            history_enabled: self.is_history(),
             stages,
             rules,
             trace: TraceMeta {
@@ -302,6 +387,13 @@ impl Telemetry {
                 buffered: self.ring.len() as u64,
                 dropped: self.ring.dropped(),
                 capacity: self.ring.capacity() as u64,
+            },
+            history: HistoryMeta {
+                recorded: self.firings.recorded(),
+                buffered: self.firings.len() as u64,
+                dropped: self.firings.dropped(),
+                capacity: self.firings.capacity() as u64,
+                max_depth: self.firings.max_depth(),
             },
         }
     }
@@ -353,12 +445,16 @@ pub struct TelemetrySnapshot {
     pub enabled: bool,
     /// Was trace capture enabled at snapshot time?
     pub tracing: bool,
+    /// Was firing-history capture enabled at snapshot time?
+    pub history_enabled: bool,
     /// Every stage, in pipeline order.
     pub stages: Vec<StageSnapshot>,
     /// Per-rule body latencies, sorted by rule name.
     pub rules: Vec<RuleLatencySnapshot>,
     /// Trace-ring state.
     pub trace: TraceMeta,
+    /// Firing-history ring state.
+    pub history: HistoryMeta,
 }
 
 impl TelemetrySnapshot {
@@ -455,6 +551,49 @@ mod tests {
         assert_eq!(t.stage_count(Stage::ActionRun), 0);
         assert!(t.snapshot().rules.is_empty());
         assert_eq!(t.ring().recorded(), 0);
+    }
+
+    #[test]
+    fn history_gating_and_snapshot_meta() {
+        use crate::history::{FiringCoupling, FiringOutcome};
+        use crate::FiringId;
+        let t = Telemetry::with_capacities(4, 2);
+        // Disabled: no record, the closure never runs, timers stay off.
+        t.record_firing(|| unreachable!("history is off"));
+        assert!(t.history_timer().elapsed_ns().is_none());
+        t.set_history(true);
+        assert!(t.history_timer().elapsed_ns().is_some());
+        for i in 1..=3u64 {
+            let id = t.next_firing_id();
+            assert_eq!(id, i);
+            t.record_firing(|| FiringRecord {
+                id: FiringId(id),
+                rule: "r".into(),
+                target: 1,
+                coupling: FiringCoupling::Deferred,
+                parent: None,
+                root_occurrence: 9,
+                occurrence: 9,
+                depth: i as u32 - 1,
+                latency_ns: 5,
+                outcome: FiringOutcome::Committed,
+            });
+        }
+        // History records regardless of the counters flag; the stage
+        // counter stays gated on `enabled`.
+        assert_eq!(t.stage_count(Stage::LineageRecord), 0);
+        let s = t.snapshot();
+        assert!(s.history_enabled);
+        assert_eq!(s.history.recorded, 3);
+        assert_eq!(s.history.buffered, 2);
+        assert_eq!(s.history.dropped, 1);
+        assert_eq!(s.history.capacity, 2);
+        assert_eq!(s.history.max_depth, 2);
+        assert_eq!(t.firing_dump(8).len(), 2);
+        t.reset();
+        assert!(t.is_history(), "reset keeps flags");
+        assert!(t.firings().is_empty());
+        assert_eq!(t.next_firing_id(), 1, "reset rewinds the id counter");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The firing-history ring: causal lineage records for rule firings.
+//!
+//! The paper makes events and rules first-class objects; this module
+//! does the same for *firings*. Every firing the engine schedules is
+//! stamped with a [`FiringId`] plus its causal coordinates — the firing
+//! whose action raised the triggering occurrence (`parent`), the
+//! occurrence at the root of the cascade (`root`), and its cascade
+//! `depth` — and, once its outcome is known, a [`FiringRecord`] lands
+//! in the bounded [`FiringHistory`] ring. The `sentinel-db` meta views
+//! project this ring into queryable `firings` / `cascade_edges`
+//! relations, and `sentinel-analyze` reconciles it against the static
+//! triggering graph.
+//!
+//! Like the trace ring, the history ring is bounded and sheds the
+//! oldest record on overflow, counting what it dropped — a cascade
+//! remains reconstructable from any node that is still buffered, and
+//! the `dropped` counter says how much of the past has scrolled away.
+//! The recording path is gated on one relaxed atomic load
+//! ([`Telemetry::is_history`](crate::Telemetry::is_history)), so with
+//! history disabled (the default) a firing costs a single predictable
+//! branch.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of one rule firing, unique per [`Telemetry`]
+/// (crate::Telemetry) handle lifetime. Ids start at 1; `0` marks a
+/// firing that was never stamped (history disabled when it was
+/// scheduled).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FiringId(pub u64);
+
+impl fmt::Display for FiringId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "firing#{}", self.0)
+    }
+}
+
+/// Coupling mode of a recorded firing. Mirrors `CouplingMode` in
+/// `sentinel-rules` (which depends on this crate, so the mirror lives
+/// here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FiringCoupling {
+    /// Ran inline, inside the raising transaction.
+    Immediate,
+    /// Ran at commit of the raising transaction.
+    Deferred,
+    /// Ran in its own follow-on transaction.
+    Detached,
+}
+
+impl FiringCoupling {
+    /// Stable lowercase name, used as a label in exports and meta rows.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FiringCoupling::Immediate => "immediate",
+            FiringCoupling::Deferred => "deferred",
+            FiringCoupling::Detached => "detached",
+        }
+    }
+}
+
+impl fmt::Display for FiringCoupling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a firing ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FiringOutcome {
+    /// The firing ran and the transaction that carried it committed.
+    Committed,
+    /// The firing ran inside a transaction that rolled back (or its
+    /// own body returned an error).
+    Aborted,
+    /// The firing was shed unexecuted by detached-queue backpressure.
+    Shed,
+}
+
+impl FiringOutcome {
+    /// Stable lowercase name, used as a label in exports and meta rows.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            FiringOutcome::Committed => "committed",
+            FiringOutcome::Aborted => "aborted",
+            FiringOutcome::Shed => "shed",
+        }
+    }
+}
+
+impl fmt::Display for FiringOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed (or shed) rule firing, with its causal coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiringRecord {
+    /// The firing's identity (unique per telemetry handle).
+    pub id: FiringId,
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Raw oid of the object whose occurrence completed the rule's
+    /// event (0 when no object was in scope).
+    pub target: u64,
+    /// The firing's coupling mode.
+    pub coupling: FiringCoupling,
+    /// The firing whose action raised the triggering occurrence
+    /// (`None` for a cascade root).
+    pub parent: Option<FiringId>,
+    /// OccId (logical-clock reading) of the occurrence at the root of
+    /// the cascade this firing belongs to.
+    pub root_occurrence: u64,
+    /// OccId of the occurrence that completed this firing's event.
+    pub occurrence: u64,
+    /// Cascade depth: 0 for a root firing, parent's depth + 1 below.
+    pub depth: u32,
+    /// Wall-clock nanoseconds from condition start to action end
+    /// (0 for shed firings, which never ran).
+    pub latency_ns: u64,
+    /// How the firing ended.
+    pub outcome: FiringOutcome,
+}
+
+impl fmt::Display for FiringRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rule={} @{} occ={} root={} depth={} {} {} {}ns",
+            self.id,
+            self.rule,
+            self.target,
+            self.occurrence,
+            self.root_occurrence,
+            self.depth,
+            self.coupling,
+            self.outcome,
+            self.latency_ns,
+        )?;
+        if let Some(p) = self.parent {
+            write!(f, " parent={p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistoryInner {
+    buf: VecDeque<FiringRecord>,
+    recorded: u64,
+    dropped: u64,
+    max_depth: u32,
+}
+
+/// A bounded, mutex-guarded ring of the most recent firing records.
+///
+/// Overflow sheds the *oldest* record and counts it in
+/// [`dropped`](Self::dropped), exactly like the detached queue under
+/// `BackpressurePolicy::Shed` — bounded memory, honest accounting.
+/// The `max_depth` watermark survives eviction and reset-free runs, so
+/// the deepest cascade ever seen is reportable even after its records
+/// scrolled out.
+#[derive(Debug)]
+pub struct FiringHistory {
+    capacity: usize,
+    inner: Mutex<HistoryInner>,
+}
+
+impl FiringHistory {
+    /// A ring holding at most `capacity` records (capacity 0 records
+    /// nothing).
+    pub fn new(capacity: usize) -> Self {
+        FiringHistory {
+            capacity,
+            inner: Mutex::new(HistoryInner::default()),
+        }
+    }
+
+    /// Maximum records held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever offered to the ring.
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().recorded
+    }
+
+    /// Records shed (oldest-first) to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Deepest cascade depth ever recorded (watermark; survives
+    /// eviction).
+    pub fn max_depth(&self) -> u32 {
+        self.inner.lock().max_depth
+    }
+
+    /// Append one record, shedding the oldest if the ring is full.
+    pub fn record(&self, rec: FiringRecord) {
+        let mut inner = self.inner.lock();
+        inner.max_depth = inner.max_depth.max(rec.depth);
+        inner.recorded += 1;
+        if self.capacity == 0 {
+            inner.dropped += 1;
+            return;
+        }
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(rec);
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn dump(&self, n: usize) -> Vec<FiringRecord> {
+        let inner = self.inner.lock();
+        let skip = inner.buf.len().saturating_sub(n);
+        inner.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Every buffered record, oldest first.
+    pub fn dump_all(&self) -> Vec<FiringRecord> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Forget everything buffered (counters and watermark included).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.buf.clear();
+        inner.recorded = 0;
+        inner.dropped = 0;
+        inner.max_depth = 0;
+    }
+}
+
+/// State of the firing-history ring at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryMeta {
+    /// Firing records ever captured.
+    pub recorded: u64,
+    /// Records currently buffered.
+    pub buffered: u64,
+    /// Records shed to stay within capacity.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+    /// Deepest cascade depth ever recorded.
+    pub max_depth: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, depth: u32) -> FiringRecord {
+        FiringRecord {
+            id: FiringId(id),
+            rule: format!("r{id}"),
+            target: 7,
+            coupling: FiringCoupling::Immediate,
+            parent: if depth == 0 {
+                None
+            } else {
+                Some(FiringId(id - 1))
+            },
+            root_occurrence: 1,
+            occurrence: id,
+            depth,
+            latency_ns: 10 * id,
+            outcome: FiringOutcome::Committed,
+        }
+    }
+
+    #[test]
+    fn ring_sheds_oldest_and_keeps_watermark() {
+        let h = FiringHistory::new(2);
+        h.record(rec(1, 0));
+        h.record(rec(2, 1));
+        h.record(rec(3, 2));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.recorded(), 3);
+        assert_eq!(h.dropped(), 1);
+        assert_eq!(h.max_depth(), 2);
+        let ids: Vec<u64> = h.dump(10).iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, [2, 3]);
+        let ids: Vec<u64> = h.dump(1).iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, [3]);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.recorded(), 0);
+        assert_eq!(h.max_depth(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing_but_counts() {
+        let h = FiringHistory::new(0);
+        h.record(rec(1, 3));
+        assert!(h.is_empty());
+        assert_eq!(h.recorded(), 1);
+        assert_eq!(h.dropped(), 1);
+        // The watermark still tracks what passed through.
+        assert_eq!(h.max_depth(), 3);
+    }
+
+    #[test]
+    fn record_serde_round_trip_and_display() {
+        let r = rec(4, 1);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<FiringRecord>(&json).unwrap(), r);
+        let s = r.to_string();
+        assert!(s.contains("firing#4"));
+        assert!(s.contains("immediate"));
+        assert!(s.contains("committed"));
+        assert!(s.contains("parent=firing#3"));
+        assert_eq!(FiringOutcome::Shed.to_string(), "shed");
+        assert_eq!(FiringCoupling::Detached.to_string(), "detached");
+    }
+}

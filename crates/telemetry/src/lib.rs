@@ -28,6 +28,7 @@
 pub mod export;
 pub mod handle;
 pub mod histogram;
+pub mod history;
 pub mod shard;
 pub mod stage;
 pub mod trace;
@@ -35,6 +36,9 @@ pub mod trace;
 pub use export::{prometheus_shard_text, prometheus_text};
 pub use handle::{BodyKind, Telemetry, TelemetrySnapshot, Timer, TraceMeta};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use history::{
+    FiringCoupling, FiringHistory, FiringId, FiringOutcome, FiringRecord, HistoryMeta,
+};
 pub use shard::{ShardCounters, ShardLoad};
 pub use stage::Stage;
 pub use trace::{RingBufferSink, TraceRecord, TraceSink};

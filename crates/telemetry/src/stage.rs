@@ -10,8 +10,9 @@ use std::fmt;
 /// (crate::Telemetry). Most stages record latencies in nanoseconds; the
 /// exceptions are [`Stage::DetectorDepth`] (occurrences buffered by a
 /// detector after a delivery), [`Stage::WalBatch`] (committed
-/// transactions covered by one group-commit fsync) and
+/// transactions covered by one group-commit fsync),
 /// [`Stage::RecoveryReplay`] (log records replayed by one recovery run)
+/// and [`Stage::LineageRecord`] (cascade depth of a recorded firing)
 /// — see [`Stage::unit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
@@ -58,11 +59,14 @@ pub enum Stage {
     /// A recovery pass replaying committed log records (value = number
     /// of records replayed).
     RecoveryReplay,
+    /// A firing record appended to the firing-history ring (value =
+    /// cascade depth of the recorded firing).
+    LineageRecord,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -84,6 +88,7 @@ impl Stage {
         Stage::WalBatch,
         Stage::DetachedQueueWait,
         Stage::RecoveryReplay,
+        Stage::LineageRecord,
     ];
 
     /// Dense index, for per-stage storage.
@@ -112,6 +117,7 @@ impl Stage {
             Stage::WalBatch => "wal_batch",
             Stage::DetachedQueueWait => "detached_queue_wait",
             Stage::RecoveryReplay => "recovery_replay",
+            Stage::LineageRecord => "lineage_record",
         }
     }
 
@@ -121,6 +127,7 @@ impl Stage {
             Stage::DetectorDepth => "occurrences",
             Stage::WalBatch => "txns",
             Stage::RecoveryReplay => "records",
+            Stage::LineageRecord => "depth",
             _ => "ns",
         }
     }

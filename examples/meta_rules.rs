@@ -14,6 +14,10 @@ use sentinel::prelude::*;
 
 fn main() -> Result<()> {
     let mut db = Database::new();
+    // Flight recorder on: every firing below gets causal lineage, and
+    // the run ends by reconciling the recorded cascades against the
+    // static triggering graph.
+    db.telemetry().set_history(true);
 
     db.define_class(
         ClassDecl::reactive("Reactor")
@@ -105,5 +109,28 @@ fn main() -> Result<()> {
         "overheat still caught: scrams={}",
         db.get_attr(reactor, "scrams")?
     );
+
+    // The flight recorder saw every firing; `firings` per rule must
+    // match the engine's live counters exactly.
+    let firings = db.top_rules("firings")?;
+    println!("{}", firings.render());
+    for row in firings.rows() {
+        let (Value::Str(rule), Value::Int(n)) = (&row[0], &row[1]) else {
+            unreachable!("top_rules schema");
+        };
+        assert_eq!(*n as u64, db.rule_stats(rule)?.condition_evals);
+    }
+    // Both rules trigger straight off user sends here (the tampering
+    // `Disable` is not raised by any action), so every firing is a
+    // cascade root.
+    println!("deepest cascade: {}", db.telemetry().firings().max_depth());
+    assert_eq!(db.telemetry().firings().max_depth(), 0);
+
+    // Static-vs-observed reconciliation: nothing happened at runtime
+    // that the triggering graph cannot explain.
+    let rec = db.reconcile();
+    print!("{}", rec.render());
+    println!("reconcile: {}", rec.summary());
+    assert!(!rec.has_errors(), "unpredicted triggers: {}", rec.render());
     Ok(())
 }

@@ -32,6 +32,12 @@ pub const HELP: &str = r#"commands:
   subscribe-class <Class> <Rule>         class-level monitoring
   enable <Rule> / disable <Rule>
   query <Class> [where <attr> <op> <value>]
+  query <relation> [where <col> <op> <value>]
+        meta relations: rules subscriptions firings cascade_edges graph_edges
+  lineage <firing-id>                    cascade tree around one firing
+  lineage occ <n>                        cascades tied to occurrence n
+  top rules [by firings|latency|aborts]  rule leaderboard
+  reconcile                              static graph vs recorded cascades
   objects <Class>    rules    help    quit
   stats [json]                           counters (json = full snapshot)
   trace on|off|dump [n]                  structured pipeline tracing
@@ -109,8 +115,10 @@ pub fn tokenize(line: &str) -> Vec<String> {
 }
 
 /// Prepare a database for the shell: registers the `print` action rules
-/// can use.
+/// can use and turns on firing-history capture so `lineage`, `query
+/// firings` and `top rules` work out of the box.
 pub fn prepare(db: &mut Database) {
+    db.telemetry().set_history(true);
     // `print` only writes to stdout, so the empty effects declaration is
     // truthful and keeps `analyze` output clean.
     db.register_action_with_effects("print", ActionEffects::none(), |_w, firing| {
@@ -215,6 +223,17 @@ pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
             Ok("disabled".into())
         }
         "query" => cmd_query(db, args),
+        "lineage" => cmd_lineage(db, args),
+        "top" => cmd_top(db, args),
+        "reconcile" => {
+            if !args.is_empty() {
+                return Err(ObjectError::App("reconcile takes no arguments".into()));
+            }
+            let report = db.reconcile();
+            let mut out = report.render();
+            out.push_str(&report.summary());
+            Ok(out)
+        }
         "objects" => {
             let [c] = args else {
                 return Err(ObjectError::App("objects <Class>".into()));
@@ -437,6 +456,9 @@ fn cmd_query(db: &mut Database, args: &[String]) -> Result<String> {
     let class = args
         .first()
         .ok_or_else(|| ObjectError::App("query <Class> [where a op v]".into()))?;
+    if META_RELATIONS.contains(&class.as_str()) {
+        return cmd_query_meta(db, class, args);
+    }
     let mut q = Query::over(class.clone());
     if args.get(1).map(String::as_str) == Some("where") {
         let [_, _, a, op, v] = args else {
@@ -465,6 +487,65 @@ fn cmd_query(db: &mut Database, args: &[String]) -> Result<String> {
             .collect::<Vec<_>>()
             .join(" ")
     ))
+}
+
+/// `query <relation> [where <col> <op> <value>]` over the meta-database.
+fn cmd_query_meta(db: &Database, relation: &str, args: &[String]) -> Result<String> {
+    let rel = db.meta_relation(relation)?;
+    let rel = match args.get(1).map(String::as_str) {
+        None => rel,
+        Some("where") => {
+            let [_, _, col, op, v] = args else {
+                return Err(ObjectError::App(format!(
+                    "query {relation} where <col> <op> <value>"
+                )));
+            };
+            rel.filter(col, CmpOp::parse(op)?, &parse_value(v))?
+        }
+        Some(other) => {
+            return Err(ObjectError::App(format!(
+                "query {relation}: unexpected `{other}` (expected `where`)"
+            )))
+        }
+    };
+    Ok(rel.render())
+}
+
+/// `lineage <firing-id>` / `lineage occ <n>`.
+fn cmd_lineage(db: &Database, args: &[String]) -> Result<String> {
+    match args {
+        [id] => {
+            let id = id
+                .strip_prefix("firing#")
+                .unwrap_or(id)
+                .parse::<u64>()
+                .map_err(|_| ObjectError::App(format!("lineage: bad firing id `{id}`")))?;
+            db.lineage_firing(id)
+        }
+        [kw, n] if kw == "occ" => {
+            let occ = n
+                .parse::<u64>()
+                .map_err(|_| ObjectError::App(format!("lineage: bad occurrence `{n}`")))?;
+            db.lineage_occurrence(occ)
+        }
+        _ => Err(ObjectError::App(
+            "lineage <firing-id> | lineage occ <n>".into(),
+        )),
+    }
+}
+
+/// `top rules [by firings|latency|aborts]`.
+fn cmd_top(db: &Database, args: &[String]) -> Result<String> {
+    let by = match args {
+        [r] if r == "rules" => "firings",
+        [r, b, metric] if r == "rules" && b == "by" => metric.as_str(),
+        _ => {
+            return Err(ObjectError::App(
+                "top rules [by firings|latency|aborts]".into(),
+            ))
+        }
+    };
+    Ok(db.top_rules(by)?.render())
 }
 
 #[cfg(test)]
@@ -627,6 +708,150 @@ mod tests {
         let table = run(&mut db, "analyze");
         assert!(table.contains("no-subscription"), "{table}");
         assert!(table.contains("Orphan"), "{table}");
+    }
+
+    /// Wire a three-level cascade: `Seta` triggers `Watch` (immediate)
+    /// which raises `Setb`, triggering `Audit` (immediate) which raises
+    /// `Setc`, triggering `Archive` (detached). Returns the object.
+    fn cascade_db() -> (Database, String) {
+        let mut db = shell_db();
+        run(&mut db, "class Sensor reactive a:float b:float c:float");
+        let s = run(&mut db, "new Sensor");
+        db.register_action_with_effects(
+            "bump-b",
+            ActionEffects::none()
+                .raising("Sensor", "Setb")
+                .writing("Sensor", "b"),
+            |w, firing| {
+                let o = firing.occurrence.constituents[0].oid;
+                w.send(o, "Setb", &[Value::Float(1.0)])?;
+                Ok(())
+            },
+        );
+        db.register_action_with_effects(
+            "bump-c",
+            ActionEffects::none()
+                .raising("Sensor", "Setc")
+                .writing("Sensor", "c"),
+            |w, firing| {
+                let o = firing.occurrence.constituents[0].oid;
+                w.send(o, "Setc", &[Value::Float(2.0)])?;
+                Ok(())
+            },
+        );
+        let ev = |sig: &str| event(sig).unwrap();
+        db.add_class_rule(
+            "Sensor",
+            RuleDef::on(ev("end Sensor::Seta(float v)"))
+                .named("Watch")
+                .then("bump-b"),
+        )
+        .unwrap();
+        db.add_class_rule(
+            "Sensor",
+            RuleDef::on(ev("end Sensor::Setb(float v)"))
+                .named("Audit")
+                .then("bump-c"),
+        )
+        .unwrap();
+        db.add_class_rule(
+            "Sensor",
+            RuleDef::on(ev("end Sensor::Setc(float v)"))
+                .named("Archive")
+                .then("print")
+                .coupling(CouplingMode::Detached),
+        )
+        .unwrap();
+        run(&mut db, &format!("send {s} Seta 5"));
+        (db, s)
+    }
+
+    #[test]
+    fn lineage_renders_three_level_cascade() {
+        let (mut db, _) = cascade_db();
+        let tree = run(&mut db, "lineage 1");
+        assert!(tree.starts_with("root occurrence"), "{tree}");
+        assert!(
+            tree.contains("firing#1 Watch [immediate] depth=0"),
+            "{tree}"
+        );
+        assert!(
+            tree.contains("  firing#2 Audit [immediate] depth=1"),
+            "{tree}"
+        );
+        assert!(
+            tree.contains("    firing#3 Archive [detached] depth=2"),
+            "{tree}"
+        );
+        assert!(tree.contains("committed"), "{tree}");
+        // Querying a mid-cascade firing climbs to the same root tree
+        // and marks the queried node.
+        let from_leaf = run(&mut db, "lineage firing#3");
+        assert!(from_leaf.contains("firing#1 Watch"), "{from_leaf}");
+        assert!(from_leaf.contains("firing#3 Archive [detached] depth=2 committed"));
+        assert!(from_leaf.contains("<== queried"), "{from_leaf}");
+        // By occurrence: the root occurrence of the cascade.
+        let root_occ = db.telemetry().firings().dump_all()[0].root_occurrence;
+        let by_occ = run(&mut db, &format!("lineage occ {root_occ}"));
+        assert!(by_occ.contains("firing#3 Archive"), "{by_occ}");
+        assert!(run_command(&mut db, "lineage 999").is_err());
+        assert!(run_command(&mut db, "lineage occ banana").is_err());
+    }
+
+    #[test]
+    fn meta_query_command() {
+        let (mut db, _) = cascade_db();
+        let all = run(&mut db, "query firings");
+        assert!(all.contains("(3 rows)"), "{all}");
+        let deep = run(&mut db, "query firings where depth >= 1");
+        assert!(deep.contains("(2 rows)"), "{deep}");
+        let archive = run(&mut db, "query firings where rule = Archive");
+        assert!(archive.contains("detached"), "{archive}");
+        assert!(archive.contains("(1 row)"), "{archive}");
+        let edges = run(&mut db, "query cascade_edges");
+        assert!(edges.contains("(2 rows)"), "{edges}");
+        let rules = run(&mut db, "query rules where coupling = detached");
+        assert!(rules.contains("Archive"), "{rules}");
+        assert!(rules.contains("(1 row)"), "{rules}");
+        let subs = run(&mut db, "query subscriptions");
+        assert!(subs.contains("class"), "{subs}");
+        let graph = run(&mut db, "query graph_edges where definite = true");
+        assert!(graph.contains("Watch"), "{graph}");
+        assert!(run_command(&mut db, "query firings where nope = 1").is_err());
+        assert!(run_command(&mut db, "query firings sideways").is_err());
+    }
+
+    #[test]
+    fn top_rules_matches_live_counters() {
+        let (mut db, s) = cascade_db();
+        run(&mut db, &format!("send {s} Seta 6"));
+        let table = run(&mut db, "top rules");
+        // Every rule's `firings` cell equals its live counter exactly.
+        let mut total = 0;
+        for name in db.rule_names() {
+            let n = db.rule_stats(&name).unwrap().condition_evals;
+            total += n;
+            assert!(
+                table.contains(&format!("{name}  {n}"))
+                    || table
+                        .lines()
+                        .any(|l| l.starts_with(&name) && l.ends_with(&n.to_string())),
+                "{name}={n} missing from:\n{table}"
+            );
+        }
+        assert_eq!(total, db.stats().condition_evals);
+        assert!(run(&mut db, "top rules by latency").contains("total_latency_ns"));
+        assert!(run(&mut db, "top rules by aborts").contains("aborts"));
+        assert!(run_command(&mut db, "top rules by banana").is_err());
+        assert!(run_command(&mut db, "top hats").is_err());
+    }
+
+    #[test]
+    fn reconcile_command_is_clean_on_exercised_cascade() {
+        let (mut db, _) = cascade_db();
+        let out = run(&mut db, "reconcile");
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(run_command(&mut db, "reconcile now").is_err());
     }
 
     #[test]
