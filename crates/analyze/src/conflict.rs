@@ -1,0 +1,419 @@
+//! Compiled conflict matrix — the static analysis, made dispatchable.
+//!
+//! The triggering graph and declared write-sets already answer "which
+//! rules can interfere with which"; this module compiles that answer
+//! into a form the runtime scheduler can consult per firing without
+//! re-running the analyzer:
+//!
+//! * each **eligible** rule (enabled, non-immediate coupling, declared
+//!   effects that raise nothing) is assigned a **conflict component** —
+//!   rules whose declared write-sets may overlap (same attribute on
+//!   subclass-related classes) share a component;
+//! * every other rule is marked serial with the reason, so stats and
+//!   diagnostics can say *why* the fast path was skipped.
+//!
+//! Rules that raise events are excluded even when their raises are
+//! declared: a raise schedules further firings whose relative order the
+//! serial semantics fixes, so running the raiser concurrently would need
+//! cross-group ordering the scheduler does not attempt. Immediate
+//! firings run inside the triggering call stack and are inherently
+//! serial.
+//!
+//! The matrix is a pure function of `(rule set, body registry, schema)`;
+//! [`ConflictMatrix::is_fresh`] checks the same version stamps the
+//! engine's routing index uses, so callers cache the matrix and rebuild
+//! only on rule-set or effects change.
+
+use sentinel_object::ClassRegistry;
+use sentinel_rules::{AttrPattern, CouplingMode, RuleEngine, RuleId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why a rule is confined to the serial execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SerialReason {
+    /// The rule's action has no declared effects — it may write or raise
+    /// anything, so it conflicts with everything.
+    UnknownEffects,
+    /// The action's declared effects include raised events; the firings
+    /// it schedules must observe the serial order.
+    RaisesEvents,
+    /// Immediate coupling executes inside the triggering send.
+    ImmediateCoupling,
+    /// The rule is disabled (it cannot fire at all).
+    Disabled,
+}
+
+impl SerialReason {
+    /// Human-readable label for diagnostics and stats.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SerialReason::UnknownEffects => "effects unknown",
+            SerialReason::RaisesEvents => "raises events",
+            SerialReason::ImmediateCoupling => "immediate coupling",
+            SerialReason::Disabled => "disabled",
+        }
+    }
+}
+
+/// The execution lane the matrix assigns a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Eligible for concurrent execution, in the given conflict
+    /// component. Firings of rules in *different* components never
+    /// interfere; firings within one component are serialized by the
+    /// scheduler (further sharded by target oid).
+    Parallel {
+        /// Dense component id, `0..component_count`.
+        component: u32,
+    },
+    /// Must run on the serial path.
+    Serial(SerialReason),
+}
+
+/// The compiled matrix: per-rule lanes plus the version stamps they were
+/// derived from.
+#[derive(Debug, Clone)]
+pub struct ConflictMatrix {
+    lanes: HashMap<RuleId, Lane>,
+    /// Parallel lanes only, in the shape the engine stamps onto firings.
+    tags: Arc<HashMap<RuleId, u32>>,
+    components: u32,
+    epoch: u64,
+    bodies_version: u64,
+    schema_len: usize,
+}
+
+/// Do two declared write patterns possibly touch the same attribute?
+/// Same attribute name, and the classes subclass-related in either
+/// direction (a write to `Employee.salary` conflicts with a write to
+/// `Manager.salary`). Classes unknown to the registry compare by name.
+fn writes_overlap(registry: &ClassRegistry, a: &AttrPattern, b: &AttrPattern) -> bool {
+    if a.attr != b.attr {
+        return false;
+    }
+    match (registry.id_of(&a.class), registry.id_of(&b.class)) {
+        (Ok(ca), Ok(cb)) => registry.is_subclass(ca, cb) || registry.is_subclass(cb, ca),
+        _ => a.class == b.class,
+    }
+}
+
+/// Path-compressing union-find root lookup.
+fn find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+impl ConflictMatrix {
+    /// Compile the matrix for the engine's current rule set against the
+    /// given schema.
+    pub fn build(registry: &ClassRegistry, engine: &RuleEngine) -> Self {
+        let mut lanes = HashMap::new();
+        // (rule, write-set) of each parallel-eligible rule.
+        let mut eligible: Vec<(RuleId, Vec<AttrPattern>)> = Vec::new();
+        for rule in engine.iter_rules() {
+            let lane = if !rule.enabled {
+                Err(SerialReason::Disabled)
+            } else if rule.def.coupling == CouplingMode::Immediate {
+                Err(SerialReason::ImmediateCoupling)
+            } else {
+                match engine.bodies.action_effects(&rule.def.action) {
+                    None => Err(SerialReason::UnknownEffects),
+                    Some(fx) if !fx.raises.is_empty() => Err(SerialReason::RaisesEvents),
+                    Some(fx) => {
+                        eligible.push((rule.id, fx.writes.clone()));
+                        Ok(())
+                    }
+                }
+            };
+            if let Err(reason) = lane {
+                lanes.insert(rule.id, Lane::Serial(reason));
+            }
+        }
+        // Deterministic component numbering regardless of HashMap order.
+        eligible.sort_by_key(|(id, _)| *id);
+
+        // Union rules whose write-sets may overlap. Rule sets are small
+        // and write-sets smaller; the quadratic sweep is not a cost.
+        let mut parent: Vec<usize> = (0..eligible.len()).collect();
+        for i in 0..eligible.len() {
+            for j in (i + 1)..eligible.len() {
+                let conflicted = eligible[i]
+                    .1
+                    .iter()
+                    .any(|a| eligible[j].1.iter().any(|b| writes_overlap(registry, a, b)));
+                if conflicted {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut component_of_root: HashMap<usize, u32> = HashMap::new();
+        let mut tags = HashMap::new();
+        for (i, (rule_id, _)) in eligible.iter().enumerate() {
+            let root = find(&mut parent, i);
+            let next = component_of_root.len() as u32;
+            let component = *component_of_root.entry(root).or_insert(next);
+            lanes.insert(*rule_id, Lane::Parallel { component });
+            tags.insert(*rule_id, component);
+        }
+
+        ConflictMatrix {
+            lanes,
+            tags: Arc::new(tags),
+            components: component_of_root.len() as u32,
+            epoch: engine.epoch(),
+            bodies_version: engine.bodies.version(),
+            schema_len: registry.len(),
+        }
+    }
+
+    /// Is the matrix still valid for the engine's current rule set,
+    /// body registry, and schema? Mirrors the engine's routing-index
+    /// freshness check.
+    pub fn is_fresh(&self, registry: &ClassRegistry, engine: &RuleEngine) -> bool {
+        self.epoch == engine.epoch()
+            && self.bodies_version == engine.bodies.version()
+            && self.schema_len == registry.len()
+    }
+
+    /// The lane assigned to `rule` (`None` for rules added after the
+    /// matrix was built — treat as serial).
+    pub fn lane(&self, rule: RuleId) -> Option<Lane> {
+        self.lanes.get(&rule).copied()
+    }
+
+    /// The parallel-lane tags in the shape
+    /// [`RuleEngine::set_conflict_tags`] accepts.
+    pub fn tags(&self) -> Arc<HashMap<RuleId, u32>> {
+        Arc::clone(&self.tags)
+    }
+
+    /// Number of distinct conflict components among eligible rules.
+    pub fn component_count(&self) -> u32 {
+        self.components
+    }
+
+    /// Number of rules eligible for the parallel lane.
+    pub fn parallel_rules(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Number of rules confined to the serial path (including disabled
+    /// ones).
+    pub fn serial_rules(&self) -> usize {
+        self.lanes.len() - self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_events::{EventExpr, PrimitiveEventSpec};
+    use sentinel_object::{ClassDecl, ClassRegistry, Oid};
+    use sentinel_rules::{ActionDef, ActionEffects, RuleDef};
+
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(
+            ClassDecl::reactive("Account")
+                .method("Deposit", &[])
+                .method("Audit", &[]),
+        )
+        .unwrap();
+        reg.define(ClassDecl::reactive("Savings").parent("Account"))
+            .unwrap();
+        reg.define(ClassDecl::reactive("Ledger").method("Post", &[]))
+            .unwrap();
+        reg
+    }
+
+    fn deferred_rule(name: &str, class: &str, method: &str, action: &str) -> RuleDef {
+        RuleDef::new(
+            name,
+            EventExpr::primitive(PrimitiveEventSpec::end(class, method)),
+            action,
+        )
+        .coupling(CouplingMode::Deferred)
+    }
+
+    fn engine(_reg: &ClassRegistry) -> RuleEngine {
+        let mut eng = RuleEngine::new();
+        eng.bodies
+            .register_def(
+                ActionDef::new("w-balance")
+                    .writes(("Account", "balance"))
+                    .body(|_, _| Ok(())),
+            )
+            .unwrap();
+        eng.bodies
+            .register_def(
+                ActionDef::new("w-savings-balance")
+                    .writes(("Savings", "balance"))
+                    .body(|_, _| Ok(())),
+            )
+            .unwrap();
+        eng.bodies
+            .register_def(
+                ActionDef::new("w-total")
+                    .writes(("Ledger", "total"))
+                    .body(|_, _| Ok(())),
+            )
+            .unwrap();
+        eng.bodies.register_action("opaque", |_, _| Ok(()));
+        eng.bodies.register_action_with_effects(
+            "raiser",
+            ActionEffects::none().raising("Account", "Audit"),
+            |_, _| Ok(()),
+        );
+        eng
+    }
+
+    #[test]
+    fn overlapping_writes_share_a_component() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        let a = eng
+            .add_rule(
+                deferred_rule("A", "Account", "Deposit", "w-balance"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        // Subclass-related class, same attribute: conflicts with A.
+        let b = eng
+            .add_rule(
+                deferred_rule("B", "Account", "Deposit", "w-savings-balance"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        // Disjoint class/attribute: its own component.
+        let c = eng
+            .add_rule(
+                deferred_rule("C", "Ledger", "Post", "w-total"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert_eq!(m.component_count(), 2);
+        assert_eq!(m.parallel_rules(), 3);
+        let comp = |r| match m.lane(r) {
+            Some(Lane::Parallel { component }) => component,
+            other => panic!("expected parallel lane, got {other:?}"),
+        };
+        assert_eq!(comp(a), comp(b));
+        assert_ne!(comp(a), comp(c));
+    }
+
+    #[test]
+    fn ineligible_rules_get_serial_reasons() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        let imm = eng
+            .add_rule(
+                RuleDef::new(
+                    "Imm",
+                    EventExpr::primitive(PrimitiveEventSpec::end("Account", "Deposit")),
+                    "w-balance",
+                ),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let unk = eng
+            .add_rule(
+                deferred_rule("Unk", "Account", "Deposit", "opaque"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let rai = eng
+            .add_rule(
+                deferred_rule("Rai", "Account", "Deposit", "raiser"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let dis = eng
+            .add_rule(
+                deferred_rule("Dis", "Ledger", "Post", "w-total"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        eng.disable(dis).unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert_eq!(
+            m.lane(imm),
+            Some(Lane::Serial(SerialReason::ImmediateCoupling))
+        );
+        assert_eq!(
+            m.lane(unk),
+            Some(Lane::Serial(SerialReason::UnknownEffects))
+        );
+        assert_eq!(m.lane(rai), Some(Lane::Serial(SerialReason::RaisesEvents)));
+        assert_eq!(m.lane(dis), Some(Lane::Serial(SerialReason::Disabled)));
+        assert_eq!(m.parallel_rules(), 0);
+        assert_eq!(m.serial_rules(), 4);
+    }
+
+    #[test]
+    fn freshness_tracks_rule_set_and_effects_changes() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        eng.add_rule(
+            deferred_rule("A", "Account", "Deposit", "w-balance"),
+            Oid::NIL,
+            &reg,
+        )
+        .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert!(m.is_fresh(&reg, &eng));
+        // Adding a rule bumps the epoch.
+        eng.add_rule(
+            deferred_rule("B", "Ledger", "Post", "w-total"),
+            Oid::NIL,
+            &reg,
+        )
+        .unwrap();
+        assert!(!m.is_fresh(&reg, &eng));
+        // Re-declaring effects bumps the body-registry version.
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert!(m.is_fresh(&reg, &eng));
+        eng.bodies
+            .declare_action_effects("w-total", ActionEffects::none())
+            .unwrap();
+        assert!(!m.is_fresh(&reg, &eng));
+    }
+
+    #[test]
+    fn tags_cover_exactly_the_parallel_rules() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        let a = eng
+            .add_rule(
+                deferred_rule("A", "Account", "Deposit", "w-balance"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let u = eng
+            .add_rule(
+                deferred_rule("U", "Account", "Deposit", "opaque"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        let tags = m.tags();
+        assert!(tags.contains_key(&a));
+        assert!(!tags.contains_key(&u));
+    }
+}

@@ -85,6 +85,10 @@ pub enum DiagCode {
     /// A recorded cascade crossed a rule pair the triggering graph has
     /// no edge for: the static model is missing a real dependency.
     UnpredictedTrigger,
+    /// A rule the conflict matrix marks parallel-eligible whose recorded
+    /// firings all ran on the serial lane: the parallel scheduler was
+    /// never exercised for it, so its parallel behaviour is untested.
+    SerialOnlyRule,
 }
 
 impl DiagCode {
@@ -109,6 +113,7 @@ impl DiagCode {
             DiagCode::ObservedTrigger => "observed-trigger",
             DiagCode::UntestedRulePath => "untested-rule-path",
             DiagCode::UnpredictedTrigger => "unpredicted-trigger",
+            DiagCode::SerialOnlyRule => "serial-only-rule",
         }
     }
 
@@ -132,7 +137,8 @@ impl DiagCode {
             DiagCode::PotentialCycle
             | DiagCode::DeafSubscription
             | DiagCode::UnknownEffects
-            | DiagCode::ObservedTrigger => Severity::Info,
+            | DiagCode::ObservedTrigger
+            | DiagCode::SerialOnlyRule => Severity::Info,
         }
     }
 }

@@ -36,16 +36,20 @@
 //! [`diff_effects`] reports divergence from the declarations.
 
 pub mod analyzer;
+pub mod conflict;
 pub mod diagnostic;
 pub mod effects;
 pub mod graph;
 pub mod reconcile;
 
 pub use analyzer::{AnalysisReport, RuleAnalyzer};
+pub use conflict::{ConflictMatrix, Lane, SerialReason};
 pub use diagnostic::{DiagCode, Diagnostic, Severity};
 pub use effects::{diff_effects, ObservedEffects};
 pub use graph::{GraphEdge, GraphNode, TriggeringGraph};
-pub use reconcile::{reconcile, ObservedEdge, ReconciliationReport};
+pub use reconcile::{
+    reconcile, reconcile_lanes, ObservedEdge, ObservedLanes, ReconciliationReport,
+};
 
 // Re-exported so analyzer consumers can name the contract types without
 // a direct sentinel-rules dependency.

@@ -90,6 +90,13 @@ impl ReconciliationReport {
         s
     }
 
+    /// Fold extra diagnostics (e.g. lane coverage from
+    /// [`reconcile_lanes`]) into the report, keeping the severity sort.
+    pub fn merge_diagnostics(&mut self, extra: Vec<Diagnostic>) {
+        self.diagnostics.extend(extra);
+        self.resort();
+    }
+
     fn resort(&mut self) {
         self.diagnostics.sort_by(|a, b| {
             b.severity
@@ -178,6 +185,55 @@ pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> Reconcil
 
     report.resort();
     report
+}
+
+/// Per-rule lane coverage observed in the firing-history ring: how many
+/// recorded firings of `rule` ran on each execution lane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedLanes {
+    /// The rule the firings belong to.
+    pub rule: String,
+    /// Firings executed inline on the coordinator (serial lane).
+    pub serial: u64,
+    /// Firings executed on the scheduler's worker pool.
+    pub parallel: u64,
+}
+
+/// Diff parallel *eligibility* against the lanes firings actually ran
+/// on.
+///
+/// `parallel_eligible` names the rules the conflict matrix assigns a
+/// parallel lane (see [`ConflictMatrix`](crate::ConflictMatrix)); any
+/// such rule that fired at runtime but only ever on the serial lane
+/// yields a `serial-only-rule` info: the rule is cleared for the worker
+/// pool, yet no workload has exercised its parallel path. Rules with no
+/// recorded firings at all are skipped — untested-rule coverage is the
+/// base [`reconcile`] pass's job.
+pub fn reconcile_lanes(
+    parallel_eligible: &[String],
+    observed: &[ObservedLanes],
+) -> Vec<Diagnostic> {
+    let lanes: BTreeMap<&str, &ObservedLanes> =
+        observed.iter().map(|o| (o.rule.as_str(), o)).collect();
+    let mut out = Vec::new();
+    for rule in parallel_eligible {
+        let Some(o) = lanes.get(rule.as_str()) else {
+            continue;
+        };
+        if o.parallel == 0 && o.serial > 0 {
+            out.push(Diagnostic::new(
+                DiagCode::SerialOnlyRule,
+                Some(rule.clone()),
+                format!(
+                    "rule `{rule}` is parallel-eligible but all {} recorded firing{} ran on \
+                     the serial lane; it was never exercised in parallel",
+                    o.serial,
+                    if o.serial == 1 { "" } else { "s" }
+                ),
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -271,5 +327,50 @@ mod tests {
         let r = reconcile(&graph(), &[edge("A", "B", 2), edge("A", "B", 3)]);
         assert_eq!(r.observed_pairs, 5);
         assert_eq!(r.confirmed_definite, 1);
+    }
+
+    fn lanes(rule: &str, serial: u64, parallel: u64) -> ObservedLanes {
+        ObservedLanes {
+            rule: rule.into(),
+            serial,
+            parallel,
+        }
+    }
+
+    #[test]
+    fn serial_only_eligible_rule_is_an_info() {
+        let eligible = vec!["A".to_string(), "B".to_string()];
+        let diags = reconcile_lanes(
+            &eligible,
+            &[lanes("A", 4, 0), lanes("B", 2, 3), lanes("C", 9, 0)],
+        );
+        // A: eligible, fired, never parallel -> info. B: exercised in
+        // parallel -> silent. C: not eligible -> silent.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::SerialOnlyRule);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert_eq!(diags[0].rule.as_deref(), Some("A"));
+        assert!(diags[0].message.contains("4 recorded firings"));
+    }
+
+    #[test]
+    fn never_fired_eligible_rule_is_skipped() {
+        let eligible = vec!["A".to_string()];
+        assert!(reconcile_lanes(&eligible, &[]).is_empty());
+        assert!(reconcile_lanes(&eligible, &[lanes("A", 0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn lane_diagnostics_merge_into_report_sorted() {
+        let mut r = reconcile(&graph(), &[edge("C", "A", 2)]);
+        assert!(r.has_errors());
+        r.merge_diagnostics(reconcile_lanes(&["A".to_string()], &[lanes("A", 1, 0)]));
+        // Errors still lead; the lane info lands after them.
+        assert_eq!(r.diagnostics.first().unwrap().severity, Severity::Error);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == DiagCode::SerialOnlyRule));
+        assert!(r.render().contains("serial-only-rule"));
     }
 }

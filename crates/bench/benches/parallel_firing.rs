@@ -1,0 +1,182 @@
+//! Parallel deferred-firing throughput: `ExecutionMode::Serial` vs.
+//! `Parallel { workers: 1/2/4 }` on a disjoint-rule workload.
+//!
+//! Each transaction sends `Credit` to every account; the deferred
+//! `Audit` rule fires once per account at commit. All firings share one
+//! conflict-matrix component but target distinct objects, so the
+//! scheduler shards them into per-object groups and fans the groups out
+//! to the worker pool. The action body models I/O-bound rule work (an
+//! external notification, a lookup against a remote service) with a
+//! fixed busy-wait, so the win comes from *overlapping* that latency
+//! across workers — which also makes the bench meaningful on the
+//! single-core CI container, where CPU-bound bodies could never scale.
+//!
+//! A custom harness (not Criterion) so the run can assert the audit
+//! counters reconcile in every mode, compute speedups against Serial,
+//! and record the result in `BENCH_parallel.json` at the repository
+//! root. `--quick` is the CI smoke mode: a short run asserting parity
+//! and that the pool actually engaged; the committed JSON is left
+//! untouched.
+
+use sentinel_db::prelude::*;
+use sentinel_db::Database;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const ACCOUNTS: usize = 16;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const BODY_DELAY: Duration = Duration::from_micros(50);
+
+#[derive(Serialize)]
+struct Scenario {
+    accounts: usize,
+    txns: usize,
+    body_delay_us: u64,
+    worker_counts: Vec<usize>,
+}
+
+#[derive(Serialize)]
+struct Row {
+    mode: String,
+    workers: usize,
+    firings_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    scenario: Scenario,
+    results: Vec<Row>,
+}
+
+fn build(mode: ExecutionMode) -> (Database, Vec<Oid>) {
+    let mut db = Database::with_config(DbConfig::default().execution(mode)).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Acct")
+            .attr("balance", TypeTag::Float)
+            .attr("audits", TypeTag::Int)
+            .event_method("Credit", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Acct", "Credit", "balance").unwrap();
+    db.register(
+        ActionDef::new("audit")
+            .writes(("Acct", "audits"))
+            .body(|w, f| {
+                // Model an I/O-bound body: block the executing thread
+                // for a fixed latency (an external notification, a
+                // lookup against a remote service), then apply the
+                // bookkeeping write. A blocking sleep — not a busy-wait
+                // — so overlapped bodies genuinely release the CPU and
+                // the pool scales even on a single-core runner.
+                std::thread::sleep(BODY_DELAY);
+                let o = f.occurrence.constituents[0].oid;
+                let n = w.get_attr(o, "audits")?.as_int()?;
+                w.set_attr(o, "audits", Value::Int(n + 1))?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Acct",
+        RuleDef::on(event("end Acct::Credit(float x)").unwrap())
+            .named("Audit")
+            .then("audit")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    let accts = (0..ACCOUNTS).map(|_| db.create("Acct").unwrap()).collect();
+    (db, accts)
+}
+
+/// Run `txns` transactions, each raising one deferred firing per
+/// account; returns firings per second and the scheduler stats.
+fn round(mode: ExecutionMode, txns: usize) -> (f64, SchedulerStats) {
+    let (mut db, accts) = build(mode);
+    let t0 = Instant::now();
+    for i in 0..txns {
+        db.begin().unwrap();
+        for &a in &accts {
+            db.send(a, "Credit", &[Value::Float(i as f64)]).unwrap();
+        }
+        db.commit().unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    for &a in &accts {
+        assert_eq!(
+            db.get_attr(a, "audits").unwrap(),
+            Value::Int(txns as i64),
+            "every firing applied exactly once"
+        );
+    }
+    let firings = (txns * ACCOUNTS) as f64;
+    (firings / elapsed, db.scheduler_stats())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    if quick {
+        let txns = 30;
+        let (serial, _) = round(ExecutionMode::Serial, txns);
+        let (par4, stats) = round(ExecutionMode::Parallel { workers: 4 }, txns);
+        println!("parallel_firing --quick ({ACCOUNTS} accounts, {txns} txns)");
+        println!("  Serial:               {serial:>10.0} firings/s");
+        println!("  Parallel{{workers:4}}:  {par4:>10.0} firings/s");
+        assert!(
+            stats.parallel_batches as usize == txns,
+            "every deferred batch should take the pool path: {stats:?}"
+        );
+        assert_eq!(stats.parallel_firings as usize, txns * ACCOUNTS);
+        assert!(
+            par4 >= serial * 0.5,
+            "parallel mode collapsed vs serial: {par4:.0} vs {serial:.0}"
+        );
+        println!("  (--quick: smoke run, BENCH_parallel.json not rewritten)");
+        return;
+    }
+
+    let txns = 300;
+    println!("parallel_firing ({ACCOUNTS} accounts, {txns} txns, {BODY_DELAY:?} body)");
+    let (serial, _) = round(ExecutionMode::Serial, txns);
+    println!("  Serial:              {serial:>10.0} firings/s");
+    let mut results = vec![Row {
+        mode: "Serial".into(),
+        workers: 0,
+        firings_per_sec: serial,
+        speedup_vs_serial: 1.0,
+    }];
+    for &workers in &WORKER_COUNTS {
+        let (rate, stats) = round(ExecutionMode::Parallel { workers }, txns);
+        assert_eq!(stats.parallel_firings as usize, txns * ACCOUNTS);
+        let speedup = rate / serial;
+        println!("  Parallel{{workers:{workers}}}: {rate:>10.0} firings/s | {speedup:>5.2}x");
+        results.push(Row {
+            mode: format!("Parallel {{ workers: {workers} }}"),
+            workers,
+            firings_per_sec: rate,
+            speedup_vs_serial: speedup,
+        });
+    }
+
+    let at4 = results.last().unwrap().speedup_vs_serial;
+    assert!(
+        at4 >= 2.5,
+        "parallel execution must reach 2.5x serial throughput at 4 workers, got {at4:.2}x"
+    );
+
+    let report = Report {
+        bench: "parallel_firing",
+        scenario: Scenario {
+            accounts: ACCOUNTS,
+            txns,
+            body_delay_us: BODY_DELAY.as_micros() as u64,
+            worker_counts: WORKER_COUNTS.to_vec(),
+        },
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("  wrote {path}");
+}

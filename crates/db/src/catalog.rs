@@ -10,7 +10,7 @@
 use crate::database::{meta, Database};
 use sentinel_events::{EventExpr, ParamContext};
 use sentinel_object::{ObjectError, Oid, Result, Value};
-use sentinel_rules::{ActionEffects, CouplingMode, Firing, RuleDef, RuleStats};
+use sentinel_rules::{CouplingMode, Firing, RuleDef, RuleStats};
 use serde::{Deserialize, Serialize};
 
 /// A named first-class event object.
@@ -315,14 +315,12 @@ impl Database {
         // The callback only sees the firing, never the world, so the
         // empty effects declaration is sound — and keeps observers from
         // showing up as unknown-effects in `analyze`.
-        self.register_action_with_effects(
-            &action_name,
-            ActionEffects::none(),
+        self.register(sentinel_rules::ActionDef::new(&action_name).pure().body(
             move |_w, firing| {
                 callback(firing);
                 Ok(())
             },
-        );
+        ))?;
         self.add_rule(RuleDef::new(name, expr, action_name))
     }
 }

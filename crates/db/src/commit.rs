@@ -18,7 +18,7 @@ use crate::stats::SharedDbStats;
 use sentinel_object::{ObjectError, ObjectStore, Result};
 use sentinel_rules::{BackpressurePolicy, ReadyFiring};
 use sentinel_storage::{BatchAck, LogRecord, Snapshot, TxnId, TxnManager, UndoOp, Wal, WriteBatch};
-use sentinel_telemetry::{BodyKind, FiringId, FiringOutcome, FiringRecord, Stage, Timer};
+use sentinel_telemetry::{BodyKind, ExecutionLane, FiringId, FiringOutcome, FiringRecord, Stage};
 
 /// The layered write path of one database: transaction ids, the WAL,
 /// and the active transaction's staged [`WriteBatch`].
@@ -162,6 +162,10 @@ impl Database {
         self.pipeline.begin()?;
         self.txn_start_clock = self.clock.now();
         self.engine.begin_capture();
+        // Keep the conflict matrix (and the tags the engine stamps onto
+        // firings) current before any occurrence of this transaction is
+        // scheduled.
+        self.refresh_conflict_matrix();
         Ok(())
     }
 
@@ -246,10 +250,20 @@ impl Database {
                 self.rollback();
                 return Err(e);
             }
-            for f in &batch {
-                if let Err(e) = self.execute_firing(f) {
-                    self.rollback();
-                    return Err(e);
+            match self.plan_batch(batch) {
+                crate::scheduler::Plan::Serial(batch) => {
+                    for f in &batch {
+                        if let Err(e) = self.execute_firing(f) {
+                            self.rollback();
+                            return Err(e);
+                        }
+                    }
+                }
+                crate::scheduler::Plan::Parallel(groups) => {
+                    if let Err(e) = self.run_deferred_parallel(groups) {
+                        self.rollback();
+                        return Err(e);
+                    }
                 }
             }
         }
@@ -304,19 +318,33 @@ impl Database {
     }
 
     fn run_detached_batch(&mut self, batch: Vec<ReadyFiring>) -> Result<()> {
-        for f in batch {
-            SharedDbStats::bump(&self.stats.detached_runs);
-            self.telemetry
-                .hit(Stage::DetachedRun, self.clock.now(), || {
-                    f.firing.rule_name.to_string()
-                });
-            self.pipeline.begin()?;
-            match self.execute_firing(&f) {
-                Ok(()) => self.commit_internal()?,
-                Err(_) => self.rollback(),
+        match self.plan_batch(batch) {
+            crate::scheduler::Plan::Serial(batch) => {
+                for f in batch {
+                    self.run_detached_serial(&f)?;
+                }
+                Ok(())
+            }
+            crate::scheduler::Plan::Parallel(groups) => self.run_detached_parallel(groups),
+        }
+    }
+
+    /// One detached firing in its own transaction: an abort in it does
+    /// not affect its siblings.
+    pub(crate) fn run_detached_serial(&mut self, f: &ReadyFiring) -> Result<()> {
+        SharedDbStats::bump(&self.stats.detached_runs);
+        self.telemetry
+            .hit(Stage::DetachedRun, self.clock.now(), || {
+                f.firing.rule_name.to_string()
+            });
+        self.pipeline.begin()?;
+        match self.execute_firing(f) {
+            Ok(()) => self.commit_internal(),
+            Err(_) => {
+                self.rollback();
+                Ok(())
             }
         }
-        Ok(())
     }
 
     /// Evaluate a triggered rule's condition and, if it holds, run its
@@ -336,11 +364,18 @@ impl Database {
         self.lineage_stack.push(f.firing.lineage);
         let out = self.execute_firing_body(f);
         self.lineage_stack.pop();
-        self.stage_firing_record(f, firing_timer, out.is_ok());
+        let ns = firing_timer.elapsed_ns().unwrap_or(0);
+        self.stage_firing_record(f, ns, out.is_ok(), ExecutionLane::Serial);
         out
     }
 
-    fn stage_firing_record(&mut self, f: &ReadyFiring, timer: Timer, ok: bool) {
+    pub(crate) fn stage_firing_record(
+        &mut self,
+        f: &ReadyFiring,
+        latency_ns: u64,
+        ok: bool,
+        lane: ExecutionLane,
+    ) {
         let lin = f.firing.lineage;
         let target = f
             .firing
@@ -357,12 +392,13 @@ impl Database {
             root_occurrence: lin.root,
             occurrence: f.firing.occurrence.end,
             depth: lin.depth,
-            latency_ns: timer.elapsed_ns().unwrap_or(0),
+            latency_ns,
             outcome: if ok {
                 FiringOutcome::Committed
             } else {
                 FiringOutcome::Aborted
             },
+            lane,
         });
     }
 

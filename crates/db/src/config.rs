@@ -5,6 +5,33 @@ use sentinel_rules::BackpressurePolicy;
 use sentinel_storage::SyncPolicy;
 use std::path::PathBuf;
 
+/// How deferred and detached firings execute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Every firing runs on the committing (or draining) thread, in
+    /// conflict-resolver order. The paper's semantics, and the default.
+    #[default]
+    Serial,
+    /// Provably independent firings run concurrently on a worker pool;
+    /// everything else (undeclared effects, raising actions, immediate
+    /// coupling) falls back to the serial path. Observable semantics
+    /// match `Serial` — see `DESIGN.md` §16 for the argument.
+    Parallel {
+        /// Worker threads in the pool (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Worker count: 0 for the serial mode.
+    pub fn workers(&self) -> usize {
+        match self {
+            ExecutionMode::Serial => 0,
+            ExecutionMode::Parallel { workers } => (*workers).max(1),
+        }
+    }
+}
+
 /// Tunables of a [`Database`](crate::Database).
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -46,6 +73,9 @@ pub struct DbConfig {
     /// `Shed` drops the newest firing and counts it in
     /// `EngineStats::detached_shed`.
     pub detached_policy: BackpressurePolicy,
+    /// How deferred/detached firings execute: serially (default) or on
+    /// a conflict-aware worker pool.
+    pub execution: ExecutionMode,
 }
 
 impl Default for DbConfig {
@@ -62,6 +92,7 @@ impl Default for DbConfig {
             history_capacity: 4096,
             detached_cap: 4096,
             detached_policy: BackpressurePolicy::Block,
+            execution: ExecutionMode::Serial,
         }
     }
 }
@@ -134,6 +165,12 @@ impl DbConfig {
         self
     }
 
+    /// Override the execution mode for deferred/detached firings.
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
+        self
+    }
+
     /// Path of the write-ahead log, if durable.
     pub fn wal_path(&self) -> Option<PathBuf> {
         self.data_dir.as_ref().map(|d| d.join("wal.log"))
@@ -155,6 +192,17 @@ mod tests {
         assert!(c.data_dir.is_none());
         assert!(c.wal_path().is_none());
         assert_eq!(c.max_cascade_depth, 64);
+    }
+
+    #[test]
+    fn execution_mode_builder() {
+        let c = DbConfig::in_memory().execution(ExecutionMode::Parallel { workers: 4 });
+        assert_eq!(c.execution, ExecutionMode::Parallel { workers: 4 });
+        assert_eq!(c.execution.workers(), 4);
+        assert_eq!(ExecutionMode::Serial.workers(), 0);
+        // Zero workers would deadlock the pool; clamp to one.
+        assert_eq!(ExecutionMode::Parallel { workers: 0 }.workers(), 1);
+        assert_eq!(DbConfig::default().execution, ExecutionMode::Serial);
     }
 
     #[test]

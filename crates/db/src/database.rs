@@ -20,7 +20,9 @@ use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
 };
-use sentinel_rules::{ActionEffects, ConflictResolver, EngineStats, Firing, Lineage, RuleEngine};
+use sentinel_rules::{
+    ActionDef, ActionEffects, ConflictResolver, EngineStats, Firing, Lineage, RuleEngine,
+};
 use sentinel_storage::{LogRecord, UndoOp, Wal};
 use sentinel_telemetry::{FiringRecord, Stage, Telemetry};
 use std::collections::{BTreeMap, HashMap};
@@ -123,6 +125,9 @@ pub struct Database {
     /// their fate is known: flushed with outcome `Committed` when the
     /// transaction commits, `Aborted` when it rolls back.
     pub(crate) pending_firings: Vec<FiringRecord>,
+    /// The conflict-aware worker pool (plus its cached conflict matrix
+    /// and counters); `None` under [`ExecutionMode::Serial`](crate::ExecutionMode::Serial).
+    pub(crate) scheduler: Option<crate::scheduler::Scheduler>,
 }
 
 /// Observed effects per action name, plus the stack of actions currently
@@ -202,12 +207,23 @@ impl Database {
         engine.set_detector_caps(config.detector_caps);
         engine.set_detached_queue(config.detached_cap, config.detached_policy);
         engine.set_telemetry(telemetry.clone());
+        let store = Arc::new(store);
+        let clock = Arc::new(LogicalClock::new());
+        let scheduler = match config.execution.workers() {
+            0 => None,
+            n => Some(crate::scheduler::Scheduler::new(
+                n,
+                Arc::clone(&store),
+                Arc::clone(&clock),
+                Arc::clone(&telemetry),
+            )),
+        };
         Ok(Database {
             published_registry: Arc::new(RwLock::new(registry.clone())),
             registry,
-            store: Arc::new(store),
+            store,
             methods: MethodTable::new(),
-            clock: Arc::new(LogicalClock::new()),
+            clock,
             engine,
             pipeline: CommitPipeline::new(wal),
             config,
@@ -225,6 +241,7 @@ impl Database {
             effect_recorder: None,
             lineage_stack: Vec::new(),
             pending_firings: Vec::new(),
+            scheduler,
         })
     }
 
@@ -368,12 +385,31 @@ impl Database {
         self.engine.bodies.register_action(name, f);
     }
 
+    /// Register an action from its [`ActionDef`] — the declarative
+    /// builder that mirrors `RuleDef`: body, declared writes, declared
+    /// raises, all in one value.
+    ///
+    /// ```ignore
+    /// db.register(
+    ///     ActionDef::new("credit")
+    ///         .writes(("Account", "balance"))
+    ///         .body(|w, firing| { /* ... */ Ok(()) }),
+    /// )?;
+    /// ```
+    ///
+    /// Declared effects are the contract both the static analyzer
+    /// ([`analyze`](Self::analyze)) and the parallel scheduler build on:
+    /// an action with no declaration is conservatively treated as able
+    /// to write and raise anything (and its rules stay on the serial
+    /// execution path). A bodyless `ActionDef` re-declares the effects
+    /// of an already-registered action.
+    pub fn register(&mut self, action: ActionDef) -> Result<()> {
+        self.engine.bodies.register_def(action)
+    }
+
     /// Register a named rule-action body together with its declared
-    /// effects — the events it may raise and the attributes it may
-    /// write. Declared effects are the contract the static analyzer
-    /// ([`analyze`](Self::analyze)) builds the triggering graph from; an
-    /// action registered without them is conservatively treated as able
-    /// to raise anything.
+    /// effects.
+    #[deprecated(note = "build an `ActionDef` and pass it to `Database::register`")]
     pub fn register_action_with_effects<F>(&mut self, name: &str, effects: ActionEffects, f: F)
     where
         F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
@@ -384,6 +420,7 @@ impl Database {
     }
 
     /// Declare (or replace) the effects of an already-registered action.
+    #[deprecated(note = "pass a bodyless `ActionDef` to `Database::register`")]
     pub fn declare_action_effects(&mut self, name: &str, effects: ActionEffects) -> Result<()> {
         self.engine.bodies.declare_action_effects(name, effects)
     }
@@ -855,6 +892,14 @@ impl Database {
     /// Engine counters.
     pub fn engine_stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Counters of the parallel firing scheduler: batches and conflict
+    /// groups formed, firings merged from workers, serial fallbacks and
+    /// re-runs, matrix rebuilds. All zero under
+    /// [`ExecutionMode::Serial`](crate::ExecutionMode::Serial).
+    pub fn scheduler_stats(&self) -> crate::SchedulerStats {
+        self.scheduler.as_ref().map(|s| s.stats).unwrap_or_default()
     }
 
     /// Zero all counters (benchmark warm-up). Also clears telemetry

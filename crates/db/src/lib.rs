@@ -33,41 +33,46 @@ pub mod dsl;
 pub mod index;
 pub mod meta;
 pub mod query;
+pub mod scheduler;
 pub mod session;
 pub mod stats;
 pub mod typed;
 pub(crate) mod undo;
 
 pub use catalog::{CatalogSnapshot, EventRecord, MetaOp, RuleRecord};
-pub use config::DbConfig;
+pub use config::{DbConfig, ExecutionMode};
 pub use database::{Database, Target};
 pub use dsl::event;
 pub use index::{AttrIndex, IndexId};
 pub use meta::{CmpOp, Relation, META_RELATIONS};
 pub use query::{attr, ObjectView, Predicate, Query};
+pub use scheduler::SchedulerStats;
 pub use session::{Sentinel, Session};
 pub use stats::{DbStats, FullStats};
 pub use typed::{FieldValue, NativeClass};
 
 pub use sentinel_analyze::{
-    AnalysisReport, DiagCode, Diagnostic, ObservedEdge, ObservedEffects, ReconciliationReport,
-    RuleAnalyzer, Severity,
+    AnalysisReport, ConflictMatrix, DiagCode, Diagnostic, Lane, ObservedEdge, ObservedEffects,
+    ReconciliationReport, RuleAnalyzer, SerialReason, Severity,
 };
-pub use sentinel_rules::{ActionEffects, AttrPattern, BackpressurePolicy, EventPattern};
+pub use sentinel_rules::{ActionDef, ActionEffects, AttrPattern, BackpressurePolicy, EventPattern};
 pub use sentinel_storage::BatchAck;
+pub use sentinel_telemetry::ExecutionLane;
 
 /// Everything an application typically needs, re-exported flat.
 pub mod prelude {
-    pub use crate::config::DbConfig;
+    pub use crate::config::{DbConfig, ExecutionMode};
     pub use crate::database::{Database, Target};
     pub use crate::dsl::event;
     pub use crate::meta::{CmpOp, Relation, META_RELATIONS};
     pub use crate::query::{attr, ObjectView, Predicate, Query};
+    pub use crate::scheduler::SchedulerStats;
     pub use crate::session::{Sentinel, Session};
     pub use crate::stats::{DbStats, FullStats};
     pub use crate::typed::{FieldValue, NativeClass};
     pub use sentinel_analyze::{
-        AnalysisReport, DiagCode, Diagnostic, ObservedEdge, ReconciliationReport, Severity,
+        AnalysisReport, ConflictMatrix, DiagCode, Diagnostic, Lane, ObservedEdge,
+        ReconciliationReport, SerialReason, Severity,
     };
     pub use sentinel_events::{
         CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
@@ -78,12 +83,12 @@ pub mod prelude {
         TypeTag, Value, Visibility, World,
     };
     pub use sentinel_rules::{
-        ActionEffects, AttrPattern, BackpressurePolicy, CouplingMode, EventPattern, Firing,
-        RuleBuilder, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
+        ActionDef, ActionEffects, AttrPattern, BackpressurePolicy, CouplingMode, EventPattern,
+        Firing, RuleBuilder, RuleDef, RuleId, RuleStats, ACTION_ABORT, ACTION_NOOP, COND_TRUE,
     };
     pub use sentinel_storage::{BatchAck, SyncPolicy};
     pub use sentinel_telemetry::{
-        prometheus_text, FiringCoupling, FiringId, FiringOutcome, FiringRecord, Stage, Telemetry,
-        TelemetrySnapshot, TraceRecord,
+        prometheus_text, ExecutionLane, FiringCoupling, FiringId, FiringOutcome, FiringRecord,
+        Stage, Telemetry, TelemetrySnapshot, TraceRecord,
     };
 }

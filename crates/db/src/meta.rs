@@ -19,9 +19,9 @@
 //! | `graph_edges`   | static triggering-graph edge (definite or not)   |
 
 use crate::database::Database;
-use sentinel_analyze::{ObservedEdge, ReconciliationReport};
+use sentinel_analyze::{ConflictMatrix, Lane, ObservedEdge, ObservedLanes, ReconciliationReport};
 use sentinel_object::{ObjectError, Oid, Result, Value};
-use sentinel_telemetry::{FiringOutcome, FiringRecord};
+use sentinel_telemetry::{ExecutionLane, FiringOutcome, FiringRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -398,7 +398,7 @@ impl Database {
 
     /// The `firings` relation, projected from the firing-history ring
     /// (oldest first). Columns: `firing, rule, target, coupling,
-    /// parent, root_occ, occ, depth, latency_ns, outcome`.
+    /// parent, root_occ, occ, depth, latency_ns, outcome, lane`.
     pub fn meta_firings(&self) -> Relation {
         let mut rel = Relation::new(
             "firings",
@@ -413,6 +413,7 @@ impl Database {
                 "depth",
                 "latency_ns",
                 "outcome",
+                "lane",
             ],
         );
         for r in self.telemetry.firings().dump_all() {
@@ -427,6 +428,7 @@ impl Database {
                 Value::Int(r.depth.into()),
                 Value::Int(r.latency_ns as i64),
                 Value::Str(r.outcome.as_str().into()),
+                Value::Str(r.lane.as_str().into()),
             ]);
         }
         rel
@@ -590,9 +592,50 @@ impl Database {
 
     /// Diff the static triggering graph against the cascades actually
     /// recorded in the firing-history ring (see
-    /// [`sentinel_analyze::reconcile`]).
+    /// [`sentinel_analyze::reconcile`]), then fold in lane coverage:
+    /// a `serial-only-rule` info for every parallel-eligible rule whose
+    /// recorded firings never left the serial lane.
     pub fn reconcile(&self) -> ReconciliationReport {
-        sentinel_analyze::reconcile(&self.analyze().graph, &self.observed_cascade_edges())
+        let mut report =
+            sentinel_analyze::reconcile(&self.analyze().graph, &self.observed_cascade_edges());
+        report.merge_diagnostics(sentinel_analyze::reconcile_lanes(
+            &self.parallel_eligible_rules(),
+            &self.observed_lanes(),
+        ));
+        report
+    }
+
+    /// Names of the rules the conflict matrix currently clears for the
+    /// worker pool, sorted.
+    pub fn parallel_eligible_rules(&self) -> Vec<String> {
+        let matrix = ConflictMatrix::build(&self.registry, &self.engine);
+        let mut names: Vec<String> = self
+            .engine
+            .iter_rules()
+            .filter(|r| matches!(matrix.lane(r.id), Some(Lane::Parallel { .. })))
+            .map(|r| r.name.to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Per-rule lane counts aggregated from the firing-history ring.
+    pub fn observed_lanes(&self) -> Vec<ObservedLanes> {
+        let mut acc: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for r in self.telemetry.firings().dump_all() {
+            let e = acc.entry(r.rule.clone()).or_insert((0, 0));
+            match r.lane {
+                ExecutionLane::Serial => e.0 += 1,
+                ExecutionLane::Parallel => e.1 += 1,
+            }
+        }
+        acc.into_iter()
+            .map(|(rule, (serial, parallel))| ObservedLanes {
+                rule,
+                serial,
+                parallel,
+            })
+            .collect()
     }
 
     /// Render the ancestor/descendant tree around firing `id`: climbs

@@ -193,6 +193,13 @@ impl Sentinel {
         self.with(|db| db.analyze())
     }
 
+    /// Counters of the parallel firing scheduler (see
+    /// [`Database::scheduler_stats`]); all zero under
+    /// [`ExecutionMode::Serial`](crate::ExecutionMode::Serial).
+    pub fn scheduler_stats(&self) -> crate::SchedulerStats {
+        self.with(|db| db.scheduler_stats())
+    }
+
     /// Fail on any error-severity analysis finding (see
     /// [`Database::analyze_gate`]).
     pub fn analyze_gate(&self) -> Result<()> {

@@ -252,10 +252,29 @@ impl RuleBodyRegistry {
     ) where
         F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
     {
+        self.install_action(name.into(), Some(effects), Arc::new(f));
+    }
+
+    /// Install an already-boxed action body, with effects declared when
+    /// `effects` is `Some` and dropped to "unknown" otherwise. The shared
+    /// back end of [`register_action_with_effects`](Self::register_action_with_effects)
+    /// and [`register_def`](Self::register_def).
+    pub(crate) fn install_action(
+        &mut self,
+        name: String,
+        effects: Option<ActionEffects>,
+        body: ActionFn,
+    ) {
         self.version += 1;
-        let name = name.into();
-        self.effects.insert(name.clone(), effects);
-        self.actions.insert(name, Arc::new(f));
+        match effects {
+            Some(fx) => {
+                self.effects.insert(name.clone(), fx);
+            }
+            None => {
+                self.effects.remove(&name);
+            }
+        }
+        self.actions.insert(name, body);
     }
 
     /// Declare (or replace) the effects of an already-registered action.
@@ -267,13 +286,21 @@ impl RuleBodyRegistry {
         name: impl Into<String>,
         effects: ActionEffects,
     ) -> Result<()> {
-        let name = name.into();
+        self.declare_effects_internal(name.into(), effects)
+    }
+
+    pub(crate) fn declare_effects_internal(
+        &mut self,
+        name: String,
+        effects: ActionEffects,
+    ) -> Result<()> {
         if !self.actions.contains_key(&name) {
             return Err(ObjectError::BodyNotRegistered {
                 kind: "action",
                 name,
             });
         }
+        self.version += 1;
         self.effects.insert(name, effects);
         Ok(())
     }

@@ -79,6 +79,7 @@ mod tests {
                 },
                 lineage: Default::default(),
             },
+            group: None,
         }
     }
 

@@ -37,6 +37,11 @@ pub struct ReadyFiring {
     pub action: ActionFn,
     /// What triggered and with which occurrence.
     pub firing: Firing,
+    /// Conflict-group component the rule belonged to when the firing was
+    /// scheduled (stamped from the engine's conflict tags, if any).
+    /// `None` means "not known to be parallel-safe" — the scheduler runs
+    /// such firings on the serial path.
+    pub group: Option<u32>,
 }
 
 impl std::fmt::Debug for ReadyFiring {
@@ -45,6 +50,7 @@ impl std::fmt::Debug for ReadyFiring {
             .field("rule", &self.firing.rule)
             .field("name", &self.firing.rule_name)
             .field("priority", &self.priority)
+            .field("group", &self.group)
             .finish()
     }
 }
@@ -235,6 +241,10 @@ pub struct RuleEngine {
     /// database facade around each raise while firing history is
     /// enabled; `None` means occurrences start fresh cascades.
     lineage_ctx: Option<(u64, u64, u32)>,
+    /// Conflict-group tag per rule, installed by the scheduler after it
+    /// compiles a conflict matrix. Rules absent from the map are not
+    /// known to be parallel-safe; their firings carry `group: None`.
+    conflict_tags: Option<Arc<HashMap<RuleId, u32>>>,
 }
 
 impl std::fmt::Debug for RuleEngine {
@@ -278,7 +288,23 @@ impl RuleEngine {
             capture: None,
             telemetry: None,
             lineage_ctx: None,
+            conflict_tags: None,
         }
+    }
+
+    /// Install (or clear) the conflict-group tags stamped onto firings
+    /// scheduled from now on. Compiled by the scheduler from the static
+    /// analysis; keyed by rule id, valued with the rule's conflict
+    /// component.
+    pub fn set_conflict_tags(&mut self, tags: Option<Arc<HashMap<RuleId, u32>>>) {
+        self.conflict_tags = tags;
+    }
+
+    /// The engine epoch: bumped on every rule add/remove/enable/disable.
+    /// External caches keyed on the rule set (routing index, conflict
+    /// matrix) use it as their validity stamp.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Set (or clear) the causal context stamped onto firings scheduled
@@ -666,6 +692,10 @@ impl RuleEngine {
                         occurrence,
                         lineage,
                     },
+                    group: self
+                        .conflict_tags
+                        .as_ref()
+                        .and_then(|t| t.get(&rid).copied()),
                 };
                 let stage = match rule.def.coupling {
                     CouplingMode::Immediate => {
@@ -702,6 +732,7 @@ impl RuleEngine {
                                     depth: lin.depth,
                                     latency_ns: 0,
                                     outcome: FiringOutcome::Shed,
+                                    lane: Default::default(),
                                 });
                             }
                             None

@@ -577,6 +577,7 @@ mod tests {
                 depth: i as u32 - 1,
                 latency_ns: 5,
                 outcome: FiringOutcome::Committed,
+                lane: Default::default(),
             });
         }
         // History records regardless of the counters flag; the stage

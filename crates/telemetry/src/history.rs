@@ -70,6 +70,35 @@ impl fmt::Display for FiringCoupling {
     }
 }
 
+/// Which execution lane actually ran a recorded firing: the default
+/// serial path, or a scheduler worker inside a parallel conflict group.
+/// Reconciliation uses this to report rules whose parallel eligibility
+/// was never exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionLane {
+    /// Ran on the serial path (including serial fallbacks and re-runs).
+    #[default]
+    Serial,
+    /// Ran on a scheduler worker as part of a parallel conflict group.
+    Parallel,
+}
+
+impl ExecutionLane {
+    /// Stable lowercase name, used as a label in exports and meta rows.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ExecutionLane::Serial => "serial",
+            ExecutionLane::Parallel => "parallel",
+        }
+    }
+}
+
+impl fmt::Display for ExecutionLane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// How a firing ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FiringOutcome {
@@ -126,6 +155,9 @@ pub struct FiringRecord {
     pub latency_ns: u64,
     /// How the firing ended.
     pub outcome: FiringOutcome,
+    /// The execution lane that ran the firing (serial unless a
+    /// scheduler worker executed it).
+    pub lane: ExecutionLane,
 }
 
 impl fmt::Display for FiringRecord {
@@ -286,6 +318,7 @@ mod tests {
             depth,
             latency_ns: 10 * id,
             outcome: FiringOutcome::Committed,
+            lane: ExecutionLane::default(),
         }
     }
 

@@ -37,7 +37,8 @@ pub use export::{prometheus_shard_text, prometheus_text};
 pub use handle::{BodyKind, Telemetry, TelemetrySnapshot, Timer, TraceMeta};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use history::{
-    FiringCoupling, FiringHistory, FiringId, FiringOutcome, FiringRecord, HistoryMeta,
+    ExecutionLane, FiringCoupling, FiringHistory, FiringId, FiringOutcome, FiringRecord,
+    HistoryMeta,
 };
 pub use shard::{ShardCounters, ShardLoad};
 pub use stage::Stage;

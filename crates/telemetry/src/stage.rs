@@ -11,8 +11,9 @@ use std::fmt;
 /// exceptions are [`Stage::DetectorDepth`] (occurrences buffered by a
 /// detector after a delivery), [`Stage::WalBatch`] (committed
 /// transactions covered by one group-commit fsync),
-/// [`Stage::RecoveryReplay`] (log records replayed by one recovery run)
-/// and [`Stage::LineageRecord`] (cascade depth of a recorded firing)
+/// [`Stage::RecoveryReplay`] (log records replayed by one recovery run),
+/// [`Stage::LineageRecord`] (cascade depth of a recorded firing) and
+/// [`Stage::SchedulerGroup`] (firings per dispatched conflict group)
 /// — see [`Stage::unit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Stage {
@@ -62,11 +63,17 @@ pub enum Stage {
     /// A firing record appended to the firing-history ring (value =
     /// cascade depth of the recorded firing).
     LineageRecord,
+    /// Time the committing thread spent waiting for the scheduler's
+    /// workers to finish a parallel batch.
+    SchedulerWait,
+    /// A conflict group dispatched to the worker pool (value = number
+    /// of firings in the group — a group-size distribution).
+    SchedulerGroup,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -89,6 +96,8 @@ impl Stage {
         Stage::DetachedQueueWait,
         Stage::RecoveryReplay,
         Stage::LineageRecord,
+        Stage::SchedulerWait,
+        Stage::SchedulerGroup,
     ];
 
     /// Dense index, for per-stage storage.
@@ -118,6 +127,8 @@ impl Stage {
             Stage::DetachedQueueWait => "detached_queue_wait",
             Stage::RecoveryReplay => "recovery_replay",
             Stage::LineageRecord => "lineage_record",
+            Stage::SchedulerWait => "scheduler_wait",
+            Stage::SchedulerGroup => "scheduler_group",
         }
     }
 
@@ -128,6 +139,7 @@ impl Stage {
             Stage::WalBatch => "txns",
             Stage::RecoveryReplay => "records",
             Stage::LineageRecord => "depth",
+            Stage::SchedulerGroup => "firings",
             _ => "ns",
         }
     }

@@ -50,36 +50,38 @@ fn bodies(db: &mut Database) {
     });
     // Both actions declare their effects so the static analyzer can
     // prove neither re-raises events (the rule set terminates).
-    db.register_action_with_effects(
-        "mark-suspicious",
-        ActionEffects::none().writing("Account", "suspicious"),
-        |w, firing| {
-            let acct = firing
-                .occurrence
-                .constituent_for_method("Withdraw")
-                .unwrap()
-                .oid;
-            w.set_attr(acct, "suspicious", Value::Bool(true))
-        },
-    );
+    db.register(
+        ActionDef::new("mark-suspicious")
+            .writes(("Account", "suspicious"))
+            .body(|w, firing| {
+                let acct = firing
+                    .occurrence
+                    .constituent_for_method("Withdraw")
+                    .unwrap()
+                    .oid;
+                w.set_attr(acct, "suspicious", Value::Bool(true))
+            }),
+    )
+    .unwrap();
     // Detached audit trail: runs in its own transaction after commit.
-    db.register_action_with_effects(
-        "audit",
-        ActionEffects::none().writing("AuditLog", "entries"),
-        |w, firing| {
-            let log = w.extent("AuditLog")?[0];
-            let occ = firing.occurrence.constituents.last().unwrap();
-            let mut entries = w.get_attr(log, "entries")?.as_list()?.to_vec();
-            entries.push(Value::Str(format!(
-                "t={} {} {}({})",
-                occ.at,
-                occ.oid,
-                occ.method,
-                occ.params.first().cloned().unwrap_or(Value::Null)
-            )));
-            w.set_attr(log, "entries", Value::List(entries))
-        },
-    );
+    db.register(
+        ActionDef::new("audit")
+            .writes(("AuditLog", "entries"))
+            .body(|w, firing| {
+                let log = w.extent("AuditLog")?[0];
+                let occ = firing.occurrence.constituents.last().unwrap();
+                let mut entries = w.get_attr(log, "entries")?.as_list()?.to_vec();
+                entries.push(Value::Str(format!(
+                    "t={} {} {}({})",
+                    occ.at,
+                    occ.oid,
+                    occ.method,
+                    occ.params.first().cloned().unwrap_or(Value::Null)
+                )));
+                w.set_attr(log, "entries", Value::List(entries))
+            }),
+    )
+    .unwrap();
 }
 
 fn rules(db: &mut Database) -> Result<()> {

@@ -35,18 +35,17 @@ fn main() -> Result<()> {
             .as_float()?
             > 1000.0)
     });
-    db.register_action_with_effects(
-        "scram",
-        ActionEffects::none()
-            .writing("Reactor", "scrams")
-            .writing("Reactor", "temperature"),
-        |w, firing| {
-            let reactor = firing.occurrence.constituents[0].oid;
-            let n = w.get_attr(reactor, "scrams")?.as_int()?;
-            w.set_attr(reactor, "scrams", Value::Int(n + 1))?;
-            w.set_attr(reactor, "temperature", Value::Float(300.0))
-        },
-    );
+    db.register(
+        ActionDef::new("scram")
+            .writes(("Reactor", "scrams"))
+            .writes(("Reactor", "temperature"))
+            .body(|w, firing| {
+                let reactor = firing.occurrence.constituents[0].oid;
+                let n = w.get_attr(reactor, "scrams")?.as_int()?;
+                w.set_attr(reactor, "scrams", Value::Int(n + 1))?;
+                w.set_attr(reactor, "temperature", Value::Float(300.0))
+            }),
+    )?;
     let safety_oid = db.add_class_rule(
         "Reactor",
         RuleDef::on(event("end Reactor::SetTemperature(float t)")?)
@@ -59,17 +58,16 @@ fn main() -> Result<()> {
     // Its declared effects say it raises `Rule::Enable` — the analyzer
     // can see this does not feed back into the meta-rule's own
     // `Rule::Disable` trigger, so the meta-level is cycle-free too.
-    db.register_action_with_effects(
-        "re-enable-scram",
-        ActionEffects::none()
-            .raising("Rule", "Enable")
-            .writing("Rule", "enabled"),
-        |w, firing| {
-            let rule_object = firing.occurrence.constituents[0].oid;
-            w.send(rule_object, "Enable", &[])?;
-            Ok(())
-        },
-    );
+    db.register(
+        ActionDef::new("re-enable-scram")
+            .raises(("Rule", "Enable"))
+            .writes(("Rule", "enabled"))
+            .body(|w, firing| {
+                let rule_object = firing.occurrence.constituents[0].oid;
+                w.send(rule_object, "Enable", &[])?;
+                Ok(())
+            }),
+    )?;
     db.add_rule(
         RuleDef::on(event("end Rule::Disable()")?)
             .named("ScramGuardian")

@@ -78,20 +78,20 @@ fn main() -> Result<()> {
     // Escalation: every 3rd Down of a *watched* link (times operator).
     // `Pager` is passive, so paging raises no events — the declared
     // effects let the analyzer prove the escalation cannot cascade.
-    db.register_action_with_effects(
-        "escalate",
-        ActionEffects::none().writing("Pager", "pages"),
-        move |w, f| {
-            let link = f.occurrence.constituents[0].oid;
-            let name = w.get_attr(link, "name")?;
-            w.send(
-                pager,
-                "Page",
-                &[Value::Str(format!("ESCALATE: {name} flapping"))],
-            )?;
-            Ok(())
-        },
-    );
+    db.register(
+        ActionDef::new("escalate")
+            .writes(("Pager", "pages"))
+            .body(move |w, f| {
+                let link = f.occurrence.constituents[0].oid;
+                let name = w.get_attr(link, "name")?;
+                w.send(
+                    pager,
+                    "Page",
+                    &[Value::Str(format!("ESCALATE: {name} flapping"))],
+                )?;
+                Ok(())
+            }),
+    )?;
     db.add_rule(
         RuleDef::on(event("end Link::Down()")?.times(3))
             .named("FlapEscalation")
@@ -99,20 +99,20 @@ fn main() -> Result<()> {
     )?;
 
     // Sustained outage: Down, then a Probe with no Up in between.
-    db.register_action_with_effects(
-        "page-outage",
-        ActionEffects::none().writing("Pager", "pages"),
-        move |w, f| {
-            let link = f.occurrence.constituents[0].oid;
-            let name = w.get_attr(link, "name")?;
-            w.send(
-                pager,
-                "Page",
-                &[Value::Str(format!("OUTAGE: {name} still down at probe"))],
-            )?;
-            Ok(())
-        },
-    );
+    db.register(
+        ActionDef::new("page-outage")
+            .writes(("Pager", "pages"))
+            .body(move |w, f| {
+                let link = f.occurrence.constituents[0].oid;
+                let name = w.get_attr(link, "name")?;
+                w.send(
+                    pager,
+                    "Page",
+                    &[Value::Str(format!("OUTAGE: {name} still down at probe"))],
+                )?;
+                Ok(())
+            }),
+    )?;
     db.add_rule(
         RuleDef::on(EventExpr::not_between(
             event("end Link::Up()")?,
@@ -126,14 +126,14 @@ fn main() -> Result<()> {
     // Detached audit trail, drained by the background executor.
     db.define_class(ClassDecl::new("Audit").attr("entries", TypeTag::Int))?;
     let audit = db.create("Audit")?;
-    db.register_action_with_effects(
-        "audit",
-        ActionEffects::none().writing("Audit", "entries"),
-        move |w, _f| {
-            let n = w.get_attr(audit, "entries")?.as_int()?;
-            w.set_attr(audit, "entries", Value::Int(n + 1))
-        },
-    );
+    db.register(
+        ActionDef::new("audit")
+            .writes(("Audit", "entries"))
+            .body(move |w, _f| {
+                let n = w.get_attr(audit, "entries")?.as_int()?;
+                w.set_attr(audit, "entries", Value::Int(n + 1))
+            }),
+    )?;
     db.add_class_rule(
         "Link",
         RuleDef::on(event("end Link::Down()")?)

@@ -56,17 +56,17 @@ fn main() -> Result<()> {
     });
     // Paging writes to the (passive) Physician object and raises no
     // events — declared so the analyzer can rule out cascades.
-    db.register_action_with_effects(
-        "page-physician",
-        ActionEffects::none().writing("Physician", "pages"),
-        move |w, firing| {
-            let patient = firing.occurrence.constituents[0].oid;
-            let who = w.get_attr(patient, "name")?;
-            let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
-            pages.push(Value::Str(format!("fever alert: {who}")));
-            w.set_attr(dr_lee, "pages", Value::List(pages))
-        },
-    );
+    db.register(
+        ActionDef::new("page-physician")
+            .writes(("Physician", "pages"))
+            .body(move |w, firing| {
+                let patient = firing.occurrence.constituents[0].oid;
+                let who = w.get_attr(patient, "name")?;
+                let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
+                pages.push(Value::Str(format!("fever alert: {who}")));
+                w.set_attr(dr_lee, "pages", Value::List(pages))
+            }),
+    )?;
     db.add_rule(
         RuleDef::on(event("end Patient::RecordTemperature(float t)")?)
             .named("FeverAlert")
@@ -75,21 +75,21 @@ fn main() -> Result<()> {
     )?;
 
     // Rule 2: fever followed by a medication change — review the order.
-    db.register_action_with_effects(
-        "flag-med-change",
-        ActionEffects::none().writing("Physician", "pages"),
-        move |w, firing| {
-            let patient = firing
-                .occurrence
-                .constituent_for_method("ChangeMedication")
-                .expect("sequence carries the medication event")
-                .oid;
-            let who = w.get_attr(patient, "name")?;
-            let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
-            pages.push(Value::Str(format!("review medication order for {who}")));
-            w.set_attr(dr_lee, "pages", Value::List(pages))
-        },
-    );
+    db.register(
+        ActionDef::new("flag-med-change")
+            .writes(("Physician", "pages"))
+            .body(move |w, firing| {
+                let patient = firing
+                    .occurrence
+                    .constituent_for_method("ChangeMedication")
+                    .expect("sequence carries the medication event")
+                    .oid;
+                let who = w.get_attr(patient, "name")?;
+                let mut pages = w.get_attr(dr_lee, "pages")?.as_list()?.to_vec();
+                pages.push(Value::Str(format!("review medication order for {who}")));
+                w.set_attr(dr_lee, "pages", Value::List(pages))
+            }),
+    )?;
     db.register_condition("fever-in-sequence", |_w, firing| {
         Ok(firing
             .param_of("RecordTemperature", 0)

@@ -63,14 +63,14 @@ fn main() -> Result<()> {
     });
     // `Portfolio` is passive: purchasing raises no events, so the
     // declared effects prove the Purchase rule cannot retrigger itself.
-    db.register_action_with_effects(
-        "purchase",
-        ActionEffects::none().writing("Portfolio", "shares"),
-        move |w, _| {
-            w.send(parker, "PurchaseIBMStock", &[])?;
-            Ok(())
-        },
-    );
+    db.register(
+        ActionDef::new("purchase")
+            .writes(("Portfolio", "shares"))
+            .body(move |w, _| {
+                w.send(parker, "PurchaseIBMStock", &[])?;
+                Ok(())
+            }),
+    )?;
     let purchase_event =
         event("end Stock::SetPrice(float p)")?.and(event("end FinancialInfo::SetValue(float v)")?);
     db.define_event("IBM-and-DowJones", purchase_event)?;

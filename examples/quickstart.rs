@@ -57,19 +57,19 @@ fn main() -> Result<()> {
     // Declared effects: `make-equal` writes salaries and raises nothing
     // (it uses direct attribute writes, not event-generating methods).
     // The static analyzer checks rule-set termination against this.
-    db.register_action_with_effects(
-        "make-equal",
-        ActionEffects::none().writing("Employee", "salary"),
-        move |w, firing| {
-            let amount = firing
-                .param_of("Change-Income", 0)
-                .cloned()
-                .unwrap_or(Value::Float(0.0));
-            w.set_attr(fred, "salary", amount.clone())?;
-            w.set_attr(mike, "salary", amount)?;
-            Ok(())
-        },
-    );
+    db.register(
+        ActionDef::new("make-equal")
+            .writes(("Employee", "salary"))
+            .body(move |w, firing| {
+                let amount = firing
+                    .param_of("Change-Income", 0)
+                    .cloned()
+                    .unwrap_or(Value::Float(0.0));
+                w.set_attr(fred, "salary", amount.clone())?;
+                w.set_attr(mike, "salary", amount)?;
+                Ok(())
+            }),
+    )?;
     let income_event = event("end Employee::Change-Income(float amount)")?
         .or(event("end Manager::Change-Income(float amount)")?);
     db.add_rule(

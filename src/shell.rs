@@ -121,7 +121,7 @@ pub fn prepare(db: &mut Database) {
     db.telemetry().set_history(true);
     // `print` only writes to stdout, so the empty effects declaration is
     // truthful and keeps `analyze` output clean.
-    db.register_action_with_effects("print", ActionEffects::none(), |_w, firing| {
+    let print = ActionDef::new("print").pure().body(|_w, firing| {
         println!(
             "  [rule `{}` fired on {}]",
             firing.rule_name,
@@ -135,6 +135,7 @@ pub fn prepare(db: &mut Database) {
         );
         Ok(())
     });
+    db.register(print).expect("print has a body");
 }
 
 /// Execute one command line; returns the reply text.
@@ -717,28 +718,28 @@ mod tests {
         let mut db = shell_db();
         run(&mut db, "class Sensor reactive a:float b:float c:float");
         let s = run(&mut db, "new Sensor");
-        db.register_action_with_effects(
-            "bump-b",
-            ActionEffects::none()
-                .raising("Sensor", "Setb")
-                .writing("Sensor", "b"),
-            |w, firing| {
-                let o = firing.occurrence.constituents[0].oid;
-                w.send(o, "Setb", &[Value::Float(1.0)])?;
-                Ok(())
-            },
-        );
-        db.register_action_with_effects(
-            "bump-c",
-            ActionEffects::none()
-                .raising("Sensor", "Setc")
-                .writing("Sensor", "c"),
-            |w, firing| {
-                let o = firing.occurrence.constituents[0].oid;
-                w.send(o, "Setc", &[Value::Float(2.0)])?;
-                Ok(())
-            },
-        );
+        db.register(
+            ActionDef::new("bump-b")
+                .raises(("Sensor", "Setb"))
+                .writes(("Sensor", "b"))
+                .body(|w, firing| {
+                    let o = firing.occurrence.constituents[0].oid;
+                    w.send(o, "Setb", &[Value::Float(1.0)])?;
+                    Ok(())
+                }),
+        )
+        .unwrap();
+        db.register(
+            ActionDef::new("bump-c")
+                .raises(("Sensor", "Setc"))
+                .writes(("Sensor", "c"))
+                .body(|w, firing| {
+                    let o = firing.occurrence.constituents[0].oid;
+                    w.send(o, "Setc", &[Value::Float(2.0)])?;
+                    Ok(())
+                }),
+        )
+        .unwrap();
         let ev = |sig: &str| event(sig).unwrap();
         db.add_class_rule(
             "Sensor",

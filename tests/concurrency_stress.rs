@@ -324,3 +324,206 @@ fn concurrent_queries_with_live_writer() {
     let session = sentinel.session();
     assert_eq!(session.object_count(), 64 + WRITES);
 }
+
+/// Build a database whose deferred firings run on the worker pool.
+/// CI's parallel-stress matrix overrides the pool size (1/2/4) via
+/// `SENTINEL_TEST_WORKERS`; the default exercises four workers.
+fn parallel_db() -> Database {
+    let workers = std::env::var("SENTINEL_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    Database::with_config(DbConfig::default().execution(ExecutionMode::Parallel { workers }))
+        .unwrap()
+}
+
+/// The torn-state invariant of the first suite, but with the writes
+/// coming from *parallel rule firings*: each committed transaction
+/// sends `Set` to every cell, the deferred `Mirror` rule fires once per
+/// cell on the scheduler's worker pool, and each firing rewrites the
+/// cell's two-element `pair` whose halves must always sum to zero.
+/// Readers holding shard read locks must never observe a half-applied
+/// value even while four workers are merging concurrently.
+#[test]
+fn readers_never_observe_torn_state_under_parallel_firing() {
+    let mut db = parallel_db();
+    db.define_class(
+        ClassDecl::reactive("Cell")
+            .attr("pair", TypeTag::List)
+            .event_method("Set", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Cell", "Set", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register(
+        ActionDef::new("mirror")
+            .writes(("Cell", "pair"))
+            .body(|w, f| {
+                let occ = &f.occurrence.constituents[0];
+                let x = occ.param(0).unwrap().as_float()? as i64;
+                w.set_attr(
+                    occ.oid,
+                    "pair",
+                    Value::List(vec![Value::Int(x), Value::Int(-x)]),
+                )?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Cell",
+        RuleDef::on(event("end Cell::Set(float x)").unwrap())
+            .named("Mirror")
+            .then("mirror")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    let cells: Vec<Oid> = (0..8)
+        .map(|_| {
+            let o = db.create("Cell").unwrap();
+            db.set_attr(o, "pair", Value::List(vec![Value::Int(0), Value::Int(0)]))
+                .unwrap();
+            o
+        })
+        .collect();
+    let sentinel = Sentinel::open(db);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let passes = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let session = sentinel.session();
+        let cells = cells.clone();
+        let stop = Arc::clone(&stop);
+        let passes = Arc::clone(&passes);
+        readers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for &c in &cells {
+                    let v = session.get_attr(c, "pair").unwrap();
+                    let pair = v.as_list().unwrap();
+                    let (a, b) = (pair[0].as_int().unwrap(), pair[1].as_int().unwrap());
+                    assert_eq!(a, -b, "torn read in reader {r}: {a} vs {b}");
+                }
+                passes.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut i = 1i64;
+    while i <= (WRITES / 4) as i64
+        || (passes.load(Ordering::Relaxed) < READERS as u64 && std::time::Instant::now() < deadline)
+    {
+        sentinel
+            .try_with(|db| {
+                db.begin()?;
+                for &c in &cells {
+                    db.send(c, "Set", &[Value::Float(i as f64)])?;
+                }
+                db.commit()
+            })
+            .unwrap();
+        i += 1;
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in readers {
+        h.join().unwrap();
+    }
+    let stats = sentinel.scheduler_stats();
+    assert!(stats.parallel_batches > 0, "pool never engaged: {stats:?}");
+    assert!(stats.groups_formed >= 2 * stats.parallel_batches);
+}
+
+/// The exact-reconciliation suite under `Parallel { workers: 4 }`:
+/// counters bumped during coordinator merges of pool-run firings must
+/// reconcile exactly with the work performed, while reader threads
+/// snapshot the lock-free stats mid-merge.
+#[test]
+fn stats_reconcile_exactly_after_parallel_load() {
+    const TXNS: usize = WRITES / 4;
+    let mut db = parallel_db();
+    db.define_class(
+        ClassDecl::reactive("Acct")
+            .attr("v", TypeTag::Float)
+            .attr("audits", TypeTag::Int)
+            .event_method("Set", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Acct", "Set", "v").unwrap();
+    db.register(
+        ActionDef::new("audit")
+            .writes(("Acct", "audits"))
+            .body(|w, f| {
+                let o = f.occurrence.constituents[0].oid;
+                let n = w.get_attr(o, "audits")?.as_int()?;
+                w.set_attr(o, "audits", Value::Int(n + 1))?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Acct",
+        RuleDef::on(event("end Acct::Set(float x)").unwrap())
+            .named("Audit")
+            .then("audit")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    let accts: Vec<Oid> = (0..4).map(|_| db.create("Acct").unwrap()).collect();
+    db.reset_stats();
+    let sentinel = Sentinel::open(db);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let session = sentinel.session();
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let s = session.stats();
+                assert!(s.actions_run <= s.sends);
+                let _ = session.full_stats();
+            }
+        }));
+    }
+
+    for i in 0..TXNS {
+        sentinel
+            .try_with(|db| {
+                db.begin()?;
+                for &a in &accts {
+                    db.send(a, "Set", &[Value::Float(i as f64)])?;
+                }
+                db.commit()
+            })
+            .unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in readers {
+        h.join().unwrap();
+    }
+    sentinel.drain();
+
+    let session = sentinel.session();
+    let s = session.stats();
+    let w = (TXNS * accts.len()) as u64;
+    assert_eq!(s.sends, w, "every send counted once");
+    assert_eq!(s.events_generated, w, "one end-of-Set event per send");
+    assert_eq!(s.actions_run, w, "the audit rule ran per send");
+    assert_eq!(s.aborts, 0);
+    for &a in &accts {
+        assert_eq!(
+            session.get_attr(a, "audits").unwrap(),
+            Value::Int(TXNS as i64)
+        );
+    }
+    let sched = sentinel.scheduler_stats();
+    assert_eq!(
+        sched.parallel_firings + sched.serial_firings,
+        w,
+        "every deferred firing ran on exactly one lane: {sched:?}"
+    );
+    assert!(sched.parallel_batches > 0, "pool never engaged: {sched:?}");
+    assert_eq!(sentinel.with(|db| db.stats()), s);
+}

@@ -45,17 +45,17 @@ fn chain_db(couplings: &[CouplingMode], capacity: usize) -> (Database, Oid) {
     }
     for (i, coupling) in couplings.iter().enumerate() {
         let next = i + 1;
-        db.register_action_with_effects(
-            &format!("bump{next}"),
-            ActionEffects::none()
-                .raising("Chain", format!("Seta{next}"))
-                .writing("Chain", format!("a{next}")),
-            move |w, firing| {
-                let o = firing.occurrence.constituents[0].oid;
-                w.send(o, &format!("Seta{next}"), &[Value::Float(next as f64)])?;
-                Ok(())
-            },
-        );
+        db.register(
+            ActionDef::new(format!("bump{next}"))
+                .raises(("Chain", format!("Seta{next}").as_str()))
+                .writes(("Chain", format!("a{next}").as_str()))
+                .body(move |w, firing| {
+                    let o = firing.occurrence.constituents[0].oid;
+                    w.send(o, &format!("Seta{next}"), &[Value::Float(next as f64)])?;
+                    Ok(())
+                }),
+        )
+        .unwrap();
         db.add_class_rule(
             "Chain",
             RuleDef::on(event(&format!("end Chain::Seta{i}(float v)")).unwrap())

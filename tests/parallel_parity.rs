@@ -1,0 +1,232 @@
+//! Serial/parallel execution parity over random disjoint-rule
+//! workloads.
+//!
+//! The parallel scheduler promises *indistinguishability*: running the
+//! same transactions under `ExecutionMode::Parallel` must leave the
+//! store in the same final state and fire the same rules on the same
+//! targets the same number of times as `ExecutionMode::Serial`. The
+//! property is driven over randomly generated batches of sends against
+//! two independent rule families (distinct conflict-matrix components),
+//! so batches mix parallel groups, single-group fallbacks, and repeated
+//! targets.
+
+use proptest::prelude::*;
+use sentinel::prelude::*;
+use std::collections::BTreeMap;
+
+const ACCTS: usize = 4;
+const SENSORS: usize = 4;
+
+/// Worker-pool size under test; CI's parallel-stress matrix overrides
+/// it via `SENTINEL_TEST_WORKERS` (1/2/4).
+fn pool_workers() -> usize {
+    std::env::var("SENTINEL_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `Credit(acct, x)`: sets `balance`, then the deferred
+    /// `AuditCredit` rule bumps the account's `audited` counter.
+    Credit(usize, f64),
+    /// `Ping(sensor, v)`: sets `last`, then the deferred `CountPing`
+    /// rule bumps the sensor's `pings` counter.
+    Ping(usize, f64),
+}
+
+/// Build the workload database: two reactive classes whose rules write
+/// disjoint attribute sets, so the conflict matrix assigns them
+/// separate parallel components.
+fn build_db(mode: ExecutionMode) -> (Database, Vec<Oid>, Vec<Oid>) {
+    let mut db = Database::with_config(
+        DbConfig::default()
+            .history_enabled(true)
+            .history_capacity(8192)
+            .execution(mode),
+    )
+    .unwrap();
+    db.define_class(
+        ClassDecl::reactive("Acct")
+            .attr("balance", TypeTag::Float)
+            .attr("audited", TypeTag::Int)
+            .event_method("Credit", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Acct", "Credit", "balance").unwrap();
+    db.register(
+        ActionDef::new("audit-credit")
+            .writes(("Acct", "audited"))
+            .body(|w, f| {
+                let acct = f.occurrence.constituents[0].oid;
+                let n = w.get_attr(acct, "audited")?.as_int()?;
+                w.set_attr(acct, "audited", Value::Int(n + 1))?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Acct",
+        RuleDef::on(event("end Acct::Credit(float x)").unwrap())
+            .named("AuditCredit")
+            .then("audit-credit")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+
+    db.define_class(
+        ClassDecl::reactive("Sensor")
+            .attr("last", TypeTag::Float)
+            .attr("pings", TypeTag::Int)
+            .event_method("Ping", &[("v", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Sensor", "Ping", "last").unwrap();
+    db.register(
+        ActionDef::new("count-ping")
+            .writes(("Sensor", "pings"))
+            .body(|w, f| {
+                let s = f.occurrence.constituents[0].oid;
+                let n = w.get_attr(s, "pings")?.as_int()?;
+                w.set_attr(s, "pings", Value::Int(n + 1))?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Sensor",
+        RuleDef::on(event("end Sensor::Ping(float v)").unwrap())
+            .named("CountPing")
+            .then("count-ping")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+
+    let accts = (0..ACCTS).map(|_| db.create("Acct").unwrap()).collect();
+    let sensors = (0..SENSORS).map(|_| db.create("Sensor").unwrap()).collect();
+    (db, accts, sensors)
+}
+
+/// `(attr values per account, per sensor, per-(rule, target) firing
+/// multiset)` snapshotted after a workload run.
+type WorkloadOutcome = (
+    Database,
+    Vec<(f64, i64)>,
+    Vec<(f64, i64)>,
+    BTreeMap<(String, u64), u64>,
+);
+
+/// Replay `txns` (plus one fixed multi-target transaction that is
+/// guaranteed parallel-eligible), then snapshot final attribute state
+/// and the per-(rule, target) firing multiset.
+fn run_workload(mode: ExecutionMode, txns: &[Vec<Op>]) -> WorkloadOutcome {
+    let (mut db, accts, sensors) = build_db(mode);
+    let apply = |db: &mut Database, op: &Op| match *op {
+        Op::Credit(i, x) => db.send(accts[i % ACCTS], "Credit", &[Value::Float(x)]),
+        Op::Ping(i, v) => db.send(sensors[i % SENSORS], "Ping", &[Value::Float(v)]),
+    };
+    for txn in txns {
+        db.begin().unwrap();
+        for op in txn {
+            apply(&mut db, op).unwrap();
+        }
+        db.commit().unwrap();
+    }
+    // A transaction touching four distinct targets across both
+    // components: always forms >= 2 conflict groups.
+    db.begin().unwrap();
+    for op in [
+        Op::Credit(0, 10.0),
+        Op::Credit(1, 20.0),
+        Op::Ping(0, 1.0),
+        Op::Ping(1, 2.0),
+    ] {
+        apply(&mut db, &op).unwrap();
+    }
+    db.commit().unwrap();
+
+    let acct_state = accts
+        .iter()
+        .map(|&o| {
+            (
+                db.get_attr(o, "balance").unwrap().as_float().unwrap(),
+                db.get_attr(o, "audited").unwrap().as_int().unwrap(),
+            )
+        })
+        .collect();
+    let sensor_state = sensors
+        .iter()
+        .map(|&o| {
+            (
+                db.get_attr(o, "last").unwrap().as_float().unwrap(),
+                db.get_attr(o, "pings").unwrap().as_int().unwrap(),
+            )
+        })
+        .collect();
+    let mut firings: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    for r in db.telemetry().firings().dump_all() {
+        *firings.entry((r.rule.clone(), r.target)).or_insert(0) += 1;
+    }
+    (db, acct_state, sensor_state, firings)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ACCTS, -100.0f64..100.0).prop_map(|(i, x)| Op::Credit(i, x)),
+        (0..SENSORS, -10.0f64..10.0).prop_map(|(i, v)| Op::Ping(i, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parallel_mode_is_indistinguishable_from_serial(
+        txns in prop::collection::vec(prop::collection::vec(op_strategy(), 1..6), 0..8),
+    ) {
+        let (serial_db, s_accts, s_sensors, s_firings) =
+            run_workload(ExecutionMode::Serial, &txns);
+        let (parallel_db, p_accts, p_sensors, p_firings) =
+            run_workload(ExecutionMode::Parallel { workers: pool_workers() }, &txns);
+
+        // Identical final store state, object by object.
+        prop_assert_eq!(&s_accts, &p_accts);
+        prop_assert_eq!(&s_sensors, &p_sensors);
+        // Identical firing multiset per (rule, target).
+        prop_assert_eq!(&s_firings, &p_firings);
+
+        // The serial database never consulted a scheduler; the parallel
+        // one actually exercised the worker pool (the fixed tail
+        // transaction guarantees at least one eligible batch).
+        prop_assert_eq!(serial_db.scheduler_stats(), SchedulerStats::default());
+        let stats = parallel_db.scheduler_stats();
+        prop_assert!(stats.parallel_batches >= 1, "no parallel batch ran: {stats:?}");
+        prop_assert!(stats.parallel_firings >= 4, "too few pool firings: {stats:?}");
+        prop_assert!(stats.groups_formed >= 2, "no group fan-out: {stats:?}");
+
+        // Every pool-run firing is tagged with the parallel lane.
+        let parallel_lane = parallel_db
+            .telemetry()
+            .firings()
+            .dump_all()
+            .iter()
+            .filter(|r| r.lane == ExecutionLane::Parallel)
+            .count() as u64;
+        prop_assert_eq!(parallel_lane, stats.parallel_firings);
+    }
+}
+
+/// Deterministic smoke check (kept out of proptest so a bare `cargo
+/// test parallel_smoke` exercises the pool): four disjoint targets in
+/// one transaction form two-plus groups, run on workers, and reconcile
+/// stats exactly.
+#[test]
+fn parallel_smoke_two_components() {
+    let (_db, accts, sensors, firings) = run_workload(ExecutionMode::Parallel { workers: 2 }, &[]);
+    assert_eq!(accts[0], (10.0, 1));
+    assert_eq!(accts[1], (20.0, 1));
+    assert_eq!(sensors[0], (1.0, 1));
+    assert_eq!(sensors[1], (2.0, 1));
+    assert_eq!(firings.len(), 4, "{firings:?}");
+}
