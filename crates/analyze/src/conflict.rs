@@ -1,16 +1,26 @@
 //! Compiled conflict matrix — the static analysis, made dispatchable.
 //!
-//! The triggering graph and declared write-sets already answer "which
-//! rules can interfere with which"; this module compiles that answer
-//! into a form the runtime scheduler can consult per firing without
-//! re-running the analyzer:
+//! The triggering graph and declared effects footprints already answer
+//! "which rules can interfere with which"; this module compiles that
+//! answer into a form the runtime scheduler can consult per firing
+//! without re-running the analyzer:
 //!
 //! * each **eligible** rule (enabled, non-immediate coupling, declared
-//!   effects that raise nothing) is assigned a **conflict component** —
-//!   rules whose declared write-sets may overlap (same attribute on
+//!   effects that raise nothing and carry a declared read-set) is
+//!   assigned a **conflict component** — rules whose footprints exhibit
+//!   a write-write *or read-write* overlap (same attribute on
 //!   subclass-related classes) share a component;
 //! * every other rule is marked serial with the reason, so stats and
 //!   diagnostics can say *why* the fast path was skipped.
+//!
+//! Read dependencies matter as much as writes: a rule whose condition
+//! or action reads an attribute another rule writes would observe
+//! worker interleaving if the two ran concurrently, so a read-write
+//! overlap unions their components exactly like a write-write overlap.
+//! A rule whose action declares writes but no read-set
+//! ([`ActionEffects::reads`](sentinel_rules::ActionEffects) `= None`)
+//! is conservatively treated as able to read *anything* and is pinned
+//! to the serial lane ([`SerialReason::UnknownReads`]).
 //!
 //! Rules that raise events are excluded even when their raises are
 //! declared: a raise schedules further firings whose relative order the
@@ -24,7 +34,7 @@
 //! engine's routing index uses, so callers cache the matrix and rebuild
 //! only on rule-set or effects change.
 
-use sentinel_object::ClassRegistry;
+use sentinel_object::{ClassId, ClassRegistry};
 use sentinel_rules::{AttrPattern, CouplingMode, RuleEngine, RuleId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -35,6 +45,11 @@ pub enum SerialReason {
     /// The rule's action has no declared effects — it may write or raise
     /// anything, so it conflicts with everything.
     UnknownEffects,
+    /// The action declares writes but no read-set — it may read
+    /// anything, including attributes concurrent firings write, so its
+    /// condition and action outcomes could depend on worker
+    /// interleaving.
+    UnknownReads,
     /// The action's declared effects include raised events; the firings
     /// it schedules must observe the serial order.
     RaisesEvents,
@@ -49,6 +64,7 @@ impl SerialReason {
     pub fn as_str(&self) -> &'static str {
         match self {
             SerialReason::UnknownEffects => "effects unknown",
+            SerialReason::UnknownReads => "read-set unknown",
             SerialReason::RaisesEvents => "raises events",
             SerialReason::ImmediateCoupling => "immediate coupling",
             SerialReason::Disabled => "disabled",
@@ -71,6 +87,17 @@ pub enum Lane {
     Serial(SerialReason),
 }
 
+/// The declared data footprint of a parallel-eligible rule, in the
+/// shape the scheduler's worker shim verifies at runtime.
+#[derive(Debug, Clone)]
+pub struct RuleFootprint {
+    /// Attributes the firing may write (the action's declared writes).
+    pub writes: Arc<Vec<AttrPattern>>,
+    /// Everything the firing may read: the declared read-set *plus* the
+    /// declared writes (written attributes are implicitly readable).
+    pub reads: Arc<Vec<AttrPattern>>,
+}
+
 /// The compiled matrix: per-rule lanes plus the version stamps they were
 /// derived from.
 #[derive(Debug, Clone)]
@@ -78,23 +105,51 @@ pub struct ConflictMatrix {
     lanes: HashMap<RuleId, Lane>,
     /// Parallel lanes only, in the shape the engine stamps onto firings.
     tags: Arc<HashMap<RuleId, u32>>,
+    /// Declared footprints of the parallel-lane rules, for the
+    /// scheduler's runtime access guard.
+    footprints: Arc<HashMap<RuleId, RuleFootprint>>,
+    /// Deduplicated union of every parallel rule's write patterns — the
+    /// attributes some concurrent firing might be writing while a batch
+    /// is in flight.
+    shared_writes: Arc<Vec<AttrPattern>>,
     components: u32,
     epoch: u64,
     bodies_version: u64,
     schema_len: usize,
 }
 
-/// Do two declared write patterns possibly touch the same attribute?
-/// Same attribute name, and the classes subclass-related in either
-/// direction (a write to `Employee.salary` conflicts with a write to
-/// `Manager.salary`). Classes unknown to the registry compare by name.
-fn writes_overlap(registry: &ClassRegistry, a: &AttrPattern, b: &AttrPattern) -> bool {
+/// Do two declared attribute patterns possibly touch the same
+/// attribute? Same attribute name, and the classes subclass-related in
+/// either direction (a write to `Employee.salary` conflicts with a
+/// write to `Manager.salary`). Classes unknown to the registry compare
+/// by name.
+fn attrs_overlap(registry: &ClassRegistry, a: &AttrPattern, b: &AttrPattern) -> bool {
     if a.attr != b.attr {
         return false;
     }
     match (registry.id_of(&a.class), registry.id_of(&b.class)) {
         (Ok(ca), Ok(cb)) => registry.is_subclass(ca, cb) || registry.is_subclass(cb, ca),
         _ => a.class == b.class,
+    }
+}
+
+/// Does a declared pattern cover a concrete `(class, attr)` access?
+/// The same subclass-closed relation [`ConflictMatrix::build`] unions
+/// components with, so any access passing this check was accounted for
+/// by the static grouping. Used by the scheduler's worker shim to
+/// verify declared footprints at runtime.
+pub fn pattern_matches(
+    registry: &ClassRegistry,
+    pattern: &AttrPattern,
+    class: ClassId,
+    attr: &str,
+) -> bool {
+    if pattern.attr != attr {
+        return false;
+    }
+    match registry.id_of(&pattern.class) {
+        Ok(pc) => registry.is_subclass(class, pc) || registry.is_subclass(pc, class),
+        Err(_) => registry.get(class).name == pattern.class,
     }
 }
 
@@ -112,8 +167,9 @@ impl ConflictMatrix {
     /// given schema.
     pub fn build(registry: &ClassRegistry, engine: &RuleEngine) -> Self {
         let mut lanes = HashMap::new();
-        // (rule, write-set) of each parallel-eligible rule.
-        let mut eligible: Vec<(RuleId, Vec<AttrPattern>)> = Vec::new();
+        // (rule, writes, full read-set = declared reads ∪ writes) of
+        // each parallel-eligible rule.
+        let mut eligible: Vec<(RuleId, Vec<AttrPattern>, Vec<AttrPattern>)> = Vec::new();
         for rule in engine.iter_rules() {
             let lane = if !rule.enabled {
                 Err(SerialReason::Disabled)
@@ -123,10 +179,19 @@ impl ConflictMatrix {
                 match engine.bodies.action_effects(&rule.def.action) {
                     None => Err(SerialReason::UnknownEffects),
                     Some(fx) if !fx.raises.is_empty() => Err(SerialReason::RaisesEvents),
-                    Some(fx) => {
-                        eligible.push((rule.id, fx.writes.clone()));
-                        Ok(())
-                    }
+                    Some(fx) => match &fx.reads {
+                        None => Err(SerialReason::UnknownReads),
+                        Some(reads) => {
+                            let mut full_reads = fx.writes.clone();
+                            for r in reads {
+                                if !full_reads.contains(r) {
+                                    full_reads.push(r.clone());
+                                }
+                            }
+                            eligible.push((rule.id, fx.writes.clone(), full_reads));
+                            Ok(())
+                        }
+                    },
                 }
             };
             if let Err(reason) = lane {
@@ -134,38 +199,62 @@ impl ConflictMatrix {
             }
         }
         // Deterministic component numbering regardless of HashMap order.
-        eligible.sort_by_key(|(id, _)| *id);
+        eligible.sort_by_key(|(id, ..)| *id);
 
-        // Union rules whose write-sets may overlap. Rule sets are small
-        // and write-sets smaller; the quadratic sweep is not a cost.
+        // Union rules that may interfere: a write-write overlap, or a
+        // read-write overlap in either direction (a firing that reads
+        // what another writes would observe worker interleaving). The
+        // read-sets include the writes, so checking reads-vs-writes
+        // both ways subsumes the write-write case. Rule sets are small
+        // and footprints smaller; the quadratic sweep is not a cost.
         let mut parent: Vec<usize> = (0..eligible.len()).collect();
         for i in 0..eligible.len() {
             for j in (i + 1)..eligible.len() {
-                let conflicted = eligible[i]
-                    .1
+                let (_, ref wi, ref ri) = eligible[i];
+                let (_, ref wj, ref rj) = eligible[j];
+                let conflicted = ri
                     .iter()
-                    .any(|a| eligible[j].1.iter().any(|b| writes_overlap(registry, a, b)));
+                    .any(|a| wj.iter().any(|b| attrs_overlap(registry, a, b)))
+                    || wi
+                        .iter()
+                        .any(|a| rj.iter().any(|b| attrs_overlap(registry, a, b)));
                 if conflicted {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
+                    let (pi, pj) = (find(&mut parent, i), find(&mut parent, j));
+                    if pi != pj {
+                        parent[pi] = pj;
                     }
                 }
             }
         }
         let mut component_of_root: HashMap<usize, u32> = HashMap::new();
         let mut tags = HashMap::new();
-        for (i, (rule_id, _)) in eligible.iter().enumerate() {
+        let mut footprints = HashMap::new();
+        let mut shared_writes: Vec<AttrPattern> = Vec::new();
+        for (i, (rule_id, writes, full_reads)) in eligible.iter().enumerate() {
             let root = find(&mut parent, i);
             let next = component_of_root.len() as u32;
             let component = *component_of_root.entry(root).or_insert(next);
             lanes.insert(*rule_id, Lane::Parallel { component });
             tags.insert(*rule_id, component);
+            for w in writes {
+                if !shared_writes.contains(w) {
+                    shared_writes.push(w.clone());
+                }
+            }
+            footprints.insert(
+                *rule_id,
+                RuleFootprint {
+                    writes: Arc::new(writes.clone()),
+                    reads: Arc::new(full_reads.clone()),
+                },
+            );
         }
 
         ConflictMatrix {
             lanes,
             tags: Arc::new(tags),
+            footprints: Arc::new(footprints),
+            shared_writes: Arc::new(shared_writes),
             components: component_of_root.len() as u32,
             epoch: engine.epoch(),
             bodies_version: engine.bodies.version(),
@@ -192,6 +281,20 @@ impl ConflictMatrix {
     /// [`RuleEngine::set_conflict_tags`] accepts.
     pub fn tags(&self) -> Arc<HashMap<RuleId, u32>> {
         Arc::clone(&self.tags)
+    }
+
+    /// Declared footprints of the parallel-lane rules, keyed by rule —
+    /// what the scheduler's worker shim verifies each access against.
+    pub fn footprints(&self) -> Arc<HashMap<RuleId, RuleFootprint>> {
+        Arc::clone(&self.footprints)
+    }
+
+    /// Deduplicated union of every parallel rule's declared write
+    /// patterns. An attribute *outside* this set cannot be written by
+    /// any concurrent firing, so reading it from a worker is always
+    /// safe.
+    pub fn shared_writes(&self) -> Arc<Vec<AttrPattern>> {
+        Arc::clone(&self.shared_writes)
     }
 
     /// Number of distinct conflict components among eligible rules.
@@ -271,6 +374,21 @@ mod tests {
             ActionEffects::none().raising("Account", "Audit"),
             |_, _| Ok(()),
         );
+        eng.bodies.register_action_with_effects(
+            "blind-reader",
+            ActionEffects::none()
+                .writing("Ledger", "total")
+                .reads_unknown(),
+            |_, _| Ok(()),
+        );
+        eng.bodies
+            .register_def(
+                ActionDef::new("r-balance-w-total")
+                    .writes(("Ledger", "total"))
+                    .reads(("Account", "balance"))
+                    .body(|_, _| Ok(())),
+            )
+            .unwrap();
         eng
     }
 
@@ -310,6 +428,82 @@ mod tests {
         };
         assert_eq!(comp(a), comp(b));
         assert_ne!(comp(a), comp(c));
+    }
+
+    #[test]
+    fn read_write_overlap_unions_components() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        // A writes Account.balance; R writes Ledger.total but *reads*
+        // Account.balance — running them concurrently would let R's
+        // reads observe worker interleaving, so they must share a
+        // component despite disjoint write-sets.
+        let a = eng
+            .add_rule(
+                deferred_rule("A", "Account", "Deposit", "w-balance"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let r = eng
+            .add_rule(
+                deferred_rule("R", "Ledger", "Post", "r-balance-w-total"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert_eq!(m.component_count(), 1);
+        let comp = |r| match m.lane(r) {
+            Some(Lane::Parallel { component }) => component,
+            other => panic!("expected parallel lane, got {other:?}"),
+        };
+        assert_eq!(comp(a), comp(r));
+    }
+
+    #[test]
+    fn undeclared_read_set_is_serial() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        let b = eng
+            .add_rule(
+                deferred_rule("Blind", "Ledger", "Post", "blind-reader"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        assert_eq!(m.lane(b), Some(Lane::Serial(SerialReason::UnknownReads)));
+        assert!(!m.tags().contains_key(&b));
+    }
+
+    #[test]
+    fn footprints_cover_reads_and_writes() {
+        let reg = registry();
+        let mut eng = engine(&reg);
+        let r = eng
+            .add_rule(
+                deferred_rule("R", "Ledger", "Post", "r-balance-w-total"),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        let m = ConflictMatrix::build(&reg, &eng);
+        let fp = &m.footprints()[&r];
+        assert_eq!(fp.writes.as_slice(), [AttrPattern::new("Ledger", "total")]);
+        // Full read-set = writes ∪ declared reads.
+        assert!(fp.reads.contains(&AttrPattern::new("Ledger", "total")));
+        assert!(fp.reads.contains(&AttrPattern::new("Account", "balance")));
+        assert!(m
+            .shared_writes()
+            .contains(&AttrPattern::new("Ledger", "total")));
+        // pattern_matches closes over subclasses in both directions.
+        let savings = reg.id_of("Savings").unwrap();
+        let p = AttrPattern::new("Account", "balance");
+        assert!(pattern_matches(&reg, &p, savings, "balance"));
+        assert!(!pattern_matches(&reg, &p, savings, "total"));
+        let ledger = reg.id_of("Ledger").unwrap();
+        assert!(!pattern_matches(&reg, &p, ledger, "balance"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod graph;
 pub mod reconcile;
 
 pub use analyzer::{AnalysisReport, RuleAnalyzer};
-pub use conflict::{ConflictMatrix, Lane, SerialReason};
+pub use conflict::{pattern_matches, ConflictMatrix, Lane, RuleFootprint, SerialReason};
 pub use diagnostic::{DiagCode, Diagnostic, Severity};
 pub use effects::{diff_effects, ObservedEffects};
 pub use graph::{GraphEdge, GraphNode, TriggeringGraph};

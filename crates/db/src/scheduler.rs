@@ -10,44 +10,57 @@
 //!
 //! **What "provably independent" means.** The compiled
 //! [`ConflictMatrix`] (built from the static triggering graph and each
-//! action's declared write-set) assigns every rule a lane: parallel
-//! rules are grouped into conflict components (write-sets that may
-//! overlap share a component), everything else — undeclared effects,
-//! raising actions, immediate coupling — is serial with a recorded
-//! reason. At dispatch time a batch runs in parallel only if *every*
-//! firing carries a conflict-group tag that matches the fresh matrix.
-//! Within the batch, firings are partitioned into groups keyed by
-//! `(conflict component, target oid)`: same key → same group, executed
-//! in original resolver order on one worker; different keys → declared
-//! write-sets disjoint (or instance-local to different targets), so the
-//! groups run concurrently.
+//! action's declared read *and* write footprint) assigns every rule a
+//! lane: parallel rules are grouped into conflict components
+//! (footprints with a write-write or read-write overlap share a
+//! component), everything else — undeclared effects, undeclared
+//! read-sets, raising actions, immediate coupling — is serial with a
+//! recorded reason. At dispatch time a batch runs in parallel only if
+//! *every* firing carries a conflict-group tag that matches the fresh
+//! matrix. Within the batch, firings are partitioned into groups keyed
+//! by `(conflict component, target oid)`: same key → same group,
+//! executed in original resolver order on one worker; different keys →
+//! declared footprints disjoint (or instance-local to different
+//! targets), so the groups run concurrently.
+//!
+//! **Runtime footprint enforcement.** Target sharding and cross-group
+//! disjointness are only as good as the declarations, so [`ShardWorld`]
+//! verifies every access instead of trusting them: a write must hit
+//! the firing's own target *and* match the rule's declared write
+//! patterns; a read must either hit the firing's own target within its
+//! declared read footprint, or touch an attribute outside *every*
+//! parallel rule's write-set (which no concurrent firing can be
+//! mutating). Any access outside those bounds — like
+//! `create`/`delete`/`send`, which belong to the serial path — fails
+//! the body, rolling the group back to `NeedsSerial`.
 //!
 //! **Determinism.** Workers never touch the transaction pipeline; they
 //! execute bodies against a [`ShardWorld`] that applies writes to the
 //! shared sharded [`ObjectStore`] and records `(oid, slot, old, new)`
-//! per write. The committing thread then merges group results *in
-//! original batch order* — staging undo ops, redo records, index
+//! per write. The committing thread then merges the results of *all*
+//! groups strictly in original batch order — even when group
+//! memberships interleave — staging undo ops, redo records, index
 //! refreshes, stats, and history records exactly as the serial path
 //! would have. Commit order, per-rule stats, and the firing history are
 //! therefore independent of worker interleaving.
 //!
-//! **Fallback.** Any body error on a worker (including use of
-//! `create`/`delete`/`send`, which `ShardWorld` rejects) rolls back the
-//! whole group's recorded writes and marks the group `NeedsSerial`; the
-//! coordinator re-runs it through the ordinary serial path at its
-//! original position, restoring full transactional semantics. A lying
-//! effects declaration therefore degrades to serial re-execution, never
-//! to a half-applied group.
+//! **Fallback.** Any body error on a worker (including a footprint
+//! violation) rolls back the whole group's recorded writes and marks
+//! the group `NeedsSerial`; the coordinator re-runs its firings through
+//! the ordinary serial path at their original batch positions,
+//! restoring full transactional semantics. A lying effects declaration
+//! therefore degrades to serial re-execution, never to a half-applied
+//! group or a silent race.
 
 use crate::database::Database;
 use crate::stats::SharedDbStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use sentinel_analyze::{ConflictMatrix, Lane};
+use sentinel_analyze::{pattern_matches, ConflictMatrix, Lane, RuleFootprint};
 use sentinel_events::LogicalClock;
 use sentinel_object::{
     ClassId, ClassRegistry, ObjectError, ObjectStore, Oid, Result, Value, World,
 };
-use sentinel_rules::ReadyFiring;
+use sentinel_rules::{AttrPattern, ReadyFiring, RuleId};
 use sentinel_storage::{LogRecord, UndoOp};
 use sentinel_telemetry::{BodyKind, ExecutionLane, Stage, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -93,20 +106,45 @@ struct WriteRec {
 /// The [`World`] a parallel firing executes against: reads and
 /// attribute writes go straight to the shared (sharded, thread-safe)
 /// store; every write is recorded for the coordinator to stage.
-/// Object lifecycle and message sends are rejected — those belong to
-/// the serial path, and rejecting them is what makes a lying effects
+///
+/// Every access is checked against the firing's declared footprint —
+/// this is what turns the declarations from trusted hints into an
+/// enforced contract. Writes must hit the firing's own target within
+/// the rule's declared write patterns (target sharding assumes writes
+/// are instance-local, so a cross-target write would race a concurrent
+/// same-component group). Reads must hit the firing's own target
+/// within its declared read footprint, or an attribute outside every
+/// parallel rule's write-set (`shared_writes`) — anything else could
+/// observe a concurrent group's writes mid-flight. Object lifecycle
+/// and message sends are rejected outright — those belong to the
+/// serial path. Each rejection fails the body, which makes a lying
 /// declaration degrade safely to a serial re-run.
 struct ShardWorld {
     store: Arc<ObjectStore>,
     registry: Arc<ClassRegistry>,
     clock: Arc<LogicalClock>,
     writes: Vec<WriteRec>,
+    /// Target oid of the group currently executing — the only object
+    /// the footprint licenses writes (and contended reads) on.
+    target: Oid,
+    /// Declared footprint of the firing currently executing.
+    footprint: RuleFootprint,
+    /// Union of every parallel rule's declared writes: the attributes
+    /// some concurrent group may be writing right now.
+    shared_writes: Arc<Vec<AttrPattern>>,
 }
 
 impl ShardWorld {
     fn unsupported(op: &str) -> ObjectError {
         ObjectError::Unsupported(format!(
             "{op} is not available to parallel rule firings; the group re-runs serially"
+        ))
+    }
+
+    fn undeclared(kind: &str, class_name: &str, attr: &str) -> ObjectError {
+        ObjectError::Unsupported(format!(
+            "parallel firing {kind} of {class_name}.{attr} is outside the rule's declared \
+             footprint (or not on the firing's target); the group re-runs serially"
         ))
     }
 
@@ -135,11 +173,51 @@ impl World for ShardWorld {
     }
 
     fn get_attr(&self, oid: Oid, attr: &str) -> Result<Value> {
+        let class = self.store.class_of(oid)?;
+        let in_footprint = oid == self.target
+            && self
+                .footprint
+                .reads
+                .iter()
+                .any(|p| pattern_matches(&self.registry, p, class, attr));
+        if !in_footprint {
+            // Off-target (or undeclared) reads are safe only when no
+            // concurrently running firing can be writing the attribute.
+            let contended = self
+                .shared_writes
+                .iter()
+                .any(|p| pattern_matches(&self.registry, p, class, attr));
+            if contended {
+                return Err(Self::undeclared(
+                    "read",
+                    &self.registry.get(class).name,
+                    attr,
+                ));
+            }
+        }
         self.store.get_attr(&self.registry, oid, attr)
     }
 
     fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
         let class = self.store.class_of(oid)?;
+        // Enforce the declared write-set: only the firing's own target,
+        // only declared attributes. This is what lets groups of the
+        // same component run concurrently on different targets, and
+        // what keeps disjoint components genuinely disjoint even when
+        // a declaration lies.
+        let allowed = oid == self.target
+            && self
+                .footprint
+                .writes
+                .iter()
+                .any(|p| pattern_matches(&self.registry, p, class, attr));
+        if !allowed {
+            return Err(Self::undeclared(
+                "write",
+                &self.registry.get(class).name,
+                attr,
+            ));
+        }
         let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
             ObjectError::UnknownAttribute {
                 class: self.registry.get(class).name.clone(),
@@ -193,21 +271,39 @@ pub(crate) struct FiringDone {
 pub(crate) enum GroupResult {
     /// Every firing ran; results align index-for-index with the group.
     Completed(Vec<FiringDone>),
-    /// A body errored: the group's writes were rolled back on the
-    /// worker and every firing must re-run serially.
+    /// A body errored (or violated its declared footprint): the group's
+    /// writes were rolled back on the worker and every firing must
+    /// re-run serially.
     NeedsSerial,
 }
 
+/// One `(conflict component, target oid)` shard of a ready batch: its
+/// firings in resolver order, each tagged with its original batch
+/// index.
+pub(crate) struct ConflictGroup {
+    /// The target oid every firing in the group fired on — the only
+    /// object the worker's footprint guard licenses writes on.
+    target: Oid,
+    firings: Vec<(usize, ReadyFiring)>,
+}
+
 struct Job {
-    group: Vec<(usize, ReadyFiring)>,
+    group: ConflictGroup,
     registry: Arc<ClassRegistry>,
+    /// Declared footprints of the parallel-lane rules (from the fresh
+    /// conflict matrix), consulted per firing.
+    footprints: Arc<HashMap<RuleId, RuleFootprint>>,
+    /// Union of every parallel rule's declared writes, for the read
+    /// guard.
+    shared_writes: Arc<Vec<AttrPattern>>,
     reply: Sender<GroupReply>,
 }
 
 struct GroupReply {
-    /// Original batch index of the group's first firing (merge-order key).
+    /// Original batch index of the group's first firing (stable
+    /// collection key).
     first: usize,
-    group: Vec<(usize, ReadyFiring)>,
+    group: ConflictGroup,
     result: GroupResult,
 }
 
@@ -216,22 +312,37 @@ struct GroupReply {
 type FiringSpan = (usize, bool, Option<u64>, Option<u64>, u64);
 
 fn run_group(
-    group: &[(usize, ReadyFiring)],
-    registry: &Arc<ClassRegistry>,
+    job: &Job,
     store: &Arc<ObjectStore>,
     clock: &Arc<LogicalClock>,
     telemetry: &Telemetry,
 ) -> GroupResult {
     let mut world = ShardWorld {
         store: Arc::clone(store),
-        registry: Arc::clone(registry),
+        registry: Arc::clone(&job.registry),
         clock: Arc::clone(clock),
         writes: Vec::new(),
+        target: job.group.target,
+        footprint: RuleFootprint {
+            writes: Arc::new(Vec::new()),
+            reads: Arc::new(Vec::new()),
+        },
+        shared_writes: Arc::clone(&job.shared_writes),
     };
     // Writes are carved into per-firing vecs only once the whole group
     // has succeeded.
-    let mut spans: Vec<FiringSpan> = Vec::with_capacity(group.len());
-    for (_, f) in group {
+    let mut spans: Vec<FiringSpan> = Vec::with_capacity(job.group.firings.len());
+    for (_, f) in &job.group.firings {
+        // Arm the guard with this firing's declared footprint. A rule
+        // missing from the map was planned against a stale matrix —
+        // treat like any other violation and fall back.
+        match job.footprints.get(&f.firing.rule) {
+            Some(fp) => world.footprint = fp.clone(),
+            None => {
+                world.undo_all();
+                return GroupResult::NeedsSerial;
+            }
+        }
         let start = world.writes.len();
         let firing_timer = telemetry.history_timer();
         let cond_timer = telemetry.timer();
@@ -277,11 +388,12 @@ fn worker_loop(
     telemetry: Arc<Telemetry>,
 ) {
     while let Ok(job) = rx.recv() {
-        let result = run_group(&job.group, &job.registry, &store, &clock, &telemetry);
-        let first = job.group.first().map_or(0, |(i, _)| *i);
-        let _ = job.reply.send(GroupReply {
+        let result = run_group(&job, &store, &clock, &telemetry);
+        let first = job.group.firings.first().map_or(0, |(i, _)| *i);
+        let Job { group, reply, .. } = job;
+        let _ = reply.send(GroupReply {
             first,
-            group: job.group,
+            group,
             result,
         });
     }
@@ -341,33 +453,38 @@ impl Scheduler {
     }
 
     /// Fan the groups out to the pool and collect every reply, keyed by
-    /// the group's first original batch index (so merging walks the
-    /// batch in its serial order).
+    /// the group's first original batch index (a deterministic
+    /// collection order; the merge itself re-sorts individual firings
+    /// into strict batch order).
     fn execute(
         &self,
         registry: Arc<ClassRegistry>,
-        groups: Vec<Vec<(usize, ReadyFiring)>>,
+        footprints: Arc<HashMap<RuleId, RuleFootprint>>,
+        shared_writes: Arc<Vec<AttrPattern>>,
+        groups: Vec<ConflictGroup>,
         telemetry: &Telemetry,
         now: u64,
-    ) -> Vec<(Vec<(usize, ReadyFiring)>, GroupResult)> {
+    ) -> Vec<(ConflictGroup, GroupResult)> {
         let tx = self.job_tx.as_ref().expect("pool alive");
         let (reply_tx, reply_rx) = unbounded::<GroupReply>();
         let n = groups.len();
         for group in groups {
-            telemetry.observe(Stage::SchedulerGroup, now, group.len() as u64, || {
-                format!("group of {}", group.len())
+            let size = group.firings.len();
+            telemetry.observe(Stage::SchedulerGroup, now, size as u64, || {
+                format!("group of {size}")
             });
             let job = Job {
                 group,
                 registry: Arc::clone(&registry),
+                footprints: Arc::clone(&footprints),
+                shared_writes: Arc::clone(&shared_writes),
                 reply: reply_tx.clone(),
             };
             assert!(tx.send(job).is_ok(), "scheduler workers alive");
         }
         drop(reply_tx);
         let wait_timer = telemetry.timer();
-        let mut replies: BTreeMap<usize, (Vec<(usize, ReadyFiring)>, GroupResult)> =
-            BTreeMap::new();
+        let mut replies: BTreeMap<usize, (ConflictGroup, GroupResult)> = BTreeMap::new();
         for _ in 0..n {
             let r = reply_rx.recv().expect("scheduler workers alive");
             replies.insert(r.first, (r.group, r.result));
@@ -394,9 +511,9 @@ pub(crate) enum Plan {
     /// On the committing/draining thread, in resolver order (the only
     /// plan under `ExecutionMode::Serial`).
     Serial(Vec<ReadyFiring>),
-    /// Partitioned into ≥ 2 independent conflict groups; each inner vec
+    /// Partitioned into ≥ 2 independent conflict groups; each group
     /// keeps `(original batch index, firing)` in resolver order.
-    Parallel(Vec<Vec<(usize, ReadyFiring)>>),
+    Parallel(Vec<ConflictGroup>),
 }
 
 impl Database {
@@ -444,7 +561,7 @@ impl Database {
                         .occurrence
                         .constituents
                         .last()
-                        .map_or(0, |c| c.oid.0);
+                        .map_or(Oid::NIL, |c| c.oid);
                     keys.push((component, target));
                 }
                 // Untagged, serial-lane, or stamped under a stale
@@ -452,8 +569,8 @@ impl Database {
                 _ => return self.plan_serial_fallback(batch),
             }
         }
-        let mut order: Vec<(u32, u64)> = Vec::new();
-        let mut groups: HashMap<(u32, u64), Vec<(usize, ReadyFiring)>> = HashMap::new();
+        let mut order: Vec<(u32, Oid)> = Vec::new();
+        let mut groups: HashMap<(u32, Oid), Vec<(usize, ReadyFiring)>> = HashMap::new();
         for (i, (f, key)) in batch.into_iter().zip(keys).enumerate() {
             let slot = groups.entry(key).or_default();
             if slot.is_empty() {
@@ -477,7 +594,10 @@ impl Database {
         Plan::Parallel(
             order
                 .into_iter()
-                .map(|k| groups.remove(&k).expect("grouped"))
+                .map(|key| ConflictGroup {
+                    target: key.1,
+                    firings: groups.remove(&key).expect("grouped"),
+                })
                 .collect(),
         )
     }
@@ -492,32 +612,37 @@ impl Database {
 
     fn dispatch_to_pool(
         &mut self,
-        groups: Vec<Vec<(usize, ReadyFiring)>>,
-    ) -> Vec<(Vec<(usize, ReadyFiring)>, GroupResult)> {
+        groups: Vec<ConflictGroup>,
+    ) -> Vec<(ConflictGroup, GroupResult)> {
         let sched = self.scheduler.as_mut().expect("parallel plan");
         let registry = sched.snapshot_registry(&self.registry);
-        sched.execute(registry, groups, &self.telemetry, self.clock.now())
+        let matrix = sched.matrix.as_ref().expect("fresh matrix behind plan");
+        let footprints = matrix.footprints();
+        let shared_writes = matrix.shared_writes();
+        sched.execute(
+            registry,
+            footprints,
+            shared_writes,
+            groups,
+            &self.telemetry,
+            self.clock.now(),
+        )
     }
 
-    /// Restore (newest first) every worker write at or after position
-    /// `(from_group, from_done)` that has not been merged into the
-    /// transaction pipeline — the cleanup before propagating an error,
-    /// so no unstaged store mutation survives it.
-    fn undo_unmerged(
-        &self,
-        results: &[(Vec<(usize, ReadyFiring)>, GroupResult)],
-        from_group: usize,
-        from_done: usize,
-    ) {
-        for (gi, (_, result)) in results.iter().enumerate().skip(from_group) {
-            if let GroupResult::Completed(dones) = result {
-                let start = if gi == from_group { from_done } else { 0 };
-                for done in dones[start..].iter().rev() {
-                    for w in done.writes.iter().rev() {
-                        let _ = self
-                            .store
-                            .set_attr(&self.registry, w.oid, &w.attr, w.old.clone());
-                    }
+    /// Restore (newest first) every worker write from flattened step
+    /// `from` onward that has not been merged into the transaction
+    /// pipeline — the cleanup before propagating an error, so no
+    /// unstaged store mutation survives it. `from` is the *failing*
+    /// step itself: a merge that errored partway leaves a tail of
+    /// writes with no staged undo, and re-restoring its already-staged
+    /// head is idempotent (both put back the same old value).
+    fn undo_unmerged(&self, steps: &[(usize, MergeStep<'_>)], from: usize) {
+        for (_, step) in steps[from..].iter().rev() {
+            if let MergeStep::Merge(_, done) = step {
+                for w in done.writes.iter().rev() {
+                    let _ = self
+                        .store
+                        .set_attr(&self.registry, w.oid, &w.attr, w.old.clone());
                 }
             }
         }
@@ -582,36 +707,36 @@ impl Database {
         Ok(())
     }
 
+    /// Bump the scheduler counters for one firing re-run on the serial
+    /// path after its group failed on a worker.
+    fn count_serial_rerun(&mut self) {
+        if let Some(sched) = &mut self.scheduler {
+            sched.stats.serial_reruns += 1;
+            sched.stats.serial_firings += 1;
+        }
+    }
+
     /// Parallel execution of one deferred round, inside the committing
-    /// transaction. On error every unmerged worker write is restored
-    /// first; the caller's rollback then covers everything staged.
-    pub(crate) fn run_deferred_parallel(
-        &mut self,
-        groups: Vec<Vec<(usize, ReadyFiring)>>,
-    ) -> Result<()> {
+    /// transaction. Worker results are merged — and `NeedsSerial`
+    /// firings re-run — strictly in original batch order, so the WAL,
+    /// undo, stats, and history streams come out exactly as the serial
+    /// path would have produced them. On error every unmerged worker
+    /// write is restored first; the caller's rollback then covers
+    /// everything staged.
+    pub(crate) fn run_deferred_parallel(&mut self, groups: Vec<ConflictGroup>) -> Result<()> {
         let results = self.dispatch_to_pool(groups);
-        for gi in 0..results.len() {
-            match &results[gi] {
-                (group, GroupResult::Completed(dones)) => {
-                    for (di, ((_, f), done)) in group.iter().zip(dones).enumerate() {
-                        if let Err(e) = self.merge_parallel_firing(f, done) {
-                            self.undo_unmerged(&results, gi, di + 1);
-                            return Err(e);
-                        }
-                    }
+        let steps = flatten_steps(&results);
+        for k in 0..steps.len() {
+            let outcome = match steps[k].1 {
+                MergeStep::Merge(f, done) => self.merge_parallel_firing(f, done),
+                MergeStep::Rerun(f) => {
+                    self.count_serial_rerun();
+                    self.execute_firing(f)
                 }
-                (group, GroupResult::NeedsSerial) => {
-                    for (_, f) in group {
-                        if let Some(sched) = &mut self.scheduler {
-                            sched.stats.serial_reruns += 1;
-                            sched.stats.serial_firings += 1;
-                        }
-                        if let Err(e) = self.execute_firing(f) {
-                            self.undo_unmerged(&results, gi + 1, 0);
-                            return Err(e);
-                        }
-                    }
-                }
+            };
+            if let Err(e) = outcome {
+                self.undo_unmerged(&steps, k);
+                return Err(e);
             }
         }
         Ok(())
@@ -619,50 +744,74 @@ impl Database {
 
     /// Parallel execution of a detached batch: worker-completed firings
     /// are merged each inside its own follow-on transaction (preserving
-    /// the one-transaction-per-detached-firing contract), `NeedsSerial`
-    /// groups replay the ordinary serial detached path.
-    pub(crate) fn run_detached_parallel(
-        &mut self,
-        groups: Vec<Vec<(usize, ReadyFiring)>>,
-    ) -> Result<()> {
+    /// the one-transaction-per-detached-firing contract) and
+    /// `NeedsSerial` firings replay the ordinary serial detached path,
+    /// all strictly in original batch order.
+    pub(crate) fn run_detached_parallel(&mut self, groups: Vec<ConflictGroup>) -> Result<()> {
         let results = self.dispatch_to_pool(groups);
-        for gi in 0..results.len() {
-            match &results[gi] {
-                (group, GroupResult::Completed(dones)) => {
-                    for (di, ((_, f), done)) in group.iter().zip(dones).enumerate() {
-                        SharedDbStats::bump(&self.stats.detached_runs);
-                        self.telemetry
-                            .hit(Stage::DetachedRun, self.clock.now(), || {
-                                f.firing.rule_name.to_string()
-                            });
-                        let committed = self
-                            .pipeline
-                            .begin()
-                            .and_then(|_| self.merge_parallel_firing(f, done))
-                            .and_then(|_| self.commit_internal());
-                        if let Err(e) = committed {
-                            if self.pipeline.in_txn() {
-                                self.rollback();
-                            }
-                            self.undo_unmerged(&results, gi, di + 1);
-                            return Err(e);
+        let steps = flatten_steps(&results);
+        for k in 0..steps.len() {
+            match steps[k].1 {
+                MergeStep::Merge(f, done) => {
+                    SharedDbStats::bump(&self.stats.detached_runs);
+                    self.telemetry
+                        .hit(Stage::DetachedRun, self.clock.now(), || {
+                            f.firing.rule_name.to_string()
+                        });
+                    let committed = self
+                        .pipeline
+                        .begin()
+                        .and_then(|_| self.merge_parallel_firing(f, done))
+                        .and_then(|_| self.commit_internal());
+                    if let Err(e) = committed {
+                        if self.pipeline.in_txn() {
+                            self.rollback();
                         }
+                        self.undo_unmerged(&steps, k);
+                        return Err(e);
                     }
                 }
-                (group, GroupResult::NeedsSerial) => {
-                    for (_, f) in group {
-                        if let Some(sched) = &mut self.scheduler {
-                            sched.stats.serial_reruns += 1;
-                            sched.stats.serial_firings += 1;
-                        }
-                        if let Err(e) = self.run_detached_serial(f) {
-                            self.undo_unmerged(&results, gi + 1, 0);
-                            return Err(e);
-                        }
+                MergeStep::Rerun(f) => {
+                    self.count_serial_rerun();
+                    if let Err(e) = self.run_detached_serial(f) {
+                        self.undo_unmerged(&steps, k);
+                        return Err(e);
                     }
                 }
             }
         }
         Ok(())
     }
+}
+
+/// One unit of coordinator work after a parallel dispatch: merge a
+/// worker-completed firing, or re-run a firing whose group fell back.
+enum MergeStep<'a> {
+    Merge(&'a ReadyFiring, &'a FiringDone),
+    Rerun(&'a ReadyFiring),
+}
+
+/// Flatten group results into individual steps sorted by original
+/// batch index, so the coordinator replays the batch in exactly the
+/// order the serial path would have used — even when group memberships
+/// interleave (group A holding batch indices 0 and 2, group B holding
+/// 1 and 3).
+fn flatten_steps(results: &[(ConflictGroup, GroupResult)]) -> Vec<(usize, MergeStep<'_>)> {
+    let mut steps = Vec::new();
+    for (group, result) in results {
+        match result {
+            GroupResult::Completed(dones) => {
+                for ((i, f), done) in group.firings.iter().zip(dones) {
+                    steps.push((*i, MergeStep::Merge(f, done)));
+                }
+            }
+            GroupResult::NeedsSerial => {
+                for (i, f) in &group.firings {
+                    steps.push((*i, MergeStep::Rerun(f)));
+                }
+            }
+        }
+    }
+    steps.sort_by_key(|(i, _)| *i);
+    steps
 }

@@ -79,8 +79,20 @@ impl From<&str> for EventPattern {
 /// * no effects call at all → effects **unknown** (analyzer is
 ///   conservative, scheduler runs the action's rules serially);
 /// * [`pure`](Self::pure), or any [`writes`](Self::writes) /
-///   [`raises`](Self::raises) → effects **declared** as exactly the
-///   accumulated patterns (an empty declaration asserts "no effects").
+///   [`reads`](Self::reads) / [`raises`](Self::raises) → effects
+///   **declared** as exactly the accumulated patterns (an empty
+///   declaration asserts "no effects").
+///
+/// A declared `ActionDef` states the firing's **complete data
+/// footprint**: [`writes`](Self::writes) lists every attribute the
+/// action may write (and read), [`reads`](Self::reads) lists every
+/// *additional* attribute the action — or any rule condition paired
+/// with it — may read. Omitting `reads` asserts the firing reads
+/// nothing beyond its writes. The parallel scheduler trusts this
+/// footprint to run independent firings concurrently, and its worker
+/// shim verifies it at runtime: an access outside the declared
+/// footprint (or to an object other than the firing's target) makes
+/// the whole group fall back to serial re-execution.
 ///
 /// A definition without a [`body`](Self::body) re-declares the effects
 /// of an action already registered under the same name — the successor
@@ -128,6 +140,20 @@ impl ActionDef {
         self
     }
 
+    /// Declare an attribute the firing reads but does not write
+    /// (declared writes are implicitly readable, so read-modify-write
+    /// attributes need only a [`writes`](Self::writes) entry). The
+    /// declaration covers the rule's *condition* as well as the action
+    /// body. Accepts the same pattern forms as [`writes`](Self::writes).
+    pub fn reads(mut self, pattern: impl Into<AttrPattern>) -> Self {
+        self.effects
+            .get_or_insert_with(ActionEffects::none)
+            .reads
+            .get_or_insert_with(Vec::new)
+            .push(pattern.into());
+        self
+    }
+
     /// Declare an event the action may cause to be raised. Accepts an
     /// [`EventPattern`], a `("Class", "method")` pair, or a
     /// `"Class.method"` string.
@@ -139,10 +165,10 @@ impl ActionDef {
         self
     }
 
-    /// Assert the action raises no events and writes no attributes (a
-    /// pure observer). Equivalent to declaring empty
-    /// [`ActionEffects`]; without this (or any `writes`/`raises`) the
-    /// effects stay *unknown*.
+    /// Assert the action raises no events, writes no attributes, and
+    /// reads no attributes (a pure observer of firing parameters).
+    /// Equivalent to declaring empty [`ActionEffects`]; without this
+    /// (or any `writes`/`reads`/`raises`) the effects stay *unknown*.
     pub fn pure(mut self) -> Self {
         self.effects.get_or_insert_with(ActionEffects::none);
         self

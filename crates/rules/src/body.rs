@@ -73,20 +73,36 @@ impl std::fmt::Display for AttrPattern {
 /// the author states at registration. An action with *no* declaration
 /// is conservatively analyzed as "may raise anything" (and flagged with
 /// an `unknown-effects` info lint); a declared empty `ActionEffects`
-/// asserts the action raises no events and writes no attributes.
+/// asserts the action raises no events, writes no attributes, and
+/// reads no attributes.
+///
+/// The declaration covers the whole rule firing: a rule's *condition*
+/// reads must also fall inside the action's declared `reads`/`writes`
+/// footprint for the parallel scheduler to trust the rule.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ActionEffects {
     /// Events the action may cause to be raised (message sends it makes).
     pub raises: Vec<EventPattern>,
     /// Attributes the action may write.
     pub writes: Vec<AttrPattern>,
+    /// Attributes the firing (condition + action) may read *beyond* its
+    /// writes. `None` means the read-set is **unknown** — the parallel
+    /// scheduler must assume the firing can read anything and keeps its
+    /// rules on the serial path; `Some(vec![])` asserts the firing reads
+    /// nothing but what it writes.
+    pub reads: Option<Vec<AttrPattern>>,
 }
 
 impl ActionEffects {
-    /// An action that provably raises no events and writes nothing
-    /// (pure observers, `abort`, `noop`).
+    /// An action that provably raises no events, writes nothing, and
+    /// reads nothing (pure observers of firing parameters, `abort`,
+    /// `noop`).
     pub fn none() -> Self {
-        ActionEffects::default()
+        ActionEffects {
+            raises: Vec::new(),
+            writes: Vec::new(),
+            reads: Some(Vec::new()),
+        }
     }
 
     /// Builder: add a raised event pattern.
@@ -98,6 +114,24 @@ impl ActionEffects {
     /// Builder: add a written attribute pattern.
     pub fn writing(mut self, class: impl Into<String>, attr: impl Into<String>) -> Self {
         self.writes.push(AttrPattern::new(class, attr));
+        self
+    }
+
+    /// Builder: add a read attribute pattern (an attribute the firing
+    /// reads but does not write — declared writes are implicitly
+    /// readable).
+    pub fn reading(mut self, class: impl Into<String>, attr: impl Into<String>) -> Self {
+        self.reads
+            .get_or_insert_with(Vec::new)
+            .push(AttrPattern::new(class, attr));
+        self
+    }
+
+    /// Builder: mark the read-set as unknown. The analyzer then treats
+    /// the action's rules as able to read anything, which confines them
+    /// to the serial execution path.
+    pub fn reads_unknown(mut self) -> Self {
+        self.reads = None;
         self
     }
 }

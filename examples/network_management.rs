@@ -81,6 +81,7 @@ fn main() -> Result<()> {
     db.register(
         ActionDef::new("escalate")
             .writes(("Pager", "pages"))
+            .reads(("Link", "name"))
             .body(move |w, f| {
                 let link = f.occurrence.constituents[0].oid;
                 let name = w.get_attr(link, "name")?;
@@ -102,6 +103,7 @@ fn main() -> Result<()> {
     db.register(
         ActionDef::new("page-outage")
             .writes(("Pager", "pages"))
+            .reads(("Link", "name"))
             .body(move |w, f| {
                 let link = f.occurrence.constituents[0].oid;
                 let name = w.get_attr(link, "name")?;

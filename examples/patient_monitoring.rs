@@ -59,6 +59,7 @@ fn main() -> Result<()> {
     db.register(
         ActionDef::new("page-physician")
             .writes(("Physician", "pages"))
+            .reads(("Patient", "name"))
             .body(move |w, firing| {
                 let patient = firing.occurrence.constituents[0].oid;
                 let who = w.get_attr(patient, "name")?;
@@ -78,6 +79,7 @@ fn main() -> Result<()> {
     db.register(
         ActionDef::new("flag-med-change")
             .writes(("Physician", "pages"))
+            .reads(("Patient", "name"))
             .body(move |w, firing| {
                 let patient = firing
                     .occurrence

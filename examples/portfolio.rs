@@ -66,6 +66,9 @@ fn main() -> Result<()> {
     db.register(
         ActionDef::new("purchase")
             .writes(("Portfolio", "shares"))
+            // The `buy-window` condition consults the market objects.
+            .reads(("Stock", "price"))
+            .reads(("FinancialInfo", "change"))
             .body(move |w, _| {
                 w.send(parker, "PurchaseIBMStock", &[])?;
                 Ok(())

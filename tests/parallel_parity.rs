@@ -230,3 +230,235 @@ fn parallel_smoke_two_components() {
     assert_eq!(sensors[1], (2.0, 1));
     assert_eq!(firings.len(), 4, "{firings:?}");
 }
+
+// ---------------------------------------------------------------------
+// Runtime footprint enforcement: a body whose actual accesses exceed
+// its declaration must degrade to a serial re-run — never merge a
+// half-checked result or race a concurrent group.
+// ---------------------------------------------------------------------
+
+/// Two accounts and one deferred `Audit` rule whose action is supplied
+/// by the test: the declarations on `def` say one thing, the body may
+/// do another.
+fn build_audit_db(mode: ExecutionMode, def: ActionDef) -> (Database, Vec<Oid>) {
+    let mut db = Database::with_config(
+        DbConfig::default()
+            .history_enabled(true)
+            .history_capacity(8192)
+            .execution(mode),
+    )
+    .unwrap();
+    db.define_class(
+        ClassDecl::reactive("Acct")
+            .attr("balance", TypeTag::Float)
+            .attr("audited", TypeTag::Int)
+            .attr("shadow", TypeTag::Int)
+            .event_method("Credit", &[("x", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Acct", "Credit", "balance").unwrap();
+    db.register(def).unwrap();
+    db.add_class_rule(
+        "Acct",
+        RuleDef::on(event("end Acct::Credit(float x)").unwrap())
+            .named("Audit")
+            .then("audit")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    let accts = (0..2).map(|_| db.create("Acct").unwrap()).collect();
+    (db, accts)
+}
+
+/// Credit both accounts in one transaction (two same-component groups,
+/// so the batch is parallel-eligible) and snapshot `(audited, shadow)`
+/// per account.
+fn run_two_credits(mode: ExecutionMode, def: &ActionDef) -> (Database, Vec<(i64, i64)>) {
+    let (mut db, accts) = build_audit_db(mode, def.clone());
+    db.begin().unwrap();
+    db.send(accts[0], "Credit", &[Value::Float(5.0)]).unwrap();
+    db.send(accts[1], "Credit", &[Value::Float(6.0)]).unwrap();
+    db.commit().unwrap();
+    let state = accts
+        .iter()
+        .map(|&o| {
+            (
+                db.get_attr(o, "audited").unwrap().as_int().unwrap(),
+                db.get_attr(o, "shadow").unwrap().as_int().unwrap(),
+            )
+        })
+        .collect();
+    (db, state)
+}
+
+/// The other account in a two-account extent.
+fn counterparty(w: &dyn World, me: Oid) -> Oid {
+    w.extent("Acct")
+        .unwrap()
+        .into_iter()
+        .find(|&o| o != me)
+        .expect("two accounts")
+}
+
+/// A body that writes an attribute missing from its declared write-set
+/// is rejected on the worker and the whole batch re-runs serially,
+/// producing exactly the serial outcome (`shadow` written included).
+#[test]
+fn undeclared_write_degrades_to_serial_rerun() {
+    let def = ActionDef::new("audit")
+        .writes(("Acct", "audited"))
+        .body(|w, f| {
+            let me = f.occurrence.constituents[0].oid;
+            let n = w.get_attr(me, "audited")?.as_int()?;
+            w.set_attr(me, "audited", Value::Int(n + 1))?;
+            // Undeclared: `shadow` is not in the write-set above.
+            let s = w.get_attr(me, "shadow")?.as_int()?;
+            w.set_attr(me, "shadow", Value::Int(s + 1))?;
+            Ok(())
+        });
+    let (_sdb, serial) = run_two_credits(ExecutionMode::Serial, &def);
+    let (pdb, parallel) = run_two_credits(
+        ExecutionMode::Parallel {
+            workers: pool_workers(),
+        },
+        &def,
+    );
+    assert_eq!(serial, vec![(1, 1), (1, 1)]);
+    assert_eq!(serial, parallel);
+    let stats = pdb.scheduler_stats();
+    assert_eq!(stats.serial_reruns, 2, "{stats:?}");
+    assert_eq!(stats.parallel_firings, 0, "{stats:?}");
+}
+
+/// A write to a *declared* attribute on an object other than the
+/// firing's target is rejected: target sharding assumes instance-local
+/// writes, so a cross-instance write would race the counterparty's own
+/// group. The serial re-run applies it with full ordering semantics.
+#[test]
+fn cross_target_write_degrades_to_serial_rerun() {
+    let def = ActionDef::new("audit")
+        .writes(("Acct", "audited"))
+        .body(|w, f| {
+            let me = f.occurrence.constituents[0].oid;
+            let other = counterparty(w, me);
+            let n = w.get_attr(me, "audited")?.as_int()?;
+            // Declared attribute, wrong instance.
+            w.set_attr(other, "audited", Value::Int(n + 1))?;
+            Ok(())
+        });
+    let (_sdb, serial) = run_two_credits(ExecutionMode::Serial, &def);
+    let (pdb, parallel) = run_two_credits(
+        ExecutionMode::Parallel {
+            workers: pool_workers(),
+        },
+        &def,
+    );
+    // Order-dependent by construction: the second firing reads the
+    // first one's write. Only strict serial-order re-execution gets
+    // `(2, _), (1, _)`.
+    assert_eq!(serial, vec![(2, 0), (1, 0)]);
+    assert_eq!(serial, parallel);
+    let stats = pdb.scheduler_stats();
+    assert_eq!(stats.serial_reruns, 2, "{stats:?}");
+    assert_eq!(stats.parallel_firings, 0, "{stats:?}");
+}
+
+/// An undeclared read of an attribute some parallel rule writes
+/// (`audited` on the counterparty) could observe a concurrent group's
+/// half-applied effects — the exact race the read-set analysis exists
+/// to prevent. The guard rejects it and the serial re-run preserves
+/// read-your-predecessor ordering.
+#[test]
+fn undeclared_contended_read_degrades_to_serial_rerun() {
+    let def = ActionDef::new("audit")
+        .writes(("Acct", "audited"))
+        .body(|w, f| {
+            let me = f.occurrence.constituents[0].oid;
+            let other = counterparty(w, me);
+            // Undeclared read of an attribute concurrently written by
+            // the counterparty's group.
+            let n = w.get_attr(other, "audited")?.as_int()?;
+            w.set_attr(me, "audited", Value::Int(n + 10))?;
+            Ok(())
+        });
+    let (_sdb, serial) = run_two_credits(ExecutionMode::Serial, &def);
+    let (pdb, parallel) = run_two_credits(
+        ExecutionMode::Parallel {
+            workers: pool_workers(),
+        },
+        &def,
+    );
+    // Serial order: firing 1 observes firing 0's write (10 → 20).
+    assert_eq!(serial, vec![(10, 0), (20, 0)]);
+    assert_eq!(serial, parallel);
+    let stats = pdb.scheduler_stats();
+    assert_eq!(stats.serial_reruns, 2, "{stats:?}");
+    assert_eq!(stats.parallel_firings, 0, "{stats:?}");
+}
+
+/// A *declared* read of an attribute no parallel rule writes is safe
+/// from any object — nothing concurrent can be mutating it — so the
+/// batch keeps the worker-pool fast path.
+#[test]
+fn benign_declared_read_keeps_parallel_lane() {
+    let def = ActionDef::new("audit")
+        .writes(("Acct", "audited"))
+        .reads(("Acct", "balance"))
+        .body(|w, f| {
+            let me = f.occurrence.constituents[0].oid;
+            let other = counterparty(w, me);
+            // Off-target read, but `balance` is written only by the
+            // (serial) setter — never by a parallel rule.
+            let b = w.get_attr(other, "balance")?.as_float()?;
+            let n = w.get_attr(me, "audited")?.as_int()?;
+            w.set_attr(me, "audited", Value::Int(n + 1 + (b < 0.0) as i64))?;
+            Ok(())
+        });
+    let (_sdb, serial) = run_two_credits(ExecutionMode::Serial, &def);
+    let (pdb, parallel) = run_two_credits(
+        ExecutionMode::Parallel {
+            workers: pool_workers(),
+        },
+        &def,
+    );
+    assert_eq!(serial, vec![(1, 0), (1, 0)]);
+    assert_eq!(serial, parallel);
+    let stats = pdb.scheduler_stats();
+    assert_eq!(stats.serial_reruns, 0, "{stats:?}");
+    assert_eq!(stats.parallel_firings, 2, "{stats:?}");
+    assert_eq!(stats.parallel_batches, 1, "{stats:?}");
+}
+
+/// Group memberships that interleave across the batch (indices 0 and 2
+/// in one group, 1 and 3 in another) must still merge in original batch
+/// order: the firing-history stream under Parallel is byte-identical in
+/// order to the Serial one.
+#[test]
+fn merge_preserves_original_batch_order() {
+    let run = |mode| {
+        let (mut db, accts, sensors) = build_db(mode);
+        db.begin().unwrap();
+        db.send(accts[0], "Credit", &[Value::Float(1.0)]).unwrap();
+        db.send(sensors[0], "Ping", &[Value::Float(2.0)]).unwrap();
+        db.send(accts[0], "Credit", &[Value::Float(3.0)]).unwrap();
+        db.send(sensors[0], "Ping", &[Value::Float(4.0)]).unwrap();
+        db.commit().unwrap();
+        let seq: Vec<(String, u64)> = db
+            .telemetry()
+            .firings()
+            .dump_all()
+            .into_iter()
+            .map(|r| (r.rule, r.target))
+            .collect();
+        (db, seq)
+    };
+    let (_sdb, serial_seq) = run(ExecutionMode::Serial);
+    let (pdb, parallel_seq) = run(ExecutionMode::Parallel {
+        workers: pool_workers(),
+    });
+    assert_eq!(serial_seq.len(), 4, "{serial_seq:?}");
+    assert_eq!(serial_seq, parallel_seq);
+    let stats = pdb.scheduler_stats();
+    assert_eq!(stats.parallel_firings, 4, "{stats:?}");
+    assert!(stats.groups_formed >= 2, "{stats:?}");
+}
