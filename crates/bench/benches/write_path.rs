@@ -1,0 +1,181 @@
+//! Steady-state attribute-write throughput: the slot-interned write
+//! path vs. the pre-PR string-keyed baseline.
+//!
+//! Every workload this repo benchmarks — dispatch, group commit,
+//! parallel firing — bottoms out in `set_attr`, so this bench measures
+//! that floor directly: one writer, one object, large transactions of
+//! scalar `Int` writes, with telemetry, history, indexes, and the
+//! effect recorder all off. Two scenarios:
+//!
+//! * `in_memory` — no WAL at all: the pure store + undo path. After
+//!   slot interning this path performs **zero heap allocations** per
+//!   write (asserted by `tests/zero_alloc.rs`).
+//! * `wal_grouped` — durable, `SyncPolicy::Grouped { max_batch: 64,
+//!   max_wait: 1ms }`: adds the v2 slot-keyed `LogRecord::SetSlot`
+//!   encode into the WAL's reusable staging buffer.
+//!
+//! A custom harness (not Criterion) so the run can compare against the
+//! recorded pre-PR baseline and write `BENCH_write_path.json` at the
+//! repository root. `--quick` is the CI smoke mode: short rounds, an
+//! in-memory-beats-durable sanity assert, and the committed JSON is
+//! left untouched.
+
+use sentinel_db::prelude::*;
+use sentinel_db::Database;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Pre-PR baselines (attrs/sec), measured on this machine at the
+/// parent commit of this PR with the identical scenario parameters
+/// below, when `set_attr_internal` still allocated per write
+/// (`attr.to_string()` for the log record, a second `old.clone()` for
+/// undo, and a `serde_json::to_string` String per WAL append). The
+/// speedup recorded in `BENCH_write_path.json` is measured throughput
+/// divided by these. See DESIGN.md §17.
+const BASELINE_MEM_ATTRS_PER_SEC: f64 = 6_214_021.0;
+const BASELINE_GROUPED_ATTRS_PER_SEC: f64 = 621_588.0;
+
+const TXNS: usize = 64;
+const WRITES_PER_TXN: usize = 50_000;
+const MAX_BATCH: usize = 64;
+const MAX_WAIT: Duration = Duration::from_millis(1);
+
+#[derive(Serialize)]
+struct Scenario {
+    writers: usize,
+    txns: usize,
+    writes_per_txn: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    mode: &'static str,
+    attrs_per_sec: f64,
+    baseline_attrs_per_sec: f64,
+    speedup_vs_string_path: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: &'static str,
+    scenario: Scenario,
+    results: Vec<Row>,
+}
+
+fn setup(config: DbConfig) -> (Database, Oid) {
+    let mut db = Database::with_config(config).unwrap();
+    db.define_class(ClassDecl::new("W").attr("v", TypeTag::Int))
+        .unwrap();
+    let o = db.create("W").unwrap();
+    (db, o)
+}
+
+/// One writer, `txns` transactions of `writes` scalar writes each;
+/// returns attrs/sec measured from the first write until the final
+/// commit (plus WAL drain, when durable) completes.
+fn round(config: DbConfig, durable: bool, txns: usize, writes: usize) -> f64 {
+    let (mut db, o) = setup(config);
+    let t0 = Instant::now();
+    for t in 0..txns {
+        db.begin().unwrap();
+        for i in 0..writes {
+            db.set_attr(o, "v", Value::Int((t * writes + i) as i64))
+                .unwrap();
+        }
+        db.commit().unwrap();
+    }
+    if durable {
+        db.sync_wal().unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    (txns * writes) as f64 / elapsed
+}
+
+fn mem_round(txns: usize, writes: usize) -> f64 {
+    round(DbConfig::in_memory(), false, txns, writes)
+}
+
+fn grouped_round(dir: &std::path::Path, txns: usize, writes: usize) -> f64 {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    let rate = round(
+        DbConfig::durable(dir).sync(SyncPolicy::Grouped {
+            max_batch: MAX_BATCH,
+            max_wait: MAX_WAIT,
+        }),
+        true,
+        txns,
+        writes,
+    );
+    let _ = std::fs::remove_dir_all(dir);
+    rate
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let dir = std::env::temp_dir().join(format!("sentinel-write-path-{}", std::process::id()));
+
+    if quick {
+        // CI smoke: short rounds; the in-memory path does strictly less
+        // work than the durable one (no record encode, no fsync), so it
+        // must not come out slower (0.8x absorbs runner noise).
+        let (txns, writes) = (8, 2_000);
+        let mem = mem_round(txns, writes);
+        let grouped = grouped_round(&dir, txns, writes);
+        println!("write_path --quick ({txns} txns x {writes} writes)");
+        println!("  in_memory:   {mem:>12.0} attrs/s");
+        println!("  wal_grouped: {grouped:>12.0} attrs/s");
+        assert!(
+            mem >= grouped * 0.8,
+            "in-memory write path slower than the durable one: {mem:.0} vs {grouped:.0}"
+        );
+        println!("  (--quick: smoke run, BENCH_write_path.json not rewritten)");
+        return;
+    }
+
+    // Warm-up round to stabilise frequency scaling and page cache.
+    mem_round(4, WRITES_PER_TXN);
+
+    // Best of three per mode: the environment's run-to-run noise is
+    // large relative to the effect, and the fastest round is the one
+    // least disturbed by it.
+    let mem = (0..3)
+        .map(|_| mem_round(TXNS, WRITES_PER_TXN))
+        .fold(0.0f64, f64::max);
+    let grouped = (0..3)
+        .map(|_| grouped_round(&dir, TXNS, WRITES_PER_TXN))
+        .fold(0.0f64, f64::max);
+
+    println!("write_path ({TXNS} txns x {WRITES_PER_TXN} writes, 1 writer)");
+    let mut results = Vec::new();
+    for (mode, rate, baseline) in [
+        ("in_memory", mem, BASELINE_MEM_ATTRS_PER_SEC),
+        ("wal_grouped", grouped, BASELINE_GROUPED_ATTRS_PER_SEC),
+    ] {
+        let speedup = if baseline > 0.0 { rate / baseline } else { 0.0 };
+        println!("  {mode:<12} {rate:>12.0} attrs/s | baseline {baseline:>12.0} | {speedup:>5.2}x");
+        results.push(Row {
+            mode,
+            attrs_per_sec: rate,
+            baseline_attrs_per_sec: baseline,
+            speedup_vs_string_path: speedup,
+        });
+    }
+
+    let report = Report {
+        bench: "write_path",
+        scenario: Scenario {
+            writers: 1,
+            txns: TXNS,
+            writes_per_txn: WRITES_PER_TXN,
+            max_batch: MAX_BATCH,
+            max_wait_ms: MAX_WAIT.as_millis() as u64,
+        },
+        results,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_write_path.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap() + "\n").unwrap();
+    println!("  wrote {path}");
+}

@@ -20,12 +20,10 @@ use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
 };
-use sentinel_rules::{
-    ActionDef, ActionEffects, ConflictResolver, EngineStats, Firing, Lineage, RuleEngine,
-};
+use sentinel_rules::{ActionDef, ConflictResolver, EngineStats, Firing, Lineage, RuleEngine};
 use sentinel_storage::{LogRecord, UndoOp, Wal};
 use sentinel_telemetry::{FiringRecord, Stage, Telemetry};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Names of the bootstrap meta-classes (paper Figure 3).
@@ -102,6 +100,11 @@ pub struct Database {
     /// them to an external executor.
     pub(crate) inline_detached: bool,
     pub(crate) indexes: Arc<RwLock<Vec<AttrIndex>>>,
+    /// Cached `!indexes.is_empty()`, so the hot write path can skip the
+    /// index-refresh branch without acquiring the `indexes` read lock.
+    /// Sound because the index set is only mutated through `&mut self`
+    /// methods (`create_index` / `drop_index`), which keep it in sync.
+    pub(crate) has_indexes: bool,
     /// Objects mutated by the active transaction, re-indexed on abort.
     pub(crate) txn_touched: Vec<Oid>,
     pub(crate) events: HashMap<String, EventRecord>,
@@ -132,10 +135,56 @@ pub struct Database {
 
 /// Observed effects per action name, plus the stack of actions currently
 /// executing (a cascade attributes inner raises to the innermost action).
+///
+/// Observations are interned: a write is `(ClassId, slot)` and a raise
+/// `(ClassId, Arc<str>)`, so recording on the hot write path costs a
+/// set insert — no class-name or attribute-name clone per write. Names
+/// are resolved against the schema only when the record is read back
+/// ([`RawEffects::resolve`]).
 #[derive(Default)]
 pub(crate) struct EffectRecorder {
-    pub(crate) records: BTreeMap<String, ObservedEffects>,
+    pub(crate) records: BTreeMap<String, RawEffects>,
     pub(crate) stack: Vec<String>,
+}
+
+/// Slot-interned observed effects of one action.
+#[derive(Default)]
+pub(crate) struct RawEffects {
+    pub(crate) raises: BTreeSet<(ClassId, Arc<str>)>,
+    pub(crate) writes: BTreeSet<(ClassId, u32)>,
+}
+
+impl RawEffects {
+    /// Rebuild the public string-keyed view by resolving class ids and
+    /// slot indices against the schema. Slot layouts are immutable, so
+    /// a recorded `(class, slot)` pair always names the same attribute.
+    pub(crate) fn resolve(&self, registry: &ClassRegistry) -> ObservedEffects {
+        let mut out = ObservedEffects::default();
+        for (class, method) in &self.raises {
+            out.record_raise(registry.get(*class).name.clone(), method.as_ref());
+        }
+        for (class, slot) in &self.writes {
+            let def = registry.get(*class);
+            out.record_write(
+                def.name.clone(),
+                def.layout[*slot as usize].attr.name.clone(),
+            );
+        }
+        out
+    }
+}
+
+impl EffectRecorder {
+    /// The record of the innermost executing action, creating it on
+    /// first observation. Steady state is a by-`&str` map hit — the
+    /// action name is cloned only the first time it is seen.
+    pub(crate) fn active_record(&mut self) -> Option<&mut RawEffects> {
+        let action = self.stack.last()?;
+        if self.records.contains_key(action.as_str()) {
+            return self.records.get_mut(action.as_str());
+        }
+        Some(self.records.entry(action.clone()).or_default())
+    }
 }
 
 impl std::fmt::Debug for Database {
@@ -232,6 +281,7 @@ impl Database {
             txn_start_clock: 0,
             inline_detached: true,
             indexes: Arc::new(RwLock::new(Vec::new())),
+            has_indexes: false,
             txn_touched: Vec::new(),
             events: HashMap::new(),
             catalog_undo: Vec::new(),
@@ -407,24 +457,6 @@ impl Database {
         self.engine.bodies.register_def(action)
     }
 
-    /// Register a named rule-action body together with its declared
-    /// effects.
-    #[deprecated(note = "build an `ActionDef` and pass it to `Database::register`")]
-    pub fn register_action_with_effects<F>(&mut self, name: &str, effects: ActionEffects, f: F)
-    where
-        F: Fn(&mut dyn World, &Firing) -> Result<()> + Send + Sync + 'static,
-    {
-        self.engine
-            .bodies
-            .register_action_with_effects(name, effects, f);
-    }
-
-    /// Declare (or replace) the effects of an already-registered action.
-    #[deprecated(note = "pass a bodyless `ActionDef` to `Database::register`")]
-    pub fn declare_action_effects(&mut self, name: &str, effects: ActionEffects) -> Result<()> {
-        self.engine.bodies.declare_action_effects(name, effects)
-    }
-
     /// Install a different conflict-resolution strategy.
     pub fn set_conflict_resolver(&mut self, r: Box<dyn ConflictResolver>) {
         self.engine.set_resolver(r);
@@ -495,56 +527,62 @@ impl Database {
     }
 
     pub(crate) fn create_internal(&mut self, class: ClassId) -> Result<Oid> {
+        if !self.pipeline.in_txn() {
+            return Err(ObjectError::NoActiveTransaction);
+        }
         let oid = self.store.create(&self.registry, class);
         self.pipeline.stage_undo(UndoOp::Create { oid })?;
-        let slots = self.store.with_state(oid, |st| st.slots.clone())?;
-        let class_name = self.registry.get(class).name.clone();
-        let txn = self.pipeline.current().expect("in txn");
-        self.log(LogRecord::Create {
-            txn,
-            oid,
-            class: class_name,
-            slots,
-        })?;
+        // The default slot row is materialised once for the redo record,
+        // and only when a WAL is attached; the in-memory path logs
+        // nothing and clones nothing. The record is the slot-interned v2
+        // form (`CreateSlots`): it carries the class id, not the name.
+        if self.pipeline.is_durable() {
+            let slots = self.store.with_state(oid, |st| st.slots.clone())?;
+            let txn = self.pipeline.current().expect("in txn");
+            self.log(LogRecord::CreateSlots {
+                txn,
+                oid,
+                class,
+                slots,
+            })?;
+        }
         self.index_refresh(oid)?;
         self.txn_touched.push(oid);
         Ok(oid)
     }
 
     pub(crate) fn set_attr_internal(&mut self, oid: Oid, attr: &str, value: Value) -> Result<()> {
-        let class = self.store.class_of(oid)?;
-        let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
-            ObjectError::UnknownAttribute {
-                class: self.registry.get(class).name.clone(),
-                attribute: attr.to_string(),
-            }
-        })?;
-        let old = self
+        if !self.pipeline.in_txn() {
+            return Err(ObjectError::NoActiveTransaction);
+        }
+        // The store takes ownership of `value`, so the staged redo
+        // record needs its own copy — the only clone on this path, and
+        // only when a WAL is attached.
+        let logged = self.pipeline.is_durable().then(|| value.clone());
+        let (class, slot, old) = self
             .store
-            .set_attr(&self.registry, oid, attr, value.clone())?;
-        self.pipeline.stage_undo(UndoOp::SetSlot {
-            oid,
-            slot,
-            old: old.clone(),
-        })?;
-        let txn = self.pipeline.current().expect("in txn");
-        self.log(LogRecord::SetAttr {
-            txn,
-            oid,
-            attr: attr.to_string(),
-            old,
-            new: value,
-        })?;
+            .set_attr_resolved(&self.registry, oid, attr, value)?;
+        // The displaced value moves into the undo op; the v2 `SetSlot`
+        // redo record does not carry it (undo is in-memory state, not
+        // log state), so nothing is cloned here.
+        self.pipeline
+            .stage_undo(UndoOp::SetSlot { oid, slot, old })?;
+        if let Some(new) = logged {
+            let txn = self.pipeline.current().expect("in txn");
+            self.log(LogRecord::SetSlot {
+                txn,
+                oid,
+                class,
+                slot: slot as u32,
+                new,
+            })?;
+        }
         if let Some(rec) = &mut self.effect_recorder {
-            if let Some(action) = rec.stack.last() {
-                let class_name = self.registry.get(class).name.clone();
-                rec.records
-                    .entry(action.clone())
-                    .or_default()
-                    .record_write(class_name, attr);
+            if let Some(raw) = rec.active_record() {
+                raw.writes.insert((class, slot as u32));
             }
         }
-        if !self.indexes.read().is_empty() {
+        if self.has_indexes {
             self.index_refresh_attr(oid, class, attr)?;
             self.txn_touched.push(oid);
         }
@@ -552,18 +590,29 @@ impl Database {
     }
 
     pub(crate) fn delete_internal(&mut self, oid: Oid) -> Result<()> {
+        if !self.pipeline.in_txn() {
+            return Err(ObjectError::NoActiveTransaction);
+        }
         let state = self.store.delete(oid)?;
-        let class_name = self.registry.get(state.class).name.clone();
-        let slots = state.slots.clone();
+        // Deletes are cold: they keep the v1 string-keyed record, but
+        // the name/slots clones are skipped entirely in memory.
+        let logged = self.pipeline.is_durable().then(|| {
+            (
+                self.registry.get(state.class).name.clone(),
+                state.slots.clone(),
+            )
+        });
         self.pipeline.stage_undo(UndoOp::Delete { oid, state })?;
         self.engine.subscriptions.remove_object(oid);
-        let txn = self.pipeline.current().expect("in txn");
-        self.log(LogRecord::Delete {
-            txn,
-            oid,
-            class: class_name,
-            slots,
-        })?;
+        if let Some((class_name, slots)) = logged {
+            let txn = self.pipeline.current().expect("in txn");
+            self.log(LogRecord::Delete {
+                txn,
+                oid,
+                class: class_name,
+                slots,
+            })?;
+        }
         for idx in self.indexes.write().iter_mut() {
             idx.remove(oid);
         }
@@ -685,12 +734,9 @@ impl Database {
             format!("{}.{}:{:?}", occ.oid, occ.method, occ.modifier)
         });
         if let Some(rec) = &mut self.effect_recorder {
-            if let Some(action) = rec.stack.last() {
-                let class_name = self.registry.get(class).name.clone();
-                rec.records
-                    .entry(action.clone())
-                    .or_default()
-                    .record_raise(class_name, occ.method.as_ref());
+            if let Some(raw) = rec.active_record() {
+                // `Arc<str>` clone is a refcount bump, not a copy.
+                raw.raises.insert((class, occ.method.clone()));
             }
         }
         if self.telemetry.is_history() {
@@ -834,12 +880,13 @@ impl Database {
             .with_object_classes(object_classes)
             .analyze();
         if let Some(rec) = &self.effect_recorder {
-            for (action, observed) in &rec.records {
+            for (action, raw) in &rec.records {
                 if let Some(declared) = self.engine.bodies.action_effects(action) {
+                    let observed = raw.resolve(&self.registry);
                     report.diagnostics.extend(diff_effects(
                         action,
                         declared,
-                        observed,
+                        &observed,
                         &self.registry,
                     ));
                 }
@@ -862,14 +909,15 @@ impl Database {
     }
 
     /// Observed per-action effects recorded so far (empty unless
-    /// recording is on).
+    /// recording is on). The internal record is slot-interned; names
+    /// are resolved against the schema here.
     pub fn observed_effects(&self) -> Vec<(String, ObservedEffects)> {
         self.effect_recorder
             .as_ref()
             .map(|r| {
                 r.records
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .map(|(k, v)| (k.clone(), v.resolve(&self.registry)))
                     .collect()
             })
             .unwrap_or_default()

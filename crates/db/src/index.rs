@@ -213,6 +213,7 @@ impl crate::database::Database {
         }
         let mut indexes = self.indexes.write();
         indexes.push(idx);
+        self.has_indexes = true;
         Ok(IndexId(indexes.len() - 1))
     }
 
@@ -225,6 +226,7 @@ impl crate::database::Database {
         if indexes.len() == before {
             return Err(ObjectError::App(format!("no index on `{class}.{attr}`")));
         }
+        self.has_indexes = !indexes.is_empty();
         Ok(())
     }
 

@@ -92,13 +92,14 @@ pub struct SchedulerStats {
 }
 
 /// One attribute write recorded by a worker, carrying everything the
-/// coordinator needs to stage it: the undo op (`slot`, `old`), the redo
-/// record (`attr`, `old`, `new`), and the index refresh (`class`).
+/// coordinator needs to stage it: the undo op (`slot`, `old`) and the
+/// slot-interned redo record / index refresh (`class`, `slot`, `new`).
+/// No attribute name is carried — the cold index path resolves it from
+/// the schema when needed.
 struct WriteRec {
     oid: Oid,
     class: ClassId,
     slot: usize,
-    attr: String,
     old: Value,
     new: Value,
 }
@@ -154,7 +155,7 @@ impl ShardWorld {
         for w in self.writes.iter().rev() {
             let _ = self
                 .store
-                .set_attr(&self.registry, w.oid, &w.attr, w.old.clone());
+                .set_slot(&self.registry, w.oid, w.slot, w.old.clone());
         }
     }
 }
@@ -218,20 +219,13 @@ impl World for ShardWorld {
                 attr,
             ));
         }
-        let slot = self.registry.get(class).slot_of(attr).ok_or_else(|| {
-            ObjectError::UnknownAttribute {
-                class: self.registry.get(class).name.clone(),
-                attribute: attr.to_string(),
-            }
-        })?;
-        let old = self
-            .store
-            .set_attr(&self.registry, oid, attr, value.clone())?;
+        let (_, slot, old) =
+            self.store
+                .set_attr_resolved(&self.registry, oid, attr, value.clone())?;
         self.writes.push(WriteRec {
             oid,
             class,
             slot,
-            attr: attr.to_string(),
             old,
             new: value,
         });
@@ -642,7 +636,7 @@ impl Database {
                 for w in done.writes.iter().rev() {
                     let _ = self
                         .store
-                        .set_attr(&self.registry, w.oid, &w.attr, w.old.clone());
+                        .set_slot(&self.registry, w.oid, w.slot, w.old.clone());
                 }
             }
         }
@@ -680,6 +674,7 @@ impl Database {
         if self.telemetry.is_history() && f.firing.lineage.id != 0 {
             self.stage_firing_record(f, done.firing_ns, true, ExecutionLane::Parallel);
         }
+        let durable = self.pipeline.is_durable();
         let txn = self.pipeline.current().expect("merge runs inside a txn");
         for w in &done.writes {
             self.pipeline.stage_undo(UndoOp::SetSlot {
@@ -687,17 +682,22 @@ impl Database {
                 slot: w.slot,
                 old: w.old.clone(),
             })?;
-            self.log(LogRecord::SetAttr {
-                txn,
-                oid: w.oid,
-                attr: w.attr.clone(),
-                old: w.old.clone(),
-                new: w.new.clone(),
-            })?;
+            if durable {
+                self.log(LogRecord::SetSlot {
+                    txn,
+                    oid: w.oid,
+                    class: w.class,
+                    slot: w.slot as u32,
+                    new: w.new.clone(),
+                })?;
+            }
         }
-        if !self.indexes.read().is_empty() {
+        if self.has_indexes {
             for w in &done.writes {
-                self.index_refresh_attr(w.oid, w.class, &w.attr)?;
+                // Cold path: resolve the attribute name from the schema
+                // only when an index actually needs it.
+                let attr = self.registry.get(w.class).layout[w.slot].attr.name.clone();
+                self.index_refresh_attr(w.oid, w.class, &attr)?;
                 self.txn_touched.push(w.oid);
             }
         }

@@ -50,9 +50,6 @@ fn clean_rule_set_passes_the_gate() {
     assert_eq!(report.graph.nodes.len(), 1);
 }
 
-// Keeps the deprecated `declare_action_effects` shim exercised for the
-// one release it survives.
-#[allow(deprecated)]
 #[test]
 fn undeclared_effects_are_flagged_and_immediate_cycle_is_an_error() {
     let mut db = counter_db();
@@ -66,9 +63,10 @@ fn undeclared_effects_are_flagged_and_immediate_cycle_is_an_error() {
         .iter()
         .any(|d| d.code == DiagCode::UnknownEffects && d.rule.as_deref() == Some("Mystery")));
 
-    // Declaring a self-retriggering effect upgrades the story to a
-    // definite Immediate cycle — an error the gate rejects.
-    db.declare_action_effects("mystery", ActionEffects::none().raising("Counter", "Bump"))
+    // Declaring a self-retriggering effect (a bodyless `ActionDef`
+    // re-declaration) upgrades the story to a definite Immediate cycle
+    // — an error the gate rejects.
+    db.register(ActionDef::new("mystery").raises(("Counter", "Bump")))
         .unwrap();
     let report = db.analyze();
     assert!(report
@@ -148,13 +146,11 @@ fn observers_carry_empty_effects_and_stay_clean() {
     db.analyze_gate().unwrap();
 }
 
-// Keeps the deprecated `register_action_with_effects` shim exercised
-// for the one release it survives.
-#[allow(deprecated)]
 #[test]
 fn sentinel_session_surfaces_the_analyzer() {
     let mut db = counter_db();
-    db.register_action_with_effects("log", ActionEffects::none(), |_, _| Ok(()));
+    db.register(ActionDef::new("log").pure().body(|_, _| Ok(())))
+        .unwrap();
     db.add_class_rule("Counter", RuleDef::new("BumpLog", bump_expr(), "log"))
         .unwrap();
     let sentinel = Sentinel::open(db);

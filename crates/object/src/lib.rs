@@ -26,6 +26,7 @@
 //! under the Sentinel engine and under the Ode/ADAM baseline engines.
 
 pub mod error;
+pub mod hash;
 pub mod method;
 pub mod object;
 pub mod oid;
@@ -35,6 +36,7 @@ pub mod value;
 pub mod world;
 
 pub use error::{ObjectError, Result};
+pub use hash::{FastMap, FastSet};
 pub use method::{MethodTable, NativeFn};
 pub use object::ObjectState;
 pub use oid::{Oid, OidGenerator};

@@ -53,6 +53,29 @@ impl ObjectState {
         }
         Ok(std::mem::replace(&mut self.slots[idx], value))
     }
+
+    /// Write a slot directly by index, enforcing the declared type.
+    /// Returns the previous value. The allocation-free core of
+    /// [`set`](Self::set): no attribute-name lookup, no error-path
+    /// string formatting on the happy path.
+    pub fn set_slot(&mut self, def: &ClassDef, slot: usize, value: Value) -> Result<Value> {
+        let declared = match def.layout.get(slot) {
+            Some(s) => s.attr.ty,
+            None => {
+                return Err(ObjectError::UnknownAttribute {
+                    class: def.name.clone(),
+                    attribute: format!("<slot {slot}>"),
+                })
+            }
+        };
+        if !value.conforms_to(declared) {
+            return Err(ObjectError::TypeMismatch {
+                expected: declared,
+                found: value.type_tag(),
+            });
+        }
+        Ok(std::mem::replace(&mut self.slots[slot], value))
+    }
 }
 
 #[cfg(test)]

@@ -19,9 +19,9 @@
 //! rejects genuinely ambiguous hierarchies at definition time.
 
 use crate::error::{ObjectError, Result};
+use crate::hash::FastMap;
 use crate::value::{TypeTag, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Index of a class inside a [`ClassRegistry`].
@@ -314,13 +314,13 @@ pub struct ClassDef {
     /// Effective instance layout: all slots, inherited first (base-to-
     /// derived), with derived redefinitions overriding in place.
     pub layout: Vec<SlotDef>,
-    slot_index: HashMap<String, usize>,
+    slot_index: FastMap<String, usize>,
     /// Method resolution cache: name → (defining class, index into that
     /// class's `own_methods`).
-    method_index: HashMap<String, (ClassId, usize)>,
+    method_index: FastMap<String, (ClassId, usize)>,
     /// Interned event symbols for every visible method:
     /// name → `[begin-sym, end-sym]`.
-    event_sym_index: HashMap<String, [EventSym; 2]>,
+    event_sym_index: FastMap<String, [EventSym; 2]>,
 }
 
 impl ClassDef {
@@ -348,7 +348,7 @@ impl ClassDef {
 #[derive(Debug, Default, Clone)]
 pub struct ClassRegistry {
     classes: Vec<ClassDef>,
-    by_name: HashMap<String, ClassId>,
+    by_name: FastMap<String, ClassId>,
     /// Interned event-symbol table, dense over all classes. Append-only,
     /// like the class list, so `len()` doubles as a schema version for
     /// caches keyed on symbols.
@@ -443,8 +443,8 @@ impl ClassRegistry {
         // basic class to the most derived so that base slots come first;
         // a redefinition overrides the slot in place.
         let mut layout: Vec<SlotDef> = Vec::new();
-        let mut slot_index: HashMap<String, usize> = HashMap::new();
-        let mut method_index: HashMap<String, (ClassId, usize)> = HashMap::new();
+        let mut slot_index: FastMap<String, usize> = FastMap::default();
+        let mut method_index: FastMap<String, (ClassId, usize)> = FastMap::default();
         let mut method_order: Vec<String> = Vec::new();
         for &cid in linearization.iter().rev() {
             let (attrs, methods): (&[AttributeDef], &[MethodDef]) = if cid == id {
@@ -479,7 +479,7 @@ impl ClassRegistry {
 
         // Intern the event symbols: two per visible method, in the
         // deterministic base-to-derived declaration order collected above.
-        let mut event_sym_index: HashMap<String, [EventSym; 2]> = HashMap::new();
+        let mut event_sym_index: FastMap<String, [EventSym; 2]> = FastMap::default();
         for name in method_order {
             let begin = EventSym(self.syms.len() as u32);
             self.syms.push(EventSymInfo {

@@ -22,13 +22,13 @@
 //! (read-uncommitted). DESIGN.md §11 records the trade-off.
 
 use crate::error::{ObjectError, Result};
+use crate::hash::{FastMap, FastSet};
 use crate::object::ObjectState;
 use crate::oid::{Oid, OidGenerator};
 use crate::schema::{ClassId, ClassRegistry};
 use crate::value::Value;
 use parking_lot::RwLock;
 use sentinel_telemetry::{ShardCounters, ShardLoad};
-use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -39,8 +39,8 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// One shard's object map and extent slice.
 #[derive(Debug, Default)]
 struct Shard {
-    objects: HashMap<Oid, ObjectState>,
-    extents: HashMap<ClassId, HashSet<Oid>>,
+    objects: FastMap<Oid, ObjectState>,
+    extents: FastMap<ClassId, FastSet<Oid>>,
 }
 
 /// In-memory instance storage with per-class extents, sharded by oid.
@@ -222,6 +222,56 @@ impl ObjectStore {
         st.set(registry.get(st.class), attr, value)
     }
 
+    /// Write `attr` of `oid`, resolving the attribute to its slot index
+    /// under the **same** shard write lock as the write itself. Returns
+    /// `(class, slot, previous value)` so the caller can key undo, WAL,
+    /// and effect records by slot without a second lock acquisition or
+    /// any string clone. This is the hot write path: with a scalar
+    /// `value` it performs zero heap allocations.
+    pub fn set_attr_resolved(
+        &self,
+        registry: &ClassRegistry,
+        oid: Oid,
+        attr: &str,
+        value: Value,
+    ) -> Result<(ClassId, usize, Value)> {
+        let mut shard = self.write(self.shard_of(oid));
+        let st = shard
+            .objects
+            .get_mut(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))?;
+        let class = st.class;
+        let def = registry.get(class);
+        let slot = def
+            .slot_of(attr)
+            .ok_or_else(|| ObjectError::UnknownAttribute {
+                class: def.name.clone(),
+                attribute: attr.to_string(),
+            })?;
+        let old = st.set_slot(def, slot, value)?;
+        Ok((class, slot, old))
+    }
+
+    /// Write slot `slot` of `oid` directly (recovery replay and the
+    /// scheduler's slot-keyed undo), enforcing the declared slot type.
+    /// Returns `(class, previous value)`.
+    pub fn set_slot(
+        &self,
+        registry: &ClassRegistry,
+        oid: Oid,
+        slot: usize,
+        value: Value,
+    ) -> Result<(ClassId, Value)> {
+        let mut shard = self.write(self.shard_of(oid));
+        let st = shard
+            .objects
+            .get_mut(&oid)
+            .ok_or(ObjectError::NoSuchObject(oid))?;
+        let class = st.class;
+        let old = st.set_slot(registry.get(class), slot, value)?;
+        Ok((class, old))
+    }
+
     /// Oids of the *direct* extent of `class` (instances whose class is
     /// exactly `class`).
     pub fn direct_extent(&self, class: ClassId) -> Vec<Oid> {
@@ -300,6 +350,7 @@ mod tests {
     use super::*;
     use crate::schema::{ClassDecl, ClassRegistry};
     use crate::value::TypeTag;
+    use std::collections::HashSet;
 
     fn setup() -> (ClassRegistry, ObjectStore, ClassId, ClassId) {
         let mut reg = ClassRegistry::new();

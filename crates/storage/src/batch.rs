@@ -77,11 +77,13 @@ impl WriteBatch {
     }
 
     /// Close the batch by rolling back: replay the undo ops in reverse
-    /// against `store` and discard the staged records unwritten.
+    /// against `store` and discard the staged records unwritten. Like
+    /// [`begin`](Self::begin)/[`commit`](Self::commit), the vectors keep
+    /// their capacity for the next transaction.
     pub fn rollback(&mut self, store: &ObjectStore) {
         self.txn = None;
         self.records.clear();
-        apply_undo(store, std::mem::take(&mut self.undo));
+        apply_undo(store, &mut self.undo);
     }
 }
 

@@ -117,6 +117,31 @@ pub fn recover_with(
                     store.set_attr(&registry, *oid, attr, new.clone())?;
                 }
             }
+            LogRecord::CreateSlots {
+                oid, class, slots, ..
+            } => {
+                // v2 creates name the class by registry id; ids are
+                // reproduced exactly by snapshot restore + schema-meta
+                // replay, so an out-of-range id means a foreign log.
+                if (class.0 as usize) >= registry.len() {
+                    return Err(ObjectError::Storage(format!(
+                        "log record names class {class} but the registry holds {} classes",
+                        registry.len()
+                    )));
+                }
+                store.insert_raw(
+                    *oid,
+                    ObjectState {
+                        class: *class,
+                        slots: slots.clone(),
+                    },
+                );
+            }
+            LogRecord::SetSlot { oid, slot, new, .. } => {
+                if store.exists(*oid) {
+                    store.set_slot(&registry, *oid, *slot as usize, new.clone())?;
+                }
+            }
             LogRecord::Delete { oid, .. } => {
                 let _ = store.delete(*oid);
             }

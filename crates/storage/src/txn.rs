@@ -34,9 +34,10 @@ pub enum UndoOp {
 
 /// Replay a list of undo ops in reverse against `store`, restoring the
 /// state they captured. Shared by [`TxnManager::abort`] and the commit
-/// pipeline's [`WriteBatch`](crate::WriteBatch) rollback.
-pub fn apply_undo(store: &ObjectStore, ops: Vec<UndoOp>) {
-    for op in ops.into_iter().rev() {
+/// pipeline's [`WriteBatch`](crate::WriteBatch) rollback. Drains the
+/// vector in place so its capacity survives for the next transaction.
+pub fn apply_undo(store: &ObjectStore, ops: &mut Vec<UndoOp>) {
+    for op in ops.drain(..).rev() {
         match op {
             UndoOp::Create { oid } => {
                 // The object may have been deleted later in the same
@@ -131,8 +132,8 @@ impl TxnManager {
     /// Abort: replay the undo log in reverse against `store`. Returns the
     /// aborted id.
     pub fn abort(&mut self, store: &ObjectStore) -> Result<TxnId> {
-        let t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
-        apply_undo(store, t.undo);
+        let mut t = self.active.take().ok_or(ObjectError::NoActiveTransaction)?;
+        apply_undo(store, &mut t.undo);
         self.aborted += 1;
         Ok(t.id)
     }

@@ -72,6 +72,10 @@ pub struct Wal {
     appended: u64,
     /// Serialized-but-unwritten records (Grouped mode only).
     staged: Vec<u8>,
+    /// Reusable per-append serialization scratch (non-Grouped modes):
+    /// cleared between appends, capacity retained, so steady-state
+    /// appends allocate nothing for the encoded line.
+    encode_buf: Vec<u8>,
     staged_records: u64,
     staged_commits: u64,
     oldest_staged: Option<Instant>,
@@ -111,6 +115,7 @@ impl Wal {
             policy,
             appended: 0,
             staged: Vec::new(),
+            encode_buf: Vec::new(),
             staged_records: 0,
             staged_commits: 0,
             oldest_staged: None,
@@ -137,12 +142,13 @@ impl Wal {
             Some(t) => t.timer(),
             None => Timer::off(),
         };
-        let line = serde_json::to_string(record)
-            .map_err(|e| ObjectError::Storage(format!("serialize log record: {e}")))?;
         let is_commit = matches!(record, LogRecord::Commit { .. });
         match self.policy {
             SyncPolicy::Grouped { .. } => {
-                self.staged.extend_from_slice(line.as_bytes());
+                // Encode straight into the staging buffer: no
+                // intermediate String, no per-record allocation once
+                // the buffer has grown to its working size.
+                record.encode_into(&mut self.staged);
                 self.staged.push(b'\n');
                 self.staged_records += 1;
                 if is_commit {
@@ -151,8 +157,10 @@ impl Wal {
                 }
             }
             _ => {
-                self.writer.write_all(line.as_bytes()).map_err(io_err)?;
-                self.writer.write_all(b"\n").map_err(io_err)?;
+                self.encode_buf.clear();
+                record.encode_into(&mut self.encode_buf);
+                self.encode_buf.push(b'\n');
+                self.writer.write_all(&self.encode_buf).map_err(io_err)?;
             }
         }
         self.appended += 1;

@@ -1,0 +1,88 @@
+//! Proof of the zero-allocation steady-state write path (the PR 8
+//! allocation budget; see DESIGN.md §17).
+//!
+//! A counting global allocator wraps the system allocator. After a
+//! warm-up that grows every pooled buffer to capacity, a run of
+//! `set_attr` calls on an in-memory database (telemetry counters,
+//! firing history, and attribute indexes all off — the default
+//! configuration) must perform **zero** heap allocations: slot
+//! resolution is a map hit under one lock, the displaced old value
+//! moves into the pooled undo vector, and without a WAL no log record
+//! is ever built.
+
+use sentinel_db::prelude::*;
+use sentinel_db::Database;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation-path entry (alloc, alloc_zeroed, realloc);
+/// frees are deliberately not counted — the budget is on acquiring
+/// memory, not returning it.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP_TXNS: i64 = 4;
+const WARMUP_WRITES: i64 = 2_000;
+const MEASURED_WRITES: i64 = 1_000;
+
+#[test]
+fn steady_state_set_attr_does_not_allocate() {
+    let mut db = Database::new();
+    db.define_class(ClassDecl::new("W").attr("v", TypeTag::Int))
+        .unwrap();
+    let w = db.create("W").unwrap();
+
+    // Warm-up: grow the pooled undo vector past the measured write
+    // count, fault in the store shard entry, and settle any lazy
+    // one-time state. The warm-up transactions are strictly larger
+    // than the measured one so no Vec regrowth can land inside the
+    // measured window.
+    for i in 0..WARMUP_TXNS {
+        db.begin().unwrap();
+        for j in 0..WARMUP_WRITES {
+            db.set_attr(w, "v", Value::Int(i * WARMUP_WRITES + j))
+                .unwrap();
+        }
+        db.commit().unwrap();
+    }
+
+    db.begin().unwrap();
+    db.set_attr(w, "v", Value::Int(-1)).unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for j in 0..MEASURED_WRITES {
+        db.set_attr(w, "v", Value::Int(j)).unwrap();
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    db.commit().unwrap();
+
+    assert_eq!(
+        allocated, 0,
+        "steady-state set_attr allocated: {allocated} heap allocations \
+         over {MEASURED_WRITES} writes"
+    );
+}
