@@ -1,11 +1,14 @@
 //! The rule-set analyzer: builds the triggering graph and runs every
 //! lint, producing an [`AnalysisReport`].
 
+use crate::conflict::attrs_overlap;
 use crate::diagnostic::{DiagCode, Diagnostic, Severity};
-use crate::graph::{GraphEdge, GraphNode, TriggeringGraph};
+use crate::graph::{EdgeKind, GraphEdge, GraphNode, TriggeringGraph};
+use crate::termination::{self, RuleFacts, TerminationReport, Verdict};
 use sentinel_events::{sym_alphabet, EventExpr, EventModifier};
 use sentinel_object::{ClassId, ClassRegistry, EventSym, ObjectError, Oid, Reactivity, Result};
 use sentinel_rules::{ActionEffects, CouplingMode, Rule, RuleEngine, ACTION_ABORT, COND_TRUE};
+use serde::Serialize;
 use std::collections::{BTreeSet, HashMap};
 
 /// Static analysis over a compiled schema + rule set + subscription
@@ -19,6 +22,9 @@ pub struct RuleAnalyzer<'a> {
     registry: &'a ClassRegistry,
     engine: &'a RuleEngine,
     object_classes: HashMap<Oid, ClassId>,
+    /// The runtime `max_cascade_depth`, when known: proven bounds that
+    /// reach it are reported as errors (the cascade is doomed to abort).
+    cascade_limit: Option<usize>,
 }
 
 /// Everything the lints need per rule, precomputed once.
@@ -47,12 +53,22 @@ impl<'a> RuleAnalyzer<'a> {
             registry,
             engine,
             object_classes: HashMap::new(),
+            cascade_limit: None,
         }
     }
 
     /// Provide the dynamic class of object-level subscription targets.
     pub fn with_object_classes(mut self, map: HashMap<Oid, ClassId>) -> Self {
         self.object_classes = map;
+        self
+    }
+
+    /// Provide the runtime cascade-depth limit. With it set, any rule
+    /// whose proven static bound reaches the limit gets a
+    /// `cascade-bound-exceeds-limit` error: its worst-case cascade is
+    /// doomed to hit the runtime kill-switch and abort.
+    pub fn with_cascade_limit(mut self, limit: usize) -> Self {
+        self.cascade_limit = Some(limit);
         self
     }
 
@@ -72,11 +88,129 @@ impl<'a> RuleAnalyzer<'a> {
         for info in &infos {
             self.lint_expr(&info.name, &info.rule.def.event, &mut diagnostics);
         }
-        self.lint_cycles(&graph, &mut diagnostics);
+        let termination = self.prove_termination(&infos, &graph, &mut diagnostics);
+        self.lint_cycles(&graph, &termination, &mut diagnostics);
 
-        let mut report = AnalysisReport { diagnostics, graph };
+        let mut report = AnalysisReport {
+            diagnostics,
+            graph,
+            termination,
+        };
         report.resort();
         report
+    }
+
+    /// Run the termination prover and fold its findings into the
+    /// diagnostics: an info per discharged cycle, a warning per
+    /// undischarged cycle, and (when the cascade limit is known) an
+    /// error for every proven bound that is doomed to hit it.
+    fn prove_termination(
+        &self,
+        infos: &[RuleInfo<'_>],
+        graph: &TriggeringGraph,
+        out: &mut Vec<Diagnostic>,
+    ) -> TerminationReport {
+        let facts: Vec<RuleFacts> = infos
+            .iter()
+            .map(|info| RuleFacts {
+                rule: info.name.clone(),
+                condition_trivial: info.rule.def.condition == COND_TRUE,
+                reads_known: info.effects.as_ref().is_some_and(|fx| fx.reads.is_some()),
+                raises_known: info.raised.is_some(),
+                abort_shadowed: self.abort_blocker(infos, info).is_some(),
+            })
+            .collect();
+        let feedback: Vec<Vec<bool>> = infos
+            .iter()
+            .map(|from| {
+                infos
+                    .iter()
+                    .map(|to| self.writes_feed_reads(from, to))
+                    .collect()
+            })
+            .collect();
+        let termination = termination::prove(graph, &facts, &feedback);
+
+        for c in &termination.discharged {
+            let ring = c
+                .members
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Diagnostic::new(
+                DiagCode::CycleDischarged,
+                Some(c.witness.clone()),
+                format!(
+                    "triggering cycle {ring} is discharged by `{}` ({}): it \
+                     cannot sustain an unbounded cascade",
+                    c.witness,
+                    c.reason.as_str()
+                ),
+            ));
+        }
+        for c in &termination.undischarged {
+            let ring = c
+                .members
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Diagnostic::new(
+                DiagCode::UnprovenTermination,
+                Some(c.members[0].clone()),
+                format!(
+                    "no discharge proof found for triggering cycle {ring}; \
+                     termination is not guaranteed (declare read/write/raise \
+                     effects, add a non-trivial condition, or break the loop)"
+                ),
+            ));
+        }
+        if let Some(limit) = self.cascade_limit {
+            for v in &termination.verdicts {
+                if let Verdict::Proven(bound) = v.verdict {
+                    if bound as usize >= limit {
+                        out.push(Diagnostic::new(
+                            DiagCode::CascadeBoundExceedsLimit,
+                            Some(v.rule.clone()),
+                            format!(
+                                "static cascade bound {bound} reaches the \
+                                 runtime limit (max_cascade_depth = {limit} \
+                                 permits lineage depths 0..={}); a worst-case \
+                                 cascade from this rule aborts at runtime",
+                                limit - 1
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        termination
+    }
+
+    /// May `from`'s declared writes overlap `to`'s full read-set
+    /// (declared reads plus its own writes, which are always readable)?
+    /// Unknown effects on either side answer `true` — this is
+    /// may-analysis; only a declared-empty intersection refutes.
+    fn writes_feed_reads(&self, from: &RuleInfo<'_>, to: &RuleInfo<'_>) -> bool {
+        let Some(ffx) = &from.effects else {
+            return true;
+        };
+        if ffx.writes.is_empty() {
+            return false;
+        }
+        let Some(tfx) = &to.effects else {
+            return true;
+        };
+        let Some(reads) = &tfx.reads else {
+            return true;
+        };
+        ffx.writes.iter().any(|w| {
+            tfx.writes
+                .iter()
+                .chain(reads.iter())
+                .any(|r| attrs_overlap(self.registry, w, r))
+        })
     }
 
     /// Can instances of the symbol's class emit events at all?
@@ -168,9 +302,21 @@ impl<'a> RuleAnalyzer<'a> {
         }
     }
 
-    /// Build the triggering graph: R1→R2 when R1's action can raise a
-    /// symbol R2 can hear. Unknown effects fan out conservatively to
-    /// every reachable rule.
+    /// Build the refined triggering graph. For each ordered rule pair
+    /// the edge lands on the refinement lattice:
+    ///
+    /// - **definite** — the source's declared raises intersect the
+    ///   target's audible alphabet;
+    /// - **conservative** — the source's effects are undeclared ("may
+    ///   raise anything"), or its raises provably miss but its declared
+    ///   writes may touch the target's read-set (data feedback: the
+    ///   write can re-enable the target's condition);
+    /// - **refuted** — the source declared its effects, raises nothing
+    ///   audible, and writes nothing the target reads: the pair is
+    ///   provably independent. Recorded so the pruning is auditable,
+    ///   except when the source's declared effects are completely empty
+    ///   (a pure action refutes *every* pair — recording the full fan
+    ///   of trivial refutations would only be noise).
     fn build_graph(&self, infos: &[RuleInfo<'_>]) -> TriggeringGraph {
         let nodes = infos
             .iter()
@@ -195,15 +341,36 @@ impl<'a> RuleAnalyzer<'a> {
                             edges.push(GraphEdge {
                                 from: i,
                                 to: j,
-                                definite: true,
+                                kind: EdgeKind::Definite,
                                 via: self.sym_desc(sym),
+                            });
+                        } else if self.writes_feed_reads(from, to) {
+                            let fx = from.effects.as_ref().expect("raised implies effects");
+                            let attr = fx.writes.first().map(|w| w.to_string()).unwrap_or_default();
+                            edges.push(GraphEdge {
+                                from: i,
+                                to: j,
+                                kind: EdgeKind::Conservative,
+                                via: format!("data feedback: writes {attr}"),
+                            });
+                        } else {
+                            let fx = from.effects.as_ref().expect("raised implies effects");
+                            if fx.raises.is_empty() && fx.writes.is_empty() {
+                                continue; // pure action: skip the trivial refutation
+                            }
+                            edges.push(GraphEdge {
+                                from: i,
+                                to: j,
+                                kind: EdgeKind::Refuted,
+                                via: "refuted: raises miss the alphabet, writes miss the read-set"
+                                    .into(),
                             });
                         }
                     }
                     None => edges.push(GraphEdge {
                         from: i,
                         to: j,
-                        definite: false,
+                        kind: EdgeKind::Conservative,
                         via: "effects unknown".into(),
                     }),
                 }
@@ -320,37 +487,46 @@ impl<'a> RuleAnalyzer<'a> {
         }
     }
 
+    /// The rule (if any) that abort-shadows `shadowed`: enabled,
+    /// unconditional Immediate abort at higher priority whose audible
+    /// set covers every event that can trigger `shadowed`. Shared
+    /// between the `shadowed-by-abort` lint and the termination
+    /// prover's abort-shadow discharge predicate.
+    fn abort_blocker<'b>(
+        &self,
+        infos: &'b [RuleInfo<'a>],
+        shadowed: &RuleInfo<'a>,
+    ) -> Option<&'b RuleInfo<'a>> {
+        if !shadowed.rule.enabled || shadowed.audible.is_empty() {
+            return None;
+        }
+        infos.iter().find(|blocker| {
+            blocker.rule.enabled
+                && blocker.rule.id != shadowed.rule.id
+                && blocker.rule.def.action == ACTION_ABORT
+                && blocker.rule.def.condition == COND_TRUE
+                && blocker.rule.def.coupling == CouplingMode::Immediate
+                && blocker.rule.def.priority > shadowed.rule.def.priority
+                && shadowed.audible.is_subset(&blocker.audible)
+        })
+    }
+
     fn lint_shadowing(&self, infos: &[RuleInfo<'_>], out: &mut Vec<Diagnostic>) {
         for shadowed in infos {
-            if !shadowed.rule.enabled || shadowed.audible.is_empty() {
-                continue;
-            }
             if shadowed.rule.def.action == ACTION_ABORT {
                 continue; // two unconditional aborts shadowing each other is moot
             }
-            for blocker in infos {
-                if !blocker.rule.enabled
-                    || blocker.rule.id == shadowed.rule.id
-                    || blocker.rule.def.action != ACTION_ABORT
-                    || blocker.rule.def.condition != COND_TRUE
-                    || blocker.rule.def.coupling != CouplingMode::Immediate
-                    || blocker.rule.def.priority <= shadowed.rule.def.priority
-                {
-                    continue;
-                }
-                if shadowed.audible.is_subset(&blocker.audible) {
-                    out.push(Diagnostic::new(
-                        DiagCode::ShadowedByAbort,
-                        Some(shadowed.name.clone()),
-                        format!(
-                            "every event that can trigger this rule also \
-                             triggers higher-priority rule `{}`, which \
-                             unconditionally aborts first",
-                            blocker.name
-                        ),
-                    ));
-                    break;
-                }
+            if let Some(blocker) = self.abort_blocker(infos, shadowed) {
+                out.push(Diagnostic::new(
+                    DiagCode::ShadowedByAbort,
+                    Some(shadowed.name.clone()),
+                    format!(
+                        "every event that can trigger this rule also \
+                         triggers higher-priority rule `{}`, which \
+                         unconditionally aborts first",
+                        blocker.name
+                    ),
+                ));
             }
         }
     }
@@ -514,13 +690,30 @@ impl<'a> RuleAnalyzer<'a> {
         }
     }
 
-    fn lint_cycles(&self, graph: &TriggeringGraph, out: &mut Vec<Diagnostic>) {
+    fn lint_cycles(
+        &self,
+        graph: &TriggeringGraph,
+        termination: &TerminationReport,
+        out: &mut Vec<Diagnostic>,
+    ) {
         for cycle in graph.cycles() {
             let names: Vec<&str> = cycle
                 .members
                 .iter()
                 .map(|&i| graph.nodes[i].rule.as_str())
                 .collect();
+            // A discharge proof supersedes the cycle warnings below: the
+            // loop provably cannot sustain itself, and the
+            // `cycle-discharged` info already reports it. Immediate
+            // definite cycles stay errors regardless — even a shadowed
+            // one recurses inside the triggering transaction.
+            let discharged = termination.discharged.iter().any(|d| {
+                d.members.len() == names.len() && {
+                    let mut sorted = names.clone();
+                    sorted.sort_unstable();
+                    sorted.iter().zip(&d.members).all(|(a, b)| *a == b.as_str())
+                }
+            });
             let ring = if names.len() == 1 {
                 format!("`{}` can retrigger itself", names[0])
             } else {
@@ -535,12 +728,16 @@ impl<'a> RuleAnalyzer<'a> {
             };
             let first = names[0].to_string();
             if !cycle.definite {
+                if discharged {
+                    continue;
+                }
                 out.push(Diagnostic::new(
                     DiagCode::PotentialCycle,
                     Some(first),
                     format!(
-                        "{ring} through actions with undeclared effects; \
-                         declare ActionEffects to confirm or rule this out"
+                        "{ring} through conservative edges (undeclared \
+                         effects or data feedback); declare ActionEffects to \
+                         confirm or rule this out"
                     ),
                 ));
             } else if cycle
@@ -558,6 +755,9 @@ impl<'a> RuleAnalyzer<'a> {
                     ),
                 ));
             } else {
+                if discharged {
+                    continue;
+                }
                 out.push(Diagnostic::new(
                     DiagCode::DeferredCycle,
                     Some(first),
@@ -571,13 +771,17 @@ impl<'a> RuleAnalyzer<'a> {
     }
 }
 
-/// The analyzer's output: every finding plus the triggering graph.
-#[derive(Debug, Clone)]
+/// The analyzer's output: every finding, the triggering graph, and the
+/// termination verdicts.
+#[derive(Debug, Clone, Serialize)]
 pub struct AnalysisReport {
     /// Findings, sorted most severe first.
     pub diagnostics: Vec<Diagnostic>,
-    /// The triggering graph (render with [`TriggeringGraph::to_dot`]).
+    /// The refined triggering graph (render with
+    /// [`TriggeringGraph::to_dot`]).
     pub graph: TriggeringGraph,
+    /// Per-rule termination verdicts and the cycle-discharge record.
+    pub termination: TerminationReport,
 }
 
 impl AnalysisReport {
@@ -661,11 +865,15 @@ impl AnalysisReport {
                 );
             }
         }
+        let refuted = self.graph.count(EdgeKind::Refuted);
+        let live = self.graph.edges.len() - refuted;
         let _ = writeln!(
             s,
-            "triggering graph: {} rules, {} edges | {}",
+            "triggering graph: {} rules, {} edges ({} refuted) | termination: {} | {}",
             self.graph.nodes.len(),
-            self.graph.edges.len(),
+            live,
+            refuted,
+            self.termination.summary(),
             self.summary()
         );
         s
@@ -674,6 +882,14 @@ impl AnalysisReport {
     /// DOT dump of the triggering graph.
     pub fn to_dot(&self) -> String {
         self.graph.to_dot()
+    }
+
+    /// The whole report as pretty-printed JSON — a stable schema for CI
+    /// tooling: `diagnostics` (code/severity/rule/message), `graph`
+    /// (nodes/edges with their refinement `kind`), and `termination`
+    /// (verdicts/discharged/undischarged).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
     }
 
     /// The CI gate: `Err` listing every error-severity finding, `Ok`

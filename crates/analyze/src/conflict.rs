@@ -123,7 +123,7 @@ pub struct ConflictMatrix {
 /// either direction (a write to `Employee.salary` conflicts with a
 /// write to `Manager.salary`). Classes unknown to the registry compare
 /// by name.
-fn attrs_overlap(registry: &ClassRegistry, a: &AttrPattern, b: &AttrPattern) -> bool {
+pub(crate) fn attrs_overlap(registry: &ClassRegistry, a: &AttrPattern, b: &AttrPattern) -> bool {
     if a.attr != b.attr {
         return false;
     }

@@ -89,6 +89,21 @@ pub enum DiagCode {
     /// firings all ran on the serial lane: the parallel scheduler was
     /// never exercised for it, so its parallel behaviour is untested.
     SerialOnlyRule,
+    /// The prover found a static cascade bound for this rule that meets
+    /// or exceeds the configured `max_cascade_depth`: a worst-case
+    /// cascade from this root is doomed to hit the runtime kill-switch
+    /// and abort. Raise the limit or break the chain.
+    CascadeBoundExceedsLimit,
+    /// The rule sits on (or can reach) a triggering cycle the prover
+    /// could not discharge: termination is not guaranteed.
+    UnprovenTermination,
+    /// A triggering cycle was discharged — some member provably cannot
+    /// re-enable the cycle — so it does not threaten termination.
+    CycleDischarged,
+    /// The recorded lineage reached a cascade depth strictly greater
+    /// than the static `Proven(bound)`: either the prover or the
+    /// declared effects lie.
+    ProvenBoundExceeded,
 }
 
 impl DiagCode {
@@ -114,6 +129,10 @@ impl DiagCode {
             DiagCode::UntestedRulePath => "untested-rule-path",
             DiagCode::UnpredictedTrigger => "unpredicted-trigger",
             DiagCode::SerialOnlyRule => "serial-only-rule",
+            DiagCode::CascadeBoundExceedsLimit => "cascade-bound-exceeds-limit",
+            DiagCode::UnprovenTermination => "unproven-termination",
+            DiagCode::CycleDischarged => "cycle-discharged",
+            DiagCode::ProvenBoundExceeded => "proven-bound-exceeded",
         }
     }
 
@@ -124,7 +143,9 @@ impl DiagCode {
             | DiagCode::UnreachableRule
             | DiagCode::UnregisteredBody
             | DiagCode::EffectMismatch
-            | DiagCode::UnpredictedTrigger => Severity::Error,
+            | DiagCode::UnpredictedTrigger
+            | DiagCode::CascadeBoundExceedsLimit
+            | DiagCode::ProvenBoundExceeded => Severity::Error,
             DiagCode::DeferredCycle
             | DiagCode::NonConfluent
             | DiagCode::NoSubscription
@@ -133,12 +154,14 @@ impl DiagCode {
             | DiagCode::SeqDeadOperand
             | DiagCode::PlusZeroDeadline
             | DiagCode::DupPrimitiveConjunction
-            | DiagCode::UntestedRulePath => Severity::Warning,
+            | DiagCode::UntestedRulePath
+            | DiagCode::UnprovenTermination => Severity::Warning,
             DiagCode::PotentialCycle
             | DiagCode::DeafSubscription
             | DiagCode::UnknownEffects
             | DiagCode::ObservedTrigger
-            | DiagCode::SerialOnlyRule => Severity::Info,
+            | DiagCode::SerialOnlyRule
+            | DiagCode::CycleDischarged => Severity::Info,
         }
     }
 }

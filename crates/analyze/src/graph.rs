@@ -15,20 +15,62 @@ pub struct GraphNode {
     pub enabled: bool,
 }
 
+/// How much the analyzer believes a triggering edge — the refinement
+/// lattice `Definite > Conservative > Refuted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Derived from a declared effect: the source provably raises an
+    /// event in the target's audible alphabet.
+    Definite,
+    /// Cannot be ruled out: the source's effects are undeclared ("may
+    /// raise anything"), or its declared writes touch the target's
+    /// read-set (data feedback that can re-enable the target's
+    /// condition even though no event connects them).
+    Conservative,
+    /// Proven impossible: the source declares effects, raises nothing in
+    /// the target's alphabet, and writes nothing the target reads. Kept
+    /// in the edge list so the pruning is auditable (DOT, `graph_edges`
+    /// relation), but excluded from cycle detection and cascade bounds.
+    Refuted,
+}
+
+impl EdgeKind {
+    /// Stable lowercase label (`definite` / `conservative` / `refuted`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Definite => "definite",
+            EdgeKind::Conservative => "conservative",
+            EdgeKind::Refuted => "refuted",
+        }
+    }
+}
+
 /// A triggering edge: the `from` rule's action can raise an event that
-/// triggers the `to` rule.
+/// triggers the `to` rule (or, for refuted edges, provably cannot).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GraphEdge {
     /// Index of the triggering rule in [`TriggeringGraph::nodes`].
     pub from: usize,
     /// Index of the triggered rule.
     pub to: usize,
-    /// `true` when derived from a declared effect; `false` for the
-    /// conservative "effects unknown" edges.
-    pub definite: bool,
-    /// What carries the trigger, e.g. `Account::Withdraw (end)` — or
-    /// `effects unknown` for conservative edges.
+    /// Where the edge sits in the refinement lattice.
+    pub kind: EdgeKind,
+    /// What carries the trigger, e.g. `Account::Withdraw (end)`;
+    /// `effects unknown` / `data feedback: ...` for conservative edges;
+    /// the refutation argument for refuted edges.
     pub via: String,
+}
+
+impl GraphEdge {
+    /// `true` only for [`EdgeKind::Definite`] edges.
+    pub fn is_definite(&self) -> bool {
+        self.kind == EdgeKind::Definite
+    }
+
+    /// `true` for edges that may carry a trigger (not refuted).
+    pub fn is_live(&self) -> bool {
+        self.kind != EdgeKind::Refuted
+    }
 }
 
 /// Rules as nodes, possible triggerings as edges.
@@ -37,7 +79,7 @@ pub struct TriggeringGraph {
     /// One node per rule, in engine iteration order (sorted by name at
     /// construction so output is deterministic).
     pub nodes: Vec<GraphNode>,
-    /// All edges, definite and conservative.
+    /// All edges: definite, conservative, and refuted.
     pub edges: Vec<GraphEdge>,
 }
 
@@ -51,14 +93,20 @@ pub struct Cycle {
 }
 
 impl TriggeringGraph {
-    /// Find cyclic strongly connected components. Each returned
-    /// [`Cycle`] is either cyclic through definite edges alone
-    /// (`definite == true`) or only when conservative edges are added.
-    /// A component cyclic on definite edges is *not* re-reported at the
-    /// conservative level.
+    /// Count edges of one kind.
+    pub fn count(&self, kind: EdgeKind) -> usize {
+        self.edges.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Find cyclic strongly connected components over the *live* (non-
+    /// refuted) edges. Each returned [`Cycle`] is either cyclic through
+    /// definite edges alone (`definite == true`) or only when
+    /// conservative edges are added. A component cyclic on definite
+    /// edges is *not* re-reported at the conservative level. Refuted
+    /// edges never participate.
     pub fn cycles(&self) -> Vec<Cycle> {
-        let all = self.sccs(|_| true);
-        let definite = self.sccs(|e| e.definite);
+        let all = self.sccs(|e| e.is_live());
+        let definite = self.sccs(|e| e.is_definite());
         let mut out: Vec<Cycle> = definite
             .iter()
             .map(|m| Cycle {
@@ -67,7 +115,8 @@ impl TriggeringGraph {
             })
             .collect();
         // Conservative-level components that add something new: cyclic
-        // with all edges, not a subset relationship already reported.
+        // with all live edges, not a subset relationship already
+        // reported.
         for members in all {
             let covered = definite
                 .iter()
@@ -86,7 +135,7 @@ impl TriggeringGraph {
     /// Tarjan's SCC over the subgraph of edges passing `keep`, returning
     /// only *cyclic* components (size > 1, or a single node with a kept
     /// self-loop), members sorted.
-    fn sccs(&self, keep: impl Fn(&GraphEdge) -> bool) -> Vec<Vec<usize>> {
+    pub(crate) fn sccs(&self, keep: impl Fn(&GraphEdge) -> bool) -> Vec<Vec<usize>> {
         let n = self.nodes.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut self_loop = vec![false; n];
@@ -158,10 +207,15 @@ impl TriggeringGraph {
     }
 
     /// Graphviz DOT rendering: solid edges are definite, dashed are
-    /// conservative; disabled rules are grayed.
+    /// conservative, dashed gray are refuted (provably impossible, kept
+    /// for audit); disabled rules are grayed. A bottom label spells the
+    /// legend out.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
         let mut s = String::from("digraph triggering {\n  rankdir=LR;\n  node [shape=box];\n");
+        s.push_str(
+            "  label=\"solid = definite, dashed = conservative, dashed gray = refuted\";\n  labelloc=b;\n",
+        );
         for node in &self.nodes {
             let style = if node.enabled {
                 String::new()
@@ -178,10 +232,14 @@ impl TriggeringGraph {
             );
         }
         for e in &self.edges {
-            let style = if e.definite { "solid" } else { "dashed" };
+            let style = match e.kind {
+                EdgeKind::Definite => "solid]",
+                EdgeKind::Conservative => "dashed]",
+                EdgeKind::Refuted => "dashed, color=gray, fontcolor=gray]",
+            };
             let _ = writeln!(
                 s,
-                "  \"{}\" -> \"{}\" [label=\"{}\", style={}];",
+                "  \"{}\" -> \"{}\" [label=\"{}\", style={}",
                 self.nodes[e.from].rule, self.nodes[e.to].rule, e.via, style
             );
         }
@@ -207,15 +265,15 @@ mod tests {
         }
     }
 
-    fn edge(from: usize, to: usize, definite: bool) -> GraphEdge {
+    fn edge(from: usize, to: usize, kind: EdgeKind) -> GraphEdge {
         GraphEdge {
             from,
             to,
-            definite,
-            via: if definite {
-                "X::m (end)".into()
-            } else {
-                "effects unknown".into()
+            kind,
+            via: match kind {
+                EdgeKind::Definite => "X::m (end)".into(),
+                EdgeKind::Conservative => "effects unknown".into(),
+                EdgeKind::Refuted => "refuted: cannot trigger".into(),
             },
         }
     }
@@ -225,7 +283,11 @@ mod tests {
         let g = TriggeringGraph {
             nodes: vec![node("a"), node("b"), node("c"), node("d")],
             // a -> b -> a is a cycle; c -> d is not.
-            edges: vec![edge(0, 1, true), edge(1, 0, true), edge(2, 3, true)],
+            edges: vec![
+                edge(0, 1, EdgeKind::Definite),
+                edge(1, 0, EdgeKind::Definite),
+                edge(2, 3, EdgeKind::Definite),
+            ],
         };
         let cycles = g.cycles();
         assert_eq!(cycles.len(), 1);
@@ -237,7 +299,7 @@ mod tests {
     fn self_loop_is_a_cycle() {
         let g = TriggeringGraph {
             nodes: vec![node("a")],
-            edges: vec![edge(0, 0, true)],
+            edges: vec![edge(0, 0, EdgeKind::Definite)],
         };
         let cycles = g.cycles();
         assert_eq!(cycles.len(), 1);
@@ -249,7 +311,10 @@ mod tests {
         let g = TriggeringGraph {
             nodes: vec![node("a"), node("b")],
             // Cycle only closes through the conservative edge.
-            edges: vec![edge(0, 1, true), edge(1, 0, false)],
+            edges: vec![
+                edge(0, 1, EdgeKind::Definite),
+                edge(1, 0, EdgeKind::Conservative),
+            ],
         };
         let cycles = g.cycles();
         assert_eq!(cycles.len(), 1);
@@ -258,15 +323,31 @@ mod tests {
     }
 
     #[test]
+    fn refuted_edges_close_no_cycle() {
+        let g = TriggeringGraph {
+            nodes: vec![node("a"), node("b")],
+            // The same shape, but the back edge is refuted: no cycle.
+            edges: vec![
+                edge(0, 1, EdgeKind::Definite),
+                edge(1, 0, EdgeKind::Refuted),
+                edge(0, 0, EdgeKind::Refuted),
+            ],
+        };
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.count(EdgeKind::Refuted), 2);
+        assert_eq!(g.count(EdgeKind::Definite), 1);
+    }
+
+    #[test]
     fn definite_cycle_not_rereported_at_conservative_level() {
         let g = TriggeringGraph {
             nodes: vec![node("a"), node("b"), node("c")],
             // a <-> b definitely; c joins the component conservatively.
             edges: vec![
-                edge(0, 1, true),
-                edge(1, 0, true),
-                edge(1, 2, false),
-                edge(2, 0, false),
+                edge(0, 1, EdgeKind::Definite),
+                edge(1, 0, EdgeKind::Definite),
+                edge(1, 2, EdgeKind::Conservative),
+                edge(2, 0, EdgeKind::Conservative),
             ],
         };
         let cycles = g.cycles();
@@ -280,16 +361,23 @@ mod tests {
     }
 
     #[test]
-    fn dot_renders_nodes_and_edge_styles() {
+    fn dot_renders_nodes_edge_styles_and_legend() {
         let mut g = TriggeringGraph {
             nodes: vec![node("a"), node("b")],
-            edges: vec![edge(0, 1, true), edge(1, 0, false)],
+            edges: vec![
+                edge(0, 1, EdgeKind::Definite),
+                edge(1, 0, EdgeKind::Conservative),
+                edge(1, 1, EdgeKind::Refuted),
+            ],
         };
         g.nodes[1].enabled = false;
         let dot = g.to_dot();
         assert!(dot.contains("digraph triggering"));
         assert!(dot.contains("\"a\" -> \"b\" [label=\"X::m (end)\", style=solid]"));
         assert!(dot.contains("\"b\" -> \"a\" [label=\"effects unknown\", style=dashed]"));
-        assert!(dot.contains("style=dashed, color=gray"));
+        assert!(dot
+            .contains("\"b\" -> \"b\" [label=\"refuted: cannot trigger\", style=dashed, color=gray, fontcolor=gray]"));
+        assert!(dot.contains("style=dashed, color=gray];"));
+        assert!(dot.contains("dashed gray = refuted"));
     }
 }

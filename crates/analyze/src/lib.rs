@@ -34,6 +34,16 @@
 //! anything" and tagged with an `unknown-effects` info lint. An opt-in
 //! runtime recorder (`sentinel-db`) captures *actual* raises/writes and
 //! [`diff_effects`] reports divergence from the declarations.
+//!
+//! On top of the refined graph sits the **termination prover**
+//! ([`termination`]): edges the declared effects refute are pruned,
+//! remaining cycles are discharged by abort-shadow / no-self-feedback /
+//! no-event-feedback arguments, and every rule receives a verdict —
+//! `Proven(bound)` with a static cascade-depth bound, or
+//! `CycleUndischarged` / `Unbounded`. The runtime reconciliation pass
+//! ([`reconcile_bounds`]) checks observed lineage depth watermarks
+//! against the proven bounds, so a lying effect declaration cannot
+//! silently invalidate a proof.
 
 pub mod analyzer;
 pub mod conflict;
@@ -41,14 +51,19 @@ pub mod diagnostic;
 pub mod effects;
 pub mod graph;
 pub mod reconcile;
+pub mod termination;
 
 pub use analyzer::{AnalysisReport, RuleAnalyzer};
 pub use conflict::{pattern_matches, ConflictMatrix, Lane, RuleFootprint, SerialReason};
 pub use diagnostic::{DiagCode, Diagnostic, Severity};
 pub use effects::{diff_effects, ObservedEffects};
-pub use graph::{GraphEdge, GraphNode, TriggeringGraph};
+pub use graph::{EdgeKind, GraphEdge, GraphNode, TriggeringGraph};
 pub use reconcile::{
-    reconcile, reconcile_lanes, ObservedEdge, ObservedLanes, ReconciliationReport,
+    reconcile, reconcile_bounds, reconcile_lanes, ObservedEdge, ObservedLanes, ObservedRootDepth,
+    ReconciliationReport,
+};
+pub use termination::{
+    DischargeReason, DischargedCycle, RuleVerdict, TerminationReport, UndischargedCycle, Verdict,
 };
 
 // Re-exported so analyzer consumers can name the contract types without

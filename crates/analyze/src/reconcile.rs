@@ -11,12 +11,17 @@
 //! * A **definite** edge never exercised by any recorded cascade is an
 //!   `untested-rule-path` warning: the dependency exists on paper but
 //!   no test or workload has ever driven it.
-//! * An observed cascade step with **no static edge at all** is an
-//!   `unpredicted-trigger` error: the static model is missing a real
-//!   dependency, so its termination/confluence verdicts are unsound.
+//! * An observed cascade step with **no static edge at all** — or one
+//!   the effect declarations *refuted* — is an `unpredicted-trigger`
+//!   error: the static model is missing a real dependency, so its
+//!   termination/confluence verdicts are unsound.
+//! * An observed lineage depth **above a proven static bound**
+//!   ([`reconcile_bounds`]) is a `proven-bound-exceeded` error: the
+//!   prover or the declarations it trusted lie.
 
 use crate::diagnostic::{DiagCode, Diagnostic, Severity};
-use crate::graph::TriggeringGraph;
+use crate::graph::{EdgeKind, TriggeringGraph};
+use crate::termination::{TerminationReport, Verdict};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -115,18 +120,24 @@ impl ReconciliationReport {
 /// be filtered out by the caller; an edge naming a rule absent from the
 /// graph is treated as unpredicted.
 pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> ReconciliationReport {
-    // Static edge map: (from, to) -> (any definite edge?, via of one
-    // representative edge).
-    let mut static_edges: BTreeMap<(&str, &str), (bool, &str)> = BTreeMap::new();
+    // Static edge map: (from, to) -> (strongest edge kind, via of that
+    // representative edge). Definite beats conservative beats refuted.
+    fn rank(k: EdgeKind) -> u8 {
+        match k {
+            EdgeKind::Definite => 0,
+            EdgeKind::Conservative => 1,
+            EdgeKind::Refuted => 2,
+        }
+    }
+    let mut static_edges: BTreeMap<(&str, &str), (EdgeKind, &str)> = BTreeMap::new();
     for e in &graph.edges {
         let key = (
             graph.nodes[e.from].rule.as_str(),
             graph.nodes[e.to].rule.as_str(),
         );
-        let entry = static_edges.entry(key).or_insert((false, e.via.as_str()));
-        if e.definite {
-            entry.0 = true;
-            entry.1 = e.via.as_str();
+        let entry = static_edges.entry(key).or_insert((e.kind, e.via.as_str()));
+        if rank(e.kind) < rank(entry.0) {
+            *entry = (e.kind, e.via.as_str());
         }
     }
 
@@ -141,8 +152,8 @@ pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> Reconcil
 
     for (&(from, to), &count) in &exercised {
         match static_edges.get(&(from, to)) {
-            Some(&(true, _)) => report.confirmed_definite += 1,
-            Some(&(false, _)) => {
+            Some(&(EdgeKind::Definite, _)) => report.confirmed_definite += 1,
+            Some(&(EdgeKind::Conservative, _)) => {
                 report.confirmed_conservative += 1;
                 report.diagnostics.push(Diagnostic::new(
                     DiagCode::ObservedTrigger,
@@ -150,6 +161,18 @@ pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> Reconcil
                     format!(
                         "conservative edge `{from}` -> `{to}` was exercised at runtime \
                          ({count} firing pair{}); declare the action's effects to make it definite",
+                        if count == 1 { "" } else { "s" }
+                    ),
+                ));
+            }
+            Some(&(EdgeKind::Refuted, _)) => {
+                report.unpredicted += 1;
+                report.diagnostics.push(Diagnostic::new(
+                    DiagCode::UnpredictedTrigger,
+                    Some(from.to_string()),
+                    format!(
+                        "runtime recorded {count} firing pair{} `{from}` -> `{to}` but the \
+                         declared effects *refuted* that edge; the declarations are wrong",
                         if count == 1 { "" } else { "s" }
                     ),
                 ));
@@ -169,8 +192,8 @@ pub fn reconcile(graph: &TriggeringGraph, observed: &[ObservedEdge]) -> Reconcil
         }
     }
 
-    for (&(from, to), &(definite, via)) in &static_edges {
-        if definite && !exercised.contains_key(&(from, to)) {
+    for (&(from, to), &(kind, via)) in &static_edges {
+        if kind == EdgeKind::Definite && !exercised.contains_key(&(from, to)) {
             report.untested_definite += 1;
             report.diagnostics.push(Diagnostic::new(
                 DiagCode::UntestedRulePath,
@@ -236,10 +259,78 @@ pub fn reconcile_lanes(
     out
 }
 
+/// The deepest lineage depth observed among recorded cascades rooted at
+/// one rule (the root firing itself is depth 0).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRootDepth {
+    /// The rule whose firing was the cascade root (lineage depth 0).
+    pub rule: String,
+    /// The deepest lineage depth reached by any cascade it rooted.
+    pub max_depth: u32,
+}
+
+/// Check observed lineage depth watermarks against the prover's static
+/// bounds.
+///
+/// `observed` carries per-root-rule maxima reconstructed from the
+/// firing-history ring; `history_max_depth` is the history's global
+/// high-water mark, which survives ring eviction. A per-root depth
+/// above that root's `Proven(bound)` — or a global watermark above the
+/// rule set's maximum proven bound when *every* rule is proven — is a
+/// `proven-bound-exceeded` error: the prover's premises (the declared
+/// effects) do not match what actually ran.
+pub fn reconcile_bounds(
+    termination: &TerminationReport,
+    observed: &[ObservedRootDepth],
+    history_max_depth: Option<u32>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for o in observed {
+        let Some(v) = termination.verdict_of(&o.rule) else {
+            continue; // unknown root rule; the edge pass reports it
+        };
+        if let Verdict::Proven(bound) = v.verdict {
+            if o.max_depth > bound {
+                out.push(Diagnostic::new(
+                    DiagCode::ProvenBoundExceeded,
+                    Some(o.rule.clone()),
+                    format!(
+                        "a recorded cascade rooted at `{}` reached lineage depth {} \
+                         but the prover bounded it at {bound}; the effect declarations \
+                         the proof rests on are wrong",
+                        o.rule, o.max_depth
+                    ),
+                ));
+            }
+        }
+    }
+    if let (Some(watermark), Some(bound)) = (history_max_depth, termination.max_proven_bound()) {
+        if watermark > bound {
+            let covered = observed.iter().any(|o| o.max_depth >= watermark);
+            // Only add the global finding when no per-root finding
+            // already explains the watermark (the watermark survives
+            // eviction, so the offending root may be gone).
+            if !covered {
+                out.push(Diagnostic::new(
+                    DiagCode::ProvenBoundExceeded,
+                    None,
+                    format!(
+                        "the firing history's depth watermark is {watermark} but every rule \
+                         is proven with bound at most {bound}; a cascade (since evicted) \
+                         outran the static analysis"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::{GraphEdge, GraphNode};
+    use crate::termination::{RuleVerdict, Verdict};
     use sentinel_rules::CouplingMode;
 
     fn graph() -> TriggeringGraph {
@@ -254,14 +345,20 @@ mod tests {
                 GraphEdge {
                     from: 0,
                     to: 1,
-                    definite: true,
+                    kind: EdgeKind::Definite,
                     via: "X::m (end)".into(),
                 },
                 GraphEdge {
                     from: 1,
                     to: 2,
-                    definite: false,
+                    kind: EdgeKind::Conservative,
                     via: "effects unknown".into(),
+                },
+                GraphEdge {
+                    from: 2,
+                    to: 0,
+                    kind: EdgeKind::Refuted,
+                    via: "refuted: raises miss the alphabet, writes miss the read-set".into(),
                 },
             ],
         }
@@ -315,11 +412,96 @@ mod tests {
 
     #[test]
     fn edge_outside_the_graph_is_an_error() {
-        let r = reconcile(&graph(), &[edge("C", "A", 2)]);
+        let r = reconcile(&graph(), &[edge("C", "B", 2)]);
         assert_eq!(r.unpredicted, 1);
         assert!(r.has_errors());
         assert!(r.summary().starts_with("1 errors"));
         assert!(r.render().contains("unpredicted-trigger"));
+        assert!(r.render().contains("predicts no such edge"));
+    }
+
+    #[test]
+    fn observed_firing_over_refuted_edge_is_an_error() {
+        // The C -> A edge exists but was refuted by declared effects;
+        // the runtime exercising it means the declarations lie.
+        let r = reconcile(&graph(), &[edge("C", "A", 2)]);
+        assert_eq!(r.unpredicted, 1);
+        assert!(r.has_errors());
+        assert!(r.render().contains("unpredicted-trigger"));
+        assert!(r.render().contains("refuted"));
+    }
+
+    fn proven(rule: &str, bound: u32) -> RuleVerdict {
+        RuleVerdict {
+            rule: rule.into(),
+            verdict: Verdict::Proven(bound),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn observed_depth_within_bound_is_silent() {
+        let term = TerminationReport {
+            verdicts: vec![proven("A", 2)],
+            ..Default::default()
+        };
+        let diags = reconcile_bounds(
+            &term,
+            &[ObservedRootDepth {
+                rule: "A".into(),
+                max_depth: 2,
+            }],
+            Some(2),
+        );
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn observed_depth_above_bound_is_an_error() {
+        let term = TerminationReport {
+            verdicts: vec![proven("A", 1)],
+            ..Default::default()
+        };
+        let diags = reconcile_bounds(
+            &term,
+            &[ObservedRootDepth {
+                rule: "A".into(),
+                max_depth: 3,
+            }],
+            Some(3),
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ProvenBoundExceeded);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("depth 3"));
+    }
+
+    #[test]
+    fn evicted_root_caught_by_global_watermark() {
+        // No per-root observation explains a watermark of 4, but every
+        // rule is proven with bound <= 1: global error.
+        let term = TerminationReport {
+            verdicts: vec![proven("A", 1), proven("B", 0)],
+            ..Default::default()
+        };
+        let diags = reconcile_bounds(&term, &[], Some(4));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ProvenBoundExceeded);
+        assert_eq!(diags[0].rule, None);
+        assert!(diags[0].message.contains("watermark is 4"));
+    }
+
+    #[test]
+    fn unproven_rules_mute_the_watermark_check() {
+        let term = TerminationReport {
+            verdicts: vec![RuleVerdict {
+                rule: "A".into(),
+                verdict: Verdict::CycleUndischarged,
+                detail: String::new(),
+            }],
+            ..Default::default()
+        };
+        assert!(reconcile_bounds(&term, &[], Some(10)).is_empty());
     }
 
     #[test]

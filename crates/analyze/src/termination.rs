@@ -1,0 +1,686 @@
+//! The termination prover: discharges triggering cycles and derives a
+//! static cascade-depth bound per rule.
+//!
+//! Works on the refined [`TriggeringGraph`] (definite / conservative /
+//! refuted edges). The proof obligation is the classic one for active
+//! rules (Flesca & Greco): the triggering relation, restricted to edges
+//! that can actually carry a firing, must be well-founded. Refuted
+//! edges are already out; what remains is to discharge the cycles among
+//! live edges and take the longest path over the acyclic condensation.
+//!
+//! The prover distinguishes two flavours of conservative edge. An
+//! "effects unknown" edge (source never declared its raises) may
+//! *schedule* real firings, exactly like a definite edge. A "data
+//! feedback" edge (source's raises are declared and provably miss the
+//! target's alphabet, but its writes touch the target's read-set) can
+//! only re-enable the target's condition — in this engine a firing is
+//! scheduled by an event raise, never by a data write, so data-feedback
+//! edges contribute activation but no cascade depth.
+//!
+//! A cycle is *discharged* when some member rule provably cannot keep
+//! the cycle alive:
+//!
+//! - **abort-shadowed** — every occurrence that triggers the rule also
+//!   triggers an unconditional higher-priority abort, so the cascade
+//!   dies at this rule;
+//! - **no self-feedback** — the rule's condition is non-trivial, its
+//!   read-set is declared, and no member of the cycle (itself included)
+//!   writes anything it reads: the cycle cannot re-enable the rule once
+//!   its condition goes false. This is the activation-graph argument in
+//!   the Baralis–Ceri–Paraboschi tradition; it assumes the rule does
+//!   not keep firing on an invariantly-true condition, a contract the
+//!   runtime reconciliation pass checks against observed lineage;
+//! - **no event feedback** — every edge into the rule from inside the
+//!   cycle is pure data feedback: the cycle can re-enable the rule's
+//!   condition but can never schedule a firing of it, so the event
+//!   cascade through this rule is finite.
+//!
+//! Discharge runs to fixpoint: removing a discharged rule from a
+//! component may break it into smaller components that discharge next.
+//!
+//! Bounds come from the condensation of the *scheduling* subgraph.
+//! Each strongly connected component weighs `|members|` firings (the
+//! discharge contract: one pass through the broken cycle), and
+//! `lp(C) = |C| + max lp(successor)`. A rule's bound is `lp` of its
+//! component minus one — the maximum lineage depth (root firing =
+//! depth 0) of any cascade it starts. Components containing or
+//! reaching an undischarged cycle get no bound.
+//!
+//! Every rule then gets a [`Verdict`]:
+//!
+//! - [`Verdict::Proven`]\(bound\) — all cycles reachable from the rule
+//!   are discharged and `bound` caps the lineage depth;
+//! - [`Verdict::CycleUndischarged`] — the rule reaches an undischarged
+//!   cycle that needs conservative edges to close: divergence is
+//!   possible, not demonstrated;
+//! - [`Verdict::Unbounded`] — the rule reaches an undischarged cycle of
+//!   definite edges alone: divergence is real under declared effects.
+
+use crate::graph::TriggeringGraph;
+use serde::Serialize;
+
+/// Static facts about one rule that the discharge predicates consume.
+/// Produced by the analyzer from its per-rule `RuleInfo`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleFacts {
+    /// Rule name (must match the graph node).
+    pub rule: String,
+    /// The condition is the constant-true body: the rule fires on every
+    /// delivery, so "condition goes false" can never break a cycle.
+    pub condition_trivial: bool,
+    /// The action declared its read-set (`effects.reads` is `Some`).
+    pub reads_known: bool,
+    /// The action declared its raises (`effects` is `Some`). When
+    /// false, every conservative edge out of this rule may schedule
+    /// firings.
+    pub raises_known: bool,
+    /// Every triggering occurrence also triggers an unconditional
+    /// higher-priority Immediate abort (same fact `shadowed-by-abort`
+    /// reports).
+    pub abort_shadowed: bool,
+}
+
+/// Why a cycle member discharges its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DischargeReason {
+    /// The member is abort-shadowed: the cascade dies there.
+    AbortShadowed,
+    /// No cycle member writes the member's declared read-set and its
+    /// condition is non-trivial: the cycle cannot re-enable it.
+    NoSelfFeedback,
+    /// Every cycle edge into the member is pure data feedback: the
+    /// cycle can never schedule a firing of it.
+    NoEventFeedback,
+}
+
+impl DischargeReason {
+    /// Stable lowercase label for tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DischargeReason::AbortShadowed => "abort-shadowed",
+            DischargeReason::NoSelfFeedback => "no-self-feedback",
+            DischargeReason::NoEventFeedback => "no-event-feedback",
+        }
+    }
+}
+
+/// A cycle the prover discharged, with the witness rule and reason.
+#[derive(Debug, Clone, Serialize)]
+pub struct DischargedCycle {
+    /// Member rule names (sorted).
+    pub members: Vec<String>,
+    /// The rule whose discharge broke the cycle.
+    pub witness: String,
+    /// Why the witness discharges it.
+    pub reason: DischargeReason,
+}
+
+/// A cycle the prover could not discharge.
+#[derive(Debug, Clone, Serialize)]
+pub struct UndischargedCycle {
+    /// Member rule names (sorted).
+    pub members: Vec<String>,
+    /// Whether the cycle closes through definite edges alone.
+    pub definite: bool,
+}
+
+/// The prover's verdict for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// Terminates; a cascade rooted here reaches lineage depth at most
+    /// the contained bound (root firing = depth 0).
+    Proven(u32),
+    /// Reaches an undischarged cycle that needs conservative edges to
+    /// close: possibly diverging.
+    CycleUndischarged,
+    /// Reaches an undischarged cycle of definite edges: diverges under
+    /// the declared effects.
+    Unbounded,
+}
+
+impl Verdict {
+    /// Stable lowercase label (`proven` / `cycle-undischarged` /
+    /// `unbounded`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Proven(_) => "proven",
+            Verdict::CycleUndischarged => "cycle-undischarged",
+            Verdict::Unbounded => "unbounded",
+        }
+    }
+
+    /// The bound, for `Proven` verdicts.
+    pub fn bound(self) -> Option<u32> {
+        match self {
+            Verdict::Proven(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// One rule's verdict row.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleVerdict {
+    /// Rule name.
+    pub rule: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Supporting detail: the bound, or the blocking cycle.
+    pub detail: String,
+}
+
+/// Everything the prover concluded about one rule set.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TerminationReport {
+    /// Per-rule verdicts, sorted by rule name.
+    pub verdicts: Vec<RuleVerdict>,
+    /// Cycles the prover discharged (with witnesses).
+    pub discharged: Vec<DischargedCycle>,
+    /// Cycles that resisted every discharge predicate.
+    pub undischarged: Vec<UndischargedCycle>,
+}
+
+impl TerminationReport {
+    /// Verdict for `rule`, if it is in the report.
+    pub fn verdict_of(&self, rule: &str) -> Option<&RuleVerdict> {
+        self.verdicts.iter().find(|v| v.rule == rule)
+    }
+
+    /// `true` when every rule is `Proven`.
+    pub fn all_proven(&self) -> bool {
+        self.verdicts
+            .iter()
+            .all(|v| matches!(v.verdict, Verdict::Proven(_)))
+    }
+
+    /// The largest proven bound, when *all* rules are proven. This is
+    /// the global worst-case lineage depth for the rule set.
+    pub fn max_proven_bound(&self) -> Option<u32> {
+        if self.verdicts.is_empty() || !self.all_proven() {
+            return None;
+        }
+        self.verdicts.iter().filter_map(|v| v.verdict.bound()).max()
+    }
+
+    /// `N proven, M undischarged, K unbounded` one-liner.
+    pub fn summary(&self) -> String {
+        let proven = self
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v.verdict, Verdict::Proven(_)))
+            .count();
+        let undis = self
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict == Verdict::CycleUndischarged)
+            .count();
+        let unbounded = self
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict == Verdict::Unbounded)
+            .count();
+        format!("{proven} proven, {undis} undischarged, {unbounded} unbounded")
+    }
+
+    /// Fixed-width verdict table for the shell.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let wide = self
+            .verdicts
+            .iter()
+            .map(|v| v.rule.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(s, "{:wide$}  {:18}  detail", "rule", "verdict");
+        for v in &self.verdicts {
+            let verdict = match v.verdict {
+                Verdict::Proven(b) => format!("proven(bound={b})"),
+                other => other.as_str().to_string(),
+            };
+            let _ = writeln!(s, "{:wide$}  {verdict:18}  {}", v.rule, v.detail);
+        }
+        let _ = write!(s, "termination: {}", self.summary());
+        s
+    }
+}
+
+/// Run the prover.
+///
+/// `facts[i]` must describe `graph.nodes[i]`; `feedback[i][j]` must be
+/// `true` iff rule `i`'s declared writes can overlap rule `j`'s full
+/// read-set (reads ∪ writes), `false` only when that is *proven*
+/// impossible (both sides declared, no overlap). Unknown effects must
+/// be passed as `true` — the prover treats `feedback` as may-analysis.
+pub fn prove(
+    graph: &TriggeringGraph,
+    facts: &[RuleFacts],
+    feedback: &[Vec<bool>],
+) -> TerminationReport {
+    let n = graph.nodes.len();
+    assert_eq!(facts.len(), n, "one RuleFacts per graph node");
+    assert_eq!(feedback.len(), n, "square feedback matrix");
+
+    // An edge *schedules* firings when it is definite, or conservative
+    // from a rule whose raises are unknown (a conservative edge out of
+    // a raises-declared rule is pure data feedback by construction —
+    // had the declared raises hit the target's alphabet, the edge
+    // would be definite).
+    let schedules = |e: &crate::graph::GraphEdge| e.is_definite() || !facts[e.from].raises_known;
+    let mut sched: Vec<Vec<bool>> = vec![vec![false; n]; n];
+    let mut sched_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in &graph.edges {
+        if e.is_live() && schedules(e) && !sched[e.from][e.to] {
+            sched[e.from][e.to] = true;
+            sched_adj[e.from].push(e.to);
+        }
+    }
+
+    // Discharge to fixpoint. `removed[i]` = rule i was discharged as a
+    // cycle-breaker; the remaining cycles are analyzed without it.
+    let mut removed = vec![false; n];
+    let mut discharged: Vec<DischargedCycle> = Vec::new();
+    loop {
+        let rm = removed.clone();
+        let comps = graph.sccs(|e| e.is_live() && !rm[e.from] && !rm[e.to]);
+        let mut progressed = false;
+        for comp in &comps {
+            if let Some((witness, reason)) = discharge(comp, facts, feedback, &sched) {
+                discharged.push(DischargedCycle {
+                    members: comp.iter().map(|&i| facts[i].rule.clone()).collect(),
+                    witness: facts[witness].rule.clone(),
+                    reason,
+                });
+                removed[witness] = true;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Rules still inside a cyclic component after the fixpoint are the
+    // undischarged ("stuck") ones.
+    let rm = removed.clone();
+    let stuck_comps = graph.sccs(|e| e.is_live() && !rm[e.from] && !rm[e.to]);
+    let mut undischarged: Vec<UndischargedCycle> = Vec::new();
+    let mut stuck = vec![false; n];
+    let mut stuck_definite = vec![false; n];
+    for comp in &stuck_comps {
+        // A stuck component is `definite` when it stays cyclic using
+        // only its internal definite edges.
+        let inside = |i: usize| comp.contains(&i);
+        let def_cyclic = !graph
+            .sccs(|e| e.is_definite() && inside(e.from) && inside(e.to) && !rm[e.from] && !rm[e.to])
+            .is_empty();
+        for &m in comp {
+            stuck[m] = true;
+            stuck_definite[m] = def_cyclic;
+        }
+        undischarged.push(UndischargedCycle {
+            members: comp.iter().map(|&i| facts[i].rule.clone()).collect(),
+            definite: def_cyclic,
+        });
+    }
+
+    // Longest path over the condensation of the scheduling subgraph.
+    // Tarjan emits components in reverse topological order, so every
+    // successor component is finished before its predecessors: one pass
+    // computes lp. A component poisoned by (containing or reaching) a
+    // stuck rule gets no bound; `def_poison` tracks whether the poison
+    // source is a definite cycle (=> Unbounded rather than merely
+    // CycleUndischarged).
+    let comps = all_sccs(n, &sched_adj);
+    let mut comp_of = vec![usize::MAX; n];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &m in comp {
+            comp_of[m] = ci;
+        }
+    }
+    // lp[ci] = None => poisoned.
+    let mut lp: Vec<Option<u32>> = vec![None; comps.len()];
+    let mut def_poison: Vec<bool> = vec![false; comps.len()];
+    for (ci, comp) in comps.iter().enumerate() {
+        let mut poisoned = comp.iter().any(|&m| stuck[m]);
+        let mut definite_poison = comp.iter().any(|&m| stuck_definite[m]);
+        let mut best_succ: u32 = 0;
+        for &m in comp {
+            for &t in &sched_adj[m] {
+                let tc = comp_of[t];
+                if tc == ci {
+                    continue;
+                }
+                match lp[tc] {
+                    Some(v) => best_succ = best_succ.max(v),
+                    None => {
+                        poisoned = true;
+                        definite_poison |= def_poison[tc];
+                    }
+                }
+            }
+        }
+        if poisoned {
+            lp[ci] = None;
+            def_poison[ci] = definite_poison;
+        } else {
+            lp[ci] = Some(comp.len() as u32 + best_succ);
+        }
+    }
+
+    let mut verdicts: Vec<RuleVerdict> = Vec::with_capacity(n);
+    for i in 0..n {
+        let ci = comp_of[i];
+        let (verdict, detail) = match lp[ci] {
+            Some(v) => {
+                let bound = v - 1;
+                (
+                    Verdict::Proven(bound),
+                    format!("longest scheduling chain reaches depth {bound}"),
+                )
+            }
+            None if def_poison[ci] => (
+                Verdict::Unbounded,
+                "reaches an undischarged definite cycle".to_string(),
+            ),
+            None => (
+                Verdict::CycleUndischarged,
+                "reaches an undischarged conservative cycle".to_string(),
+            ),
+        };
+        verdicts.push(RuleVerdict {
+            rule: facts[i].rule.clone(),
+            verdict,
+            detail,
+        });
+    }
+    verdicts.sort_by(|a, b| a.rule.cmp(&b.rule));
+    discharged.sort_by(|a, b| (&a.members, &a.witness).cmp(&(&b.members, &b.witness)));
+    undischarged.sort_by(|a, b| a.members.cmp(&b.members));
+
+    TerminationReport {
+        verdicts,
+        discharged,
+        undischarged,
+    }
+}
+
+/// Iterative Tarjan over an adjacency list, returning *all* strongly
+/// connected components (singletons included) in reverse topological
+/// order of the condensation.
+fn all_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut work: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        work.push((start, 0));
+        while let Some(&(v, ci)) = work.last() {
+            if ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(ci) {
+                work.last_mut().expect("frame present").1 += 1;
+                if index[w] == UNSET {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+/// Try each discharge predicate on each member of a cyclic component;
+/// return the first (witness, reason) found. Deterministic: predicates
+/// in fixed order, members in index order.
+fn discharge(
+    comp: &[usize],
+    facts: &[RuleFacts],
+    feedback: &[Vec<bool>],
+    sched: &[Vec<bool>],
+) -> Option<(usize, DischargeReason)> {
+    for &r in comp {
+        if facts[r].abort_shadowed {
+            return Some((r, DischargeReason::AbortShadowed));
+        }
+    }
+    for &r in comp {
+        let f = &facts[r];
+        if !f.condition_trivial && f.reads_known && comp.iter().all(|&m| !feedback[m][r]) {
+            return Some((r, DischargeReason::NoSelfFeedback));
+        }
+    }
+    for &r in comp {
+        if comp.iter().all(|&m| !sched[m][r]) {
+            return Some((r, DischargeReason::NoEventFeedback));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, GraphEdge, GraphNode};
+    use sentinel_rules::CouplingMode;
+
+    fn graph(n: usize, edges: &[(usize, usize, EdgeKind)]) -> TriggeringGraph {
+        TriggeringGraph {
+            nodes: (0..n)
+                .map(|i| GraphNode {
+                    rule: format!("r{i}"),
+                    coupling: CouplingMode::Immediate,
+                    enabled: true,
+                })
+                .collect(),
+            edges: edges
+                .iter()
+                .map(|&(from, to, kind)| GraphEdge {
+                    from,
+                    to,
+                    kind,
+                    via: "t".into(),
+                })
+                .collect(),
+        }
+    }
+
+    fn plain_facts(n: usize) -> Vec<RuleFacts> {
+        (0..n)
+            .map(|i| RuleFacts {
+                rule: format!("r{i}"),
+                condition_trivial: true,
+                reads_known: false,
+                raises_known: true,
+                abort_shadowed: false,
+            })
+            .collect()
+    }
+
+    fn no_feedback(n: usize) -> Vec<Vec<bool>> {
+        vec![vec![false; n]; n]
+    }
+
+    #[test]
+    fn chain_gets_exact_bounds() {
+        // r0 -> r1 -> r2, all definite: bounds 2, 1, 0.
+        let g = graph(3, &[(0, 1, EdgeKind::Definite), (1, 2, EdgeKind::Definite)]);
+        let rep = prove(&g, &plain_facts(3), &no_feedback(3));
+        assert!(rep.all_proven());
+        assert_eq!(rep.verdict_of("r0").unwrap().verdict, Verdict::Proven(2));
+        assert_eq!(rep.verdict_of("r1").unwrap().verdict, Verdict::Proven(1));
+        assert_eq!(rep.verdict_of("r2").unwrap().verdict, Verdict::Proven(0));
+        assert_eq!(rep.max_proven_bound(), Some(2));
+    }
+
+    #[test]
+    fn refuted_edges_do_not_count() {
+        let g = graph(2, &[(0, 1, EdgeKind::Refuted), (1, 1, EdgeKind::Refuted)]);
+        let rep = prove(&g, &plain_facts(2), &no_feedback(2));
+        assert_eq!(rep.verdict_of("r0").unwrap().verdict, Verdict::Proven(0));
+        assert_eq!(rep.verdict_of("r1").unwrap().verdict, Verdict::Proven(0));
+    }
+
+    #[test]
+    fn undischarged_definite_cycle_is_unbounded_and_poisons_upstream() {
+        // r0 -> r1 <-> r2 (definite cycle, nothing discharges it:
+        // trivial conditions, full feedback).
+        let g = graph(
+            3,
+            &[
+                (0, 1, EdgeKind::Definite),
+                (1, 2, EdgeKind::Definite),
+                (2, 1, EdgeKind::Definite),
+            ],
+        );
+        let mut fb = no_feedback(3);
+        for row in &mut fb {
+            row.fill(true);
+        }
+        let rep = prove(&g, &plain_facts(3), &fb);
+        assert_eq!(rep.verdict_of("r1").unwrap().verdict, Verdict::Unbounded);
+        assert_eq!(rep.verdict_of("r2").unwrap().verdict, Verdict::Unbounded);
+        // r0 reaches the cycle: also unbounded.
+        assert_eq!(rep.verdict_of("r0").unwrap().verdict, Verdict::Unbounded);
+        assert_eq!(rep.undischarged.len(), 1);
+        assert!(rep.undischarged[0].definite);
+        assert_eq!(rep.max_proven_bound(), None);
+    }
+
+    #[test]
+    fn conservative_cycle_with_unknown_raises_stays_undischarged() {
+        // Self-loop via a conservative "effects unknown" edge: the edge
+        // may schedule firings, so NoEventFeedback cannot apply.
+        let g = graph(1, &[(0, 0, EdgeKind::Conservative)]);
+        let mut facts = plain_facts(1);
+        facts[0].raises_known = false;
+        let mut fb = no_feedback(1);
+        fb[0][0] = true;
+        let rep = prove(&g, &facts, &fb);
+        assert_eq!(
+            rep.verdict_of("r0").unwrap().verdict,
+            Verdict::CycleUndischarged
+        );
+        assert_eq!(rep.undischarged.len(), 1);
+        assert!(!rep.undischarged[0].definite);
+    }
+
+    #[test]
+    fn data_feedback_cycle_discharged_by_no_event_feedback() {
+        // Conservative self-loop but raises are declared: the loop is
+        // pure data feedback — it never schedules, so it discharges and
+        // contributes nothing to the bound.
+        let g = graph(1, &[(0, 0, EdgeKind::Conservative)]);
+        let mut fb = no_feedback(1);
+        fb[0][0] = true; // writes its own reads
+        let rep = prove(&g, &plain_facts(1), &fb);
+        assert_eq!(rep.verdict_of("r0").unwrap().verdict, Verdict::Proven(0));
+        assert_eq!(rep.discharged.len(), 1);
+        assert_eq!(rep.discharged[0].reason, DischargeReason::NoEventFeedback);
+        assert_eq!(rep.discharged[0].witness, "r0");
+    }
+
+    #[test]
+    fn cycle_discharged_by_no_self_feedback() {
+        // Definite 2-cycle, but r1 has a non-trivial condition, known
+        // reads, and nobody in the cycle writes what it reads.
+        let g = graph(2, &[(0, 1, EdgeKind::Definite), (1, 0, EdgeKind::Definite)]);
+        let mut facts = plain_facts(2);
+        facts[1].condition_trivial = false;
+        facts[1].reads_known = true;
+        let rep = prove(&g, &facts, &no_feedback(2));
+        assert!(rep.all_proven());
+        assert_eq!(rep.discharged.len(), 1);
+        assert_eq!(rep.discharged[0].reason, DischargeReason::NoSelfFeedback);
+        assert_eq!(rep.discharged[0].witness, "r1");
+        // The discharged 2-cycle weighs two firings: entering it from
+        // either member costs at most depth 1.
+        assert_eq!(rep.verdict_of("r0").unwrap().verdict, Verdict::Proven(1));
+        assert_eq!(rep.verdict_of("r1").unwrap().verdict, Verdict::Proven(1));
+    }
+
+    #[test]
+    fn cycle_discharged_by_abort_shadow() {
+        let g = graph(2, &[(0, 1, EdgeKind::Definite), (1, 0, EdgeKind::Definite)]);
+        let mut facts = plain_facts(2);
+        facts[0].abort_shadowed = true;
+        let mut fb = no_feedback(2);
+        for row in &mut fb {
+            row.fill(true);
+        }
+        let rep = prove(&g, &facts, &fb);
+        assert!(rep.all_proven());
+        assert_eq!(rep.discharged[0].reason, DischargeReason::AbortShadowed);
+    }
+
+    #[test]
+    fn fixpoint_discharges_nested_components() {
+        // One SCC {0,1,2}: first pass discharges via r0's abort shadow,
+        // the remainder {1,2} needs a second pass (r2's no-self-
+        // feedback discharge).
+        let g = graph(
+            3,
+            &[
+                (0, 1, EdgeKind::Definite),
+                (1, 0, EdgeKind::Definite),
+                (1, 2, EdgeKind::Definite),
+                (2, 1, EdgeKind::Definite),
+            ],
+        );
+        let mut facts = plain_facts(3);
+        facts[0].abort_shadowed = true;
+        facts[2].condition_trivial = false;
+        facts[2].reads_known = true;
+        let mut fb = no_feedback(3);
+        fb[0][0] = true;
+        fb[0][1] = true;
+        fb[1][0] = true;
+        fb[1][1] = true;
+        let rep = prove(&g, &facts, &fb);
+        assert!(rep.all_proven(), "verdicts: {:?}", rep.verdicts);
+        assert_eq!(rep.discharged.len(), 2);
+        assert_eq!(rep.discharged[0].reason, DischargeReason::AbortShadowed);
+    }
+
+    #[test]
+    fn render_table_and_summary() {
+        let g = graph(2, &[(0, 1, EdgeKind::Definite)]);
+        let rep = prove(&g, &plain_facts(2), &no_feedback(2));
+        let table = rep.render_table();
+        assert!(table.contains("proven(bound=1)"));
+        assert!(table.contains("proven(bound=0)"));
+        assert!(table.contains("termination: 2 proven, 0 undischarged, 0 unbounded"));
+    }
+}

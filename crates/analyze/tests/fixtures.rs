@@ -3,7 +3,7 @@
 //! `analyze-gate` step trustworthy: the gate that passes the shipped
 //! examples is proven here to fail on broken input.
 
-use sentinel_analyze::{diff_effects, ObservedEffects, RuleAnalyzer, Severity};
+use sentinel_analyze::{diff_effects, ObservedEffects, RuleAnalyzer, Severity, Verdict};
 use sentinel_events::{parse_signature, EventExpr};
 use sentinel_object::{ClassDecl, ClassRegistry, Oid};
 use sentinel_rules::{ActionEffects, CouplingMode, RuleDef, RuleEngine};
@@ -235,6 +235,77 @@ fn effects_mismatch_fixture_fails_the_gate() {
         "one mismatch per undeclared raise/write"
     );
     assert!(report.gate().is_err());
+}
+
+/// Known-terminating corpus: a definite acyclic chain must prove every
+/// rule with the exact longest-path bound and raise no termination
+/// findings at all.
+#[test]
+fn terminating_chain_fixture_is_fully_proven() {
+    let fixture = load("terminating_chain.json");
+    let report = analyze(&fixture);
+    assert_expected(&fixture, &report);
+    assert!(!report.has_errors(), "{}", report.render_table());
+    assert!(report.termination.all_proven(), "{}", report.render_table());
+    let bound = |rule: &str| report.termination.verdict_of(rule).unwrap().verdict;
+    assert_eq!(bound("OnIngest"), Verdict::Proven(2));
+    assert_eq!(bound("OnRefine"), Verdict::Proven(1));
+    assert_eq!(bound("OnPublish"), Verdict::Proven(0));
+    assert_eq!(report.termination.max_proven_bound(), Some(2));
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.code.as_str() == "unproven-termination"));
+    assert!(report.gate().is_ok());
+}
+
+/// Known-diverging corpus: a definite two-rule cycle with trivial
+/// conditions defeats every discharge predicate, so both members are
+/// Unbounded and the gate still passes (warnings, not errors).
+#[test]
+fn diverging_cycle_fixture_is_unbounded() {
+    let fixture = load("diverging_cycle.json");
+    let report = analyze(&fixture);
+    assert_expected(&fixture, &report);
+    for rule in ["AonB", "BonA"] {
+        assert_eq!(
+            report.termination.verdict_of(rule).unwrap().verdict,
+            Verdict::Unbounded,
+            "{}",
+            report.render_table()
+        );
+    }
+    assert_eq!(report.termination.max_proven_bound(), None);
+    assert_eq!(report.termination.undischarged.len(), 1);
+}
+
+/// Discharge-able corpus: a data-feedback self-loop (declared-empty
+/// raises, writes overlapping its own read-set) is discharged and the
+/// rule proven at bound 0; the conservative cycle warning is superseded
+/// by the discharge info.
+#[test]
+fn discharged_cycle_fixture_is_proven() {
+    let fixture = load("discharged_cycle.json");
+    let report = analyze(&fixture);
+    assert_expected(&fixture, &report);
+    assert_eq!(
+        report.termination.verdict_of("SelfTune").unwrap().verdict,
+        Verdict::Proven(0),
+        "{}",
+        report.render_table()
+    );
+    assert_eq!(report.termination.discharged.len(), 1);
+    assert_eq!(report.termination.discharged[0].witness, "SelfTune");
+    // The discharge proof silences the potential-cycle warning.
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.code.as_str() == "potential-cycle"),
+        "{}",
+        report.render_table()
+    );
+    assert!(report.gate().is_ok());
 }
 
 /// Negative control: the same schema with truthful declarations and a

@@ -445,6 +445,9 @@ impl Database {
             r.stats.actions_run += 1;
         }
         SharedDbStats::bump(&self.stats.actions_run);
+        // Pre-increment `>= limit` is the same inclusive semantics as
+        // `dispatch`'s post-increment `> limit`: the action about to run
+        // would sit at nesting level `depth + 1`.
         if self.depth >= self.config.max_cascade_depth {
             return Err(ObjectError::CascadeDepthExceeded {
                 limit: self.config.max_cascade_depth,

@@ -43,6 +43,24 @@ pub struct DbConfig {
     /// events trigger rules, whose actions send messages, ... The paper
     /// does not bound this; an unbounded implementation hangs on the
     /// first accidentally self-triggering rule.
+    ///
+    /// The semantics are inclusive and uniform across every checkpoint
+    /// (nested `dispatch`, rule-action nesting, deferred rounds,
+    /// detached rounds): exactly `max_cascade_depth` nesting levels (or
+    /// end-of-transaction rounds) are permitted, and the request for
+    /// level `max_cascade_depth + 1` fails with
+    /// `CascadeDepthExceeded`.
+    ///
+    /// In lineage terms: a deferred-coupling chain runs one firing
+    /// generation per round, so the deepest lineage depth a committed
+    /// firing can ever record is `max_cascade_depth - 1`. Immediate
+    /// coupling is costlier — each hop nests a message dispatch *and*
+    /// an action frame, so an immediate chain needs roughly
+    /// `2 * (depth + 1)` levels and aborts well before the deferred
+    /// ceiling. The static analyzer's `cascade-bound-exceeds-limit`
+    /// diagnostic fires when a proven lineage bound reaches
+    /// `max_cascade_depth`: at that point not even the cheapest
+    /// (deferred) accounting can fit the worst-case cascade.
     pub max_cascade_depth: usize,
     /// Default parameter context for rules that do not specify one.
     pub default_context: ParamContext,

@@ -630,12 +630,20 @@ impl Database {
         method: &str,
         args: &[Value],
     ) -> Result<Value> {
-        if self.depth >= self.config.max_cascade_depth {
+        // Unified cascade-limit semantics (see `DbConfig::
+        // max_cascade_depth`): entering nesting level `depth + 1` is
+        // rejected when it would exceed the limit, i.e. exactly
+        // `max_cascade_depth` levels are permitted and the deepest
+        // lineage depth a committed firing can record is
+        // `max_cascade_depth - 1`. The same post-increment `> limit`
+        // shape guards rule rounds in `commit.rs`.
+        self.depth += 1;
+        if self.depth > self.config.max_cascade_depth {
+            self.depth -= 1;
             return Err(ObjectError::CascadeDepthExceeded {
                 limit: self.config.max_cascade_depth,
             });
         }
-        self.depth += 1;
         let out = self.dispatch_inner(receiver, method, args);
         self.depth -= 1;
         out
@@ -878,6 +886,7 @@ impl Database {
         }
         let mut report = RuleAnalyzer::new(&self.registry, &self.engine)
             .with_object_classes(object_classes)
+            .with_cascade_limit(self.config.max_cascade_depth)
             .analyze();
         if let Some(rec) = &self.effect_recorder {
             for (action, raw) in &rec.records {

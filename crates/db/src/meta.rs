@@ -2,36 +2,41 @@
 //!
 //! The paper makes events and rules first-class objects; this module
 //! goes one step further and makes the *behaviour* of the rule system
-//! first-class too. Five tabular relations project live engine state —
+//! first-class too. Six tabular relations project live engine state —
 //! the rule catalog, subscriptions, the firing-history ring, the
-//! cascade edges recorded in it, and the static triggering graph — into
-//! a tiny relational algebra ([`Relation`]) with filter / project /
-//! join / aggregate combinators, so "which rule fired most", "what did
-//! firing #12 cause", and "which predicted paths never ran" are queries
-//! rather than debugger sessions.
+//! cascade edges recorded in it, the static triggering graph, and the
+//! termination prover's verdicts — into a tiny relational algebra
+//! ([`Relation`]) with filter / project / join / aggregate combinators,
+//! so "which rule fired most", "what did firing #12 cause", and "which
+//! rules lack a termination proof" are queries rather than debugger
+//! sessions.
 //!
-//! | relation        | one row per…                                    |
+//! | relation        | one row per…                                     |
 //! |-----------------|--------------------------------------------------|
 //! | `rules`         | rule object (name, coupling, priority, bodies)   |
 //! | `subscriptions` | object- or class-level subscription              |
 //! | `firings`       | firing record in the history ring                |
 //! | `cascade_edges` | parent→child firing pair in the ring             |
-//! | `graph_edges`   | static triggering-graph edge (definite or not)   |
+//! | `graph_edges`   | static triggering-graph edge, with its kind      |
+//! | `termination`   | rule verdict: proven(bound) / undischarged / …   |
 
 use crate::database::Database;
-use sentinel_analyze::{ConflictMatrix, Lane, ObservedEdge, ObservedLanes, ReconciliationReport};
+use sentinel_analyze::{
+    ConflictMatrix, Lane, ObservedEdge, ObservedLanes, ObservedRootDepth, ReconciliationReport,
+};
 use sentinel_object::{ObjectError, Oid, Result, Value};
 use sentinel_telemetry::{ExecutionLane, FiringOutcome, FiringRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The relation names served by [`Database::meta_relation`].
-pub const META_RELATIONS: [&str; 5] = [
+pub const META_RELATIONS: [&str; 6] = [
     "rules",
     "subscriptions",
     "firings",
     "cascade_edges",
     "graph_edges",
+    "termination",
 ];
 
 /// A comparison operator for [`Relation::filter`].
@@ -470,16 +475,40 @@ impl Database {
     }
 
     /// The `graph_edges` relation, projected from the static triggering
-    /// graph. Columns: `from, to, definite, via`.
+    /// graph. Columns: `from, to, kind, definite, via` — `kind` is the
+    /// refinement level (`definite` / `conservative` / `refuted`); the
+    /// boolean `definite` column is kept for query compatibility.
     pub fn meta_graph_edges(&self) -> Relation {
-        let mut rel = Relation::new("graph_edges", &["from", "to", "definite", "via"]);
+        let mut rel = Relation::new("graph_edges", &["from", "to", "kind", "definite", "via"]);
         let graph = self.analyze().graph;
         for e in &graph.edges {
             rel.push(vec![
                 Value::Str(graph.nodes[e.from].rule.clone()),
                 Value::Str(graph.nodes[e.to].rule.clone()),
-                Value::Bool(e.definite),
+                Value::Str(e.kind.as_str().to_string()),
+                Value::Bool(e.is_definite()),
                 Value::Str(e.via.clone()),
+            ]);
+        }
+        rel
+    }
+
+    /// The `termination` relation: the prover's verdict per rule.
+    /// Columns: `rule, verdict, bound, detail` — `bound` is the static
+    /// cascade-depth bound for `proven` rows and null otherwise, so
+    /// `query termination where verdict != proven` lists exactly the
+    /// rules whose termination is not guaranteed.
+    pub fn meta_termination(&self) -> Relation {
+        let mut rel = Relation::new("termination", &["rule", "verdict", "bound", "detail"]);
+        for v in &self.analyze().termination.verdicts {
+            rel.push(vec![
+                Value::Str(v.rule.clone()),
+                Value::Str(v.verdict.as_str().to_string()),
+                match v.verdict.bound() {
+                    Some(b) => Value::Int(b.into()),
+                    None => Value::Null,
+                },
+                Value::Str(v.detail.clone()),
             ]);
         }
         rel
@@ -493,6 +522,7 @@ impl Database {
             "firings" => Ok(self.meta_firings()),
             "cascade_edges" => Ok(self.meta_cascade_edges()),
             "graph_edges" => Ok(self.meta_graph_edges()),
+            "termination" => Ok(self.meta_termination()),
             _ => Err(ObjectError::App(format!(
                 "unknown meta relation `{name}` (have: {})",
                 META_RELATIONS.join(", ")
@@ -590,17 +620,55 @@ impl Database {
             .collect()
     }
 
+    /// Per-root-rule lineage depth maxima, reconstructed by climbing
+    /// parent chains in the firing-history ring: each record's deepest
+    /// descendant depth is attributed to its depth-0 root's rule.
+    /// Records whose chain is broken by eviction are skipped (their
+    /// root rule is unknowable); the history's global `max_depth`
+    /// watermark covers that gap in [`reconcile`](Self::reconcile).
+    pub fn observed_root_depths(&self) -> Vec<ObservedRootDepth> {
+        let records = self.telemetry.firings().dump_all();
+        let by_id: BTreeMap<u64, &FiringRecord> = records.iter().map(|r| (r.id.0, r)).collect();
+        let mut acc: BTreeMap<String, u32> = BTreeMap::new();
+        'rec: for r in &records {
+            let mut cur = r;
+            while let Some(parent) = cur.parent {
+                let Some(p) = by_id.get(&parent.0) else {
+                    continue 'rec; // chain broken by eviction
+                };
+                cur = p;
+            }
+            if cur.depth != 0 {
+                continue; // top of chain is not a true root (evicted above)
+            }
+            let e = acc.entry(cur.rule.clone()).or_insert(0);
+            *e = (*e).max(r.depth);
+        }
+        acc.into_iter()
+            .map(|(rule, max_depth)| ObservedRootDepth { rule, max_depth })
+            .collect()
+    }
+
     /// Diff the static triggering graph against the cascades actually
     /// recorded in the firing-history ring (see
-    /// [`sentinel_analyze::reconcile`]), then fold in lane coverage:
-    /// a `serial-only-rule` info for every parallel-eligible rule whose
-    /// recorded firings never left the serial lane.
+    /// [`sentinel_analyze::reconcile`]), then fold in lane coverage
+    /// (a `serial-only-rule` info for every parallel-eligible rule
+    /// whose recorded firings never left the serial lane) and the
+    /// termination-bound check (a `proven-bound-exceeded` error when
+    /// observed lineage depth outruns a static `Proven(bound)`).
     pub fn reconcile(&self) -> ReconciliationReport {
+        let analysis = self.analyze();
         let mut report =
-            sentinel_analyze::reconcile(&self.analyze().graph, &self.observed_cascade_edges());
+            sentinel_analyze::reconcile(&analysis.graph, &self.observed_cascade_edges());
         report.merge_diagnostics(sentinel_analyze::reconcile_lanes(
             &self.parallel_eligible_rules(),
             &self.observed_lanes(),
+        ));
+        let watermark = self.telemetry.firings().max_depth();
+        report.merge_diagnostics(sentinel_analyze::reconcile_bounds(
+            &analysis.termination,
+            &self.observed_root_depths(),
+            Some(watermark),
         ));
         report
     }

@@ -586,6 +586,97 @@ fn cascade_depth_limit_stops_self_triggering_rule() {
     assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(0));
 }
 
+/// A `Ping` database whose `Chain` rule re-sends `Hit` until `n` passes
+/// `hops`, with firing history on so lineage depths are recorded.
+fn hit_chain_db(limit: usize, hops: i64, coupling: CouplingMode) -> (Database, Oid) {
+    let cfg = DbConfig {
+        max_cascade_depth: limit,
+        history_enabled: true,
+        ..DbConfig::default()
+    };
+    let mut db = Database::with_config(cfg).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Ping")
+            .attr("n", TypeTag::Int)
+            .event_method("Hit", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Ping", "Hit", |w, this, _| {
+        let n = w.get_attr(this, "n")?.as_int()?;
+        w.set_attr(this, "n", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    db.register_action("hit-chain", move |w, f| {
+        let this = f.occurrence.constituents[0].oid;
+        let n = w.get_attr(this, "n")?.as_int()?;
+        if n <= hops {
+            w.send(this, "Hit", &[])?;
+        }
+        Ok(())
+    });
+    db.add_class_rule(
+        "Ping",
+        RuleDef::new("Chain", event("end Ping::Hit()").unwrap(), "hit-chain").coupling(coupling),
+    )
+    .unwrap();
+    let p = db.create("Ping").unwrap();
+    (db, p)
+}
+
+/// Pins the exact inclusive semantics documented on
+/// `DbConfig::max_cascade_depth`: every checkpoint permits exactly
+/// `max_cascade_depth` levels/rounds, so a deferred chain commits
+/// lineage depths up to `limit - 1` and aborts one hop past it, while
+/// an immediate chain burns a dispatch level plus an action level per
+/// hop and needs `limit >= 2 * (depth + 1)`.
+#[test]
+fn cascade_depth_limit_boundary_is_inclusive() {
+    let committed_max_depth = |db: &Database| {
+        db.telemetry()
+            .firings()
+            .dump_all()
+            .iter()
+            .map(|r| r.depth)
+            .max()
+    };
+
+    // Deferred: one firing generation per round. `limit` rounds permit
+    // lineage depths 0..=limit-1, and the next generation aborts.
+    let (mut db, p) = hit_chain_db(3, 2, CouplingMode::Deferred);
+    db.send(p, "Hit", &[]).unwrap();
+    assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(3));
+    assert_eq!(committed_max_depth(&db), Some(2));
+
+    let (mut db, p) = hit_chain_db(3, 3, CouplingMode::Deferred);
+    let err = db.send(p, "Hit", &[]).err().unwrap();
+    assert!(matches!(
+        err,
+        ObjectError::CascadeDepthExceeded { limit: 3 }
+    ));
+    assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(0));
+
+    // Immediate: each hop nests a message dispatch and an action frame,
+    // so lineage depth 1 fits in 4 levels but not 3.
+    let (mut db, p) = hit_chain_db(4, 1, CouplingMode::Immediate);
+    db.send(p, "Hit", &[]).unwrap();
+    assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(2));
+    assert_eq!(committed_max_depth(&db), Some(1));
+
+    let (mut db, p) = hit_chain_db(3, 1, CouplingMode::Immediate);
+    let err = db.send(p, "Hit", &[]).err().unwrap();
+    assert!(matches!(
+        err,
+        ObjectError::CascadeDepthExceeded { limit: 3 }
+    ));
+    assert_eq!(db.get_attr(p, "n").unwrap(), Value::Int(0));
+
+    // Depth 0 (the root firing alone) always fits in 2 levels.
+    let (mut db, p) = hit_chain_db(2, 0, CouplingMode::Immediate);
+    db.send(p, "Hit", &[]).unwrap();
+    assert_eq!(committed_max_depth(&db), Some(0));
+}
+
 #[test]
 fn unsubscribe_stops_delivery() {
     let mut db = payroll_db();

@@ -131,6 +131,7 @@ fn main() -> Result<()> {
         // error-severity findings before we drive it.
         let report = db.analyze();
         println!("analysis: {}", report.summary());
+        println!("termination: {}", report.termination.summary());
         report.gate()?;
 
         acct = db.create_with("Account", &[("owner", "Carol".into())])?;

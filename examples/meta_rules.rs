@@ -81,6 +81,7 @@ fn main() -> Result<()> {
     // Static analysis gate — proves the meta-level rule set terminates.
     let report = db.analyze();
     println!("analysis: {}", report.summary());
+    println!("termination: {}", report.termination.summary());
     report.gate()?;
 
     let reactor = db.create("Reactor")?;

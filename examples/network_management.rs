@@ -158,6 +158,7 @@ fn main() -> Result<()> {
     // (non-fatal) confluence warning; errors would stop the rollout.
     let report = db.analyze();
     println!("analysis: {}", report.summary());
+    println!("termination: {}", report.termination.summary());
     report.gate()?;
 
     let sentinel = Sentinel::open(db);

@@ -118,6 +118,7 @@ fn main() -> Result<()> {
     // equal priority (a confluence warning), but nothing is an error.
     let report = db.analyze();
     println!("analysis: {}", report.summary());
+    println!("termination: {}", report.termination.summary());
     report.gate()?;
 
     db.send(bob, "RecordTemperature", &[Value::Float(40.2)])?; // unmonitored

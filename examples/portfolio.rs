@@ -90,6 +90,7 @@ fn main() -> Result<()> {
     // Static analysis gate before the trading day starts.
     let report = db.analyze();
     println!("analysis: {}", report.summary());
+    println!("termination: {}", report.termination.summary());
     report.gate()?;
 
     // A simulated trading day.

@@ -85,6 +85,9 @@ fn main() -> Result<()> {
     // --- Static analysis gate: must find no error-severity issues -------
     let report = db.analyze();
     println!("analysis: {}", report.summary());
+    // Per-rule termination verdicts: every rule should be proven with a
+    // concrete cascade bound.
+    println!("{}", report.termination.render_table());
     report.gate()?;
 
     // Also record what actions actually do, to diff against declarations.

@@ -32,6 +32,7 @@
 
 pub mod shell;
 
+pub use sentinel_analyze as analyze;
 pub use sentinel_baselines as baselines;
 pub use sentinel_db as db;
 pub use sentinel_events as events;

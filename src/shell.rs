@@ -33,7 +33,8 @@ pub const HELP: &str = r#"commands:
   enable <Rule> / disable <Rule>
   query <Class> [where <attr> <op> <value>]
   query <relation> [where <col> <op> <value>]
-        meta relations: rules subscriptions firings cascade_edges graph_edges
+        meta relations: rules subscriptions firings cascade_edges
+                        graph_edges termination
   lineage <firing-id>                    cascade tree around one firing
   lineage occ <n>                        cascades tied to occurrence n
   top rules [by firings|latency|aborts]  rule leaderboard
@@ -42,8 +43,10 @@ pub const HELP: &str = r#"commands:
   stats [json]                           counters (json = full snapshot)
   trace on|off|dump [n]                  structured pipeline tracing
   metrics [json]                         Prometheus text / JSON export
-  analyze [dot]                          static rule-set analysis
-                                         (dot = triggering graph as DOT)
+  analyze [dot|json|termination]         static rule-set analysis
+                                         (dot = triggering graph as DOT,
+                                          json = machine-readable report,
+                                          termination = per-rule verdicts)
 types: int float str bool oid list; oids are written @7
 signatures: "end Stock::SetPrice(float p)" (begin|end Class::Method)"#;
 
@@ -293,7 +296,9 @@ pub fn run_command(db: &mut Database, line: &str) -> Result<String> {
         "analyze" => match args {
             [] => Ok(db.analyze().render_table()),
             [d] if d == "dot" => Ok(db.analyze().to_dot()),
-            _ => Err(ObjectError::App("analyze [dot]".into())),
+            [d] if d == "json" => Ok(db.analyze().to_json()),
+            [d] if d == "termination" => Ok(db.analyze().termination.render_table()),
+            _ => Err(ObjectError::App("analyze [dot|json|termination]".into())),
         },
         "metrics" => match args {
             [] => Ok(db.metrics_prometheus()),
@@ -699,7 +704,11 @@ mod tests {
         let dot = run(&mut db, "analyze dot");
         assert!(dot.starts_with("digraph"), "{dot}");
         assert!(dot.contains("Watch"), "{dot}");
-        assert!(run_command(&mut db, "analyze sideways").is_err());
+        let err = run_command(&mut db, "analyze sideways").err().unwrap();
+        assert!(
+            err.to_string().contains("analyze [dot|json|termination]"),
+            "{err}"
+        );
 
         // An unsubscribed rule is a warning in the table, not an error.
         run(
@@ -709,6 +718,28 @@ mod tests {
         let table = run(&mut db, "analyze");
         assert!(table.contains("no-subscription"), "{table}");
         assert!(table.contains("Orphan"), "{table}");
+    }
+
+    #[test]
+    fn analyze_json_and_termination_commands() {
+        let (mut db, _) = cascade_db();
+        let json = run(&mut db, "analyze json");
+        assert!(json.trim_start().starts_with('{'), "{json}");
+        assert!(json.contains("\"termination\""), "{json}");
+        assert!(json.contains("\"verdicts\""), "{json}");
+        assert!(json.contains("\"diagnostics\""), "{json}");
+        // The cascade chain is all-definite and acyclic: Watch reaches
+        // Audit reaches Archive, so the prover bounds Watch at depth 2.
+        let table = run(&mut db, "analyze termination");
+        assert!(table.lines().next().unwrap().contains("verdict"), "{table}");
+        assert!(table.contains("Watch"), "{table}");
+        assert!(table.contains("proven(bound=2)"), "{table}");
+        assert!(table.contains("3 proven"), "{table}");
+        // The termination meta relation serves the same verdicts.
+        let rows = run(&mut db, "query termination where verdict = proven");
+        assert!(rows.contains("(3 rows)"), "{rows}");
+        let none = run(&mut db, "query termination where bound > 2");
+        assert!(none.contains("(0 rows)"), "{none}");
     }
 
     /// Wire a three-level cascade: `Seta` triggers `Watch` (immediate)

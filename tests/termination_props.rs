@@ -1,0 +1,231 @@
+//! Empirical validation of the termination prover's bounds.
+//!
+//! The prover promises that a rule with verdict `Proven(bound)` can
+//! never root a cascade whose lineage depth exceeds `bound`. This
+//! property drives random cascade chains — each rule raising the event
+//! the next one watches, with a random coupling mode per link — under
+//! both the serial and the parallel execution lanes, with firing
+//! history on, and checks every recorded lineage depth against the
+//! static verdicts. Reconciliation over the same run must stay silent.
+//!
+//! The companion test plants an action whose declarations *lie* (it
+//! claims to raise nothing but sends anyway): reconciliation must call
+//! out both the refuted edge the cascade crossed and the proven bound
+//! it outran.
+
+use proptest::prelude::*;
+use sentinel::prelude::*;
+use sentinel_analyze::{DiagCode, Verdict};
+
+/// Worker-pool size under test; CI's parallel-stress matrix overrides
+/// it via `SENTINEL_TEST_WORKERS` (1/2/4).
+fn pool_workers() -> usize {
+    std::env::var("SENTINEL_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Build a chain of `couplings.len() + 1` attributes `a0..=aN` on one
+/// reactive class; rule `R{i}` watches `end Chain::Seta{i}` and raises
+/// `Seta{i+1}` with the given coupling, declaring its effects
+/// truthfully. The last level has no rule, so the chain is acyclic and
+/// `R{i}` must prove with bound `levels - 1 - i`.
+fn chain_db(couplings: &[CouplingMode], mode: ExecutionMode) -> (Database, Oid) {
+    let levels = couplings.len();
+    let mut db = Database::with_config(
+        DbConfig::default()
+            .history_enabled(true)
+            .history_capacity(8192)
+            .execution(mode),
+    )
+    .unwrap();
+    let mut decl = ClassDecl::reactive("Chain");
+    for i in 0..=levels {
+        let attr = format!("a{i}");
+        decl = decl.attr(&attr, TypeTag::Float).event_method(
+            format!("Seta{i}"),
+            &[("v", TypeTag::Float)],
+            EventSpec::End,
+        );
+    }
+    db.define_class(decl).unwrap();
+    for i in 0..=levels {
+        db.register_setter("Chain", &format!("Seta{i}"), &format!("a{i}"))
+            .unwrap();
+    }
+    for (i, coupling) in couplings.iter().enumerate() {
+        let next = i + 1;
+        db.register(
+            ActionDef::new(format!("bump{next}"))
+                .raises(("Chain", format!("Seta{next}").as_str()))
+                .writes(("Chain", format!("a{next}").as_str()))
+                .body(move |w, firing| {
+                    let o = firing.occurrence.constituents[0].oid;
+                    w.send(o, &format!("Seta{next}"), &[Value::Float(next as f64)])?;
+                    Ok(())
+                }),
+        )
+        .unwrap();
+        db.add_class_rule(
+            "Chain",
+            RuleDef::on(event(&format!("end Chain::Seta{i}(float v)")).unwrap())
+                .named(format!("R{i}"))
+                .then(format!("bump{next}"))
+                .coupling(*coupling),
+        )
+        .unwrap();
+    }
+    let obj = db.create("Chain").unwrap();
+    (db, obj)
+}
+
+fn coupling_strategy() -> impl Strategy<Value = CouplingMode> {
+    prop_oneof![
+        Just(CouplingMode::Immediate),
+        Just(CouplingMode::Deferred),
+        Just(CouplingMode::Detached),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the chain length, couplings, send count, and execution
+    /// lane: every rule proves with the exact longest-chain bound, no
+    /// recorded firing's lineage depth exceeds it, and reconciliation
+    /// reports no errors.
+    #[test]
+    fn proven_bounds_hold_empirically(
+        couplings in proptest::collection::vec(coupling_strategy(), 1..5),
+        sends in 1usize..4,
+        parallel in any::<bool>(),
+    ) {
+        let mode = if parallel {
+            ExecutionMode::Parallel { workers: pool_workers() }
+        } else {
+            ExecutionMode::Serial
+        };
+        let (mut db, obj) = chain_db(&couplings, mode);
+        let levels = couplings.len();
+
+        let report = db.analyze();
+        prop_assert!(
+            report.termination.all_proven(),
+            "{}",
+            report.termination.render_table()
+        );
+        for i in 0..levels {
+            let v = report.termination.verdict_of(&format!("R{i}")).unwrap();
+            prop_assert_eq!(v.verdict, Verdict::Proven((levels - 1 - i) as u32));
+        }
+        let bound = report.termination.max_proven_bound().unwrap();
+
+        for s in 0..sends {
+            db.send(obj, "Seta0", &[Value::Float(s as f64)]).unwrap();
+        }
+
+        let observed = db
+            .telemetry()
+            .firings()
+            .dump_all()
+            .iter()
+            .map(|r| r.depth)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            observed <= bound,
+            "observed lineage depth {observed} exceeds proven bound {bound}"
+        );
+        // The deepest rule fired, so the bound is tight, not vacuous.
+        prop_assert_eq!(observed, bound);
+
+        let rec = db.reconcile();
+        prop_assert!(!rec.has_errors(), "{}", rec.render());
+    }
+}
+
+/// An action that lies about its effects — declared raising nothing,
+/// actually re-sending — earns a `Proven(0)` verdict the runtime then
+/// disproves. Reconciliation must flag both the crossing of a refuted
+/// edge and the outrun bound as errors.
+#[test]
+fn lying_effects_are_flagged_by_reconciliation() {
+    let mut db = Database::with_config(DbConfig::default().history_enabled(true)).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Chain")
+            .attr("a", TypeTag::Float)
+            .attr("b", TypeTag::Float)
+            .event_method("Seta", &[("v", TypeTag::Float)], EventSpec::End)
+            .event_method("Setb", &[("v", TypeTag::Float)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_setter("Chain", "Seta", "a").unwrap();
+    db.register_setter("Chain", "Setb", "b").unwrap();
+    // The lie: declared as a pure write, but it raises Setb.
+    db.register(
+        ActionDef::new("sneaky")
+            .writes(("Chain", "b"))
+            .body(|w, firing| {
+                let o = firing.occurrence.constituents[0].oid;
+                w.send(o, "Setb", &[Value::Float(1.0)])?;
+                Ok(())
+            }),
+    )
+    .unwrap();
+    db.register(ActionDef::new("noop").pure().body(|_, _| Ok(())))
+        .unwrap();
+    db.add_class_rule(
+        "Chain",
+        RuleDef::on(event("end Chain::Seta(float v)").unwrap())
+            .named("Sneak")
+            .then("sneaky")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    db.add_class_rule(
+        "Chain",
+        RuleDef::on(event("end Chain::Setb(float v)").unwrap())
+            .named("Victim")
+            .then("noop")
+            .coupling(CouplingMode::Deferred),
+    )
+    .unwrap();
+    let obj = db.create("Chain").unwrap();
+
+    // Statically airtight: `sneaky` writes Chain.b, which `Victim`'s
+    // unknown read-set may read — a data-feedback edge that schedules
+    // nothing — so both rules prove with bound 0.
+    let report = db.analyze();
+    assert!(
+        report.termination.all_proven(),
+        "{}",
+        report.termination.render_table()
+    );
+    assert_eq!(report.termination.max_proven_bound(), Some(0));
+
+    // Runtime: the lie produces a real two-level cascade.
+    db.send(obj, "Seta", &[Value::Float(5.0)]).unwrap();
+    assert_eq!(db.telemetry().firings().max_depth(), 1);
+
+    let rec = db.reconcile();
+    assert!(rec.has_errors(), "{}", rec.render());
+    let codes: Vec<&str> = rec.diagnostics.iter().map(|d| d.code.as_str()).collect();
+    assert!(
+        codes.contains(&DiagCode::UnpredictedTrigger.as_str()),
+        "{}",
+        rec.render()
+    );
+    assert!(
+        codes.contains(&DiagCode::ProvenBoundExceeded.as_str()),
+        "{}",
+        rec.render()
+    );
+    // The bound report names the lying cascade's root.
+    let bound_err = rec
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagCode::ProvenBoundExceeded)
+        .unwrap();
+    assert_eq!(bound_err.rule.as_deref(), Some("Sneak"));
+}
