@@ -118,6 +118,7 @@ impl<'a> RuleAnalyzer<'a> {
                 reads_known: info.effects.as_ref().is_some_and(|fx| fx.reads.is_some()),
                 raises_known: info.raised.is_some(),
                 abort_shadowed: self.abort_blocker(infos, info).is_some(),
+                timer_gated: info.rule.def.event.timer_gated(),
             })
             .collect();
         let feedback: Vec<Vec<bool>> = infos
@@ -420,12 +421,16 @@ impl<'a> RuleAnalyzer<'a> {
                 continue;
             }
             if info.n_subs == 0 {
-                out.push(Diagnostic::new(
-                    DiagCode::NoSubscription,
-                    Some(info.name.clone()),
-                    "rule has no subscriptions, so it can never trigger \
-                     (subscribe an object or class to it)",
-                ));
+                // Timer leaves are delivered by the wheel, not by
+                // subscriptions: a rule with one can trigger anyway.
+                if !info.rule.def.event.has_timers() {
+                    out.push(Diagnostic::new(
+                        DiagCode::NoSubscription,
+                        Some(info.name.clone()),
+                        "rule has no subscriptions, so it can never trigger \
+                         (subscribe an object or class to it)",
+                    ));
+                }
                 continue;
             }
             // An empty-but-bounded alphabet means the event names
@@ -435,7 +440,7 @@ impl<'a> RuleAnalyzer<'a> {
             if info.alphabet.as_ref().is_some_and(|a| a.is_empty()) {
                 continue;
             }
-            if info.audible.is_empty() {
+            if info.audible.is_empty() && !info.rule.def.event.has_timers() {
                 out.push(Diagnostic::new(
                     DiagCode::UnreachableRule,
                     Some(info.name.clone()),
@@ -683,6 +688,66 @@ impl<'a> RuleAnalyzer<'a> {
                         Some(rule.to_string()),
                         "plus() deadline of zero: equivalent to the operand \
                          alone, at the cost of unbounded event routing",
+                    ));
+                }
+                self.lint_expr(rule, expr, out);
+            }
+            EventExpr::At { .. } => {}
+            EventExpr::Every { period } => {
+                if *period == 0 {
+                    out.push(Diagnostic::new(
+                        DiagCode::ZeroSpanTemporal,
+                        Some(rule.to_string()),
+                        "every(0): a zero period is clamped to one instant \
+                         at schedule time, firing on every drain",
+                    ));
+                }
+            }
+            EventExpr::Within { expr, deadline } => {
+                if *deadline == 0 {
+                    out.push(Diagnostic::new(
+                        DiagCode::ZeroSpanTemporal,
+                        Some(rule.to_string()),
+                        "within(0): only composites whose constituents all \
+                         share one instant can ever complete",
+                    ));
+                }
+                self.lint_expr(rule, expr, out);
+            }
+            EventExpr::Window { expr, size, .. } => {
+                if *size == 0 {
+                    out.push(Diagnostic::new(
+                        DiagCode::ZeroSpanTemporal,
+                        Some(rule.to_string()),
+                        "window of size zero covers no instants; the operand \
+                         is evicted as it arrives",
+                    ));
+                }
+                self.lint_expr(rule, expr, out);
+            }
+            EventExpr::Aggregate {
+                expr,
+                size,
+                threshold,
+                ..
+            } => {
+                if *size == 0 {
+                    out.push(Diagnostic::new(
+                        DiagCode::ZeroSpanTemporal,
+                        Some(rule.to_string()),
+                        "aggregate over a zero-sized window sees no \
+                         occurrences and can never reach its threshold",
+                    ));
+                }
+                if *threshold <= 0 {
+                    out.push(Diagnostic::new(
+                        DiagCode::ZeroSpanTemporal,
+                        Some(rule.to_string()),
+                        format!(
+                            "aggregate threshold {threshold} is satisfied by \
+                             an empty window; the latch opens on the first \
+                             operand occurrence and never re-arms"
+                        ),
                     ));
                 }
                 self.lint_expr(rule, expr, out);

@@ -63,6 +63,10 @@ pub enum DiagCode {
     /// A `Plus` with `delta == 0` — "zero ticks after E" is just E,
     /// at the cost of unbounded routing.
     PlusZeroDeadline,
+    /// A temporal operator with a zero span: `every(0)`, `within(0)`,
+    /// or a zero-sized window/aggregate — degenerate geometry that can
+    /// never (or always) hold.
+    ZeroSpanTemporal,
     /// A conjunction (`And`/`Any`) lists the same primitive more than
     /// once; one occurrence satisfies both operands.
     DupPrimitiveConjunction,
@@ -121,6 +125,7 @@ impl DiagCode {
             DiagCode::ShadowedByAbort => "shadowed-by-abort",
             DiagCode::SeqDeadOperand => "seq-dead-operand",
             DiagCode::PlusZeroDeadline => "plus-zero-deadline",
+            DiagCode::ZeroSpanTemporal => "zero-span-temporal",
             DiagCode::DupPrimitiveConjunction => "dup-primitive-conjunction",
             DiagCode::UnknownEffects => "unknown-effects",
             DiagCode::UnregisteredBody => "unregistered-body",
@@ -153,6 +158,7 @@ impl DiagCode {
             | DiagCode::ShadowedByAbort
             | DiagCode::SeqDeadOperand
             | DiagCode::PlusZeroDeadline
+            | DiagCode::ZeroSpanTemporal
             | DiagCode::DupPrimitiveConjunction
             | DiagCode::UntestedRulePath
             | DiagCode::UnprovenTermination => Severity::Warning,

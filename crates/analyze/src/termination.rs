@@ -78,6 +78,10 @@ pub struct RuleFacts {
     /// higher-priority Immediate abort (same fact `shadowed-by-abort`
     /// reports).
     pub abort_shadowed: bool,
+    /// Every complete detection of the rule's event requires a timer
+    /// fire (`EventExpr::timer_gated`): raises alone can never schedule
+    /// it, so its cadence is paced by the clock, not the cascade.
+    pub timer_gated: bool,
 }
 
 /// Why a cycle member discharges its cycle.
@@ -91,6 +95,12 @@ pub enum DischargeReason {
     /// Every cycle edge into the member is pure data feedback: the
     /// cycle can never schedule a firing of it.
     NoEventFeedback,
+    /// The member's event is timer-gated: every complete detection
+    /// needs a timer fire, which rule raises cannot produce, so the
+    /// cycle's own firings can never schedule the member — each lap is
+    /// paced by a clock boundary and bounded by the deferred-round
+    /// limit.
+    TimerGated,
 }
 
 impl DischargeReason {
@@ -100,6 +110,7 @@ impl DischargeReason {
             DischargeReason::AbortShadowed => "abort-shadowed",
             DischargeReason::NoSelfFeedback => "no-self-feedback",
             DischargeReason::NoEventFeedback => "no-event-feedback",
+            DischargeReason::TimerGated => "timer-gated",
         }
     }
 }
@@ -477,6 +488,11 @@ fn discharge(
         }
     }
     for &r in comp {
+        if facts[r].timer_gated {
+            return Some((r, DischargeReason::TimerGated));
+        }
+    }
+    for &r in comp {
         let f = &facts[r];
         if !f.condition_trivial && f.reads_known && comp.iter().all(|&m| !feedback[m][r]) {
             return Some((r, DischargeReason::NoSelfFeedback));
@@ -525,6 +541,7 @@ mod tests {
                 reads_known: false,
                 raises_known: true,
                 abort_shadowed: false,
+                timer_gated: false,
             })
             .collect()
     }
@@ -643,6 +660,25 @@ mod tests {
         let rep = prove(&g, &facts, &fb);
         assert!(rep.all_proven());
         assert_eq!(rep.discharged[0].reason, DischargeReason::AbortShadowed);
+    }
+
+    #[test]
+    fn timer_gated_member_discharges_cycle() {
+        // Definite 2-cycle, but r1's event is timer-gated: the cycle's
+        // raises can never complete its detection, so the loop is paced
+        // by clock boundaries and discharges through r1.
+        let g = graph(2, &[(0, 1, EdgeKind::Definite), (1, 0, EdgeKind::Definite)]);
+        let mut facts = plain_facts(2);
+        facts[1].timer_gated = true;
+        let mut fb = no_feedback(2);
+        for row in &mut fb {
+            row.fill(true);
+        }
+        let rep = prove(&g, &facts, &fb);
+        assert!(rep.all_proven());
+        assert_eq!(rep.discharged.len(), 1);
+        assert_eq!(rep.discharged[0].reason, DischargeReason::TimerGated);
+        assert_eq!(rep.discharged[0].witness, "r1");
     }
 
     #[test]

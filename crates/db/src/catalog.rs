@@ -8,7 +8,7 @@
 //! same contract a recompiled C++ application had with Zeitgeist.
 
 use crate::database::{meta, Database};
-use sentinel_events::{EventExpr, ParamContext};
+use sentinel_events::{DetectorState, EventExpr, ParamContext};
 use sentinel_object::{ObjectError, Oid, Result, Value};
 use sentinel_rules::{CouplingMode, Firing, RuleDef, RuleStats};
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,14 @@ pub struct CatalogSnapshot {
     pub object_subs: Vec<(Oid, String)>,
     /// (class name, rule name) class subscriptions.
     pub class_subs: Vec<(String, String)>,
+    /// Partial composite-detection state per rule name, captured at
+    /// checkpoint so a half-detected sequence/window survives a restart.
+    /// Rules with nothing buffered are omitted.
+    pub detector_state: Vec<(String, DetectorState)>,
+    /// The temporal-axis instant at checkpoint: recovery under
+    /// `TimeMode::Virtual` resumes the virtual clock here instead of
+    /// at 0.
+    pub instant: u64,
 }
 
 /// In-memory inverse of a catalog mutation, replayed (in reverse) when
@@ -386,6 +394,8 @@ mod tests {
             }],
             object_subs: vec![(Oid(1), "r".into())],
             class_subs: vec![("C".into(), "r".into())],
+            detector_state: vec![],
+            instant: 42,
         };
         let s = serde_json::to_string(&snap).unwrap();
         assert_eq!(serde_json::from_str::<CatalogSnapshot>(&s).unwrap(), snap);

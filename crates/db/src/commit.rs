@@ -235,12 +235,40 @@ impl Database {
         let commit_timer = self.telemetry.timer();
         // Deferred rules run at end-of-transaction, inside it. Their
         // actions may queue more deferred work; drain to a fixpoint,
-        // bounded by the cascade limit.
+        // bounded by the cascade limit. Each round boundary also drains
+        // due timers: occurrences raised during the transaction advance
+        // the logical instant, so `at`/`every`/window deadlines that
+        // passed mid-transaction are delivered before the commit seals.
         let mut rounds = 0usize;
         loop {
+            let timer_fires = if self.engine.timer_count() > 0 {
+                match self.drain_due_timers() {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.rollback();
+                        return Err(e);
+                    }
+                }
+            } else {
+                0
+            };
             let batch = self.engine.take_deferred();
             if batch.is_empty() {
-                break;
+                if timer_fires == 0 {
+                    break;
+                }
+                // Timer firings ran but queued nothing deferred; loop
+                // once more (they may have ticked the clock past another
+                // deadline), still under the round bound below.
+                rounds += 1;
+                if rounds > self.config.max_cascade_depth {
+                    let e = ObjectError::CascadeDepthExceeded {
+                        limit: self.config.max_cascade_depth,
+                    };
+                    self.rollback();
+                    return Err(e);
+                }
+                continue;
             }
             rounds += 1;
             if rounds > self.config.max_cascade_depth {
@@ -569,6 +597,7 @@ impl Database {
         let mut rules: Vec<RuleRecord> = Vec::new();
         let mut object_subs = Vec::new();
         let mut class_subs = Vec::new();
+        let mut detector_state = Vec::new();
         for r in self.engine.iter_rules() {
             rules.push(RuleRecord {
                 oid: r.oid,
@@ -581,15 +610,25 @@ impl Database {
             for c in self.engine.subscriptions.classes_of(r.id) {
                 class_subs.push((self.registry.get(c).name.clone(), r.def.name.clone()));
             }
+            // Partial detections survive the checkpoint: a half-matched
+            // sequence or an open window resumes after recovery instead
+            // of silently restarting from scratch.
+            let state = r.detector.export_state();
+            if !state.is_trivial() {
+                detector_state.push((r.def.name.clone(), state));
+            }
         }
         rules.sort_by(|a, b| a.def.name.cmp(&b.def.name));
         object_subs.sort();
         class_subs.sort();
+        detector_state.sort_by(|a, b| a.0.cmp(&b.0));
         CatalogSnapshot {
             events,
             rules,
             object_subs,
             class_subs,
+            detector_state,
+            instant: self.clock.instant_now(),
         }
     }
 
@@ -655,6 +694,10 @@ impl Database {
                 .map_err(|e| ObjectError::Storage(format!("parse meta op: {e}")))?;
             db.apply_meta_op(op)?;
         }
+        // Timers were registered while the clocks were still rewinding;
+        // re-align them to the recovered instant so downtime is not
+        // replayed as a burst of elapsed `every` boundaries.
+        db.engine.reset_timers_to(db.clock.instant_now());
         Ok(db)
     }
 
@@ -678,6 +721,22 @@ impl Database {
             let id = self.engine.id_of(&rule)?;
             let cid = self.registry.id_of(&class)?;
             self.engine.subscriptions.subscribe_class(cid, id);
+        }
+        // Restore partial detections captured at checkpoint. Import is
+        // shape-checked: a rule whose event expression changed between
+        // checkpoint and recovery rejects the stale state and starts
+        // fresh rather than corrupting its detector.
+        for (rule, state) in snap.detector_state {
+            let Ok(id) = self.engine.id_of(&rule) else {
+                continue; // defensive: state for a rule not in this snapshot
+            };
+            let r = self.engine.rule_mut(id)?;
+            if r.enabled {
+                r.detector.import_state(&state);
+            }
+        }
+        if snap.instant > 0 {
+            self.clock.set_virtual(snap.instant);
         }
         Ok(())
     }

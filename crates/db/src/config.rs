@@ -1,6 +1,6 @@
 //! Database configuration.
 
-use sentinel_events::{DetectorCaps, ParamContext};
+use sentinel_events::{DetectorCaps, ParamContext, TimeMode};
 use sentinel_rules::BackpressurePolicy;
 use sentinel_storage::SyncPolicy;
 use std::path::PathBuf;
@@ -64,6 +64,13 @@ pub struct DbConfig {
     pub max_cascade_depth: usize,
     /// Default parameter context for rules that do not specify one.
     pub default_context: ParamContext,
+    /// The time axis temporal operators (`at`, `every`, windows,
+    /// aggregates) measure against. [`TimeMode::Logical`] (default)
+    /// equates instants with the occurrence sequence; `Virtual` is
+    /// advanced explicitly via
+    /// [`Database::advance_time`](crate::Database::advance_time)
+    /// (deterministic tests); `Wall` reads elapsed milliseconds.
+    pub time_mode: TimeMode,
     /// Occurrence-buffer caps applied to every rule detector.
     pub detector_caps: DetectorCaps,
     /// Record pipeline telemetry (counters and histograms) from the
@@ -103,6 +110,7 @@ impl Default for DbConfig {
             sync: SyncPolicy::OnCommit,
             max_cascade_depth: 64,
             default_context: ParamContext::default(),
+            time_mode: TimeMode::Logical,
             detector_caps: DetectorCaps::default(),
             telemetry_enabled: false,
             trace_capacity: 4096,
@@ -144,6 +152,12 @@ impl DbConfig {
     /// Override the default parameter context.
     pub fn default_context(mut self, ctx: ParamContext) -> Self {
         self.default_context = ctx;
+        self
+    }
+
+    /// Override the time axis (see [`DbConfig::time_mode`]).
+    pub fn time_mode(mut self, mode: TimeMode) -> Self {
+        self.time_mode = mode;
         self
     }
 

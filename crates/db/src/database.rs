@@ -15,7 +15,7 @@ use crate::index::AttrIndex;
 use crate::stats::{DbStats, FullStats, SharedDbStats};
 use parking_lot::RwLock;
 use sentinel_analyze::{diff_effects, AnalysisReport, ObservedEffects, RuleAnalyzer};
-use sentinel_events::{EventModifier, LogicalClock, PrimitiveOccurrence};
+use sentinel_events::{EventModifier, PrimitiveOccurrence, TimeMode, TimeSource};
 use sentinel_object::{
     ClassDecl, ClassId, ClassRegistry, EventSpec, MethodTable, ObjectError, ObjectStore, Oid,
     Reactivity, Result, TypeTag, Value, World,
@@ -85,7 +85,7 @@ pub struct Database {
     pub(crate) published_registry: Arc<RwLock<ClassRegistry>>,
     pub(crate) store: Arc<ObjectStore>,
     pub(crate) methods: MethodTable,
-    pub(crate) clock: Arc<LogicalClock>,
+    pub(crate) clock: Arc<TimeSource>,
     pub(crate) engine: RuleEngine,
     /// The layered write path: transaction manager, WAL, and the active
     /// transaction's staged write batch (see [`crate::commit`]).
@@ -257,7 +257,8 @@ impl Database {
         engine.set_detached_queue(config.detached_cap, config.detached_policy);
         engine.set_telemetry(telemetry.clone());
         let store = Arc::new(store);
-        let clock = Arc::new(LogicalClock::new());
+        let clock = Arc::new(TimeSource::new(config.time_mode));
+        engine.set_time_source(Arc::clone(&clock));
         let scheduler = match config.execution.workers() {
             0 => None,
             n => Some(crate::scheduler::Scheduler::new(
@@ -644,6 +645,17 @@ impl Database {
                 limit: self.config.max_cascade_depth,
             });
         }
+        // Top-level sends are the dispatch-boundary drain point for due
+        // timers: `at`/`every` occurrences that came due since the last
+        // boundary are delivered before the new message's own events.
+        // Nested sends (depth > 1) skip the drain — a cascade observes
+        // one consistent "now".
+        if self.depth == 1 && self.engine.timer_count() > 0 {
+            if let Err(e) = self.drain_due_timers() {
+                self.depth -= 1;
+                return Err(e);
+            }
+        }
         let out = self.dispatch_inner(receiver, method, args);
         self.depth -= 1;
         out
@@ -715,6 +727,26 @@ impl Database {
             )?;
         }
         Ok(result)
+    }
+
+    /// Deliver every due `at`/`every` timer to its owning rule's
+    /// detector and run the immediate firings that result. Timer
+    /// occurrences consume fresh sequence numbers (they are ordered
+    /// events like any other); deferred/detached firings they schedule
+    /// join the normal end-of-transaction queues. Returns how many
+    /// immediate firings ran (deferred work is picked up by the
+    /// commit's fixpoint loop).
+    pub(crate) fn drain_due_timers(&mut self) -> Result<usize> {
+        let now = self.clock.instant_now();
+        let clock = Arc::clone(&self.clock);
+        let immediate = self
+            .engine
+            .drain_timers(&self.registry, now, || clock.tick())?;
+        let n = immediate.len();
+        for f in &immediate {
+            self.execute_firing(f)?;
+        }
+        Ok(n)
     }
 
     /// Generate a primitive event and run the immediate rules it
@@ -1106,9 +1138,50 @@ impl Database {
         self.engine.rule_count()
     }
 
-    /// Current logical time.
+    /// Current logical time (the occurrence sequence axis).
     pub fn now(&self) -> u64 {
         self.clock.now()
+    }
+
+    /// Current instant on the temporal axis (what `at`/`every`/windows
+    /// measure against). Equal to [`now`](Self::now) under
+    /// [`TimeMode::Logical`].
+    pub fn now_instant(&self) -> u64 {
+        self.clock.instant_now()
+    }
+
+    /// Advance time by `delta` instants and deliver every timer that
+    /// comes due, returning the new instant. Under [`TimeMode::Virtual`]
+    /// this is the *only* way time passes — the deterministic test
+    /// harness for temporal rules. Under [`TimeMode::Logical`] it jumps
+    /// the shared sequence clock forward; under [`TimeMode::Wall`] it
+    /// only drains (wall time advances by itself).
+    pub fn advance_time(&mut self, delta: u64) -> Result<u64> {
+        let now = match self.config.time_mode {
+            TimeMode::Virtual => self.clock.advance_virtual(delta),
+            TimeMode::Logical => {
+                self.clock
+                    .advance_to(self.clock.now().saturating_add(delta));
+                self.clock.instant_now()
+            }
+            TimeMode::Wall => self.clock.instant_now(),
+        };
+        if self.engine.timer_count() > 0 {
+            self.with_auto_txn(|db| db.drain_due_timers().map(|_| ()))?;
+        }
+        Ok(now)
+    }
+
+    /// Scheduled timers, resolved to their owning rules: `(row, rule
+    /// name)`. The tabular form is the `timers` meta relation.
+    pub fn timer_rows(&self) -> Vec<(sentinel_events::TimerRow, Option<Arc<str>>)> {
+        self.engine.timer_rows()
+    }
+
+    /// The earliest scheduled timer instant, if any — what an embedding
+    /// event loop would sleep until under [`TimeMode::Wall`].
+    pub fn next_timer_due(&self) -> Option<u64> {
+        self.engine.next_timer_due()
     }
 }
 

@@ -75,8 +75,8 @@ pub mod prelude {
         ReconciliationReport, SerialReason, Severity,
     };
     pub use sentinel_events::{
-        CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
-        PrimitiveEventSpec, PrimitiveOccurrence,
+        AggFn, CompositeOccurrence, DetectorCaps, EventExpr, EventModifier, ParamContext,
+        PrimitiveEventSpec, PrimitiveOccurrence, TimeMode, TimerRow,
     };
     pub use sentinel_object::{
         ClassDecl, ClassId, ClassRegistry, EventSpec, ObjectError, Oid, Reactivity, Result,

@@ -2,10 +2,11 @@
 //!
 //! The paper makes events and rules first-class objects; this module
 //! goes one step further and makes the *behaviour* of the rule system
-//! first-class too. Six tabular relations project live engine state —
+//! first-class too. Seven tabular relations project live engine state —
 //! the rule catalog, subscriptions, the firing-history ring, the
-//! cascade edges recorded in it, the static triggering graph, and the
-//! termination prover's verdicts — into a tiny relational algebra
+//! cascade edges recorded in it, the static triggering graph, the
+//! termination prover's verdicts, and the pending timer wheel — into a
+//! tiny relational algebra
 //! ([`Relation`]) with filter / project / join / aggregate combinators,
 //! so "which rule fired most", "what did firing #12 cause", and "which
 //! rules lack a termination proof" are queries rather than debugger
@@ -19,6 +20,7 @@
 //! | `cascade_edges` | parent→child firing pair in the ring             |
 //! | `graph_edges`   | static triggering-graph edge, with its kind      |
 //! | `termination`   | rule verdict: proven(bound) / undischarged / …   |
+//! | `timers`        | pending timer in the wheel (due, period, owner)  |
 
 use crate::database::Database;
 use sentinel_analyze::{
@@ -30,13 +32,14 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The relation names served by [`Database::meta_relation`].
-pub const META_RELATIONS: [&str; 6] = [
+pub const META_RELATIONS: [&str; 7] = [
     "rules",
     "subscriptions",
     "firings",
     "cascade_edges",
     "graph_edges",
     "termination",
+    "timers",
 ];
 
 /// A comparison operator for [`Relation::filter`].
@@ -514,6 +517,26 @@ impl Database {
         rel
     }
 
+    /// The `timers` relation: one row per pending entry in the timer
+    /// wheel, sorted by due instant then id. Columns: `timer, rule,
+    /// due, period, label` — `period` is null for one-shot `at` timers,
+    /// `rule` is null for timers whose owning rule has been removed.
+    pub fn meta_timers(&self) -> Relation {
+        let mut rel = Relation::new("timers", &["timer", "rule", "due", "period", "label"]);
+        let mut rows = self.timer_rows();
+        rows.sort_by_key(|(r, _)| (r.due, r.id.0));
+        for (row, rule) in rows {
+            rel.push(vec![
+                Value::Int(row.id.0 as i64),
+                rule.map_or(Value::Null, |r| Value::Str(r.to_string())),
+                Value::Int(row.due as i64),
+                row.period.map_or(Value::Null, |p| Value::Int(p as i64)),
+                Value::Str(row.label.to_string()),
+            ]);
+        }
+        rel
+    }
+
     /// Look a meta relation up by name (see [`META_RELATIONS`]).
     pub fn meta_relation(&self, name: &str) -> Result<Relation> {
         match name {
@@ -523,6 +546,7 @@ impl Database {
             "cascade_edges" => Ok(self.meta_cascade_edges()),
             "graph_edges" => Ok(self.meta_graph_edges()),
             "termination" => Ok(self.meta_termination()),
+            "timers" => Ok(self.meta_timers()),
             _ => Err(ObjectError::App(format!(
                 "unknown meta relation `{name}` (have: {})",
                 META_RELATIONS.join(", ")

@@ -56,7 +56,7 @@ use crate::database::Database;
 use crate::stats::SharedDbStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sentinel_analyze::{pattern_matches, ConflictMatrix, Lane, RuleFootprint};
-use sentinel_events::LogicalClock;
+use sentinel_events::TimeSource;
 use sentinel_object::{
     ClassId, ClassRegistry, ObjectError, ObjectStore, Oid, Result, Value, World,
 };
@@ -123,7 +123,7 @@ struct WriteRec {
 struct ShardWorld {
     store: Arc<ObjectStore>,
     registry: Arc<ClassRegistry>,
-    clock: Arc<LogicalClock>,
+    clock: Arc<TimeSource>,
     writes: Vec<WriteRec>,
     /// Target oid of the group currently executing — the only object
     /// the footprint licenses writes (and contended reads) on.
@@ -308,7 +308,7 @@ type FiringSpan = (usize, bool, Option<u64>, Option<u64>, u64);
 fn run_group(
     job: &Job,
     store: &Arc<ObjectStore>,
-    clock: &Arc<LogicalClock>,
+    clock: &Arc<TimeSource>,
     telemetry: &Telemetry,
 ) -> GroupResult {
     let mut world = ShardWorld {
@@ -378,7 +378,7 @@ fn run_group(
 fn worker_loop(
     rx: Receiver<Job>,
     store: Arc<ObjectStore>,
-    clock: Arc<LogicalClock>,
+    clock: Arc<TimeSource>,
     telemetry: Arc<Telemetry>,
 ) {
     while let Ok(job) = rx.recv() {
@@ -410,7 +410,7 @@ impl Scheduler {
     pub(crate) fn new(
         workers: usize,
         store: Arc<ObjectStore>,
-        clock: Arc<LogicalClock>,
+        clock: Arc<TimeSource>,
         telemetry: Arc<Telemetry>,
     ) -> Self {
         let (job_tx, job_rx) = unbounded::<Job>();

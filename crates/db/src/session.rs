@@ -38,7 +38,7 @@ use crate::query::ObjectView;
 use crate::stats::{DbStats, FullStats, SharedDbStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use sentinel_events::LogicalClock;
+use sentinel_events::TimeSource;
 use sentinel_object::{ClassRegistry, ObjectError, ObjectStore, Oid, Result, Value};
 use sentinel_rules::EngineCounters;
 use sentinel_telemetry::{ShardLoad, Telemetry};
@@ -51,7 +51,7 @@ pub(crate) struct ReadHandles {
     pub store: Arc<ObjectStore>,
     pub registry: Arc<RwLock<ClassRegistry>>,
     pub indexes: Arc<RwLock<Vec<AttrIndex>>>,
-    pub clock: Arc<LogicalClock>,
+    pub clock: Arc<TimeSource>,
     pub stats: Arc<SharedDbStats>,
     pub engine: Arc<EngineCounters>,
     pub telemetry: Arc<Telemetry>,

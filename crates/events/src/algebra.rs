@@ -14,6 +14,18 @@
 //! * `any(m, [E...])` — m distinct members of the list have occurred;
 //! * `not(W) in (S, E)` — `E` occurs after `S` with no `W` in between;
 //! * `aperiodic(S, M, E)` — every `M` between an `S` and the next `E`.
+//!
+//! Five *temporal* operators put events on the real time axis supplied
+//! by [`TimeSource`](crate::TimeSource) (DESIGN.md §19):
+//!
+//! * `at(t)` — an absolute timer, fired once at instant `t`;
+//! * `every(p)` — a periodic timer, fired at `p`, `2p`, `3p`, …;
+//! * `within(E, d)` — occurrences of `E` whose own interval fits in `d`
+//!   (deadline-scoped composites; subsumes `plus`);
+//! * `window(E, s)` — `E` observed through a sliding or tumbling window
+//!   of `s` instants (expired operand state is evicted);
+//! * `aggregate(count|sum(i) over E, s) >= k` — fires when the windowed
+//!   count (or parameter sum) of `E` reaches the threshold.
 
 use crate::spec::PrimitiveEventSpec;
 use sentinel_object::{ClassRegistry, EventSym};
@@ -54,6 +66,55 @@ pub enum EventExpr {
     /// subsequently delivered occurrence whose timestamp reaches the
     /// deadline (an event-driven stand-in for Snoop's timer events).
     Plus { expr: Box<EventExpr>, delta: u64 },
+    /// Temporal — an absolute timer: fires once, at instant `at` on the
+    /// time axis. Delivered by the engine's timer drain, not by any
+    /// object's events (no routing key).
+    At { at: u64 },
+    /// Temporal — a periodic timer: fires at `period`, `2·period`, …
+    /// on the time axis.
+    Every { period: u64 },
+    /// Temporal — deadline-scoped composites: occurrences of the
+    /// operand whose own interval (`end - start`) is at most
+    /// `deadline`. Operand state older than the deadline is evicted, so
+    /// a never-completing composite cannot grow without bound.
+    Within { expr: Box<EventExpr>, deadline: u64 },
+    /// Temporal — the operand observed through a window of `size`
+    /// instants: emissions pass through, and operand occurrences that
+    /// fall out of the window (sliding) or behind the current window
+    /// epoch (tumbling) are evicted.
+    Window {
+        expr: Box<EventExpr>,
+        size: u64,
+        tumbling: bool,
+    },
+    /// Temporal — windowed aggregation: fires when the aggregate of the
+    /// operand's occurrences inside the window reaches `threshold`.
+    Aggregate {
+        expr: Box<EventExpr>,
+        size: u64,
+        tumbling: bool,
+        agg: AggFn,
+        threshold: i64,
+    },
+}
+
+/// The aggregation function of [`EventExpr::Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Number of operand occurrences in the window.
+    Count,
+    /// Sum of the i-th parameter of each occurrence's completing
+    /// constituent (integers and floats; floats truncate).
+    Sum(usize),
+}
+
+impl fmt::Display for AggFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFn::Count => f.write_str("count"),
+            AggFn::Sum(i) => write!(f, "sum(p{i})"),
+        }
+    }
 }
 
 impl EventExpr {
@@ -117,6 +178,67 @@ impl EventExpr {
         }
     }
 
+    /// Temporal constructor: an absolute timer at instant `t`.
+    pub fn at(t: u64) -> Self {
+        EventExpr::At { at: t }
+    }
+
+    /// Temporal constructor: a periodic timer every `period` instants.
+    pub fn every(period: u64) -> Self {
+        EventExpr::Every { period }
+    }
+
+    /// Temporal constructor: occurrences of `self` completing within
+    /// `deadline` time units of their first constituent.
+    pub fn within(self, deadline: u64) -> Self {
+        EventExpr::Within {
+            expr: Box::new(self),
+            deadline,
+        }
+    }
+
+    /// Temporal constructor: `self` through a sliding window of `size`
+    /// instants.
+    pub fn sliding_window(self, size: u64) -> Self {
+        EventExpr::Window {
+            expr: Box::new(self),
+            size,
+            tumbling: false,
+        }
+    }
+
+    /// Temporal constructor: `self` through a tumbling window of `size`
+    /// instants (epochs aligned to multiples of `size`).
+    pub fn tumbling_window(self, size: u64) -> Self {
+        EventExpr::Window {
+            expr: Box::new(self),
+            size,
+            tumbling: true,
+        }
+    }
+
+    /// Temporal constructor: windowed aggregation of `self`.
+    pub fn aggregate(self, size: u64, tumbling: bool, agg: AggFn, threshold: i64) -> Self {
+        EventExpr::Aggregate {
+            expr: Box::new(self),
+            size,
+            tumbling,
+            agg,
+            threshold,
+        }
+    }
+
+    /// Convenience: `count(self) over a sliding window >= threshold`.
+    pub fn count_within(self, size: u64, threshold: i64) -> Self {
+        self.aggregate(size, false, AggFn::Count, threshold)
+    }
+
+    /// Convenience: `sum(param i of self) over a sliding window >=
+    /// threshold`.
+    pub fn sum_within(self, size: u64, param: usize, threshold: i64) -> Self {
+        self.aggregate(size, false, AggFn::Sum(param), threshold)
+    }
+
     /// All primitive specs referenced by this expression, in leaf order.
     pub fn primitives(&self) -> Vec<&PrimitiveEventSpec> {
         let mut out = Vec::new();
@@ -149,6 +271,88 @@ impl EventExpr {
             EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => {
                 expr.collect_primitives(out);
             }
+            EventExpr::At { .. } | EventExpr::Every { .. } => {}
+            EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => expr.collect_primitives(out),
+        }
+    }
+
+    /// The timers this expression needs: `(due, period)` pairs —
+    /// `(t, None)` per `at(t)`, `(p, Some(p))` per `every(p)` — in leaf
+    /// order. The engine schedules them on the timer wheel when the
+    /// owning rule is added or enabled.
+    pub fn timer_specs(&self) -> Vec<(u64, Option<u64>)> {
+        let mut out = Vec::new();
+        self.collect_timers(&mut out);
+        out
+    }
+
+    fn collect_timers(&self, out: &mut Vec<(u64, Option<u64>)>) {
+        match self {
+            EventExpr::Primitive(_) => {}
+            EventExpr::At { at } => out.push((*at, None)),
+            EventExpr::Every { period } => out.push((*period, Some(*period))),
+            EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
+                a.collect_timers(out);
+                b.collect_timers(out);
+            }
+            EventExpr::Any { exprs, .. } => {
+                for e in exprs {
+                    e.collect_timers(out);
+                }
+            }
+            // Visit children in the same order the detector compiles
+            // them, so a spec's index here is its delivery index.
+            EventExpr::Not { watch, start, end } => {
+                watch.collect_timers(out);
+                start.collect_timers(out);
+                end.collect_timers(out);
+            }
+            EventExpr::Aperiodic { start, each, end } => {
+                start.collect_timers(out);
+                each.collect_timers(out);
+                end.collect_timers(out);
+            }
+            EventExpr::Times { expr, .. }
+            | EventExpr::Plus { expr, .. }
+            | EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => expr.collect_timers(out),
+        }
+    }
+
+    /// `true` when the expression contains a timer operator (`at` /
+    /// `every`) anywhere.
+    pub fn has_timers(&self) -> bool {
+        !self.timer_specs().is_empty()
+    }
+
+    /// `true` when every emission of this expression requires at least
+    /// one timer constituent: the expression can fire at most once per
+    /// timer tick, so its cascades are bounded per-window rather than
+    /// per-event. The termination prover uses this to discharge cycles
+    /// through periodic rules.
+    pub fn timer_gated(&self) -> bool {
+        match self {
+            EventExpr::Primitive(_) => false,
+            EventExpr::At { .. } | EventExpr::Every { .. } => true,
+            // A conjunction/sequence emission contains both operands: one
+            // gated side gates the whole emission.
+            EventExpr::And(a, b) | EventExpr::Seq(a, b) => a.timer_gated() || b.timer_gated(),
+            // A disjunction emission contains either side: both must gate.
+            EventExpr::Or(a, b) => a.timer_gated() && b.timer_gated(),
+            // An any(m, ...) emission picks m members: it is gated only
+            // when fewer than m members are ungated.
+            EventExpr::Any { m, exprs } => exprs.iter().filter(|e| !e.timer_gated()).count() < *m,
+            // Not/Aperiodic emissions are completed by `end` / `each`.
+            EventExpr::Not { end, .. } => end.timer_gated(),
+            EventExpr::Aperiodic { each, .. } => each.timer_gated(),
+            EventExpr::Times { expr, .. }
+            | EventExpr::Plus { expr, .. }
+            | EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => expr.timer_gated(),
         }
     }
 
@@ -158,30 +362,54 @@ impl EventExpr {
     /// a `Plus` operand uses a lazy timer whose deadline is signalled by
     /// the *first subsequently delivered occurrence of any kind*, so an
     /// expression containing `Plus` must be routed every event its
-    /// producers raise, not just alphabet members.
+    /// producers raise, not just alphabet members. Timer operators
+    /// (`at` / `every`) poison the alphabet the same way: a timer-
+    /// bearing rule sits in the engine's broad routing tables so every
+    /// delivered occurrence advances its windows and deadlines.
     pub fn alphabet(&self, registry: &ClassRegistry) -> Option<Vec<EventSym>> {
         let mut syms = Vec::new();
-        self.collect_alphabet(registry, &mut syms)?;
+        self.collect_alphabet(registry, true, &mut syms)?;
+        syms.sort_unstable();
+        syms.dedup();
+        Some(syms)
+    }
+
+    /// The *event* alphabet: like [`alphabet`](Self::alphabet), but
+    /// timer operators contribute nothing instead of poisoning the walk
+    /// — the set of interned symbols actual objects can deliver. The
+    /// analyzer uses this for triggering-edge precision (a timer tick is
+    /// not an event another rule's action can raise); `Plus` still
+    /// yields `None`.
+    pub fn event_alphabet(&self, registry: &ClassRegistry) -> Option<Vec<EventSym>> {
+        let mut syms = Vec::new();
+        self.collect_alphabet(registry, false, &mut syms)?;
         syms.sort_unstable();
         syms.dedup();
         Some(syms)
     }
 
     /// Recursive helper for [`EventExpr::alphabet`]; `None` aborts the
-    /// walk when an unbounded (`Plus`) operator is found.
-    fn collect_alphabet(&self, registry: &ClassRegistry, out: &mut Vec<EventSym>) -> Option<()> {
+    /// walk when an unbounded operator is found. `timers_poison` makes
+    /// `at` / `every` unbounded (routing view) rather than silent
+    /// (analyzer view).
+    fn collect_alphabet(
+        &self,
+        registry: &ClassRegistry,
+        timers_poison: bool,
+        out: &mut Vec<EventSym>,
+    ) -> Option<()> {
         match self {
             EventExpr::Primitive(s) => {
                 out.extend(s.alphabet(registry));
                 Some(())
             }
             EventExpr::And(a, b) | EventExpr::Or(a, b) | EventExpr::Seq(a, b) => {
-                a.collect_alphabet(registry, out)?;
-                b.collect_alphabet(registry, out)
+                a.collect_alphabet(registry, timers_poison, out)?;
+                b.collect_alphabet(registry, timers_poison, out)
             }
             EventExpr::Any { exprs, .. } => {
                 for e in exprs {
-                    e.collect_alphabet(registry, out)?;
+                    e.collect_alphabet(registry, timers_poison, out)?;
                 }
                 Some(())
             }
@@ -191,12 +419,24 @@ impl EventExpr {
                 each: watch,
                 end,
             } => {
-                watch.collect_alphabet(registry, out)?;
-                start.collect_alphabet(registry, out)?;
-                end.collect_alphabet(registry, out)
+                watch.collect_alphabet(registry, timers_poison, out)?;
+                start.collect_alphabet(registry, timers_poison, out)?;
+                end.collect_alphabet(registry, timers_poison, out)
             }
-            EventExpr::Times { expr, .. } => expr.collect_alphabet(registry, out),
+            EventExpr::Times { expr, .. }
+            | EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => {
+                expr.collect_alphabet(registry, timers_poison, out)
+            }
             EventExpr::Plus { .. } => None,
+            EventExpr::At { .. } | EventExpr::Every { .. } => {
+                if timers_poison {
+                    None
+                } else {
+                    Some(())
+                }
+            }
         }
     }
 
@@ -218,6 +458,10 @@ impl EventExpr {
                 1 + start.depth().max(each.depth()).max(end.depth())
             }
             EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => 1 + expr.depth(),
+            EventExpr::At { .. } | EventExpr::Every { .. } => 1,
+            EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => 1 + expr.depth(),
         }
     }
 
@@ -240,6 +484,10 @@ impl EventExpr {
             EventExpr::Times { expr, .. } | EventExpr::Plus { expr, .. } => {
                 1 + expr.operator_count()
             }
+            EventExpr::At { .. } | EventExpr::Every { .. } => 1,
+            EventExpr::Within { expr, .. }
+            | EventExpr::Window { expr, .. }
+            | EventExpr::Aggregate { expr, .. } => 1 + expr.operator_count(),
         }
     }
 }
@@ -269,6 +517,29 @@ impl fmt::Display for EventExpr {
             }
             EventExpr::Times { n, expr } => write!(f, "times({n}, {expr})"),
             EventExpr::Plus { expr, delta } => write!(f, "({expr} + {delta})"),
+            EventExpr::At { at } => write!(f, "at({at})"),
+            EventExpr::Every { period } => write!(f, "every({period})"),
+            EventExpr::Within { expr, deadline } => write!(f, "within({expr}, {deadline})"),
+            EventExpr::Window {
+                expr,
+                size,
+                tumbling,
+            } => write!(
+                f,
+                "window({expr}, {size}, {})",
+                if *tumbling { "tumbling" } else { "sliding" }
+            ),
+            EventExpr::Aggregate {
+                expr,
+                size,
+                tumbling,
+                agg,
+                threshold,
+            } => write!(
+                f,
+                "aggregate({agg}({expr}) >= {threshold}, {size}, {})",
+                if *tumbling { "tumbling" } else { "sliding" }
+            ),
         }
     }
 }
@@ -428,5 +699,95 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: EventExpr = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);
+        let t = EventExpr::every(5)
+            .and(leaf("a").count_within(10, 3))
+            .or(EventExpr::at(100).then(leaf("b").within(7)));
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<EventExpr>(&json).unwrap(), t);
+    }
+
+    #[test]
+    fn temporal_display_and_shape() {
+        assert_eq!(EventExpr::at(5).to_string(), "at(5)");
+        assert_eq!(EventExpr::every(9).to_string(), "every(9)");
+        assert_eq!(leaf("a").within(3).to_string(), "within(end C::a, 3)");
+        assert_eq!(
+            leaf("a").sliding_window(10).to_string(),
+            "window(end C::a, 10, sliding)"
+        );
+        assert_eq!(
+            leaf("a").tumbling_window(10).to_string(),
+            "window(end C::a, 10, tumbling)"
+        );
+        assert_eq!(
+            leaf("a").count_within(10, 3).to_string(),
+            "aggregate(count(end C::a) >= 3, 10, sliding)"
+        );
+        assert_eq!(
+            leaf("a").aggregate(4, true, AggFn::Sum(1), 100).to_string(),
+            "aggregate(sum(p1)(end C::a) >= 100, 4, tumbling)"
+        );
+        assert_eq!(EventExpr::at(5).depth(), 1);
+        assert_eq!(EventExpr::at(5).operator_count(), 1);
+        assert_eq!(leaf("a").within(3).depth(), 2);
+        assert_eq!(leaf("a").count_within(10, 3).operator_count(), 1);
+        assert!(EventExpr::at(5).primitives().is_empty());
+        assert_eq!(leaf("a").tumbling_window(10).primitives().len(), 1);
+    }
+
+    #[test]
+    fn timer_operators_poison_routing_but_not_event_alphabet() {
+        use sentinel_object::ClassDecl;
+        let mut reg = sentinel_object::ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("a", &[]))
+            .unwrap();
+        let cid = reg.id_of("C").unwrap();
+
+        let timered = EventExpr::every(5).and(leaf("a"));
+        // Routing view: unbounded, so the rule lands in the broad tables.
+        assert!(timered.alphabet(&reg).is_none());
+        assert!(EventExpr::at(3).alphabet(&reg).is_none());
+        // Analyzer view: only the real event symbols.
+        assert_eq!(
+            timered.event_alphabet(&reg).unwrap(),
+            vec![reg.event_sym(cid, "a", true).unwrap()]
+        );
+        assert_eq!(EventExpr::at(3).event_alphabet(&reg).unwrap(), vec![]);
+        // Windows and deadlines do not poison anything by themselves.
+        let windowed = leaf("a").count_within(10, 3);
+        assert_eq!(windowed.alphabet(&reg).unwrap().len(), 1);
+        assert_eq!(windowed.event_alphabet(&reg).unwrap().len(), 1);
+        // Plus still poisons both views.
+        assert!(leaf("a").plus(1).event_alphabet(&reg).is_none());
+    }
+
+    #[test]
+    fn timer_specs_collect_in_leaf_order() {
+        let e = EventExpr::at(30)
+            .and(EventExpr::every(5))
+            .then(leaf("a").within(4));
+        assert_eq!(e.timer_specs(), vec![(30, None), (5, Some(5))]);
+        assert!(e.has_timers());
+        assert!(!leaf("a").count_within(10, 2).has_timers());
+    }
+
+    #[test]
+    fn timer_gating_classifies_emission_paths() {
+        // Pure timers gate; pure events do not.
+        assert!(EventExpr::at(1).timer_gated());
+        assert!(EventExpr::every(2).timer_gated());
+        assert!(!leaf("a").timer_gated());
+        // Conjunction/sequence: one gated side suffices.
+        assert!(EventExpr::every(2).and(leaf("a")).timer_gated());
+        assert!(leaf("a").then(EventExpr::every(2)).timer_gated());
+        // Disjunction: both sides must gate.
+        assert!(!EventExpr::every(2).or(leaf("a")).timer_gated());
+        assert!(EventExpr::every(2).or(EventExpr::at(9)).timer_gated());
+        // any(m): gated when fewer than m members are ungated.
+        assert!(EventExpr::any(2, vec![EventExpr::every(2), leaf("a")]).timer_gated());
+        assert!(!EventExpr::any(1, vec![EventExpr::every(2), leaf("a")]).timer_gated());
+        // Wrappers follow the operand.
+        assert!(EventExpr::every(2).and(leaf("a")).within(5).timer_gated());
+        assert!(!leaf("a").count_within(10, 3).timer_gated());
     }
 }

@@ -1,11 +1,30 @@
-//! Logical time.
+//! Logical and real time.
 //!
 //! The paper time-stamps every generated event (§4.1). Event-operator
 //! semantics — in particular *sequence* — need only a total order, so the
 //! default clock is a monotone counter. (The substitution from Sun4
 //! wall-clock time is recorded in DESIGN.md §3.)
+//!
+//! Temporal operators (`at`, `every`, windows) need more than an order:
+//! they need an *instant axis* that timers and window edges live on.
+//! [`TimeSource`] layers that axis over the counter. Every issued
+//! [`Timestamp`] is an `(instant, seq)` pair: `seq` is the strictly
+//! increasing counter every occurrence carries (sequence semantics are
+//! untouched), `instant` is where the occurrence sits on the time axis.
+//! Three modes supply the instant:
+//!
+//! * [`TimeMode::Logical`] — `instant == seq`; the seed behaviour, and
+//!   the default. Timer periods are measured in events.
+//! * [`TimeMode::Virtual`] — the instant is a manually driven counter
+//!   ([`TimeSource::advance_virtual`] / [`TimeSource::set_virtual`]).
+//!   Deterministic tests drive rate-limit and SLA scenarios without a
+//!   single sleep.
+//! * [`TimeMode::Wall`] — the instant is milliseconds since the source
+//!   was created, read from the OS monotonic clock.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// A monotone logical clock shared by the whole database.
 #[derive(Debug)]
@@ -45,11 +64,137 @@ impl LogicalClock {
     }
 }
 
+/// Where a [`TimeSource`]'s instant axis comes from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeMode {
+    /// Instant = the logical counter itself (one instant per event).
+    #[default]
+    Logical,
+    /// Instant = a manually advanced virtual counter.
+    Virtual,
+    /// Instant = milliseconds since the source was created (monotonic).
+    Wall,
+}
+
+impl TimeMode {
+    /// Stable lowercase name (`logical` / `virtual` / `wall`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeMode::Logical => "logical",
+            TimeMode::Virtual => "virtual",
+            TimeMode::Wall => "wall",
+        }
+    }
+}
+
+/// An `(instant, seq)` timestamp issued by a [`TimeSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Timestamp {
+    /// Position on the time axis (mode-dependent).
+    pub instant: u64,
+    /// The strictly increasing sequence number (total order over
+    /// occurrences; what `PrimitiveOccurrence::at` carries).
+    pub seq: u64,
+}
+
+/// The database's time authority: a [`LogicalClock`] for the sequence
+/// axis plus a mode-dependent instant axis for timers and windows.
+///
+/// Shared by `Arc` between the write core, reader sessions, and the
+/// engine's timer wheel; all state is lock-free atomics.
+#[derive(Debug)]
+pub struct TimeSource {
+    mode: TimeMode,
+    clock: LogicalClock,
+    virtual_now: AtomicU64,
+    origin: Instant,
+}
+
+impl Default for TimeSource {
+    fn default() -> Self {
+        Self::new(TimeMode::Logical)
+    }
+}
+
+impl TimeSource {
+    /// A source in the given mode, starting at instant 0 / seq 0.
+    pub fn new(mode: TimeMode) -> Self {
+        TimeSource {
+            mode,
+            clock: LogicalClock::new(),
+            virtual_now: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The source's mode.
+    pub fn mode(&self) -> TimeMode {
+        self.mode
+    }
+
+    /// Advance the sequence counter and return the new seq (strictly
+    /// greater than every previously returned one). Drop-in for
+    /// [`LogicalClock::tick`].
+    pub fn tick(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// The most recently issued seq. Drop-in for [`LogicalClock::now`].
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advance the sequence counter to at least `t` (recovery).
+    pub fn advance_to(&self, t: u64) {
+        self.clock.advance_to(t);
+    }
+
+    /// The current instant on the time axis.
+    pub fn instant_now(&self) -> u64 {
+        match self.mode {
+            TimeMode::Logical => self.clock.now(),
+            TimeMode::Virtual => self.virtual_now.load(Ordering::Relaxed),
+            TimeMode::Wall => self.origin.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Issue a full `(instant, seq)` timestamp (advances the seq axis).
+    pub fn timestamp(&self) -> Timestamp {
+        let seq = self.tick();
+        let instant = match self.mode {
+            // In logical mode the fresh seq *is* the instant, so an
+            // occurrence's instant equals its `at`.
+            TimeMode::Logical => seq,
+            _ => self.instant_now(),
+        };
+        Timestamp { instant, seq }
+    }
+
+    /// Advance the virtual instant by `delta`. No-op outside
+    /// [`TimeMode::Virtual`]. Returns the new instant.
+    pub fn advance_virtual(&self, delta: u64) -> u64 {
+        if self.mode == TimeMode::Virtual {
+            self.virtual_now.fetch_add(delta, Ordering::Relaxed) + delta
+        } else {
+            self.instant_now()
+        }
+    }
+
+    /// Set the virtual instant to at least `t`. No-op outside
+    /// [`TimeMode::Virtual`].
+    pub fn set_virtual(&self, t: u64) {
+        if self.mode == TimeMode::Virtual {
+            self.virtual_now.fetch_max(t, Ordering::Relaxed);
+        }
+    }
+}
+
 // The clock is shared by reference between the write core and every
 // reader session; it must stay lock-free and thread-safe.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
-    assert_send_sync::<LogicalClock>()
+    assert_send_sync::<LogicalClock>();
+    assert_send_sync::<TimeSource>()
 };
 
 #[cfg(test)]
@@ -73,5 +218,48 @@ mod tests {
         c.advance_to(5);
         assert_eq!(c.now(), 10);
         assert_eq!(c.tick(), 11);
+    }
+
+    #[test]
+    fn logical_mode_instant_tracks_seq() {
+        let t = TimeSource::new(TimeMode::Logical);
+        let ts = t.timestamp();
+        assert_eq!(ts.instant, ts.seq);
+        assert_eq!(t.instant_now(), ts.seq);
+        // Virtual advancement is a no-op outside Virtual mode.
+        t.advance_virtual(100);
+        assert_eq!(t.instant_now(), ts.seq);
+    }
+
+    #[test]
+    fn virtual_mode_is_manually_driven() {
+        let t = TimeSource::new(TimeMode::Virtual);
+        assert_eq!(t.instant_now(), 0);
+        let a = t.timestamp();
+        assert_eq!(a.instant, 0);
+        t.advance_virtual(50);
+        let b = t.timestamp();
+        assert_eq!(b.instant, 50);
+        assert!(b.seq > a.seq);
+        t.set_virtual(40); // never backwards
+        assert_eq!(t.instant_now(), 50);
+        t.set_virtual(60);
+        assert_eq!(t.instant_now(), 60);
+    }
+
+    #[test]
+    fn wall_mode_is_monotone() {
+        let t = TimeSource::new(TimeMode::Wall);
+        let a = t.instant_now();
+        let b = t.instant_now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn seq_axis_survives_recovery_advance() {
+        let t = TimeSource::new(TimeMode::Virtual);
+        t.advance_to(42);
+        assert_eq!(t.now(), 42);
+        assert_eq!(t.tick(), 43);
     }
 }

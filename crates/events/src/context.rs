@@ -17,6 +17,9 @@
 //!   participates; new occurrences overwrite old ones.
 //! * **Chronicle** — occurrences pair up in FIFO order and are consumed
 //!   by detection.
+//! * **Continuous** — every initiator opens its own detection window; a
+//!   terminator completes *all* open windows at once (one detection per
+//!   initiator), consuming them.
 //! * **Cumulative** — all occurrences accumulate and are flushed into a
 //!   single detection once the composite completes.
 
@@ -33,16 +36,20 @@ pub enum ParamContext {
     Recent,
     /// FIFO pairing; participating occurrences are consumed.
     Chronicle,
+    /// Every initiator starts a detection; a terminator completes them
+    /// all (one detection per initiator) and consumes them.
+    Continuous,
     /// Accumulate everything; flush all constituents in one detection.
     Cumulative,
 }
 
 impl ParamContext {
     /// All contexts, for sweep experiments.
-    pub const ALL: [ParamContext; 4] = [
+    pub const ALL: [ParamContext; 5] = [
         ParamContext::Unrestricted,
         ParamContext::Recent,
         ParamContext::Chronicle,
+        ParamContext::Continuous,
         ParamContext::Cumulative,
     ];
 
@@ -52,6 +59,7 @@ impl ParamContext {
             ParamContext::Unrestricted => "unrestricted",
             ParamContext::Recent => "recent",
             ParamContext::Chronicle => "chronicle",
+            ParamContext::Continuous => "continuous",
             ParamContext::Cumulative => "cumulative",
         }
     }
@@ -70,6 +78,6 @@ mod tests {
     fn names_are_distinct() {
         let names: std::collections::HashSet<_> =
             ParamContext::ALL.iter().map(|c| c.name()).collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
     }
 }

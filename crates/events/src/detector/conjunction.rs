@@ -77,6 +77,32 @@ pub(super) fn pair_and(
                 }
             }
         }
+        ParamContext::Continuous => {
+            // Every buffered occurrence opened its own detection window;
+            // an opposite-side arrival terminates them all at once (one
+            // detection per initiator) and consumes them. An arrival
+            // with no open windows becomes an initiator itself.
+            for l in le {
+                if rbuf.len() > 0 {
+                    for r in rbuf.items.iter() {
+                        out.push(CompositeOccurrence::merge(&l, r));
+                    }
+                    rbuf.clear(id, 1, env);
+                } else {
+                    lbuf.push(id, 0, l, env);
+                }
+            }
+            for r in re {
+                if lbuf.len() > 0 {
+                    for l in lbuf.items.iter() {
+                        out.push(CompositeOccurrence::merge(l, &r));
+                    }
+                    lbuf.clear(id, 0, env);
+                } else {
+                    rbuf.push(id, 1, r, env);
+                }
+            }
+        }
         ParamContext::Cumulative => {
             for l in le {
                 lbuf.push(id, 0, l, env);

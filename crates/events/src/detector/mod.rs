@@ -48,18 +48,25 @@ mod conjunction;
 mod leaf;
 mod sequence;
 mod state;
+mod temporal;
+mod window;
 
-use crate::algebra::EventExpr;
+use crate::algebra::{AggFn, EventExpr};
+use crate::clock::TimeSource;
 use crate::context::ParamContext;
 use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 use crate::spec::EventModifier;
 use sentinel_object::{ClassId, ClassRegistry, EventSym, Result};
 use sentinel_telemetry::{Stage, Telemetry, Timer};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 use conjunction::pair_and;
 use sequence::pair_seq;
-use state::{apply_buffer_undo, Buffer, Env, JournalEntry, NodeUndo};
+use state::{
+    apply_buffer_undo, evict_buffer, Buffer, Env, JournalEntry, NodeUndo, Stim, WindowBuf,
+};
+use window::Watermarks;
 
 /// Resource limits protecting against unbounded detector state (the
 /// unrestricted context never discards occurrences on its own).
@@ -103,6 +110,10 @@ pub struct DetectorInstance {
     stats: DetectorStats,
     journal: Option<Vec<JournalEntry>>,
     telemetry: Option<Arc<Telemetry>>,
+    /// The instant axis windows are measured on. `None` (unit tests,
+    /// standalone detectors) falls back to each stimulus's seq — i.e.
+    /// logical-mode semantics.
+    time: Option<Arc<TimeSource>>,
     label: Arc<str>,
     /// Registry length the leaf alphabets were computed against. The
     /// registry is append-only, so a length mismatch means classes were
@@ -132,13 +143,15 @@ impl DetectorInstance {
         caps: DetectorCaps,
     ) -> Result<Self> {
         let mut next_id = 0u32;
+        let mut next_timer = 0usize;
         Ok(DetectorInstance {
-            root: Node::compile(expr, registry, &mut next_id)?,
+            root: Node::compile(expr, registry, &mut next_id, &mut next_timer)?,
             context,
             caps,
             stats: DetectorStats::default(),
             journal: None,
             telemetry: None,
+            time: None,
             label: Arc::from(""),
             schema_len: registry.len(),
         })
@@ -149,6 +162,12 @@ impl DetectorInstance {
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>, label: impl Into<Arc<str>>) {
         self.telemetry = Some(telemetry);
         self.label = label.into();
+    }
+
+    /// Attach the database's time authority: window edges and epochs are
+    /// then measured on its instant axis instead of the sequence axis.
+    pub fn set_time_source(&mut self, time: Arc<TimeSource>) {
+        self.time = Some(time);
     }
 
     /// Compile with default context and caps.
@@ -194,16 +213,21 @@ impl DetectorInstance {
             Some(t) => t.timer(),
             None => Timer::off(),
         };
+        let now = match &self.time {
+            Some(t) => t.instant_now(),
+            None => occ.at,
+        };
         let mut env = Env {
             registry,
             sym,
             context: self.context,
             caps: self.caps,
+            now,
             matched: false,
             dropped: 0,
             journal: self.journal.as_mut(),
         };
-        let out = self.root.process(occ, &mut env);
+        let out = self.root.process(&Stim::Prim(occ), &mut env);
         if env.matched {
             self.stats.matched += 1;
         }
@@ -226,6 +250,61 @@ impl DetectorInstance {
             }
         }
         out
+    }
+
+    /// Deliver one timer fire to the `at`/`every` leaf at `idx` (its
+    /// position in [`EventExpr::timer_specs`] leaf order). `due` is the
+    /// instant the timer came due — windows advance to it — and `seq`
+    /// the fresh logical timestamp the engine assigned to the fire, so
+    /// the tick is totally ordered against event occurrences.
+    pub fn process_timer(
+        &mut self,
+        registry: &ClassRegistry,
+        idx: usize,
+        due: u64,
+        seq: u64,
+    ) -> Vec<CompositeOccurrence> {
+        self.stats.offered += 1;
+        let mut env = Env {
+            registry,
+            sym: None,
+            context: self.context,
+            caps: self.caps,
+            now: due,
+            matched: false,
+            dropped: 0,
+            journal: self.journal.as_mut(),
+        };
+        let out = self.root.process(&Stim::Timer { idx, seq }, &mut env);
+        if env.matched {
+            self.stats.matched += 1;
+        }
+        self.stats.dropped += env.dropped;
+        self.stats.emitted += out.len() as u64;
+        out
+    }
+
+    /// Export the detector's partial-detection state for a checkpoint: a
+    /// pre-order walk of every node's buffers, slots and windows.
+    pub fn export_state(&self) -> DetectorState {
+        let mut nodes = Vec::new();
+        self.root.export_state(&mut nodes);
+        DetectorState { nodes }
+    }
+
+    /// Restore state exported by [`export_state`](Self::export_state).
+    /// Returns `false` (leaving the detector untouched) when the state's
+    /// shape does not match this detector's expression — e.g. the rule
+    /// was redefined between checkpoint and recovery.
+    pub fn import_state(&mut self, state: &DetectorState) -> bool {
+        let mut trial = self.root.clone();
+        let mut it = state.nodes.iter();
+        if trial.import_state(&mut it) && it.next().is_none() {
+            self.root = trial;
+            true
+        } else {
+            false
+        }
     }
 
     /// Start journaling state mutations for the enclosing transaction.
@@ -297,6 +376,53 @@ impl DetectorInstance {
     }
 }
 
+/// Serializable partial-detection state: one entry per node, in
+/// pre-order. Persisted into the checkpoint snapshot so long-lived
+/// sequence/conjunction/window progress survives a restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorState {
+    nodes: Vec<NodeState>,
+}
+
+impl DetectorState {
+    /// `true` when no node holds any partial state (nothing worth
+    /// persisting).
+    pub fn is_trivial(&self) -> bool {
+        self.nodes.iter().all(|n| match n {
+            NodeState::Stateless => true,
+            NodeState::Bufs(bufs) => bufs.iter().all(Vec::is_empty),
+            NodeState::Latest(slots) => slots.iter().all(Option::is_none),
+            NodeState::Open { open, violated } => open.is_none() && !violated,
+            NodeState::Windowed { items, latched, .. } => items.is_empty() && !latched,
+            NodeState::Marks(samples) => samples.is_empty(),
+        })
+    }
+}
+
+/// One node's exported state (shape-checked on import).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum NodeState {
+    /// Primitive / timer leaves, `Or`, `Within`.
+    Stateless,
+    /// `And` (two sides), `Seq` / `Times` / `Plus` (one).
+    Bufs(Vec<Vec<CompositeOccurrence>>),
+    /// `Any`'s latest-per-child slots.
+    Latest(Vec<Option<CompositeOccurrence>>),
+    /// `Not` / `Aperiodic` window slots.
+    Open {
+        open: Option<CompositeOccurrence>,
+        violated: bool,
+    },
+    /// `Aggregate`'s instant-stamped window buffer.
+    Windowed {
+        items: Vec<(u64, CompositeOccurrence)>,
+        epoch: u64,
+        latched: bool,
+    },
+    /// `Window`'s instant→seq watermark samples.
+    Marks(Vec<(u64, u64)>),
+}
+
 #[derive(Debug, Clone)]
 enum Node {
     Primitive {
@@ -359,32 +485,78 @@ enum Node {
         delta: u64,
         pending: Buffer,
     },
+    /// Timer leaves: stateless, matched by timer-fire stimuli only.
+    At {
+        timer_idx: usize,
+    },
+    Every {
+        timer_idx: usize,
+    },
+    /// Deadline scope: filters operand emissions by interval span and
+    /// evicts operand state too old to ever complete in time.
+    Within {
+        child: Box<Node>,
+        deadline: u64,
+    },
+    /// Window scope: evicts operand state that left the window on the
+    /// instant axis, so e.g. `Seq(a, b)` inside a window only pairs
+    /// constituents from the same window.
+    Window {
+        child: Box<Node>,
+        size: u64,
+        tumbling: bool,
+        marks: Watermarks,
+    },
+    /// Windowed aggregation with a latched threshold.
+    Aggregate {
+        id: u32,
+        child: Box<Node>,
+        size: u64,
+        tumbling: bool,
+        agg: AggFn,
+        threshold: i64,
+        wbuf: WindowBuf,
+        epoch: u64,
+        latched: bool,
+    },
 }
 
 impl Node {
-    fn compile(expr: &EventExpr, registry: &ClassRegistry, next_id: &mut u32) -> Result<Node> {
+    fn compile(
+        expr: &EventExpr,
+        registry: &ClassRegistry,
+        next_id: &mut u32,
+        next_timer: &mut usize,
+    ) -> Result<Node> {
         let mut fresh = || {
             let id = *next_id;
             *next_id += 1;
             id
         };
+        // Timer leaves take their delivery index in the same traversal
+        // order `EventExpr::timer_specs` collects specs.
+        let mut fresh_timer = || {
+            let idx = *next_timer;
+            *next_timer += 1;
+            idx
+        };
         Ok(match expr {
             EventExpr::Primitive(spec) => leaf::compile(spec, registry)?,
             EventExpr::And(a, b) => Node::And {
                 id: fresh(),
-                left: Box::new(Node::compile(a, registry, next_id)?),
-                right: Box::new(Node::compile(b, registry, next_id)?),
+                left: Box::new(Node::compile(a, registry, next_id, next_timer)?),
+                right: Box::new(Node::compile(b, registry, next_id, next_timer)?),
                 lbuf: Buffer::default(),
                 rbuf: Buffer::default(),
             },
             EventExpr::Or(a, b) => Node::Or {
-                left: Box::new(Node::compile(a, registry, next_id)?),
-                right: Box::new(Node::compile(b, registry, next_id)?),
+                left: Box::new(Node::compile(a, registry, next_id, next_timer)?),
+                right: Box::new(Node::compile(b, registry, next_id, next_timer)?),
             },
             EventExpr::Seq(a, b) => Node::Seq {
                 id: fresh(),
-                left: Box::new(Node::compile(a, registry, next_id)?),
-                right: Box::new(Node::compile(b, registry, next_id)?),
+                left: Box::new(Node::compile(a, registry, next_id, next_timer)?),
+                right: Box::new(Node::compile(b, registry, next_id, next_timer)?),
                 lbuf: Buffer::default(),
             },
             EventExpr::Any { m, exprs } => Node::Any {
@@ -393,62 +565,102 @@ impl Node {
                 latest: exprs.iter().map(|_| None).collect(),
                 children: exprs
                     .iter()
-                    .map(|e| Node::compile(e, registry, next_id))
+                    .map(|e| Node::compile(e, registry, next_id, next_timer))
                     .collect::<Result<_>>()?,
             },
             EventExpr::Not { watch, start, end } => Node::Not {
                 id: fresh(),
-                watch: Box::new(Node::compile(watch, registry, next_id)?),
-                start: Box::new(Node::compile(start, registry, next_id)?),
-                end: Box::new(Node::compile(end, registry, next_id)?),
+                watch: Box::new(Node::compile(watch, registry, next_id, next_timer)?),
+                start: Box::new(Node::compile(start, registry, next_id, next_timer)?),
+                end: Box::new(Node::compile(end, registry, next_id, next_timer)?),
                 open: None,
                 violated: false,
             },
             EventExpr::Aperiodic { start, each, end } => Node::Aperiodic {
                 id: fresh(),
-                start: Box::new(Node::compile(start, registry, next_id)?),
-                each: Box::new(Node::compile(each, registry, next_id)?),
-                end: Box::new(Node::compile(end, registry, next_id)?),
+                start: Box::new(Node::compile(start, registry, next_id, next_timer)?),
+                each: Box::new(Node::compile(each, registry, next_id, next_timer)?),
+                end: Box::new(Node::compile(end, registry, next_id, next_timer)?),
                 open: None,
             },
             EventExpr::Times { n, expr } => Node::Times {
                 id: fresh(),
                 n: (*n).max(1),
-                child: Box::new(Node::compile(expr, registry, next_id)?),
+                child: Box::new(Node::compile(expr, registry, next_id, next_timer)?),
                 buf: Buffer::default(),
             },
             EventExpr::Plus { expr, delta } => Node::Plus {
                 id: fresh(),
-                child: Box::new(Node::compile(expr, registry, next_id)?),
+                child: Box::new(Node::compile(expr, registry, next_id, next_timer)?),
                 delta: *delta,
                 pending: Buffer::default(),
+            },
+            EventExpr::At { .. } => Node::At {
+                timer_idx: fresh_timer(),
+            },
+            EventExpr::Every { .. } => Node::Every {
+                timer_idx: fresh_timer(),
+            },
+            EventExpr::Within { expr, deadline } => Node::Within {
+                child: Box::new(Node::compile(expr, registry, next_id, next_timer)?),
+                deadline: *deadline,
+            },
+            EventExpr::Window {
+                expr,
+                size,
+                tumbling,
+            } => Node::Window {
+                child: Box::new(Node::compile(expr, registry, next_id, next_timer)?),
+                size: (*size).max(1),
+                tumbling: *tumbling,
+                marks: Watermarks::default(),
+            },
+            EventExpr::Aggregate {
+                expr,
+                size,
+                tumbling,
+                agg,
+                threshold,
+            } => Node::Aggregate {
+                id: fresh(),
+                child: Box::new(Node::compile(expr, registry, next_id, next_timer)?),
+                size: (*size).max(1),
+                tumbling: *tumbling,
+                agg: *agg,
+                threshold: *threshold,
+                wbuf: WindowBuf::default(),
+                epoch: 0,
+                latched: false,
             },
         })
     }
 
-    fn process(
-        &mut self,
-        occ: &PrimitiveOccurrence,
-        env: &mut Env<'_>,
-    ) -> Vec<CompositeOccurrence> {
+    fn process(&mut self, stim: &Stim<'_>, env: &mut Env<'_>) -> Vec<CompositeOccurrence> {
         match self {
             Node::Primitive {
                 class,
                 method,
                 modifier,
                 alphabet,
-            } => {
-                if leaf::matches(env, *class, method, *modifier, alphabet, occ) {
+            } => match stim {
+                Stim::Prim(occ) if leaf::matches(env, *class, method, *modifier, alphabet, occ) => {
                     env.matched = true;
-                    vec![CompositeOccurrence::from_primitive(occ.clone())]
-                } else {
-                    Vec::new()
+                    vec![CompositeOccurrence::from_primitive((*occ).clone())]
                 }
-            }
+                _ => Vec::new(),
+            },
+
+            Node::At { timer_idx } | Node::Every { timer_idx } => match stim {
+                Stim::Timer { idx, seq } if idx == timer_idx => {
+                    env.matched = true;
+                    vec![temporal::timer_occurrence(*seq)]
+                }
+                _ => Vec::new(),
+            },
 
             Node::Or { left, right } => {
-                let mut out = left.process(occ, env);
-                out.extend(right.process(occ, env));
+                let mut out = left.process(stim, env);
+                out.extend(right.process(stim, env));
                 out
             }
 
@@ -459,8 +671,8 @@ impl Node {
                 lbuf,
                 rbuf,
             } => {
-                let le = left.process(occ, env);
-                let re = right.process(occ, env);
+                let le = left.process(stim, env);
+                let re = right.process(stim, env);
                 pair_and(*id, le, re, lbuf, rbuf, env)
             }
 
@@ -470,9 +682,55 @@ impl Node {
                 right,
                 lbuf,
             } => {
-                let le = left.process(occ, env);
-                let re = right.process(occ, env);
+                let le = left.process(stim, env);
+                let re = right.process(stim, env);
                 pair_seq(*id, le, re, lbuf, env)
+            }
+
+            Node::Within { child, deadline } => {
+                let deadline = *deadline;
+                // Evict operand state that can no longer complete in
+                // time — this is what bounds a never-completing
+                // composite's memory.
+                if let Some(cut) = temporal::within_cutoff(stim.seq(), deadline) {
+                    child.evict_state(cut, true, env);
+                }
+                child
+                    .process(stim, env)
+                    .into_iter()
+                    .filter(|o| temporal::within_span_ok(o, deadline))
+                    .collect()
+            }
+
+            Node::Window {
+                child,
+                size,
+                tumbling,
+                marks,
+            } => {
+                marks.observe(env.now, stim.seq());
+                if let Some(cut) = window::window_cutoff(marks, env.now, *size, *tumbling) {
+                    child.evict_state(cut, false, env);
+                }
+                child.process(stim, env)
+            }
+
+            Node::Aggregate {
+                id,
+                child,
+                size,
+                tumbling,
+                agg,
+                threshold,
+                wbuf,
+                epoch,
+                latched,
+            } => {
+                let arrivals = child.process(stim, env);
+                window::step_aggregate(
+                    *id, arrivals, env.now, *size, *tumbling, *agg, *threshold, wbuf, epoch,
+                    latched, env,
+                )
             }
 
             Node::Any {
@@ -484,7 +742,7 @@ impl Node {
                 let id = *id;
                 let mut completed = Vec::new();
                 for (i, child) in children.iter_mut().enumerate() {
-                    let es = child.process(occ, env);
+                    let es = child.process(stim, env);
                     if let Some(e) = es.into_iter().next_back() {
                         let prev = latest[i].replace(e);
                         let was_present = prev.is_some();
@@ -519,7 +777,7 @@ impl Node {
                 let id = *id;
                 // Deterministic intra-occurrence ordering: close windows
                 // first, then record violations, then open new windows.
-                let ee = end.process(occ, env);
+                let ee = end.process(stim, env);
                 let mut out = Vec::new();
                 if let Some(e) = ee.into_iter().next() {
                     let prev_open = open.take();
@@ -534,11 +792,11 @@ impl Node {
                         *violated = false;
                     }
                 }
-                if open.is_some() && !watch.process(occ, env).is_empty() && !*violated {
+                if open.is_some() && !watch.process(stim, env).is_empty() && !*violated {
                     env.record(id, NodeUndo::SetViolated { prev: false });
                     *violated = true;
                 }
-                if let Some(s) = start.process(occ, env).into_iter().next_back() {
+                if let Some(s) = start.process(stim, env).into_iter().next_back() {
                     let prev = open.replace(s);
                     env.record(id, NodeUndo::SetOpen { prev });
                     if *violated {
@@ -557,20 +815,20 @@ impl Node {
                 open,
             } => {
                 let id = *id;
-                if !end.process(occ, env).is_empty() && open.is_some() {
+                if !end.process(stim, env).is_empty() && open.is_some() {
                     let prev = open.take();
                     env.record(id, NodeUndo::SetOpen { prev });
                 }
                 let mut out = Vec::new();
                 if let Some(s) = open.as_ref() {
-                    for e in each.process(occ, env) {
+                    for e in each.process(stim, env) {
                         out.push(CompositeOccurrence::merge(s, &e));
                     }
                 } else {
                     // Still drive the child so its own state stays fresh.
-                    let _ = each.process(occ, env);
+                    let _ = each.process(stim, env);
                 }
-                if let Some(s) = start.process(occ, env).into_iter().next_back() {
+                if let Some(s) = start.process(stim, env).into_iter().next_back() {
                     let prev = open.replace(s);
                     env.record(id, NodeUndo::SetOpen { prev });
                 }
@@ -580,7 +838,7 @@ impl Node {
             Node::Times { id, n, child, buf } => {
                 let id = *id;
                 let mut out = Vec::new();
-                for e in child.process(occ, env) {
+                for e in child.process(stim, env) {
                     buf.push(id, 0, e, env);
                     if buf.len() >= *n {
                         let merged = CompositeOccurrence::merge_all(buf.items.iter());
@@ -598,23 +856,24 @@ impl Node {
                 pending,
             } => {
                 let id = *id;
-                // Deadlines are checked against the *current* occurrence's
+                // Deadlines are checked against the *current* stimulus's
                 // timestamp first (lazy timer), then new bases enqueue.
+                let at = stim.seq();
                 let mut out = Vec::new();
                 while pending
                     .items
                     .front()
-                    .map(|b| b.end + *delta <= occ.at)
+                    .map(|b| b.end + *delta <= at)
                     .unwrap_or(false)
                 {
                     let base = pending.pop_front(id, 0, env).expect("checked non-empty");
                     out.push(CompositeOccurrence {
                         constituents: base.constituents.clone(),
                         start: base.start,
-                        end: occ.at,
+                        end: at,
                     });
                 }
-                for e in child.process(occ, env) {
+                for e in child.process(stim, env) {
                     pending.push(id, 0, e, env);
                 }
                 out
@@ -742,6 +1001,173 @@ impl Node {
                     child.apply_undo(target, undo)
                 }
             }
+            Node::At { .. } | Node::Every { .. } => false,
+            Node::Within { child, .. } | Node::Window { child, .. } => {
+                child.apply_undo(target, undo)
+            }
+            Node::Aggregate {
+                id,
+                child,
+                wbuf,
+                epoch,
+                latched,
+                ..
+            } => {
+                if *id == target {
+                    match undo {
+                        NodeUndo::PopWindowBack => {
+                            wbuf.pop_back();
+                        }
+                        NodeUndo::RestoreWindow {
+                            items,
+                            epoch: e,
+                            latched: l,
+                        } => {
+                            *wbuf = items;
+                            *epoch = e;
+                            *latched = l;
+                        }
+                        NodeUndo::RestoreWindowFront { items } => {
+                            for e in items.into_iter().rev() {
+                                wbuf.push_front(e);
+                            }
+                        }
+                        NodeUndo::SetLatched { prev } => *latched = prev,
+                        _ => {}
+                    }
+                    true
+                } else {
+                    child.apply_undo(target, undo)
+                }
+            }
+        }
+    }
+
+    /// Evict operand state that has left an enclosing temporal scope:
+    /// occurrences whose scope key — `start` for the `within` axis
+    /// (`by_start`), `end` for the window axis — is at or before
+    /// `cutoff` (sequence units). Journaled, so aborts restore evicted
+    /// state like any other mutation.
+    fn evict_state(&mut self, cutoff: u64, by_start: bool, env: &mut Env<'_>) {
+        let key = |o: &CompositeOccurrence| if by_start { o.start } else { o.end };
+        match self {
+            Node::Primitive { .. } | Node::At { .. } | Node::Every { .. } => {}
+            Node::Or { left, right } => {
+                left.evict_state(cutoff, by_start, env);
+                right.evict_state(cutoff, by_start, env);
+            }
+            Node::And {
+                id,
+                left,
+                right,
+                lbuf,
+                rbuf,
+            } => {
+                left.evict_state(cutoff, by_start, env);
+                right.evict_state(cutoff, by_start, env);
+                evict_buffer(lbuf, *id, 0, cutoff, by_start, env);
+                evict_buffer(rbuf, *id, 1, cutoff, by_start, env);
+            }
+            Node::Seq {
+                id,
+                left,
+                right,
+                lbuf,
+            } => {
+                left.evict_state(cutoff, by_start, env);
+                right.evict_state(cutoff, by_start, env);
+                evict_buffer(lbuf, *id, 0, cutoff, by_start, env);
+            }
+            Node::Any {
+                id,
+                children,
+                latest,
+                ..
+            } => {
+                let id = *id;
+                for c in children.iter_mut() {
+                    c.evict_state(cutoff, by_start, env);
+                }
+                for (i, l) in latest.iter_mut().enumerate() {
+                    if l.as_ref().map(|o| key(o) <= cutoff).unwrap_or(false) {
+                        let prev = l.take();
+                        env.record(id, NodeUndo::SetLatest { i, prev });
+                    }
+                }
+            }
+            Node::Not {
+                id,
+                watch,
+                start,
+                end,
+                open,
+                violated,
+            } => {
+                let id = *id;
+                watch.evict_state(cutoff, by_start, env);
+                start.evict_state(cutoff, by_start, env);
+                end.evict_state(cutoff, by_start, env);
+                if open.as_ref().map(|o| key(o) <= cutoff).unwrap_or(false) {
+                    let prev = open.take();
+                    env.record(id, NodeUndo::SetOpen { prev });
+                    if *violated {
+                        env.record(id, NodeUndo::SetViolated { prev: true });
+                        *violated = false;
+                    }
+                }
+            }
+            Node::Aperiodic {
+                id,
+                start,
+                each,
+                end,
+                open,
+            } => {
+                let id = *id;
+                start.evict_state(cutoff, by_start, env);
+                each.evict_state(cutoff, by_start, env);
+                end.evict_state(cutoff, by_start, env);
+                if open.as_ref().map(|o| key(o) <= cutoff).unwrap_or(false) {
+                    let prev = open.take();
+                    env.record(id, NodeUndo::SetOpen { prev });
+                }
+            }
+            Node::Times { id, child, buf, .. } => {
+                child.evict_state(cutoff, by_start, env);
+                evict_buffer(buf, *id, 0, cutoff, by_start, env);
+            }
+            Node::Plus {
+                id, child, pending, ..
+            } => {
+                child.evict_state(cutoff, by_start, env);
+                evict_buffer(pending, *id, 0, cutoff, by_start, env);
+            }
+            Node::Within { child, .. } | Node::Window { child, .. } => {
+                child.evict_state(cutoff, by_start, env);
+            }
+            Node::Aggregate {
+                id,
+                child,
+                wbuf,
+                epoch,
+                latched,
+                ..
+            } => {
+                child.evict_state(cutoff, by_start, env);
+                if wbuf.iter().any(|(_, o)| key(o) <= cutoff) {
+                    if env.journaling() {
+                        env.record(
+                            *id,
+                            NodeUndo::RestoreWindow {
+                                items: wbuf.clone(),
+                                epoch: *epoch,
+                                latched: *latched,
+                            },
+                        );
+                    }
+                    wbuf.retain(|(_, o)| key(o) > cutoff);
+                }
+            }
         }
     }
 
@@ -781,6 +1207,9 @@ impl Node {
             } => start.buffered() + each.buffered() + end.buffered() + usize::from(open.is_some()),
             Node::Times { child, buf, .. } => child.buffered() + buf.len(),
             Node::Plus { child, pending, .. } => child.buffered() + pending.len(),
+            Node::At { .. } | Node::Every { .. } => 0,
+            Node::Within { child, .. } | Node::Window { child, .. } => child.buffered(),
+            Node::Aggregate { child, wbuf, .. } => child.buffered() + wbuf.len(),
         }
     }
 
@@ -860,6 +1289,14 @@ impl Node {
                 child.prune_newer_than(ts);
                 pending.items.retain(|o| o.end <= ts);
             }
+            Node::At { .. } | Node::Every { .. } => {}
+            Node::Within { child, .. } | Node::Window { child, .. } => {
+                child.prune_newer_than(ts);
+            }
+            Node::Aggregate { child, wbuf, .. } => {
+                child.prune_newer_than(ts);
+                wbuf.retain(|(_, o)| o.end <= ts);
+            }
         }
     }
 
@@ -933,6 +1370,22 @@ impl Node {
                 child.reset();
                 pending.items.clear();
             }
+            Node::At { .. } | Node::Every { .. } => {}
+            Node::Within { child, .. } | Node::Window { child, .. } => {
+                // Watermark samples are clock facts, not detection
+                // state; they survive a reset.
+                child.reset();
+            }
+            Node::Aggregate {
+                child,
+                wbuf,
+                latched,
+                ..
+            } => {
+                child.reset();
+                wbuf.clear();
+                *latched = false;
+            }
         }
     }
 
@@ -978,6 +1431,232 @@ impl Node {
             Node::Times { child, .. } | Node::Plus { child, .. } => {
                 child.refresh_alphabets(registry);
             }
+            Node::At { .. } | Node::Every { .. } => {}
+            Node::Within { child, .. }
+            | Node::Window { child, .. }
+            | Node::Aggregate { child, .. } => {
+                child.refresh_alphabets(registry);
+            }
+        }
+    }
+
+    /// Pre-order export of every node's state (checkpoint persistence).
+    fn export_state(&self, out: &mut Vec<NodeState>) {
+        match self {
+            Node::Primitive { .. } | Node::At { .. } | Node::Every { .. } => {
+                out.push(NodeState::Stateless);
+            }
+            Node::Or { left, right } => {
+                out.push(NodeState::Stateless);
+                left.export_state(out);
+                right.export_state(out);
+            }
+            Node::And {
+                left,
+                right,
+                lbuf,
+                rbuf,
+                ..
+            } => {
+                out.push(NodeState::Bufs(vec![
+                    lbuf.items.iter().cloned().collect(),
+                    rbuf.items.iter().cloned().collect(),
+                ]));
+                left.export_state(out);
+                right.export_state(out);
+            }
+            Node::Seq {
+                left, right, lbuf, ..
+            } => {
+                out.push(NodeState::Bufs(vec![lbuf.items.iter().cloned().collect()]));
+                left.export_state(out);
+                right.export_state(out);
+            }
+            Node::Any {
+                children, latest, ..
+            } => {
+                out.push(NodeState::Latest(latest.clone()));
+                for c in children {
+                    c.export_state(out);
+                }
+            }
+            Node::Not {
+                watch,
+                start,
+                end,
+                open,
+                violated,
+                ..
+            } => {
+                out.push(NodeState::Open {
+                    open: open.clone(),
+                    violated: *violated,
+                });
+                watch.export_state(out);
+                start.export_state(out);
+                end.export_state(out);
+            }
+            Node::Aperiodic {
+                start,
+                each,
+                end,
+                open,
+                ..
+            } => {
+                out.push(NodeState::Open {
+                    open: open.clone(),
+                    violated: false,
+                });
+                start.export_state(out);
+                each.export_state(out);
+                end.export_state(out);
+            }
+            Node::Times { child, buf, .. } => {
+                out.push(NodeState::Bufs(vec![buf.items.iter().cloned().collect()]));
+                child.export_state(out);
+            }
+            Node::Plus { child, pending, .. } => {
+                out.push(NodeState::Bufs(vec![pending
+                    .items
+                    .iter()
+                    .cloned()
+                    .collect()]));
+                child.export_state(out);
+            }
+            Node::Within { child, .. } => {
+                out.push(NodeState::Stateless);
+                child.export_state(out);
+            }
+            Node::Window { child, marks, .. } => {
+                out.push(NodeState::Marks(marks.export()));
+                child.export_state(out);
+            }
+            Node::Aggregate {
+                child,
+                wbuf,
+                epoch,
+                latched,
+                ..
+            } => {
+                out.push(NodeState::Windowed {
+                    items: wbuf.iter().cloned().collect(),
+                    epoch: *epoch,
+                    latched: *latched,
+                });
+                child.export_state(out);
+            }
+        }
+    }
+
+    /// Pre-order import matching [`export_state`](Self::export_state);
+    /// `false` on any shape mismatch.
+    fn import_state(&mut self, it: &mut std::slice::Iter<'_, NodeState>) -> bool {
+        let Some(st) = it.next() else {
+            return false;
+        };
+        match (self, st) {
+            (Node::Primitive { .. }, NodeState::Stateless)
+            | (Node::At { .. }, NodeState::Stateless)
+            | (Node::Every { .. }, NodeState::Stateless) => true,
+            (Node::Or { left, right }, NodeState::Stateless) => {
+                left.import_state(it) && right.import_state(it)
+            }
+            (
+                Node::And {
+                    left,
+                    right,
+                    lbuf,
+                    rbuf,
+                    ..
+                },
+                NodeState::Bufs(bufs),
+            ) if bufs.len() == 2 => {
+                lbuf.items = bufs[0].iter().cloned().collect();
+                rbuf.items = bufs[1].iter().cloned().collect();
+                left.import_state(it) && right.import_state(it)
+            }
+            (
+                Node::Seq {
+                    left, right, lbuf, ..
+                },
+                NodeState::Bufs(bufs),
+            ) if bufs.len() == 1 => {
+                lbuf.items = bufs[0].iter().cloned().collect();
+                left.import_state(it) && right.import_state(it)
+            }
+            (
+                Node::Any {
+                    children, latest, ..
+                },
+                NodeState::Latest(slots),
+            ) if slots.len() == latest.len() => {
+                latest.clone_from(slots);
+                children.iter_mut().all(|c| c.import_state(it))
+            }
+            (
+                Node::Not {
+                    watch,
+                    start,
+                    end,
+                    open,
+                    violated,
+                    ..
+                },
+                NodeState::Open {
+                    open: o,
+                    violated: v,
+                },
+            ) => {
+                *open = o.clone();
+                *violated = *v;
+                watch.import_state(it) && start.import_state(it) && end.import_state(it)
+            }
+            (
+                Node::Aperiodic {
+                    start,
+                    each,
+                    end,
+                    open,
+                    ..
+                },
+                NodeState::Open { open: o, .. },
+            ) => {
+                *open = o.clone();
+                start.import_state(it) && each.import_state(it) && end.import_state(it)
+            }
+            (Node::Times { child, buf, .. }, NodeState::Bufs(bufs)) if bufs.len() == 1 => {
+                buf.items = bufs[0].iter().cloned().collect();
+                child.import_state(it)
+            }
+            (Node::Plus { child, pending, .. }, NodeState::Bufs(bufs)) if bufs.len() == 1 => {
+                pending.items = bufs[0].iter().cloned().collect();
+                child.import_state(it)
+            }
+            (Node::Within { child, .. }, NodeState::Stateless) => child.import_state(it),
+            (Node::Window { child, marks, .. }, NodeState::Marks(samples)) => {
+                *marks = Watermarks::import(samples.clone());
+                child.import_state(it)
+            }
+            (
+                Node::Aggregate {
+                    child,
+                    wbuf,
+                    epoch,
+                    latched,
+                    ..
+                },
+                NodeState::Windowed {
+                    items,
+                    epoch: e,
+                    latched: l,
+                },
+            ) => {
+                *wbuf = items.iter().cloned().collect();
+                *epoch = *e;
+                *latched = *l;
+                child.import_state(it)
+            }
+            _ => false,
         }
     }
 }
@@ -1585,6 +2264,46 @@ mod extension_op_tests {
     }
 
     #[test]
+    fn continuous_context_one_detection_per_initiator() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile(
+            &leaf("m").and(leaf("x")),
+            &reg,
+            ParamContext::Continuous,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.process(&reg, &occ(&reg, 2, "m"));
+        // The terminator completes *both* open initiators at once...
+        let got = d.process(&reg, &occ(&reg, 3, "x"));
+        assert_eq!(got.len(), 2);
+        assert_eq!(d.buffered(), 0, "initiators consumed");
+        // ...and a lone arrival afterwards opens a window of its own.
+        assert!(d.process(&reg, &occ(&reg, 4, "x")).is_empty());
+        assert_eq!(d.process(&reg, &occ(&reg, 5, "m")).len(), 1);
+    }
+
+    #[test]
+    fn continuous_sequence_discards_unterminated_rights() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile(
+            &leaf("m").then(leaf("x")),
+            &reg,
+            ParamContext::Continuous,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        assert!(d.process(&reg, &occ(&reg, 1, "x")).is_empty());
+        d.process(&reg, &occ(&reg, 2, "m"));
+        d.process(&reg, &occ(&reg, 3, "m"));
+        let got = d.process(&reg, &occ(&reg, 4, "x"));
+        assert_eq!(got.len(), 2, "one detection per open initiator");
+        assert_eq!(d.buffered(), 0);
+        assert!(d.process(&reg, &occ(&reg, 5, "x")).is_empty());
+    }
+
+    #[test]
     fn composition_times_of_sequence() {
         // Every 2nd (a ; b) pair.
         let reg = registry();
@@ -1603,5 +2322,303 @@ mod extension_op_tests {
         }
         // 4 sequence detections → 2 times-emissions of 4 constituents.
         assert_eq!(emissions, 2);
+    }
+}
+
+#[cfg(test)]
+mod temporal_op_tests {
+    use super::*;
+    use crate::algebra::AggFn;
+    use crate::spec::PrimitiveEventSpec as P;
+    use sentinel_object::{ClassDecl, Oid, Value};
+    use std::sync::Arc;
+
+    fn registry() -> ClassRegistry {
+        let mut reg = ClassRegistry::new();
+        reg.define(ClassDecl::reactive("C").method("m", &[]).method("x", &[]))
+            .unwrap();
+        reg
+    }
+
+    fn occ_amt(reg: &ClassRegistry, at: u64, method: &str, amount: i64) -> PrimitiveOccurrence {
+        let cid = reg.id_of("C").unwrap();
+        PrimitiveOccurrence {
+            at,
+            oid: Oid(at),
+            class: cid,
+            owner: cid,
+            method: method.into(),
+            modifier: EventModifier::End,
+            params: Arc::from(vec![Value::Int(amount)]),
+        }
+    }
+
+    fn occ(reg: &ClassRegistry, at: u64, method: &str) -> PrimitiveOccurrence {
+        occ_amt(reg, at, method, at as i64)
+    }
+
+    fn leaf(m: &str) -> EventExpr {
+        EventExpr::primitive(P::end("C", m))
+    }
+
+    #[test]
+    fn at_timer_fires_only_via_the_timer_path() {
+        let reg = registry();
+        let mut d = DetectorInstance::compile_default(&EventExpr::at(5), &reg).unwrap();
+        // Primitive occurrences never match a timer leaf.
+        assert!(d.process(&reg, &occ(&reg, 1, "m")).is_empty());
+        let got = d.process_timer(&reg, 0, 5, 2);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].constituents.is_empty(), "a tick has no parameters");
+        assert_eq!((got[0].start, got[0].end), (2, 2));
+        assert_eq!(d.stats().matched, 1);
+    }
+
+    #[test]
+    fn timer_pairs_in_sequence_like_an_event() {
+        // m ; every(10) — the tick terminates the sequence.
+        let reg = registry();
+        let expr = leaf("m").then(EventExpr::every(10));
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 5, "m"));
+        let got = d.process_timer(&reg, 0, 10, 6);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].start, got[0].end), (5, 6));
+        assert_eq!(got[0].constituents.len(), 1, "only the event constituent");
+        // A fire addressed to a different leaf index is ignored.
+        assert!(d.process_timer(&reg, 1, 20, 7).is_empty());
+    }
+
+    #[test]
+    fn timer_fire_inside_txn_is_undone_by_abort() {
+        let reg = registry();
+        let expr = leaf("m").then(EventExpr::every(5));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.begin_txn();
+        assert_eq!(d.process_timer(&reg, 0, 5, 2).len(), 1);
+        d.abort_txn();
+        // The consumed left is re-armed: the next fire pairs again.
+        assert_eq!(d.process_timer(&reg, 0, 10, 3).len(), 1);
+    }
+
+    #[test]
+    fn within_filters_by_span_and_evicts_stale_state() {
+        let reg = registry();
+        let expr = leaf("m").then(leaf("x")).within(5);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        // Nine ticks later: over the deadline — and the stale left was
+        // evicted before it could pair.
+        assert!(d.process(&reg, &occ(&reg, 10, "x")).is_empty());
+        assert_eq!(d.buffered(), 0, "stale operand state evicted");
+        d.process(&reg, &occ(&reg, 20, "m"));
+        let got = d.process(&reg, &occ(&reg, 23, "x"));
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].start, got[0].end), (20, 23));
+    }
+
+    #[test]
+    fn within_bounds_memory_under_never_completing_composite() {
+        // Regression: an unrestricted Seq buffers every left forever when
+        // its right never arrives. A `within` scope gives the buffer an
+        // eviction rule, so memory stays bounded by the deadline.
+        let reg = registry();
+        let expr = leaf("m").then(leaf("x")).within(8);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        for t in 1..=5_000 {
+            d.process(&reg, &occ(&reg, t, "m"));
+        }
+        assert!(
+            d.buffered() <= 10,
+            "buffered {} grew past the deadline bound",
+            d.buffered()
+        );
+        // And the unscoped control really does grow without bound.
+        let mut ctl = DetectorInstance::compile_default(&leaf("m").then(leaf("x")), &reg).unwrap();
+        for t in 1..=5_000 {
+            ctl.process(&reg, &occ(&reg, t, "m"));
+        }
+        assert_eq!(ctl.buffered(), 5_000);
+    }
+
+    #[test]
+    fn sliding_window_scopes_sequence_pairing() {
+        // The fraud shape: m ; x inside a sliding window — constituents
+        // further apart than the window never pair.
+        let reg = registry();
+        let expr = leaf("m").then(leaf("x")).sliding_window(10);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        assert!(d.process(&reg, &occ(&reg, 20, "x")).is_empty());
+        assert_eq!(d.buffered(), 0, "out-of-window left evicted");
+        d.process(&reg, &occ(&reg, 21, "m"));
+        assert_eq!(d.process(&reg, &occ(&reg, 25, "x")).len(), 1);
+    }
+
+    #[test]
+    fn sliding_aggregate_latches_on_crossing() {
+        let reg = registry();
+        let expr = leaf("m").count_within(5, 2);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ(&reg, 3, "m")).is_empty());
+        // Window (1, 6] holds both: crossing emits once...
+        let got = d.process(&reg, &occ(&reg, 6, "m"));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].constituents.len(), 2);
+        // ...and the overlapping window at t=9 ({6, 9}) stays latched.
+        assert!(d.process(&reg, &occ(&reg, 9, "m")).is_empty());
+        // A lull drops the count below threshold: unlatch...
+        assert!(d.process(&reg, &occ(&reg, 15, "m")).is_empty());
+        // ...so the next crossing fires again.
+        assert_eq!(d.process(&reg, &occ(&reg, 16, "m")).len(), 1);
+    }
+
+    #[test]
+    fn tumbling_edge_starts_the_new_epoch() {
+        let reg = registry();
+        let expr = leaf("m").aggregate(10, true, AggFn::Count, 2);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 8, "m"));
+        assert_eq!(d.process(&reg, &occ(&reg, 9, "m")).len(), 1);
+        // t=10 sits exactly on the edge: it belongs to the NEW epoch, so
+        // the count restarts at 1.
+        assert!(d.process(&reg, &occ(&reg, 10, "m")).is_empty());
+        assert_eq!(d.process(&reg, &occ(&reg, 11, "m")).len(), 1);
+    }
+
+    #[test]
+    fn empty_window_aggregation_is_silent() {
+        let reg = registry();
+        let expr = leaf("m").aggregate(10, true, AggFn::Count, 1);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 5, "m"));
+        // An unrelated stimulus two epochs later rolls the window; the
+        // empty window must not emit (count 0 never crosses).
+        assert!(d.process(&reg, &occ(&reg, 25, "x")).is_empty());
+        assert_eq!(d.buffered(), 0);
+        assert_eq!(d.process(&reg, &occ(&reg, 26, "m")).len(), 1);
+    }
+
+    #[test]
+    fn sum_aggregate_over_params() {
+        let reg = registry();
+        let expr = leaf("m").sum_within(10, 0, 100);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d.process(&reg, &occ_amt(&reg, 1, "m", 60)).is_empty());
+        let got = d.process(&reg, &occ_amt(&reg, 3, "m", 50));
+        assert_eq!(got.len(), 1, "60 + 50 crosses 100");
+        // After the pair slides out, small amounts stay silent.
+        assert!(d.process(&reg, &occ_amt(&reg, 30, "m", 50)).is_empty());
+    }
+
+    #[test]
+    fn aggregate_abort_restores_window_state() {
+        let reg = registry();
+        let expr = leaf("m").count_within(10, 2);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        d.begin_txn();
+        assert_eq!(d.process(&reg, &occ(&reg, 2, "m")).len(), 1);
+        d.abort_txn();
+        // The aborted arrival and the latch are both rolled back.
+        assert_eq!(d.buffered(), 1);
+        assert_eq!(d.process(&reg, &occ(&reg, 3, "m")).len(), 1);
+    }
+
+    #[test]
+    fn detector_state_round_trips_mid_sequence() {
+        let reg = registry();
+        let expr = leaf("m").then(leaf("x"));
+        let mut d = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        d.process(&reg, &occ(&reg, 1, "m"));
+        let st = d.export_state();
+        assert!(!st.is_trivial());
+        // Serde round trip, as the checkpoint snapshot does it.
+        let bytes = serde_json::to_vec(&st).unwrap();
+        let st: DetectorState = serde_json::from_slice(&bytes).unwrap();
+        // A fresh instance (the recovered process) resumes mid-sequence.
+        let mut d2 = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        assert!(d2.import_state(&st));
+        assert_eq!(d2.process(&reg, &occ(&reg, 2, "x")).len(), 1);
+    }
+
+    #[test]
+    fn state_import_rejects_shape_mismatch() {
+        let reg = registry();
+        let mut seq = DetectorInstance::compile_default(&leaf("m").then(leaf("x")), &reg).unwrap();
+        seq.process(&reg, &occ(&reg, 1, "m"));
+        let st = seq.export_state();
+        let mut and = DetectorInstance::compile_default(&leaf("m").and(leaf("x")), &reg).unwrap();
+        assert!(!and.import_state(&st), "And expects two buffer sides");
+        assert_eq!(and.buffered(), 0, "failed import leaves state untouched");
+    }
+
+    #[test]
+    fn aggregate_state_round_trips_with_instants() {
+        let reg = registry();
+        let expr = leaf("m").count_within(10, 2);
+        let mut d = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        d.process(&reg, &occ(&reg, 5, "m"));
+        let st = d.export_state();
+        let mut d2 = DetectorInstance::compile_default(&expr, &reg).unwrap();
+        assert!(d2.import_state(&st));
+        assert_eq!(d2.process(&reg, &occ(&reg, 6, "m")).len(), 1);
+    }
+
+    #[test]
+    fn abort_restores_temporal_operators() {
+        // The journal property extends to the new operators.
+        let reg = registry();
+        let pre: Vec<_> = (1..4).map(|t| occ(&reg, t, "m")).collect();
+        let during: Vec<_> = vec![occ(&reg, 5, "x"), occ(&reg, 6, "m")];
+        for expr in [
+            leaf("m").then(leaf("x")).within(20),
+            leaf("m").then(leaf("x")).sliding_window(20),
+            leaf("m").count_within(20, 3),
+            leaf("m").sum_within(20, 0, 10),
+        ] {
+            for ctx in ParamContext::ALL {
+                let mut d =
+                    DetectorInstance::compile(&expr, &reg, ctx, DetectorCaps::default()).unwrap();
+                for o in &pre {
+                    d.process(&reg, o);
+                }
+                let snapshot = d.clone();
+                d.begin_txn();
+                for o in &during {
+                    d.process(&reg, o);
+                }
+                d.abort_txn();
+                assert_eq!(d.buffered(), snapshot.buffered(), "buffered after abort");
+                let mut d2 = snapshot;
+                for t in 100..110 {
+                    let m = if t % 2 == 0 { "m" } else { "x" };
+                    assert_eq!(
+                        d.process(&reg, &occ(&reg, t, m)),
+                        d2.process(&reg, &occ(&reg, t, m)),
+                        "behavioural divergence after abort"
+                    );
+                }
+            }
+        }
     }
 }

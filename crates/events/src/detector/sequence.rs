@@ -50,6 +50,31 @@ pub(super) fn pair_seq(
                 lbuf.push(id, 0, l, env);
             }
         }
+        ParamContext::Continuous => {
+            // Each buffered left is an open initiator; a right
+            // terminates every strictly earlier one (one detection per
+            // initiator) and consumes them.
+            for r in &re {
+                if lbuf.items.iter().any(|l| l.end < r.start) {
+                    for l in lbuf.items.iter().filter(|l| l.end < r.start) {
+                        out.push(CompositeOccurrence::merge(l, r));
+                    }
+                    if env.journaling() {
+                        env.record(
+                            id,
+                            NodeUndo::RestoreSide {
+                                side: 0,
+                                items: lbuf.items.clone(),
+                            },
+                        );
+                    }
+                    lbuf.items.retain(|l| l.end >= r.start);
+                }
+            }
+            for l in le {
+                lbuf.push(id, 0, l, env);
+            }
+        }
         ParamContext::Cumulative => {
             for r in &re {
                 let eligible: Vec<_> = lbuf

@@ -3,11 +3,36 @@
 //! and the bounded occurrence buffers that hold partial detections.
 
 use crate::context::ParamContext;
-use crate::occurrence::CompositeOccurrence;
+use crate::occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 use sentinel_object::{ClassRegistry, EventSym};
 use std::collections::VecDeque;
 
 use super::{DetectorCaps, Node};
+
+/// One stimulus driven through the node tree: either a primitive
+/// occurrence (raised by an object) or a timer fire (delivered by the
+/// engine's due-timer drain to the `at`/`every` leaf at `idx` in
+/// [`EventExpr::timer_specs`](crate::EventExpr::timer_specs) order).
+#[derive(Debug, Clone, Copy)]
+pub(super) enum Stim<'a> {
+    Prim(&'a PrimitiveOccurrence),
+    Timer { idx: usize, seq: u64 },
+}
+
+impl Stim<'_> {
+    /// The stimulus's logical timestamp on the sequence axis.
+    #[inline]
+    pub(super) fn seq(&self) -> u64 {
+        match self {
+            Stim::Prim(o) => o.at,
+            Stim::Timer { seq, .. } => *seq,
+        }
+    }
+}
+
+/// A window buffer: operand occurrences stamped with the instant they
+/// arrived at the window node.
+pub(super) type WindowBuf = VecDeque<(u64, CompositeOccurrence)>;
 
 /// Inverse of one state mutation, tagged with the stateful node it
 /// applies to. Entries are applied in reverse journal order on abort.
@@ -31,6 +56,24 @@ pub(super) enum NodeUndo {
     SetOpen { prev: Option<CompositeOccurrence> },
     /// Undo a write to a `Not` node's violation flag.
     SetViolated { prev: bool },
+    /// Undo an append to an `Aggregate` node's window buffer.
+    PopWindowBack,
+    /// Undo an eviction/roll of an `Aggregate` node's window state.
+    RestoreWindow {
+        items: WindowBuf,
+        epoch: u64,
+        latched: bool,
+    },
+    /// Undo a sliding eviction from the front of an `Aggregate` node's
+    /// window buffer: `items` hold the evicted entries in eviction
+    /// order and are re-prepended in reverse. Recorded instead of a
+    /// full `RestoreWindow` snapshot on the steady-state path, where
+    /// cloning the whole window per stimulus would cost O(window).
+    RestoreWindowFront {
+        items: Vec<(u64, CompositeOccurrence)>,
+    },
+    /// Undo a write to an `Aggregate` node's emission latch.
+    SetLatched { prev: bool },
 }
 
 #[derive(Debug, Clone)]
@@ -51,6 +94,11 @@ pub(super) struct Env<'a> {
     pub(super) sym: Option<EventSym>,
     pub(super) context: ParamContext,
     pub(super) caps: DetectorCaps,
+    /// The stimulus's position on the instant axis (from the detector's
+    /// [`TimeSource`](crate::clock::TimeSource); falls back to the
+    /// stimulus's seq when none is attached — logical-mode semantics).
+    /// Windows and epochs are measured on this axis.
+    pub(super) now: u64,
     pub(super) matched: bool,
     pub(super) dropped: u64,
     pub(super) journal: Option<&'a mut Vec<JournalEntry>>,
@@ -129,6 +177,34 @@ impl Buffer {
     pub(super) fn len(&self) -> usize {
         self.items.len()
     }
+}
+
+/// Evict from `buf` every occurrence whose scope key (`start` when
+/// `by_start`, the `within` axis; `end` otherwise, the window axis) is
+/// at or before `cutoff`. Journals the pre-eviction contents when
+/// anything is evicted.
+pub(super) fn evict_buffer(
+    buf: &mut Buffer,
+    node: u32,
+    side: u8,
+    cutoff: u64,
+    by_start: bool,
+    env: &mut Env<'_>,
+) {
+    let key = |o: &CompositeOccurrence| if by_start { o.start } else { o.end };
+    if !buf.items.iter().any(|o| key(o) <= cutoff) {
+        return;
+    }
+    if env.journaling() {
+        env.record(
+            node,
+            NodeUndo::RestoreSide {
+                side,
+                items: buf.items.clone(),
+            },
+        );
+    }
+    buf.items.retain(|o| key(o) > cutoff);
 }
 
 /// Apply a buffer-shaped undo to an And node (both sides) or a Seq node

@@ -30,14 +30,16 @@ pub mod detector;
 pub mod occurrence;
 pub mod parse;
 pub mod spec;
+pub mod timer;
 
-pub use algebra::EventExpr;
-pub use clock::LogicalClock;
+pub use algebra::{AggFn, EventExpr};
+pub use clock::{LogicalClock, TimeMode, TimeSource, Timestamp};
 pub use context::ParamContext;
-pub use detector::{DetectorCaps, DetectorInstance, DetectorStats};
+pub use detector::{DetectorCaps, DetectorInstance, DetectorState, DetectorStats};
 pub use occurrence::{CompositeOccurrence, PrimitiveOccurrence};
 pub use parse::parse_signature;
 pub use spec::{sym_alphabet, EventModifier, PrimitiveEventSpec};
+pub use timer::{TimerFire, TimerId, TimerRow, TimerWheel};
 
 // Everything the concurrent session API moves across threads — event
 // expressions inside rule definitions, occurrences inside firings, and
@@ -50,5 +52,7 @@ const _: () = {
     assert_send_sync::<PrimitiveOccurrence>();
     assert_send_sync::<CompositeOccurrence>();
     assert_send_sync::<DetectorInstance>();
-    assert_send_sync::<LogicalClock>()
+    assert_send_sync::<LogicalClock>();
+    assert_send_sync::<TimeSource>();
+    assert_send_sync::<TimerWheel>()
 };

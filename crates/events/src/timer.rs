@@ -1,0 +1,385 @@
+//! The timer wheel: due-time scheduling for temporal event operators.
+//!
+//! `at` and `every` occurrences are not raised by any object — they have
+//! no `(target, EventSym)` routing key — so the engine cannot reach them
+//! through the routing index. Instead, each timer-bearing rule registers
+//! its timers here when it is added or enabled, and the database drains
+//! due timers at dispatch and deferred-round boundaries.
+//!
+//! The wheel hashes entries into `SLOTS` buckets by due instant and
+//! keeps a cursor at the last drained instant; draining visits only the
+//! buckets between the cursor and `now` (clamped to one full rotation),
+//! so a drain is O(slots visited + entries due) rather than O(entries).
+
+use std::sync::Arc;
+
+/// Number of buckets in the wheel. Power of two so the slot index is a
+/// mask.
+const SLOTS: usize = 256;
+
+/// Identity of one scheduled timer (unique per wheel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// One scheduled timer.
+#[derive(Debug, Clone)]
+struct TimerEntry {
+    id: TimerId,
+    due: u64,
+    period: Option<u64>,
+    owner: u64,
+    label: Arc<str>,
+}
+
+/// A due timer handed to the engine by [`TimerWheel::advance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerFire {
+    /// The timer's identity.
+    pub id: TimerId,
+    /// The instant the timer was due (≤ the drain instant).
+    pub due: u64,
+    /// `Some(p)` for periodic timers (already rescheduled at `due + p`).
+    pub period: Option<u64>,
+    /// Opaque owner key (the engine uses the owning rule's id).
+    pub owner: u64,
+    /// Human-readable label (`at(t)` / `every(p)`), for telemetry and
+    /// the `timers` meta relation.
+    pub label: Arc<str>,
+}
+
+/// A snapshot row for operability (the `timers` meta relation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerRow {
+    /// The timer's identity.
+    pub id: TimerId,
+    /// Next due instant.
+    pub due: u64,
+    /// Period for `every` timers.
+    pub period: Option<u64>,
+    /// Opaque owner key.
+    pub owner: u64,
+    /// Human-readable label.
+    pub label: Arc<str>,
+}
+
+/// The wheel itself.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    /// Entries further than one rotation ahead of the cursor.
+    overflow: Vec<TimerEntry>,
+    /// Last drained instant: everything due at or before it has fired.
+    cursor: u64,
+    next_id: u64,
+    len: usize,
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel with its cursor at instant 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: vec![Vec::new(); SLOTS],
+            overflow: Vec::new(),
+            cursor: 0,
+            next_id: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of scheduled timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's cursor (last drained instant).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Schedule a one-shot (`period: None`) or periodic timer. A due
+    /// instant at or before the cursor fires on the next drain.
+    pub fn schedule(
+        &mut self,
+        due: u64,
+        period: Option<u64>,
+        owner: u64,
+        label: impl Into<Arc<str>>,
+    ) -> TimerId {
+        self.next_id += 1;
+        let id = TimerId(self.next_id);
+        self.insert(TimerEntry {
+            id,
+            due,
+            period: period.filter(|&p| p > 0),
+            owner,
+            label: label.into(),
+        });
+        id
+    }
+
+    fn insert(&mut self, e: TimerEntry) {
+        self.len += 1;
+        if e.due > self.cursor + SLOTS as u64 {
+            self.overflow.push(e);
+        } else {
+            // An already-ripe entry (due ≤ cursor) is parked in the next
+            // bucket the cursor will visit, so it fires on the next
+            // drain rather than waiting a full rotation.
+            let slot = (e.due.max(self.cursor + 1) as usize) & (SLOTS - 1);
+            self.slots[slot].push(e);
+        }
+    }
+
+    /// Cancel a timer. Returns `true` if it was scheduled.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        for bucket in self
+            .slots
+            .iter_mut()
+            .chain(std::iter::once(&mut self.overflow))
+        {
+            if let Some(i) = bucket.iter().position(|e| e.id == id) {
+                bucket.swap_remove(i);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Cancel every timer owned by `owner`. Returns how many were
+    /// cancelled (rule removal / disable).
+    pub fn cancel_owner(&mut self, owner: u64) -> usize {
+        let mut n = 0;
+        for bucket in self
+            .slots
+            .iter_mut()
+            .chain(std::iter::once(&mut self.overflow))
+        {
+            let before = bucket.len();
+            bucket.retain(|e| e.owner != owner);
+            n += before - bucket.len();
+        }
+        self.len -= n;
+        n
+    }
+
+    /// The earliest due instant, if anything is scheduled.
+    pub fn next_due(&self) -> Option<u64> {
+        self.slots
+            .iter()
+            .chain(std::iter::once(&self.overflow))
+            .flatten()
+            .map(|e| e.due)
+            .min()
+    }
+
+    /// Advance the cursor to `now` and return every timer that came due,
+    /// sorted by `(due, id)` so drains are deterministic. Periodic
+    /// timers fire once per elapsed period boundary and are rescheduled;
+    /// one-shot timers are removed.
+    pub fn advance(&mut self, now: u64) -> Vec<TimerFire> {
+        if now <= self.cursor && self.cursor != 0 {
+            return Vec::new();
+        }
+        let mut fires: Vec<TimerFire> = Vec::new();
+        let mut reinsert: Vec<TimerEntry> = Vec::new();
+
+        // Visit at most one full rotation of buckets; with a larger jump
+        // every bucket is visited exactly once anyway.
+        let span = (now.saturating_sub(self.cursor)).min(SLOTS as u64) as usize;
+        let visit = |bucket: &mut Vec<TimerEntry>,
+                     fires: &mut Vec<TimerFire>,
+                     reinsert: &mut Vec<TimerEntry>,
+                     len: &mut usize| {
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].due <= now {
+                    let mut e = bucket.swap_remove(i);
+                    *len -= 1;
+                    // Periodic: one fire per elapsed boundary, then the
+                    // entry rides again at the first future boundary.
+                    loop {
+                        fires.push(TimerFire {
+                            id: e.id,
+                            due: e.due,
+                            period: e.period,
+                            owner: e.owner,
+                            label: e.label.clone(),
+                        });
+                        match e.period {
+                            Some(p) => {
+                                e.due += p;
+                                if e.due > now {
+                                    reinsert.push(e);
+                                    break;
+                                }
+                            }
+                            None => break,
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        };
+
+        if span >= SLOTS {
+            for s in 0..SLOTS {
+                let mut bucket = std::mem::take(&mut self.slots[s]);
+                visit(&mut bucket, &mut fires, &mut reinsert, &mut self.len);
+                self.slots[s] = bucket;
+            }
+        } else {
+            for step in 1..=span as u64 {
+                let slot = ((self.cursor + step) as usize) & (SLOTS - 1);
+                let mut bucket = std::mem::take(&mut self.slots[slot]);
+                visit(&mut bucket, &mut fires, &mut reinsert, &mut self.len);
+                self.slots[slot] = bucket;
+            }
+        }
+        // Overflow entries may have rotated into range (or come due on a
+        // big jump).
+        let mut overflow = std::mem::take(&mut self.overflow);
+        visit(&mut overflow, &mut fires, &mut reinsert, &mut self.len);
+        self.cursor = now;
+        // Re-home surviving overflow entries now that the cursor moved.
+        for e in overflow {
+            self.len -= 1;
+            self.insert(e);
+        }
+        for e in reinsert {
+            self.insert(e);
+        }
+        fires.sort_by_key(|f| (f.due, f.id));
+        fires
+    }
+
+    /// Snapshot of every scheduled timer, sorted by `(due, id)`.
+    pub fn rows(&self) -> Vec<TimerRow> {
+        let mut rows: Vec<TimerRow> = self
+            .slots
+            .iter()
+            .chain(std::iter::once(&self.overflow))
+            .flatten()
+            .map(|e| TimerRow {
+                id: e.id,
+                due: e.due,
+                period: e.period,
+                owner: e.owner,
+                label: e.label.clone(),
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.due, r.id));
+        rows
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TimerWheel>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once_in_order() {
+        let mut w = TimerWheel::new();
+        let b = w.schedule(20, None, 2, "at(20)");
+        let a = w.schedule(10, None, 1, "at(10)");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.next_due(), Some(10));
+        let fires = w.advance(15);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].id, a);
+        assert_eq!(fires[0].due, 10);
+        let fires = w.advance(25);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].id, b);
+        assert!(w.is_empty());
+        assert!(w.advance(30).is_empty());
+    }
+
+    #[test]
+    fn periodic_fires_each_boundary_and_reschedules() {
+        let mut w = TimerWheel::new();
+        let id = w.schedule(5, Some(5), 7, "every(5)");
+        let fires = w.advance(17);
+        // Boundaries 5, 10, 15 elapsed.
+        assert_eq!(fires.iter().map(|f| f.due).collect::<Vec<_>>(), [5, 10, 15]);
+        assert!(fires.iter().all(|f| f.id == id && f.owner == 7));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_due(), Some(20));
+        let fires = w.advance(20);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].due, 20);
+    }
+
+    #[test]
+    fn far_future_lands_in_overflow_and_still_fires() {
+        let mut w = TimerWheel::new();
+        w.schedule(10_000, None, 1, "at(10000)");
+        assert_eq!(w.next_due(), Some(10_000));
+        assert!(w.advance(9_999).is_empty());
+        let fires = w.advance(10_000);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].due, 10_000);
+    }
+
+    #[test]
+    fn overflow_rehomes_after_partial_advance() {
+        let mut w = TimerWheel::new();
+        w.schedule(300, None, 1, "at(300)");
+        assert!(w.advance(100).is_empty());
+        // 300 is now within one rotation of the cursor.
+        assert!(w.advance(299).is_empty());
+        assert_eq!(w.advance(300).len(), 1);
+    }
+
+    #[test]
+    fn cancel_by_id_and_owner() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule(10, None, 1, "at(10)");
+        w.schedule(20, Some(20), 2, "every(20)");
+        w.schedule(30, None, 2, "at(30)");
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a));
+        assert_eq!(w.cancel_owner(2), 2);
+        assert!(w.is_empty());
+        assert!(w.advance(100).is_empty());
+    }
+
+    #[test]
+    fn rows_snapshot_is_sorted() {
+        let mut w = TimerWheel::new();
+        w.schedule(20, Some(20), 2, "every(20)");
+        w.schedule(10, None, 1, "at(10)");
+        let rows = w.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].due, 10);
+        assert_eq!(rows[1].period, Some(20));
+        assert_eq!(&*rows[1].label, "every(20)");
+    }
+
+    #[test]
+    fn due_at_cursor_fires_on_next_drain() {
+        let mut w = TimerWheel::new();
+        w.advance(50);
+        w.schedule(40, None, 1, "at(40)"); // already past
+        let fires = w.advance(51);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(fires[0].due, 40);
+    }
+}

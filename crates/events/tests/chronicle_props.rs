@@ -1,0 +1,306 @@
+//! Chronicle-parity property test: the production detector — with its
+//! symbol routing, interning, undo journaling, and cap machinery — must
+//! agree exactly with a naive direct interpretation of the Chronicle
+//! parameter context on random `And`/`Or`/`Seq` programs over random
+//! primitive streams.
+//!
+//! The oracle below is deliberately dumb: per-node FIFO `VecDeque`s and
+//! a recursive step function transcribing the published pairing rules
+//! (oldest-first pairing, consume on detection, sequences discard
+//! orphan rights). Any divergence — an extra emission, a missing one, a
+//! wrong constituent set — fails the property.
+
+use proptest::prelude::*;
+use sentinel_events::{
+    CompositeOccurrence, DetectorCaps, DetectorInstance, EventExpr, EventModifier, ParamContext,
+    PrimitiveEventSpec, PrimitiveOccurrence,
+};
+use sentinel_object::{ClassDecl, ClassRegistry, Oid, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+const METHODS: [&str; 4] = ["m0", "m1", "m2", "m3"];
+
+fn registry() -> ClassRegistry {
+    let mut reg = ClassRegistry::new();
+    let mut decl = ClassDecl::reactive("C");
+    for m in METHODS {
+        decl = decl.method(m, &[]);
+    }
+    reg.define(decl).unwrap();
+    reg
+}
+
+fn occ(reg: &ClassRegistry, at: u64, method: &str) -> PrimitiveOccurrence {
+    let cid = reg.id_of("C").unwrap();
+    PrimitiveOccurrence {
+        at,
+        oid: Oid(at),
+        class: cid,
+        owner: cid,
+        method: method.into(),
+        modifier: EventModifier::End,
+        params: Arc::from(Vec::<Value>::new()),
+    }
+}
+
+/// The oracle's occurrence: constituent `at` stamps plus the interval.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Naive {
+    start: u64,
+    end: u64,
+    ats: Vec<u64>,
+}
+
+impl Naive {
+    fn leaf(at: u64) -> Naive {
+        Naive {
+            start: at,
+            end: at,
+            ats: vec![at],
+        }
+    }
+
+    fn merge(a: &Naive, b: &Naive) -> Naive {
+        let mut ats = a.ats.clone();
+        ats.extend(b.ats.iter().copied());
+        ats.sort_unstable();
+        Naive {
+            start: a.start.min(b.start),
+            end: a.end.max(b.end),
+            ats,
+        }
+    }
+}
+
+/// A stateful mirror of the detector tree under Chronicle semantics.
+enum Node {
+    Leaf(usize),
+    And(Box<Node>, Box<Node>, VecDeque<Naive>, VecDeque<Naive>),
+    Or(Box<Node>, Box<Node>),
+    Seq(Box<Node>, Box<Node>, VecDeque<Naive>),
+}
+
+impl Node {
+    fn step(&mut self, method: usize, at: u64) -> Vec<Naive> {
+        match self {
+            Node::Leaf(m) => {
+                if *m == method {
+                    vec![Naive::leaf(at)]
+                } else {
+                    vec![]
+                }
+            }
+            Node::And(l, r, lbuf, rbuf) => {
+                let le = l.step(method, at);
+                let re = r.step(method, at);
+                let mut out = Vec::new();
+                // Oldest-first pairing, each occurrence consumed once.
+                for l in le {
+                    match rbuf.pop_front() {
+                        Some(r) => out.push(Naive::merge(&l, &r)),
+                        None => lbuf.push_back(l),
+                    }
+                }
+                for r in re {
+                    match lbuf.pop_front() {
+                        Some(l) => out.push(Naive::merge(&l, &r)),
+                        None => rbuf.push_back(r),
+                    }
+                }
+                out
+            }
+            Node::Or(l, r) => {
+                let mut out = l.step(method, at);
+                out.extend(r.step(method, at));
+                out
+            }
+            Node::Seq(l, r, lbuf) => {
+                let le = l.step(method, at);
+                let re = r.step(method, at);
+                let mut out = Vec::new();
+                // A right pairs with the oldest strictly-earlier left or
+                // is discarded; new lefts buffer after the rights ran.
+                for r in &re {
+                    if lbuf.front().map(|l| l.end < r.start).unwrap_or(false) {
+                        let l = lbuf.pop_front().unwrap();
+                        out.push(Naive::merge(&l, r));
+                    }
+                }
+                for l in le {
+                    lbuf.push_back(l);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A random expression shape the strategies below instantiate both as
+/// an `EventExpr` (production) and a `Node` (oracle).
+#[derive(Debug, Clone)]
+enum Shape {
+    Leaf(usize),
+    And(Box<Shape>, Box<Shape>),
+    Or(Box<Shape>, Box<Shape>),
+    Seq(Box<Shape>, Box<Shape>),
+}
+
+impl Shape {
+    fn to_expr(&self) -> EventExpr {
+        match self {
+            Shape::Leaf(m) => EventExpr::primitive(PrimitiveEventSpec::end("C", METHODS[*m])),
+            Shape::And(a, b) => a.to_expr().and(b.to_expr()),
+            Shape::Or(a, b) => a.to_expr().or(b.to_expr()),
+            Shape::Seq(a, b) => a.to_expr().then(b.to_expr()),
+        }
+    }
+
+    fn to_node(&self) -> Node {
+        match self {
+            Shape::Leaf(m) => Node::Leaf(*m),
+            Shape::And(a, b) => Node::And(
+                Box::new(a.to_node()),
+                Box::new(b.to_node()),
+                VecDeque::new(),
+                VecDeque::new(),
+            ),
+            Shape::Or(a, b) => Node::Or(Box::new(a.to_node()), Box::new(b.to_node())),
+            Shape::Seq(a, b) => Node::Seq(
+                Box::new(a.to_node()),
+                Box::new(b.to_node()),
+                VecDeque::new(),
+            ),
+        }
+    }
+}
+
+/// Random expression trees, depth ≤ 3 (the vendored proptest has no
+/// `prop_recursive`, so this drives the rng directly).
+struct ArbShape;
+
+fn gen_shape(rng: &mut proptest::TestRng, depth: u32) -> Shape {
+    if depth == 0 || rng.next_u64().is_multiple_of(3) {
+        return Shape::Leaf((rng.next_u64() % METHODS.len() as u64) as usize);
+    }
+    let a = Box::new(gen_shape(rng, depth - 1));
+    let b = Box::new(gen_shape(rng, depth - 1));
+    match rng.next_u64() % 3 {
+        0 => Shape::And(a, b),
+        1 => Shape::Or(a, b),
+        _ => Shape::Seq(a, b),
+    }
+}
+
+impl Strategy for ArbShape {
+    type Value = Shape;
+    fn generate(&self, rng: &mut proptest::TestRng) -> Shape {
+        gen_shape(rng, 3)
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    ArbShape
+}
+
+fn canon(o: &CompositeOccurrence) -> Naive {
+    let mut ats: Vec<u64> = o.constituents.iter().map(|c| c.at).collect();
+    ats.sort_unstable();
+    Naive {
+        start: o.start,
+        end: o.end,
+        ats,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Per-stimulus parity: for every event in the stream, the multiset
+    /// of composites the production detector emits equals the oracle's.
+    #[test]
+    fn chronicle_detector_matches_naive_oracle(
+        shape in arb_shape(),
+        stream in prop::collection::vec(0usize..METHODS.len(), 0..40),
+    ) {
+        let reg = registry();
+        let expr = shape.to_expr();
+        let mut det = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        let mut oracle = shape.to_node();
+        for (i, &m) in stream.iter().enumerate() {
+            let at = (i + 1) as u64;
+            let mut got: Vec<Naive> = det
+                .process(&reg, &occ(&reg, at, METHODS[m]))
+                .iter()
+                .map(canon)
+                .collect();
+            let mut want = oracle.step(m, at);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(
+                got,
+                want,
+                "divergence at stimulus {} ({}) for {:?}",
+                at,
+                METHODS[m],
+                shape
+            );
+        }
+    }
+
+    /// The same parity holds across an abort: state journaled during a
+    /// transaction and rolled back must leave the detector exactly where
+    /// the oracle (which never saw the aborted suffix) stands.
+    #[test]
+    fn chronicle_parity_survives_aborted_transactions(
+        shape in arb_shape(),
+        committed in prop::collection::vec(0usize..METHODS.len(), 0..20),
+        aborted in prop::collection::vec(0usize..METHODS.len(), 1..10),
+        resumed in prop::collection::vec(0usize..METHODS.len(), 0..20),
+    ) {
+        let reg = registry();
+        let expr = shape.to_expr();
+        let mut det = DetectorInstance::compile(
+            &expr,
+            &reg,
+            ParamContext::Chronicle,
+            DetectorCaps::default(),
+        )
+        .unwrap();
+        let mut oracle = shape.to_node();
+        let mut at = 0u64;
+        for &m in &committed {
+            at += 1;
+            let mut got: Vec<Naive> =
+                det.process(&reg, &occ(&reg, at, METHODS[m])).iter().map(canon).collect();
+            let mut want = oracle.step(m, at);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+        // The aborted suffix is visible to the detector only.
+        det.begin_txn();
+        for &m in &aborted {
+            at += 1;
+            det.process(&reg, &occ(&reg, at, METHODS[m]));
+        }
+        det.abort_txn();
+        // Parity resumes as if the aborted events never happened. The
+        // clock does not rewind, so resumed stimuli keep fresh stamps.
+        for &m in &resumed {
+            at += 1;
+            let mut got: Vec<Naive> =
+                det.process(&reg, &occ(&reg, at, METHODS[m])).iter().map(canon).collect();
+            let mut want = oracle.step(m, at);
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want, "post-abort divergence for {:?}", shape);
+        }
+    }
+}

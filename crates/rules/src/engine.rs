@@ -13,7 +13,9 @@ use crate::conflict::{ConflictResolver, FifoResolver};
 use crate::coupling::CouplingMode;
 use crate::rule::{Rule, RuleDef, RuleId, RuleStats};
 use crate::subscription::SubscriptionManager;
-use sentinel_events::{DetectorCaps, PrimitiveOccurrence};
+use sentinel_events::{
+    DetectorCaps, PrimitiveOccurrence, TimeSource, TimerId, TimerRow, TimerWheel,
+};
 use sentinel_object::{ClassId, ClassRegistry, EventSym, ObjectError, Oid, Result};
 use sentinel_telemetry::{
     FiringCoupling, FiringId, FiringOutcome, FiringRecord, Stage, Telemetry, Timer,
@@ -198,6 +200,76 @@ fn push_unique(out: &mut Vec<RuleId>, list: Option<&Vec<RuleId>>) {
     }
 }
 
+/// Route one ready firing to its coupling destination — the immediate
+/// batch, the deferred queue, or the (bounded) detached queue. Shared by
+/// the occurrence path and the timer-drain path; takes the queues as
+/// disjoint field borrows because the caller holds a rule borrow.
+#[allow(clippy::too_many_arguments)]
+fn route_ready(
+    ready: ReadyFiring,
+    rule_name: &Arc<str>,
+    target: Oid,
+    at: u64,
+    immediate: &mut Vec<ReadyFiring>,
+    deferred: &mut Vec<ReadyFiring>,
+    detached: &mut std::collections::VecDeque<QueuedDetached>,
+    detached_cap: usize,
+    detached_policy: BackpressurePolicy,
+    stats: &EngineCounters,
+    telemetry: &Option<Arc<Telemetry>>,
+) {
+    let stage = match ready.coupling {
+        CouplingMode::Immediate => {
+            EngineCounters::bump(&stats.immediate);
+            immediate.push(ready);
+            Some(Stage::FiringImmediate)
+        }
+        CouplingMode::Deferred => {
+            EngineCounters::bump(&stats.deferred);
+            deferred.push(ready);
+            Some(Stage::FiringDeferred)
+        }
+        CouplingMode::Detached => {
+            if detached.len() >= detached_cap && detached_policy == BackpressurePolicy::Shed {
+                // Full queue, shed policy: drop the firing rather than
+                // grow without bound — but leave a lineage record, so
+                // cascade trees show the shed firing instead of a
+                // silent gap.
+                EngineCounters::bump(&stats.detached_shed);
+                if let Some(tel) = telemetry {
+                    let lin = ready.firing.lineage;
+                    let end = ready.firing.occurrence.end;
+                    tel.record_firing(|| FiringRecord {
+                        id: FiringId(lin.id),
+                        rule: rule_name.to_string(),
+                        target: target.0,
+                        coupling: FiringCoupling::Detached,
+                        parent: lin.parent.map(FiringId),
+                        root_occurrence: lin.root,
+                        occurrence: end,
+                        depth: lin.depth,
+                        latency_ns: 0,
+                        outcome: FiringOutcome::Shed,
+                        lane: Default::default(),
+                    });
+                }
+                None
+            } else {
+                EngineCounters::bump(&stats.detached);
+                detached.push_back(QueuedDetached {
+                    ready,
+                    queued: std::time::Instant::now(),
+                });
+                Some(Stage::FiringDetached)
+            }
+        }
+    };
+    if let (Some(tel), Some(stage)) = (telemetry, stage) {
+        // Lazy: the closure runs only when tracing is on.
+        tel.hit(stage, at, || rule_name.to_string());
+    }
+}
+
 /// Detection and scheduling for a set of first-class rules.
 pub struct RuleEngine {
     rules: HashMap<RuleId, Rule>,
@@ -245,6 +317,16 @@ pub struct RuleEngine {
     /// compiles a conflict matrix. Rules absent from the map are not
     /// known to be parallel-safe; their firings carry `group: None`.
     conflict_tags: Option<Arc<HashMap<RuleId, u32>>>,
+    /// Due-time scheduling for the temporal operators: each timer-bearing
+    /// rule's `at`/`every` leaves are registered here when the rule is
+    /// added or enabled, and the database drains due fires at dispatch
+    /// and deferred-round boundaries.
+    timers: TimerWheel,
+    /// Routes a fire back to its consumer: `TimerId → (rule, leaf idx)`.
+    timer_routes: HashMap<TimerId, (RuleId, usize)>,
+    /// Time source handed to every rule's detector (window/aggregate
+    /// nodes stamp arrivals with its instant axis).
+    time: Option<Arc<TimeSource>>,
 }
 
 impl std::fmt::Debug for RuleEngine {
@@ -289,7 +371,19 @@ impl RuleEngine {
             telemetry: None,
             lineage_ctx: None,
             conflict_tags: None,
+            timers: TimerWheel::new(),
+            timer_routes: HashMap::new(),
+            time: None,
         }
+    }
+
+    /// Install the time source: every existing rule's detector (and
+    /// every rule added later) reads window instants from it.
+    pub fn set_time_source(&mut self, time: Arc<TimeSource>) {
+        for rule in self.rules.values_mut() {
+            rule.detector.set_time_source(time.clone());
+        }
+        self.time = Some(time);
     }
 
     /// Install (or clear) the conflict-group tags stamped onto firings
@@ -433,13 +527,70 @@ impl RuleEngine {
         if let Some(tel) = &self.telemetry {
             rule.detector.set_telemetry(tel.clone(), name.as_str());
         }
+        if let Some(time) = &self.time {
+            rule.detector.set_time_source(time.clone());
+        }
         self.rules.insert(id, rule);
         self.by_name.insert(name, id);
         if !oid.is_nil() {
             self.by_oid.insert(oid, id);
         }
+        self.schedule_rule_timers(id);
         self.epoch += 1;
         Ok(id)
+    }
+
+    /// Register a rule's `at`/`every` leaves on the timer wheel. Periodic
+    /// timers start at the first period boundary after the present
+    /// instant (the time source's, falling back to the wheel's cursor),
+    /// so a rule added late doesn't replay every elapsed period.
+    fn schedule_rule_timers(&mut self, id: RuleId) {
+        let Some(rule) = self.rules.get(&id) else {
+            return;
+        };
+        let specs = rule.def.event.timer_specs();
+        let now = self
+            .time
+            .as_ref()
+            .map(|t| t.instant_now())
+            .unwrap_or(0)
+            .max(self.timers.cursor());
+        for (idx, (due, period)) in specs.into_iter().enumerate() {
+            let (due, label): (u64, Arc<str>) = match period {
+                Some(p) => {
+                    let p = p.max(1);
+                    ((now / p + 1) * p, format!("every({p})").into())
+                }
+                None => (due, format!("at({due})").into()),
+            };
+            let tid = self.timers.schedule(due, period, id.0, label);
+            self.timer_routes.insert(tid, (id, idx));
+        }
+    }
+
+    fn cancel_rule_timers(&mut self, id: RuleId) {
+        self.timers.cancel_owner(id.0);
+        self.timer_routes.retain(|_, (r, _)| *r != id);
+    }
+
+    /// Re-align every enabled rule's timers to `now` without firing the
+    /// elapsed boundaries. Recovery calls this after rebuilding the
+    /// catalog: downtime is not replayed — periodic timers resume at the
+    /// first boundary after `now`, and one-shot timers already past
+    /// catch up on the next drain.
+    pub fn reset_timers_to(&mut self, now: u64) {
+        let ids: Vec<RuleId> = self.rules.keys().copied().collect();
+        for id in &ids {
+            self.cancel_rule_timers(*id);
+        }
+        // The wheel is empty; advancing just moves the cursor so the
+        // re-registration below aligns periods to the present.
+        let _ = self.timers.advance(now);
+        for id in ids {
+            if self.rules.get(&id).is_some_and(|r| r.enabled) {
+                self.schedule_rule_timers(id);
+            }
+        }
     }
 
     /// Delete a rule and all its subscriptions.
@@ -453,6 +604,7 @@ impl RuleEngine {
             self.by_oid.remove(&rule.oid);
         }
         self.subscriptions.remove_rule(id);
+        self.cancel_rule_timers(id);
         self.epoch += 1;
         Ok(rule.def)
     }
@@ -495,19 +647,25 @@ impl RuleEngine {
         self.rules.len()
     }
 
-    /// Enable a rule. (Figure 7's `Enable` method.)
+    /// Enable a rule. (Figure 7's `Enable` method.) Re-registers the
+    /// rule's timers (if it was disabled they were cancelled).
     pub fn enable(&mut self, id: RuleId) -> Result<()> {
-        self.rule_mut(id)?.enabled = true;
+        let r = self.rule_mut(id)?;
+        let was_enabled = std::mem::replace(&mut r.enabled, true);
+        if !was_enabled {
+            self.schedule_rule_timers(id);
+        }
         self.epoch += 1;
         Ok(())
     }
 
-    /// Disable a rule: it stops receiving and recording events, and its
-    /// partial detector state is discarded.
+    /// Disable a rule: it stops receiving and recording events, its
+    /// partial detector state is discarded, and its timers stop firing.
     pub fn disable(&mut self, id: RuleId) -> Result<()> {
         let r = self.rule_mut(id)?;
         r.enabled = false;
         r.detector.reset();
+        self.cancel_rule_timers(id);
         self.epoch += 1;
         Ok(())
     }
@@ -697,60 +855,19 @@ impl RuleEngine {
                         .as_ref()
                         .and_then(|t| t.get(&rid).copied()),
                 };
-                let stage = match rule.def.coupling {
-                    CouplingMode::Immediate => {
-                        EngineCounters::bump(&self.stats.immediate);
-                        immediate.push(ready);
-                        Some(Stage::FiringImmediate)
-                    }
-                    CouplingMode::Deferred => {
-                        EngineCounters::bump(&self.stats.deferred);
-                        self.deferred.push(ready);
-                        Some(Stage::FiringDeferred)
-                    }
-                    CouplingMode::Detached => {
-                        if self.detached.len() >= self.detached_cap
-                            && self.detached_policy == BackpressurePolicy::Shed
-                        {
-                            // Full queue, shed policy: drop the firing
-                            // rather than grow without bound — but leave
-                            // a lineage record, so cascade trees show
-                            // the shed firing instead of a silent gap.
-                            EngineCounters::bump(&self.stats.detached_shed);
-                            if let Some(tel) = &self.telemetry {
-                                let name = &rule.name;
-                                let lin = ready.firing.lineage;
-                                let end = ready.firing.occurrence.end;
-                                tel.record_firing(|| FiringRecord {
-                                    id: FiringId(lin.id),
-                                    rule: name.to_string(),
-                                    target: occ.oid.0,
-                                    coupling: FiringCoupling::Detached,
-                                    parent: lin.parent.map(FiringId),
-                                    root_occurrence: lin.root,
-                                    occurrence: end,
-                                    depth: lin.depth,
-                                    latency_ns: 0,
-                                    outcome: FiringOutcome::Shed,
-                                    lane: Default::default(),
-                                });
-                            }
-                            None
-                        } else {
-                            EngineCounters::bump(&self.stats.detached);
-                            self.detached.push_back(QueuedDetached {
-                                ready,
-                                queued: std::time::Instant::now(),
-                            });
-                            Some(Stage::FiringDetached)
-                        }
-                    }
-                };
-                if let (Some(tel), Some(stage)) = (&self.telemetry, stage) {
-                    // Lazy: the closure runs only when tracing is on.
-                    let name = &rule.name;
-                    tel.hit(stage, occ.at, || name.to_string());
-                }
+                route_ready(
+                    ready,
+                    &rule.name,
+                    occ.oid,
+                    occ.at,
+                    &mut immediate,
+                    &mut self.deferred,
+                    &mut self.detached,
+                    self.detached_cap,
+                    self.detached_policy,
+                    &self.stats,
+                    &self.telemetry,
+                );
             }
         }
         consumers.clear();
@@ -762,6 +879,161 @@ impl RuleEngine {
             });
         }
         Ok(immediate)
+    }
+
+    /// Advance the timer wheel to instant `now` and deliver every due
+    /// fire to its owning rule's detector, returning the **immediate**
+    /// firings in execution order (deferred/detached firings queue as
+    /// usual). Each delivery consumes one sequence number from
+    /// `next_seq`, so timer occurrences are totally ordered against
+    /// primitive occurrences.
+    pub fn drain_timers(
+        &mut self,
+        registry: &ClassRegistry,
+        now: u64,
+        mut next_seq: impl FnMut() -> u64,
+    ) -> Result<Vec<ReadyFiring>> {
+        if self.timers.is_empty() {
+            // Keep the cursor tracking `now` even with nothing scheduled,
+            // so timers registered later (a rule enabled mid-run) align
+            // to the present rather than replaying from instant 0.
+            self.timers.advance(now);
+            return Ok(Vec::new());
+        }
+        let drain_timer = match &self.telemetry {
+            Some(t) => t.timer(),
+            None => Timer::off(),
+        };
+        let fires = self.timers.advance(now);
+        if fires.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_fires = fires.len();
+        let bodies_version = self.bodies.version();
+        let history_on = self.telemetry.as_ref().is_some_and(|t| t.is_history());
+        let mut immediate = Vec::new();
+        for fire in fires {
+            let Some(&(rid, idx)) = self.timer_routes.get(&fire.id) else {
+                continue; // stale fire of a removed rule
+            };
+            if fire.period.is_none() {
+                self.timer_routes.remove(&fire.id);
+            }
+            let Some(rule) = self.rules.get_mut(&rid) else {
+                continue;
+            };
+            if !rule.enabled {
+                continue;
+            }
+            EngineCounters::bump(&self.stats.notifications);
+            rule.stats.notifications += 1;
+            if let Some(cap) = self.capture.as_mut() {
+                if cap.insert(rid) {
+                    rule.detector.begin_txn();
+                }
+            }
+            let seq = next_seq();
+            let completions = rule.detector.process_timer(registry, idx, fire.due, seq);
+            if completions.is_empty() {
+                continue;
+            }
+            rule.stats.triggered += completions.len() as u64;
+            if rule.bodies_version != bodies_version
+                || rule.cached_condition.is_none()
+                || rule.cached_action.is_none()
+            {
+                rule.cached_condition = Some(self.bodies.condition(&rule.def.condition)?);
+                rule.cached_action = Some(self.bodies.action(&rule.def.action)?);
+                rule.bodies_version = bodies_version;
+            }
+            let condition = rule.cached_condition.as_ref().expect("resolved above");
+            let action = rule.cached_action.as_ref().expect("resolved above");
+            for occurrence in completions {
+                let lineage = if history_on {
+                    let tel = self.telemetry.as_ref().expect("history implies telemetry");
+                    let id = tel.next_firing_id();
+                    match self.lineage_ctx {
+                        Some((parent, root, parent_depth)) => Lineage {
+                            id,
+                            parent: Some(parent),
+                            root,
+                            depth: parent_depth + 1,
+                        },
+                        None => Lineage {
+                            id,
+                            parent: None,
+                            root: occurrence.end,
+                            depth: 0,
+                        },
+                    }
+                } else {
+                    Lineage::default()
+                };
+                let ready = ReadyFiring {
+                    priority: rule.def.priority,
+                    coupling: rule.def.coupling,
+                    condition: condition.clone(),
+                    action: action.clone(),
+                    firing: Firing {
+                        rule: rid,
+                        rule_name: rule.name.clone(),
+                        occurrence,
+                        lineage,
+                    },
+                    group: self
+                        .conflict_tags
+                        .as_ref()
+                        .and_then(|t| t.get(&rid).copied()),
+                };
+                route_ready(
+                    ready,
+                    &rule.name,
+                    rule.oid,
+                    fire.due,
+                    &mut immediate,
+                    &mut self.deferred,
+                    &mut self.detached,
+                    self.detached_cap,
+                    self.detached_policy,
+                    &self.stats,
+                    &self.telemetry,
+                );
+            }
+        }
+        self.resolver.order(&mut immediate);
+        if let Some(tel) = &self.telemetry {
+            tel.observe_timer(Stage::TimerDrain, now, drain_timer, || {
+                format!("fires={n_fires}")
+            });
+        }
+        Ok(immediate)
+    }
+
+    /// The earliest due instant across all scheduled timers.
+    pub fn next_timer_due(&self) -> Option<u64> {
+        self.timers.next_due()
+    }
+
+    /// Number of scheduled timers.
+    pub fn timer_count(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Snapshot of every scheduled timer, with its owning rule's name
+    /// resolved — the `timers` meta relation.
+    pub fn timer_rows(&self) -> Vec<(TimerRow, Option<Arc<str>>)> {
+        self.timers
+            .rows()
+            .into_iter()
+            .map(|row| {
+                let name = self
+                    .timer_routes
+                    .get(&row.id)
+                    .and_then(|(rid, _)| self.rules.get(rid))
+                    .map(|r| r.name.clone());
+                (row, name)
+            })
+            .collect()
     }
 
     /// Drain the deferred queue (at commit), in execution order.
@@ -1230,6 +1502,107 @@ mod tests {
             assert_eq!(fired.len(), 1, "instance {oid}");
         }
         assert_eq!(eng.rule(r).unwrap().stats.triggered, 3);
+    }
+
+    #[test]
+    fn timer_rules_fire_from_the_drain_without_subscriptions() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng
+            .add_rule(
+                RuleDef::new("tick", EventExpr::every(10), ACTION_NOOP),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        assert_eq!(eng.timer_count(), 1);
+        let mut seq = 100u64;
+        let fired = eng
+            .drain_timers(&reg, 25, || {
+                seq += 1;
+                seq
+            })
+            .unwrap();
+        // Boundaries 10 and 20 elapsed: two firings, in due order.
+        assert_eq!(fired.len(), 2);
+        assert!(fired.iter().all(|f| f.firing.rule == r));
+        assert_eq!(fired[0].firing.occurrence.end, 101);
+        assert_eq!(fired[1].firing.occurrence.end, 102);
+        assert_eq!(eng.rule(r).unwrap().stats.triggered, 2);
+        // Nothing new due yet.
+        assert!(eng.drain_timers(&reg, 29, || 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disable_cancels_timers_and_enable_reschedules() {
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let r = eng
+            .add_rule(
+                RuleDef::new("tick", EventExpr::every(10), ACTION_NOOP),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        eng.disable(r).unwrap();
+        assert_eq!(eng.timer_count(), 0);
+        assert!(eng.drain_timers(&reg, 50, || 1).unwrap().is_empty());
+        // Re-enabling schedules at the next boundary after the cursor —
+        // the elapsed periods are not replayed.
+        eng.enable(r).unwrap();
+        assert_eq!(eng.timer_count(), 1);
+        let mut seq = 0u64;
+        let fired = eng
+            .drain_timers(&reg, 60, || {
+                seq += 1;
+                seq
+            })
+            .unwrap();
+        assert_eq!(fired.len(), 1);
+        let rows = eng.timer_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.as_deref(), Some("tick"));
+        assert_eq!(rows[0].0.due, 70);
+    }
+
+    #[test]
+    fn timer_fires_in_aborted_transactions_roll_back() {
+        // An `m ; every(10)` rule under Chronicle: a tick consumed the
+        // buffered left inside a transaction that aborts — the left must
+        // be re-armed for the next tick.
+        let reg = registry();
+        let mut eng = RuleEngine::new();
+        let e = EventExpr::primitive(PrimitiveEventSpec::end("Stock", "SetPrice"))
+            .then(EventExpr::every(10));
+        let r = eng
+            .add_rule(
+                RuleDef::new("windowed", e, ACTION_NOOP)
+                    .consume(sentinel_events::ParamContext::Chronicle),
+                Oid::NIL,
+                &reg,
+            )
+            .unwrap();
+        eng.subscriptions.subscribe_object(Oid(1), r);
+        eng.on_occurrence(&reg, &occ(&reg, 1, 1, "Stock", "SetPrice"))
+            .unwrap();
+        eng.begin_capture();
+        let mut seq = 1u64;
+        let fired = eng
+            .drain_timers(&reg, 10, || {
+                seq += 1;
+                seq
+            })
+            .unwrap();
+        assert_eq!(fired.len(), 1);
+        eng.discard_pending();
+        eng.abort_capture();
+        let fired = eng
+            .drain_timers(&reg, 20, || {
+                seq += 1;
+                seq
+            })
+            .unwrap();
+        assert_eq!(fired.len(), 1, "left re-armed after abort");
     }
 
     #[test]

@@ -83,6 +83,14 @@ impl RuleDef {
         self
     }
 
+    /// Select the event-consumption policy — an alias for
+    /// [`context`](Self::context) in the vocabulary of the temporal
+    /// operators ("how are constituent occurrences consumed by a
+    /// detection?").
+    pub fn consume(self, ctx: ParamContext) -> Self {
+        self.context(ctx)
+    }
+
     /// Start a fluent builder from the triggering event, reading in ECA
     /// order:
     ///
@@ -153,6 +161,12 @@ impl RuleBuilder {
     pub fn context(mut self, ctx: ParamContext) -> Self {
         self.def.context = ctx;
         self
+    }
+
+    /// Select the event-consumption policy (alias for
+    /// [`context`](Self::context)).
+    pub fn consume(self, ctx: ParamContext) -> Self {
+        self.context(ctx)
     }
 
     /// Finish, yielding the [`RuleDef`].

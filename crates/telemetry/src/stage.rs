@@ -69,11 +69,14 @@ pub enum Stage {
     /// A conflict group dispatched to the worker pool (value = number
     /// of firings in the group — a group-size distribution).
     SchedulerGroup,
+    /// A drain of due timers from the timer wheel (latency covers the
+    /// detector deliveries and scheduling for every fire in the drain).
+    TimerDrain,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 22;
 
     /// All stages, in pipeline order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -98,6 +101,7 @@ impl Stage {
         Stage::LineageRecord,
         Stage::SchedulerWait,
         Stage::SchedulerGroup,
+        Stage::TimerDrain,
     ];
 
     /// Dense index, for per-stage storage.
@@ -129,6 +133,7 @@ impl Stage {
             Stage::LineageRecord => "lineage_record",
             Stage::SchedulerWait => "scheduler_wait",
             Stage::SchedulerGroup => "scheduler_group",
+            Stage::TimerDrain => "timer_drain",
         }
     }
 

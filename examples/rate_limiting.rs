@@ -1,0 +1,126 @@
+//! Rate limiting — windowed aggregation and periodic timers as ECA
+//! rules, on a virtual clock.
+//!
+//! An API gateway throttles clients that burst: **≥ 3 calls inside any
+//! sliding 100-instant window** trips the limiter for that client, and
+//! a **periodic sweep** (`every 250`) lifts throttles again, so a
+//! client that calms down regains service without any imperative
+//! bookkeeping. Time is virtual — the example *is* its own clock, via
+//! `Database::advance_time` — so every run is deterministic.
+//!
+//! Run with: `cargo run --example rate_limiting`
+
+use sentinel::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual))?;
+
+    // --- Schema ---------------------------------------------------------
+    db.define_class(
+        ClassDecl::reactive("Client")
+            .attr("name", TypeTag::Str)
+            .attr("calls", TypeTag::Int)
+            .attr("throttled", TypeTag::Bool)
+            .event_method("Call", &[], EventSpec::End),
+    )?;
+    db.register_method("Client", "Call", |w, this, _| {
+        let n = w.get_attr(this, "calls")?.as_int()?;
+        w.set_attr(this, "calls", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })?;
+
+    // --- Rules ----------------------------------------------------------
+    // Throttle: >= 3 calls of one client inside a sliding 100-instant
+    // window. The aggregate is latched — one breach fires once, not on
+    // every further call in the same window.
+    db.register(
+        ActionDef::new("throttle")
+            .writes(("Client", "throttled"))
+            .body(|w, f| {
+                let o = f.occurrence.constituents[0].oid;
+                println!("  !! throttling {}", w.get_attr(o, "name")?);
+                w.set_attr(o, "throttled", Value::Bool(true))
+            }),
+    )?;
+    db.add_class_rule(
+        "Client",
+        RuleDef::new(
+            "RateLimit",
+            event("end Client::Call()")?.count_within(100, 3),
+            "throttle",
+        ),
+    )?;
+
+    // Recovery sweep: every 250 virtual instants, clear all throttles.
+    // The timer rule needs no subscription — the wheel delivers it.
+    db.register(
+        ActionDef::new("lift-throttles")
+            .writes(("Client", "throttled"))
+            .body(|w, _f| {
+                for c in w.extent("Client")? {
+                    if w.get_attr(c, "throttled")? == Value::Bool(true) {
+                        println!("  .. lifting throttle on {}", w.get_attr(c, "name")?);
+                        w.set_attr(c, "throttled", Value::Bool(false))?;
+                    }
+                }
+                Ok(())
+            }),
+    )?;
+    db.add_rule(RuleDef::new(
+        "ThrottleSweep",
+        EventExpr::every(250),
+        "lift-throttles",
+    ))?;
+
+    // --- Static analysis gate -------------------------------------------
+    let report = db.analyze();
+    println!("analysis: {}", report.summary());
+    println!("{}", report.termination.render_table());
+    report.gate()?;
+
+    // The pending timer is first-class state: query the wheel.
+    println!("{}", db.meta_relation("timers")?.render());
+
+    // --- Drive it --------------------------------------------------------
+    let alice = db.create_with("Client", &[("name", "alice".into())])?;
+    let bob = db.create_with("Client", &[("name", "bob".into())])?;
+
+    // Alice bursts three calls back to back; Bob spreads his three out
+    // so no 100-instant window ever holds more than two of them.
+    println!("t={}: alice bursts, bob paces", db.now_instant());
+    db.send(alice, "Call", &[])?;
+    db.send(alice, "Call", &[])?;
+    db.send(alice, "Call", &[])?;
+    for _ in 0..3 {
+        db.send(bob, "Call", &[])?;
+        db.advance_time(60)?;
+    }
+    assert_eq!(db.get_attr(alice, "throttled")?, Value::Bool(true));
+    assert_eq!(db.get_attr(bob, "throttled")?, Value::Bool(false));
+    println!(
+        "t={}: alice throttled={}, bob throttled={}",
+        db.now_instant(),
+        db.get_attr(alice, "throttled")?,
+        db.get_attr(bob, "throttled")?
+    );
+
+    // The sweep boundary at t=250 lifts Alice's throttle.
+    db.advance_time(250 - db.now_instant())?;
+    assert_eq!(db.get_attr(alice, "throttled")?, Value::Bool(false));
+    println!("t={}: sweep has lifted all throttles", db.now_instant());
+
+    // A fresh burst after the quiet period trips the limiter again —
+    // the aggregate latch re-armed when the old window drained.
+    db.send(alice, "Call", &[])?;
+    db.send(alice, "Call", &[])?;
+    db.send(alice, "Call", &[])?;
+    assert_eq!(db.get_attr(alice, "throttled")?, Value::Bool(true));
+    println!("t={}: alice throttled again", db.now_instant());
+
+    let s = db.stats();
+    println!(
+        "stats: {} sends, {} events, {} actions",
+        s.sends, s.events_generated, s.actions_run
+    );
+    Ok(())
+}

@@ -1,0 +1,459 @@
+//! Virtual-clock integration tests for the temporal detection core:
+//! periodic and one-shot timers, sliding/tumbling windows, and windowed
+//! aggregation, driven end to end through the database facade under
+//! `TimeMode::Virtual`. Time only moves when the test calls
+//! [`Database::advance_time`] — no sleeps, no wall-clock reads — so
+//! every scenario is deterministic.
+
+use sentinel::prelude::*;
+
+/// A counter class plus a `bump` action that increments the sole
+/// instance's `n` — the standard probe for "did the rule fire".
+fn counter_db() -> (Database, Oid) {
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual)).unwrap();
+    db.define_class(ClassDecl::new("Tally").attr("n", TypeTag::Int))
+        .unwrap();
+    let tally = db.create("Tally").unwrap();
+    db.register_action("bump", move |w, _f| {
+        let n = w.get_attr(tally, "n")?.as_int()?;
+        w.set_attr(tally, "n", Value::Int(n + 1))
+    });
+    (db, tally)
+}
+
+fn count(db: &Database, tally: Oid) -> i64 {
+    db.get_attr(tally, "n").unwrap().as_int().unwrap()
+}
+
+#[test]
+fn every_timer_fires_once_per_elapsed_boundary() {
+    let (mut db, tally) = counter_db();
+    db.add_rule(RuleDef::new("Tick", EventExpr::every(100), "bump"))
+        .unwrap();
+
+    // Virtual time starts at 0; nothing is due.
+    assert_eq!(db.now_instant(), 0);
+    assert_eq!(count(&db, tally), 0);
+
+    // Crossing boundaries 100 and 200 fires twice, in one advance.
+    assert_eq!(db.advance_time(250).unwrap(), 250);
+    assert_eq!(count(&db, tally), 2);
+
+    // 250 -> 300 crosses exactly one more boundary.
+    db.advance_time(50).unwrap();
+    assert_eq!(count(&db, tally), 3);
+
+    // Time standing still fires nothing.
+    db.advance_time(0).unwrap();
+    assert_eq!(count(&db, tally), 3);
+}
+
+#[test]
+fn at_timer_fires_exactly_once() {
+    let (mut db, tally) = counter_db();
+    db.add_rule(RuleDef::new("Alarm", EventExpr::at(100), "bump"))
+        .unwrap();
+    db.advance_time(99).unwrap();
+    assert_eq!(count(&db, tally), 0);
+    db.advance_time(1).unwrap();
+    assert_eq!(count(&db, tally), 1);
+    // One-shot: long after the due instant, still exactly one firing.
+    db.advance_time(1000).unwrap();
+    assert_eq!(count(&db, tally), 1);
+}
+
+#[test]
+fn timers_meta_relation_lists_pending_wheel_entries() {
+    let (mut db, _tally) = counter_db();
+    db.add_rule(RuleDef::new("Tick", EventExpr::every(100), "bump"))
+        .unwrap();
+    let rel = db.meta_relation("timers").unwrap();
+    assert_eq!(rel.len(), 1);
+    let row = &rel.rows()[0];
+    assert_eq!(row[1], Value::Str("Tick".into()));
+    assert_eq!(row[2], Value::Int(100)); // due
+    assert_eq!(row[3], Value::Int(100)); // period
+    assert_eq!(row[4], Value::Str("every(100)".into()));
+
+    // After an advance the periodic entry is rescheduled, not consumed.
+    db.advance_time(150).unwrap();
+    let rel = db.meta_relation("timers").unwrap();
+    assert_eq!(rel.len(), 1);
+    assert_eq!(rel.rows()[0][2], Value::Int(200));
+
+    // Removing the rule clears its wheel entry.
+    db.remove_rule("Tick").unwrap();
+    assert!(db.meta_relation("timers").unwrap().is_empty());
+}
+
+/// An API-gateway class whose `Call` end event feeds the rate limiter.
+fn api_db() -> (Database, Oid) {
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual)).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Api")
+            .attr("calls", TypeTag::Int)
+            .attr("throttled", TypeTag::Bool)
+            .event_method("Call", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Api", "Call", |w, this, _| {
+        let n = w.get_attr(this, "calls")?.as_int()?;
+        w.set_attr(this, "calls", Value::Int(n + 1))?;
+        Ok(Value::Null)
+    })
+    .unwrap();
+    db.register_action("throttle", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        w.set_attr(o, "throttled", Value::Bool(true))
+    });
+    let api = db.create("Api").unwrap();
+    (db, api)
+}
+
+fn throttled(db: &Database, api: Oid) -> bool {
+    db.get_attr(api, "throttled").unwrap() == Value::Bool(true)
+}
+
+#[test]
+fn rate_limit_aggregate_throttles_bursts_but_not_spread_traffic() {
+    // >= 3 calls inside any sliding 100-instant window => throttle.
+    let (mut db, api) = api_db();
+    let e = event("end Api::Call()").unwrap().count_within(100, 3);
+    db.add_class_rule("Api", RuleDef::new("RateLimit", e, "throttle"))
+        .unwrap();
+
+    // Two calls in the window: under the limit.
+    db.send(api, "Call", &[]).unwrap();
+    db.send(api, "Call", &[]).unwrap();
+    assert!(!throttled(&db, api));
+
+    // Third call in the same window crosses the threshold.
+    db.send(api, "Call", &[]).unwrap();
+    assert!(throttled(&db, api));
+
+    // Same traffic spread out never accumulates three in one window.
+    db.set_attr(api, "throttled", Value::Bool(false)).unwrap();
+    for _ in 0..4 {
+        db.advance_time(150).unwrap();
+        db.send(api, "Call", &[]).unwrap();
+        assert!(!throttled(&db, api));
+    }
+
+    // A fresh burst after the quiet period still trips the limiter.
+    db.send(api, "Call", &[]).unwrap();
+    db.send(api, "Call", &[]).unwrap();
+    assert!(throttled(&db, api));
+}
+
+#[test]
+fn aggregate_latch_fires_once_per_breach_not_per_arrival() {
+    let (mut db, api) = api_db();
+    // Count firings instead of setting a flag, to observe the latch.
+    db.define_class(ClassDecl::new("Tally").attr("n", TypeTag::Int))
+        .unwrap();
+    let tally = db.create("Tally").unwrap();
+    db.register_action("bump", move |w, _f| {
+        let n = w.get_attr(tally, "n")?.as_int()?;
+        w.set_attr(tally, "n", Value::Int(n + 1))
+    });
+    let e = event("end Api::Call()").unwrap().count_within(100, 3);
+    db.add_class_rule("Api", RuleDef::new("RateLimit", e, "bump"))
+        .unwrap();
+
+    // Six calls in one window: one breach, one firing.
+    for _ in 0..6 {
+        db.send(api, "Call", &[]).unwrap();
+    }
+    assert_eq!(count(&db, tally), 1);
+
+    // Window drains, latch re-arms; the next burst fires again.
+    db.advance_time(200).unwrap();
+    for _ in 0..3 {
+        db.send(api, "Call", &[]).unwrap();
+    }
+    assert_eq!(count(&db, tally), 2);
+}
+
+#[test]
+fn sla_monitor_escalates_while_work_is_pending() {
+    // The classic SLA shape: a periodic sweep whose condition inspects
+    // database state, escalating once per elapsed period while any
+    // ticket stays pending.
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual)).unwrap();
+    db.define_class(
+        ClassDecl::new("Ticket")
+            .attr("pending", TypeTag::Bool)
+            .attr("escalations", TypeTag::Int),
+    )
+    .unwrap();
+    let ticket = db
+        .create_with("Ticket", &[("pending", true.into())])
+        .unwrap();
+    db.register_condition("still-pending", move |w, _f| {
+        Ok(w.get_attr(ticket, "pending")? == Value::Bool(true))
+    });
+    db.register_action("escalate", move |w, _f| {
+        let n = w.get_attr(ticket, "escalations")?.as_int()?;
+        w.set_attr(ticket, "escalations", Value::Int(n + 1))
+    });
+    db.add_rule(
+        RuleDef::new("SlaSweep", EventExpr::every(50), "escalate").condition("still-pending"),
+    )
+    .unwrap();
+
+    // Three sweep boundaries elapse with the ticket pending.
+    db.advance_time(150).unwrap();
+    assert_eq!(db.get_attr(ticket, "escalations").unwrap(), Value::Int(3));
+
+    // Resolving the ticket silences the sweep (condition goes false).
+    db.set_attr(ticket, "pending", Value::Bool(false)).unwrap();
+    db.advance_time(200).unwrap();
+    assert_eq!(db.get_attr(ticket, "escalations").unwrap(), Value::Int(3));
+}
+
+#[test]
+fn sliding_window_scopes_sequence_pairing_on_the_instant_axis() {
+    // Warm then Hot counts as an incident only when both land inside
+    // one 50-instant sliding window.
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual)).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Sensor")
+            .attr("incidents", TypeTag::Int)
+            .event_method("Warm", &[], EventSpec::End)
+            .event_method("Hot", &[], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Sensor", "Warm", |_w, _this, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("Sensor", "Hot", |_w, _this, _| Ok(Value::Null))
+        .unwrap();
+    db.register_action("incident", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        let n = w.get_attr(o, "incidents")?.as_int()?;
+        w.set_attr(o, "incidents", Value::Int(n + 1))
+    });
+    let e = event("end Sensor::Warm()")
+        .unwrap()
+        .then(event("end Sensor::Hot()").unwrap())
+        .sliding_window(50);
+    db.add_class_rule("Sensor", RuleDef::new("Incident", e, "incident"))
+        .unwrap();
+    let s = db.create("Sensor").unwrap();
+
+    // Stale pairing: Warm leaves the window before Hot arrives.
+    db.send(s, "Warm", &[]).unwrap();
+    db.advance_time(100).unwrap();
+    db.send(s, "Hot", &[]).unwrap();
+    assert_eq!(db.get_attr(s, "incidents").unwrap(), Value::Int(0));
+
+    // Tight pairing inside one window fires.
+    db.send(s, "Warm", &[]).unwrap();
+    db.advance_time(10).unwrap();
+    db.send(s, "Hot", &[]).unwrap();
+    assert_eq!(db.get_attr(s, "incidents").unwrap(), Value::Int(1));
+}
+
+#[test]
+fn sum_aggregate_tracks_parameter_totals_per_window() {
+    // Withdrawals summing past 1000 inside a 100-instant window.
+    let mut db = Database::with_config(DbConfig::in_memory().time_mode(TimeMode::Virtual)).unwrap();
+    db.define_class(
+        ClassDecl::reactive("Account")
+            .attr("flagged", TypeTag::Bool)
+            .event_method("Withdraw", &[("amount", TypeTag::Int)], EventSpec::End),
+    )
+    .unwrap();
+    db.register_method("Account", "Withdraw", |_w, _this, _| Ok(Value::Null))
+        .unwrap();
+    db.register_action("flag", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        w.set_attr(o, "flagged", Value::Bool(true))
+    });
+    let e = event("end Account::Withdraw(int amount)")
+        .unwrap()
+        .sum_within(100, 0, 1000);
+    db.add_class_rule("Account", RuleDef::new("LargeOutflow", e, "flag"))
+        .unwrap();
+    let acct = db.create("Account").unwrap();
+
+    db.send(acct, "Withdraw", &[Value::Int(400)]).unwrap();
+    db.send(acct, "Withdraw", &[Value::Int(500)]).unwrap();
+    assert_eq!(db.get_attr(acct, "flagged").unwrap(), Value::Bool(false));
+
+    // The two earlier withdrawals age out; this one alone is small.
+    db.advance_time(150).unwrap();
+    db.send(acct, "Withdraw", &[Value::Int(300)]).unwrap();
+    assert_eq!(db.get_attr(acct, "flagged").unwrap(), Value::Bool(false));
+
+    // Crossing the threshold inside one window flags the account.
+    db.send(acct, "Withdraw", &[Value::Int(800)]).unwrap();
+    assert_eq!(db.get_attr(acct, "flagged").unwrap(), Value::Bool(true));
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinel-temporal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The durable half of the temporal story: a checkpoint taken halfway
+/// through a composite detection persists the detector's partial state
+/// and the virtual instant, and recovery resumes the sequence instead
+/// of forgetting the armed operand.
+#[test]
+fn checkpoint_mid_sequence_recovers_the_armed_operand() {
+    let dir = tmpdir("midseq");
+    let sensor;
+    {
+        let mut db =
+            Database::with_config(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+        db.define_class(
+            ClassDecl::reactive("Sensor")
+                .attr("incidents", TypeTag::Int)
+                .event_method("Warm", &[], EventSpec::End)
+                .event_method("Hot", &[], EventSpec::End),
+        )
+        .unwrap();
+        db.register_method("Sensor", "Warm", |_, _, _| Ok(Value::Null))
+            .unwrap();
+        db.register_method("Sensor", "Hot", |_, _, _| Ok(Value::Null))
+            .unwrap();
+        db.register_action("incident", |w, f| {
+            let o = f.occurrence.constituents[0].oid;
+            let n = w.get_attr(o, "incidents")?.as_int()?;
+            w.set_attr(o, "incidents", Value::Int(n + 1))
+        });
+        db.add_class_rule(
+            "Sensor",
+            RuleDef::new(
+                "Incident",
+                event("end Sensor::Warm()")
+                    .unwrap()
+                    .then(event("end Sensor::Hot()").unwrap()),
+                "incident",
+            ),
+        )
+        .unwrap();
+        sensor = db.create("Sensor").unwrap();
+        db.advance_time(70).unwrap();
+        db.send(sensor, "Warm", &[]).unwrap(); // arms the sequence
+        db.checkpoint().unwrap();
+    } // crash: the process state is gone
+
+    let mut db = Database::recover(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+    db.register_method("Sensor", "Warm", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_method("Sensor", "Hot", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_action("incident", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        let n = w.get_attr(o, "incidents")?.as_int()?;
+        w.set_attr(o, "incidents", Value::Int(n + 1))
+    });
+
+    // The virtual instant survived the restart.
+    assert_eq!(db.now_instant(), 70);
+    // The armed Warm survived: Hot alone completes the sequence.
+    db.send(sensor, "Hot", &[]).unwrap();
+    assert_eq!(db.get_attr(sensor, "incidents").unwrap(), Value::Int(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A mid-window checkpoint keeps the aggregate's buffered arrivals: the
+/// recovered limiter trips on the first post-restart call rather than
+/// restarting its count from zero.
+#[test]
+fn checkpoint_mid_window_recovers_the_aggregate_count() {
+    let dir = tmpdir("midwin");
+    let api;
+    {
+        let mut db =
+            Database::with_config(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+        db.define_class(
+            ClassDecl::reactive("Api")
+                .attr("throttled", TypeTag::Bool)
+                .event_method("Call", &[], EventSpec::End),
+        )
+        .unwrap();
+        db.register_method("Api", "Call", |_, _, _| Ok(Value::Null))
+            .unwrap();
+        db.register_action("throttle", |w, f| {
+            let o = f.occurrence.constituents[0].oid;
+            w.set_attr(o, "throttled", Value::Bool(true))
+        });
+        let e = event("end Api::Call()").unwrap().count_within(100, 3);
+        db.add_class_rule("Api", RuleDef::new("RateLimit", e, "throttle"))
+            .unwrap();
+        api = db.create("Api").unwrap();
+        db.send(api, "Call", &[]).unwrap();
+        db.send(api, "Call", &[]).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    let mut db = Database::recover(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+    db.register_method("Api", "Call", |_, _, _| Ok(Value::Null))
+        .unwrap();
+    db.register_action("throttle", |w, f| {
+        let o = f.occurrence.constituents[0].oid;
+        w.set_attr(o, "throttled", Value::Bool(true))
+    });
+    assert_eq!(db.get_attr(api, "throttled").unwrap(), Value::Bool(false));
+    // Two buffered arrivals recovered: the third call trips the limit.
+    db.send(api, "Call", &[]).unwrap();
+    assert_eq!(db.get_attr(api, "throttled").unwrap(), Value::Bool(true));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery re-aligns `every` timers to the recovered instant: downtime
+/// is not replayed as a burst of elapsed boundaries.
+#[test]
+fn recovery_does_not_replay_downtime_as_timer_fires() {
+    let dir = tmpdir("downtime");
+    let tally;
+    {
+        let mut db =
+            Database::with_config(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+        db.define_class(ClassDecl::new("Tally").attr("n", TypeTag::Int))
+            .unwrap();
+        tally = db.create("Tally").unwrap();
+        db.register_action("bump", move |w, _f| {
+            let n = w.get_attr(tally, "n")?.as_int()?;
+            w.set_attr(tally, "n", Value::Int(n + 1))
+        });
+        db.add_rule(RuleDef::new("Tick", EventExpr::every(100), "bump"))
+            .unwrap();
+        db.advance_time(250).unwrap(); // boundaries 100, 200 fire
+        assert_eq!(db.get_attr(tally, "n").unwrap(), Value::Int(2));
+        db.checkpoint().unwrap();
+    }
+
+    let mut db = Database::recover(DbConfig::durable(&dir).time_mode(TimeMode::Virtual)).unwrap();
+    let t = tally;
+    db.register_action("bump", move |w, _f| {
+        let n = w.get_attr(t, "n")?.as_int()?;
+        w.set_attr(t, "n", Value::Int(n + 1))
+    });
+    assert_eq!(db.now_instant(), 250);
+    assert_eq!(db.get_attr(tally, "n").unwrap(), Value::Int(2));
+    // The pending timer resumed from the recovered instant: the next
+    // boundary is 300, and exactly one fires in [250, 350].
+    db.advance_time(100).unwrap();
+    assert_eq!(db.get_attr(tally, "n").unwrap(), Value::Int(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn logical_mode_ties_instants_to_the_sequence_axis() {
+    // Under the default TimeMode::Logical the instant axis is the seq
+    // axis: windows measure "ticks of activity", and advance_time pads
+    // the clock by raising it.
+    let mut db = Database::new();
+    assert_eq!(db.now_instant(), 0);
+    db.define_class(ClassDecl::new("X")).unwrap();
+    db.create("X").unwrap();
+    let before = db.now_instant();
+    let after = db.advance_time(10).unwrap();
+    assert!(after >= before + 10);
+    assert_eq!(db.now_instant(), after);
+}
